@@ -1,0 +1,37 @@
+//! E4 — per-query profiler overhead (§2.1: "the CQMS does not impose
+//! significant runtime overhead"). Compares the bare engine against the
+//! fully profiled path at two data scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqms_core::{Cqms, CqmsConfig};
+use workload::Domain;
+
+const QUERY: &str = "SELECT T.lake, T.temp, S.salinity FROM WaterTemp T, WaterSalinity S \
+                     WHERE T.loc_x = S.loc_x AND T.loc_y = S.loc_y AND T.temp < 18";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_profiler_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for &scale in &[1_000usize, 10_000] {
+        let mut engine = relstore::Engine::new();
+        Domain::Lakes.setup(&mut engine, scale, 0xE4);
+        group.bench_with_input(BenchmarkId::new("bare_engine", scale), &scale, |b, _| {
+            b.iter(|| engine.execute(QUERY).unwrap().rows.len())
+        });
+
+        let mut engine2 = relstore::Engine::new();
+        Domain::Lakes.setup(&mut engine2, scale, 0xE4);
+        let mut cqms = Cqms::new(engine2, CqmsConfig::default());
+        let u = cqms.register_user("u");
+        group.bench_with_input(BenchmarkId::new("profiled_full", scale), &scale, |b, _| {
+            b.iter(|| cqms.run_query(u, QUERY).unwrap().id)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E7 — kNN recommendation latency by similarity metric (§4.2: kNN
+//! meta-queries must be interactive; A3 ablation across distance kinds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqms_bench::logged_cqms;
+use cqms_core::similarity::DistanceKind;
+use workload::Domain;
+
+const PROBE: &str = "SELECT * FROM WaterSalinity S, WaterTemp T \
+                     WHERE S.loc_x = T.loc_x AND T.temp < 18";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_knn");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    let mut lc = logged_cqms(Domain::Lakes, 1000, 0xE7);
+    let user = lc.users[0];
+    for metric in [
+        DistanceKind::Features,
+        DistanceKind::ParseTree,
+        DistanceKind::TreeEdit,
+        DistanceKind::Output,
+        DistanceKind::Combined,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("metric", format!("{metric:?}")),
+            &metric,
+            |b, &m| b.iter(|| lc.cqms.similar_queries(user, PROBE, 5, m).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E8 — query clustering throughput (§4.3): one full miner epoch including
+//! the O(n²) distance matrix and k-medoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqms_bench::logged_cqms;
+use workload::Domain;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_clustering");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for &size in &[200usize, 500] {
+        let mut lc = logged_cqms(Domain::Lakes, size, 0xE8);
+        group.bench_with_input(BenchmarkId::new("miner_epoch", size), &size, |b, _| {
+            b.iter(|| lc.cqms.run_miner_epoch().clusters)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E9 — Apriori association-rule mining throughput (§4.3) as the
+//! transaction log grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqms_core::miner::assoc::mine_apriori;
+use workload::{Domain, Trace, TraceConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_assoc_rules");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for &sessions in &[100u32, 400] {
+        let trace = Trace::generate(
+            TraceConfig::new(Domain::Lakes)
+                .with_sessions(sessions)
+                .with_seed(0xE9),
+        );
+        let transactions: Vec<Vec<String>> = trace
+            .queries
+            .iter()
+            .filter_map(|q| sqlparse::parse(&q.sql).ok())
+            .map(|stmt| cqms_core::features::extract(&stmt, None).items())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("apriori", transactions.len()),
+            &transactions,
+            |b, t| b.iter(|| mine_apriori(t, 5, 0.5).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

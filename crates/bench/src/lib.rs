@@ -1,0 +1,83 @@
+//! # cqms-bench — the experiment harness
+//!
+//! Builders shared by the Criterion benches (`benches/e*.rs`) and the
+//! deterministic `experiments` binary that regenerates every experiment
+//! table recorded in `EXPERIMENTS.md` (E1–E13, mapped to the paper's
+//! figures and section-level claims in `DESIGN.md`).
+
+use cqms_core::model::UserId;
+use cqms_core::{Cqms, CqmsConfig};
+use workload::{Domain, Trace, TraceConfig};
+
+/// A CQMS with a replayed query log and its generating trace.
+pub struct LoggedCqms {
+    pub cqms: Cqms,
+    pub trace: Trace,
+    pub users: Vec<UserId>,
+}
+
+/// Build a CQMS over `domain` and replay a generated log of roughly
+/// `target_queries` queries (sessions ≈ queries / 5).
+pub fn logged_cqms(domain: Domain, target_queries: usize, seed: u64) -> LoggedCqms {
+    logged_cqms_with(domain, target_queries, seed, CqmsConfig::default())
+}
+
+/// Same as [`logged_cqms`] with a custom configuration.
+pub fn logged_cqms_with(
+    domain: Domain,
+    target_queries: usize,
+    seed: u64,
+    config: CqmsConfig,
+) -> LoggedCqms {
+    let sessions = (target_queries / 5).max(2) as u32;
+    let trace = Trace::generate(
+        TraceConfig::new(domain)
+            .with_sessions(sessions)
+            .with_users(6)
+            .with_scale(300)
+            .with_seed(seed),
+    );
+    let engine = trace.build_engine();
+    let mut cqms = Cqms::new(engine, config);
+    let users: Vec<UserId> = (0..6)
+        .map(|i| cqms.register_user(&format!("user-{i}")))
+        .collect();
+    for q in &trace.queries {
+        let user = users[q.user as usize % users.len()];
+        let _ = cqms.run_query_at(user, &q.sql, q.ts);
+    }
+    LoggedCqms { cqms, trace, users }
+}
+
+/// Format a duration as microseconds with 1 decimal.
+pub fn us(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Time a closure over `iters` runs, returning mean duration.
+pub fn time_mean<R>(iters: usize, mut f: impl FnMut() -> R) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed() / iters.max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_builds_logged_cqms() {
+        let lc = logged_cqms(Domain::Lakes, 40, 1);
+        assert!(lc.cqms.storage.live_count() >= 16);
+        assert_eq!(lc.users.len(), 6);
+        assert!(!lc.trace.rules.is_empty());
+    }
+
+    #[test]
+    fn time_mean_measures() {
+        let d = time_mean(10, || 1 + 1);
+        assert!(d.as_nanos() < 1_000_000);
+    }
+}

@@ -1,0 +1,212 @@
+//! Administrative Interaction Mode (§2.4): users, groups, access control.
+//!
+//! "Clear access control rules must be set to restrict knowledge transfer to
+//! only group members collaborating with each other" (§1). The directory
+//! tracks users and group membership; every meta-query result is filtered
+//! through [`Directory::can_see`].
+
+use crate::error::CqmsError;
+use crate::model::{GroupId, QueryRecord, UserId, Visibility};
+use std::collections::HashMap;
+
+/// A registered user.
+#[derive(Debug, Clone)]
+pub struct UserInfo {
+    pub id: UserId,
+    pub name: String,
+    pub groups: Vec<GroupId>,
+    /// Administrators may manage any query and the system tunables.
+    pub is_admin: bool,
+}
+
+/// Users and groups.
+#[derive(Debug, Default)]
+pub struct Directory {
+    users: HashMap<UserId, UserInfo>,
+    groups: HashMap<GroupId, String>,
+    next_user: u32,
+    next_group: u32,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Register a user; the first registered user becomes an administrator.
+    pub fn create_user(&mut self, name: &str) -> UserId {
+        let id = UserId(self.next_user);
+        self.next_user += 1;
+        self.users.insert(
+            id,
+            UserInfo {
+                id,
+                name: name.to_string(),
+                groups: Vec::new(),
+                is_admin: id.0 == 0,
+            },
+        );
+        id
+    }
+
+    pub fn create_group(&mut self, name: &str) -> GroupId {
+        let id = GroupId(self.next_group);
+        self.next_group += 1;
+        self.groups.insert(id, name.to_string());
+        id
+    }
+
+    pub fn join_group(&mut self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
+        if !self.groups.contains_key(&group) {
+            return Err(CqmsError::Admin(format!("unknown group {group}")));
+        }
+        let u = self
+            .users
+            .get_mut(&user)
+            .ok_or_else(|| CqmsError::Admin(format!("unknown user {user}")))?;
+        if !u.groups.contains(&group) {
+            u.groups.push(group);
+        }
+        Ok(())
+    }
+
+    pub fn leave_group(&mut self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
+        let u = self
+            .users
+            .get_mut(&user)
+            .ok_or_else(|| CqmsError::Admin(format!("unknown user {user}")))?;
+        u.groups.retain(|g| *g != group);
+        Ok(())
+    }
+
+    pub fn user(&self, id: UserId) -> Option<&UserInfo> {
+        self.users.get(&id)
+    }
+
+    pub fn group_name(&self, id: GroupId) -> Option<&str> {
+        self.groups.get(&id).map(String::as_str)
+    }
+
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn is_admin(&self, user: UserId) -> bool {
+        self.users.get(&user).map(|u| u.is_admin).unwrap_or(false)
+    }
+
+    pub fn in_group(&self, user: UserId, group: GroupId) -> bool {
+        self.users
+            .get(&user)
+            .map(|u| u.groups.contains(&group))
+            .unwrap_or(false)
+    }
+
+    /// §2.4 visibility rule. Unregistered viewers see only public queries
+    /// (and their own — identity is by id, registration optional to ease
+    /// embedding).
+    pub fn can_see(&self, viewer: UserId, record: &QueryRecord) -> bool {
+        if viewer == record.user || self.is_admin(viewer) {
+            return true;
+        }
+        match record.visibility {
+            Visibility::Public => true,
+            Visibility::Private => false,
+            Visibility::Group(g) => self.in_group(viewer, g),
+        }
+    }
+
+    /// May `actor` modify (annotate from others' behalf, delete, re-ACL)
+    /// the record?
+    pub fn can_modify(&self, actor: UserId, record: &QueryRecord) -> bool {
+        actor == record.user || self.is_admin(actor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::*;
+    use crate::storage::make_record;
+
+    fn record(owner: u32, vis: Visibility) -> QueryRecord {
+        make_record(
+            QueryId(0),
+            UserId(owner),
+            0,
+            "SELECT 1",
+            None,
+            Default::default(),
+            Default::default(),
+            OutputSummary::None,
+            SessionId(0),
+            vis,
+        )
+    }
+
+    #[test]
+    fn first_user_is_admin() {
+        let mut d = Directory::new();
+        let root = d.create_user("root");
+        let alice = d.create_user("alice");
+        assert!(d.is_admin(root));
+        assert!(!d.is_admin(alice));
+    }
+
+    #[test]
+    fn visibility_matrix() {
+        let mut d = Directory::new();
+        let root = d.create_user("root");
+        let alice = d.create_user("alice");
+        let bob = d.create_user("bob");
+        let carol = d.create_user("carol");
+        let lab = d.create_group("limnology-lab");
+        d.join_group(alice, lab).unwrap();
+        d.join_group(bob, lab).unwrap();
+
+        let private = record(alice.0, Visibility::Private);
+        let grouped = record(alice.0, Visibility::Group(lab));
+        let public = record(alice.0, Visibility::Public);
+
+        // Owner always sees.
+        assert!(d.can_see(alice, &private));
+        // Group members see group queries; outsiders don't.
+        assert!(d.can_see(bob, &grouped));
+        assert!(!d.can_see(carol, &grouped));
+        assert!(!d.can_see(bob, &private));
+        // Everyone sees public.
+        assert!(d.can_see(carol, &public));
+        // Admin sees everything.
+        assert!(d.can_see(root, &private));
+    }
+
+    #[test]
+    fn modification_rights() {
+        let mut d = Directory::new();
+        let root = d.create_user("root");
+        let alice = d.create_user("alice");
+        let bob = d.create_user("bob");
+        let rec = record(alice.0, Visibility::Public);
+        assert!(d.can_modify(alice, &rec));
+        assert!(d.can_modify(root, &rec));
+        assert!(!d.can_modify(bob, &rec));
+    }
+
+    #[test]
+    fn group_membership_lifecycle() {
+        let mut d = Directory::new();
+        let u = d.create_user("u");
+        let g = d.create_group("g");
+        assert!(!d.in_group(u, g));
+        d.join_group(u, g).unwrap();
+        assert!(d.in_group(u, g));
+        // Idempotent join.
+        d.join_group(u, g).unwrap();
+        assert_eq!(d.user(u).unwrap().groups.len(), 1);
+        d.leave_group(u, g).unwrap();
+        assert!(!d.in_group(u, g));
+        // Unknown ids error.
+        assert!(d.join_group(UserId(99), g).is_err());
+        assert!(d.join_group(u, GroupId(99)).is_err());
+    }
+}

@@ -1,0 +1,507 @@
+//! Context-aware query completion (§2.3).
+//!
+//! "Assume that the most popular table to include in the FROM clause is
+//! CityLocations. However, for queries that also include WaterSalinity, the
+//! most popular is WaterTemp. Thus, if the user has already included
+//! WaterSalinity, the system should suggest WaterTemp over CityLocations."
+//!
+//! The engine inspects the partial SQL's token stream to decide *what* is
+//! being completed (a table in FROM, an attribute in SELECT/WHERE, a
+//! predicate), then ranks candidates by association-rule confidence given
+//! the tables already present, falling back to global popularity.
+
+use crate::config::CqmsConfig;
+use crate::miner::assoc::RuleMiner;
+use crate::storage::QueryStorage;
+use sqlparse::{Keyword, Lexer, TokenKind};
+use std::collections::{HashMap, HashSet};
+
+/// What the cursor is positioned to complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionContext {
+    /// Completing a relation name (FROM clause).
+    Table,
+    /// Completing an attribute (SELECT / GROUP BY / ORDER BY).
+    Attribute,
+    /// Completing a predicate (WHERE / HAVING).
+    Predicate,
+    /// Start of a statement.
+    Statement,
+}
+
+/// One completion suggestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// Text to insert (`WaterTemp`, `temp < 18`, …).
+    pub text: String,
+    /// Relative score in [0, 1] (confidence or normalised popularity).
+    pub score: f64,
+    /// Explanation shown in the client ("83% of queries with WaterSalinity
+    /// also use WaterTemp").
+    pub why: String,
+}
+
+/// The completion engine: a view over the storage's feature statistics plus
+/// the miner's association rules.
+pub struct CompletionEngine<'a> {
+    storage: &'a QueryStorage,
+    rules: &'a mut RuleMiner,
+    config: &'a CqmsConfig,
+    /// Known relation names (lower → display form) from the data catalog.
+    catalog_tables: HashMap<String, String>,
+    /// relation (lower) → its columns (display form).
+    catalog_columns: HashMap<String, Vec<String>>,
+}
+
+impl<'a> CompletionEngine<'a> {
+    pub fn new(
+        storage: &'a QueryStorage,
+        rules: &'a mut RuleMiner,
+        config: &'a CqmsConfig,
+        engine: &relstore::Engine,
+    ) -> Self {
+        let mut catalog_tables = HashMap::new();
+        let mut catalog_columns = HashMap::new();
+        for name in engine.catalog.table_names() {
+            let lower = name.to_ascii_lowercase();
+            if let Ok(t) = engine.catalog.table(&name) {
+                catalog_columns.insert(
+                    lower.clone(),
+                    t.schema.columns.iter().map(|c| c.name.clone()).collect(),
+                );
+            }
+            catalog_tables.insert(lower, name);
+        }
+        CompletionEngine {
+            storage,
+            rules,
+            config,
+            catalog_tables,
+            catalog_columns,
+        }
+    }
+
+    /// Detect the completion context and current token prefix from partial
+    /// SQL (the text left of the cursor).
+    pub fn detect_context(partial: &str) -> (CompletionContext, String, Vec<String>) {
+        let tokens = match Lexer::tokenize(partial) {
+            Ok(t) => t,
+            Err(_) => return (CompletionContext::Statement, String::new(), Vec::new()),
+        };
+        // Current prefix: a trailing identifier with no whitespace after it.
+        let trailing_ws = partial
+            .chars()
+            .last()
+            .map(|c| c.is_whitespace() || c == ',' || c == '(')
+            .unwrap_or(true);
+        let mut prefix = String::new();
+        let mut effective: Vec<&TokenKind> =
+            tokens.iter().map(|t| &t.kind).filter(|k| **k != TokenKind::Eof).collect();
+        if !trailing_ws {
+            if let Some(TokenKind::Ident(last)) = effective.last().copied() {
+                prefix = last.clone();
+                effective.pop();
+            }
+        }
+        // Tables already present (identifiers following FROM up to WHERE/etc.)
+        let mut tables = Vec::new();
+        let mut in_from = false;
+        for k in &effective {
+            match k {
+                TokenKind::Keyword(Keyword::From) => in_from = true,
+                TokenKind::Keyword(Keyword::Where)
+                | TokenKind::Keyword(Keyword::Group)
+                | TokenKind::Keyword(Keyword::Order)
+                | TokenKind::Keyword(Keyword::Having)
+                | TokenKind::Keyword(Keyword::Limit) => in_from = false,
+                TokenKind::Ident(name) if in_from => {
+                    tables.push(name.to_ascii_lowercase());
+                }
+                _ => {}
+            }
+        }
+        // Context = clause of the last structural keyword.
+        let mut ctx = CompletionContext::Statement;
+        for k in &effective {
+            match k {
+                TokenKind::Keyword(Keyword::Select) => ctx = CompletionContext::Attribute,
+                TokenKind::Keyword(Keyword::From) | TokenKind::Keyword(Keyword::Join) => {
+                    ctx = CompletionContext::Table
+                }
+                TokenKind::Keyword(Keyword::Where) | TokenKind::Keyword(Keyword::Having) => {
+                    ctx = CompletionContext::Predicate
+                }
+                TokenKind::Keyword(Keyword::Group) | TokenKind::Keyword(Keyword::Order) => {
+                    ctx = CompletionContext::Attribute
+                }
+                _ => {}
+            }
+        }
+        (ctx, prefix, tables)
+    }
+
+    /// Top-k suggestions for the partial SQL.
+    pub fn suggest(&mut self, partial: &str, k: usize) -> Vec<Suggestion> {
+        let (ctx, prefix, tables) = Self::detect_context(partial);
+        match ctx {
+            CompletionContext::Table => self.suggest_tables(&tables, &prefix, k),
+            CompletionContext::Attribute => self.suggest_attributes(&tables, &prefix, k),
+            CompletionContext::Predicate => self.suggest_predicates(&tables, &prefix, k),
+            CompletionContext::Statement => vec![Suggestion {
+                text: "SELECT".to_string(),
+                score: 1.0,
+                why: "start a query".to_string(),
+            }],
+        }
+    }
+
+    /// Table suggestions: association rules first (context-aware), then
+    /// global popularity, then catalog order.
+    pub fn suggest_tables(&mut self, present: &[String], prefix: &str, k: usize) -> Vec<Suggestion> {
+        let prefix_l = prefix.to_ascii_lowercase();
+        let mut out: Vec<Suggestion> = Vec::new();
+        let mut suggested: HashSet<String> = HashSet::new();
+
+        // 1. Context-aware: rules whose antecedents hold.
+        if !present.is_empty() {
+            let ctx: HashSet<String> =
+                present.iter().map(|t| format!("table:{t}")).collect();
+            let rule_hits = self.rules.suggest(
+                &ctx,
+                self.config.assoc_min_support,
+                self.config.assoc_min_confidence,
+                "table:",
+            );
+            for (item, conf) in rule_hits {
+                let t = item.trim_start_matches("table:").to_string();
+                if !t.starts_with(&prefix_l) || present.contains(&t) {
+                    continue;
+                }
+                if suggested.insert(t.clone()) {
+                    let display = self.display_table(&t);
+                    out.push(Suggestion {
+                        text: display,
+                        score: conf.min(1.0),
+                        why: format!(
+                            "{:.0}% of queries with {} also use it",
+                            conf * 100.0,
+                            present.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 2. Global popularity from the log.
+        let mut pop: HashMap<String, u32> = HashMap::new();
+        for r in self.storage.iter_live() {
+            for t in &r.features.tables {
+                *pop.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+        let max_pop = pop.values().copied().max().unwrap_or(1) as f64;
+        let mut by_pop: Vec<(String, u32)> = pop.into_iter().collect();
+        by_pop.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for (t, count) in by_pop {
+            if out.len() >= k {
+                break;
+            }
+            if !t.starts_with(&prefix_l)
+                || present.contains(&t)
+                || suggested.contains(&t)
+            {
+                continue;
+            }
+            suggested.insert(t.clone());
+            let display = self.display_table(&t);
+            out.push(Suggestion {
+                text: display,
+                // Popularity scores sit below rule confidences by design.
+                score: 0.49 * count as f64 / max_pop,
+                why: format!("used by {count} logged queries"),
+            });
+        }
+
+        // 3. Catalog fallback (fresh deployments with an empty log).
+        if out.len() < k {
+            let mut names: Vec<&String> = self.catalog_tables.keys().collect();
+            names.sort();
+            for t in names {
+                if out.len() >= k {
+                    break;
+                }
+                if !t.starts_with(&prefix_l)
+                    || present.contains(t)
+                    || suggested.contains(t)
+                {
+                    continue;
+                }
+                out.push(Suggestion {
+                    text: self.display_table(t),
+                    score: 0.05,
+                    why: "in the catalog".to_string(),
+                });
+            }
+        }
+
+        out.truncate(k);
+        out
+    }
+
+    /// Attribute suggestions for the in-scope tables, popularity-ranked.
+    pub fn suggest_attributes(
+        &mut self,
+        present: &[String],
+        prefix: &str,
+        k: usize,
+    ) -> Vec<Suggestion> {
+        let prefix_l = prefix.to_ascii_lowercase();
+        let mut pop: HashMap<(String, String), u32> = HashMap::new();
+        for r in self.storage.iter_live() {
+            for (t, a) in &r.features.attributes {
+                if present.is_empty() || present.contains(t) {
+                    *pop.entry((t.clone(), a.clone())).or_insert(0) += 1;
+                }
+            }
+        }
+        let max_pop = pop.values().copied().max().unwrap_or(1) as f64;
+        let mut by_pop: Vec<((String, String), u32)> = pop.into_iter().collect();
+        by_pop.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for ((t, a), count) in by_pop {
+            if out.len() >= k {
+                break;
+            }
+            if !a.starts_with(&prefix_l) || !seen.insert(a.clone()) {
+                continue;
+            }
+            out.push(Suggestion {
+                text: a.clone(),
+                score: count as f64 / max_pop,
+                why: format!("popular on {t} ({count} uses)"),
+            });
+        }
+        // Catalog fallback.
+        if out.len() < k {
+            for t in present {
+                if let Some(cols) = self.catalog_columns.get(t) {
+                    for c in cols {
+                        if out.len() >= k {
+                            break;
+                        }
+                        let cl = c.to_ascii_lowercase();
+                        if cl.starts_with(&prefix_l) && seen.insert(cl) {
+                            out.push(Suggestion {
+                                text: c.clone(),
+                                score: 0.05,
+                                why: format!("column of {t}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Predicate suggestions: popular predicates on in-scope tables with
+    /// their most common constants (§2.3 "suggest predicates in the WHERE
+    /// clause … and even complete subclauses").
+    pub fn suggest_predicates(
+        &mut self,
+        present: &[String],
+        prefix: &str,
+        k: usize,
+    ) -> Vec<Suggestion> {
+        let prefix_l = prefix.to_ascii_lowercase();
+        // (table, column, op) → (count, constant → count).
+        let mut pop: HashMap<(String, String, String), (u32, HashMap<String, u32>)> =
+            HashMap::new();
+        for r in self.storage.iter_live() {
+            for p in &r.features.predicates {
+                if !present.is_empty() && !present.contains(&p.table) && !p.table.is_empty() {
+                    continue;
+                }
+                let entry = pop
+                    .entry((p.table.clone(), p.column.clone(), p.op.clone()))
+                    .or_insert((0, HashMap::new()));
+                entry.0 += 1;
+                *entry.1.entry(p.constant.clone()).or_insert(0) += 1;
+            }
+        }
+        let max_pop = pop.values().map(|(c, _)| *c).max().unwrap_or(1) as f64;
+        let mut list: Vec<((String, String, String), (u32, HashMap<String, u32>))> =
+            pop.into_iter().collect();
+        list.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(&b.0)));
+        let mut out = Vec::new();
+        for ((_t, col, op), (count, consts)) in list {
+            if out.len() >= k {
+                break;
+            }
+            if !col.starts_with(&prefix_l) {
+                continue;
+            }
+            let best_const = consts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                .map(|(c, _)| c.clone())
+                .unwrap_or_default();
+            out.push(Suggestion {
+                text: format!("{col} {op} {best_const}"),
+                score: count as f64 / max_pop,
+                why: format!("{count} logged queries filter on it"),
+            });
+        }
+        out
+    }
+
+    fn display_table(&self, lower: &str) -> String {
+        self.catalog_tables
+            .get(lower)
+            .cloned()
+            .unwrap_or_else(|| lower.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract;
+    use crate::model::*;
+    use crate::storage::make_record;
+
+    fn seeded() -> (QueryStorage, RuleMiner, relstore::Engine) {
+        let mut engine = relstore::Engine::new();
+        workload::Domain::Lakes.setup(&mut engine, 10, 1);
+        let mut st = QueryStorage::new();
+        let mut rules = RuleMiner::new();
+        // The paper's §2.3 scenario: CityLocations is the most popular table
+        // overall, but WaterSalinity co-occurs with WaterTemp.
+        let mut sqls: Vec<String> = Vec::new();
+        for i in 0..10 {
+            sqls.push(format!("SELECT city FROM CityLocations WHERE pop > {i}"));
+        }
+        for _ in 0..6 {
+            sqls.push(
+                "SELECT * FROM WaterSalinity S, WaterTemp T WHERE S.loc_x = T.loc_x \
+                 AND T.temp < 18"
+                    .to_string(),
+            );
+        }
+        sqls.push("SELECT * FROM WaterSalinity WHERE salinity > 0.3".to_string());
+        for (i, sql) in sqls.iter().enumerate() {
+            let stmt = sqlparse::parse(sql).unwrap();
+            let feats = extract(&stmt, None);
+            rules.add_transaction(feats.items());
+            st.insert(make_record(
+                QueryId(i as u64),
+                UserId(1),
+                100 + i as u64,
+                sql,
+                Some(stmt),
+                feats,
+                RuntimeFeatures {
+                    success: true,
+                    ..Default::default()
+                },
+                OutputSummary::None,
+                SessionId(i as u64),
+                Visibility::Public,
+            ));
+        }
+        (st, rules, engine)
+    }
+
+    #[test]
+    fn context_detection() {
+        let (ctx, prefix, tables) =
+            CompletionEngine::detect_context("SELECT * FROM WaterSalinity, Wat");
+        assert_eq!(ctx, CompletionContext::Table);
+        assert_eq!(prefix, "Wat");
+        assert_eq!(tables, vec!["watersalinity"]);
+
+        let (ctx, _, tables) =
+            CompletionEngine::detect_context("SELECT * FROM WaterTemp WHERE te");
+        assert_eq!(ctx, CompletionContext::Predicate);
+        assert_eq!(tables, vec!["watertemp"]);
+
+        let (ctx, ..) = CompletionEngine::detect_context("SELECT ");
+        assert_eq!(ctx, CompletionContext::Attribute);
+
+        let (ctx, ..) = CompletionEngine::detect_context("");
+        assert_eq!(ctx, CompletionContext::Statement);
+    }
+
+    #[test]
+    fn paper_scenario_watertemp_over_citylocations() {
+        let (st, mut rules, engine) = seeded();
+        let cfg = CqmsConfig::default();
+        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        // No context: CityLocations is most popular.
+        let plain = ce.suggest_tables(&[], "", 3);
+        assert_eq!(plain[0].text, "CityLocations", "{plain:?}");
+        // With WaterSalinity present: WaterTemp must win.
+        let ctx = ce.suggest_tables(&["watersalinity".to_string()], "", 3);
+        assert_eq!(ctx[0].text, "WaterTemp", "{ctx:?}");
+        assert!(ctx[0].score > 0.5);
+        assert!(ctx[0].why.contains("watersalinity"));
+    }
+
+    #[test]
+    fn prefix_filters_suggestions() {
+        let (st, mut rules, engine) = seeded();
+        let cfg = CqmsConfig::default();
+        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let hits = ce.suggest_tables(&[], "Water", 5);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|s| s.text.starts_with("Water")));
+    }
+
+    #[test]
+    fn full_pipeline_from_partial_sql() {
+        let (st, mut rules, engine) = seeded();
+        let cfg = CqmsConfig::default();
+        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let hits = ce.suggest("SELECT * FROM WaterSalinity, ", 3);
+        assert_eq!(hits[0].text, "WaterTemp");
+    }
+
+    #[test]
+    fn attribute_suggestions_ranked_by_use() {
+        let (st, mut rules, engine) = seeded();
+        let cfg = CqmsConfig::default();
+        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let hits = ce.suggest_attributes(&["citylocations".to_string()], "", 5);
+        assert!(!hits.is_empty());
+        // `pop` and `city` are the logged attributes of CityLocations.
+        assert!(hits.iter().any(|s| s.text == "pop"));
+        assert!(hits.iter().any(|s| s.text == "city"));
+    }
+
+    #[test]
+    fn predicate_suggestions_include_popular_constant() {
+        let (st, mut rules, engine) = seeded();
+        let cfg = CqmsConfig::default();
+        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let hits = ce.suggest_predicates(&["watertemp".to_string()], "", 5);
+        assert!(
+            hits.iter().any(|s| s.text == "temp < 18"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn empty_log_falls_back_to_catalog() {
+        let mut engine = relstore::Engine::new();
+        workload::Domain::Lakes.setup(&mut engine, 5, 1);
+        let st = QueryStorage::new();
+        let mut rules = RuleMiner::new();
+        let cfg = CqmsConfig::default();
+        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let hits = ce.suggest_tables(&[], "", 10);
+        assert!(hits.iter().any(|s| s.text == "WaterTemp"));
+        let attrs = ce.suggest_attributes(&["watertemp".to_string()], "", 10);
+        assert!(attrs.iter().any(|s| s.text == "temp"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Assisted Interaction Mode (§2.3): the CQMS watches the user type and
+//! offers completions, corrections and full-query recommendations — the
+//! behaviour visualised in the paper's Figure 3.
+
+pub mod completion;
+pub mod correction;
+pub mod recommend;
+
+pub use completion::{CompletionContext, CompletionEngine, Suggestion};
+pub use correction::{CorrectionEngine, Correction, RepairSuggestion};
+pub use recommend::{recommend_panel, PanelRow};

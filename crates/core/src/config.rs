@@ -1,0 +1,150 @@
+//! Tunable parameters (paper §2.4: "adjust tunable parameters such as the
+//! sample size for the query-by-data approach").
+
+/// How much the Query Profiler captures per query (ablation A5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfilingDepth {
+    /// Log raw text only (the paper's "simplest data model").
+    Text,
+    /// Text + syntactic feature extraction into the Fig. 1 relations.
+    Features,
+    /// Features + runtime statistics + output summarisation (§4.1).
+    Full,
+}
+
+/// All CQMS tunables with paper-faithful defaults.
+#[derive(Debug, Clone)]
+pub struct CqmsConfig {
+    pub profiling_depth: ProfilingDepth,
+
+    // --- Output summarisation (§4.1) ---
+    /// Reservoir size for sampled output summaries.
+    pub output_sample_size: usize,
+    /// Store the whole output when `rows ≤ max(full_output_min_rows,
+    /// elapsed_ms × full_output_rows_per_ms)` — the paper's adaptive rule
+    /// ("two hours / ten rows ⇒ store all; two seconds / 2M rows ⇒ don't").
+    pub full_output_min_rows: u64,
+    pub full_output_rows_per_ms: f64,
+    /// Hard cap on stored full outputs.
+    pub full_output_max_rows: u64,
+
+    // --- Session detection (§2.2/§4.1) ---
+    /// Queries by the same user within this many seconds continue a session.
+    pub session_idle_gap_secs: u64,
+    /// Queries beyond the gap can still continue a session when at least
+    /// this similar (template feature overlap), and queries within the gap
+    /// break the session when utterly dissimilar.
+    pub session_similarity_threshold: f64,
+
+    // --- Assisted interaction (§2.3) ---
+    /// Request an annotation when a query joins at least this many tables…
+    pub annotate_table_threshold: usize,
+    /// …or contains nesting.
+    pub annotate_on_subquery: bool,
+    /// Suggestions returned by completion/correction/recommendation.
+    pub suggestion_k: usize,
+
+    // --- Mining (§4.3) ---
+    /// Minimum absolute support for frequent itemsets.
+    pub assoc_min_support: u32,
+    pub assoc_min_confidence: f64,
+    /// k for query clustering (0 = auto: √(n/2)).
+    pub cluster_k: usize,
+    pub cluster_max_iters: usize,
+
+    // --- Maintenance (§4.4) ---
+    /// Drift score above which stored runtime statistics are refreshed.
+    pub refresh_drift_threshold: f64,
+    /// Max queries re-executed per refresh epoch.
+    pub refresh_budget: usize,
+
+    // --- Similarity / ranking (§2.3/§4.2) ---
+    pub weight_tables: f64,
+    pub weight_attributes: f64,
+    pub weight_predicates: f64,
+    pub rank_similarity: f64,
+    pub rank_popularity: f64,
+    pub rank_recency: f64,
+    pub rank_quality: f64,
+
+    /// Deterministic seed for sampling/clustering.
+    pub seed: u64,
+}
+
+impl Default for CqmsConfig {
+    fn default() -> Self {
+        CqmsConfig {
+            profiling_depth: ProfilingDepth::Full,
+            output_sample_size: 32,
+            full_output_min_rows: 10,
+            full_output_rows_per_ms: 1.0,
+            full_output_max_rows: 1000,
+            session_idle_gap_secs: 600,
+            session_similarity_threshold: 0.2,
+            annotate_table_threshold: 3,
+            annotate_on_subquery: true,
+            suggestion_k: 5,
+            assoc_min_support: 5,
+            assoc_min_confidence: 0.5,
+            cluster_k: 0,
+            cluster_max_iters: 20,
+            refresh_drift_threshold: 0.3,
+            refresh_budget: 50,
+            weight_tables: 0.5,
+            weight_attributes: 0.3,
+            weight_predicates: 0.2,
+            rank_similarity: 0.6,
+            rank_popularity: 0.2,
+            rank_recency: 0.1,
+            rank_quality: 0.1,
+            seed: 0xC1D2_2009,
+        }
+    }
+}
+
+impl CqmsConfig {
+    /// Rows of output worth storing in full, given execution time — the
+    /// paper's §4.1 adaptive summarisation rule.
+    pub fn full_output_budget(&self, elapsed_us: u64) -> u64 {
+        let by_time = (elapsed_us as f64 / 1000.0 * self.full_output_rows_per_ms) as u64;
+        by_time
+            .max(self.full_output_min_rows)
+            .min(self.full_output_max_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_follows_paper_examples() {
+        let c = CqmsConfig::default();
+        // "two hours to complete and outputs ten rows → store the whole
+        // output": 2h ≫ 10 rows of budget.
+        let two_hours_us = 2 * 3600 * 1_000_000u64;
+        assert!(c.full_output_budget(two_hours_us) >= 10);
+        // "two seconds and two million rows → no need to store the output":
+        // budget for 2s is ~2000ms×1 = 2000 rows ≪ 2M.
+        let two_secs_us = 2_000_000u64;
+        assert!(c.full_output_budget(two_secs_us) < 2_000_000);
+        // Fast queries still store tiny outputs.
+        assert_eq!(c.full_output_budget(0), c.full_output_min_rows);
+    }
+
+    #[test]
+    fn budget_is_capped() {
+        let c = CqmsConfig::default();
+        let day_us = 24 * 3600 * 1_000_000u64;
+        assert_eq!(c.full_output_budget(day_us), c.full_output_max_rows);
+    }
+
+    #[test]
+    fn ranking_weights_sum_to_one() {
+        let c = CqmsConfig::default();
+        let sum = c.rank_similarity + c.rank_popularity + c.rank_recency + c.rank_quality;
+        assert!((sum - 1.0).abs() < 1e-9);
+        let w = c.weight_tables + c.weight_attributes + c.weight_predicates;
+        assert!((w - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Unified CQMS error type.
+
+use std::fmt;
+
+/// Errors surfaced by the CQMS engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CqmsError {
+    /// SQL failed to parse (wraps the frontend error).
+    Parse(sqlparse::ParseError),
+    /// The underlying engine rejected a statement.
+    Engine(relstore::EngineError),
+    /// The requesting user may not see or modify the target.
+    NotAuthorized { user: u32, what: String },
+    /// A query/session/user id does not exist.
+    NotFound(String),
+    /// Administrative misuse (e.g. unknown group).
+    Admin(String),
+    /// Snapshot (de)serialisation failure.
+    Snapshot(String),
+}
+
+impl fmt::Display for CqmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqmsError::Parse(e) => write!(f, "{e}"),
+            CqmsError::Engine(e) => write!(f, "{e}"),
+            CqmsError::NotAuthorized { user, what } => {
+                write!(f, "user {user} is not authorized to access {what}")
+            }
+            CqmsError::NotFound(what) => write!(f, "not found: {what}"),
+            CqmsError::Admin(m) => write!(f, "admin error: {m}"),
+            CqmsError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CqmsError {}
+
+impl From<sqlparse::ParseError> for CqmsError {
+    fn from(e: sqlparse::ParseError) -> Self {
+        CqmsError::Parse(e)
+    }
+}
+
+impl From<relstore::EngineError> for CqmsError {
+    fn from(e: relstore::EngineError) -> Self {
+        CqmsError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = CqmsError::NotAuthorized {
+            user: 3,
+            what: "query 7".into(),
+        };
+        assert!(e.to_string().contains("user 3"));
+        assert!(CqmsError::NotFound("q".into()).to_string().contains("not found"));
+    }
+
+    #[test]
+    fn conversions() {
+        let pe = sqlparse::parse("NOT SQL").unwrap_err();
+        let ce: CqmsError = pe.into();
+        assert!(matches!(ce, CqmsError::Parse(_)));
+        let ee = relstore::EngineError::UnknownTable("t".into());
+        let ce: CqmsError = ee.into();
+        assert!(matches!(ce, CqmsError::Engine(_)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # cqms-core — the Collaborative Query Management System
+//!
+//! A complete implementation of the CQMS engine proposed in *"A Case for A
+//! Collaborative Query Management System"* (Khoussainova, Balazinska,
+//! Gatterbauer, Kwon, Suciu — CIDR 2009), covering all four interaction
+//! modes (§2) and all four server components of Figure 4:
+//!
+//! | Paper component | Module |
+//! |---|---|
+//! | Query Profiler (§4.1) | [`profiler`], [`features`] |
+//! | Query Storage (§4.1) | [`storage`] (incl. the Figure 1 feature relations) |
+//! | Meta-query Executor (§4.2) | [`metaquery`], [`similarity`] |
+//! | Query Miner (§4.3) | [`miner`] (sessions, clustering, association rules, edit patterns, tutorials) |
+//! | Query Maintenance (§4.4) | [`maintenance`] |
+//! | Assisted Interaction (§2.3) | [`assist`] (completion, correction, recommendation) |
+//! | Administrative Interaction (§2.4) | [`admin`] |
+//! | Client rendering (Figs. 2–3) | [`viz`] |
+//!
+//! The façade tying everything together over one embedded
+//! [`relstore::Engine`] is [`server::Cqms`]; see `examples/quickstart.rs`.
+
+pub mod admin;
+pub mod assist;
+pub mod config;
+pub mod error;
+pub mod features;
+pub mod maintenance;
+pub mod metaquery;
+pub mod miner;
+pub mod model;
+pub mod profiler;
+pub mod server;
+pub mod similarity;
+pub mod storage;
+pub mod viz;
+
+pub use config::CqmsConfig;
+pub use error::CqmsError;
+pub use model::{Annotation, QueryId, QueryRecord, SessionId, UserId, Visibility};
+pub use server::Cqms;

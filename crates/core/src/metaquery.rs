@@ -1,0 +1,659 @@
+//! The Meta-query Executor (Figure 4, §2.2, §4.2).
+//!
+//! "A meta-query is a query that searches for queries." This module provides
+//! every meta-querying paradigm the paper proposes:
+//!
+//! * **keyword** and **substring** search (the §2.2 baseline);
+//! * **query-by-feature** — arbitrary SQL over the Figure 1 feature
+//!   relations, including running the paper's Figure 1 example verbatim, and
+//!   the automatic *generation* of such meta-queries from a partially typed
+//!   query;
+//! * **query-by-parse-tree** — structural predicates over the stored ASTs;
+//! * **query-by-data** — classifier search by positive/negative example
+//!   tuples (the Lake Washington ∖ Lake Union scenario);
+//! * **kNN** similarity queries used by the Assisted Interaction Mode.
+//!
+//! Every search takes the requesting user and applies §2.4 access control
+//! before returning results.
+
+use crate::admin::Directory;
+use crate::config::CqmsConfig;
+use crate::error::CqmsError;
+use crate::model::{QueryId, QueryRecord, UserId};
+use crate::similarity::{self, DistanceKind};
+use crate::storage::QueryStorage;
+use sqlparse::ast::*;
+
+/// A scored search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredHit {
+    pub id: QueryId,
+    /// Higher is better; semantics depend on the search mode.
+    pub score: f64,
+}
+
+/// Structural pattern for query-by-parse-tree (§2.2: "conditions on the
+/// joined relations, selections, projections, nested subqueries, etc.").
+#[derive(Debug, Clone, Default)]
+pub struct TreePattern {
+    /// Every one of these relations must appear in FROM (any depth).
+    pub tables_all: Vec<String>,
+    /// At least one of these must appear (when non-empty).
+    pub tables_any: Vec<String>,
+    /// Requires a comparison predicate on `relName.attrName`, optionally
+    /// with a specific operator.
+    pub predicate_on: Option<(String, String, Option<String>)>,
+    /// Minimum number of distinct relations joined.
+    pub min_tables: Option<usize>,
+    /// Require (or forbid) nested subqueries.
+    pub has_subquery: Option<bool>,
+    /// Require (or forbid) aggregation.
+    pub has_aggregate: Option<bool>,
+    /// All of these columns must be projected (rendered form, lower-case).
+    pub projects: Vec<String>,
+}
+
+impl TreePattern {
+    /// Does `record` match this pattern?
+    pub fn matches(&self, record: &QueryRecord) -> bool {
+        let f = &record.features;
+        for t in &self.tables_all {
+            if !f.tables.iter().any(|x| x.eq_ignore_ascii_case(t)) {
+                return false;
+            }
+        }
+        if !self.tables_any.is_empty()
+            && !self
+                .tables_any
+                .iter()
+                .any(|t| f.tables.iter().any(|x| x.eq_ignore_ascii_case(t)))
+        {
+            return false;
+        }
+        if let Some((rel, attr, op)) = &self.predicate_on {
+            let hit = f.predicates.iter().any(|p| {
+                p.table.eq_ignore_ascii_case(rel)
+                    && p.column.eq_ignore_ascii_case(attr)
+                    && op.as_ref().map(|o| p.op == *o).unwrap_or(true)
+            });
+            if !hit {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_tables {
+            if f.tables.len() < min {
+                return false;
+            }
+        }
+        if let Some(sub) = self.has_subquery {
+            if f.has_subquery != sub {
+                return false;
+            }
+        }
+        if let Some(agg) = self.has_aggregate {
+            if f.has_aggregate != agg {
+                return false;
+            }
+        }
+        for p in &self.projects {
+            let pl = p.to_ascii_lowercase();
+            let hit = f
+                .projections
+                .iter()
+                .any(|x| x == &pl || x.ends_with(&format!(".{pl}")) || x == "*");
+            if !hit {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The Meta-query Executor. Borrows the storage mutably because SQL
+/// meta-queries run on the embedded feature-relation engine (which maintains
+/// lazy indexes).
+pub struct MetaQueryExecutor<'a> {
+    pub storage: &'a mut QueryStorage,
+    pub directory: &'a Directory,
+    pub config: &'a CqmsConfig,
+}
+
+impl<'a> MetaQueryExecutor<'a> {
+    pub fn new(
+        storage: &'a mut QueryStorage,
+        directory: &'a Directory,
+        config: &'a CqmsConfig,
+    ) -> Self {
+        MetaQueryExecutor {
+            storage,
+            directory,
+            config,
+        }
+    }
+
+    fn visible(&self, viewer: UserId, record: &QueryRecord) -> bool {
+        record.is_live() && self.directory.can_see(viewer, record)
+    }
+
+    /// Keyword search over query text (TF-IDF ranked).
+    pub fn keyword(&self, viewer: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
+        self.storage
+            .text_index()
+            .search(query, k * 4)
+            .into_iter()
+            .filter_map(|h| {
+                let rec = self.storage.get(QueryId(h.doc)).ok()?;
+                self.visible(viewer, rec).then_some(ScoredHit {
+                    id: QueryId(h.doc),
+                    score: h.score,
+                })
+            })
+            .take(k)
+            .collect()
+    }
+
+    /// Substring search over query text.
+    pub fn substring(&self, viewer: UserId, needle: &str) -> Vec<QueryId> {
+        self.storage
+            .trigram_index()
+            .search(needle)
+            .into_iter()
+            .map(QueryId)
+            .filter(|id| {
+                self.storage
+                    .get(*id)
+                    .map(|r| self.visible(viewer, r))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Query-by-feature: run a SQL meta-query over the Figure 1 relations.
+    ///
+    /// Relation/attribute names are stored canonically lower-cased; string
+    /// literals compared against the `relName`/`attrName` columns are folded
+    /// to match, so the paper's Figure 1 example runs verbatim.
+    pub fn by_feature_sql(
+        &mut self,
+        viewer: UserId,
+        sql: &str,
+    ) -> Result<relstore::QueryResult, CqmsError> {
+        let mut stmt = sqlparse::parse(sql)?;
+        if let Statement::Select(s) = &mut stmt {
+            fold_name_literals(s);
+        }
+        let mut result = self.storage.meta_engine().execute_statement(&stmt)?;
+        // ACL: when the result exposes a qid column, filter hidden queries.
+        if let Some(qid_col) = result
+            .columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case("qid"))
+        {
+            let rows = std::mem::take(&mut result.rows);
+            result.rows = rows
+                .into_iter()
+                .filter(|row| {
+                    row[qid_col]
+                        .as_i64()
+                        .and_then(|id| self.storage.get(QueryId(id as u64)).ok())
+                        .map(|r| self.visible(viewer, r))
+                        .unwrap_or(false)
+                })
+                .collect();
+            result.metrics.cardinality = result.rows.len() as u64;
+        }
+        Ok(result)
+    }
+
+    /// §2.2: "the CQMS could automatically generate these statements from
+    /// partially written queries". Builds the Figure 1-style meta-query for
+    /// a partial query like `SELECT FROM WaterSalinity, WaterTemperature`.
+    pub fn generate_feature_query(&self, partial_sql: &str) -> Result<String, CqmsError> {
+        let stmt = sqlparse::parse(partial_sql)?;
+        let feats = crate::features::extract(&stmt, None);
+        let mut from = vec!["Queries Q".to_string()];
+        let mut conds: Vec<String> = Vec::new();
+        for (i, t) in feats.tables.iter().enumerate() {
+            let alias = format!("D{}", i + 1);
+            from.push(format!("DataSources {alias}"));
+            conds.push(format!("Q.qid = {alias}.qid"));
+            conds.push(format!("{alias}.relName = '{t}'"));
+        }
+        for (i, (t, a)) in feats.attributes.iter().enumerate() {
+            let alias = format!("A{}", i + 1);
+            from.push(format!("Attributes {alias}"));
+            conds.push(format!("Q.qid = {alias}.qid"));
+            conds.push(format!("{alias}.attrName = '{a}'"));
+            if !t.is_empty() {
+                conds.push(format!("{alias}.relName = '{t}'"));
+            }
+        }
+        let mut sql = format!("SELECT Q.qid, Q.qText FROM {}", from.join(", "));
+        if !conds.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&conds.join(" AND "));
+        }
+        Ok(sql)
+    }
+
+    /// Query-by-parse-tree: structural pattern matching over stored ASTs.
+    pub fn by_parse_tree(&self, viewer: UserId, pattern: &TreePattern) -> Vec<QueryId> {
+        self.storage
+            .iter_live()
+            .filter(|r| self.visible(viewer, r) && pattern.matches(r))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Query-by-data (§2.2): find queries whose output includes all
+    /// `include` values and excludes all `exclude` values.
+    ///
+    /// Matching runs against stored output summaries. Queries whose summary
+    /// is a *sample* can only ever confirm inclusion; exclusion is trusted
+    /// only for exhaustive (Full) summaries unless `engine` is provided for
+    /// re-execution of sampled candidates.
+    pub fn by_data(
+        &self,
+        viewer: UserId,
+        include: &[&str],
+        exclude: &[&str],
+        mut engine: Option<&mut relstore::Engine>,
+    ) -> Vec<QueryId> {
+        let mut out = Vec::new();
+        for r in self.storage.iter_live() {
+            if !self.visible(viewer, r) {
+                continue;
+            }
+            match &r.summary {
+                crate::model::OutputSummary::None => continue,
+                s if s.is_exhaustive() => {
+                    let inc_ok = include.iter().all(|v| s.contains_value(v));
+                    let exc_ok = exclude.iter().all(|v| !s.contains_value(v));
+                    if inc_ok && exc_ok {
+                        out.push(r.id);
+                    }
+                }
+                s => {
+                    // Sampled summary: cheap screen, then optionally re-run.
+                    if exclude.iter().any(|v| s.contains_value(v)) {
+                        continue;
+                    }
+                    match engine.as_deref_mut() {
+                        None => {
+                            // Trust the sample for inclusion when everything
+                            // requested is present.
+                            if include.iter().all(|v| s.contains_value(v)) {
+                                out.push(r.id);
+                            }
+                        }
+                        Some(en) => {
+                            if let Ok(res) = en.execute(&r.raw_sql) {
+                                let cells: Vec<String> = res
+                                    .rows
+                                    .iter()
+                                    .flat_map(|row| row.iter().map(|v| v.render()))
+                                    .collect();
+                                let has = |needle: &str| {
+                                    cells.iter().any(|c| c.eq_ignore_ascii_case(needle))
+                                };
+                                if include.iter().all(|v| has(v))
+                                    && exclude.iter().all(|v| !has(v))
+                                {
+                                    out.push(r.id);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// kNN similarity meta-query (§4.2): the `k` nearest live, visible
+    /// queries to `target` under the given metric. Self-matches excluded.
+    pub fn knn(
+        &self,
+        viewer: UserId,
+        target: &QueryRecord,
+        k: usize,
+        metric: DistanceKind,
+    ) -> Vec<ScoredHit> {
+        let mut scored: Vec<ScoredHit> = self
+            .storage
+            .iter_live()
+            .filter(|r| r.id != target.id && self.visible(viewer, r))
+            .map(|r| ScoredHit {
+                id: r.id,
+                score: 1.0 - similarity::distance(target, r, metric, self.config),
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// kNN against ad-hoc SQL text that is not in the log (used while the
+    /// user is composing a query, §2.3).
+    pub fn knn_sql(
+        &self,
+        viewer: UserId,
+        sql: &str,
+        k: usize,
+        metric: DistanceKind,
+    ) -> Result<Vec<ScoredHit>, CqmsError> {
+        let stmt = sqlparse::parse(sql)?;
+        let feats = crate::features::extract(&stmt, None);
+        let probe = crate::storage::make_record(
+            QueryId(u64::MAX),
+            viewer,
+            0,
+            sql,
+            Some(stmt),
+            feats,
+            Default::default(),
+            crate::model::OutputSummary::None,
+            crate::model::SessionId(u64::MAX),
+            crate::model::Visibility::Private,
+        );
+        Ok(self.knn(viewer, &probe, k, metric))
+    }
+}
+
+/// Fold string literals compared against name-carrying feature columns
+/// (`relName`, `attrName`) to lower case, so meta-queries match the
+/// canonical stored form regardless of the case the user typed.
+fn fold_name_literals(s: &mut SelectStatement) {
+    fn name_col(e: &Expr) -> bool {
+        matches!(e, Expr::Column(c)
+            if c.name.eq_ignore_ascii_case("relname") || c.name.eq_ignore_ascii_case("attrname"))
+    }
+    fn walk(e: &mut Expr) {
+        match e {
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                if name_col(left) {
+                    if let Expr::Literal(Literal::Str(v)) = &mut **right {
+                        *v = v.to_ascii_lowercase();
+                    }
+                }
+                if name_col(right) {
+                    if let Expr::Literal(Literal::Str(v)) = &mut **left {
+                        *v = v.to_ascii_lowercase();
+                    }
+                }
+                walk(left);
+                walk(right);
+            }
+            Expr::Binary { left, right, .. } => {
+                walk(left);
+                walk(right);
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => walk(expr),
+            Expr::InList { expr, list, .. } => {
+                if name_col(expr) {
+                    for item in list.iter_mut() {
+                        if let Expr::Literal(Literal::Str(v)) = item {
+                            *v = v.to_ascii_lowercase();
+                        }
+                    }
+                }
+                walk(expr);
+            }
+            Expr::InSubquery { expr, subquery, .. } => {
+                walk(expr);
+                fold_name_literals(subquery);
+            }
+            Expr::Exists { subquery, .. } => fold_name_literals(subquery),
+            Expr::ScalarSubquery(sub) => fold_name_literals(sub),
+            _ => {}
+        }
+    }
+    if let Some(w) = &mut s.where_clause {
+        walk(w);
+    }
+    if let Some(h) = &mut s.having {
+        walk(h);
+    }
+}
+
+/// The verbatim Figure 1 meta-query from the paper.
+pub const FIGURE1_META_QUERY: &str = "SELECT Q.qid, Q.qText \
+FROM Queries Q, Attributes A1, Attributes A2 \
+WHERE Q.qid = A1.qid AND Q.qid = A2.qid \
+AND A1.attrName = 'salinity' \
+AND A1.relName = 'WaterSalinity' \
+AND A2.attrName = 'temp' \
+AND A2.relName = 'WaterTemp'";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admin::Directory;
+    use crate::features::extract;
+    use crate::model::*;
+    use crate::storage::make_record;
+
+    fn add(storage: &mut QueryStorage, id: u64, user: u32, sql: &str, vis: Visibility) {
+        let stmt = sqlparse::parse(sql).ok();
+        let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+        storage.insert(make_record(
+            QueryId(id),
+            UserId(user),
+            100 + id,
+            sql,
+            stmt,
+            feats,
+            RuntimeFeatures {
+                success: true,
+                ..Default::default()
+            },
+            OutputSummary::None,
+            SessionId(id),
+            vis,
+        ));
+    }
+
+    fn setup() -> (QueryStorage, Directory, CqmsConfig) {
+        let mut st = QueryStorage::new();
+        add(
+            &mut st,
+            0,
+            1,
+            "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T \
+             WHERE S.loc_x = T.loc_x AND S.salinity > 0.2 AND T.temp < 18",
+            Visibility::Public,
+        );
+        add(
+            &mut st,
+            1,
+            1,
+            "SELECT * FROM WaterTemp WHERE temp < 22",
+            Visibility::Public,
+        );
+        add(
+            &mut st,
+            2,
+            2,
+            "SELECT city FROM CityLocations WHERE pop > 100000",
+            Visibility::Public,
+        );
+        add(
+            &mut st,
+            3,
+            2,
+            "SELECT secret FROM PrivateStuff",
+            Visibility::Private,
+        );
+        (st, Directory::new(), CqmsConfig::default())
+    }
+
+    #[test]
+    fn figure1_meta_query_runs_verbatim() {
+        let (mut st, dir, cfg) = setup();
+        let mut mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let r = mq.by_feature_sql(UserId(1), FIGURE1_META_QUERY).unwrap();
+        // Only query 0 correlates salinity with temp.
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0].render(), "0");
+        assert!(r.rows[0][1].render().contains("WaterSalinity"));
+    }
+
+    #[test]
+    fn keyword_and_substring_search() {
+        let (mut st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let hits = mq.keyword(UserId(1), "salinity", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, QueryId(0));
+        let subs = mq.substring(UserId(1), "temp < 22");
+        assert_eq!(subs, vec![QueryId(1)]);
+    }
+
+    #[test]
+    fn acl_hides_private_queries() {
+        let (mut st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        // Owner sees it.
+        assert_eq!(mq.substring(UserId(2), "PrivateStuff").len(), 1);
+        // Others don't.
+        assert!(mq.substring(UserId(1), "PrivateStuff").is_empty());
+        let hits = mq.keyword(UserId(1), "secret", 10);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn acl_filters_feature_sql_by_qid() {
+        let (mut st, dir, cfg) = setup();
+        let mut mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let all = mq
+            .by_feature_sql(UserId(2), "SELECT qid FROM Queries")
+            .unwrap();
+        assert_eq!(all.rows.len(), 4);
+        let filtered = mq
+            .by_feature_sql(UserId(1), "SELECT qid FROM Queries")
+            .unwrap();
+        assert_eq!(filtered.rows.len(), 3);
+    }
+
+    #[test]
+    fn generated_feature_query_finds_matches() {
+        let (mut st, dir, cfg) = setup();
+        let mut mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        // The paper's partial query example (§2.2).
+        let sql = mq
+            .generate_feature_query("SELECT FROM WaterSalinity, WaterTemp")
+            .unwrap();
+        assert!(sql.contains("DataSources"));
+        let r = mq.by_feature_sql(UserId(1), &sql).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0].render(), "0");
+    }
+
+    #[test]
+    fn parse_tree_patterns() {
+        let (mut st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        // All queries touching WaterTemp.
+        let p = TreePattern {
+            tables_all: vec!["watertemp".into()],
+            ..Default::default()
+        };
+        assert_eq!(mq.by_parse_tree(UserId(1), &p).len(), 2);
+        // Predicate on watertemp.temp with `<`.
+        let p = TreePattern {
+            predicate_on: Some(("watertemp".into(), "temp".into(), Some("<".into()))),
+            ..Default::default()
+        };
+        assert_eq!(mq.by_parse_tree(UserId(1), &p).len(), 2);
+        // Joins of at least two tables.
+        let p = TreePattern {
+            min_tables: Some(2),
+            ..Default::default()
+        };
+        assert_eq!(mq.by_parse_tree(UserId(1), &p), vec![QueryId(0)]);
+        // Projection requirement: `SELECT *` projects everything, so the
+        // wildcard query matches alongside the explicit `SELECT city`.
+        let p = TreePattern {
+            projects: vec!["city".into()],
+            ..Default::default()
+        };
+        assert_eq!(
+            mq.by_parse_tree(UserId(1), &p),
+            vec![QueryId(1), QueryId(2)]
+        );
+    }
+
+    #[test]
+    fn by_data_lake_washington_scenario() {
+        // The §2.2 example: "all queries whose output includes Lake
+        // Washington but not Lake Union … all matching queries specify
+        // temp < 18".
+        let mut st = QueryStorage::new();
+        let mk_summary = |rows: Vec<&str>| OutputSummary::Full {
+            columns: vec!["lake".into()],
+            rows: rows.into_iter().map(|l| vec![l.to_string()]).collect(),
+        };
+        let mut add_with = |id: u64, sql: &str, rows: Vec<&str>| {
+            let stmt = sqlparse::parse(sql).ok();
+            let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+            let mut rec = make_record(
+                QueryId(id),
+                UserId(1),
+                100,
+                sql,
+                stmt,
+                feats,
+                RuntimeFeatures {
+                    success: true,
+                    ..Default::default()
+                },
+                OutputSummary::None,
+                SessionId(id),
+                Visibility::Public,
+            );
+            rec.summary = mk_summary(rows);
+            st.insert(rec);
+        };
+        add_with(
+            0,
+            "SELECT lake FROM WaterTemp WHERE temp < 18",
+            vec!["Lake Washington", "Lake Sammamish"],
+        );
+        add_with(
+            1,
+            "SELECT lake FROM WaterTemp WHERE temp < 25",
+            vec!["Lake Washington", "Lake Union"],
+        );
+        add_with(2, "SELECT lake FROM WaterTemp WHERE temp > 20", vec!["Lake Union"]);
+        let dir = Directory::new();
+        let cfg = CqmsConfig::default();
+        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let hits = mq.by_data(UserId(1), &["Lake Washington"], &["Lake Union"], None);
+        assert_eq!(hits, vec![QueryId(0)]);
+        // And indeed that query specifies temp < 18.
+        assert!(st.get(QueryId(0)).unwrap().raw_sql.contains("temp < 18"));
+    }
+
+    #[test]
+    fn knn_orders_by_similarity() {
+        let (mut st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let hits = mq
+            .knn_sql(
+                UserId(1),
+                "SELECT * FROM WaterTemp WHERE temp < 20",
+                2,
+                DistanceKind::Combined,
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+        // The single-table WaterTemp query is nearer than the join.
+        assert_eq!(hits[0].id, QueryId(1));
+        assert!(hits[0].score > hits[1].score);
+    }
+}

@@ -1,0 +1,375 @@
+//! Association-rule mining over query feature itemsets (§4.3).
+//!
+//! "By learning association rules, a CQMS could provide more advanced
+//! support for query composition" — the §2.3 example being *WaterSalinity ⇒
+//! WaterTemp*. Transactions are per-query item sets from
+//! [`crate::features::SyntacticFeatures::items`] (`table:…`, `attr:…`,
+//! `pred:…`). Classic Apriori with support counting and single-consequent
+//! rule generation; incremental maintenance via monotone transaction
+//! appends.
+
+use std::collections::{HashMap, HashSet};
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssocRule {
+    /// Sorted item set (size 1–2 in practice).
+    pub antecedent: Vec<String>,
+    pub consequent: String,
+    /// Fraction of transactions containing antecedent ∪ consequent.
+    pub support: f64,
+    /// support(antecedent ∪ consequent) / support(antecedent).
+    pub confidence: f64,
+}
+
+impl AssocRule {
+    /// Does `items` (sorted or not) satisfy the antecedent?
+    pub fn applies_to(&self, items: &HashSet<String>) -> bool {
+        self.antecedent.iter().all(|a| items.contains(a))
+    }
+}
+
+/// Incremental Apriori miner. Transactions are appended over time; mining
+/// re-runs over all accumulated transactions (cheap at CQMS scales — the
+/// incremental piece is that accumulated counts are reused between epochs
+/// when no new transactions arrived).
+#[derive(Debug, Default)]
+pub struct RuleMiner {
+    transactions: Vec<Vec<String>>,
+    /// Cache: number of transactions at last mine + its result.
+    cache: Option<(usize, u32, u64, Vec<AssocRule>)>,
+}
+
+impl RuleMiner {
+    pub fn new() -> Self {
+        RuleMiner::default()
+    }
+
+    pub fn transaction_count(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Append one transaction (deduplicated, sorted internally).
+    pub fn add_transaction(&mut self, mut items: Vec<String>) {
+        items.sort();
+        items.dedup();
+        self.transactions.push(items);
+    }
+
+    /// Mine rules at the given thresholds. `min_support` is an absolute
+    /// transaction count; confidence is a fraction.
+    pub fn mine(&mut self, min_support: u32, min_confidence: f64) -> Vec<AssocRule> {
+        let conf_key = (min_confidence * 1_000_000.0) as u64;
+        if let Some((n, ms, conf, rules)) = &self.cache {
+            if *n == self.transactions.len() && *ms == min_support && *conf == conf_key {
+                return rules.clone();
+            }
+        }
+        let rules = mine_apriori(&self.transactions, min_support, min_confidence);
+        self.cache = Some((
+            self.transactions.len(),
+            min_support,
+            conf_key,
+            rules.clone(),
+        ));
+        rules
+    }
+
+    /// Confidence-ranked consequents applicable in `context` (used by the
+    /// completion engine). Already-present items are not suggested.
+    pub fn suggest(
+        &mut self,
+        context: &HashSet<String>,
+        min_support: u32,
+        min_confidence: f64,
+        prefix: &str,
+    ) -> Vec<(String, f64)> {
+        let rules = self.mine(min_support, min_confidence);
+        let mut best: HashMap<String, f64> = HashMap::new();
+        for r in &rules {
+            if !r.applies_to(context) || context.contains(&r.consequent) {
+                continue;
+            }
+            if !r.consequent.starts_with(prefix) {
+                continue;
+            }
+            let score = best.entry(r.consequent.clone()).or_insert(0.0);
+            // Prefer more specific (longer antecedent) matches at equal
+            // confidence by a small epsilon bonus.
+            let s = r.confidence + r.antecedent.len() as f64 * 1e-6;
+            if s > *score {
+                *score = s;
+            }
+        }
+        let mut out: Vec<(String, f64)> = best.into_iter().collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+/// Run Apriori: frequent itemsets up to size 3, rules with single
+/// consequents and antecedents of size 1–2.
+pub fn mine_apriori(
+    transactions: &[Vec<String>],
+    min_support: u32,
+    min_confidence: f64,
+) -> Vec<AssocRule> {
+    let n = transactions.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Pass 1: frequent single items.
+    let mut c1: HashMap<&str, u32> = HashMap::new();
+    for t in transactions {
+        for item in t {
+            *c1.entry(item.as_str()).or_insert(0) += 1;
+        }
+    }
+    let f1: HashSet<&str> = c1
+        .iter()
+        .filter(|(_, &c)| c >= min_support)
+        .map(|(&i, _)| i)
+        .collect();
+
+    // Pass 2: frequent pairs (candidates from f1 × f1).
+    let mut c2: HashMap<(&str, &str), u32> = HashMap::new();
+    for t in transactions {
+        let frequent: Vec<&str> = t
+            .iter()
+            .map(String::as_str)
+            .filter(|i| f1.contains(i))
+            .collect();
+        for i in 0..frequent.len() {
+            for j in (i + 1)..frequent.len() {
+                *c2.entry((frequent[i], frequent[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    let f2: HashMap<(&str, &str), u32> = c2
+        .into_iter()
+        .filter(|(_, c)| *c >= min_support)
+        .collect();
+
+    // Pass 3: frequent triples (candidates joined from f2, pruned).
+    let mut c3: HashMap<(&str, &str, &str), u32> = HashMap::new();
+    for t in transactions {
+        let frequent: Vec<&str> = t
+            .iter()
+            .map(String::as_str)
+            .filter(|i| f1.contains(i))
+            .collect();
+        for i in 0..frequent.len() {
+            for j in (i + 1)..frequent.len() {
+                if !f2.contains_key(&(frequent[i], frequent[j])) {
+                    continue;
+                }
+                for l in (j + 1)..frequent.len() {
+                    if f2.contains_key(&(frequent[j], frequent[l]))
+                        && f2.contains_key(&(frequent[i], frequent[l]))
+                    {
+                        *c3.entry((frequent[i], frequent[j], frequent[l])).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    let f3: HashMap<(&str, &str, &str), u32> = c3
+        .into_iter()
+        .filter(|(_, c)| *c >= min_support)
+        .collect();
+
+    let nf = n as f64;
+    let mut rules: Vec<AssocRule> = Vec::new();
+
+    // Rules from pairs: {a} ⇒ b and {b} ⇒ a.
+    for (&(a, b), &cnt) in &f2 {
+        let support = cnt as f64 / nf;
+        for (ante, cons) in [(a, b), (b, a)] {
+            let ante_cnt = c1[ante] as f64;
+            let confidence = cnt as f64 / ante_cnt;
+            if confidence >= min_confidence {
+                rules.push(AssocRule {
+                    antecedent: vec![ante.to_string()],
+                    consequent: cons.to_string(),
+                    support,
+                    confidence,
+                });
+            }
+        }
+    }
+
+    // Rules from triples: {a, b} ⇒ c (all three rotations).
+    for (&(a, b, c), &cnt) in &f3 {
+        let support = cnt as f64 / nf;
+        let pair_count = |x: &str, y: &str| -> f64 {
+            let key = if x < y { (x, y) } else { (y, x) };
+            f2.get(&key).copied().unwrap_or(0) as f64
+        };
+        for (x, y, z) in [(a, b, c), (a, c, b), (b, c, a)] {
+            let ante_cnt = pair_count(x, y);
+            if ante_cnt == 0.0 {
+                continue;
+            }
+            let confidence = cnt as f64 / ante_cnt;
+            if confidence >= min_confidence {
+                let mut antecedent = vec![x.to_string(), y.to_string()];
+                antecedent.sort();
+                rules.push(AssocRule {
+                    antecedent,
+                    consequent: z.to_string(),
+                    support,
+                    confidence,
+                });
+            }
+        }
+    }
+
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                b.support
+                    .partial_cmp(&a.support)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn finds_planted_pair_rule() {
+        let mut m = RuleMiner::new();
+        // 8 of 10 salinity queries also use watertemp.
+        for _ in 0..8 {
+            m.add_transaction(t(&["table:watersalinity", "table:watertemp"]));
+        }
+        for _ in 0..2 {
+            m.add_transaction(t(&["table:watersalinity"]));
+        }
+        for _ in 0..5 {
+            m.add_transaction(t(&["table:citylocations"]));
+        }
+        let rules = m.mine(3, 0.5);
+        let rule = rules
+            .iter()
+            .find(|r| {
+                r.antecedent == vec!["table:watersalinity".to_string()]
+                    && r.consequent == "table:watertemp"
+            })
+            .expect("planted rule not found");
+        assert!((rule.confidence - 0.8).abs() < 1e-9);
+        assert!((rule.support - 8.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_min_support_and_confidence() {
+        let mut m = RuleMiner::new();
+        for _ in 0..2 {
+            m.add_transaction(t(&["a", "b"]));
+        }
+        // Support 2 < min 3 → nothing.
+        assert!(m.mine(3, 0.1).is_empty());
+        // Confidence filter.
+        let mut m = RuleMiner::new();
+        for _ in 0..5 {
+            m.add_transaction(t(&["a", "b"]));
+        }
+        for _ in 0..5 {
+            m.add_transaction(t(&["a"]));
+        }
+        let rules = m.mine(3, 0.9);
+        // a ⇒ b has confidence 0.5 (dropped); b ⇒ a has 1.0 (kept).
+        assert!(rules
+            .iter()
+            .all(|r| !(r.antecedent == vec!["a".to_string()] && r.consequent == "b")));
+        assert!(rules
+            .iter()
+            .any(|r| r.antecedent == vec!["b".to_string()] && r.consequent == "a"));
+    }
+
+    #[test]
+    fn triple_rules_capture_context() {
+        let mut m = RuleMiner::new();
+        // With {a, b} together, c always follows; with a alone, d follows.
+        for _ in 0..6 {
+            m.add_transaction(t(&["a", "b", "c"]));
+        }
+        for _ in 0..6 {
+            m.add_transaction(t(&["a", "d"]));
+        }
+        let rules = m.mine(3, 0.9);
+        let pair_rule = rules
+            .iter()
+            .find(|r| r.antecedent.len() == 2 && r.consequent == "c")
+            .expect("no {a,b} => c rule");
+        assert_eq!(pair_rule.antecedent, vec!["a".to_string(), "b".to_string()]);
+        assert!((pair_rule.confidence - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suggest_is_context_aware() {
+        // The paper's §2.3 example: plain FROM suggests CityLocations (most
+        // popular overall), but with WaterSalinity present, WaterTemp wins.
+        let mut m = RuleMiner::new();
+        for _ in 0..10 {
+            m.add_transaction(t(&["table:citylocations"]));
+        }
+        for _ in 0..6 {
+            m.add_transaction(t(&["table:watersalinity", "table:watertemp"]));
+        }
+        for _ in 0..2 {
+            m.add_transaction(t(&["table:watersalinity", "table:citylocations"]));
+        }
+        let ctx: HashSet<String> = ["table:watersalinity".to_string()].into_iter().collect();
+        let suggestions = m.suggest(&ctx, 2, 0.1, "table:");
+        assert!(!suggestions.is_empty());
+        assert_eq!(suggestions[0].0, "table:watertemp", "{suggestions:?}");
+    }
+
+    #[test]
+    fn suggest_filters_present_items() {
+        let mut m = RuleMiner::new();
+        for _ in 0..5 {
+            m.add_transaction(t(&["a", "b"]));
+        }
+        let ctx: HashSet<String> = ["a".to_string(), "b".to_string()].into_iter().collect();
+        assert!(m.suggest(&ctx, 2, 0.5, "").is_empty());
+    }
+
+    #[test]
+    fn cache_reused_until_new_transactions() {
+        let mut m = RuleMiner::new();
+        for _ in 0..5 {
+            m.add_transaction(t(&["a", "b"]));
+        }
+        let r1 = m.mine(2, 0.5);
+        let r2 = m.mine(2, 0.5);
+        assert_eq!(r1, r2);
+        m.add_transaction(t(&["a", "c"]));
+        let r3 = m.mine(2, 0.5);
+        // New data may change supports.
+        assert!(r3.iter().any(|r| r.consequent == "b"));
+    }
+
+    #[test]
+    fn empty_miner_yields_nothing() {
+        let mut m = RuleMiner::new();
+        assert!(m.mine(1, 0.1).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Query clustering (§4.3) with k-medoids, plus external quality metrics.
+//!
+//! "By clustering queries, a CQMS can … provide better query recommendations
+//! and similarity searching." k-medoids is chosen over k-means because the
+//! only structure available is a pairwise distance (no vector-space mean of
+//! parse trees exists). Deterministic: seeded farthest-first initialisation
+//! plus bounded swap iterations.
+
+use std::collections::HashMap;
+
+/// A clustering of n items into k clusters.
+#[derive(Debug, Clone)]
+pub struct ClusteringResult {
+    /// `assignment[i]` = cluster index of item i.
+    pub assignment: Vec<usize>,
+    /// Item index of each cluster's medoid.
+    pub medoids: Vec<usize>,
+    /// Sum of distances of items to their medoid.
+    pub cost: f64,
+    pub iterations: usize,
+}
+
+/// k-medoids over a symmetric distance matrix (dense, row-major `n × n`).
+pub fn kmedoids(dist: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> ClusteringResult {
+    let n = dist.len();
+    if n == 0 || k == 0 {
+        return ClusteringResult {
+            assignment: Vec::new(),
+            medoids: Vec::new(),
+            cost: 0.0,
+            iterations: 0,
+        };
+    }
+    let k = k.min(n);
+
+    // Farthest-first init from a seeded start point.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    medoids.push((seed as usize) % n);
+    while medoids.len() < k {
+        let far = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let da = medoids.iter().map(|&m| dist[a][m]).fold(f64::MAX, f64::min);
+                let db = medoids.iter().map(|&m| dist[b][m]).fold(f64::MAX, f64::min);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0);
+        medoids.push(far);
+    }
+
+    let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut assignment = vec![0usize; n];
+        let mut cost = 0.0;
+        for i in 0..n {
+            let (ci, d) = medoids
+                .iter()
+                .enumerate()
+                .map(|(ci, &m)| (ci, dist[i][m]))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .unwrap();
+            assignment[i] = ci;
+            cost += d;
+        }
+        (assignment, cost)
+    };
+
+    let (mut assignment, mut cost) = assign(&medoids);
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let mut improved = false;
+        // For each cluster, try moving the medoid to the member minimising
+        // intra-cluster distance (the "alternate" k-medoids step).
+        for c in 0..medoids.len() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let da: f64 = members.iter().map(|&m| dist[a][m]).sum();
+                    let db: f64 = members.iter().map(|&m| dist[b][m]).sum();
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            if best != medoids[c] {
+                medoids[c] = best;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+        let (a, co) = assign(&medoids);
+        assignment = a;
+        cost = co;
+    }
+
+    ClusteringResult {
+        assignment,
+        medoids,
+        cost,
+        iterations,
+    }
+}
+
+/// Cluster whole *sessions* (§4.3: "if the CQMS clusters entire query
+/// sessions, it can provide better services"). Each session is represented
+/// by the union of its queries' feature items; the distance is Jaccard.
+/// Returns the session ids in matrix order plus the clustering.
+pub fn cluster_sessions(
+    storage: &crate::storage::QueryStorage,
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> (Vec<crate::model::SessionId>, ClusteringResult) {
+    use std::collections::HashSet;
+    let sessions = storage.session_ids();
+    let item_sets: Vec<HashSet<String>> = sessions
+        .iter()
+        .map(|s| {
+            storage
+                .queries_in_session(*s)
+                .iter()
+                .filter_map(|id| storage.get(*id).ok())
+                .flat_map(|r| r.features.items())
+                .collect()
+        })
+        .collect();
+    let n = sessions.len();
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = &item_sets[i];
+            let b = &item_sets[j];
+            let d = if a.is_empty() && b.is_empty() {
+                0.0
+            } else {
+                let inter = a.intersection(b).count() as f64;
+                let union = (a.len() + b.len()) as f64 - inter;
+                1.0 - inter / union
+            };
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    let clustering = kmedoids(&dist, k, max_iters, seed);
+    (sessions, clustering)
+}
+
+/// Cluster purity against ground-truth labels: fraction of items whose
+/// cluster's majority label matches their own.
+pub fn purity(assignment: &[usize], truth: &[u64]) -> f64 {
+    assert_eq!(assignment.len(), truth.len());
+    if assignment.is_empty() {
+        return 1.0;
+    }
+    let mut per_cluster: HashMap<usize, HashMap<u64, usize>> = HashMap::new();
+    for (&c, &t) in assignment.iter().zip(truth) {
+        *per_cluster.entry(c).or_default().entry(t).or_insert(0) += 1;
+    }
+    let correct: usize = per_cluster
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    correct as f64 / assignment.len() as f64
+}
+
+/// Adjusted Rand Index between a clustering and ground-truth labels.
+pub fn adjusted_rand_index(assignment: &[usize], truth: &[u64]) -> f64 {
+    assert_eq!(assignment.len(), truth.len());
+    let n = assignment.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut contingency: HashMap<(usize, u64), u64> = HashMap::new();
+    let mut a_sizes: HashMap<usize, u64> = HashMap::new();
+    let mut b_sizes: HashMap<u64, u64> = HashMap::new();
+    for (&a, &b) in assignment.iter().zip(truth) {
+        *contingency.entry((a, b)).or_insert(0) += 1;
+        *a_sizes.entry(a).or_insert(0) += 1;
+        *b_sizes.entry(b).or_insert(0) += 1;
+    }
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let sum_ij: f64 = contingency.values().map(|&v| choose2(v)).sum();
+    let sum_a: f64 = a_sizes.values().map(|&v| choose2(v)).sum();
+    let sum_b: f64 = b_sizes.values().map(|&v| choose2(v)).sum();
+    let total = choose2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs on a line.
+    fn blob_distances() -> (Vec<Vec<f64>>, Vec<u64>) {
+        let points: Vec<f64> = vec![0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let n = points.len();
+        let mut dist = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                dist[i][j] = (points[i] - points[j]).abs();
+            }
+        }
+        (dist, truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (dist, truth) = blob_distances();
+        let r = kmedoids(&dist, 2, 20, 3);
+        assert_eq!(purity(&r.assignment, &truth), 1.0);
+        assert!((adjusted_rand_index(&r.assignment, &truth) - 1.0).abs() < 1e-9);
+        // All of blob A together, all of blob B together.
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (dist, _) = blob_distances();
+        let a = kmedoids(&dist, 2, 20, 7);
+        let b = kmedoids(&dist, 2, 20, 7);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.medoids, b.medoids);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let (dist, _) = blob_distances();
+        let r = kmedoids(&dist, 100, 5, 0);
+        assert_eq!(r.medoids.len(), 6);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = kmedoids(&[], 3, 5, 0);
+        assert!(r.assignment.is_empty());
+        assert_eq!(purity(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn ari_is_low_for_random_labels() {
+        // Alternating assignment against blob truth.
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let ari = adjusted_rand_index(&bad, &truth);
+        assert!(ari < 0.2, "{ari}");
+        let p = purity(&bad, &truth);
+        assert!(p < 0.9);
+    }
+
+    #[test]
+    fn cost_decreases_with_more_clusters() {
+        let (dist, _) = blob_distances();
+        let c1 = kmedoids(&dist, 1, 20, 0).cost;
+        let c2 = kmedoids(&dist, 2, 20, 0).cost;
+        assert!(c2 < c1);
+    }
+}

@@ -1,0 +1,23 @@
+//! The Query Miner (Figure 4, §4.3): background analysis of the query log.
+//!
+//! * [`sessions`] — offline session segmentation + quality metrics;
+//! * [`cluster`] — k-medoids query/session clustering with purity and
+//!   adjusted-Rand-index scoring against planted truth;
+//! * [`assoc`] — Apriori association-rule mining over query feature
+//!   itemsets (powers context-aware completion, §2.3);
+//! * [`editpatterns`] — frequent edit-sequence mining over session edges;
+//! * [`tutorial`] — automatic tutorial generation (§2.3: "introduce each
+//!   relation … by showing the user the most popular queries that include
+//!   the relation").
+
+pub mod assoc;
+pub mod cluster;
+pub mod editpatterns;
+pub mod sessions;
+pub mod tutorial;
+
+pub use assoc::{AssocRule, RuleMiner};
+pub use cluster::{adjusted_rand_index, kmedoids, purity, ClusteringResult};
+pub use editpatterns::EditPatternMiner;
+pub use sessions::{segment_log, SegmentationQuality};
+pub use tutorial::generate_tutorial;

@@ -1,0 +1,664 @@
+//! The CQMS server façade (Figure 4): client-facing API over the Query
+//! Profiler, Query Storage, Meta-query Executor, Query Miner and Query
+//! Maintenance, wired to one embedded DBMS.
+//!
+//! The two *online* components (Profiler, Meta-query Executor) run on the
+//! caller's thread. The two *background* components (Miner, Maintenance) run
+//! either synchronously via [`Cqms::run_miner_epoch`] /
+//! [`Cqms::run_maintenance`] or on a background thread via
+//! [`spawn_background_miner`].
+
+use crate::admin::Directory;
+use crate::assist::completion::{CompletionEngine, Suggestion};
+use crate::assist::correction::{Correction, CorrectionEngine, RepairSuggestion};
+use crate::assist::recommend::{recommend_panel, PanelRow};
+use crate::config::CqmsConfig;
+use crate::error::CqmsError;
+use crate::maintenance::{self, MaintenanceReport, RefreshReport};
+use crate::metaquery::{MetaQueryExecutor, ScoredHit, TreePattern};
+use crate::miner::assoc::{AssocRule, RuleMiner};
+use crate::miner::cluster::{self, ClusteringResult};
+use crate::miner::editpatterns::EditPatternMiner;
+use crate::miner::sessions;
+use crate::model::*;
+use crate::profiler::{ProfiledQuery, Profiler};
+use crate::similarity::DistanceKind;
+use crate::storage::QueryStorage;
+use crate::viz;
+use parking_lot::RwLock;
+use relstore::{Engine, TableStats};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Summary of one Query Miner epoch (§4.3).
+#[derive(Debug, Clone, Default)]
+pub struct MinerReport {
+    pub association_rules: usize,
+    pub clusters: usize,
+    pub clustering_cost: f64,
+    pub sessions_refined: usize,
+    pub edit_edges_mined: usize,
+}
+
+/// The Collaborative Query Management System.
+pub struct Cqms {
+    pub config: CqmsConfig,
+    /// The underlying DBMS holding the *data* (Fig. 4 bottom box).
+    pub data: Engine,
+    /// The Query Storage (Fig. 4 centre box).
+    pub storage: QueryStorage,
+    pub directory: Directory,
+    profiler: Profiler,
+    rules: RuleMiner,
+    /// Latest mined state consumed by the assisted mode.
+    last_rules: Vec<AssocRule>,
+    last_clustering: Option<(Vec<QueryId>, ClusteringResult)>,
+    baseline_stats: HashMap<String, TableStats>,
+    /// Internal trace clock (seconds); advances when callers do not supply
+    /// explicit timestamps.
+    clock: u64,
+}
+
+impl Cqms {
+    /// Wrap an existing data engine in a CQMS.
+    pub fn new(data: Engine, config: CqmsConfig) -> Self {
+        Cqms {
+            config,
+            data,
+            storage: QueryStorage::new(),
+            directory: Directory::new(),
+            profiler: Profiler::new(),
+            rules: RuleMiner::new(),
+            last_rules: Vec::new(),
+            last_clustering: None,
+            baseline_stats: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traditional Interaction Mode (§2.1)
+    // ------------------------------------------------------------------
+
+    /// Execute a query on behalf of `user` at the internal clock, which
+    /// advances by 30 seconds per call (tests and examples that care about
+    /// session boundaries use [`Cqms::run_query_at`]).
+    pub fn run_query(&mut self, user: UserId, sql: &str) -> Result<ProfiledQuery, CqmsError> {
+        self.clock += 30;
+        let ts = self.clock;
+        self.run_query_at(user, sql, ts)
+    }
+
+    /// Execute a query at an explicit trace time (seconds).
+    pub fn run_query_at(
+        &mut self,
+        user: UserId,
+        sql: &str,
+        ts: u64,
+    ) -> Result<ProfiledQuery, CqmsError> {
+        self.clock = self.clock.max(ts);
+        let visibility = self.default_visibility(user);
+        let out = self.profiler.profile(
+            &self.config,
+            &mut self.storage,
+            &mut self.data,
+            user,
+            visibility,
+            sql,
+            ts,
+        )?;
+        // Feed the miner's transaction log.
+        if let Ok(rec) = self.storage.get(out.id) {
+            let items = rec.features.items();
+            if !items.is_empty() {
+                self.rules.add_transaction(items);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Default visibility for a user's queries: their first group when they
+    /// belong to one, otherwise public (a lab-wide deployment default).
+    fn default_visibility(&self, user: UserId) -> Visibility {
+        match self.directory.user(user) {
+            Some(info) => match info.groups.first() {
+                Some(g) => Visibility::Group(*g),
+                None => Visibility::Public,
+            },
+            None => Visibility::Public,
+        }
+    }
+
+    /// Annotate a query (whole or fragment, §2.1). Any user who can see the
+    /// query may annotate it (collaborative documentation).
+    pub fn annotate(
+        &mut self,
+        actor: UserId,
+        id: QueryId,
+        text: &str,
+        fragment: Option<&str>,
+    ) -> Result<(), CqmsError> {
+        let visible = {
+            let rec = self.storage.get(id)?;
+            self.directory.can_see(actor, rec)
+        };
+        if !visible {
+            return Err(CqmsError::NotAuthorized {
+                user: actor.0,
+                what: format!("query {id}"),
+            });
+        }
+        let at = self.clock;
+        self.storage.annotate(
+            id,
+            Annotation {
+                author: actor,
+                at,
+                text: text.to_string(),
+                fragment: fragment.map(String::from),
+            },
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Search & Browse Interaction Mode (§2.2)
+    // ------------------------------------------------------------------
+
+    pub fn search_keyword(&mut self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
+        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+            .keyword(user, query, k)
+    }
+
+    pub fn search_substring(&mut self, user: UserId, needle: &str) -> Vec<QueryId> {
+        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+            .substring(user, needle)
+    }
+
+    /// Run a SQL meta-query over the Figure 1 feature relations.
+    pub fn search_feature_sql(
+        &mut self,
+        user: UserId,
+        sql: &str,
+    ) -> Result<relstore::QueryResult, CqmsError> {
+        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+            .by_feature_sql(user, sql)
+    }
+
+    /// §2.2: generate the feature meta-query for a partially typed query.
+    pub fn generate_feature_query(&mut self, partial_sql: &str) -> Result<String, CqmsError> {
+        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+            .generate_feature_query(partial_sql)
+    }
+
+    pub fn search_parse_tree(&mut self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
+        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+            .by_parse_tree(user, pattern)
+    }
+
+    /// Query-by-data with optional re-execution of sampled candidates.
+    pub fn search_by_data(
+        &mut self,
+        user: UserId,
+        include: &[&str],
+        exclude: &[&str],
+        reexecute: bool,
+    ) -> Vec<QueryId> {
+        let Cqms {
+            storage,
+            directory,
+            config,
+            data,
+            ..
+        } = self;
+        let mq = MetaQueryExecutor::new(storage, directory, config);
+        let engine = if reexecute { Some(&mut *data) } else { None };
+        mq.by_data(user, include, exclude, engine)
+    }
+
+    /// kNN similar queries to arbitrary SQL text.
+    pub fn similar_queries(
+        &mut self,
+        user: UserId,
+        sql: &str,
+        k: usize,
+        metric: DistanceKind,
+    ) -> Result<Vec<ScoredHit>, CqmsError> {
+        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+            .knn_sql(user, sql, k, metric)
+    }
+
+    /// Figure 2 session window.
+    pub fn render_session(&self, session: SessionId) -> Result<String, CqmsError> {
+        viz::render_session(&self.storage, session)
+    }
+
+    /// Browse view over the whole log.
+    pub fn render_log_summary(&self, max_sessions: usize) -> String {
+        viz::render_log_summary(&self.storage, max_sessions)
+    }
+
+    // ------------------------------------------------------------------
+    // Assisted Interaction Mode (§2.3)
+    // ------------------------------------------------------------------
+
+    /// Completions for partial SQL (Fig. 3 dropdown).
+    pub fn complete(&mut self, _user: UserId, partial_sql: &str, k: usize) -> Vec<Suggestion> {
+        let Cqms {
+            storage,
+            rules,
+            config,
+            data,
+            ..
+        } = self;
+        CompletionEngine::new(storage, rules, config, data).suggest(partial_sql, k)
+    }
+
+    /// Identifier spell-check (Fig. 3 "Corrections").
+    pub fn check_identifiers(&mut self, sql: &str) -> Vec<Correction> {
+        CorrectionEngine::new(&self.storage).check_identifiers(&self.data, sql)
+    }
+
+    /// Empty-result repair suggestions.
+    pub fn repair_empty_result(&mut self, sql: &str, k: usize) -> Vec<RepairSuggestion> {
+        let Cqms { storage, data, .. } = self;
+        CorrectionEngine::new(storage).repair_empty_result(data, sql, k)
+    }
+
+    /// The Figure 3 "Similar Queries" panel for a query being composed.
+    pub fn recommend(
+        &mut self,
+        user: UserId,
+        seed_sql: &str,
+        k: usize,
+    ) -> Result<Vec<PanelRow>, CqmsError> {
+        recommend_panel(
+            &mut self.storage,
+            &self.directory,
+            &self.config,
+            user,
+            seed_sql,
+            k,
+        )
+    }
+
+    /// Render a recommendation panel as text (Fig. 3).
+    pub fn render_recommendations(
+        &mut self,
+        user: UserId,
+        seed_sql: &str,
+        k: usize,
+    ) -> Result<String, CqmsError> {
+        Ok(viz::render_panel(&self.recommend(user, seed_sql, k)?))
+    }
+
+    /// Auto-generated dataset tutorial (§2.3).
+    pub fn tutorial(&self, queries_per_relation: usize) -> String {
+        crate::miner::tutorial::generate_tutorial(&self.storage, &self.data, queries_per_relation)
+    }
+
+    // ------------------------------------------------------------------
+    // Query Miner (§4.3)
+    // ------------------------------------------------------------------
+
+    /// Run one miner epoch: refresh association rules, re-cluster the log,
+    /// refine session boundaries, mine edit patterns.
+    pub fn run_miner_epoch(&mut self) -> MinerReport {
+        let mut report = MinerReport::default();
+
+        // Association rules.
+        self.last_rules = self
+            .rules
+            .mine(self.config.assoc_min_support, self.config.assoc_min_confidence);
+        report.association_rules = self.last_rules.len();
+
+        // Clustering over live queries.
+        let ids: Vec<QueryId> = self.storage.iter_live().map(|r| r.id).collect();
+        if ids.len() >= 4 {
+            let records: Vec<&QueryRecord> =
+                ids.iter().map(|id| self.storage.get(*id).unwrap()).collect();
+            let n = records.len();
+            let mut dist = vec![vec![0.0f64; n]; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = crate::similarity::distance(
+                        records[i],
+                        records[j],
+                        DistanceKind::Features,
+                        &self.config,
+                    );
+                    dist[i][j] = d;
+                    dist[j][i] = d;
+                }
+            }
+            let k = if self.config.cluster_k > 0 {
+                self.config.cluster_k
+            } else {
+                (((n as f64) / 2.0).sqrt().round() as usize).max(2)
+            };
+            let clustering =
+                cluster::kmedoids(&dist, k, self.config.cluster_max_iters, self.config.seed);
+            report.clusters = clustering.medoids.len();
+            report.clustering_cost = clustering.cost;
+            self.last_clustering = Some((ids, clustering));
+        }
+
+        // Offline session refinement.
+        let refined = sessions::segment_log(&self.storage, &self.config);
+        let changed = refined
+            .iter()
+            .filter(|(id, s)| {
+                self.storage
+                    .get(**id)
+                    .map(|r| r.session != **s)
+                    .unwrap_or(false)
+            })
+            .count();
+        if changed > 0 {
+            self.storage.adopt_sessions(&refined);
+        }
+        report.sessions_refined = changed;
+
+        // Edit patterns.
+        let patterns = EditPatternMiner::mine(&self.storage);
+        report.edit_edges_mined = patterns.edges_seen();
+
+        report
+    }
+
+    /// The latest mined association rules.
+    pub fn association_rules(&self) -> &[AssocRule] {
+        &self.last_rules
+    }
+
+    /// The latest clustering (query ids + assignment), if any.
+    pub fn clustering(&self) -> Option<&(Vec<QueryId>, ClusteringResult)> {
+        self.last_clustering.as_ref()
+    }
+
+    /// Cluster whole sessions (§4.3). `k = 0` picks √(n/2).
+    pub fn cluster_sessions(&self, k: usize) -> (Vec<SessionId>, ClusteringResult) {
+        let n = self.storage.session_ids().len();
+        let k = if k > 0 {
+            k
+        } else {
+            (((n as f64) / 2.0).sqrt().round() as usize).max(2)
+        };
+        cluster::cluster_sessions(&self.storage, k, self.config.cluster_max_iters, self.config.seed)
+    }
+
+    /// Record an *investigation* relation between two queries (§4.1: "the
+    /// latter query investigates why certain tuples are included in the
+    /// first query's output"). Both queries must be visible to `actor`.
+    pub fn mark_investigation(
+        &mut self,
+        actor: UserId,
+        from: QueryId,
+        to: QueryId,
+    ) -> Result<(), CqmsError> {
+        for id in [from, to] {
+            let rec = self.storage.get(id)?;
+            if !self.directory.can_see(actor, rec) {
+                return Err(CqmsError::NotAuthorized {
+                    user: actor.0,
+                    what: format!("query {id}"),
+                });
+            }
+        }
+        self.storage.add_edge(SessionEdge {
+            from,
+            to,
+            kind: EdgeKind::Investigation,
+            edits: Vec::new(),
+        });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Query Maintenance (§4.4)
+    // ------------------------------------------------------------------
+
+    /// Run a maintenance pass: schema scan + drift-triggered statistics
+    /// refresh + quality recomputation.
+    pub fn run_maintenance(&mut self) -> Result<(MaintenanceReport, RefreshReport), CqmsError> {
+        let schema_report = maintenance::scan_schema_changes(&mut self.storage, &self.data)?;
+        let refresh_report = maintenance::refresh_statistics(
+            &mut self.storage,
+            &mut self.data,
+            &mut self.baseline_stats,
+            &self.config,
+        )?;
+        maintenance::recompute_quality(&mut self.storage);
+        Ok((schema_report, refresh_report))
+    }
+
+    // ------------------------------------------------------------------
+    // Administrative Interaction Mode (§2.4)
+    // ------------------------------------------------------------------
+
+    pub fn register_user(&mut self, name: &str) -> UserId {
+        self.directory.create_user(name)
+    }
+
+    pub fn create_group(&mut self, name: &str) -> GroupId {
+        self.directory.create_group(name)
+    }
+
+    pub fn join_group(&mut self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
+        self.directory.join_group(user, group)
+    }
+
+    /// Change a query's visibility (owner or admin only).
+    pub fn set_visibility(
+        &mut self,
+        actor: UserId,
+        id: QueryId,
+        visibility: Visibility,
+    ) -> Result<(), CqmsError> {
+        let allowed = {
+            let rec = self.storage.get(id)?;
+            self.directory.can_modify(actor, rec)
+        };
+        if !allowed {
+            return Err(CqmsError::NotAuthorized {
+                user: actor.0,
+                what: format!("query {id}"),
+            });
+        }
+        self.storage.get_mut(id)?.visibility = visibility;
+        Ok(())
+    }
+
+    /// Delete (tombstone) a query (owner or admin only, §2.4).
+    pub fn delete_query(&mut self, actor: UserId, id: QueryId) -> Result<(), CqmsError> {
+        let allowed = {
+            let rec = self.storage.get(id)?;
+            self.directory.can_modify(actor, rec)
+        };
+        if !allowed {
+            return Err(CqmsError::NotAuthorized {
+                user: actor.0,
+                what: format!("query {id}"),
+            });
+        }
+        self.storage.delete(id)
+    }
+
+    /// Current trace time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+}
+
+/// Handle to a background miner thread (§3: "the Query Miner … runs in the
+/// background … periodically").
+pub struct BackgroundMiner {
+    stop_tx: crossbeam::channel::Sender<()>,
+    handle: Option<std::thread::JoinHandle<usize>>,
+}
+
+impl BackgroundMiner {
+    /// Stop the miner and return the number of epochs it completed.
+    pub fn stop(mut self) -> usize {
+        let _ = self.stop_tx.send(());
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+/// Spawn a miner thread that runs an epoch every `interval` until stopped.
+pub fn spawn_background_miner(cqms: Arc<RwLock<Cqms>>, interval: Duration) -> BackgroundMiner {
+    let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+    let handle = std::thread::spawn(move || {
+        let mut epochs = 0usize;
+        loop {
+            match stop_rx.recv_timeout(interval) {
+                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    cqms.write().run_miner_epoch();
+                    epochs += 1;
+                }
+            }
+        }
+        epochs
+    });
+    BackgroundMiner {
+        stop_tx,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Domain;
+
+    fn cqms() -> Cqms {
+        let mut engine = Engine::new();
+        Domain::Lakes.setup(&mut engine, 80, 2);
+        Cqms::new(engine, CqmsConfig::default())
+    }
+
+    #[test]
+    fn end_to_end_traditional_mode() {
+        let mut c = cqms();
+        let alice = c.register_user("alice");
+        let out = c
+            .run_query(alice, "SELECT lake, temp FROM WaterTemp WHERE temp < 18")
+            .unwrap();
+        assert!(out.result.is_some());
+        assert_eq!(c.storage.live_count(), 1);
+        // Searching finds it.
+        let hits = c.search_keyword(alice, "temp", 5);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn group_visibility_end_to_end() {
+        let mut c = cqms();
+        let _root = c.register_user("root");
+        let alice = c.register_user("alice");
+        let bob = c.register_user("bob");
+        let carol = c.register_user("carol");
+        let lab = c.create_group("lab");
+        c.join_group(alice, lab).unwrap();
+        c.join_group(bob, lab).unwrap();
+        // Alice's queries default to her group.
+        let out = c
+            .run_query(alice, "SELECT * FROM WaterSalinity WHERE salinity > 0.3")
+            .unwrap();
+        assert_eq!(
+            c.storage.get(out.id).unwrap().visibility,
+            Visibility::Group(lab)
+        );
+        assert_eq!(c.search_substring(bob, "salinity").len(), 1);
+        assert!(c.search_substring(carol, "salinity").is_empty());
+        // Carol can't annotate or delete it either.
+        assert!(c.annotate(carol, out.id, "sneaky", None).is_err());
+        assert!(c.delete_query(carol, out.id).is_err());
+        // Alice makes it public.
+        c.set_visibility(alice, out.id, Visibility::Public).unwrap();
+        assert_eq!(c.search_substring(carol, "salinity").len(), 1);
+    }
+
+    #[test]
+    fn miner_epoch_produces_rules_and_clusters() {
+        let mut c = cqms();
+        let u = c.register_user("u");
+        for i in 0..8 {
+            c.run_query(
+                u,
+                &format!(
+                    "SELECT * FROM WaterSalinity S, WaterTemp T \
+                     WHERE S.loc_x = T.loc_x AND T.temp < {}",
+                    10 + i
+                ),
+            )
+            .unwrap();
+        }
+        for i in 0..6 {
+            c.run_query(u, &format!("SELECT city FROM CityLocations WHERE pop > {i}"))
+                .unwrap();
+        }
+        let report = c.run_miner_epoch();
+        assert!(report.association_rules > 0);
+        assert!(report.clusters >= 2);
+        assert!(report.edit_edges_mined > 0);
+        // The planted-style rule is discoverable.
+        assert!(c
+            .association_rules()
+            .iter()
+            .any(|r| r.consequent == "table:watertemp"));
+    }
+
+    #[test]
+    fn maintenance_pass_repairs_and_scores() {
+        let mut c = cqms();
+        let u = c.register_user("u");
+        let out = c
+            .run_query(u, "SELECT temp FROM WaterTemp WHERE temp < 18")
+            .unwrap();
+        c.data
+            .execute("ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature")
+            .unwrap();
+        let (schema, _refresh) = c.run_maintenance().unwrap();
+        assert_eq!(schema.repaired, vec![out.id]);
+        let rec = c.storage.get(out.id).unwrap();
+        assert!(rec.raw_sql.contains("temperature"));
+        assert!(rec.quality > 0.0);
+    }
+
+    #[test]
+    fn background_miner_runs_epochs() {
+        let c = Arc::new(RwLock::new(cqms()));
+        {
+            let mut guard = c.write();
+            let u = guard.register_user("u");
+            for i in 0..5 {
+                guard
+                    .run_query(u, &format!("SELECT * FROM WaterTemp WHERE temp < {i}"))
+                    .unwrap();
+            }
+        }
+        let miner = spawn_background_miner(c.clone(), Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(60));
+        let epochs = miner.stop();
+        assert!(epochs >= 1, "no epochs ran");
+        // State was actually mined.
+        assert!(c.read().storage.live_count() == 5);
+    }
+
+    #[test]
+    fn internal_clock_monotonic() {
+        let mut c = cqms();
+        let u = c.register_user("u");
+        c.run_query(u, "SELECT * FROM Lakes").unwrap();
+        let t1 = c.now();
+        c.run_query_at(u, "SELECT * FROM Lakes", t1 + 1000).unwrap();
+        assert_eq!(c.now(), t1 + 1000);
+        c.run_query(u, "SELECT * FROM Lakes").unwrap();
+        assert!(c.now() > t1 + 1000);
+    }
+}

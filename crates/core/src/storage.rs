@@ -1,0 +1,826 @@
+//! The Query Storage (Figure 4): records, feature relations, text indexes,
+//! session graph, annotations, popularity — plus snapshot/restore.
+//!
+//! Queries are stored redundantly in three coordinated representations,
+//! exactly the §4.1 "data model" discussion:
+//!
+//! * **raw text** indexed for keyword ([`textindex::InvertedIndex`]) and
+//!   substring ([`textindex::TrigramIndex`]) meta-queries;
+//! * **feature relations** (`Queries`, `DataSources`, `Attributes`,
+//!   `Predicates`, `QueryMeta`) inside an embedded `relstore` engine, the
+//!   target of SQL meta-queries (Figure 1);
+//! * **typed records** ([`QueryRecord`]) carrying the parse tree, runtime
+//!   features, output summary, annotations, ACLs and maintenance state.
+
+use crate::error::CqmsError;
+use crate::features::{self, SyntacticFeatures};
+use crate::model::*;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use textindex::{InvertedIndex, TrigramIndex};
+
+/// The CQMS query store.
+pub struct QueryStorage {
+    records: Vec<QueryRecord>,
+    /// Embedded engine holding the Figure 1 feature relations.
+    meta: relstore::Engine,
+    text: InvertedIndex,
+    trigram: TrigramIndex,
+    edges: Vec<SessionEdge>,
+    sessions: HashMap<SessionId, Vec<QueryId>>,
+    /// Popularity: template fingerprint → number of live queries.
+    template_counts: HashMap<u64, u32>,
+    next_session: u64,
+}
+
+impl Default for QueryStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryStorage {
+    pub fn new() -> Self {
+        let mut meta = relstore::Engine::new();
+        features::create_feature_relations(&mut meta);
+        QueryStorage {
+            records: Vec::new(),
+            meta,
+            text: InvertedIndex::new(),
+            trigram: TrigramIndex::new(),
+            edges: Vec::new(),
+            sessions: HashMap::new(),
+            template_counts: HashMap::new(),
+            next_session: 0,
+        }
+    }
+
+    /// Number of logged queries (including tombstoned ones).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of live (visible, usable) queries.
+    pub fn live_count(&self) -> usize {
+        self.records.iter().filter(|r| r.is_live()).count()
+    }
+
+    /// Allocate a fresh session id.
+    pub fn new_session(&mut self) -> SessionId {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        id
+    }
+
+    /// Insert a fully-built record (the Profiler constructs records; tests
+    /// may too). The record's `id` must equal `self.len()`.
+    pub fn insert(&mut self, record: QueryRecord) -> QueryId {
+        assert_eq!(
+            record.id.0 as usize,
+            self.records.len(),
+            "QueryStorage ids are dense"
+        );
+        let id = record.id;
+        self.text.add(id.0, &record.raw_sql);
+        self.trigram.add(id.0, &record.raw_sql);
+        features::insert_features(
+            &mut self.meta,
+            &features::FeatureRowMeta {
+                qid: id.0,
+                author: record.user.0,
+                ts: record.ts,
+                session: record.session.0,
+                elapsed_us: record.runtime.elapsed_us,
+                cardinality: record.runtime.cardinality,
+                success: record.runtime.success,
+            },
+            &record.raw_sql,
+            &record.features,
+        );
+        *self.template_counts.entry(record.template_fp).or_insert(0) += 1;
+        self.sessions.entry(record.session).or_default().push(id);
+        if record.session.0 >= self.next_session {
+            self.next_session = record.session.0 + 1;
+        }
+        self.records.push(record);
+        id
+    }
+
+    pub fn get(&self, id: QueryId) -> Result<&QueryRecord, CqmsError> {
+        self.records
+            .get(id.0 as usize)
+            .ok_or_else(|| CqmsError::NotFound(format!("query {id}")))
+    }
+
+    pub fn get_mut(&mut self, id: QueryId) -> Result<&mut QueryRecord, CqmsError> {
+        self.records
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| CqmsError::NotFound(format!("query {id}")))
+    }
+
+    /// All records (including tombstones — callers filter with
+    /// [`QueryRecord::is_live`]).
+    pub fn iter(&self) -> impl Iterator<Item = &QueryRecord> {
+        self.records.iter()
+    }
+
+    /// Live records only.
+    pub fn iter_live(&self) -> impl Iterator<Item = &QueryRecord> {
+        self.records.iter().filter(|r| r.is_live())
+    }
+
+    /// The embedded feature-relation engine (Meta-query Executor entry).
+    pub fn meta_engine(&mut self) -> &mut relstore::Engine {
+        &mut self.meta
+    }
+
+    /// Keyword index.
+    pub fn text_index(&self) -> &InvertedIndex {
+        &self.text
+    }
+
+    /// Substring index.
+    pub fn trigram_index(&self) -> &TrigramIndex {
+        &self.trigram
+    }
+
+    /// Popularity of a template (count of live queries sharing it).
+    pub fn popularity(&self, template_fp: u64) -> u32 {
+        self.template_counts.get(&template_fp).copied().unwrap_or(0)
+    }
+
+    /// Highest template popularity (for score normalisation).
+    pub fn max_popularity(&self) -> u32 {
+        self.template_counts.values().copied().max().unwrap_or(1)
+    }
+
+    /// Record a session-graph edge.
+    pub fn add_edge(&mut self, edge: SessionEdge) {
+        self.edges.push(edge);
+    }
+
+    pub fn edges(&self) -> &[SessionEdge] {
+        &self.edges
+    }
+
+    /// Edges within one session, in insertion order.
+    pub fn session_edges(&self, session: SessionId) -> Vec<&SessionEdge> {
+        let members = self.queries_in_session(session);
+        self.edges
+            .iter()
+            .filter(|e| members.contains(&e.from) && members.contains(&e.to))
+            .collect()
+    }
+
+    /// Queries of a session in insertion order.
+    pub fn queries_in_session(&self, session: SessionId) -> Vec<QueryId> {
+        self.sessions.get(&session).cloned().unwrap_or_default()
+    }
+
+    /// All session ids with at least one query.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self.sessions.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The most recent query of `user`, if any.
+    pub fn last_query_of(&self, user: UserId) -> Option<&QueryRecord> {
+        self.records.iter().rev().find(|r| r.user == user)
+    }
+
+    /// Attach an annotation (§2.1).
+    pub fn annotate(
+        &mut self,
+        id: QueryId,
+        annotation: Annotation,
+    ) -> Result<(), CqmsError> {
+        self.get_mut(id)?.annotations.push(annotation);
+        Ok(())
+    }
+
+    /// Tombstone a query: drop it from every index and the feature
+    /// relations; the record itself remains for audit (§2.4 delete).
+    pub fn delete(&mut self, id: QueryId) -> Result<(), CqmsError> {
+        let tfp = {
+            let r = self.get_mut(id)?;
+            let tfp = r.template_fp;
+            r.validity = Validity::Deleted;
+            tfp
+        };
+        self.text.remove(id.0);
+        self.trigram.remove(id.0);
+        features::delete_features(&mut self.meta, id.0);
+        if let Some(c) = self.template_counts.get_mut(&tfp) {
+            *c = c.saturating_sub(1);
+        }
+        Ok(())
+    }
+
+    /// Re-index a record whose SQL was rewritten (maintenance repair).
+    pub fn reindex(&mut self, id: QueryId) -> Result<(), CqmsError> {
+        let (sql, meta_row, feats) = {
+            let r = self.get(id)?;
+            (
+                r.raw_sql.clone(),
+                features::FeatureRowMeta {
+                    qid: id.0,
+                    author: r.user.0,
+                    ts: r.ts,
+                    session: r.session.0,
+                    elapsed_us: r.runtime.elapsed_us,
+                    cardinality: r.runtime.cardinality,
+                    success: r.runtime.success,
+                },
+                r.features.clone(),
+            )
+        };
+        self.text.add(id.0, &sql);
+        self.trigram.add(id.0, &sql);
+        features::delete_features(&mut self.meta, id.0);
+        features::insert_features(&mut self.meta, &meta_row, &sql, &feats);
+        Ok(())
+    }
+
+    /// Adopt a refined session assignment from the Query Miner (§4.3: the
+    /// miner periodically recomputes sessions offline). Rewrites record
+    /// session ids, the session map and the `QueryMeta` feature relation.
+    pub fn adopt_sessions(&mut self, assignment: &HashMap<QueryId, SessionId>) {
+        self.sessions.clear();
+        let mut max_session = 0u64;
+        for r in &mut self.records {
+            if let Some(&s) = assignment.get(&r.id) {
+                r.session = s;
+            }
+            self.sessions.entry(r.session).or_default().push(r.id);
+            max_session = max_session.max(r.session.0);
+        }
+        self.next_session = max_session + 1;
+        // Refresh QueryMeta.sessionId (one UPDATE per record keeps the
+        // feature relations the single SQL-visible source of truth).
+        for (id, session) in self
+            .records
+            .iter()
+            .map(|r| (r.id.0, r.session.0))
+            .collect::<Vec<_>>()
+        {
+            let _ = self.meta.execute(&format!(
+                "UPDATE QueryMeta SET sessionId = {session} WHERE qid = {id}"
+            ));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Persist the storage as a TSV-ish text snapshot. Indexes and feature
+    /// relations are derived state and get rebuilt on load.
+    pub fn snapshot(&self, mut out: impl Write) -> Result<(), CqmsError> {
+        let w = &mut out;
+        writeln!(w, "cqms-snapshot v1").map_err(io_err)?;
+        writeln!(w, "[records]").map_err(io_err)?;
+        for r in &self.records {
+            let validity = match &r.validity {
+                Validity::Valid => "valid".to_string(),
+                Validity::Flagged { reason, at } => format!("flagged\u{1}{}\u{1}{at}", esc(reason)),
+                Validity::Repaired { original_sql, at } => {
+                    format!("repaired\u{1}{}\u{1}{at}", esc(original_sql))
+                }
+                Validity::Obsolete { reason, at } => {
+                    format!("obsolete\u{1}{}\u{1}{at}", esc(reason))
+                }
+                Validity::Deleted => "deleted".to_string(),
+            };
+            let visibility = match r.visibility {
+                Visibility::Private => "private".to_string(),
+                Visibility::Group(g) => format!("group:{}", g.0),
+                Visibility::Public => "public".to_string(),
+            };
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                r.id.0,
+                r.user.0,
+                r.ts,
+                r.session.0,
+                esc(&r.raw_sql),
+                visibility,
+                validity,
+                r.runtime.elapsed_us,
+                r.runtime.cardinality,
+                if r.runtime.success { 1 } else { 0 },
+                r.quality,
+            )
+            .map_err(io_err)?;
+        }
+        writeln!(w, "[annotations]").map_err(io_err)?;
+        for r in &self.records {
+            for a in &r.annotations {
+                writeln!(
+                    w,
+                    "{}\t{}\t{}\t{}\t{}",
+                    r.id.0,
+                    a.author.0,
+                    a.at,
+                    esc(&a.text),
+                    a.fragment.as_deref().map(esc).unwrap_or_default(),
+                )
+                .map_err(io_err)?;
+            }
+        }
+        writeln!(w, "[edges]").map_err(io_err)?;
+        for e in &self.edges {
+            let kind = match e.kind {
+                EdgeKind::Evolution => "evolution",
+                EdgeKind::Investigation => "investigation",
+            };
+            let labels: Vec<String> = e.edits.iter().map(|op| esc(&op.label())).collect();
+            writeln!(w, "{}\t{}\t{}\t{}", e.from.0, e.to.0, kind, labels.join("\u{1}"))
+                .map_err(io_err)?;
+        }
+        Ok(())
+    }
+
+    /// Restore from a snapshot produced by [`QueryStorage::snapshot`].
+    ///
+    /// Statements are re-parsed and features re-extracted; the text indexes
+    /// and feature relations are rebuilt. Output summaries are *not*
+    /// persisted (they are statistics, re-creatable by maintenance refresh).
+    pub fn load(reader: impl BufRead) -> Result<QueryStorage, CqmsError> {
+        let mut storage = QueryStorage::new();
+        #[derive(PartialEq)]
+        enum Section {
+            Header,
+            Records,
+            Annotations,
+            Edges,
+        }
+        let mut section = Section::Header;
+        for line in reader.lines() {
+            let line = line.map_err(io_err)?;
+            if line.is_empty() {
+                continue;
+            }
+            match line.as_str() {
+                "cqms-snapshot v1" => continue,
+                "[records]" => {
+                    section = Section::Records;
+                    continue;
+                }
+                "[annotations]" => {
+                    section = Section::Annotations;
+                    continue;
+                }
+                "[edges]" => {
+                    section = Section::Edges;
+                    continue;
+                }
+                _ => {}
+            }
+            match section {
+                Section::Header => {
+                    return Err(CqmsError::Snapshot(format!("unexpected line: {line}")))
+                }
+                Section::Records => {
+                    let f: Vec<&str> = line.split('\t').collect();
+                    if f.len() != 11 {
+                        return Err(CqmsError::Snapshot(format!(
+                            "bad record line ({} fields)",
+                            f.len()
+                        )));
+                    }
+                    let raw_sql = unesc(f[4]);
+                    let statement = sqlparse::parse(&raw_sql).ok();
+                    let (canonical_sql, sfp, tfp, feats) = match &statement {
+                        Some(stmt) => (
+                            sqlparse::to_sql(&sqlparse::canonicalize(stmt)),
+                            sqlparse::structure_fingerprint(stmt),
+                            sqlparse::template_fingerprint(stmt),
+                            features::extract(stmt, None),
+                        ),
+                        None => (raw_sql.clone(), 0, 0, SyntacticFeatures::default()),
+                    };
+                    let visibility = match f[5] {
+                        "private" => Visibility::Private,
+                        "public" => Visibility::Public,
+                        g => {
+                            let gid = g
+                                .strip_prefix("group:")
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| {
+                                    CqmsError::Snapshot(format!("bad visibility `{g}`"))
+                                })?;
+                            Visibility::Group(GroupId(gid))
+                        }
+                    };
+                    let vparts: Vec<&str> = f[6].split('\u{1}').collect();
+                    let validity = match vparts[0] {
+                        "valid" => Validity::Valid,
+                        "deleted" => Validity::Deleted,
+                        "flagged" => Validity::Flagged {
+                            reason: unesc(vparts.get(1).unwrap_or(&"")),
+                            at: vparts.get(2).and_then(|s| s.parse().ok()).unwrap_or(0),
+                        },
+                        "repaired" => Validity::Repaired {
+                            original_sql: unesc(vparts.get(1).unwrap_or(&"")),
+                            at: vparts.get(2).and_then(|s| s.parse().ok()).unwrap_or(0),
+                        },
+                        "obsolete" => Validity::Obsolete {
+                            reason: unesc(vparts.get(1).unwrap_or(&"")),
+                            at: vparts.get(2).and_then(|s| s.parse().ok()).unwrap_or(0),
+                        },
+                        other => {
+                            return Err(CqmsError::Snapshot(format!("bad validity `{other}`")))
+                        }
+                    };
+                    let record = QueryRecord {
+                        id: QueryId(parse_field(f[0])?),
+                        user: UserId(parse_field(f[1])?),
+                        ts: parse_field(f[2])?,
+                        session: SessionId(parse_field(f[3])?),
+                        raw_sql,
+                        statement,
+                        canonical_sql,
+                        structure_fp: sfp,
+                        template_fp: tfp,
+                        features: feats,
+                        runtime: RuntimeFeatures {
+                            elapsed_us: parse_field(f[7])?,
+                            cardinality: parse_field(f[8])?,
+                            success: f[9] == "1",
+                            ..Default::default()
+                        },
+                        summary: OutputSummary::None,
+                        visibility,
+                        annotations: Vec::new(),
+                        validity: validity.clone(),
+                        quality: f[10]
+                            .parse()
+                            .map_err(|_| CqmsError::Snapshot("bad quality".into()))?,
+                    };
+                    let deleted = validity == Validity::Deleted;
+                    let id = storage.insert(record);
+                    if deleted {
+                        // insert() indexed it; remove again to restore the
+                        // tombstone state.
+                        storage.delete(id)?;
+                    }
+                }
+                Section::Annotations => {
+                    let f: Vec<&str> = line.split('\t').collect();
+                    if f.len() != 5 {
+                        return Err(CqmsError::Snapshot("bad annotation line".into()));
+                    }
+                    let id = QueryId(parse_field(f[0])?);
+                    let fragment = if f[4].is_empty() {
+                        None
+                    } else {
+                        Some(unesc(f[4]))
+                    };
+                    storage.annotate(
+                        id,
+                        Annotation {
+                            author: UserId(parse_field(f[1])?),
+                            at: parse_field(f[2])?,
+                            text: unesc(f[3]),
+                            fragment,
+                        },
+                    )?;
+                }
+                Section::Edges => {
+                    let f: Vec<&str> = line.split('\t').collect();
+                    if f.len() != 4 {
+                        return Err(CqmsError::Snapshot("bad edge line".into()));
+                    }
+                    // Edge labels are display artifacts; recompute real edits
+                    // from the statements when both parse.
+                    let from = QueryId(parse_field(f[0])?);
+                    let to = QueryId(parse_field(f[1])?);
+                    let kind = match f[2] {
+                        "investigation" => EdgeKind::Investigation,
+                        _ => EdgeKind::Evolution,
+                    };
+                    let edits = match (
+                        storage.get(from).ok().and_then(|r| r.statement.clone()),
+                        storage.get(to).ok().and_then(|r| r.statement.clone()),
+                    ) {
+                        (Some(a), Some(b)) => sqlparse::diff_statements(&a, &b),
+                        _ => Vec::new(),
+                    };
+                    storage.add_edge(SessionEdge {
+                        from,
+                        to,
+                        kind,
+                        edits,
+                    });
+                }
+            }
+        }
+        Ok(storage)
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(s: &str) -> Result<T, CqmsError> {
+    s.parse()
+        .map_err(|_| CqmsError::Snapshot(format!("bad numeric field `{s}`")))
+}
+
+fn io_err(e: std::io::Error) -> CqmsError {
+    CqmsError::Snapshot(e.to_string())
+}
+
+/// Escape tabs/newlines/backslashes for the snapshot format.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\u{1}' => out.push_str("\\x01"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('x') => {
+                // \x01
+                chars.next();
+                chars.next();
+                out.push('\u{1}');
+            }
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Build a record from its parts — the Profiler's constructor, also used
+/// heavily by tests.
+#[allow(clippy::too_many_arguments)]
+pub fn make_record(
+    id: QueryId,
+    user: UserId,
+    ts: u64,
+    raw_sql: &str,
+    statement: Option<sqlparse::Statement>,
+    features: SyntacticFeatures,
+    runtime: RuntimeFeatures,
+    summary: OutputSummary,
+    session: SessionId,
+    visibility: Visibility,
+) -> QueryRecord {
+    let (canonical_sql, sfp, tfp) = match &statement {
+        Some(stmt) => (
+            sqlparse::to_sql(&sqlparse::canonicalize(stmt)),
+            sqlparse::structure_fingerprint(stmt),
+            sqlparse::template_fingerprint(stmt),
+        ),
+        None => (raw_sql.to_string(), 0, 0),
+    };
+    QueryRecord {
+        id,
+        user,
+        ts,
+        raw_sql: raw_sql.to_string(),
+        statement,
+        canonical_sql,
+        structure_fp: sfp,
+        template_fp: tfp,
+        features,
+        runtime,
+        summary,
+        session,
+        visibility,
+        annotations: Vec::new(),
+        validity: Validity::Valid,
+        quality: 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract;
+
+    fn record(id: u64, user: u32, ts: u64, sql: &str, session: u64) -> QueryRecord {
+        let stmt = sqlparse::parse(sql).ok();
+        let feats = stmt
+            .as_ref()
+            .map(|s| extract(s, None))
+            .unwrap_or_default();
+        make_record(
+            QueryId(id),
+            UserId(user),
+            ts,
+            sql,
+            stmt,
+            feats,
+            RuntimeFeatures {
+                elapsed_us: 1000,
+                cardinality: 5,
+                success: true,
+                ..Default::default()
+            },
+            OutputSummary::None,
+            SessionId(session),
+            Visibility::Public,
+        )
+    }
+
+    fn populated() -> QueryStorage {
+        let mut s = QueryStorage::new();
+        s.insert(record(0, 1, 10, "SELECT * FROM WaterTemp WHERE temp < 22", 0));
+        s.insert(record(1, 1, 40, "SELECT * FROM WaterTemp WHERE temp < 18", 0));
+        s.insert(record(
+            2,
+            2,
+            5000,
+            "SELECT * FROM WaterSalinity S, WaterTemp T WHERE S.loc_x = T.loc_x",
+            1,
+        ));
+        s
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let s = populated();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.live_count(), 3);
+        assert_eq!(s.get(QueryId(1)).unwrap().user, UserId(1));
+        assert!(s.get(QueryId(9)).is_err());
+    }
+
+    #[test]
+    fn feature_relations_queryable() {
+        let mut s = populated();
+        let r = s
+            .meta_engine()
+            .execute("SELECT qid FROM DataSources WHERE relName = 'watersalinity'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0].render(), "2");
+    }
+
+    #[test]
+    fn text_indexes_wired() {
+        let s = populated();
+        let hits = s.text_index().search("salinity", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 2);
+        assert_eq!(s.trigram_index().search("temp < 18"), vec![1]);
+    }
+
+    #[test]
+    fn popularity_counts_templates() {
+        let s = populated();
+        // Queries 0 and 1 share a template (differ only in the constant).
+        let fp = s.get(QueryId(0)).unwrap().template_fp;
+        assert_eq!(s.popularity(fp), 2);
+        assert_eq!(s.max_popularity(), 2);
+    }
+
+    #[test]
+    fn sessions_group_queries() {
+        let mut s = populated();
+        assert_eq!(
+            s.queries_in_session(SessionId(0)),
+            vec![QueryId(0), QueryId(1)]
+        );
+        let fresh = s.new_session();
+        assert_eq!(fresh, SessionId(2));
+    }
+
+    #[test]
+    fn delete_tombstones_everywhere() {
+        let mut s = populated();
+        let fp = s.get(QueryId(0)).unwrap().template_fp;
+        s.delete(QueryId(0)).unwrap();
+        assert_eq!(s.live_count(), 2);
+        assert!(!s.text_index().contains(0));
+        assert_eq!(s.popularity(fp), 1);
+        let r = s
+            .meta_engine()
+            .execute("SELECT * FROM Queries WHERE qid = 0")
+            .unwrap();
+        assert!(r.rows.is_empty());
+        // Record is retained for audit.
+        assert_eq!(s.get(QueryId(0)).unwrap().validity, Validity::Deleted);
+    }
+
+    #[test]
+    fn annotations_attach() {
+        let mut s = populated();
+        s.annotate(
+            QueryId(1),
+            Annotation {
+                author: UserId(1),
+                at: 50,
+                text: "final temperature threshold".into(),
+                fragment: Some("temp < 18".into()),
+            },
+        )
+        .unwrap();
+        assert_eq!(s.get(QueryId(1)).unwrap().annotations.len(), 1);
+    }
+
+    #[test]
+    fn edges_recorded_per_session() {
+        let mut s = populated();
+        let a = s.get(QueryId(0)).unwrap().statement.clone().unwrap();
+        let b = s.get(QueryId(1)).unwrap().statement.clone().unwrap();
+        let edits = sqlparse::diff_statements(&a, &b);
+        s.add_edge(SessionEdge {
+            from: QueryId(0),
+            to: QueryId(1),
+            kind: EdgeKind::Evolution,
+            edits,
+        });
+        let edges = s.session_edges(SessionId(0));
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].edits.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut s = populated();
+        s.annotate(
+            QueryId(2),
+            Annotation {
+                author: UserId(2),
+                at: 60,
+                text: "join\twith\ttabs and\nnewline".into(),
+                fragment: None,
+            },
+        )
+        .unwrap();
+        let a = s.get(QueryId(0)).unwrap().statement.clone().unwrap();
+        let b = s.get(QueryId(1)).unwrap().statement.clone().unwrap();
+        s.add_edge(SessionEdge {
+            from: QueryId(0),
+            to: QueryId(1),
+            kind: EdgeKind::Evolution,
+            edits: sqlparse::diff_statements(&a, &b),
+        });
+        s.delete(QueryId(0)).unwrap();
+
+        let mut buf = Vec::new();
+        s.snapshot(&mut buf).unwrap();
+        let restored = QueryStorage::load(&buf[..]).unwrap();
+
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.live_count(), 2);
+        assert_eq!(
+            restored.get(QueryId(2)).unwrap().annotations[0].text,
+            "join\twith\ttabs and\nnewline"
+        );
+        assert_eq!(restored.edges().len(), 1);
+        assert_eq!(restored.edges()[0].edits.len(), 1);
+        // Derived state rebuilt.
+        assert_eq!(restored.trigram_index().search("temp < 18"), vec![1]);
+        assert_eq!(
+            restored.get(QueryId(1)).unwrap().template_fp,
+            s.get(QueryId(1)).unwrap().template_fp
+        );
+        // Tombstone survives.
+        assert!(!restored.text_index().contains(0));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(QueryStorage::load("random garbage\n".as_bytes()).is_err());
+        assert!(QueryStorage::load(
+            "cqms-snapshot v1\n[records]\nnot\tenough\tfields\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn last_query_of_user() {
+        let s = populated();
+        assert_eq!(s.last_query_of(UserId(1)).unwrap().id, QueryId(1));
+        assert!(s.last_query_of(UserId(9)).is_none());
+    }
+}

@@ -1,0 +1,286 @@
+//! Property-based tests for the CQMS core: snapshot durability, metric
+//! axioms, Apriori correctness against brute force, and completion-prefix
+//! discipline, all over generator-driven inputs.
+
+use cqms_core::features::extract;
+use cqms_core::miner::assoc::mine_apriori;
+use cqms_core::model::*;
+use cqms_core::similarity::{self, DistanceKind};
+use cqms_core::storage::{make_record, QueryStorage};
+use cqms_core::CqmsConfig;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A small SQL generator over the lakes schema: always parseable.
+fn sql_strategy() -> impl Strategy<Value = String> {
+    let table = prop_oneof![
+        Just("WaterTemp"),
+        Just("WaterSalinity"),
+        Just("CityLocations"),
+        Just("Lakes"),
+    ];
+    let col = prop_oneof![
+        Just("temp"),
+        Just("salinity"),
+        Just("pop"),
+        Just("area"),
+        Just("month"),
+    ];
+    let op = prop_oneof![Just("<"), Just(">"), Just("="), Just("<=")];
+    (
+        table,
+        proptest::option::of((col, op, -50i64..50)),
+        proptest::option::of(0u64..100),
+    )
+        .prop_map(|(t, pred, limit)| {
+            let mut sql = format!("SELECT * FROM {t}");
+            if let Some((c, o, k)) = pred {
+                sql.push_str(&format!(" WHERE {c} {o} {k}"));
+            }
+            if let Some(l) = limit {
+                sql.push_str(&format!(" LIMIT {l}"));
+            }
+            sql
+        })
+}
+
+fn annotation_strategy() -> impl Strategy<Value = String> {
+    // Includes the characters the snapshot format must escape.
+    "[a-zA-Z0-9 \t\n\\\\'\"%_-]{0,40}"
+}
+
+fn record_strategy(id: u64) -> impl Strategy<Value = QueryRecord> {
+    (
+        sql_strategy(),
+        0u32..4,
+        0u64..100_000,
+        0u64..20,
+        prop_oneof![
+            Just(Visibility::Public),
+            Just(Visibility::Private),
+            (0u32..3).prop_map(|g| Visibility::Group(GroupId(g))),
+        ],
+        proptest::collection::vec(annotation_strategy(), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(move |(sql, user, ts, session, vis, notes, success)| {
+            let stmt = sqlparse::parse(&sql).ok();
+            let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+            let mut rec = make_record(
+                QueryId(id),
+                UserId(user),
+                ts,
+                &sql,
+                stmt,
+                feats,
+                RuntimeFeatures {
+                    elapsed_us: ts % 10_000,
+                    cardinality: ts % 97,
+                    success,
+                    ..Default::default()
+                },
+                OutputSummary::None,
+                SessionId(session),
+                vis,
+            );
+            rec.annotations = notes
+                .into_iter()
+                .map(|text| Annotation {
+                    author: UserId(user),
+                    at: ts,
+                    text,
+                    fragment: None,
+                })
+                .collect();
+            rec
+        })
+}
+
+fn records_strategy() -> impl Strategy<Value = Vec<QueryRecord>> {
+    proptest::collection::vec(0u64..1, 1..12).prop_flat_map(|seeds| {
+        let n = seeds.len();
+        let recs: Vec<_> = (0..n as u64).map(record_strategy).collect();
+        recs
+    })
+}
+
+fn build_storage(records: Vec<QueryRecord>) -> QueryStorage {
+    let mut st = QueryStorage::new();
+    for (i, mut r) in records.into_iter().enumerate() {
+        r.id = QueryId(i as u64);
+        st.insert(r);
+    }
+    st
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshot → load preserves every persisted field and the derived
+    /// search structures.
+    #[test]
+    fn snapshot_roundtrip(records in records_strategy()) {
+        let st = build_storage(records);
+        let mut buf = Vec::new();
+        st.snapshot(&mut buf).unwrap();
+        let restored = QueryStorage::load(&buf[..]).unwrap();
+        prop_assert_eq!(restored.len(), st.len());
+        prop_assert_eq!(restored.live_count(), st.live_count());
+        for r in st.iter() {
+            let q = restored.get(r.id).unwrap();
+            prop_assert_eq!(&q.raw_sql, &r.raw_sql);
+            prop_assert_eq!(q.user, r.user);
+            prop_assert_eq!(q.ts, r.ts);
+            prop_assert_eq!(q.session, r.session);
+            prop_assert_eq!(q.visibility, r.visibility);
+            prop_assert_eq!(q.annotations.len(), r.annotations.len());
+            for (a, b) in q.annotations.iter().zip(&r.annotations) {
+                prop_assert_eq!(&a.text, &b.text);
+            }
+            prop_assert_eq!(q.template_fp, r.template_fp);
+            prop_assert_eq!(q.runtime.success, r.runtime.success);
+        }
+        // Popularity counts rebuilt identically.
+        prop_assert_eq!(restored.max_popularity(), st.max_popularity());
+    }
+
+    /// Distance metrics satisfy identity, symmetry and [0, 1] bounds.
+    #[test]
+    fn metric_axioms(a in sql_strategy(), b in sql_strategy()) {
+        let cfg = CqmsConfig::default();
+        let mk = |id: u64, sql: &str| {
+            let stmt = sqlparse::parse(sql).unwrap();
+            let feats = extract(&stmt, None);
+            make_record(
+                QueryId(id), UserId(0), 0, sql, Some(stmt), feats,
+                RuntimeFeatures { success: true, ..Default::default() },
+                OutputSummary::None, SessionId(0), Visibility::Public,
+            )
+        };
+        let ra = mk(0, &a);
+        let rb = mk(1, &b);
+        for kind in [
+            DistanceKind::Features,
+            DistanceKind::ParseTree,
+            DistanceKind::TreeEdit,
+            DistanceKind::Combined,
+        ] {
+            let daa = similarity::distance(&ra, &ra, kind, &cfg);
+            prop_assert!(daa.abs() < 1e-9, "{kind:?} identity failed: {daa}");
+            let dab = similarity::distance(&ra, &rb, kind, &cfg);
+            let dba = similarity::distance(&rb, &ra, kind, &cfg);
+            prop_assert!((dab - dba).abs() < 1e-9, "{kind:?} asymmetric");
+            prop_assert!((0.0..=1.0).contains(&dab), "{kind:?} out of range: {dab}");
+        }
+    }
+
+    /// Apriori's pair rules agree exactly with brute-force counting.
+    #[test]
+    fn apriori_matches_brute_force(
+        transactions in proptest::collection::vec(
+            proptest::collection::vec(0u8..6, 1..5),
+            1..40,
+        ),
+        min_support in 1u32..5,
+    ) {
+        let txs: Vec<Vec<String>> = transactions
+            .iter()
+            .map(|t| {
+                let mut items: Vec<String> = t.iter().map(|i| format!("i{i}")).collect();
+                items.sort();
+                items.dedup();
+                items
+            })
+            .collect();
+        let rules = mine_apriori(&txs, min_support, 0.0);
+        // Brute force every single-item => single-item rule.
+        for a in 0..6u8 {
+            for b in 0..6u8 {
+                if a == b {
+                    continue;
+                }
+                let ia = format!("i{a}");
+                let ib = format!("i{b}");
+                let count_a = txs.iter().filter(|t| t.contains(&ia)).count() as u32;
+                let count_ab = txs
+                    .iter()
+                    .filter(|t| t.contains(&ia) && t.contains(&ib))
+                    .count() as u32;
+                let mined = rules.iter().find(|r| {
+                    r.antecedent == vec![ia.clone()] && r.consequent == ib
+                });
+                if count_ab >= min_support {
+                    let rule = mined.expect("frequent pair rule missing");
+                    let expect_conf = count_ab as f64 / count_a as f64;
+                    prop_assert!((rule.confidence - expect_conf).abs() < 1e-9);
+                    let expect_supp = count_ab as f64 / txs.len() as f64;
+                    prop_assert!((rule.support - expect_supp).abs() < 1e-9);
+                } else {
+                    prop_assert!(mined.is_none(), "infrequent rule {ia}=>{ib} mined");
+                }
+            }
+        }
+    }
+
+    /// Suggestions never violate the typed prefix, and scores stay ranked.
+    #[test]
+    fn completion_respects_prefix(prefix in "[A-Za-z]{0,4}") {
+        let mut engine = relstore::Engine::new();
+        workload::Domain::Lakes.setup(&mut engine, 20, 5);
+        let mut cqms = cqms_core::Cqms::new(engine, CqmsConfig::default());
+        let u = cqms.register_user("u");
+        for i in 0..5 {
+            cqms.run_query(u, &format!("SELECT * FROM WaterTemp WHERE temp < {i}"))
+                .unwrap();
+        }
+        let partial = format!("SELECT * FROM {prefix}");
+        let suggestions = cqms.complete(u, &partial, 5);
+        for s in &suggestions {
+            prop_assert!(
+                s.text.to_lowercase().starts_with(&prefix.to_lowercase()),
+                "suggestion {} ignores prefix {prefix}",
+                s.text
+            );
+        }
+        for w in suggestions.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    /// Session segmentation is deterministic and never merges users.
+    #[test]
+    fn segmentation_deterministic(records in records_strategy()) {
+        let st = build_storage(records);
+        let cfg = CqmsConfig::default();
+        let a = cqms_core::miner::sessions::segment_log(&st, &cfg);
+        let b = cqms_core::miner::sessions::segment_log(&st, &cfg);
+        prop_assert_eq!(&a, &b);
+        // Queries of different users never share a predicted session.
+        let mut owner: std::collections::HashMap<SessionId, UserId> = Default::default();
+        for r in st.iter() {
+            let s = a[&r.id];
+            if let Some(prev) = owner.insert(s, r.user) {
+                prop_assert_eq!(prev, r.user, "session crosses users");
+            }
+        }
+    }
+
+    /// Feature items are stable under canonical re-printing of the query.
+    #[test]
+    fn feature_items_canonical(sql in sql_strategy()) {
+        let stmt = sqlparse::parse(&sql).unwrap();
+        let printed = sqlparse::to_sql(&sqlparse::canonicalize(&stmt));
+        let reparsed = sqlparse::parse(&printed).unwrap();
+        let a: HashSet<String> = extract(&stmt, None).items().into_iter().collect();
+        let b: HashSet<String> = extract(&reparsed, None).items().into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+}

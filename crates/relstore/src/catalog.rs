@@ -1,0 +1,292 @@
+//! Catalog: named tables, logical time, and the schema-change log.
+//!
+//! The CQMS Query Maintenance component (paper §4.4) detects queries
+//! invalidated by schema evolution "by comparing the timestamp of a query
+//! with that of the last schema modification on any input relation". The
+//! catalog is where those modification timestamps live: every DDL operation
+//! advances a logical clock and appends a [`SchemaChange`] record.
+
+use crate::error::EngineError;
+use crate::schema::TableSchema;
+use crate::table::Table;
+use sqlparse::ast::DataType;
+use std::collections::HashMap;
+
+/// Kinds of schema change the maintenance engine can react to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaChangeKind {
+    CreatedTable,
+    DroppedTable,
+    RenamedTable { to: String },
+    RenamedColumn { from: String, to: String },
+    DroppedColumn { column: String },
+    AddedColumn { column: String },
+}
+
+/// One entry of the schema-change log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaChange {
+    /// Logical time at which the change was applied.
+    pub at: u64,
+    /// Table the change applied to (its name *before* the change).
+    pub table: String,
+    pub kind: SchemaChangeKind,
+}
+
+/// Named tables plus the schema-change log.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    /// Monotonic logical clock; advanced by every DDL/DML statement so query
+    /// timestamps and schema-change timestamps are comparable.
+    clock: u64,
+    changes: Vec<SchemaChange>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advance and return the logical clock (each statement gets a fresh
+    /// timestamp).
+    pub fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Explicitly advance the clock to at least `t` (used when replaying
+    /// workload traces that carry their own timestamps).
+    pub fn advance_to(&mut self, t: u64) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, EngineError> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, EngineError> {
+        self.tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    /// All table names, sorted (stable iteration for tests and snapshots).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.values().map(|t| t.schema.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// The full schema-change log.
+    pub fn changes(&self) -> &[SchemaChange] {
+        &self.changes
+    }
+
+    /// Changes affecting `table` strictly after logical time `t`.
+    pub fn changes_since<'a>(&'a self, table: &str, t: u64) -> Vec<&'a SchemaChange> {
+        self.changes
+            .iter()
+            .filter(|c| c.at > t && c.table.eq_ignore_ascii_case(table))
+            .collect()
+    }
+
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), EngineError> {
+        let key = Self::key(&schema.name);
+        if self.tables.contains_key(&key) {
+            return Err(EngineError::AlreadyExists(schema.name));
+        }
+        let at = self.tick();
+        self.changes.push(SchemaChange {
+            at,
+            table: schema.name.clone(),
+            kind: SchemaChangeKind::CreatedTable,
+        });
+        self.tables.insert(key, Table::new(schema));
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<(), EngineError> {
+        let key = Self::key(name);
+        let t = self
+            .tables
+            .remove(&key)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        let at = self.tick();
+        self.changes.push(SchemaChange {
+            at,
+            table: t.schema.name,
+            kind: SchemaChangeKind::DroppedTable,
+        });
+        Ok(())
+    }
+
+    pub fn rename_table(&mut self, name: &str, to: &str) -> Result<(), EngineError> {
+        if self.has_table(to) {
+            return Err(EngineError::AlreadyExists(to.to_string()));
+        }
+        let key = Self::key(name);
+        let mut t = self
+            .tables
+            .remove(&key)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        let old_name = t.schema.name.clone();
+        t.schema.name = to.to_string();
+        t.schema.version += 1;
+        self.tables.insert(Self::key(to), t);
+        let at = self.tick();
+        self.changes.push(SchemaChange {
+            at,
+            table: old_name,
+            kind: SchemaChangeKind::RenamedTable { to: to.to_string() },
+        });
+        Ok(())
+    }
+
+    pub fn rename_column(&mut self, table: &str, from: &str, to: &str) -> Result<(), EngineError> {
+        let t = self.table_mut(table)?;
+        t.schema.rename_column(from, to)?;
+        let name = t.schema.name.clone();
+        let at = self.tick();
+        self.changes.push(SchemaChange {
+            at,
+            table: name,
+            kind: SchemaChangeKind::RenamedColumn {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+        });
+        Ok(())
+    }
+
+    pub fn drop_column(&mut self, table: &str, column: &str) -> Result<(), EngineError> {
+        let t = self.table_mut(table)?;
+        let idx = t.schema.drop_column(column)?;
+        t.drop_column_data(idx);
+        let name = t.schema.name.clone();
+        let at = self.tick();
+        self.changes.push(SchemaChange {
+            at,
+            table: name,
+            kind: SchemaChangeKind::DroppedColumn {
+                column: column.to_string(),
+            },
+        });
+        Ok(())
+    }
+
+    pub fn add_column(&mut self, table: &str, column: &str, ty: DataType) -> Result<(), EngineError> {
+        let t = self.table_mut(table)?;
+        t.schema.add_column(column, ty)?;
+        t.add_column_data();
+        let name = t.schema.name.clone();
+        let at = self.tick();
+        self.changes.push(SchemaChange {
+            at,
+            table: name,
+            kind: SchemaChangeKind::AddedColumn {
+                column: column.to_string(),
+            },
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(TableSchema::build(
+            "WaterTemp",
+            &[("temp", DataType::Float), ("lake", DataType::Text)],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let c = cat();
+        assert!(c.table("watertemp").is_ok());
+        assert!(c.table("WATERTEMP").is_ok());
+        assert!(c.table("nope").is_err());
+    }
+
+    #[test]
+    fn create_duplicate_fails() {
+        let mut c = cat();
+        assert!(matches!(
+            c.create_table(TableSchema::build("watertemp", &[("x", DataType::Int)])),
+            Err(EngineError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn change_log_records_ddl_with_times() {
+        let mut c = cat();
+        let t0 = c.now();
+        c.rename_column("WaterTemp", "temp", "temperature").unwrap();
+        c.add_column("WaterTemp", "depth", DataType::Float).unwrap();
+        c.drop_column("WaterTemp", "lake").unwrap();
+        let changes = c.changes_since("WaterTemp", t0);
+        assert_eq!(changes.len(), 3);
+        assert!(matches!(
+            changes[0].kind,
+            SchemaChangeKind::RenamedColumn { .. }
+        ));
+        // Strictly increasing timestamps.
+        assert!(changes[0].at < changes[1].at && changes[1].at < changes[2].at);
+        // Queries logged *after* the change see nothing new.
+        assert!(c.changes_since("WaterTemp", c.now()).is_empty());
+    }
+
+    #[test]
+    fn rename_table_keeps_data_and_logs_old_name() {
+        let mut c = cat();
+        c.table_mut("WaterTemp")
+            .unwrap()
+            .insert(vec![Value::Float(10.0).coerce(DataType::Float), "x".into()])
+            .unwrap();
+        let t0 = c.now();
+        c.rename_table("WaterTemp", "LakeTemp").unwrap();
+        assert!(c.table("WaterTemp").is_err());
+        assert_eq!(c.table("LakeTemp").unwrap().len(), 1);
+        let changed = c.changes_since("WaterTemp", t0);
+        assert_eq!(changed.len(), 1);
+    }
+
+    #[test]
+    fn drop_column_removes_data() {
+        let mut c = cat();
+        c.table_mut("WaterTemp")
+            .unwrap()
+            .insert(vec![Value::Float(1.0), "a".into()])
+            .unwrap();
+        c.drop_column("WaterTemp", "temp").unwrap();
+        let t = c.table("WaterTemp").unwrap();
+        assert_eq!(t.schema.arity(), 1);
+        assert_eq!(t.rows[0], vec![Value::Text("a".into())]);
+    }
+
+    use crate::value::Value;
+}

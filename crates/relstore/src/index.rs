@@ -1,0 +1,194 @@
+//! Hash indexes for point lookups.
+//!
+//! The CQMS's feature relations (paper Fig. 1) are hit with highly selective
+//! equality meta-queries (`attrName = 'salinity'`), so the engine supports
+//! per-column hash indexes. Indexes are maintained lazily: DML marks them
+//! dirty and the next lookup rebuilds.
+
+use crate::table::Table;
+use crate::value::{Key, Value};
+use std::collections::HashMap;
+
+/// A hash index over one column of one table.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    /// Key → row positions.
+    map: HashMap<Key, Vec<usize>>,
+    dirty: bool,
+    /// Row count of the table at last build (cheap staleness check).
+    built_rows: usize,
+}
+
+impl HashIndex {
+    pub fn new() -> Self {
+        HashIndex {
+            map: HashMap::new(),
+            dirty: true,
+            built_rows: 0,
+        }
+    }
+
+    pub fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    pub fn is_fresh(&self, table: &Table) -> bool {
+        !self.dirty && self.built_rows == table.len()
+    }
+
+    /// Rebuild from the table's current rows.
+    pub fn rebuild(&mut self, table: &Table, col: usize) {
+        self.map.clear();
+        for (i, row) in table.rows.iter().enumerate() {
+            // NULLs are not indexed: equality with NULL never matches.
+            if row[col].is_null() {
+                continue;
+            }
+            self.map.entry(row[col].group_key()).or_default().push(i);
+        }
+        self.dirty = false;
+        self.built_rows = table.len();
+    }
+
+    /// Row positions whose column equals `v` (SQL equality).
+    pub fn lookup(&self, v: &Value) -> &[usize] {
+        if v.is_null() {
+            return &[];
+        }
+        self.map.get(&v.group_key()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The set of indexes owned by an [`crate::engine::Engine`], keyed by
+/// lower-cased `(table, column)`.
+#[derive(Debug, Default)]
+pub struct Indexes {
+    map: HashMap<(String, String), HashIndex>,
+}
+
+impl Indexes {
+    pub fn new() -> Self {
+        Indexes::default()
+    }
+
+    fn key(table: &str, column: &str) -> (String, String) {
+        (table.to_ascii_lowercase(), column.to_ascii_lowercase())
+    }
+
+    /// Declare an index on `table.column`. Building is lazy.
+    pub fn create(&mut self, table: &str, column: &str) {
+        self.map
+            .entry(Self::key(table, column))
+            .or_default();
+    }
+
+    pub fn drop(&mut self, table: &str, column: &str) -> bool {
+        self.map.remove(&Self::key(table, column)).is_some()
+    }
+
+    /// Does an index exist on `table.column` (fresh or not)?
+    pub fn has(&self, table: &str, column: &str) -> bool {
+        self.map.contains_key(&Self::key(table, column))
+    }
+
+    /// Mark all indexes of `table` dirty (after DML/DDL).
+    pub fn invalidate_table(&mut self, table: &str) {
+        let t = table.to_ascii_lowercase();
+        for ((it, _), idx) in self.map.iter_mut() {
+            if *it == t {
+                idx.mark_dirty();
+            }
+        }
+    }
+
+    /// Fetch the index for a lookup, rebuilding if stale. Returns `None`
+    /// when no index exists on that column.
+    pub fn prepared<'a>(
+        &'a mut self,
+        table_name: &str,
+        column: &str,
+        table: &Table,
+        col_idx: usize,
+    ) -> Option<&'a HashIndex> {
+        let idx = self.map.get_mut(&Self::key(table_name, column))?;
+        if !idx.is_fresh(table) {
+            idx.rebuild(table, col_idx);
+        }
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use sqlparse::ast::DataType;
+
+    fn table() -> Table {
+        let mut t = Table::new(TableSchema::build(
+            "t",
+            &[("id", DataType::Int), ("name", DataType::Text)],
+        ));
+        for i in 0..100 {
+            t.insert(vec![Value::Int(i % 10), Value::Text(format!("n{i}"))])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn lookup_finds_all_matches() {
+        let t = table();
+        let mut idx = HashIndex::new();
+        idx.rebuild(&t, 0);
+        assert_eq!(idx.lookup(&Value::Int(3)).len(), 10);
+        assert_eq!(idx.lookup(&Value::Int(42)).len(), 0);
+        assert_eq!(idx.distinct_keys(), 10);
+    }
+
+    #[test]
+    fn null_lookup_matches_nothing() {
+        let mut t = table();
+        t.insert(vec![Value::Null, Value::Text("x".into())]).unwrap();
+        let mut idx = HashIndex::new();
+        idx.rebuild(&t, 0);
+        assert!(idx.lookup(&Value::Null).is_empty());
+    }
+
+    #[test]
+    fn int_float_key_unification() {
+        let t = table();
+        let mut idx = HashIndex::new();
+        idx.rebuild(&t, 0);
+        assert_eq!(idx.lookup(&Value::Float(3.0)).len(), 10);
+    }
+
+    #[test]
+    fn staleness_and_rebuild() {
+        let mut t = table();
+        let mut idxs = Indexes::new();
+        idxs.create("t", "id");
+        assert!(idxs.has("T", "ID"));
+        {
+            let idx = idxs.prepared("t", "id", &t, 0).unwrap();
+            assert_eq!(idx.lookup(&Value::Int(1)).len(), 10);
+        }
+        t.insert(vec![Value::Int(1), Value::Text("new".into())]).unwrap();
+        idxs.invalidate_table("t");
+        let idx = idxs.prepared("t", "id", &t, 0).unwrap();
+        assert_eq!(idx.lookup(&Value::Int(1)).len(), 11);
+    }
+
+    #[test]
+    fn drop_index() {
+        let mut idxs = Indexes::new();
+        idxs.create("t", "id");
+        assert!(idxs.drop("t", "id"));
+        assert!(!idxs.drop("t", "id"));
+        assert!(!idxs.has("t", "id"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Stable 64-bit query fingerprints.
+//!
+//! Two levels, mirroring the two canonicalisation passes:
+//!
+//! * [`structure_fingerprint`] — hash of the canonicalised statement
+//!   (constants included). Two textually different but structurally identical
+//!   queries (case, aliases, whitespace) collide *by design*.
+//! * [`template_fingerprint`] — hash of the constant-stripped statement; the
+//!   identity used for template popularity counts and clustering seeds
+//!   (paper §4.3).
+//!
+//! Hashing is FNV-1a over a canonical serialisation of the AST. FNV is not
+//! cryptographic; it is stable across processes and platforms, which is what
+//! the Query Storage needs for persisted fingerprints (`std`'s `Hasher` is
+//! explicitly not stable across releases).
+
+use crate::ast::*;
+use crate::canon::{canonicalize, strip_constants};
+use crate::printer::to_sql;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Extend an existing FNV-1a state with more bytes.
+pub fn fnv1a_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of the canonicalised statement (constants included).
+pub fn structure_fingerprint(stmt: &Statement) -> u64 {
+    fnv1a(to_sql(&canonicalize(stmt)).as_bytes())
+}
+
+/// Fingerprint of the constant-stripped template.
+pub fn template_fingerprint(stmt: &Statement) -> u64 {
+    fnv1a(to_sql(&strip_constants(stmt)).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn sfp(sql: &str) -> u64 {
+        structure_fingerprint(&parse_statement(sql).unwrap())
+    }
+
+    fn tfp(sql: &str) -> u64 {
+        template_fingerprint(&parse_statement(sql).unwrap())
+    }
+
+    #[test]
+    fn structure_fp_ignores_case_and_aliases() {
+        assert_eq!(
+            sfp("SELECT S.temp FROM WaterTemp S WHERE S.temp < 18"),
+            sfp("select w.TEMP from watertemp w where w.temp < 18")
+        );
+    }
+
+    #[test]
+    fn structure_fp_distinguishes_constants() {
+        assert_ne!(
+            sfp("SELECT * FROM t WHERE a < 18"),
+            sfp("SELECT * FROM t WHERE a < 22")
+        );
+    }
+
+    #[test]
+    fn template_fp_ignores_constants() {
+        assert_eq!(
+            tfp("SELECT * FROM t WHERE a < 18"),
+            tfp("SELECT * FROM t WHERE a < 22")
+        );
+        assert_ne!(
+            tfp("SELECT * FROM t WHERE a < 18"),
+            tfp("SELECT * FROM t WHERE b < 18")
+        );
+    }
+
+    #[test]
+    fn fnv_reference_values() {
+        // Known FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn extend_matches_whole() {
+        let whole = fnv1a(b"hello world");
+        let split = fnv1a_extend(fnv1a(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let sql = "SELECT lake, AVG(temp) FROM WaterTemp GROUP BY lake";
+        assert_eq!(sfp(sql), sfp(sql));
+        assert_eq!(tfp(sql), tfp(sql));
+    }
+}

@@ -1,0 +1,553 @@
+//! Canonical SQL pretty-printer.
+//!
+//! `parse(to_sql(stmt)) == stmt` for every AST the parser can produce — a
+//! property-tested invariant. Output uses uppercase keywords, single spaces,
+//! and minimal parentheses (re-derived from operator precedence).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a statement as canonical SQL text.
+pub fn to_sql(stmt: &Statement) -> String {
+    let mut out = String::with_capacity(64);
+    write_statement(&mut out, stmt);
+    out
+}
+
+/// Render a scalar expression as canonical SQL text.
+pub fn expr_to_sql(expr: &Expr) -> String {
+    let mut out = String::with_capacity(32);
+    write_expr(&mut out, expr, 0);
+    out
+}
+
+/// Render a SELECT statement as canonical SQL text.
+pub fn select_to_sql(sel: &SelectStatement) -> String {
+    let mut out = String::with_capacity(64);
+    write_select(&mut out, sel);
+    out
+}
+
+fn write_statement(out: &mut String, stmt: &Statement) {
+    match stmt {
+        Statement::Select(s) => write_select(out, s),
+        Statement::Insert(i) => write_insert(out, i),
+        Statement::CreateTable(c) => write_create(out, c),
+        Statement::Update(u) => write_update(out, u),
+        Statement::Delete(d) => write_delete(out, d),
+        Statement::DropTable(t) => {
+            let _ = write!(out, "DROP TABLE {}", ident(t));
+        }
+        Statement::AlterRenameColumn { table, from, to } => {
+            let _ = write!(
+                out,
+                "ALTER TABLE {} RENAME COLUMN {} TO {}",
+                ident(table),
+                ident(from),
+                ident(to)
+            );
+        }
+        Statement::AlterDropColumn { table, column } => {
+            let _ = write!(out, "ALTER TABLE {} DROP COLUMN {}", ident(table), ident(column));
+        }
+        Statement::AlterAddColumn {
+            table,
+            column,
+            data_type,
+        } => {
+            let _ = write!(
+                out,
+                "ALTER TABLE {} ADD COLUMN {} {}",
+                ident(table),
+                ident(column),
+                data_type
+            );
+        }
+        Statement::AlterRenameTable { table, to } => {
+            let _ = write!(out, "ALTER TABLE {} RENAME TO {}", ident(table), ident(to));
+        }
+    }
+}
+
+/// Quote an identifier only when necessary (keyword collision or
+/// non-identifier characters).
+fn ident(name: &str) -> String {
+    let simple = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c == '_' || c.is_ascii_alphanumeric())
+        && !name.chars().next().unwrap().is_ascii_digit()
+        && crate::token::Keyword::from_str_ci(name).is_none();
+    if simple {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+fn write_select(out: &mut String, s: &SelectStatement) {
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    if s.projection.is_empty() {
+        // Partial query form accepted by the parser; keep round-trippable.
+        out.pop(); // drop the trailing space
+    }
+    for (i, item) in s.projection.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::QualifiedWildcard(q) => {
+                let _ = write!(out, "{}.*", ident(q));
+            }
+            SelectItem::Expr { expr, alias } => {
+                write_expr(out, expr, 0);
+                if let Some(a) = alias {
+                    let _ = write!(out, " AS {}", ident(a));
+                }
+            }
+        }
+    }
+    if !s.from.is_empty() {
+        out.push_str(" FROM ");
+        for (i, t) in s.from.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_table_ref(out, t);
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w, 0);
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, e) in s.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, e, 0);
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" HAVING ");
+        write_expr(out, h, 0);
+    }
+    if !s.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, o) in s.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, &o.expr, 0);
+            if o.desc {
+                out.push_str(" DESC");
+            }
+        }
+    }
+    if let Some(l) = s.limit {
+        let _ = write!(out, " LIMIT {l}");
+    }
+    if let Some(o) = s.offset {
+        let _ = write!(out, " OFFSET {o}");
+    }
+}
+
+fn write_table_ref(out: &mut String, t: &TableRef) {
+    out.push_str(&ident(&t.name));
+    if let Some(a) = &t.alias {
+        let _ = write!(out, " AS {}", ident(a));
+    }
+    for j in &t.joins {
+        let _ = write!(out, " {} {}", j.kind, ident(&j.table));
+        if let Some(a) = &j.alias {
+            let _ = write!(out, " AS {}", ident(a));
+        }
+        if let Some(on) = &j.on {
+            out.push_str(" ON ");
+            write_expr(out, on, 0);
+        }
+    }
+}
+
+fn write_insert(out: &mut String, i: &InsertStatement) {
+    let _ = write!(out, "INSERT INTO {}", ident(&i.table));
+    if !i.columns.is_empty() {
+        out.push_str(" (");
+        for (k, c) in i.columns.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&ident(c));
+        }
+        out.push(')');
+    }
+    out.push_str(" VALUES ");
+    for (k, row) in i.rows.iter().enumerate() {
+        if k > 0 {
+            out.push_str(", ");
+        }
+        out.push('(');
+        for (m, e) in row.iter().enumerate() {
+            if m > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, e, 0);
+        }
+        out.push(')');
+    }
+}
+
+fn write_create(out: &mut String, c: &CreateTableStatement) {
+    let _ = write!(out, "CREATE TABLE {} (", ident(&c.name));
+    for (i, (name, ty)) in c.columns.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", ident(name), ty);
+    }
+    out.push(')');
+}
+
+fn write_update(out: &mut String, u: &UpdateStatement) {
+    let _ = write!(out, "UPDATE {} SET ", ident(&u.table));
+    for (i, (col, e)) in u.assignments.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} = ", ident(col));
+        write_expr(out, e, 0);
+    }
+    if let Some(w) = &u.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w, 0);
+    }
+}
+
+fn write_delete(out: &mut String, d: &DeleteStatement) {
+    let _ = write!(out, "DELETE FROM {}", ident(&d.table));
+    if let Some(w) = &d.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w, 0);
+    }
+}
+
+/// Precedence used for parenthesisation; aligned with the parser.
+fn expr_precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => op.precedence(),
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => 3,
+        // Postfix predicates sit between AND and comparisons.
+        Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Between { .. }
+        | Expr::Like { .. }
+        | Expr::IsNull { .. } => 3,
+        _ => 10,
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, parent_bp: u8) {
+    let my_bp = expr_precedence(e);
+    let needs_parens = my_bp < parent_bp;
+    if needs_parens {
+        out.push('(');
+    }
+    match e {
+        Expr::Column(c) => match &c.qualifier {
+            Some(q) => {
+                let _ = write!(out, "{}.{}", ident(q), ident(&c.name));
+            }
+            None => out.push_str(&ident(&c.name)),
+        },
+        Expr::Literal(l) => write_literal(out, l),
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => {
+                out.push_str("NOT ");
+                write_expr(out, expr, 4);
+            }
+            UnaryOp::Neg => {
+                out.push('-');
+                // `--x` would lex as a line comment; parenthesize any operand
+                // that itself renders with a leading minus.
+                let mut inner = String::new();
+                write_expr(&mut inner, expr, 7);
+                if inner.starts_with('-') {
+                    out.push('(');
+                    out.push_str(&inner);
+                    out.push(')');
+                } else {
+                    out.push_str(&inner);
+                }
+            }
+            UnaryOp::Plus => {
+                out.push('+');
+                write_expr(out, expr, 7);
+            }
+        },
+        Expr::Binary { left, op, right } => {
+            let bp = op.precedence();
+            write_expr(out, left, bp);
+            let _ = write!(out, " {} ", op.as_str());
+            // Right operand binds one tighter: operators are left-associative.
+            write_expr(out, right, bp + 1);
+        }
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => {
+            let _ = write!(out, "{}(", name);
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            if *star {
+                out.push('*');
+            } else {
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, a, 0);
+                }
+            }
+            out.push(')');
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            write_expr(out, expr, 4);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, 0);
+            }
+            out.push(')');
+        }
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            write_expr(out, expr, 4);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            write_select(out, subquery);
+            out.push(')');
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            write_expr(out, expr, 4);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" BETWEEN ");
+            write_expr(out, low, 4);
+            out.push_str(" AND ");
+            write_expr(out, high, 4);
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            write_expr(out, expr, 4);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" LIKE ");
+            write_expr(out, pattern, 4);
+        }
+        Expr::IsNull { expr, negated } => {
+            write_expr(out, expr, 4);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+        }
+        Expr::Exists { subquery, negated } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (");
+            write_select(out, subquery);
+            out.push(')');
+        }
+        Expr::ScalarSubquery(sub) => {
+            out.push('(');
+            write_select(out, sub);
+            out.push(')');
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            out.push_str("CASE");
+            if let Some(op) = operand {
+                out.push(' ');
+                write_expr(out, op, 0);
+            }
+            for (when, then) in branches {
+                out.push_str(" WHEN ");
+                write_expr(out, when, 0);
+                out.push_str(" THEN ");
+                write_expr(out, then, 0);
+            }
+            if let Some(e) = else_branch {
+                out.push_str(" ELSE ");
+                write_expr(out, e, 0);
+            }
+            out.push_str(" END");
+        }
+    }
+    if needs_parens {
+        out.push(')');
+    }
+}
+
+fn write_literal(out: &mut String, l: &Literal) {
+    match l {
+        Literal::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Literal::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                // Keep a decimal point so it re-parses as Float, not Int.
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        Literal::Str(s) => {
+            let _ = write!(out, "'{}'", s.replace('\'', "''"));
+        }
+        Literal::Bool(true) => out.push_str("TRUE"),
+        Literal::Bool(false) => out.push_str("FALSE"),
+        Literal::Null => out.push_str("NULL"),
+        Literal::Placeholder => out.push('?'),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expression, parse_statement};
+
+    fn roundtrip(sql: &str) {
+        let stmt = parse_statement(sql).unwrap();
+        let printed = to_sql(&stmt);
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {printed}: {e}"));
+        assert_eq!(stmt, reparsed, "roundtrip mismatch for: {printed}");
+    }
+
+    #[test]
+    fn roundtrips_basic() {
+        roundtrip("SELECT * FROM WaterTemp WHERE temp < 18");
+        roundtrip("SELECT DISTINCT lake, COUNT(*) FROM WaterTemp GROUP BY lake");
+        roundtrip("SELECT a AS x, T.b FROM t AS T ORDER BY x DESC LIMIT 3 OFFSET 1");
+        roundtrip("SELECT * FROM a, b WHERE a.id = b.id AND (a.x > 1 OR b.y < 2)");
+    }
+
+    #[test]
+    fn roundtrips_figure1() {
+        roundtrip(
+            "SELECT Q.qid, Q.qText FROM Queries Q, Attributes A1, Attributes A2 \
+             WHERE Q.qid = A1.qid AND Q.qid = A2.qid AND A1.attrName = 'salinity' \
+             AND A1.relName = 'WaterSalinity' AND A2.attrName = 'temp' \
+             AND A2.relName = 'WaterTemp'",
+        );
+    }
+
+    #[test]
+    fn roundtrips_joins_and_subqueries() {
+        roundtrip("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x CROSS JOIN c");
+        roundtrip("SELECT * FROM t WHERE x IN (SELECT y FROM u WHERE z = 'w')");
+        roundtrip("SELECT * FROM t WHERE EXISTS (SELECT * FROM u) AND NOT EXISTS (SELECT * FROM v)");
+        roundtrip("SELECT (SELECT MAX(x) FROM u) AS m FROM t");
+    }
+
+    #[test]
+    fn roundtrips_predicates() {
+        roundtrip("SELECT * FROM t WHERE a NOT IN (1, 2, 3)");
+        roundtrip("SELECT * FROM t WHERE b BETWEEN 1 AND 10 AND c NOT LIKE '%x%'");
+        roundtrip("SELECT * FROM t WHERE d IS NOT NULL OR e IS NULL");
+        roundtrip("SELECT * FROM t WHERE NOT a = 1 AND -b < +c");
+    }
+
+    #[test]
+    fn roundtrips_ddl_dml() {
+        roundtrip("CREATE TABLE t (a INT, b FLOAT, c TEXT, d BOOLEAN)");
+        roundtrip("INSERT INTO t (a, b) VALUES (1, 2.5), (3, NULL)");
+        roundtrip("UPDATE t SET a = a + 1 WHERE b = 'x'");
+        roundtrip("DELETE FROM t WHERE a IS NULL");
+        roundtrip("ALTER TABLE t RENAME COLUMN a TO b");
+        roundtrip("DROP TABLE t");
+    }
+
+    #[test]
+    fn parenthesizes_or_inside_and() {
+        let e = parse_expression("a = 1 AND (b = 2 OR c = 3)").unwrap();
+        assert_eq!(expr_to_sql(&e), "a = 1 AND (b = 2 OR c = 3)");
+        let e2 = parse_expression("a = 1 AND b = 2 OR c = 3").unwrap();
+        assert_eq!(expr_to_sql(&e2), "a = 1 AND b = 2 OR c = 3");
+    }
+
+    #[test]
+    fn float_literals_keep_decimal_point() {
+        let e = parse_expression("x = 2.0").unwrap();
+        assert_eq!(expr_to_sql(&e), "x = 2.0");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let e = parse_expression("name = 'it''s'").unwrap();
+        assert_eq!(expr_to_sql(&e), "name = 'it''s'");
+    }
+
+    #[test]
+    fn quoted_identifier_when_needed() {
+        roundtrip(r#"SELECT "Water Salinity" FROM "my table""#);
+        // Identifier that collides with a keyword must be quoted on output.
+        let stmt = Statement::Select(SelectStatement {
+            projection: vec![SelectItem::Expr {
+                expr: Expr::col("order"),
+                alias: None,
+            }],
+            from: vec![TableRef::named("t")],
+            ..Default::default()
+        });
+        let sql = to_sql(&stmt);
+        assert!(sql.contains("\"order\""), "{sql}");
+        assert_eq!(parse_statement(&sql).unwrap(), stmt);
+    }
+
+    #[test]
+    fn case_roundtrip() {
+        roundtrip("SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t");
+        roundtrip("SELECT CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'y' END FROM t");
+    }
+
+    #[test]
+    fn partial_query_roundtrip() {
+        roundtrip("SELECT FROM WaterSalinity, WaterTemperature");
+    }
+}

@@ -1,0 +1,364 @@
+//! Labeled ordered trees and exact tree edit distance (Zhang–Shasha).
+//!
+//! §4.3 of the CQMS paper proposes "parse tree similarity, perhaps after
+//! removing the constants from the tree" as a query distance. The cheap
+//! variant (diff-based, [`crate::diff::edit_distance_normalized`]) is the
+//! default; this module provides the exact ordered-tree edit distance for
+//! higher-fidelity comparisons and for calibrating the cheap one (ablation
+//! A3 in the CQMS experiment suite).
+
+use crate::ast::*;
+use crate::printer::expr_to_sql;
+
+/// A labeled ordered tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNode {
+    /// Node label (compared for relabel cost).
+    pub label: String,
+    /// Ordered children.
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    /// A node with no children.
+    pub fn leaf(label: impl Into<String>) -> TreeNode {
+        TreeNode {
+            label: label.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// An internal node.
+    pub fn node(label: impl Into<String>, children: Vec<TreeNode>) -> TreeNode {
+        TreeNode {
+            label: label.into(),
+            children,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(TreeNode::size).sum::<usize>()
+    }
+}
+
+/// Convert a statement into its labeled tree (identifiers lower-cased;
+/// constants kept — strip first with [`crate::canon::strip_constants`] for
+/// template-level comparison).
+pub fn statement_tree(stmt: &Statement) -> TreeNode {
+    match stmt {
+        Statement::Select(s) => select_tree(s),
+        other => TreeNode::leaf(format!("{other:?}")),
+    }
+}
+
+/// Convert a SELECT into its labeled tree.
+pub fn select_tree(s: &SelectStatement) -> TreeNode {
+    let mut children = Vec::new();
+    if s.distinct {
+        children.push(TreeNode::leaf("distinct"));
+    }
+    let proj_children: Vec<TreeNode> = s
+        .projection
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard => TreeNode::leaf("*"),
+            SelectItem::QualifiedWildcard(q) => TreeNode::leaf(format!("{}.​*", q.to_lowercase())),
+            SelectItem::Expr { expr, .. } => expr_tree(expr),
+        })
+        .collect();
+    children.push(TreeNode::node("projection", proj_children));
+
+    let mut from_children = Vec::new();
+    for t in &s.from {
+        from_children.push(TreeNode::leaf(t.name.to_lowercase()));
+        for j in &t.joins {
+            let mut jc = vec![TreeNode::leaf(j.table.to_lowercase())];
+            if let Some(on) = &j.on {
+                jc.push(expr_tree(on));
+            }
+            from_children.push(TreeNode::node(format!("{}", j.kind), jc));
+        }
+    }
+    children.push(TreeNode::node("from", from_children));
+
+    if let Some(w) = &s.where_clause {
+        children.push(TreeNode::node("where", vec![expr_tree(w)]));
+    }
+    if !s.group_by.is_empty() {
+        children.push(TreeNode::node(
+            "group_by",
+            s.group_by.iter().map(expr_tree).collect(),
+        ));
+    }
+    if let Some(h) = &s.having {
+        children.push(TreeNode::node("having", vec![expr_tree(h)]));
+    }
+    if !s.order_by.is_empty() {
+        children.push(TreeNode::node(
+            "order_by",
+            s.order_by
+                .iter()
+                .map(|o| {
+                    let label = if o.desc { "desc" } else { "asc" };
+                    TreeNode::node(label, vec![expr_tree(&o.expr)])
+                })
+                .collect(),
+        ));
+    }
+    if let Some(l) = s.limit {
+        children.push(TreeNode::leaf(format!("limit:{l}")));
+    }
+    TreeNode::node("select", children)
+}
+
+fn expr_tree(e: &Expr) -> TreeNode {
+    match e {
+        Expr::Column(c) => TreeNode::leaf(format!("col:{}", c.to_string().to_lowercase())),
+        Expr::Literal(l) => TreeNode::leaf(format!("lit:{l:?}")),
+        Expr::Unary { op, expr } => TreeNode::node(op.as_str(), vec![expr_tree(expr)]),
+        Expr::Binary { left, op, right } => {
+            TreeNode::node(op.as_str(), vec![expr_tree(left), expr_tree(right)])
+        }
+        Expr::Function { name, args, .. } => TreeNode::node(
+            format!("fn:{}", name.to_lowercase()),
+            args.iter().map(expr_tree).collect(),
+        ),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let mut c = vec![expr_tree(expr)];
+            c.extend(list.iter().map(expr_tree));
+            TreeNode::node(if *negated { "not_in" } else { "in" }, c)
+        }
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => TreeNode::node(
+            if *negated { "not_in_sub" } else { "in_sub" },
+            vec![expr_tree(expr), select_tree(subquery)],
+        ),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => TreeNode::node(
+            if *negated { "not_between" } else { "between" },
+            vec![expr_tree(expr), expr_tree(low), expr_tree(high)],
+        ),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => TreeNode::node(
+            if *negated { "not_like" } else { "like" },
+            vec![expr_tree(expr), expr_tree(pattern)],
+        ),
+        Expr::IsNull { expr, negated } => TreeNode::node(
+            if *negated { "is_not_null" } else { "is_null" },
+            vec![expr_tree(expr)],
+        ),
+        Expr::Exists { subquery, negated } => TreeNode::node(
+            if *negated { "not_exists" } else { "exists" },
+            vec![select_tree(subquery)],
+        ),
+        Expr::ScalarSubquery(sub) => TreeNode::node("scalar_sub", vec![select_tree(sub)]),
+        Expr::Case { .. } => TreeNode::leaf(format!("case:{}", expr_to_sql(e).to_lowercase())),
+    }
+}
+
+/// Exact ordered tree edit distance (Zhang & Shasha 1989) with unit costs
+/// for insert, delete and relabel.
+pub fn tree_edit_distance(a: &TreeNode, b: &TreeNode) -> usize {
+    let ta = Flat::build(a);
+    let tb = Flat::build(b);
+    let na = ta.labels.len();
+    let nb = tb.labels.len();
+    // td[i][j] = distance between subtree rooted at postorder i of a and j of b.
+    let mut td = vec![vec![0usize; nb]; na];
+
+    for &i in &ta.keyroots {
+        for &j in &tb.keyroots {
+            tree_dist(&ta, &tb, i, j, &mut td);
+        }
+    }
+    td[na - 1][nb - 1]
+}
+
+/// Normalised tree edit distance in [0, 1]: TED / max(size).
+pub fn normalized_tree_distance(a: &TreeNode, b: &TreeNode) -> f64 {
+    let d = tree_edit_distance(a, b) as f64;
+    let m = a.size().max(b.size()) as f64;
+    if m == 0.0 {
+        0.0
+    } else {
+        (d / m).min(1.0)
+    }
+}
+
+/// Postorder-flattened tree with leftmost-leaf indices and keyroots.
+struct Flat {
+    labels: Vec<String>,
+    /// l[i] = postorder index of the leftmost leaf of the subtree at i.
+    l: Vec<usize>,
+    keyroots: Vec<usize>,
+}
+
+impl Flat {
+    fn build(root: &TreeNode) -> Flat {
+        let mut labels = Vec::new();
+        let mut l = Vec::new();
+        fn rec(node: &TreeNode, labels: &mut Vec<String>, l: &mut Vec<usize>) -> usize {
+            let mut leftmost = usize::MAX;
+            for c in &node.children {
+                let cl = rec(c, labels, l);
+                if leftmost == usize::MAX {
+                    leftmost = cl;
+                }
+            }
+            labels.push(node.label.clone());
+            let my_index = labels.len() - 1;
+            let my_leftmost = if leftmost == usize::MAX {
+                my_index
+            } else {
+                leftmost
+            };
+            l.push(my_leftmost);
+            my_leftmost
+        }
+        rec(root, &mut labels, &mut l);
+        // Keyroots: i such that no j > i has l[j] == l[i].
+        let n = labels.len();
+        let mut keyroots = Vec::new();
+        for i in 0..n {
+            if !(i + 1..n).any(|j| l[j] == l[i]) {
+                keyroots.push(i);
+            }
+        }
+        Flat { labels, l, keyroots }
+    }
+}
+
+fn tree_dist(a: &Flat, b: &Flat, i: usize, j: usize, td: &mut [Vec<usize>]) {
+    let li = a.l[i];
+    let lj = b.l[j];
+    let m = i - li + 2;
+    let n = j - lj + 2;
+    // Forest distance table, indices offset by li/lj.
+    let mut fd = vec![vec![0usize; n]; m];
+    for x in 1..m {
+        fd[x][0] = fd[x - 1][0] + 1; // delete
+    }
+    for y in 1..n {
+        fd[0][y] = fd[0][y - 1] + 1; // insert
+    }
+    for x in 1..m {
+        for y in 1..n {
+            let ai = li + x - 1;
+            let bj = lj + y - 1;
+            if a.l[ai] == li && b.l[bj] == lj {
+                // Both forests are whole trees.
+                let relabel = usize::from(a.labels[ai] != b.labels[bj]);
+                fd[x][y] = (fd[x - 1][y] + 1)
+                    .min(fd[x][y - 1] + 1)
+                    .min(fd[x - 1][y - 1] + relabel);
+                td[ai][bj] = fd[x][y];
+            } else {
+                let fx = a.l[ai].saturating_sub(li);
+                let fy = b.l[bj].saturating_sub(lj);
+                fd[x][y] = (fd[x - 1][y] + 1)
+                    .min(fd[x][y - 1] + 1)
+                    .min(fd[fx][fy] + td[ai][bj]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn tree(sql: &str) -> TreeNode {
+        statement_tree(&parse_statement(sql).unwrap())
+    }
+
+    #[test]
+    fn identical_trees_distance_zero() {
+        let a = tree("SELECT * FROM t WHERE x < 1");
+        assert_eq!(tree_edit_distance(&a, &a), 0);
+        assert_eq!(normalized_tree_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_small_distances() {
+        // Single relabel: constant changed.
+        let a = tree("SELECT * FROM t WHERE x < 1");
+        let b = tree("SELECT * FROM t WHERE x < 2");
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+        // Single insertion: extra projection column.
+        let a = tree("SELECT a FROM t");
+        let b = tree("SELECT a, b FROM t");
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+        // Added conjunct: AND node + comparison + column + literal = 4.
+        let a = tree("SELECT * FROM t WHERE x < 1");
+        let b = tree("SELECT * FROM t WHERE x < 1 AND y > 2");
+        assert_eq!(tree_edit_distance(&a, &b), 4);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = tree("SELECT a, b FROM t, u WHERE t.x = u.y AND a < 5");
+        let b = tree("SELECT a FROM t WHERE a < 9 ORDER BY a");
+        assert_eq!(tree_edit_distance(&a, &b), tree_edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let qs = [
+            "SELECT * FROM t",
+            "SELECT * FROM t WHERE x < 1",
+            "SELECT a FROM t, u WHERE x < 1",
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+        ];
+        for x in &qs {
+            for y in &qs {
+                for z in &qs {
+                    let dxy = tree_edit_distance(&tree(x), &tree(y));
+                    let dyz = tree_edit_distance(&tree(y), &tree(z));
+                    let dxz = tree_edit_distance(&tree(x), &tree(z));
+                    assert!(dxz <= dxy + dyz, "{x} {y} {z}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_scales_with_difference() {
+        let base = tree("SELECT * FROM WaterTemp WHERE temp < 18");
+        let close = tree("SELECT * FROM WaterTemp WHERE temp < 22");
+        let far = tree("SELECT city, COUNT(*) FROM CityLocations GROUP BY city HAVING COUNT(*) > 2");
+        assert!(
+            tree_edit_distance(&base, &close) < tree_edit_distance(&base, &far)
+        );
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        let a = tree("SELECT * FROM a");
+        let b = tree("SELECT x, y, z FROM b, c, d WHERE x = 1 AND y = 2 ORDER BY z LIMIT 3");
+        let d = normalized_tree_distance(&a, &b);
+        assert!(d > 0.0 && d <= 1.0);
+    }
+
+    #[test]
+    fn subquery_trees() {
+        let a = tree("SELECT * FROM t WHERE x IN (SELECT y FROM u)");
+        let b = tree("SELECT * FROM t WHERE x IN (SELECT y FROM v)");
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! Property-based tests for the SQL frontend.
+//!
+//! The central invariant is `parse(print(ast)) == ast` over a generated AST
+//! space covering the full dialect. On top of that we check that the
+//! canonicalisation passes are idempotent and produce fingerprints invariant
+//! under the transformations they claim to erase (case, aliases, constants).
+
+use proptest::prelude::*;
+use sqlparse::ast::*;
+use sqlparse::{
+    canonicalize, diff_selects, parse_statement, strip_constants, structure_fingerprint,
+    template_fingerprint, to_sql,
+};
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Avoid keywords by prefixing; printer quotes keywords anyway, but a
+    // plain identifier exercises the common path.
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| format!("id_{s}"))
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Literal::Int(i as i64)),
+        // Finite floats with a fraction; printer/parser roundtrip exactness
+        // is exercised via the canonical printed form.
+        (-1000i32..1000i32).prop_map(|i| Literal::Float(i as f64 / 8.0)),
+        "[a-zA-Z ']{0,12}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+        Just(Literal::Placeholder),
+    ]
+}
+
+fn comparison_op() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+    ]
+}
+
+fn arith_op() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Plus),
+        Just(BinaryOp::Minus),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Mod),
+        Just(BinaryOp::Concat),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = Expr> {
+    (ident_strategy(), proptest::option::of(ident_strategy())).prop_map(|(name, q)| {
+        Expr::Column(ColumnRef {
+            qualifier: q,
+            name,
+        })
+    })
+}
+
+/// Scalar expression generator (no subqueries — those are added at the
+/// predicate level to keep sizes bounded).
+fn scalar_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        column_strategy(),
+        literal_strategy().prop_map(Expr::Literal),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), arith_op(), inner.clone())
+                .prop_map(|(l, op, r)| Expr::binary(l, op, r)),
+            (inner.clone(), comparison_op(), inner.clone())
+                .prop_map(|(l, op, r)| Expr::binary(l, op, r)),
+            // Neg only wraps columns: the parser canonically folds
+            // `-<literal>` into a negative literal, so Neg(Literal) is not a
+            // parse-reachable (and thus not a print-canonical) form.
+            column_strategy().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e)
+            }),
+            (ident_strategy(), proptest::collection::vec(inner, 0..3)).prop_map(
+                |(name, args)| Expr::Function {
+                    name: format!("f{name}"),
+                    args,
+                    distinct: false,
+                    star: false,
+                }
+            ),
+        ]
+    })
+    .boxed()
+}
+
+/// Boolean predicate generator, including postfix predicates.
+fn predicate_strategy(allow_subquery: bool) -> BoxedStrategy<Expr> {
+    let base = (scalar_expr(1), comparison_op(), scalar_expr(1))
+        .prop_map(|(l, op, r)| Expr::binary(l, op, r));
+    let postfix = prop_oneof![
+        (column_strategy(), proptest::collection::vec(literal_strategy().prop_map(Expr::Literal), 1..4), any::<bool>())
+            .prop_map(|(c, list, negated)| Expr::InList {
+                expr: Box::new(c),
+                list,
+                negated
+            }),
+        (column_strategy(), literal_strategy(), literal_strategy(), any::<bool>()).prop_map(
+            |(c, lo, hi, negated)| Expr::Between {
+                expr: Box::new(c),
+                low: Box::new(Expr::Literal(lo)),
+                high: Box::new(Expr::Literal(hi)),
+                negated
+            }
+        ),
+        (column_strategy(), "[a-z%_]{1,8}", any::<bool>()).prop_map(|(c, pat, negated)| {
+            Expr::Like {
+                expr: Box::new(c),
+                pattern: Box::new(Expr::str(pat)),
+                negated,
+            }
+        }),
+        (column_strategy(), any::<bool>()).prop_map(|(c, negated)| Expr::IsNull {
+            expr: Box::new(c),
+            negated
+        }),
+    ];
+    let leaf = prop_oneof![base, postfix];
+    let with_sub = if allow_subquery {
+        prop_oneof![
+            leaf.clone(),
+            (column_strategy(), simple_select(), any::<bool>()).prop_map(
+                |(c, sub, negated)| Expr::InSubquery {
+                    expr: Box::new(c),
+                    subquery: Box::new(sub),
+                    negated
+                }
+            ),
+            // `NOT EXISTS` parses canonically as Unary(Not, Exists), so the
+            // generator leaves `negated` false and relies on the NOT wrapper.
+            simple_select().prop_map(|sub| Expr::Exists {
+                subquery: Box::new(sub),
+                negated: false
+            }),
+        ]
+        .boxed()
+    } else {
+        leaf.boxed()
+    };
+    with_sub
+        .prop_recursive(2, 12, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+                inner.prop_map(|e| Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(e)
+                }),
+            ]
+        })
+        .boxed()
+}
+
+/// A subquery-free SELECT used inside IN/EXISTS.
+fn simple_select() -> BoxedStrategy<SelectStatement> {
+    (
+        ident_strategy(),
+        ident_strategy(),
+        proptest::option::of(predicate_strategy(false)),
+    )
+        .prop_map(|(col, table, wh)| SelectStatement {
+            projection: vec![SelectItem::Expr {
+                expr: Expr::col(col),
+                alias: None,
+            }],
+            from: vec![TableRef::named(table)],
+            where_clause: wh,
+            ..Default::default()
+        })
+        .boxed()
+}
+
+fn table_ref_strategy() -> impl Strategy<Value = TableRef> {
+    (
+        ident_strategy(),
+        proptest::option::of(ident_strategy()),
+        proptest::collection::vec(
+            (
+                prop_oneof![
+                    Just(JoinKind::Inner),
+                    Just(JoinKind::LeftOuter),
+                    Just(JoinKind::RightOuter),
+                    Just(JoinKind::FullOuter),
+                ],
+                ident_strategy(),
+                proptest::option::of(ident_strategy()),
+                predicate_strategy(false),
+            ),
+            0..2,
+        ),
+    )
+        .prop_map(|(name, alias, joins)| TableRef {
+            name,
+            alias,
+            joins: joins
+                .into_iter()
+                .map(|(kind, table, alias, on)| JoinClause {
+                    kind,
+                    table,
+                    alias,
+                    on: Some(on),
+                })
+                .collect(),
+        })
+}
+
+fn select_item_strategy() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        Just(SelectItem::Wildcard),
+        ident_strategy().prop_map(SelectItem::QualifiedWildcard),
+        (scalar_expr(2), proptest::option::of(ident_strategy()))
+            .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+    ]
+}
+
+prop_compose! {
+    fn select_strategy()(
+        distinct in any::<bool>(),
+        projection in proptest::collection::vec(select_item_strategy(), 1..4),
+        from in proptest::collection::vec(table_ref_strategy(), 1..3),
+        wh in proptest::option::of(predicate_strategy(true)),
+        group_by in proptest::collection::vec(column_strategy(), 0..3),
+        having in proptest::option::of(predicate_strategy(false)),
+        order_by in proptest::collection::vec(
+            (column_strategy(), any::<bool>()).prop_map(|(expr, desc)| OrderByItem { expr, desc }),
+            0..3
+        ),
+        limit in proptest::option::of(0u64..10_000),
+        offset in proptest::option::of(0u64..1_000),
+    ) -> SelectStatement {
+        SelectStatement {
+            distinct,
+            projection,
+            from,
+            where_clause: wh,
+            group_by,
+            having,
+            order_by,
+            limit,
+            // OFFSET only prints after LIMIT in our dialect; keep both or none.
+            offset: if limit.is_some() { offset } else { None },
+        }
+    }
+}
+
+fn statement_strategy() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        8 => select_strategy().prop_map(Statement::Select),
+        1 => (
+            ident_strategy(),
+            proptest::collection::vec((ident_strategy(), prop_oneof![
+                Just(DataType::Int), Just(DataType::Float), Just(DataType::Text), Just(DataType::Bool)
+            ]), 1..5)
+        ).prop_map(|(name, columns)| Statement::CreateTable(CreateTableStatement { name, columns })),
+        1 => (
+            ident_strategy(),
+            proptest::collection::vec(ident_strategy(), 0..3),
+            proptest::collection::vec(
+                proptest::collection::vec(literal_strategy().prop_map(Expr::Literal), 1..4),
+                1..3
+            )
+        ).prop_map(|(table, columns, rows)| {
+            // Column list must match row arity when present; normalise.
+            let arity = rows[0].len();
+            let rows: Vec<Vec<Expr>> = rows.into_iter().map(|mut r| { r.truncate(arity); r }).collect();
+            let columns = if columns.len() == arity { columns } else { Vec::new() };
+            Statement::Insert(InsertStatement { table, columns, rows })
+        }),
+        1 => (ident_strategy(), proptest::collection::vec((ident_strategy(), scalar_expr(1)), 1..3),
+              proptest::option::of(predicate_strategy(false)))
+            .prop_map(|(table, assignments, wh)| Statement::Update(UpdateStatement {
+                table, assignments, where_clause: wh })),
+        1 => (ident_strategy(), proptest::option::of(predicate_strategy(false)))
+            .prop_map(|(table, wh)| Statement::Delete(DeleteStatement { table, where_clause: wh })),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The printer's output re-parses to the identical AST.
+    #[test]
+    fn print_parse_roundtrip(stmt in statement_strategy()) {
+        let sql = to_sql(&stmt);
+        let reparsed = parse_statement(&sql)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse:\n{sql}\n{e}"));
+        prop_assert_eq!(&reparsed, &stmt, "roundtrip mismatch for:\n{}", sql);
+    }
+
+    /// Canonicalisation is idempotent.
+    #[test]
+    fn canonicalize_idempotent(stmt in statement_strategy()) {
+        let once = canonicalize(&stmt);
+        let twice = canonicalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Constant stripping is idempotent.
+    #[test]
+    fn strip_idempotent(stmt in statement_strategy()) {
+        let once = strip_constants(&stmt);
+        let twice = strip_constants(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The canonical form survives a print/parse cycle (fingerprints are
+    /// therefore stable when persisted as text).
+    #[test]
+    fn canonical_form_stable_through_text(stmt in statement_strategy()) {
+        let c = canonicalize(&stmt);
+        let sql = to_sql(&c);
+        let reparsed = parse_statement(&sql).unwrap();
+        prop_assert_eq!(structure_fingerprint(&reparsed), structure_fingerprint(&stmt));
+        prop_assert_eq!(template_fingerprint(&reparsed), template_fingerprint(&stmt));
+    }
+
+    /// Uppercasing the entire SQL text never changes the structure
+    /// fingerprint (identifier case-insensitivity).
+    #[test]
+    fn fingerprint_case_invariant(stmt in select_strategy()) {
+        let sql = to_sql(&Statement::Select(stmt));
+        let upper = sql.to_uppercase();
+        // Uppercasing can corrupt string literals' content; skip those cases.
+        prop_assume!(!sql.contains('\''));
+        prop_assume!(!sql.contains('"'));
+        let a = parse_statement(&sql).unwrap();
+        let b = match parse_statement(&upper) {
+            Ok(b) => b,
+            Err(_) => return Ok(()), // e.g. an identifier uppercased into a keyword
+        };
+        prop_assert_eq!(structure_fingerprint(&a), structure_fingerprint(&b));
+    }
+
+    /// A query has no edits against itself, and diffs are antisymmetric in
+    /// size (|diff(a,b)| == |diff(b,a)|).
+    #[test]
+    fn diff_reflexive_and_symmetric_size(a in select_strategy(), b in select_strategy()) {
+        prop_assert!(diff_selects(&a, &a).is_empty());
+        prop_assert_eq!(diff_selects(&a, &b).len(), diff_selects(&b, &a).len());
+    }
+
+    /// Lexer never panics on arbitrary input (errors are fine).
+    #[test]
+    fn lexer_total(input in "\\PC{0,100}") {
+        let _ = sqlparse::Lexer::tokenize(&input);
+    }
+
+    /// Parser never panics on arbitrary input (errors are fine).
+    #[test]
+    fn parser_total(input in "\\PC{0,100}") {
+        let _ = parse_statement(&input);
+    }
+}

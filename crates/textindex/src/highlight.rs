@@ -1,0 +1,107 @@
+//! Match-span extraction for client display.
+//!
+//! The CQMS client underlines why a logged query matched a search (Fig. 3
+//! shows matched queries in a panel); this module computes the byte spans to
+//! underline.
+
+use crate::tokenize::tokenize;
+
+/// Byte ranges of `text` that match any of the query's terms (whole-token,
+/// case-insensitive) — plus, for substring mode, direct occurrences of the
+/// raw needle.
+pub fn highlight_spans(text: &str, query: &str) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let lower_text = text.to_lowercase();
+
+    // Token matches.
+    let terms: Vec<String> = tokenize(query);
+    for term in &terms {
+        let mut start = 0;
+        while let Some(pos) = lower_text[start..].find(term.as_str()) {
+            let s = start + pos;
+            let e = s + term.len();
+            // Require loose word boundaries to avoid mid-token noise.
+            let before_ok = s == 0
+                || !lower_text.as_bytes()[s - 1].is_ascii_alphanumeric();
+            let after_ok = e >= lower_text.len()
+                || !lower_text.as_bytes()[e].is_ascii_alphanumeric();
+            if before_ok && after_ok {
+                spans.push((s, e));
+            }
+            start = e.max(s + 1);
+        }
+    }
+
+    // Raw needle occurrences (substring mode).
+    let needle = query.to_lowercase();
+    if needle.len() >= 3 {
+        let mut start = 0;
+        while let Some(pos) = lower_text[start..].find(&needle) {
+            let s = start + pos;
+            spans.push((s, s + needle.len()));
+            start = s + 1;
+        }
+    }
+
+    // Merge overlaps.
+    spans.sort();
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in spans {
+        match merged.last_mut() {
+            Some((_, le)) if s <= *le => *le = (*le).max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+/// Render `text` with `[` `]` markers around matched spans (terminal client).
+pub fn render_highlighted(text: &str, query: &str) -> String {
+    let spans = highlight_spans(text, query);
+    let mut out = String::with_capacity(text.len() + spans.len() * 2);
+    let mut pos = 0;
+    for (s, e) in spans {
+        out.push_str(&text[pos..s]);
+        out.push('[');
+        out.push_str(&text[s..e]);
+        out.push(']');
+        pos = e;
+    }
+    out.push_str(&text[pos..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highlights_whole_tokens() {
+        let spans = highlight_spans("SELECT temp FROM WaterTemp", "temp");
+        // `temp` as its own token and as a component of WaterTemp.
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], (7, 11));
+    }
+
+    #[test]
+    fn highlights_substring_needles() {
+        let s = render_highlighted("WHERE temp < 18", "temp < 18");
+        assert_eq!(s, "WHERE [temp < 18]");
+    }
+
+    #[test]
+    fn merges_overlapping_spans() {
+        let spans = highlight_spans("temp temp", "temp temp");
+        assert_eq!(spans, vec![(0, 9)]);
+    }
+
+    #[test]
+    fn no_match_no_spans() {
+        assert!(highlight_spans("SELECT x FROM t", "salinity").is_empty());
+    }
+
+    #[test]
+    fn render_roundtrip_without_matches() {
+        assert_eq!(render_highlighted("abc", "zzz"), "abc");
+    }
+}

@@ -1,0 +1,268 @@
+//! TF-IDF inverted index with top-k retrieval.
+
+use crate::tokenize::tokenize;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    pub doc: u64,
+    pub score: f64,
+}
+
+/// Inverted index mapping terms to postings, with document lengths for
+/// cosine-style normalisation and tombstoned deletion.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    /// term → (doc, term frequency) postings, in insertion order.
+    postings: HashMap<String, Vec<(u64, u32)>>,
+    /// doc → token count (for length normalisation).
+    doc_len: HashMap<u64, u32>,
+    /// doc → its distinct terms (needed to purge postings on replacement).
+    terms_of: HashMap<u64, Vec<String>>,
+    deleted: HashSet<u64>,
+}
+
+impl InvertedIndex {
+    pub fn new() -> Self {
+        InvertedIndex::default()
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.doc_len.len() - self.deleted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Add a document. Re-adding an id replaces the old content.
+    pub fn add(&mut self, doc: u64, text: &str) {
+        // Replacement: purge the old postings first.
+        if let Some(old_terms) = self.terms_of.remove(&doc) {
+            for term in old_terms {
+                if let Some(posts) = self.postings.get_mut(&term) {
+                    posts.retain(|(d, _)| *d != doc);
+                    if posts.is_empty() {
+                        self.postings.remove(&term);
+                    }
+                }
+            }
+        }
+        self.deleted.remove(&doc);
+        let tokens = tokenize(text);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in &tokens {
+            *tf.entry(t.clone()).or_insert(0) += 1;
+        }
+        let mut terms: Vec<String> = Vec::with_capacity(tf.len());
+        for (term, f) in tf {
+            self.postings.entry(term.clone()).or_default().push((doc, f));
+            terms.push(term);
+        }
+        self.terms_of.insert(doc, terms);
+        self.doc_len.insert(doc, tokens.len().max(1) as u32);
+    }
+
+    /// Tombstone a document.
+    pub fn remove(&mut self, doc: u64) {
+        if self.doc_len.contains_key(&doc) {
+            self.deleted.insert(doc);
+        }
+    }
+
+    pub fn contains(&self, doc: u64) -> bool {
+        self.doc_len.contains_key(&doc) && !self.deleted.contains(&doc)
+    }
+
+    /// TF-IDF search returning the top `k` documents.
+    ///
+    /// Score = Σ_term tf(term, doc) · idf(term) / √len(doc); idf uses the
+    /// classic `ln(1 + N/df)` damping.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let n = self.len().max(1) as f64;
+        let mut scores: HashMap<u64, f64> = HashMap::new();
+        let mut qterms = tokenize(query);
+        qterms.sort();
+        qterms.dedup();
+        for term in &qterms {
+            let Some(posts) = self.postings.get(term) else {
+                continue;
+            };
+            let df = posts
+                .iter()
+                .filter(|(d, _)| !self.deleted.contains(d))
+                .count()
+                .max(1) as f64;
+            let idf = (1.0 + n / df).ln();
+            for (doc, tf) in posts {
+                if self.deleted.contains(doc) {
+                    continue;
+                }
+                let len = self.doc_len[doc] as f64;
+                *scores.entry(*doc).or_insert(0.0) += (*tf as f64) * idf / len.sqrt();
+            }
+        }
+        top_k(scores, k)
+    }
+
+    /// Documents containing *all* query terms (boolean AND), unranked.
+    pub fn search_all_terms(&self, query: &str) -> Vec<u64> {
+        let mut qterms = tokenize(query);
+        qterms.sort();
+        qterms.dedup();
+        if qterms.is_empty() {
+            return Vec::new();
+        }
+        let mut sets: Vec<HashSet<u64>> = Vec::with_capacity(qterms.len());
+        for term in &qterms {
+            let set: HashSet<u64> = self
+                .postings
+                .get(term)
+                .map(|p| {
+                    p.iter()
+                        .filter(|(d, _)| !self.deleted.contains(d))
+                        .map(|(d, _)| *d)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if set.is_empty() {
+                return Vec::new();
+            }
+            sets.push(set);
+        }
+        // Intersect starting from the smallest set.
+        sets.sort_by_key(HashSet::len);
+        let (first, rest) = sets.split_first().unwrap();
+        let mut out: Vec<u64> = first
+            .iter()
+            .filter(|d| rest.iter().all(|s| s.contains(*d)))
+            .copied()
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Extract the `k` highest-scoring hits (stable by doc id on ties).
+fn top_k(scores: HashMap<u64, f64>, k: usize) -> Vec<SearchHit> {
+    #[derive(PartialEq)]
+    struct Entry(f64, u64);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| other.1.cmp(&self.1))
+        }
+    }
+    let mut heap: BinaryHeap<Entry> = scores
+        .into_iter()
+        .map(|(d, s)| Entry(s, d))
+        .collect();
+    let mut out = Vec::with_capacity(k.min(heap.len()));
+    for _ in 0..k {
+        match heap.pop() {
+            Some(Entry(score, doc)) => out.push(SearchHit { doc, score }),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.add(1, "SELECT * FROM WaterSalinity WHERE salinity > 0.3");
+        ix.add(2, "SELECT * FROM WaterTemp WHERE temp < 18");
+        ix.add(3, "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T");
+        ix.add(4, "SELECT city FROM CityLocations WHERE state = 'WA'");
+        ix
+    }
+
+    #[test]
+    fn finds_by_keyword() {
+        let ix = index();
+        let hits = ix.search("salinity", 10);
+        let docs: Vec<u64> = hits.iter().map(|h| h.doc).collect();
+        assert!(docs.contains(&1));
+        assert!(docs.contains(&3));
+        assert!(!docs.contains(&2));
+    }
+
+    #[test]
+    fn multi_term_prefers_doc_with_both() {
+        let ix = index();
+        let hits = ix.search("salinity temp", 10);
+        assert_eq!(hits[0].doc, 3, "{hits:?}");
+    }
+
+    #[test]
+    fn camel_case_components_searchable() {
+        let ix = index();
+        let hits = ix.search("water", 10);
+        assert!(hits.len() >= 3);
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let ix = index();
+        assert_eq!(ix.search("select", 2).len(), 2);
+    }
+
+    #[test]
+    fn removal_hides_documents() {
+        let mut ix = index();
+        assert!(ix.contains(1));
+        ix.remove(1);
+        assert!(!ix.contains(1));
+        let docs: Vec<u64> = ix.search("salinity", 10).iter().map(|h| h.doc).collect();
+        assert!(!docs.contains(&1));
+        assert_eq!(ix.len(), 3);
+    }
+
+    #[test]
+    fn replacement_updates_content() {
+        let mut ix = index();
+        ix.add(2, "SELECT lake FROM Lakes");
+        let docs: Vec<u64> = ix.search("temp", 10).iter().map(|h| h.doc).collect();
+        assert!(!docs.contains(&2));
+        let docs: Vec<u64> = ix.search("lakes", 10).iter().map(|h| h.doc).collect();
+        assert!(docs.contains(&2));
+    }
+
+    #[test]
+    fn boolean_and_search() {
+        let ix = index();
+        assert_eq!(ix.search_all_terms("salinity temp"), vec![3]);
+        assert!(ix.search_all_terms("salinity nonexistent").is_empty());
+        assert!(ix.search_all_terms("").is_empty());
+    }
+
+    #[test]
+    fn empty_query_no_hits() {
+        let ix = index();
+        assert!(ix.search("", 5).is_empty());
+        assert!(ix.search("zzz_unknown", 5).is_empty());
+    }
+
+    #[test]
+    fn scores_are_positive_and_sorted() {
+        let ix = index();
+        let hits = ix.search("select water", 10);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert!(hits.iter().all(|h| h.score > 0.0));
+    }
+}

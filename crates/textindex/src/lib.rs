@@ -1,0 +1,25 @@
+//! # textindex — keyword & substring search substrate
+//!
+//! The CQMS must "at minimum provide substring matching and keyword search"
+//! over logged query text (paper §2.2). This crate supplies both:
+//!
+//! * [`inverted::InvertedIndex`] — a TF-IDF-scored inverted index with an
+//!   identifier-aware tokenizer (splits `WaterSalinity` and `loc_x` into
+//!   searchable terms) and top-k retrieval;
+//! * [`trigram::TrigramIndex`] — a trigram index answering arbitrary
+//!   substring queries without scanning every document;
+//! * [`highlight`] — match-span extraction for client-side display.
+//!
+//! Documents are identified by caller-provided `u64` ids (the CQMS uses its
+//! query ids). Removal is supported via tombstones so the Administrative
+//! Interaction Mode can delete queries (§2.4).
+
+pub mod highlight;
+pub mod inverted;
+pub mod tokenize;
+pub mod trigram;
+
+pub use highlight::highlight_spans;
+pub use inverted::{InvertedIndex, SearchHit};
+pub use tokenize::tokenize;
+pub use trigram::TrigramIndex;

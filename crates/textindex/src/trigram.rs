@@ -1,0 +1,165 @@
+//! Trigram index for substring meta-queries.
+//!
+//! A substring query of length ≥ 3 is answered by intersecting the posting
+//! lists of its trigrams and verifying candidates with a direct `contains`
+//! check (trigram intersection over-approximates). Shorter queries fall back
+//! to a scan over the stored texts, which is still bounded by the log size.
+
+use std::collections::{HashMap, HashSet};
+
+/// Case-insensitive trigram index over document texts.
+#[derive(Debug, Default)]
+pub struct TrigramIndex {
+    grams: HashMap<[u8; 3], Vec<u64>>,
+    texts: HashMap<u64, String>,
+    deleted: HashSet<u64>,
+}
+
+impl TrigramIndex {
+    pub fn new() -> Self {
+        TrigramIndex::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.texts.len() - self.deleted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn trigrams(text: &str) -> HashSet<[u8; 3]> {
+        let lower = text.to_lowercase();
+        let bytes = lower.as_bytes();
+        let mut out = HashSet::new();
+        if bytes.len() >= 3 {
+            for w in bytes.windows(3) {
+                out.insert([w[0], w[1], w[2]]);
+            }
+        }
+        out
+    }
+
+    /// Add (or replace) a document.
+    pub fn add(&mut self, doc: u64, text: &str) {
+        if self.texts.contains_key(&doc) {
+            // Replacement: purge old postings lazily via the verify step;
+            // remove the doc from grams it no longer has is costly, so we
+            // just re-verify against the stored text at query time.
+            self.deleted.remove(&doc);
+        }
+        for g in Self::trigrams(text) {
+            let posts = self.grams.entry(g).or_default();
+            if posts.last() != Some(&doc) {
+                posts.push(doc);
+            }
+        }
+        self.texts.insert(doc, text.to_string());
+        self.deleted.remove(&doc);
+    }
+
+    pub fn remove(&mut self, doc: u64) {
+        if self.texts.contains_key(&doc) {
+            self.deleted.insert(doc);
+        }
+    }
+
+    /// All documents whose text contains `needle` (case-insensitive).
+    pub fn search(&self, needle: &str) -> Vec<u64> {
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        let lower = needle.to_lowercase();
+        let candidates: Vec<u64> = if lower.len() >= 3 {
+            let grams = Self::trigrams(&lower);
+            let mut lists: Vec<&Vec<u64>> = Vec::new();
+            for g in &grams {
+                match self.grams.get(g) {
+                    Some(l) => lists.push(l),
+                    None => return Vec::new(),
+                }
+            }
+            lists.sort_by_key(|l| l.len());
+            let (first, rest) = lists.split_first().unwrap();
+            let rest_sets: Vec<HashSet<&u64>> = rest.iter().map(|l| l.iter().collect()).collect();
+            first
+                .iter()
+                .filter(|d| rest_sets.iter().all(|s| s.contains(d)))
+                .copied()
+                .collect()
+        } else {
+            self.texts.keys().copied().collect()
+        };
+        let mut out: Vec<u64> = candidates
+            .into_iter()
+            .filter(|d| !self.deleted.contains(d))
+            .filter(|d| {
+                self.texts
+                    .get(d)
+                    .is_some_and(|t| t.to_lowercase().contains(&lower))
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> TrigramIndex {
+        let mut ix = TrigramIndex::new();
+        ix.add(1, "SELECT * FROM WaterSalinity WHERE salinity > 0.3");
+        ix.add(2, "SELECT * FROM WaterTemp WHERE temp < 18");
+        ix.add(3, "SELECT city FROM CityLocations");
+        ix
+    }
+
+    #[test]
+    fn substring_search_case_insensitive() {
+        let ix = index();
+        assert_eq!(ix.search("watersal"), vec![1]);
+        assert_eq!(ix.search("WATERSAL"), vec![1]);
+        assert_eq!(ix.search("temp <"), vec![2]);
+        assert!(ix.search("nothing here").is_empty());
+    }
+
+    #[test]
+    fn short_needle_fallback() {
+        let ix = index();
+        // 2-char needles scan; `ci` appears in "city" and "CityLocations".
+        assert_eq!(ix.search("ci"), vec![3]);
+        assert!(ix.search("").is_empty());
+    }
+
+    #[test]
+    fn shared_substring_hits_multiple() {
+        let ix = index();
+        let hits = ix.search("SELECT");
+        assert_eq!(hits, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn removal() {
+        let mut ix = index();
+        ix.remove(2);
+        assert!(ix.search("watertemp").is_empty());
+        assert_eq!(ix.len(), 2);
+    }
+
+    #[test]
+    fn replacement_verifies_against_new_text() {
+        let mut ix = index();
+        ix.add(1, "completely different");
+        assert!(ix.search("watersalinity").is_empty());
+        assert_eq!(ix.search("different"), vec![1]);
+    }
+
+    #[test]
+    fn punctuation_substrings() {
+        let ix = index();
+        assert_eq!(ix.search("> 0.3"), vec![1]);
+    }
+}

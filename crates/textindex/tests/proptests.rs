@@ -1,0 +1,122 @@
+//! Property tests: both indexes must agree exactly with the naïve
+//! reference implementation over arbitrary documents and queries.
+
+use proptest::prelude::*;
+use textindex::{InvertedIndex, TrigramIndex};
+
+fn doc_strategy() -> impl Strategy<Value = String> {
+    // Words from a small vocabulary + punctuation, so queries actually hit.
+    proptest::collection::vec(
+        prop_oneof![
+            Just("select"),
+            Just("from"),
+            Just("where"),
+            Just("WaterTemp"),
+            Just("WaterSalinity"),
+            Just("temp"),
+            Just("salinity"),
+            Just("18"),
+            Just("<"),
+            Just("lake_x"),
+        ],
+        1..12,
+    )
+    .prop_map(|words| words.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trigram substring search = naive `contains` filter (case-insensitive).
+    #[test]
+    fn trigram_matches_naive(
+        docs in proptest::collection::vec(doc_strategy(), 1..20),
+        needle in prop_oneof![
+            Just("water"), Just("temp"), Just("salin"), Just("18"),
+            Just("waterTemp wh"), Just("zzz"), Just("e_x"),
+        ],
+    ) {
+        let mut ix = TrigramIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            ix.add(i as u64, d);
+        }
+        let got = ix.search(needle);
+        let want: Vec<u64> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.to_lowercase().contains(&needle.to_lowercase()))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Boolean-AND keyword search = naive all-terms filter over tokens.
+    #[test]
+    fn inverted_all_terms_matches_naive(
+        docs in proptest::collection::vec(doc_strategy(), 1..20),
+        q in prop_oneof![Just("water temp"), Just("salinity"), Just("select 18")],
+    ) {
+        let mut ix = InvertedIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            ix.add(i as u64, d);
+        }
+        let got = ix.search_all_terms(q);
+        let qterms: Vec<String> = textindex::tokenize(q);
+        let want: Vec<u64> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                let toks: std::collections::HashSet<String> =
+                    textindex::tokenize(d).into_iter().collect();
+                qterms.iter().all(|t| toks.contains(t))
+            })
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Removal really removes; re-adding really restores.
+    #[test]
+    fn tombstone_lifecycle(
+        docs in proptest::collection::vec(doc_strategy(), 2..10),
+        victim in 0usize..10,
+    ) {
+        let victim = victim % docs.len();
+        let mut inv = InvertedIndex::new();
+        let mut tri = TrigramIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            inv.add(i as u64, d);
+            tri.add(i as u64, d);
+        }
+        inv.remove(victim as u64);
+        tri.remove(victim as u64);
+        for hit in inv.search("select water temp salinity 18", 100) {
+            prop_assert_ne!(hit.doc, victim as u64);
+        }
+        prop_assert!(!tri.search(&docs[victim]).contains(&(victim as u64)));
+        // Restore.
+        inv.add(victim as u64, &docs[victim]);
+        tri.add(victim as u64, &docs[victim]);
+        prop_assert!(inv.contains(victim as u64));
+        prop_assert!(tri.search(&docs[victim]).contains(&(victim as u64)));
+    }
+
+    /// TF-IDF scores are deterministic and k-bounded.
+    #[test]
+    fn search_deterministic_and_bounded(
+        docs in proptest::collection::vec(doc_strategy(), 1..15),
+        k in 1usize..8,
+    ) {
+        let mut ix = InvertedIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            ix.add(i as u64, d);
+        }
+        let a = ix.search("water temp", k);
+        let b = ix.search("water temp", k);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.len() <= k);
+        for w in a.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # workload — synthetic CQMS environments with planted ground truth
+//!
+//! The paper motivates the CQMS with shared scientific databases (SDSS, lab
+//! data) and industrial log analysis. No public 2009 query logs from those
+//! environments exist, so this crate generates faithful synthetic stand-ins:
+//!
+//! * three **domains** ([`schemas::Domain`]): `Lakes` (the paper's running
+//!   limnology example: WaterSalinity / WaterTemp / CityLocations / Lakes),
+//!   `SkySurvey` (an SDSS-like PhotoObj / SpecObj / Neighbors schema) and
+//!   `WebLog` (clickstream analysis);
+//! * a deterministic, seeded **data generator** that gives each domain
+//!   realistic value distributions (per-lake temperature ranges, magnitude
+//!   distributions, Zipfian URLs);
+//! * a **query-log generator** ([`querygen`]) producing multi-user logs with
+//!   *planted ground truth*: session boundaries, topical cluster labels, and
+//!   association rules (e.g. the paper's "queries with WaterSalinity usually
+//!   also use WaterTemp") — the labels that quality experiments score
+//!   against;
+//! * a [`trace::Trace`] bundling schema + data + query stream + truth,
+//!   reproducible from a seed.
+
+pub mod querygen;
+pub mod schemas;
+pub mod trace;
+
+pub use querygen::{GenQuery, PlantedRule};
+pub use schemas::Domain;
+pub use trace::{Trace, TraceConfig};

@@ -1,0 +1,555 @@
+//! Multi-user query-log generation with planted ground truth.
+//!
+//! Each generated query carries its **user**, **timestamp** (logical
+//! seconds), ground-truth **session id** and **topic label**. Sessions evolve
+//! through the same edit grammar the paper's Figure 2 visualises (change a
+//! constant, add a predicate, add a table, …), so the session-segmentation
+//! and diff experiments score against known truth.
+//!
+//! The generator also plants **association rules** (returned by
+//! [`planted_rules`]) that the Query Miner should rediscover — including the
+//! paper's §2.3 example: *"for queries that also include WaterSalinity, the
+//! most popular [co-occurring table] is WaterTemp"*.
+
+use crate::schemas::{ConstGen, Domain, PredTemplate, Topic};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated query with its ground-truth labels.
+#[derive(Debug, Clone)]
+pub struct GenQuery {
+    pub sql: String,
+    pub user: u32,
+    /// Logical seconds since trace start.
+    pub ts: u64,
+    /// Ground-truth session id (global across users).
+    pub session: u32,
+    /// Ground-truth topic index (the planted cluster label).
+    pub topic: u32,
+}
+
+/// A planted association rule `antecedent ⇒ consequent` with the probability
+/// the generator applies it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedRule {
+    pub antecedent: String,
+    pub consequent: String,
+    pub probability: f64,
+}
+
+/// The rules the generator plants for each domain, in item vocabulary
+/// `table:<name>` (lower-cased).
+pub fn planted_rules(domain: Domain) -> Vec<PlantedRule> {
+    match domain {
+        Domain::Lakes => vec![
+            PlantedRule {
+                antecedent: "table:watersalinity".into(),
+                consequent: "table:watertemp".into(),
+                probability: 0.85,
+            },
+            PlantedRule {
+                antecedent: "table:lakes".into(),
+                consequent: "table:citylocations".into(),
+                probability: 0.6,
+            },
+        ],
+        Domain::SkySurvey => vec![PlantedRule {
+            antecedent: "table:specobj".into(),
+            consequent: "table:photoobj".into(),
+            probability: 0.9,
+        }],
+        Domain::WebLog => vec![PlantedRule {
+            antecedent: "table:searches".into(),
+            consequent: "table:users".into(),
+            probability: 0.8,
+        }],
+    }
+}
+
+/// The exact six-query session depicted in the paper's Figure 2, ending with
+/// the query text shown in the figure.
+pub fn figure2_session() -> Vec<&'static str> {
+    vec![
+        "SELECT * FROM WaterTemp",
+        "SELECT * FROM WaterTemp, WaterSalinity",
+        "SELECT * FROM WaterTemp, WaterSalinity WHERE WaterTemp.temp < 22",
+        "SELECT * FROM WaterTemp, WaterSalinity WHERE WaterTemp.temp < 10",
+        "SELECT * FROM WaterTemp, WaterSalinity WHERE WaterTemp.temp < 18",
+        "SELECT * FROM WaterSalinity S, WaterTemp T, CityLocations L \
+         WHERE T.temp < 18 AND S.loc_x = T.loc_x AND S.loc_y = T.loc_y",
+    ]
+}
+
+/// Generator configuration (see [`crate::trace::TraceConfig`] for the
+/// user-facing bundle).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    pub users: u32,
+    pub sessions: u32,
+    /// Mean queries per session (actual 2..=2*mean).
+    pub session_len: u32,
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            users: 8,
+            sessions: 40,
+            session_len: 5,
+            seed: 0xC1D2_2009,
+        }
+    }
+}
+
+/// Mutable query state evolved within a session.
+#[derive(Debug, Clone)]
+struct QueryState {
+    topic_idx: usize,
+    tables: Vec<&'static str>,
+    /// (table, column, op, rendered constant)
+    predicates: Vec<(String, String, &'static str, String)>,
+    /// Join conditions (t1, c1, t2, c2) active for current tables.
+    joins: Vec<(String, String, String, String)>,
+    /// None = `*`.
+    projection: Option<Vec<(String, String)>>,
+    order_by: Option<(String, String, bool)>,
+    limit: Option<u64>,
+}
+
+impl QueryState {
+    fn to_sql(&self) -> String {
+        let mut sql = String::from("SELECT ");
+        match &self.projection {
+            None => sql.push('*'),
+            Some(cols) => {
+                let parts: Vec<String> =
+                    cols.iter().map(|(t, c)| format!("{t}.{c}")).collect();
+                sql.push_str(&parts.join(", "));
+            }
+        }
+        sql.push_str(" FROM ");
+        sql.push_str(&self.tables.join(", "));
+        let mut conds: Vec<String> = Vec::new();
+        for (t1, c1, t2, c2) in &self.joins {
+            conds.push(format!("{t1}.{c1} = {t2}.{c2}"));
+        }
+        for (t, c, op, k) in &self.predicates {
+            conds.push(format!("{t}.{c} {op} {k}"));
+        }
+        if !conds.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&conds.join(" AND "));
+        }
+        if let Some((t, c, desc)) = &self.order_by {
+            sql.push_str(&format!(" ORDER BY {t}.{c}"));
+            if *desc {
+                sql.push_str(" DESC");
+            }
+        }
+        if let Some(l) = self.limit {
+            sql.push_str(&format!(" LIMIT {l}"));
+        }
+        sql
+    }
+}
+
+/// The query-log generator.
+pub struct Generator {
+    domain: Domain,
+    topics: Vec<Topic>,
+    rules: Vec<PlantedRule>,
+    rng: StdRng,
+    clock: u64,
+    next_session: u32,
+}
+
+impl Generator {
+    pub fn new(domain: Domain, seed: u64) -> Self {
+        Generator {
+            domain,
+
+            topics: domain.topics(),
+            rules: planted_rules(domain),
+            rng: StdRng::seed_from_u64(seed),
+            clock: 0,
+            next_session: 0,
+        }
+    }
+
+    /// The domain this generator produces queries for.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Generate a full log per the config.
+    pub fn generate(&mut self, cfg: &GenConfig) -> Vec<GenQuery> {
+        let mut out = Vec::new();
+        for _ in 0..cfg.sessions {
+            let user = self.rng.gen_range(0..cfg.users);
+            let len = self.rng.gen_range(2..=(cfg.session_len * 2).max(3));
+            out.extend(self.generate_session(user, len));
+        }
+        out
+    }
+
+    /// Generate one session for `user` with approximately `len` queries.
+    pub fn generate_session(&mut self, user: u32, len: u32) -> Vec<GenQuery> {
+        // Inter-session gap: well above any intra-session gap.
+        self.clock += self.rng.gen_range(1800..14_400);
+        let session = self.next_session;
+        self.next_session += 1;
+
+        // Topic choice: users prefer "their" topic 70% of the time.
+        let preferred = (user as usize) % self.topics.len();
+        let topic_idx = if self.rng.gen_bool(0.7) {
+            preferred
+        } else {
+            self.rng.gen_range(0..self.topics.len())
+        };
+
+        let mut state = self.base_query(topic_idx);
+        let mut out = Vec::new();
+        for step in 0..len {
+            if step > 0 {
+                self.evolve(&mut state);
+                // Mostly short gaps; occasionally a long pause that sits in
+                // the ambiguous zone for segmentation (planted noise).
+                self.clock += if self.rng.gen_bool(0.05) {
+                    self.rng.gen_range(300..900)
+                } else {
+                    self.rng.gen_range(5..120)
+                };
+            }
+            out.push(GenQuery {
+                sql: state.to_sql(),
+                user,
+                ts: self.clock,
+                session,
+                topic: topic_idx as u32,
+            });
+        }
+        out
+    }
+
+    /// Build a session's starting query for a topic.
+    fn base_query(&mut self, topic_idx: usize) -> QueryState {
+        let topic = self.topics[topic_idx].clone();
+        // Start from a prefix of the topic's tables (popularity order).
+        let n = self.rng.gen_range(1..=topic.tables.len());
+        let mut tables: Vec<&'static str> = topic.tables[..n].to_vec();
+
+        // Apply planted table-level rules.
+        let rules = self.rules.clone();
+        for rule in &rules {
+            let ante = rule.antecedent.strip_prefix("table:").unwrap_or_default();
+            let cons = rule.consequent.strip_prefix("table:").unwrap_or_default();
+            let has_ante = tables.iter().any(|t| t.eq_ignore_ascii_case(ante));
+            let has_cons = tables.iter().any(|t| t.eq_ignore_ascii_case(cons));
+            if has_ante && !has_cons {
+                if let Some(ct) = topic
+                    .tables
+                    .iter()
+                    .find(|t| t.eq_ignore_ascii_case(cons))
+                {
+                    if self.rng.gen_bool(rule.probability) {
+                        tables.push(ct);
+                    }
+                }
+            }
+        }
+
+        let mut state = QueryState {
+            topic_idx,
+            tables,
+            predicates: Vec::new(),
+            joins: Vec::new(),
+            projection: None,
+            order_by: None,
+            limit: None,
+        };
+        self.refresh_joins(&mut state);
+        // 0-2 starting predicates.
+        for _ in 0..self.rng.gen_range(0..=2u32) {
+            self.add_predicate(&mut state);
+        }
+        // 30% projected columns, else star.
+        if self.rng.gen_bool(0.3) {
+            self.reroll_projection(&mut state);
+        }
+        state
+    }
+
+    /// Keep `state.joins` consistent with `state.tables`.
+    fn refresh_joins(&mut self, state: &mut QueryState) {
+        let topic = &self.topics[state.topic_idx];
+        state.joins.clear();
+        for (t1, c1, t2, c2) in topic.joins {
+            let has = |t: &str| state.tables.iter().any(|x| x.eq_ignore_ascii_case(t));
+            if has(t1) && has(t2) {
+                state
+                    .joins
+                    .push((t1.to_string(), c1.to_string(), t2.to_string(), c2.to_string()));
+            }
+        }
+    }
+
+    fn pred_pool<'t>(&self, state: &QueryState, topic: &'t Topic) -> Vec<&'t PredTemplate> {
+        topic
+            .predicates
+            .iter()
+            .filter(|p| state.tables.iter().any(|t| t.eq_ignore_ascii_case(p.table)))
+            .collect()
+    }
+
+    fn render_const(&mut self, g: &ConstGen) -> String {
+        match g {
+            ConstGen::FloatRange(lo, hi) => {
+                let v = self.rng.gen_range(*lo..*hi);
+                format!("{:.1}", v)
+            }
+            ConstGen::IntRange(lo, hi) => self.rng.gen_range(*lo..=*hi).to_string(),
+            ConstGen::Choice(opts) => {
+                format!("'{}'", opts[self.rng.gen_range(0..opts.len())])
+            }
+        }
+    }
+
+    fn add_predicate(&mut self, state: &mut QueryState) {
+        let topic = self.topics[state.topic_idx].clone();
+        let pool = self.pred_pool(state, &topic);
+        if pool.is_empty() {
+            return;
+        }
+        let tpl = pool[self.rng.gen_range(0..pool.len())].clone();
+        // Avoid duplicate (table, column, op) predicates.
+        if state
+            .predicates
+            .iter()
+            .any(|(t, c, op, _)| t == tpl.table && c == tpl.column && *op == tpl.op)
+        {
+            return;
+        }
+        let k = self.render_const(&tpl.constant);
+        state
+            .predicates
+            .push((tpl.table.to_string(), tpl.column.to_string(), tpl.op, k));
+    }
+
+    fn reroll_projection(&mut self, state: &mut QueryState) {
+        let topic = self.topics[state.topic_idx].clone();
+        let pool: Vec<(String, String)> = topic
+            .projections
+            .iter()
+            .filter(|(t, _)| state.tables.iter().any(|x| x.eq_ignore_ascii_case(t)))
+            .map(|(t, c)| (t.to_string(), c.to_string()))
+            .collect();
+        if pool.is_empty() {
+            state.projection = None;
+            return;
+        }
+        let n = self.rng.gen_range(1..=pool.len().min(3));
+        let mut cols = pool;
+        // Deterministic partial shuffle.
+        for i in 0..n {
+            let j = self.rng.gen_range(i..cols.len());
+            cols.swap(i, j);
+        }
+        cols.truncate(n);
+        state.projection = Some(cols);
+    }
+
+    /// Apply one evolution step, following Figure 2's edit grammar.
+    fn evolve(&mut self, state: &mut QueryState) {
+        let roll: f64 = self.rng.gen();
+        if roll < 0.40 {
+            // Change a predicate constant (the most common move in Fig. 2).
+            if state.predicates.is_empty() {
+                self.add_predicate(state);
+            } else {
+                let i = self.rng.gen_range(0..state.predicates.len());
+                let topic = self.topics[state.topic_idx].clone();
+                let (t, c, op, _) = state.predicates[i].clone();
+                if let Some(tpl) = topic
+                    .predicates
+                    .iter()
+                    .find(|p| p.table == t && p.column == c && p.op == op)
+                {
+                    state.predicates[i].3 = self.render_const(&tpl.constant);
+                }
+            }
+        } else if roll < 0.62 {
+            self.add_predicate(state);
+        } else if roll < 0.70 {
+            if state.predicates.len() > 1 {
+                let i = self.rng.gen_range(0..state.predicates.len());
+                state.predicates.remove(i);
+            }
+        } else if roll < 0.80 {
+            // Add the next topic table not yet present.
+            let topic = self.topics[state.topic_idx].clone();
+            if let Some(next) = topic
+                .tables
+                .iter()
+                .find(|t| !state.tables.contains(*t))
+            {
+                state.tables.push(next);
+                self.refresh_joins(state);
+            } else {
+                self.add_predicate(state);
+            }
+        } else if roll < 0.90 {
+            self.reroll_projection(state);
+        } else {
+            let topic = self.topics[state.topic_idx].clone();
+            let pool: Vec<(String, String)> = topic
+                .projections
+                .iter()
+                .filter(|(t, _)| state.tables.iter().any(|x| x.eq_ignore_ascii_case(t)))
+                .map(|(t, c)| (t.to_string(), c.to_string()))
+                .collect();
+            if let Some((t, c)) = pool.first() {
+                state.order_by = Some((t.clone(), c.clone(), self.rng.gen_bool(0.5)));
+                state.limit = Some([10, 20, 50, 100][self.rng.gen_range(0..4)]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(domain: Domain, sessions: u32) -> Vec<GenQuery> {
+        let mut g = Generator::new(domain, 99);
+        g.generate(&GenConfig {
+            users: 6,
+            sessions,
+            session_len: 5,
+            seed: 99,
+        })
+    }
+
+    #[test]
+    fn queries_parse() {
+        for q in gen(Domain::Lakes, 30) {
+            sqlparse::parse(&q.sql)
+                .unwrap_or_else(|e| panic!("generated SQL does not parse: {}\n{e}", q.sql));
+        }
+    }
+
+    #[test]
+    fn queries_execute_against_domain_data() {
+        for domain in Domain::all() {
+            let mut e = relstore::Engine::new();
+            domain.setup(&mut e, 60, 5);
+            let mut failures = 0;
+            let queries = gen(domain, 15);
+            for q in &queries {
+                if e.execute(&q.sql).is_err() {
+                    failures += 1;
+                }
+            }
+            assert_eq!(failures, 0, "{domain:?} had {failures} failing queries");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<String> = gen(Domain::Lakes, 10).into_iter().map(|q| q.sql).collect();
+        let b: Vec<String> = gen(Domain::Lakes, 10).into_iter().map(|q| q.sql).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sessions_have_increasing_timestamps_and_short_gaps() {
+        let qs = gen(Domain::Lakes, 20);
+        for w in qs.windows(2) {
+            assert!(w[0].ts <= w[1].ts, "timestamps must be monotone");
+            if w[0].session == w[1].session {
+                assert!(w[1].ts - w[0].ts < 1000, "intra-session gap too large");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_session_queries_differ_by_small_edits() {
+        let qs = gen(Domain::Lakes, 20);
+        let mut checked = 0;
+        for w in qs.windows(2) {
+            if w[0].session != w[1].session {
+                continue;
+            }
+            let a = sqlparse::parse(&w[0].sql).unwrap();
+            let b = sqlparse::parse(&w[1].sql).unwrap();
+            let edits = sqlparse::diff_statements(&a, &b);
+            // An evolution step makes a bounded number of edits (adding a
+            // table may add join predicates too).
+            assert!(edits.len() <= 6, "too many edits: {edits:?}\n{}\n{}", w[0].sql, w[1].sql);
+            checked += 1;
+        }
+        assert!(checked > 10);
+    }
+
+    #[test]
+    fn planted_rule_manifests_in_log() {
+        // The paper's §2.3 example: WaterSalinity ⇒ WaterTemp.
+        let qs = gen(Domain::Lakes, 120);
+        let mut with_sal = 0;
+        let mut with_both = 0;
+        for q in &qs {
+            let sql = q.sql.to_lowercase();
+            if sql.contains("watersalinity") {
+                with_sal += 1;
+                if sql.contains("watertemp") {
+                    with_both += 1;
+                }
+            }
+        }
+        assert!(with_sal > 20, "not enough WaterSalinity queries ({with_sal})");
+        let conf = with_both as f64 / with_sal as f64;
+        assert!(conf > 0.7, "planted rule confidence too low: {conf}");
+    }
+
+    #[test]
+    fn topics_are_table_disjoint_enough_for_clustering() {
+        let qs = gen(Domain::Lakes, 60);
+        // Queries from different topics should usually use different tables.
+        let mut same = 0;
+        let mut diff = 0;
+        for (i, a) in qs.iter().enumerate() {
+            for b in qs.iter().skip(i + 1).take(5) {
+                let ta: std::collections::HashSet<&str> = a
+                    .sql
+                    .split_whitespace()
+                    .filter(|w| w.starts_with("Water") || w.starts_with("Lake") || w.starts_with("City"))
+                    .collect();
+                let tb: std::collections::HashSet<&str> = b
+                    .sql
+                    .split_whitespace()
+                    .filter(|w| w.starts_with("Water") || w.starts_with("Lake") || w.starts_with("City"))
+                    .collect();
+                let overlap = ta.intersection(&tb).count();
+                if a.topic == b.topic {
+                    same += overlap;
+                } else {
+                    diff += overlap;
+                }
+            }
+        }
+        // Same-topic pairs share more table mentions than cross-topic pairs.
+        assert!(same > diff, "same={same} diff={diff}");
+    }
+
+    #[test]
+    fn figure2_session_parses_and_diffs() {
+        let stmts: Vec<_> = figure2_session()
+            .iter()
+            .map(|s| sqlparse::parse(s).unwrap())
+            .collect();
+        let edits = sqlparse::diff_statements(&stmts[2], &stmts[3]);
+        assert_eq!(edits.len(), 1);
+        assert!(edits[0].label().contains("22"));
+        assert!(edits[0].label().contains("10"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # cqms — Collaborative Query Management System
+//!
+//! Umbrella crate re-exporting the full CQMS stack, a reproduction of
+//! *"A Case for A Collaborative Query Management System"* (Khoussainova,
+//! Balazinska, Gatterbauer, Kwon, Suciu — CIDR 2009).
+//!
+//! The stack consists of:
+//!
+//! * [`sqlparse`] — SQL lexer/parser/printer + canonicalisation, fingerprints
+//!   and parse-tree diffs;
+//! * [`relstore`] — the embedded relational engine underneath the CQMS
+//!   (the "DBMS" box of the paper's Figure 4);
+//! * [`textindex`] — keyword and substring search over query text;
+//! * [`workload`] — synthetic multi-user query-log generators with planted
+//!   ground truth, standing in for the scientific lab logs of the paper;
+//! * [`engine`] *(re-export of `cqms-core`)* — the CQMS itself: Query
+//!   Profiler, Query Storage, Meta-query Executor, Query Miner, Query
+//!   Maintenance, assisted interaction and administrative interaction.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use cqms_core as engine;
+pub use relstore;
+pub use sqlparse;
+pub use textindex;
+pub use workload;

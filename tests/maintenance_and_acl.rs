@@ -1,0 +1,200 @@
+//! Integration tests for the Administrative Interaction Mode (§2.4) and the
+//! Query Maintenance component (§4.4) through the full server API, including
+//! failure injection.
+
+use cqms::engine::model::*;
+use cqms::engine::{Cqms, CqmsConfig, CqmsError};
+use relstore::Engine;
+use workload::Domain;
+
+fn lakes_cqms() -> Cqms {
+    let mut engine = Engine::new();
+    Domain::Lakes.setup(&mut engine, 100, 11);
+    Cqms::new(engine, CqmsConfig::default())
+}
+
+#[test]
+fn group_isolation_spans_every_search_mode() {
+    let mut c = lakes_cqms();
+    let _admin = c.register_user("admin");
+    let alice = c.register_user("alice");
+    let eve = c.register_user("eve");
+    let lab = c.create_group("lab");
+    c.join_group(alice, lab).unwrap();
+
+    let out = c
+        .run_query(alice, "SELECT salinity FROM WaterSalinity WHERE salinity > 0.4")
+        .unwrap();
+    let id = out.id;
+
+    // Keyword, substring, tree, feature-SQL, by-data, knn: all empty for eve.
+    assert!(c.search_keyword(eve, "salinity", 10).is_empty());
+    assert!(c.search_substring(eve, "salinity > 0.4").is_empty());
+    let tree = cqms::engine::metaquery::TreePattern {
+        tables_all: vec!["watersalinity".into()],
+        ..Default::default()
+    };
+    assert!(c.search_parse_tree(eve, &tree).is_empty());
+    let feat = c
+        .search_feature_sql(eve, "SELECT qid FROM Queries")
+        .unwrap();
+    assert!(feat.rows.is_empty());
+    assert!(c
+        .similar_queries(eve, "SELECT salinity FROM WaterSalinity", 5,
+            cqms::engine::similarity::DistanceKind::Features)
+        .unwrap()
+        .is_empty());
+    // But alice sees her query everywhere.
+    assert_eq!(c.search_substring(alice, "salinity > 0.4"), vec![id]);
+
+    // Eve cannot tamper.
+    assert!(matches!(
+        c.set_visibility(eve, id, Visibility::Public),
+        Err(CqmsError::NotAuthorized { .. })
+    ));
+    assert!(matches!(
+        c.delete_query(eve, id),
+        Err(CqmsError::NotAuthorized { .. })
+    ));
+    assert!(c.annotate(eve, id, "x", None).is_err());
+}
+
+#[test]
+fn deletion_is_global_and_idempotent() {
+    let mut c = lakes_cqms();
+    let u = c.register_user("u");
+    let out = c.run_query(u, "SELECT * FROM Lakes").unwrap();
+    c.delete_query(u, out.id).unwrap();
+    assert!(c.search_keyword(u, "lakes", 10).is_empty());
+    assert_eq!(c.storage.live_count(), 0);
+    // Deleting again is fine (tombstone stays).
+    c.delete_query(u, out.id).unwrap();
+    // And the id still resolves for audit.
+    assert_eq!(c.storage.get(out.id).unwrap().validity, Validity::Deleted);
+}
+
+#[test]
+fn chained_schema_evolution_repairs_transitively() {
+    let mut c = lakes_cqms();
+    let u = c.register_user("u");
+    let out = c
+        .run_query(u, "SELECT temp FROM WaterTemp WHERE temp < 18")
+        .unwrap();
+    // Rename the column, then the table.
+    c.data
+        .execute("ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature")
+        .unwrap();
+    c.data
+        .execute("ALTER TABLE WaterTemp RENAME TO LakeTemperatures")
+        .unwrap();
+    let (schema, _) = c.run_maintenance().unwrap();
+    assert_eq!(schema.repaired, vec![out.id]);
+    let repaired = c.storage.get(out.id).unwrap().raw_sql.clone();
+    assert!(repaired.contains("LakeTemperatures"), "{repaired}");
+    assert!(repaired.contains("temperature"), "{repaired}");
+    // The repaired query executes.
+    assert!(c.data.execute(&repaired).is_ok());
+    // Original text preserved for audit.
+    match &c.storage.get(out.id).unwrap().validity {
+        Validity::Repaired { original_sql, .. } => {
+            assert!(original_sql.contains("WaterTemp"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn obsolete_queries_leave_search_results() {
+    let mut c = lakes_cqms();
+    let u = c.register_user("u");
+    c.run_query(u, "SELECT * FROM Lakes WHERE area > 100").unwrap();
+    assert_eq!(c.search_keyword(u, "lakes", 10).len(), 1);
+    c.data.execute("DROP TABLE Lakes").unwrap();
+    let (schema, _) = c.run_maintenance().unwrap();
+    assert_eq!(schema.obsolete.len(), 1);
+    // Obsolete queries no longer surface in recommendations or search.
+    assert!(c
+        .similar_queries(u, "SELECT * FROM Lakes", 5,
+            cqms::engine::similarity::DistanceKind::Features)
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn flagged_query_recovers_after_schema_restored() {
+    let mut c = lakes_cqms();
+    let u = c.register_user("u");
+    let out = c.run_query(u, "SELECT month FROM WaterTemp").unwrap();
+    c.data
+        .execute("ALTER TABLE WaterTemp DROP COLUMN month")
+        .unwrap();
+    let (schema, _) = c.run_maintenance().unwrap();
+    assert_eq!(schema.flagged, vec![out.id]);
+    // Admin restores the column; the next scan does not re-flag, and
+    // re-execution works again.
+    c.data
+        .execute("ALTER TABLE WaterTemp ADD COLUMN month INT")
+        .unwrap();
+    let sql = c.storage.get(out.id).unwrap().raw_sql.clone();
+    assert!(c.data.execute(&sql).is_ok());
+}
+
+#[test]
+fn failed_and_unparseable_queries_are_quarantined_but_logged() {
+    let mut c = lakes_cqms();
+    let u = c.register_user("u");
+    let bad = c.run_query(u, "SELECT * FROM NoSuchTable").unwrap();
+    assert!(bad.error.is_some());
+    let garbage = c.run_query(u, "SELEC FROM nonsense !!!").unwrap();
+    assert!(garbage.result.is_none());
+    let ok = c.run_query(u, "SELECT * FROM Lakes").unwrap();
+    assert!(ok.error.is_none());
+    assert_eq!(c.storage.len(), 3);
+    // Failed queries don't crash mining or maintenance.
+    c.run_miner_epoch();
+    c.run_maintenance().unwrap();
+    // Quality reflects failure.
+    let qb = c.storage.get(bad.id).unwrap().quality;
+    let qo = c.storage.get(ok.id).unwrap().quality;
+    assert!(qo > qb);
+}
+
+#[test]
+fn refresh_policy_beats_naive_on_cost() {
+    let mut c = lakes_cqms();
+    let u = c.register_user("u");
+    for i in 0..10 {
+        c.run_query(u, &format!("SELECT * FROM WaterTemp WHERE temp < {}", 10 + i))
+            .unwrap();
+        c.run_query(u, &format!("SELECT * FROM Lakes WHERE area > {}", 100 * i))
+            .unwrap();
+    }
+    // Baseline epoch.
+    c.run_maintenance().unwrap();
+    // Drift only WaterTemp.
+    c.data
+        .execute("UPDATE WaterTemp SET temp = temp + 500")
+        .unwrap();
+    let (_, refresh) = c.run_maintenance().unwrap();
+    assert_eq!(refresh.drifted_tables, vec!["watertemp"]);
+    // Drift-triggered refresh re-ran only the WaterTemp queries.
+    assert_eq!(refresh.refreshed.len(), 10);
+    assert_eq!(refresh.naive_rerun_count, 20);
+}
+
+#[test]
+fn empty_log_operations_are_safe() {
+    let mut c = lakes_cqms();
+    let u = c.register_user("u");
+    assert!(c.search_keyword(u, "anything", 5).is_empty());
+    assert!(c.search_substring(u, "anything").is_empty());
+    assert!(c.recommend(u, "SELECT * FROM Lakes", 5).unwrap().is_empty());
+    let report = c.run_miner_epoch();
+    assert_eq!(report.association_rules, 0);
+    let (schema, refresh) = c.run_maintenance().unwrap();
+    assert_eq!(schema.examined, 0);
+    assert!(refresh.refreshed.is_empty());
+    // Completion falls back to the catalog.
+    let sugg = c.complete(u, "SELECT * FROM ", 5);
+    assert!(!sugg.is_empty());
+}
