@@ -3,9 +3,9 @@
 //! E1 table in EXPERIMENTS.md; the paper's claim under test is §4.2's
 //! "meta-querying must be interactive".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqms_bench::logged_cqms;
 use cqms_core::metaquery::FIGURE1_META_QUERY;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workload::Domain;
 
 fn bench(c: &mut Criterion) {

@@ -2,8 +2,8 @@
 //! the user types; §1: "it must provide hints and recommendations
 //! interactively").
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqms_bench::logged_cqms;
+use criterion::{criterion_group, criterion_main, Criterion};
 use workload::Domain;
 
 fn bench(c: &mut Criterion) {
@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
     let mut lc = logged_cqms(Domain::Lakes, 2000, 0xE3);
     let user = lc.users[0];
     group.bench_function("table_context_aware", |b| {
-        b.iter(|| lc.cqms.complete(user, "SELECT * FROM WaterSalinity, ", 5).len())
+        b.iter(|| {
+            lc.cqms
+                .complete(user, "SELECT * FROM WaterSalinity, ", 5)
+                .len()
+        })
     });
     group.bench_function("predicate", |b| {
         b.iter(|| {

@@ -2,8 +2,8 @@
 //! significant runtime overhead"). Compares the bare engine against the
 //! fully profiled path at two data scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqms_core::{Cqms, CqmsConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workload::Domain;
 
 const QUERY: &str = "SELECT T.lake, T.temp, S.salinity FROM WaterTemp T, WaterSalinity S \

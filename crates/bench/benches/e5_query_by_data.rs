@@ -1,9 +1,9 @@
 //! E5 — query-by-data latency (§2.2): matching positive/negative example
 //! tuples against stored output summaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqms_bench::logged_cqms_with;
 use cqms_core::CqmsConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workload::Domain;
 
 fn bench(c: &mut Criterion) {
@@ -13,8 +13,11 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
     for &size in &[500usize, 2000] {
-        let mut cfg = CqmsConfig::default();
-        cfg.full_output_min_rows = 10_000; // exhaustive summaries
+        // Exhaustive summaries.
+        let cfg = CqmsConfig {
+            full_output_min_rows: 10_000,
+            ..CqmsConfig::default()
+        };
         let mut lc = logged_cqms_with(Domain::Lakes, size, 0xE5, cfg);
         let user = lc.users[0];
         group.bench_with_input(BenchmarkId::new("summary_match", size), &size, |b, _| {

@@ -1,9 +1,9 @@
 //! E6 — meta-query latency by search mode (§2.2/§4.2): keyword vs substring
 //! vs parse-tree vs feature SQL on the same 2000-query log.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqms_bench::logged_cqms;
 use cqms_core::metaquery::{TreePattern, FIGURE1_META_QUERY};
+use criterion::{criterion_group, criterion_main, Criterion};
 use workload::Domain;
 
 fn bench(c: &mut Criterion) {

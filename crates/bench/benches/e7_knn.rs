@@ -1,9 +1,9 @@
 //! E7 — kNN recommendation latency by similarity metric (§4.2: kNN
 //! meta-queries must be interactive; A3 ablation across distance kinds).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqms_bench::logged_cqms;
 use cqms_core::similarity::DistanceKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workload::Domain;
 
 const PROBE: &str = "SELECT * FROM WaterSalinity S, WaterTemp T \

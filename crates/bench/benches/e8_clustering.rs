@@ -1,8 +1,8 @@
 //! E8 — query clustering throughput (§4.3): one full miner epoch including
 //! the O(n²) distance matrix and k-medoids.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqms_bench::logged_cqms;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workload::Domain;
 
 fn bench(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! E9 — Apriori association-rule mining throughput (§4.3) as the
 //! transaction log grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqms_core::miner::assoc::mine_apriori;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workload::{Domain, Trace, TraceConfig};
 
 fn bench(c: &mut Criterion) {

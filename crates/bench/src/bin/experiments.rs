@@ -64,16 +64,23 @@ fn main() {
 // ---------------------------------------------------------------------
 fn e1_figure1_metaquery() {
     println!("## E1 — Figure 1 meta-query (query-by-feature)\n");
-    println!("| log size | matches | feature-SQL latency (us) | raw-text scan latency (us) | speedup |");
+    println!(
+        "| log size | matches | feature-SQL latency (us) | raw-text scan latency (us) | speedup |"
+    );
     println!("|---|---|---|---|---|");
     for &size in &[500usize, 2000, 8000] {
         let mut lc = logged_cqms(Domain::Lakes, size, 0xE1);
         let user = lc.users[0];
-        let result = lc.cqms.search_feature_sql(user, FIGURE1_META_QUERY).unwrap();
+        let result = lc
+            .cqms
+            .search_feature_sql(user, FIGURE1_META_QUERY)
+            .unwrap();
         let matches = result.rows.len();
 
         let t_feature = time_mean(5, || {
-            lc.cqms.search_feature_sql(user, FIGURE1_META_QUERY).unwrap()
+            lc.cqms
+                .search_feature_sql(user, FIGURE1_META_QUERY)
+                .unwrap()
         });
 
         // Ablation A1: the "raw text" data model — parse + extract features
@@ -116,8 +123,10 @@ fn e2_sessions() {
     println!("| idle gap (s) | boundary P | boundary R | boundary F1 | pairwise F1 |");
     println!("|---|---|---|---|---|");
     for &gap in &[120u64, 600, 1800] {
-        let mut cfg = CqmsConfig::default();
-        cfg.session_idle_gap_secs = gap;
+        let cfg = CqmsConfig {
+            session_idle_gap_secs: gap,
+            ..CqmsConfig::default()
+        };
         let lc = logged_cqms_with(Domain::Lakes, 600, 0xE2, cfg.clone());
         let refined = sessions::segment_log(&lc.cqms.storage, &cfg);
         let mut order: HashMap<UserId, Vec<QueryId>> = HashMap::new();
@@ -277,8 +286,10 @@ fn e4_profiler_overhead() {
             ProfilingDepth::Features,
             ProfilingDepth::Full,
         ] {
-            let mut cfg = CqmsConfig::default();
-            cfg.profiling_depth = depth;
+            let cfg = CqmsConfig {
+                profiling_depth: depth,
+                ..CqmsConfig::default()
+            };
             let engine = trace.build_engine();
             let mut cqms = Cqms::new(engine, cfg);
             let u = cqms.register_user("u");
@@ -311,8 +322,11 @@ fn e5_query_by_data() {
     // separating predicate.
     let mut engine = relstore::Engine::new();
     Domain::Lakes.setup(&mut engine, 400, 0xE5);
-    let mut cfg = CqmsConfig::default();
-    cfg.full_output_min_rows = 10_000; // store everything → exhaustive summaries
+    // Store everything → exhaustive summaries.
+    let cfg = CqmsConfig {
+        full_output_min_rows: 10_000,
+        ..CqmsConfig::default()
+    };
     let mut cqms = Cqms::new(engine, cfg);
     let u = cqms.register_user("u");
     for thr in [12, 15, 18, 20, 22, 25] {
@@ -323,13 +337,13 @@ fn e5_query_by_data() {
         .unwrap();
     }
     let hits = cqms.search_by_data(u, &["Lake Washington"], &["Lake Union"], false);
-    let all_separating = hits
-        .iter()
-        .all(|id| {
-            let sql = &cqms.storage.get(*id).unwrap().raw_sql;
-            // Lake Union temps start at 18.5 in the generator.
-            ["12", "15", "18"].iter().any(|t| sql.contains(&format!("< {t}")))
-        });
+    let all_separating = hits.iter().all(|id| {
+        let sql = &cqms.storage.get(*id).unwrap().raw_sql;
+        // Lake Union temps start at 18.5 in the generator.
+        ["12", "15", "18"]
+            .iter()
+            .any(|t| sql.contains(&format!("< {t}")))
+    });
     println!(
         "controlled log: {} queries match include=[Lake Washington], exclude=[Lake Union]; \
          all matches use a separating threshold: {all_separating}\n",
@@ -349,9 +363,9 @@ fn e5_query_by_data() {
         }
         let mut lc = logged_cqms_with(Domain::Lakes, size, 0xE5, cfg);
         let user = lc.users[0];
-        let hits =
-            lc.cqms
-                .search_by_data(user, &["Lake Washington"], &["Lake Union"], false);
+        let hits = lc
+            .cqms
+            .search_by_data(user, &["Lake Washington"], &["Lake Union"], false);
         let t = time_mean(5, || {
             lc.cqms
                 .search_by_data(user, &["Lake Washington"], &["Lake Union"], false)
@@ -382,7 +396,9 @@ fn e6_search_modes() {
     println!("| mode | results | latency (us) |");
     println!("|---|---|---|");
     let n_kw = lc.cqms.search_keyword(user, "salinity temp", 10).len();
-    let t_kw = time_mean(20, || lc.cqms.search_keyword(user, "salinity temp", 10).len());
+    let t_kw = time_mean(20, || {
+        lc.cqms.search_keyword(user, "salinity temp", 10).len()
+    });
     println!("| keyword (TF-IDF top-10) | {n_kw} | {} |", us(t_kw));
     let n_sub = lc.cqms.search_substring(user, "temp < 1").len();
     let t_sub = time_mean(20, || lc.cqms.search_substring(user, "temp < 1").len());
@@ -444,7 +460,10 @@ fn e7_knn() {
             }
             let probe = probes[0].0.clone();
             let t = time_mean(10, || {
-                lc.cqms.similar_queries(user, &probe, 5, metric).unwrap().len()
+                lc.cqms
+                    .similar_queries(user, &probe, 5, metric)
+                    .unwrap()
+                    .len()
             });
             println!(
                 "| {size} | {metric:?} | {:.2} | {} |",
@@ -627,8 +646,11 @@ fn e12_access_control() {
     cqms.join_group(bob, lab).unwrap();
     // Alice logs 200 group-visible queries.
     for i in 0..200 {
-        cqms.run_query(alice, &format!("SELECT * FROM WaterTemp WHERE temp < {}", i % 25))
-            .unwrap();
+        cqms.run_query(
+            alice,
+            &format!("SELECT * FROM WaterTemp WHERE temp < {}", i % 25),
+        )
+        .unwrap();
     }
     let in_group = cqms.search_keyword(bob, "watertemp", 500).len();
     let outside = cqms.search_keyword(eve, "watertemp", 500).len();

@@ -16,6 +16,11 @@ use crate::storage::QueryStorage;
 use sqlparse::{Keyword, Lexer, TokenKind};
 use std::collections::{HashMap, HashSet};
 
+/// A predicate shape: (table, column, operator).
+type PredicateKey = (String, String, String);
+/// Popularity of one predicate shape: (count, constant → count).
+type PredicateStats = (u32, HashMap<String, u32>);
+
 /// What the cursor is positioned to complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompletionContext {
@@ -95,8 +100,11 @@ impl<'a> CompletionEngine<'a> {
             .map(|c| c.is_whitespace() || c == ',' || c == '(')
             .unwrap_or(true);
         let mut prefix = String::new();
-        let mut effective: Vec<&TokenKind> =
-            tokens.iter().map(|t| &t.kind).filter(|k| **k != TokenKind::Eof).collect();
+        let mut effective: Vec<&TokenKind> = tokens
+            .iter()
+            .map(|t| &t.kind)
+            .filter(|k| **k != TokenKind::Eof)
+            .collect();
         if !trailing_ws {
             if let Some(TokenKind::Ident(last)) = effective.last().copied() {
                 prefix = last.clone();
@@ -157,15 +165,19 @@ impl<'a> CompletionEngine<'a> {
 
     /// Table suggestions: association rules first (context-aware), then
     /// global popularity, then catalog order.
-    pub fn suggest_tables(&mut self, present: &[String], prefix: &str, k: usize) -> Vec<Suggestion> {
+    pub fn suggest_tables(
+        &mut self,
+        present: &[String],
+        prefix: &str,
+        k: usize,
+    ) -> Vec<Suggestion> {
         let prefix_l = prefix.to_ascii_lowercase();
         let mut out: Vec<Suggestion> = Vec::new();
         let mut suggested: HashSet<String> = HashSet::new();
 
         // 1. Context-aware: rules whose antecedents hold.
         if !present.is_empty() {
-            let ctx: HashSet<String> =
-                present.iter().map(|t| format!("table:{t}")).collect();
+            let ctx: HashSet<String> = present.iter().map(|t| format!("table:{t}")).collect();
             let rule_hits = self.rules.suggest(
                 &ctx,
                 self.config.assoc_min_support,
@@ -206,10 +218,7 @@ impl<'a> CompletionEngine<'a> {
             if out.len() >= k {
                 break;
             }
-            if !t.starts_with(&prefix_l)
-                || present.contains(&t)
-                || suggested.contains(&t)
-            {
+            if !t.starts_with(&prefix_l) || present.contains(&t) || suggested.contains(&t) {
                 continue;
             }
             suggested.insert(t.clone());
@@ -230,10 +239,7 @@ impl<'a> CompletionEngine<'a> {
                 if out.len() >= k {
                     break;
                 }
-                if !t.starts_with(&prefix_l)
-                    || present.contains(t)
-                    || suggested.contains(t)
-                {
+                if !t.starts_with(&prefix_l) || present.contains(t) || suggested.contains(t) {
                     continue;
                 }
                 out.push(Suggestion {
@@ -315,9 +321,7 @@ impl<'a> CompletionEngine<'a> {
         k: usize,
     ) -> Vec<Suggestion> {
         let prefix_l = prefix.to_ascii_lowercase();
-        // (table, column, op) → (count, constant → count).
-        let mut pop: HashMap<(String, String, String), (u32, HashMap<String, u32>)> =
-            HashMap::new();
+        let mut pop: HashMap<PredicateKey, PredicateStats> = HashMap::new();
         for r in self.storage.iter_live() {
             for p in &r.features.predicates {
                 if !present.is_empty() && !present.contains(&p.table) && !p.table.is_empty() {
@@ -331,8 +335,7 @@ impl<'a> CompletionEngine<'a> {
             }
         }
         let max_pop = pop.values().map(|(c, _)| *c).max().unwrap_or(1) as f64;
-        let mut list: Vec<((String, String, String), (u32, HashMap<String, u32>))> =
-            pop.into_iter().collect();
+        let mut list: Vec<(PredicateKey, PredicateStats)> = pop.into_iter().collect();
         list.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(&b.0)));
         let mut out = Vec::new();
         for ((_t, col, op), (count, consts)) in list {
@@ -421,8 +424,7 @@ mod tests {
         assert_eq!(prefix, "Wat");
         assert_eq!(tables, vec!["watersalinity"]);
 
-        let (ctx, _, tables) =
-            CompletionEngine::detect_context("SELECT * FROM WaterTemp WHERE te");
+        let (ctx, _, tables) = CompletionEngine::detect_context("SELECT * FROM WaterTemp WHERE te");
         assert_eq!(ctx, CompletionContext::Predicate);
         assert_eq!(tables, vec!["watertemp"]);
 
@@ -485,10 +487,7 @@ mod tests {
         let cfg = CqmsConfig::default();
         let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
         let hits = ce.suggest_predicates(&["watertemp".to_string()], "", 5);
-        assert!(
-            hits.iter().any(|s| s.text == "temp < 18"),
-            "{hits:?}"
-        );
+        assert!(hits.iter().any(|s| s.text == "temp < 18"), "{hits:?}");
     }
 
     #[test]

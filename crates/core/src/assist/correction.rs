@@ -47,11 +47,7 @@ impl<'a> CorrectionEngine<'a> {
 
     /// Spell-check relation and attribute names of `sql` against the
     /// catalog. Returns corrections for identifiers that do not resolve.
-    pub fn check_identifiers(
-        &self,
-        engine: &relstore::Engine,
-        sql: &str,
-    ) -> Vec<Correction> {
+    pub fn check_identifiers(&self, engine: &relstore::Engine, sql: &str) -> Vec<Correction> {
         let Ok(stmt) = sqlparse::parse(sql) else {
             return Vec::new();
         };
@@ -111,7 +107,11 @@ impl<'a> CorrectionEngine<'a> {
                 }
             }
         }
-        out.sort_by(|a, b| a.distance.cmp(&b.distance).then_with(|| a.wrong.cmp(&b.wrong)));
+        out.sort_by(|a, b| {
+            a.distance
+                .cmp(&b.distance)
+                .then_with(|| a.wrong.cmp(&b.wrong))
+        });
         out.dedup();
         out
     }
@@ -146,10 +146,7 @@ impl<'a> CorrectionEngine<'a> {
             let dropped = rest.remove(i);
             let mut cand = base.clone();
             cand.where_clause = Expr::from_conjuncts(rest);
-            candidates.push((
-                format!("drop predicate '{}'", expr_to_sql(&dropped)),
-                cand,
-            ));
+            candidates.push((format!("drop predicate '{}'", expr_to_sql(&dropped)), cand));
         }
 
         // (b) Replace the constant of each comparison conjunct with popular
@@ -260,7 +257,10 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 }
 
 /// The nearest candidate by Levenshtein distance.
-fn nearest<'x>(target: &str, candidates: impl Iterator<Item = &'x str>) -> Option<(&'x str, usize)> {
+fn nearest<'x>(
+    target: &str,
+    candidates: impl Iterator<Item = &'x str>,
+) -> Option<(&'x str, usize)> {
     candidates
         .map(|c| (c, levenshtein(target, c)))
         .min_by_key(|(c, d)| (*d, c.len()))
@@ -330,7 +330,11 @@ mod tests {
         let st = storage_with(&[]);
         let ce = CorrectionEngine::new(&st);
         let cs = ce.check_identifiers(&en, "SELECT tmep FROM WaterTemp");
-        assert!(cs.iter().any(|c| c.suggestion == "temp" && c.kind == "column"), "{cs:?}");
+        assert!(
+            cs.iter()
+                .any(|c| c.suggestion == "temp" && c.kind == "column"),
+            "{cs:?}"
+        );
     }
 
     #[test]

@@ -7,5 +7,5 @@ pub mod correction;
 pub mod recommend;
 
 pub use completion::{CompletionContext, CompletionEngine, Suggestion};
-pub use correction::{CorrectionEngine, Correction, RepairSuggestion};
+pub use correction::{Correction, CorrectionEngine, RepairSuggestion};
 pub use recommend::{recommend_panel, PanelRow};

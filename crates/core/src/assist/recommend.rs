@@ -170,9 +170,7 @@ mod tests {
         assert!(rows[0].score_pct >= rows[1].score_pct);
         assert!(rows[1].score_pct >= rows[2].score_pct);
         // The annotated query surfaces its annotation.
-        assert!(rows
-            .iter()
-            .any(|r| r.annotation.contains("Seattle lakes")));
+        assert!(rows.iter().any(|r| r.annotation.contains("Seattle lakes")));
     }
 
     #[test]

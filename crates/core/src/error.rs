@@ -59,7 +59,9 @@ mod tests {
             what: "query 7".into(),
         };
         assert!(e.to_string().contains("user 3"));
-        assert!(CqmsError::NotFound("q".into()).to_string().contains("not found"));
+        assert!(CqmsError::NotFound("q".into())
+            .to_string()
+            .contains("not found"));
     }
 
     #[test]

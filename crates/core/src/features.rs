@@ -374,9 +374,9 @@ fn walk_expr_features(ex: &mut Extractor<'_>, e: &Expr) {
 fn has_aggregate(s: &SelectStatement) -> bool {
     fn in_expr(e: &Expr) -> bool {
         match e {
-            Expr::Function { name, star, args, .. } => {
-                relstore::expr_is_aggregate(name, *star) || args.iter().any(in_expr)
-            }
+            Expr::Function {
+                name, star, args, ..
+            } => relstore::expr_is_aggregate(name, *star) || args.iter().any(in_expr),
             Expr::Binary { left, right, .. } => in_expr(left) || in_expr(right),
             Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => in_expr(expr),
             _ => false,
@@ -498,14 +498,26 @@ pub fn insert_features(
     // Keep index freshness lazy: relstore invalidates on DML automatically
     // only through Engine::execute; direct table inserts require an explicit
     // invalidation.
-    for t in ["Queries", "DataSources", "Attributes", "Predicates", "QueryMeta"] {
+    for t in [
+        "Queries",
+        "DataSources",
+        "Attributes",
+        "Predicates",
+        "QueryMeta",
+    ] {
         engine.invalidate_indexes(t);
     }
 }
 
 /// Remove a query's rows from all feature relations (owner deletion, §2.4).
 pub fn delete_features(engine: &mut Engine, qid: u64) {
-    for t in ["Queries", "DataSources", "Attributes", "Predicates", "QueryMeta"] {
+    for t in [
+        "Queries",
+        "DataSources",
+        "Attributes",
+        "Predicates",
+        "QueryMeta",
+    ] {
         engine
             .execute(&format!("DELETE FROM {t} WHERE qid = {qid}"))
             .expect("feature delete");

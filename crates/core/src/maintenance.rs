@@ -276,11 +276,8 @@ pub fn recompute_quality(storage: &mut QueryStorage) {
             Validity::Valid | Validity::Repaired { .. } => 1.0,
             _ => 0.0,
         };
-        r.quality = 0.35 * success
-            + 0.2 * efficiency
-            + 0.2 * simplicity
-            + 0.15 * documented
-            + 0.1 * fresh;
+        r.quality =
+            0.35 * success + 0.2 * efficiency + 0.2 * simplicity + 0.15 * documented + 0.1 * fresh;
     }
 }
 
@@ -329,7 +326,11 @@ mod tests {
     fn rename_column_is_repaired() {
         let mut en = engine();
         let mut st = QueryStorage::new();
-        let id = log_query(&mut st, &mut en, "SELECT temp FROM WaterTemp WHERE temp < 18");
+        let id = log_query(
+            &mut st,
+            &mut en,
+            "SELECT temp FROM WaterTemp WHERE temp < 18",
+        );
         en.execute("ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature")
             .unwrap();
         let report = scan_schema_changes(&mut st, &en).unwrap();
@@ -353,7 +354,8 @@ mod tests {
         let mut en = engine();
         let mut st = QueryStorage::new();
         let id = log_query(&mut st, &mut en, "SELECT temp FROM WaterTemp");
-        en.execute("ALTER TABLE WaterTemp RENAME TO LakeTemp").unwrap();
+        en.execute("ALTER TABLE WaterTemp RENAME TO LakeTemp")
+            .unwrap();
         let report = scan_schema_changes(&mut st, &en).unwrap();
         assert_eq!(report.repaired, vec![id]);
         let r = st.get(id).unwrap();
@@ -366,7 +368,8 @@ mod tests {
         let mut en = engine();
         let mut st = QueryStorage::new();
         let id = log_query(&mut st, &mut en, "SELECT month FROM WaterTemp");
-        en.execute("ALTER TABLE WaterTemp DROP COLUMN month").unwrap();
+        en.execute("ALTER TABLE WaterTemp DROP COLUMN month")
+            .unwrap();
         let report = scan_schema_changes(&mut st, &en).unwrap();
         assert_eq!(report.flagged, vec![id]);
         assert!(matches!(
@@ -398,7 +401,8 @@ mod tests {
         assert_eq!(report.affected, 0);
         assert_eq!(st.get(id).unwrap().validity, Validity::Valid);
         // ADD COLUMN is benign for existing queries.
-        en.execute("ALTER TABLE Lakes ADD COLUMN volume FLOAT").unwrap();
+        en.execute("ALTER TABLE Lakes ADD COLUMN volume FLOAT")
+            .unwrap();
         let report = scan_schema_changes(&mut st, &en).unwrap();
         assert_eq!(report.affected, 1);
         assert!(report.repaired.is_empty() && report.flagged.is_empty());
@@ -418,7 +422,8 @@ mod tests {
         assert!(r0.drifted_tables.is_empty());
         assert!(r0.refreshed.is_empty());
         // Massive shift in WaterTemp only.
-        en.execute("UPDATE WaterTemp SET temp = temp + 1000").unwrap();
+        en.execute("UPDATE WaterTemp SET temp = temp + 1000")
+            .unwrap();
         let r1 = refresh_statistics(&mut st, &mut en, &mut baseline, &cfg).unwrap();
         assert_eq!(r1.drifted_tables, vec!["watertemp"]);
         assert_eq!(r1.refreshed, vec![q_temp]);
@@ -436,11 +441,14 @@ mod tests {
                 &format!("SELECT * FROM WaterTemp WHERE temp < {}", 10 + i),
             );
         }
-        let mut cfg = CqmsConfig::default();
-        cfg.refresh_budget = 3;
+        let cfg = CqmsConfig {
+            refresh_budget: 3,
+            ..CqmsConfig::default()
+        };
         let mut baseline = HashMap::new();
         refresh_statistics(&mut st, &mut en, &mut baseline, &cfg).unwrap();
-        en.execute("UPDATE WaterTemp SET temp = temp * 100").unwrap();
+        en.execute("UPDATE WaterTemp SET temp = temp * 100")
+            .unwrap();
         let r = refresh_statistics(&mut st, &mut en, &mut baseline, &cfg).unwrap();
         assert_eq!(r.refreshed.len(), 3);
         assert_eq!(r.skipped_over_budget, 3);
@@ -450,7 +458,11 @@ mod tests {
     fn quality_scoring_orders_sensibly() {
         let mut en = engine();
         let mut st = QueryStorage::new();
-        let good = log_query(&mut st, &mut en, "SELECT temp FROM WaterTemp WHERE temp < 18");
+        let good = log_query(
+            &mut st,
+            &mut en,
+            "SELECT temp FROM WaterTemp WHERE temp < 18",
+        );
         st.annotate(
             good,
             Annotation {

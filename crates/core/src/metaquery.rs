@@ -296,8 +296,7 @@ impl<'a> MetaQueryExecutor<'a> {
                                 let has = |needle: &str| {
                                     cells.iter().any(|c| c.eq_ignore_ascii_case(needle))
                                 };
-                                if include.iter().all(|v| has(v))
-                                    && exclude.iter().all(|v| !has(v))
+                                if include.iter().all(|v| has(v)) && exclude.iter().all(|v| !has(v))
                                 {
                                     out.push(r.id);
                                 }
@@ -629,7 +628,11 @@ mod tests {
             "SELECT lake FROM WaterTemp WHERE temp < 25",
             vec!["Lake Washington", "Lake Union"],
         );
-        add_with(2, "SELECT lake FROM WaterTemp WHERE temp > 20", vec!["Lake Union"]);
+        add_with(
+            2,
+            "SELECT lake FROM WaterTemp WHERE temp > 20",
+            vec!["Lake Union"],
+        );
         let dir = Directory::new();
         let cfg = CqmsConfig::default();
         let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);

@@ -150,10 +150,8 @@ pub fn mine_apriori(
             }
         }
     }
-    let f2: HashMap<(&str, &str), u32> = c2
-        .into_iter()
-        .filter(|(_, c)| *c >= min_support)
-        .collect();
+    let f2: HashMap<(&str, &str), u32> =
+        c2.into_iter().filter(|(_, c)| *c >= min_support).collect();
 
     // Pass 3: frequent triples (candidates joined from f2, pruned).
     let mut c3: HashMap<(&str, &str, &str), u32> = HashMap::new();
@@ -172,16 +170,15 @@ pub fn mine_apriori(
                     if f2.contains_key(&(frequent[j], frequent[l]))
                         && f2.contains_key(&(frequent[i], frequent[l]))
                     {
-                        *c3.entry((frequent[i], frequent[j], frequent[l])).or_insert(0) += 1;
+                        *c3.entry((frequent[i], frequent[j], frequent[l]))
+                            .or_insert(0) += 1;
                     }
                 }
             }
         }
     }
-    let f3: HashMap<(&str, &str, &str), u32> = c3
-        .into_iter()
-        .filter(|(_, c)| *c >= min_support)
-        .collect();
+    let f3: HashMap<(&str, &str, &str), u32> =
+        c3.into_iter().filter(|(_, c)| *c >= min_support).collect();
 
     let nf = n as f64;
     let mut rules: Vec<AssocRule> = Vec::new();

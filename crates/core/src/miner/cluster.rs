@@ -71,7 +71,7 @@ pub fn kmedoids(dist: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Clu
         let mut improved = false;
         // For each cluster, try moving the medoid to the member minimising
         // intra-cluster distance (the "alternate" k-medoids step).
-        for c in 0..medoids.len() {
+        for (c, medoid) in medoids.iter_mut().enumerate() {
             let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
             if members.is_empty() {
                 continue;
@@ -85,8 +85,8 @@ pub fn kmedoids(dist: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Clu
                     da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .unwrap();
-            if best != medoids[c] {
-                medoids[c] = best;
+            if best != *medoid {
+                *medoid = best;
                 improved = true;
             }
         }

@@ -49,8 +49,7 @@ impl EditPatternMiner {
 
     /// Most common single edits, descending.
     pub fn top_edits(&self, k: usize) -> Vec<(&'static str, u32)> {
-        let mut v: Vec<(&'static str, u32)> =
-            self.unigrams.iter().map(|(&a, &c)| (a, c)).collect();
+        let mut v: Vec<(&'static str, u32)> = self.unigrams.iter().map(|(&a, &c)| (a, c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         v.truncate(k);
         v

@@ -197,10 +197,7 @@ mod tests {
 
     #[test]
     fn users_never_share_sessions() {
-        let st = storage_from(&[
-            (1, 0, "SELECT * FROM a"),
-            (2, 1, "SELECT * FROM a"),
-        ]);
+        let st = storage_from(&[(1, 0, "SELECT * FROM a"), (2, 1, "SELECT * FROM a")]);
         let seg = segment_log(&st, &CqmsConfig::default());
         assert_ne!(seg[&QueryId(0)], seg[&QueryId(1)]);
     }
@@ -211,10 +208,14 @@ mod tests {
             UserId(1),
             vec![QueryId(0), QueryId(1), QueryId(2), QueryId(3)],
         )];
-        let truth: HashMap<QueryId, u64> =
-            [(QueryId(0), 0), (QueryId(1), 0), (QueryId(2), 1), (QueryId(3), 1)]
-                .into_iter()
-                .collect();
+        let truth: HashMap<QueryId, u64> = [
+            (QueryId(0), 0),
+            (QueryId(1), 0),
+            (QueryId(2), 1),
+            (QueryId(3), 1),
+        ]
+        .into_iter()
+        .collect();
         let perfect: HashMap<QueryId, SessionId> = [
             (QueryId(0), SessionId(5)),
             (QueryId(1), SessionId(5)),
@@ -228,9 +229,8 @@ mod tests {
         assert_eq!(q.pairwise_f1, 1.0);
 
         // Over-segmented: every query its own session.
-        let over: HashMap<QueryId, SessionId> = (0..4)
-            .map(|i| (QueryId(i), SessionId(i)))
-            .collect();
+        let over: HashMap<QueryId, SessionId> =
+            (0..4).map(|i| (QueryId(i), SessionId(i))).collect();
         let q = segmentation_quality(&order, &truth, &over);
         assert!(q.boundary_precision < 1.0);
         assert_eq!(q.boundary_recall, 1.0);

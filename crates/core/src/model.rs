@@ -134,11 +134,20 @@ pub struct Annotation {
 pub enum Validity {
     Valid,
     /// Possibly broken by schema evolution; kept but flagged.
-    Flagged { reason: String, at: u64 },
+    Flagged {
+        reason: String,
+        at: u64,
+    },
     /// Automatically repaired; original text preserved.
-    Repaired { original_sql: String, at: u64 },
+    Repaired {
+        original_sql: String,
+        at: u64,
+    },
     /// Confirmed broken and irreparable.
-    Obsolete { reason: String, at: u64 },
+    Obsolete {
+        reason: String,
+        at: u64,
+    },
     /// Deleted by its owner or an administrator (tombstoned).
     Deleted,
 }

@@ -60,6 +60,10 @@ impl Profiler {
 
     /// Profile and execute one statement on behalf of `user` at trace time
     /// `ts` (seconds). This is the Traditional Interaction entry point.
+    // The argument list mirrors the paper's Figure 4 wiring (config, storage,
+    // engine, plus the per-query inputs); bundling them into a context struct
+    // would add indirection for the single `Cqms::run_query_at` caller.
+    #[allow(clippy::too_many_arguments)]
     pub fn profile(
         &mut self,
         config: &CqmsConfig,
@@ -123,9 +127,7 @@ impl Profiler {
 
         // 4. Adaptive output summarisation (§4.1, depth = Full).
         let summary = match (&result, config.profiling_depth) {
-            (Some(r), ProfilingDepth::Full) if !r.columns.is_empty() => {
-                summarize_output(config, r)
-            }
+            (Some(r), ProfilingDepth::Full) if !r.columns.is_empty() => summarize_output(config, r),
             _ => OutputSummary::None,
         };
 
@@ -298,7 +300,10 @@ mod tests {
         assert!(rec.runtime.cardinality > 0);
         assert!(!rec.runtime.plan.is_empty());
         assert!(rec.features.tables.contains(&"watertemp".to_string()));
-        assert!(matches!(rec.summary, OutputSummary::Full { .. } | OutputSummary::Sample { .. }));
+        assert!(matches!(
+            rec.summary,
+            OutputSummary::Full { .. } | OutputSummary::Sample { .. }
+        ));
     }
 
     #[test]
@@ -341,10 +346,26 @@ mod tests {
         let (cfg, mut st, mut en, mut p) = setup();
         let q = "SELECT * FROM WaterTemp WHERE temp < 18";
         let a = p
-            .profile(&cfg, &mut st, &mut en, UserId(1), Visibility::Public, q, 100)
+            .profile(
+                &cfg,
+                &mut st,
+                &mut en,
+                UserId(1),
+                Visibility::Public,
+                q,
+                100,
+            )
             .unwrap();
         let b = p
-            .profile(&cfg, &mut st, &mut en, UserId(1), Visibility::Public, q, 200)
+            .profile(
+                &cfg,
+                &mut st,
+                &mut en,
+                UserId(1),
+                Visibility::Public,
+                q,
+                200,
+            )
             .unwrap();
         // Large gap + different tables → new session.
         let c = p
@@ -401,15 +422,28 @@ mod tests {
         let (cfg, mut st, mut en, mut p) = setup();
         let q = "SELECT * FROM WaterTemp";
         let a = p
-            .profile(&cfg, &mut st, &mut en, UserId(1), Visibility::Public, q, 100)
+            .profile(
+                &cfg,
+                &mut st,
+                &mut en,
+                UserId(1),
+                Visibility::Public,
+                q,
+                100,
+            )
             .unwrap();
         let b = p
-            .profile(&cfg, &mut st, &mut en, UserId(2), Visibility::Public, q, 101)
+            .profile(
+                &cfg,
+                &mut st,
+                &mut en,
+                UserId(2),
+                Visibility::Public,
+                q,
+                101,
+            )
             .unwrap();
-        assert_ne!(
-            st.get(a.id).unwrap().session,
-            st.get(b.id).unwrap().session
-        );
+        assert_ne!(st.get(a.id).unwrap().session, st.get(b.id).unwrap().session);
     }
 
     #[test]
@@ -519,7 +553,9 @@ mod tests {
             )
             .unwrap();
         match &st.get(large.id).unwrap().summary {
-            OutputSummary::Sample { rows, total_rows, .. } => {
+            OutputSummary::Sample {
+                rows, total_rows, ..
+            } => {
                 assert_eq!(rows.len(), 4);
                 assert_eq!(*total_rows, 100);
             }

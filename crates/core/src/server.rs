@@ -307,16 +307,19 @@ impl Cqms {
         let mut report = MinerReport::default();
 
         // Association rules.
-        self.last_rules = self
-            .rules
-            .mine(self.config.assoc_min_support, self.config.assoc_min_confidence);
+        self.last_rules = self.rules.mine(
+            self.config.assoc_min_support,
+            self.config.assoc_min_confidence,
+        );
         report.association_rules = self.last_rules.len();
 
         // Clustering over live queries.
         let ids: Vec<QueryId> = self.storage.iter_live().map(|r| r.id).collect();
         if ids.len() >= 4 {
-            let records: Vec<&QueryRecord> =
-                ids.iter().map(|id| self.storage.get(*id).unwrap()).collect();
+            let records: Vec<&QueryRecord> = ids
+                .iter()
+                .map(|id| self.storage.get(*id).unwrap())
+                .collect();
             let n = records.len();
             let mut dist = vec![vec![0.0f64; n]; n];
             for i in 0..n {
@@ -384,7 +387,12 @@ impl Cqms {
         } else {
             (((n as f64) / 2.0).sqrt().round() as usize).max(2)
         };
-        cluster::cluster_sessions(&self.storage, k, self.config.cluster_max_iters, self.config.seed)
+        cluster::cluster_sessions(
+            &self.storage,
+            k,
+            self.config.cluster_max_iters,
+            self.config.seed,
+        )
     }
 
     /// Record an *investigation* relation between two queries (§4.1: "the
@@ -493,7 +501,7 @@ impl Cqms {
 /// Handle to a background miner thread (§3: "the Query Miner … runs in the
 /// background … periodically").
 pub struct BackgroundMiner {
-    stop_tx: crossbeam::channel::Sender<()>,
+    stop_tx: std::sync::mpsc::SyncSender<()>,
     handle: Option<std::thread::JoinHandle<usize>>,
 }
 
@@ -510,13 +518,13 @@ impl BackgroundMiner {
 
 /// Spawn a miner thread that runs an epoch every `interval` until stopped.
 pub fn spawn_background_miner(cqms: Arc<RwLock<Cqms>>, interval: Duration) -> BackgroundMiner {
-    let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+    let (stop_tx, stop_rx) = std::sync::mpsc::sync_channel::<()>(1);
     let handle = std::thread::spawn(move || {
         let mut epochs = 0usize;
         loop {
             match stop_rx.recv_timeout(interval) {
-                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                     cqms.write().run_miner_epoch();
                     epochs += 1;
                 }
@@ -599,8 +607,11 @@ mod tests {
             .unwrap();
         }
         for i in 0..6 {
-            c.run_query(u, &format!("SELECT city FROM CityLocations WHERE pop > {i}"))
-                .unwrap();
+            c.run_query(
+                u,
+                &format!("SELECT city FROM CityLocations WHERE pop > {i}"),
+            )
+            .unwrap();
         }
         let report = c.run_miner_epoch();
         assert!(report.association_rules > 0);

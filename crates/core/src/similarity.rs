@@ -114,12 +114,7 @@ pub fn output_distance(a: &QueryRecord, b: &QueryRecord) -> Option<f64> {
 }
 
 /// Distance under the chosen metric, in [0, 1].
-pub fn distance(
-    a: &QueryRecord,
-    b: &QueryRecord,
-    kind: DistanceKind,
-    config: &CqmsConfig,
-) -> f64 {
+pub fn distance(a: &QueryRecord, b: &QueryRecord, kind: DistanceKind, config: &CqmsConfig) -> f64 {
     match kind {
         DistanceKind::Features => feature_distance(a, b, config),
         DistanceKind::ParseTree => tree_distance(a, b),
@@ -226,19 +221,24 @@ mod tests {
         let a = rec(0, "SELECT * FROM WaterSalinity, WaterTemp");
         let b = rec(1, "SELECT * FROM WaterTemp, CityLocations");
         let c = rec(2, "SELECT * FROM Lakes");
-        assert!(
-            feature_distance(&a, &b, &cfg) < feature_distance(&a, &c, &cfg)
-        );
+        assert!(feature_distance(&a, &b, &cfg) < feature_distance(&a, &c, &cfg));
     }
 
     #[test]
     fn output_distance_matches_black_box_view() {
-        let a = with_summary(rec(0, "SELECT lake FROM WaterTemp WHERE temp < 18"),
-                             vec![vec!["Lake Washington"], vec!["Green Lake"]]);
+        let a = with_summary(
+            rec(0, "SELECT lake FROM WaterTemp WHERE temp < 18"),
+            vec![vec!["Lake Washington"], vec!["Green Lake"]],
+        );
         // Different text, same output → output distance 0.
-        let b = with_summary(rec(1, "SELECT lake FROM Lakes WHERE max_depth > 5"),
-                             vec![vec!["Lake Washington"], vec!["Green Lake"]]);
-        let c = with_summary(rec(2, "SELECT lake FROM WaterTemp"), vec![vec!["Lake Union"]]);
+        let b = with_summary(
+            rec(1, "SELECT lake FROM Lakes WHERE max_depth > 5"),
+            vec![vec!["Lake Washington"], vec!["Green Lake"]],
+        );
+        let c = with_summary(
+            rec(2, "SELECT lake FROM WaterTemp"),
+            vec![vec!["Lake Union"]],
+        );
         assert_eq!(output_distance(&a, &b), Some(0.0));
         assert_eq!(output_distance(&a, &c), Some(1.0));
         assert_eq!(output_distance(&a, &rec(3, "SELECT 1")), None);

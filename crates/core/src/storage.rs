@@ -194,11 +194,7 @@ impl QueryStorage {
     }
 
     /// Attach an annotation (§2.1).
-    pub fn annotate(
-        &mut self,
-        id: QueryId,
-        annotation: Annotation,
-    ) -> Result<(), CqmsError> {
+    pub fn annotate(&mut self, id: QueryId, annotation: Annotation) -> Result<(), CqmsError> {
         self.get_mut(id)?.annotations.push(annotation);
         Ok(())
     }
@@ -340,8 +336,15 @@ impl QueryStorage {
                 EdgeKind::Investigation => "investigation",
             };
             let labels: Vec<String> = e.edits.iter().map(|op| esc(&op.label())).collect();
-            writeln!(w, "{}\t{}\t{}\t{}", e.from.0, e.to.0, kind, labels.join("\u{1}"))
-                .map_err(io_err)?;
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}",
+                e.from.0,
+                e.to.0,
+                kind,
+                labels.join("\u{1}")
+            )
+            .map_err(io_err)?;
         }
         Ok(())
     }
@@ -627,10 +630,7 @@ mod tests {
 
     fn record(id: u64, user: u32, ts: u64, sql: &str, session: u64) -> QueryRecord {
         let stmt = sqlparse::parse(sql).ok();
-        let feats = stmt
-            .as_ref()
-            .map(|s| extract(s, None))
-            .unwrap_or_default();
+        let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
         make_record(
             QueryId(id),
             UserId(user),
@@ -652,8 +652,20 @@ mod tests {
 
     fn populated() -> QueryStorage {
         let mut s = QueryStorage::new();
-        s.insert(record(0, 1, 10, "SELECT * FROM WaterTemp WHERE temp < 22", 0));
-        s.insert(record(1, 1, 40, "SELECT * FROM WaterTemp WHERE temp < 18", 0));
+        s.insert(record(
+            0,
+            1,
+            10,
+            "SELECT * FROM WaterTemp WHERE temp < 22",
+            0,
+        ));
+        s.insert(record(
+            1,
+            1,
+            40,
+            "SELECT * FROM WaterTemp WHERE temp < 18",
+            0,
+        ));
         s.insert(record(
             2,
             2,

@@ -101,7 +101,12 @@ pub fn render_panel(rows: &[PanelRow]) -> String {
 /// individual queries", §2.2).
 pub fn render_log_summary(storage: &QueryStorage, max_sessions: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{} queries in {} sessions", storage.live_count(), storage.session_ids().len());
+    let _ = writeln!(
+        out,
+        "{} queries in {} sessions",
+        storage.live_count(),
+        storage.session_ids().len()
+    );
     for session in storage.session_ids().into_iter().take(max_sessions) {
         let ids = storage.queries_in_session(session);
         let Some(&first_id) = ids.first() else {
@@ -197,7 +202,10 @@ mod tests {
         assert!(viz.contains("02:35"), "{viz}");
         // The signature edits of Figure 2.
         assert!(viz.contains("+watersalinity"), "{viz}");
-        assert!(viz.contains("'watertemp.temp < 22' \u{2192} 'watertemp.temp < 10'"), "{viz}");
+        assert!(
+            viz.contains("'watertemp.temp < 22' \u{2192} 'watertemp.temp < 10'"),
+            "{viz}"
+        );
         // Six nodes.
         assert_eq!(viz.matches("[q").count(), 6);
     }

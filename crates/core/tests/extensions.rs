@@ -86,8 +86,10 @@ fn investigation_requires_visibility() {
 #[test]
 fn tree_edit_metric_in_knn() {
     let (mut c, u) = lakes_cqms();
-    c.run_query(u, "SELECT * FROM WaterTemp WHERE temp < 18").unwrap();
-    c.run_query(u, "SELECT * FROM WaterTemp WHERE temp < 22").unwrap();
+    c.run_query(u, "SELECT * FROM WaterTemp WHERE temp < 18")
+        .unwrap();
+    c.run_query(u, "SELECT * FROM WaterTemp WHERE temp < 22")
+        .unwrap();
     c.run_query(u, "SELECT city, COUNT(*) FROM CityLocations GROUP BY city")
         .unwrap();
     let hits = c
@@ -107,9 +109,13 @@ fn tree_edit_metric_in_knn() {
 #[test]
 fn tree_edit_and_diff_metrics_agree_on_ordering() {
     let (mut c, u) = lakes_cqms();
-    c.run_query(u, "SELECT * FROM WaterTemp WHERE temp < 20").unwrap();
-    c.run_query(u, "SELECT lake FROM WaterTemp, Lakes WHERE WaterTemp.lake = Lakes.lake")
+    c.run_query(u, "SELECT * FROM WaterTemp WHERE temp < 20")
         .unwrap();
+    c.run_query(
+        u,
+        "SELECT lake FROM WaterTemp, Lakes WHERE WaterTemp.lake = Lakes.lake",
+    )
+    .unwrap();
     c.run_query(u, "SELECT city FROM CityLocations").unwrap();
     let probe = "SELECT * FROM WaterTemp WHERE temp < 5";
     let cheap = c

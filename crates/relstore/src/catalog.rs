@@ -90,7 +90,11 @@ impl Catalog {
 
     /// All table names, sorted (stable iteration for tests and snapshots).
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.values().map(|t| t.schema.name.clone()).collect();
+        let mut names: Vec<String> = self
+            .tables
+            .values()
+            .map(|t| t.schema.name.clone())
+            .collect();
         names.sort();
         names
     }
@@ -192,7 +196,12 @@ impl Catalog {
         Ok(())
     }
 
-    pub fn add_column(&mut self, table: &str, column: &str, ty: DataType) -> Result<(), EngineError> {
+    pub fn add_column(
+        &mut self,
+        table: &str,
+        column: &str,
+        ty: DataType,
+    ) -> Result<(), EngineError> {
         let t = self.table_mut(table)?;
         t.schema.add_column(column, ty)?;
         t.add_column_data();

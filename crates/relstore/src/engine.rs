@@ -61,7 +61,11 @@ impl QueryResult {
         out.push('\n');
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
-                out.push_str(&format!("{:w$}  ", cell, w = widths.get(i).copied().unwrap_or(0)));
+                out.push_str(&format!(
+                    "{:w$}  ",
+                    cell,
+                    w = widths.get(i).copied().unwrap_or(0)
+                ));
             }
             out.push('\n');
         }
@@ -204,12 +208,13 @@ impl Engine {
                 }
                 let mut row: Row = vec![Value::Null; schema.arity()];
                 for (col, v) in ins.columns.iter().zip(vals) {
-                    let idx = schema
-                        .column_index(col)
-                        .ok_or_else(|| EngineError::UnknownColumn {
-                            column: col.clone(),
-                            context: format!("table `{}`", schema.name),
-                        })?;
+                    let idx =
+                        schema
+                            .column_index(col)
+                            .ok_or_else(|| EngineError::UnknownColumn {
+                                column: col.clone(),
+                                context: format!("table `{}`", schema.name),
+                            })?;
                     row[idx] = v;
                 }
                 row
@@ -392,8 +397,7 @@ impl Engine {
                     Compiler::with_aggregates(&scope, &self.catalog, &mut aggs).compile(h)?;
                 }
                 for o in &s.order_by {
-                    Compiler::with_aggregates(&scope, &self.catalog, &mut aggs)
-                        .compile(&o.expr)?;
+                    Compiler::with_aggregates(&scope, &self.catalog, &mut aggs).compile(&o.expr)?;
                 }
                 Ok(())
             }
@@ -424,10 +428,14 @@ mod tests {
         let mut e = Engine::new();
         e.execute("CREATE TABLE WaterTemp (loc_x FLOAT, loc_y FLOAT, temp FLOAT, lake TEXT)")
             .unwrap();
-        e.execute("CREATE TABLE WaterSalinity (loc_x FLOAT, loc_y FLOAT, salinity FLOAT, lake TEXT)")
-            .unwrap();
-        e.execute("CREATE TABLE CityLocations (city TEXT, state TEXT, loc_x FLOAT, loc_y FLOAT, pop INT)")
-            .unwrap();
+        e.execute(
+            "CREATE TABLE WaterSalinity (loc_x FLOAT, loc_y FLOAT, salinity FLOAT, lake TEXT)",
+        )
+        .unwrap();
+        e.execute(
+            "CREATE TABLE CityLocations (city TEXT, state TEXT, loc_x FLOAT, loc_y FLOAT, pop INT)",
+        )
+        .unwrap();
         e.execute(
             "INSERT INTO WaterTemp VALUES \
              (1.0, 1.0, 15.5, 'Lake Washington'), \
@@ -566,9 +574,12 @@ mod tests {
     fn figure3_query_executes() {
         // The assisted-mode query of the paper's Figure 3 (completed form).
         let mut e = lakes_engine();
-        e.execute("CREATE TABLE Cities (City TEXT, State TEXT, Pop INT)").unwrap();
-        e.execute("INSERT INTO Cities VALUES ('Seattle', 'WA', 750000), ('Portland', 'OR', 650000)")
+        e.execute("CREATE TABLE Cities (City TEXT, State TEXT, Pop INT)")
             .unwrap();
+        e.execute(
+            "INSERT INTO Cities VALUES ('Seattle', 'WA', 750000), ('Portland', 'OR', 650000)",
+        )
+        .unwrap();
         let r = e
             .execute(
                 "SELECT * FROM WaterSalinity S, WaterTemp T, CityLocations L \
@@ -619,14 +630,19 @@ mod tests {
             .execute("SELECT temp FROM WaterTemp WHERE lake = 'Lake Washington' ORDER BY temp")
             .unwrap();
         assert_eq!(plain.rows, indexed.rows);
-        assert!(indexed.metrics.plan.contains("idx[lake]"), "{}", indexed.metrics.plan);
+        assert!(
+            indexed.metrics.plan.contains("idx[lake]"),
+            "{}",
+            indexed.metrics.plan
+        );
     }
 
     #[test]
     fn index_sees_new_rows() {
         let mut e = lakes_engine();
         e.create_index("WaterTemp", "lake").unwrap();
-        e.execute("SELECT * FROM WaterTemp WHERE lake = 'Lake Union'").unwrap();
+        e.execute("SELECT * FROM WaterTemp WHERE lake = 'Lake Union'")
+            .unwrap();
         e.execute("INSERT INTO WaterTemp VALUES (5.0, 5.0, 11.0, 'Lake Union')")
             .unwrap();
         let r = e
@@ -662,11 +678,17 @@ mod tests {
         e.execute("INSERT INTO WaterTemp VALUES (NULL, NULL, NULL, 'Mystery Lake')")
             .unwrap();
         // NULL temp neither satisfies temp < 18 nor temp >= 18.
-        let below = e.execute("SELECT * FROM WaterTemp WHERE temp < 18").unwrap();
-        let above = e.execute("SELECT * FROM WaterTemp WHERE temp >= 18").unwrap();
+        let below = e
+            .execute("SELECT * FROM WaterTemp WHERE temp < 18")
+            .unwrap();
+        let above = e
+            .execute("SELECT * FROM WaterTemp WHERE temp >= 18")
+            .unwrap();
         assert_eq!(below.rows.len() + above.rows.len(), 4);
         // IS NULL finds it.
-        let nulls = e.execute("SELECT * FROM WaterTemp WHERE temp IS NULL").unwrap();
+        let nulls = e
+            .execute("SELECT * FROM WaterTemp WHERE temp IS NULL")
+            .unwrap();
         assert_eq!(nulls.rows.len(), 1);
     }
 
@@ -721,7 +743,9 @@ mod tests {
     #[test]
     fn render_table_output() {
         let mut e = lakes_engine();
-        let r = e.execute("SELECT lake, temp FROM WaterTemp ORDER BY temp LIMIT 2").unwrap();
+        let r = e
+            .execute("SELECT lake, temp FROM WaterTemp ORDER BY temp LIMIT 2")
+            .unwrap();
         let s = r.render(10);
         assert!(s.contains("lake"));
         assert!(s.contains("Lake Sammamish"));

@@ -71,7 +71,10 @@ pub fn bindings_for(
 ) -> Result<Vec<Binding>, EngineError> {
     let mut bindings = Vec::new();
     let mut offset = 0usize;
-    let push = |name: &str, binding_name: &str, bindings: &mut Vec<Binding>, offset: &mut usize|
+    let push = |name: &str,
+                binding_name: &str,
+                bindings: &mut Vec<Binding>,
+                offset: &mut usize|
      -> Result<(), EngineError> {
         let table = catalog.table(name)?;
         let columns: Vec<String> = table
@@ -221,7 +224,11 @@ fn run_select_inner(
             let mut out = Vec::new();
             'row: for row in base_rows {
                 let mut ctx = EvalCtx::new(catalog, &row);
-                ctx.env = env.iter().copied().chain(std::iter::once(&row[..])).collect();
+                ctx.env = env
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(&row[..]))
+                    .collect();
                 for ce in &compiled {
                     if !ce.eval_predicate(&ctx)? {
                         continue 'row;
@@ -301,7 +308,11 @@ fn run_select_inner(
         let mut out = Vec::with_capacity(acc_rows.len());
         'row: for row in acc_rows {
             let mut ctx = EvalCtx::new(catalog, &row);
-            ctx.env = env.iter().copied().chain(std::iter::once(&row[..])).collect();
+            ctx.env = env
+                .iter()
+                .copied()
+                .chain(std::iter::once(&row[..]))
+                .collect();
             for ce in &compiled {
                 if !ce.eval_predicate(&ctx)? {
                     continue 'row;
@@ -389,7 +400,11 @@ fn run_fromless(
                 let ce = scope.with(|sc| Compiler::new(sc, catalog).compile(expr))?;
                 let empty: Row = Vec::new();
                 let mut ctx = EvalCtx::new(catalog, &empty);
-                ctx.env = env.iter().copied().chain(std::iter::once(&empty[..])).collect();
+                ctx.env = env
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(&empty[..]))
+                    .collect();
                 row.push(ce.eval(&ctx)?);
                 columns.push(output_name(expr, alias));
             }
@@ -571,10 +586,7 @@ fn resolves_in(col: &ColumnRef, bindings: &[Binding]) -> bool {
             Some(q) => q.eq_ignore_ascii_case(&b.binding),
             None => true,
         };
-        qual_ok
-            && b.columns
-                .iter()
-                .any(|c| c.eq_ignore_ascii_case(&col.name))
+        qual_ok && b.columns.iter().any(|c| c.eq_ignore_ascii_case(&col.name))
     })
 }
 
@@ -673,7 +685,8 @@ fn join_step(
         if let Some((lcol, rcol)) = equi_key_columns(c, acc_bindings, right_binding) {
             if let (Some(lo), Some(ro)) = (
                 offset_in(lcol, acc_bindings),
-                offset_in(rcol, std::slice::from_ref(right_binding)).map(|o| o - right_binding.offset),
+                offset_in(rcol, std::slice::from_ref(right_binding))
+                    .map(|o| o - right_binding.offset),
             ) {
                 left_keys.push(lo);
                 right_keys.push(ro);
@@ -703,7 +716,11 @@ fn join_step(
 
     let eval_residual = |row: &Row| -> Result<bool, EngineError> {
         let mut ctx = EvalCtx::new(catalog, row);
-        ctx.env = env.iter().copied().chain(std::iter::once(&row[..])).collect();
+        ctx.env = env
+            .iter()
+            .copied()
+            .chain(std::iter::once(&row[..]))
+            .collect();
         for ce in &compiled_residual {
             if !ce.eval_predicate(&ctx)? {
                 return Ok(false);
@@ -743,9 +760,7 @@ fn join_step(
                     }
                 }
             }
-            if !matched
-                && matches!(kind, JoinKind::LeftOuter | JoinKind::FullOuter)
-            {
+            if !matched && matches!(kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
                 let mut row = lrow.clone();
                 row.extend(std::iter::repeat_n(Value::Null, right_arity));
                 out.push(row);
@@ -760,7 +775,11 @@ fn join_step(
                 }
             }
         }
-        note = format!("HashJoin({} on {} keys)", right_binding.table, left_keys.len());
+        note = format!(
+            "HashJoin({} on {} keys)",
+            right_binding.table,
+            left_keys.len()
+        );
     } else {
         // Nested loop (also the CROSS JOIN path).
         let mut right_matched = vec![false; right_rows.len()];
@@ -894,7 +913,11 @@ fn run_projection(
     let mut out: KeyedRows = Vec::with_capacity(input.len());
     for row in input {
         let mut ctx = EvalCtx::new(catalog, &row);
-        ctx.env = env.iter().copied().chain(std::iter::once(&row[..])).collect();
+        ctx.env = env
+            .iter()
+            .copied()
+            .chain(std::iter::once(&row[..]))
+            .collect();
         let mut projected: Row = Vec::with_capacity(sources.len());
         for s in &sources {
             projected.push(match s {
@@ -922,9 +945,20 @@ fn run_projection(
 /// Accumulator for one aggregate slot within one group.
 enum AggState {
     Count(i64),
-    Sum { sum_f: f64, any_float: bool, sum_i: i64, seen: bool },
-    Avg { sum: f64, n: i64 },
-    MinMax { best: Option<Value>, is_min: bool },
+    Sum {
+        sum_f: f64,
+        any_float: bool,
+        sum_i: i64,
+        seen: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
 }
 
 impl AggState {
@@ -1141,7 +1175,11 @@ fn run_grouped(
 
     for row in input {
         let mut ctx = EvalCtx::new(catalog, &row);
-        ctx.env = env.iter().copied().chain(std::iter::once(&row[..])).collect();
+        ctx.env = env
+            .iter()
+            .copied()
+            .chain(std::iter::once(&row[..]))
+            .collect();
         let key: Vec<Key> = compiled
             .group_exprs
             .iter()
@@ -1149,11 +1187,21 @@ fn run_grouped(
             .collect::<Result<_, _>>()?;
         let group = groups.entry(key).or_insert_with(|| Group {
             rep_row: row.clone(),
-            states: compiled.aggs.iter().map(|a| AggState::new(a.kind)).collect(),
+            states: compiled
+                .aggs
+                .iter()
+                .map(|a| AggState::new(a.kind))
+                .collect(),
             distinct_seen: compiled
                 .aggs
                 .iter()
-                .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                .map(|a| {
+                    if a.distinct {
+                        Some(HashSet::new())
+                    } else {
+                        None
+                    }
+                })
                 .collect(),
         });
         for (i, spec) in compiled.aggs.iter().enumerate() {
@@ -1176,7 +1224,11 @@ fn run_grouped(
             Vec::new(),
             Group {
                 rep_row: std::iter::repeat_n(Value::Null, width).collect(),
-                states: compiled.aggs.iter().map(|a| AggState::new(a.kind)).collect(),
+                states: compiled
+                    .aggs
+                    .iter()
+                    .map(|a| AggState::new(a.kind))
+                    .collect(),
                 distinct_seen: compiled.aggs.iter().map(|_| None).collect(),
             },
         );
@@ -1188,7 +1240,11 @@ fn run_grouped(
         let agg_values: Vec<Value> = group.states.into_iter().map(AggState::finish).collect();
         let rep = group.rep_row;
         let mut ctx = EvalCtx::new(catalog, &rep);
-        ctx.env = env.iter().copied().chain(std::iter::once(&rep[..])).collect();
+        ctx.env = env
+            .iter()
+            .copied()
+            .chain(std::iter::once(&rep[..]))
+            .collect();
         ctx.agg_values = Some(&agg_values);
         if let Some(h) = &compiled.having {
             if !h.eval_predicate(&ctx)? {

@@ -172,7 +172,10 @@ impl ScalarFn {
 /// A compiled, evaluable expression.
 pub enum CompiledExpr {
     /// Column at `level` scopes up, `offset` into that row.
-    Col { level: usize, offset: usize },
+    Col {
+        level: usize,
+        offset: usize,
+    },
     Lit(Value),
     Not(Box<CompiledExpr>),
     Neg(Box<CompiledExpr>),
@@ -941,10 +944,7 @@ fn eval_scalar(
     f: ScalarFn,
     args: &[CompiledExpr],
 ) -> Result<Value, EngineError> {
-    let vals: Vec<Value> = args
-        .iter()
-        .map(|a| a.eval(ctx))
-        .collect::<Result<_, _>>()?;
+    let vals: Vec<Value> = args.iter().map(|a| a.eval(ctx)).collect::<Result<_, _>>()?;
     // COALESCE is the only function that tolerates NULL arguments.
     if f == ScalarFn::Coalesce {
         for v in vals {

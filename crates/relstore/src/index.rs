@@ -55,7 +55,10 @@ impl HashIndex {
         if v.is_null() {
             return &[];
         }
-        self.map.get(&v.group_key()).map(Vec::as_slice).unwrap_or(&[])
+        self.map
+            .get(&v.group_key())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     pub fn distinct_keys(&self) -> usize {
@@ -81,9 +84,7 @@ impl Indexes {
 
     /// Declare an index on `table.column`. Building is lazy.
     pub fn create(&mut self, table: &str, column: &str) {
-        self.map
-            .entry(Self::key(table, column))
-            .or_default();
+        self.map.entry(Self::key(table, column)).or_default();
     }
 
     pub fn drop(&mut self, table: &str, column: &str) -> bool {
@@ -153,7 +154,8 @@ mod tests {
     #[test]
     fn null_lookup_matches_nothing() {
         let mut t = table();
-        t.insert(vec![Value::Null, Value::Text("x".into())]).unwrap();
+        t.insert(vec![Value::Null, Value::Text("x".into())])
+            .unwrap();
         let mut idx = HashIndex::new();
         idx.rebuild(&t, 0);
         assert!(idx.lookup(&Value::Null).is_empty());
@@ -177,7 +179,8 @@ mod tests {
             let idx = idxs.prepared("t", "id", &t, 0).unwrap();
             assert_eq!(idx.lookup(&Value::Int(1)).len(), 10);
         }
-        t.insert(vec![Value::Int(1), Value::Text("new".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Text("new".into())])
+            .unwrap();
         idxs.invalidate_table("t");
         let idx = idxs.prepared("t", "id", &t, 0).unwrap();
         assert_eq!(idx.lookup(&Value::Int(1)).len(), 11);

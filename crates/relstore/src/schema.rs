@@ -42,9 +42,7 @@ impl TableSchema {
     pub fn build(name: &str, cols: &[(&str, DataType)]) -> Self {
         TableSchema::new(
             name,
-            cols.iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
+            cols.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect(),
         )
     }
 

@@ -295,7 +295,14 @@ mod tests {
 
     #[test]
     fn top_values_sorted_by_frequency() {
-        let t = table_with(&[Some(1.0), Some(1.0), Some(1.0), Some(2.0), Some(2.0), Some(3.0)]);
+        let t = table_with(&[
+            Some(1.0),
+            Some(1.0),
+            Some(1.0),
+            Some(2.0),
+            Some(2.0),
+            Some(3.0),
+        ]);
         let s = TableStats::compute(&t);
         let top = &s.column("x").unwrap().top_values;
         assert_eq!(top[0], ("1".to_string(), 3));

@@ -83,7 +83,11 @@ mod tests {
     fn table() -> Table {
         Table::new(TableSchema::build(
             "t",
-            &[("a", DataType::Int), ("b", DataType::Float), ("c", DataType::Text)],
+            &[
+                ("a", DataType::Int),
+                ("b", DataType::Float),
+                ("c", DataType::Text),
+            ],
         ))
     }
 
@@ -112,7 +116,8 @@ mod tests {
     #[test]
     fn nulls_fit_any_column() {
         let mut t = table();
-        t.insert(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        t.insert(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
         assert_eq!(t.len(), 1);
     }
 

@@ -227,7 +227,10 @@ mod tests {
     #[test]
     fn cross_type_numeric_equality() {
         assert_eq!(Value::Int(1).sql_eq(&Value::Float(1.0)), Some(true));
-        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -239,17 +242,22 @@ mod tests {
     fn group_keys_unify_int_float() {
         assert_eq!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
         assert_ne!(Value::Int(1).group_key(), Value::Float(1.5).group_key());
-        assert_eq!(Value::Float(0.0).group_key(), Value::Float(-0.0).group_key());
+        assert_eq!(
+            Value::Float(0.0).group_key(),
+            Value::Float(-0.0).group_key()
+        );
         assert_eq!(Value::Null.group_key(), Value::Null.group_key());
     }
 
     #[test]
     fn total_order_ranks_types() {
-        let mut vals = [Value::Text("a".into()),
+        let mut vals = [
+            Value::Text("a".into()),
             Value::Int(5),
             Value::Null,
             Value::Bool(true),
-            Value::Float(2.5)];
+            Value::Float(2.5),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Bool(true));

@@ -13,10 +13,12 @@ fn engine_with(a: &[(i64, i64)], b: &[(i64, i64)]) -> Engine {
     e.execute("CREATE TABLE a (k INT, v INT)").unwrap();
     e.execute("CREATE TABLE b (k INT, w INT)").unwrap();
     for (k, v) in a {
-        e.execute(&format!("INSERT INTO a VALUES ({k}, {v})")).unwrap();
+        e.execute(&format!("INSERT INTO a VALUES ({k}, {v})"))
+            .unwrap();
     }
     for (k, w) in b {
-        e.execute(&format!("INSERT INTO b VALUES ({k}, {w})")).unwrap();
+        e.execute(&format!("INSERT INTO b VALUES ({k}, {w})"))
+            .unwrap();
     }
     e
 }

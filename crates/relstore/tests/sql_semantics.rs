@@ -104,7 +104,8 @@ fn self_join() {
 #[test]
 fn doubly_nested_correlated_subquery() {
     let mut e = engine();
-    e.execute("CREATE TABLE lakes (lake TEXT, state TEXT)").unwrap();
+    e.execute("CREATE TABLE lakes (lake TEXT, state TEXT)")
+        .unwrap();
     e.execute("INSERT INTO lakes VALUES ('washington', 'WA'), ('union', 'WA'), ('tahoe', 'CA')")
         .unwrap();
     let r = e
@@ -176,8 +177,10 @@ fn like_patterns() {
 #[test]
 fn outer_join_then_filter_on_nullable_side() {
     let mut e = engine();
-    e.execute("CREATE TABLE notes (lake TEXT, note TEXT)").unwrap();
-    e.execute("INSERT INTO notes VALUES ('washington', 'deep')").unwrap();
+    e.execute("CREATE TABLE notes (lake TEXT, note TEXT)")
+        .unwrap();
+    e.execute("INSERT INTO notes VALUES ('washington', 'deep')")
+        .unwrap();
     // WHERE on the nullable side after a LEFT JOIN removes padded rows.
     let r = e
         .execute(
@@ -229,7 +232,11 @@ fn arithmetic_type_behaviour() {
 #[test]
 fn limit_zero_and_offset_past_end() {
     let mut e = engine();
-    assert!(e.execute("SELECT * FROM readings LIMIT 0").unwrap().rows.is_empty());
+    assert!(e
+        .execute("SELECT * FROM readings LIMIT 0")
+        .unwrap()
+        .rows
+        .is_empty());
     assert!(e
         .execute("SELECT * FROM readings LIMIT 5 OFFSET 100")
         .unwrap()

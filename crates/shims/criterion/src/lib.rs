@@ -1,0 +1,311 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no route to crates.io, so this path crate
+//! provides a minimal, API-compatible bench harness covering the surface the
+//! `cqms-bench` targets use: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, and `Bencher::iter`. It measures wall-clock means over a
+//! bounded number of samples and prints one line per benchmark:
+//!
+//! ```text
+//! group/function/param ... mean 123.4 us (10 samples)
+//! ```
+//!
+//! When the `CQMS_BENCH_JSON` environment variable names a file, each result
+//! is also appended there as a JSON line
+//! (`{"id": "...", "mean_ns": ..., "samples": ...}`) — the hook the
+//! repo-level `BENCH_seed.json` baseline is collected through.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// (total elapsed, iterations) per sample, filled by `iter`.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run the routine until the warm-up budget elapses, and use
+        // the observed rate to pick an iteration count per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std_black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters);
+        let budget_per_sample = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters_per_sample = (budget_per_sample / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters_per_sample));
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        let (total, iters) = self
+            .samples
+            .iter()
+            .fold((Duration::ZERO, 0u64), |(d, n), (sd, sn)| (d + *sd, n + sn));
+        if iters == 0 {
+            return 0.0;
+        }
+        total.as_nanos() as f64 / iters as f64
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_benchmark_id().full);
+        let mut b = self.bencher();
+        f(&mut b);
+        self.criterion.report(&full_id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.full);
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.criterion.report(&full_id, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        }
+    }
+}
+
+/// Conversions accepted where Criterion takes a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            full: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self }
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    json_sink: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            json_sink: std::env::var("CQMS_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = id.into_benchmark_id().full;
+        let mut b = Bencher {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 10,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&full_id, &b);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        let mean = b.mean_ns();
+        let samples = b.samples.len();
+        let human = if mean >= 1e9 {
+            format!("{:.3} s", mean / 1e9)
+        } else if mean >= 1e6 {
+            format!("{:.3} ms", mean / 1e6)
+        } else if mean >= 1e3 {
+            format!("{:.3} us", mean / 1e3)
+        } else {
+            format!("{mean:.1} ns")
+        };
+        println!("{id:<50} mean {human} ({samples} samples)");
+        if let Some(path) = &self.json_sink {
+            if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(
+                    f,
+                    "{{\"id\": \"{id}\", \"mean_ns\": {mean:.1}, \"samples\": {samples}}}"
+                );
+            }
+        }
+    }
+}
+
+/// Define a function running the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` / `--list` compatibility: a bare
+            // `--list` run must not execute the benches.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--list") {
+                return;
+            }
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion { json_sink: None };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("f", 500);
+        assert_eq!(id.full, "f/500");
+    }
+}

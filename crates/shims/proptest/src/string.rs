@@ -1,0 +1,239 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports exactly the constructs this workspace's tests write:
+//! character classes `[a-z0-9_%-]` (ranges, escapes, literal `-` at the
+//! edges), escape atoms (`\t`, `\n`, `\\`, …), the `\PC` "printable"
+//! category, and `{m,n}` / `{n}` repetition. Anything else is treated as a
+//! literal character.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// One generatable atom plus its repetition bounds.
+struct Item {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+enum CharSet {
+    /// Inclusive codepoint ranges.
+    Ranges(Vec<(char, char)>),
+    /// `\PC`: printable characters (ASCII printable plus a few multibyte
+    /// letters so lexer-totality tests see non-ASCII input).
+    Printable,
+}
+
+impl CharSet {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Printable => {
+                const EXTRA: [char; 4] = ['é', 'λ', '中', '€'];
+                if rng.gen_bool(0.05) {
+                    EXTRA[rng.gen_range(0..EXTRA.len())]
+                } else {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+                }
+            }
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).unwrap();
+                    }
+                    pick -= span;
+                }
+                unreachable!("char pick out of range")
+            }
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        't' => '\t',
+        'n' => '\n',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> CharSet {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in strategy pattern"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                break;
+            }
+            '-' => {
+                // Range if we hold a start char and the next char closes
+                // neither the class nor the pattern; else literal '-'.
+                match (pending.take(), chars.peek()) {
+                    (Some(lo), Some(&next)) if next != ']' => {
+                        let hi = {
+                            let n = chars.next().unwrap();
+                            if n == '\\' {
+                                unescape(chars.next().unwrap())
+                            } else {
+                                n
+                            }
+                        };
+                        assert!(lo <= hi, "inverted class range in strategy pattern");
+                        ranges.push((lo, hi));
+                    }
+                    (lo, _) => {
+                        if let Some(p) = lo {
+                            ranges.push((p, p));
+                        }
+                        ranges.push(('-', '-'));
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(unescape(chars.next().unwrap())) {
+                    ranges.push((p, p));
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    ranges.push((p, p));
+                }
+            }
+        }
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty character class in strategy pattern"
+    );
+    CharSet::Ranges(ranges)
+}
+
+/// Parse `{m,n}` / `{n}` if present; default is exactly one.
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        body.push(c);
+    }
+    match body.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("bad {m,n} lower bound"),
+            n.trim().parse().expect("bad {m,n} upper bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("bad {n} repetition");
+            (n, n)
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Item> {
+    let mut chars = pattern.chars().peekable();
+    let mut items = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .expect("dangling backslash in strategy pattern");
+                if esc == 'P' || esc == 'p' {
+                    // Unicode category atom; the only one used is `\PC`
+                    // ("not Other" ≈ printable).
+                    let _category = chars.next().expect("\\P needs a category");
+                    CharSet::Printable
+                } else {
+                    let ch = unescape(esc);
+                    CharSet::Ranges(vec![(ch, ch)])
+                }
+            }
+            other => CharSet::Ranges(vec![(other, other)]),
+        };
+        let (min, max) = parse_repeat(&mut chars);
+        items.push(Item { set, min, max });
+    }
+    items
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for item in parse(pattern) {
+        let count = rng.gen_range(item.min..=item.max);
+        for _ in 0..count {
+            out.push(item.set.pick(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(1)
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn literal_dash_and_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9 \t\n\\\\'\"%_-]{0,40}", &mut r);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " \t\n\\'\"%_-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_category() {
+        let mut r = rng();
+        let mut saw_len = [false; 2];
+        for _ in 0..100 {
+            let s = generate("\\PC{0,100}", &mut r);
+            assert!(s.chars().count() <= 100);
+            assert!(s.chars().all(|c| !c.is_control()));
+            saw_len[usize::from(!s.is_empty())] = true;
+        }
+        assert!(saw_len[1], "never generated a non-empty string");
+    }
+
+    #[test]
+    fn fixed_repetition() {
+        let mut r = rng();
+        let s = generate("[x]{3}", &mut r);
+        assert_eq!(s, "xxx");
+    }
+}

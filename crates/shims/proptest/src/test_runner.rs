@@ -1,0 +1,126 @@
+//! Case execution: configuration, RNG, and the run loop.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Subset of `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` failed: discard the case without prejudice.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG handed to strategies. Wraps the workspace's deterministic
+/// `StdRng`; strategies draw through `rand::Rng`.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Raw 64 uniform bits (used by `any`).
+    pub fn next_raw(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runs the cases of one `proptest!` test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // Stable per-name seed: failures reproduce without a persistence
+        // file. `PROPTEST_SEED` perturbs every test's stream at once.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.parse::<u64>() {
+                seed ^= extra;
+            }
+        }
+        TestRunner { config, name, seed }
+    }
+
+    /// Run until `config.cases` cases pass. Panics on the first failing
+    /// case with the case index and seed; rejected cases are skipped (with
+    /// a global budget so a pathological `prop_assume!` cannot spin
+    /// forever).
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_seed(self.seed);
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let reject_budget = u64::from(self.config.cases) * 16 + 1024;
+        let mut index: u64 = 0;
+        while passed < self.config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > reject_budget {
+                        // Matching proptest's spirit: too many rejects is a
+                        // generator bug, not a property failure.
+                        panic!(
+                            "proptest '{}': too many rejected cases ({rejected})",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{}' failed at case {index} (seed {:#x}):\n{msg}",
+                        self.name, self.seed
+                    );
+                }
+            }
+            index += 1;
+        }
+    }
+}

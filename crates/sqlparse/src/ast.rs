@@ -24,7 +24,10 @@ pub enum Statement {
         to: String,
     },
     /// `ALTER TABLE t DROP COLUMN a`
-    AlterDropColumn { table: String, column: String },
+    AlterDropColumn {
+        table: String,
+        column: String,
+    },
     /// `ALTER TABLE t ADD COLUMN a <type>`
     AlterAddColumn {
         table: String,
@@ -32,7 +35,10 @@ pub enum Statement {
         data_type: DataType,
     },
     /// `ALTER TABLE t RENAME TO u`
-    AlterRenameTable { table: String, to: String },
+    AlterRenameTable {
+        table: String,
+        to: String,
+    },
 }
 
 impl Statement {

@@ -172,7 +172,9 @@ pub fn canonicalize_select(s: &mut SelectStatement) {
             counter += 1;
             let ja = format!("t{counter}");
             alias_map.insert(fold(j.binding_name()), ja.clone());
-            alias_map.entry(fold(&j.table)).or_insert_with(|| ja.clone());
+            alias_map
+                .entry(fold(&j.table))
+                .or_insert_with(|| ja.clone());
             j.table = fold(&j.table);
             j.alias = Some(ja);
         }
@@ -416,10 +418,7 @@ mod tests {
 
     #[test]
     fn alias_normalisation_does_not_conflate_tables() {
-        assert_ne!(
-            canon("SELECT a.x FROM a, b"),
-            canon("SELECT b.x FROM a, b")
-        );
+        assert_ne!(canon("SELECT a.x FROM a, b"), canon("SELECT b.x FROM a, b"));
     }
 
     #[test]

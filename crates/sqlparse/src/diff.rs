@@ -566,9 +566,7 @@ mod tests {
              WHERE T.temp < 18 AND S.loc_x = T.loc_x AND S.loc_y = T.loc_y",
         );
         assert_eq!(edits.len(), 2);
-        assert!(edits
-            .iter()
-            .all(|e| matches!(e, EditOp::AddPredicate(_))));
+        assert!(edits.iter().all(|e| matches!(e, EditOp::AddPredicate(_))));
     }
 
     #[test]
@@ -584,20 +582,13 @@ mod tests {
 
     #[test]
     fn projection_changes() {
-        let edits = d(
-            "SELECT temp, salinity FROM t",
-            "SELECT temp FROM t",
-        );
+        let edits = d("SELECT temp, salinity FROM t", "SELECT temp FROM t");
         assert_eq!(edits, vec![EditOp::RemoveProjection("salinity".into())]);
     }
 
     #[test]
     fn identical_queries_no_edits() {
-        assert!(d(
-            "SELECT * FROM t WHERE a = 1",
-            "select * from T where A = 1"
-        )
-        .is_empty());
+        assert!(d("SELECT * FROM t WHERE a = 1", "select * from T where A = 1").is_empty());
     }
 
     #[test]

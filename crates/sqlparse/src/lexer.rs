@@ -397,10 +397,7 @@ mod tests {
     #[test]
     fn lexes_string_with_escape() {
         let ks = kinds("'Lake Washington' 'it''s'");
-        assert_eq!(
-            ks[0],
-            TokenKind::StringLit("Lake Washington".into())
-        );
+        assert_eq!(ks[0], TokenKind::StringLit("Lake Washington".into()));
         assert_eq!(ks[1], TokenKind::StringLit("it's".into()));
     }
 

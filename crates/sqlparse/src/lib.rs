@@ -35,8 +35,8 @@ pub mod visit;
 
 pub use ast::{
     BinaryOp, ColumnRef, CreateTableStatement, DataType, DeleteStatement, Expr, InsertStatement,
-    JoinKind, Literal, OrderByItem, SelectItem, SelectStatement, Statement, TableRef,
-    UnaryOp, UpdateStatement,
+    JoinKind, Literal, OrderByItem, SelectItem, SelectStatement, Statement, TableRef, UnaryOp,
+    UpdateStatement,
 };
 pub use canon::{canonicalize, strip_constants};
 pub use diff::{diff_selects, diff_statements, summarize_edits, EditOp};

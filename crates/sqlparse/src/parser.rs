@@ -189,15 +189,14 @@ impl Parser {
             TokenKind::Keyword(Keyword::Drop) => self.drop_table(),
             TokenKind::Keyword(Keyword::Alter) => self.alter(),
             other => Err(self
-                .error_here(format!(
-                    "expected a statement, found {}",
-                    other.describe()
-                ))
+                .error_here(format!("expected a statement, found {}", other.describe()))
                 .with_expected(
-                    ["SELECT", "INSERT", "CREATE", "UPDATE", "DELETE", "DROP", "ALTER"]
-                        .iter()
-                        .map(|s| s.to_string())
-                        .collect(),
+                    [
+                        "SELECT", "INSERT", "CREATE", "UPDATE", "DELETE", "DROP", "ALTER",
+                    ]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
                 )),
         }
     }
@@ -334,9 +333,9 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
-        let alias = if self.eat_kw(Keyword::As) {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_)) {
+        let alias = if self.eat_kw(Keyword::As)
+            || matches!(self.peek(), TokenKind::Ident(_) | TokenKind::QuotedIdent(_))
+        {
             Some(self.ident()?)
         } else {
             None
@@ -442,10 +441,7 @@ impl Parser {
     /// parse failure; the inner value is `Ok(wrapped)` when a predicate was
     /// consumed and `Err(lhs)` (handing the expression back) when not.
     #[allow(clippy::type_complexity)]
-    fn try_postfix_predicate(
-        &mut self,
-        lhs: Expr,
-    ) -> Result<Result<Expr, Expr>, ParseError> {
+    fn try_postfix_predicate(&mut self, lhs: Expr) -> Result<Result<Expr, Expr>, ParseError> {
         // IS [NOT] NULL
         if self.check_kw(Keyword::Is) {
             self.advance();
@@ -586,9 +582,9 @@ impl Parser {
                 if let Ok(i) = n.parse::<i64>() {
                     Ok(Expr::Literal(Literal::Int(i)))
                 } else {
-                    let f = n.parse::<f64>().map_err(|_| {
-                        self.error_here(format!("invalid numeric literal `{n}`"))
-                    })?;
+                    let f = n
+                        .parse::<f64>()
+                        .map_err(|_| self.error_here(format!("invalid numeric literal `{n}`")))?;
                     Ok(Expr::Literal(Literal::Float(f)))
                 }
             }
@@ -779,7 +775,10 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(Statement::CreateTable(CreateTableStatement { name, columns }))
+        Ok(Statement::CreateTable(CreateTableStatement {
+            name,
+            columns,
+        }))
     }
 
     fn data_type(&mut self) -> Result<DataType, ParseError> {
@@ -911,15 +910,13 @@ mod tests {
     #[test]
     fn parses_figure1_meta_query() {
         // The verbatim meta-query from Figure 1 of the paper.
-        let s = sel(
-            "SELECT Q.qid, Q.qText \
+        let s = sel("SELECT Q.qid, Q.qText \
              FROM Queries Q, Attributes A1, Attributes A2 \
              WHERE Q.qid = A1.qid AND Q.qid = A2.qid \
              AND A1.attrName = 'salinity' \
              AND A1.relName = 'WaterSalinity' \
              AND A2.attrName = 'temp' \
-             AND A2.relName = 'WaterTemp'",
-        );
+             AND A2.relName = 'WaterTemp'");
         assert_eq!(s.projection.len(), 2);
         assert_eq!(s.from.len(), 3);
         assert_eq!(s.from[1].name, "Attributes");
@@ -1055,10 +1052,8 @@ mod tests {
 
     #[test]
     fn explicit_joins() {
-        let s = sel(
-            "SELECT * FROM WaterSalinity S LEFT OUTER JOIN WaterTemp T \
-             ON S.loc_x = T.loc_x CROSS JOIN CityLocations",
-        );
+        let s = sel("SELECT * FROM WaterSalinity S LEFT OUTER JOIN WaterTemp T \
+             ON S.loc_x = T.loc_x CROSS JOIN CityLocations");
         assert_eq!(s.from.len(), 1);
         assert_eq!(s.from[0].joins.len(), 2);
         assert_eq!(s.from[0].joins[0].kind, JoinKind::LeftOuter);
@@ -1068,11 +1063,9 @@ mod tests {
 
     #[test]
     fn nested_subqueries() {
-        let s = sel(
-            "SELECT city FROM CityLocations WHERE pop > \
+        let s = sel("SELECT city FROM CityLocations WHERE pop > \
              (SELECT AVG(pop) FROM CityLocations) AND EXISTS \
-             (SELECT * FROM Lakes WHERE Lakes.state = CityLocations.state)",
-        );
+             (SELECT * FROM Lakes WHERE Lakes.state = CityLocations.state)");
         let w = s.where_clause.unwrap();
         assert!(w.contains_subquery());
     }
@@ -1081,10 +1074,7 @@ mod tests {
     fn distinct_and_qualified_wildcard() {
         let s = sel("SELECT DISTINCT T.* FROM WaterTemp T");
         assert!(s.distinct);
-        assert_eq!(
-            s.projection[0],
-            SelectItem::QualifiedWildcard("T".into())
-        );
+        assert_eq!(s.projection[0], SelectItem::QualifiedWildcard("T".into()));
     }
 
     #[test]

@@ -48,7 +48,12 @@ fn write_statement(out: &mut String, stmt: &Statement) {
             );
         }
         Statement::AlterDropColumn { table, column } => {
-            let _ = write!(out, "ALTER TABLE {} DROP COLUMN {}", ident(table), ident(column));
+            let _ = write!(
+                out,
+                "ALTER TABLE {} DROP COLUMN {}",
+                ident(table),
+                ident(column)
+            );
         }
         Statement::AlterAddColumn {
             table,
@@ -73,9 +78,7 @@ fn write_statement(out: &mut String, stmt: &Statement) {
 /// non-identifier characters).
 fn ident(name: &str) -> String {
     let simple = !name.is_empty()
-        && name
-            .chars()
-            .all(|c| c == '_' || c.is_ascii_alphanumeric())
+        && name.chars().all(|c| c == '_' || c.is_ascii_alphanumeric())
         && !name.chars().next().unwrap().is_ascii_digit()
         && crate::token::Keyword::from_str_ci(name).is_none();
     if simple {
@@ -481,7 +484,9 @@ mod tests {
     fn roundtrips_joins_and_subqueries() {
         roundtrip("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x CROSS JOIN c");
         roundtrip("SELECT * FROM t WHERE x IN (SELECT y FROM u WHERE z = 'w')");
-        roundtrip("SELECT * FROM t WHERE EXISTS (SELECT * FROM u) AND NOT EXISTS (SELECT * FROM v)");
+        roundtrip(
+            "SELECT * FROM t WHERE EXISTS (SELECT * FROM u) AND NOT EXISTS (SELECT * FROM v)",
+        );
         roundtrip("SELECT (SELECT MAX(x) FROM u) AS m FROM t");
     }
 

@@ -239,7 +239,11 @@ impl Flat {
                 keyroots.push(i);
             }
         }
-        Flat { labels, l, keyroots }
+        Flat {
+            labels,
+            l,
+            keyroots,
+        }
     }
 }
 
@@ -341,10 +345,9 @@ mod tests {
     fn distance_scales_with_difference() {
         let base = tree("SELECT * FROM WaterTemp WHERE temp < 18");
         let close = tree("SELECT * FROM WaterTemp WHERE temp < 22");
-        let far = tree("SELECT city, COUNT(*) FROM CityLocations GROUP BY city HAVING COUNT(*) > 2");
-        assert!(
-            tree_edit_distance(&base, &close) < tree_edit_distance(&base, &far)
-        );
+        let far =
+            tree("SELECT city, COUNT(*) FROM CityLocations GROUP BY city HAVING COUNT(*) > 2");
+        assert!(tree_edit_distance(&base, &close) < tree_edit_distance(&base, &far));
     }
 
     #[test]

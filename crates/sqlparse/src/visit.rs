@@ -21,13 +21,7 @@ pub trait Visitor {
     fn visit_column(&mut self, _col: &ColumnRef, _depth: usize) {}
 
     /// Called for every comparison predicate `col op literal`.
-    fn visit_comparison(
-        &mut self,
-        _col: &ColumnRef,
-        _op: BinaryOp,
-        _lit: &Literal,
-        _depth: usize,
-    ) {
+    fn visit_comparison(&mut self, _col: &ColumnRef, _op: BinaryOp, _lit: &Literal, _depth: usize) {
     }
 
     /// Called when entering a subquery.
@@ -200,13 +194,15 @@ pub fn rewrite_columns(s: &mut SelectStatement, table: &str, old: &str, new: &st
             return;
         }
         let refers_to_table = match &col.qualifier {
-            Some(q) => scope
-                .iter()
-                .any(|(name, binding)| name.eq_ignore_ascii_case(table) && q.eq_ignore_ascii_case(binding)),
+            Some(q) => scope.iter().any(|(name, binding)| {
+                name.eq_ignore_ascii_case(table) && q.eq_ignore_ascii_case(binding)
+            }),
             // Unqualified: rewrite if the table is in scope at all. This can
             // over-approximate for ambiguous names; the maintenance engine
             // re-validates by compiling against the current schema.
-            None => scope.iter().any(|(name, _)| name.eq_ignore_ascii_case(table)),
+            None => scope
+                .iter()
+                .any(|(name, _)| name.eq_ignore_ascii_case(table)),
         };
         if refers_to_table {
             col.name = new.to_string();
@@ -250,7 +246,10 @@ pub fn rewrite_tables(s: &mut SelectStatement, old: &str, new: &str) -> usize {
 
 /// Apply `f` to every column reference in the statement, passing the table
 /// scope (name, binding-name) visible at that point.
-fn rewrite_select(s: &mut SelectStatement, f: &mut impl FnMut(&mut ColumnRef, &[(String, String)])) {
+fn rewrite_select(
+    s: &mut SelectStatement,
+    f: &mut impl FnMut(&mut ColumnRef, &[(String, String)]),
+) {
     let scope: Vec<(String, String)> = s
         .from
         .iter()
@@ -527,12 +526,11 @@ mod tests {
 
     #[test]
     fn rewrite_table_keeps_bindings() {
-        let mut s = match parse_statement("SELECT WaterTemp.temp FROM WaterTemp WHERE temp < 9")
-            .unwrap()
-        {
-            Statement::Select(s) => s,
-            _ => unreachable!(),
-        };
+        let mut s =
+            match parse_statement("SELECT WaterTemp.temp FROM WaterTemp WHERE temp < 9").unwrap() {
+                Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
         let n = rewrite_tables(&mut s, "WaterTemp", "LakeTemp");
         assert_eq!(n, 1);
         let sql = to_sql(&Statement::Select(s));
@@ -542,12 +540,11 @@ mod tests {
 
     #[test]
     fn rewrite_table_in_subquery() {
-        let mut s = match parse_statement("SELECT * FROM t WHERE x IN (SELECT y FROM old_t)")
-            .unwrap()
-        {
-            Statement::Select(s) => s,
-            _ => unreachable!(),
-        };
+        let mut s =
+            match parse_statement("SELECT * FROM t WHERE x IN (SELECT y FROM old_t)").unwrap() {
+                Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
         let n = rewrite_tables(&mut s, "old_t", "new_t");
         assert_eq!(n, 1);
         assert!(to_sql(&Statement::Select(s)).contains("new_t"));

@@ -58,12 +58,8 @@ fn arith_op() -> impl Strategy<Value = BinaryOp> {
 }
 
 fn column_strategy() -> impl Strategy<Value = Expr> {
-    (ident_strategy(), proptest::option::of(ident_strategy())).prop_map(|(name, q)| {
-        Expr::Column(ColumnRef {
-            qualifier: q,
-            name,
-        })
-    })
+    (ident_strategy(), proptest::option::of(ident_strategy()))
+        .prop_map(|(name, q)| Expr::Column(ColumnRef { qualifier: q, name }))
 }
 
 /// Scalar expression generator (no subqueries — those are added at the
@@ -86,14 +82,14 @@ fn scalar_expr(depth: u32) -> BoxedStrategy<Expr> {
                 op: UnaryOp::Neg,
                 expr: Box::new(e)
             }),
-            (ident_strategy(), proptest::collection::vec(inner, 0..3)).prop_map(
-                |(name, args)| Expr::Function {
+            (ident_strategy(), proptest::collection::vec(inner, 0..3)).prop_map(|(name, args)| {
+                Expr::Function {
                     name: format!("f{name}"),
                     args,
                     distinct: false,
                     star: false,
                 }
-            ),
+            }),
         ]
     })
     .boxed()
@@ -104,20 +100,28 @@ fn predicate_strategy(allow_subquery: bool) -> BoxedStrategy<Expr> {
     let base = (scalar_expr(1), comparison_op(), scalar_expr(1))
         .prop_map(|(l, op, r)| Expr::binary(l, op, r));
     let postfix = prop_oneof![
-        (column_strategy(), proptest::collection::vec(literal_strategy().prop_map(Expr::Literal), 1..4), any::<bool>())
+        (
+            column_strategy(),
+            proptest::collection::vec(literal_strategy().prop_map(Expr::Literal), 1..4),
+            any::<bool>()
+        )
             .prop_map(|(c, list, negated)| Expr::InList {
                 expr: Box::new(c),
                 list,
                 negated
             }),
-        (column_strategy(), literal_strategy(), literal_strategy(), any::<bool>()).prop_map(
-            |(c, lo, hi, negated)| Expr::Between {
+        (
+            column_strategy(),
+            literal_strategy(),
+            literal_strategy(),
+            any::<bool>()
+        )
+            .prop_map(|(c, lo, hi, negated)| Expr::Between {
                 expr: Box::new(c),
                 low: Box::new(Expr::Literal(lo)),
                 high: Box::new(Expr::Literal(hi)),
                 negated
-            }
-        ),
+            }),
         (column_strategy(), "[a-z%_]{1,8}", any::<bool>()).prop_map(|(c, pat, negated)| {
             Expr::Like {
                 expr: Box::new(c),
@@ -134,13 +138,13 @@ fn predicate_strategy(allow_subquery: bool) -> BoxedStrategy<Expr> {
     let with_sub = if allow_subquery {
         prop_oneof![
             leaf.clone(),
-            (column_strategy(), simple_select(), any::<bool>()).prop_map(
-                |(c, sub, negated)| Expr::InSubquery {
+            (column_strategy(), simple_select(), any::<bool>()).prop_map(|(c, sub, negated)| {
+                Expr::InSubquery {
                     expr: Box::new(c),
                     subquery: Box::new(sub),
-                    negated
+                    negated,
                 }
-            ),
+            }),
             // `NOT EXISTS` parses canonically as Unary(Not, Exists), so the
             // generator leaves `negated` false and relies on the NOT wrapper.
             simple_select().prop_map(|sub| Expr::Exists {

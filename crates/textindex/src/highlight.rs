@@ -21,10 +21,9 @@ pub fn highlight_spans(text: &str, query: &str) -> Vec<(usize, usize)> {
             let s = start + pos;
             let e = s + term.len();
             // Require loose word boundaries to avoid mid-token noise.
-            let before_ok = s == 0
-                || !lower_text.as_bytes()[s - 1].is_ascii_alphanumeric();
-            let after_ok = e >= lower_text.len()
-                || !lower_text.as_bytes()[e].is_ascii_alphanumeric();
+            let before_ok = s == 0 || !lower_text.as_bytes()[s - 1].is_ascii_alphanumeric();
+            let after_ok =
+                e >= lower_text.len() || !lower_text.as_bytes()[e].is_ascii_alphanumeric();
             if before_ok && after_ok {
                 spans.push((s, e));
             }

@@ -58,7 +58,10 @@ impl InvertedIndex {
         }
         let mut terms: Vec<String> = Vec::with_capacity(tf.len());
         for (term, f) in tf {
-            self.postings.entry(term.clone()).or_default().push((doc, f));
+            self.postings
+                .entry(term.clone())
+                .or_default()
+                .push((doc, f));
             terms.push(term);
         }
         self.terms_of.insert(doc, terms);
@@ -163,10 +166,7 @@ fn top_k(scores: HashMap<u64, f64>, k: usize) -> Vec<SearchHit> {
                 .then_with(|| other.1.cmp(&self.1))
         }
     }
-    let mut heap: BinaryHeap<Entry> = scores
-        .into_iter()
-        .map(|(d, s)| Entry(s, d))
-        .collect();
+    let mut heap: BinaryHeap<Entry> = scores.into_iter().map(|(d, s)| Entry(s, d)).collect();
     let mut out = Vec::with_capacity(k.min(heap.len()));
     for _ in 0..k {
         match heap.pop() {
@@ -185,7 +185,10 @@ mod tests {
         let mut ix = InvertedIndex::new();
         ix.add(1, "SELECT * FROM WaterSalinity WHERE salinity > 0.3");
         ix.add(2, "SELECT * FROM WaterTemp WHERE temp < 18");
-        ix.add(3, "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T");
+        ix.add(
+            3,
+            "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T",
+        );
         ix.add(4, "SELECT city FROM CityLocations WHERE state = 'WA'");
         ix
     }

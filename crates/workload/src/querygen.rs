@@ -123,8 +123,7 @@ impl QueryState {
         match &self.projection {
             None => sql.push('*'),
             Some(cols) => {
-                let parts: Vec<String> =
-                    cols.iter().map(|(t, c)| format!("{t}.{c}")).collect();
+                let parts: Vec<String> = cols.iter().map(|(t, c)| format!("{t}.{c}")).collect();
                 sql.push_str(&parts.join(", "));
             }
         }
@@ -196,7 +195,7 @@ impl Generator {
     /// Generate one session for `user` with approximately `len` queries.
     pub fn generate_session(&mut self, user: u32, len: u32) -> Vec<GenQuery> {
         // Inter-session gap: well above any intra-session gap.
-        self.clock += self.rng.gen_range(1800..14_400);
+        self.clock += self.rng.gen_range(1800u64..14_400);
         let session = self.next_session;
         self.next_session += 1;
 
@@ -216,9 +215,9 @@ impl Generator {
                 // Mostly short gaps; occasionally a long pause that sits in
                 // the ambiguous zone for segmentation (planted noise).
                 self.clock += if self.rng.gen_bool(0.05) {
-                    self.rng.gen_range(300..900)
+                    self.rng.gen_range(300u64..900)
                 } else {
-                    self.rng.gen_range(5..120)
+                    self.rng.gen_range(5u64..120)
                 };
             }
             out.push(GenQuery {
@@ -247,11 +246,7 @@ impl Generator {
             let has_ante = tables.iter().any(|t| t.eq_ignore_ascii_case(ante));
             let has_cons = tables.iter().any(|t| t.eq_ignore_ascii_case(cons));
             if has_ante && !has_cons {
-                if let Some(ct) = topic
-                    .tables
-                    .iter()
-                    .find(|t| t.eq_ignore_ascii_case(cons))
-                {
+                if let Some(ct) = topic.tables.iter().find(|t| t.eq_ignore_ascii_case(cons)) {
                     if self.rng.gen_bool(rule.probability) {
                         tables.push(ct);
                     }
@@ -287,9 +282,12 @@ impl Generator {
         for (t1, c1, t2, c2) in topic.joins {
             let has = |t: &str| state.tables.iter().any(|x| x.eq_ignore_ascii_case(t));
             if has(t1) && has(t2) {
-                state
-                    .joins
-                    .push((t1.to_string(), c1.to_string(), t2.to_string(), c2.to_string()));
+                state.joins.push((
+                    t1.to_string(),
+                    c1.to_string(),
+                    t2.to_string(),
+                    c2.to_string(),
+                ));
             }
         }
     }
@@ -388,11 +386,7 @@ impl Generator {
         } else if roll < 0.80 {
             // Add the next topic table not yet present.
             let topic = self.topics[state.topic_idx].clone();
-            if let Some(next) = topic
-                .tables
-                .iter()
-                .find(|t| !state.tables.contains(*t))
-            {
+            if let Some(next) = topic.tables.iter().find(|t| !state.tables.contains(*t)) {
                 state.tables.push(next);
                 self.refresh_joins(state);
             } else {
@@ -410,7 +404,7 @@ impl Generator {
                 .collect();
             if let Some((t, c)) = pool.first() {
                 state.order_by = Some((t.clone(), c.clone(), self.rng.gen_bool(0.5)));
-                state.limit = Some([10, 20, 50, 100][self.rng.gen_range(0..4)]);
+                state.limit = Some([10, 20, 50, 100][self.rng.gen_range(0usize..4)]);
             }
         }
     }
@@ -485,7 +479,12 @@ mod tests {
             let edits = sqlparse::diff_statements(&a, &b);
             // An evolution step makes a bounded number of edits (adding a
             // table may add join predicates too).
-            assert!(edits.len() <= 6, "too many edits: {edits:?}\n{}\n{}", w[0].sql, w[1].sql);
+            assert!(
+                edits.len() <= 6,
+                "too many edits: {edits:?}\n{}\n{}",
+                w[0].sql,
+                w[1].sql
+            );
             checked += 1;
         }
         assert!(checked > 10);
@@ -506,7 +505,10 @@ mod tests {
                 }
             }
         }
-        assert!(with_sal > 20, "not enough WaterSalinity queries ({with_sal})");
+        assert!(
+            with_sal > 20,
+            "not enough WaterSalinity queries ({with_sal})"
+        );
         let conf = with_both as f64 / with_sal as f64;
         assert!(conf > 0.7, "planted rule confidence too low: {conf}");
     }
@@ -522,12 +524,16 @@ mod tests {
                 let ta: std::collections::HashSet<&str> = a
                     .sql
                     .split_whitespace()
-                    .filter(|w| w.starts_with("Water") || w.starts_with("Lake") || w.starts_with("City"))
+                    .filter(|w| {
+                        w.starts_with("Water") || w.starts_with("Lake") || w.starts_with("City")
+                    })
                     .collect();
                 let tb: std::collections::HashSet<&str> = b
                     .sql
                     .split_whitespace()
-                    .filter(|w| w.starts_with("Water") || w.starts_with("Lake") || w.starts_with("City"))
+                    .filter(|w| {
+                        w.starts_with("Water") || w.starts_with("Lake") || w.starts_with("City")
+                    })
                     .collect();
                 let overlap = ta.intersection(&tb).count();
                 if a.topic == b.topic {

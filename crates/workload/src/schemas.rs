@@ -149,7 +149,7 @@ fn populate_lakes(engine: &mut Engine, scale: usize, rng: &mut StdRng) {
         let loc_x = rng.gen_range(0.0..4.0);
         let loc_y = rng.gen_range(-1.0..3.0);
         let month = rng.gen_range(1..=12i64);
-        let salinity = (smid + rng.gen_range(-0.05..0.05)).max(0.01);
+        let salinity = (smid + rng.gen_range(-0.05f64..0.05)).max(0.01);
         engine
             .catalog
             .table_mut("WaterSalinity")
@@ -218,7 +218,14 @@ fn populate_sky(engine: &mut Engine, scale: usize, rng: &mut StdRng) {
 
 fn populate_weblog(engine: &mut Engine, scale: usize, rng: &mut StdRng) {
     let urls = [
-        "/home", "/search", "/product/1", "/product/2", "/cart", "/checkout", "/help", "/about",
+        "/home",
+        "/search",
+        "/product/1",
+        "/product/2",
+        "/cart",
+        "/checkout",
+        "/help",
+        "/about",
     ];
     let countries = ["US", "DE", "JP", "BR", "IN"];
     let n_users = (scale / 10).max(5);
@@ -602,8 +609,12 @@ mod tests {
         let mut b = Engine::new();
         Domain::Lakes.setup(&mut a, 100, 7);
         Domain::Lakes.setup(&mut b, 100, 7);
-        let ra = a.execute("SELECT COUNT(*), AVG(temp) FROM WaterTemp").unwrap();
-        let rb = b.execute("SELECT COUNT(*), AVG(temp) FROM WaterTemp").unwrap();
+        let ra = a
+            .execute("SELECT COUNT(*), AVG(temp) FROM WaterTemp")
+            .unwrap();
+        let rb = b
+            .execute("SELECT COUNT(*), AVG(temp) FROM WaterTemp")
+            .unwrap();
         assert_eq!(ra.rows, rb.rows);
     }
 

@@ -63,10 +63,7 @@ fn main() {
     let result = cqms
         .search_feature_sql(members[0], FIGURE1_META_QUERY)
         .unwrap();
-    println!(
-        "{} matching queries; first 3:",
-        result.rows.len()
-    );
+    println!("{} matching queries; first 3:", result.rows.len());
     for row in result.rows.iter().take(3) {
         println!("  [q{}] {}", row[0].render(), row[1].render());
     }
@@ -83,12 +80,7 @@ fn main() {
 
     // --- §2.2 query-by-data: Lake Washington but not Lake Union -----------
     println!("\n== Query-by-data: output includes Lake Washington, excludes Lake Union ==");
-    let hits = cqms.search_by_data(
-        members[0],
-        &["Lake Washington"],
-        &["Lake Union"],
-        false,
-    );
+    let hits = cqms.search_by_data(members[0], &["Lake Washington"], &["Lake Union"], false);
     println!("{} queries match; first 3:", hits.len());
     for id in hits.iter().take(3) {
         println!("  [q{id}] {}", cqms.storage.get(*id).unwrap().raw_sql);

@@ -16,9 +16,11 @@ fn main() {
 
     // 2. Wrap it in a Collaborative Query Management System. (Thresholds
     //    lowered so a handful of demo queries already produce mined output.)
-    let mut config = CqmsConfig::default();
-    config.assoc_min_support = 2;
-    config.cluster_k = 2;
+    let config = CqmsConfig {
+        assoc_min_support: 2,
+        cluster_k: 2,
+        ..CqmsConfig::default()
+    };
     let mut cqms = Cqms::new(engine, config);
     let alice = cqms.register_user("alice");
 
@@ -61,13 +63,22 @@ fn main() {
     }
 
     println!("\n== Session window (Figure 2 style) ==");
-    let session = cqms.storage.get(cqms::engine::model::QueryId(0)).unwrap().session;
+    let session = cqms
+        .storage
+        .get(cqms::engine::model::QueryId(0))
+        .unwrap()
+        .session;
     print!("{}", cqms.render_session(session).unwrap());
 
     // 5. Assisted Interaction Mode: completions and recommendations.
     println!("\n== Assisted mode: completing 'SELECT * FROM WaterSalinity, ' ==");
     for s in cqms.complete(alice, "SELECT * FROM WaterSalinity, ", 3) {
-        println!("  suggest {:<18} ({:.0}%, {})", s.text, s.score * 100.0, s.why);
+        println!(
+            "  suggest {:<18} ({:.0}%, {})",
+            s.text,
+            s.score * 100.0,
+            s.why
+        );
     }
 
     println!("\n== Assisted mode: similar queries panel (Figure 3 style) ==");

@@ -131,7 +131,10 @@ fn main() {
     );
 
     // Show one concrete panel.
-    if let Some(q) = test.iter().find(|q| q.sql.to_lowercase().contains("specobj")) {
+    if let Some(q) = test
+        .iter()
+        .find(|q| q.sql.to_lowercase().contains("specobj"))
+    {
         println!("\nsample panel for held-out draft:\n  {}\n", q.sql);
         let panel = cqms
             .render_recommendations(users[0], &q.sql, 3)

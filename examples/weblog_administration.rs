@@ -56,7 +56,8 @@ fn main() {
             .map(|r| r.id)
     };
     if let Some(id) = own_query(&cqms, growth_1) {
-        cqms.set_visibility(growth_1, id, Visibility::Public).unwrap();
+        cqms.set_visibility(growth_1, id, Visibility::Public)
+            .unwrap();
         println!("growth analyst published query q{id}");
     }
 

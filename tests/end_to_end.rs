@@ -59,16 +59,10 @@ fn online_sessions_approximate_ground_truth() {
         truth.insert(id, q.session as u64);
     }
     let order: Vec<(UserId, Vec<QueryId>)> = order.into_iter().collect();
-    let predicted: std::collections::HashMap<QueryId, cqms::engine::model::SessionId> = cqms
-        .storage
-        .iter()
-        .map(|r| (r.id, r.session))
-        .collect();
+    let predicted: std::collections::HashMap<QueryId, cqms::engine::model::SessionId> =
+        cqms.storage.iter().map(|r| (r.id, r.session)).collect();
     let q = cqms::engine::miner::sessions::segmentation_quality(&order, &truth, &predicted);
-    assert!(
-        q.boundary_f1 > 0.85,
-        "online segmentation too weak: {q:?}"
-    );
+    assert!(q.boundary_f1 > 0.85, "online segmentation too weak: {q:?}");
     assert!(q.pairwise_f1 > 0.8, "{q:?}");
 }
 
@@ -78,8 +72,7 @@ fn miner_rediscovers_planted_rules() {
     cqms.run_miner_epoch();
     for planted in &trace.rules {
         let found = cqms.association_rules().iter().any(|r| {
-            r.antecedent == vec![planted.antecedent.clone()]
-                && r.consequent == planted.consequent
+            r.antecedent == vec![planted.antecedent.clone()] && r.consequent == planted.consequent
         });
         assert!(
             found,

@@ -36,10 +36,7 @@ fn figure1_meta_query_full_stack() {
 
     let result = cqms.search_feature_sql(user, FIGURE1_META_QUERY).unwrap();
     assert_eq!(result.rows.len(), 1, "{:?}", result.rows);
-    assert_eq!(
-        result.rows[0][0].as_i64().unwrap() as u64,
-        correlating.id.0
-    );
+    assert_eq!(result.rows[0][0].as_i64().unwrap() as u64, correlating.id.0);
     // The qText column carries the original SQL.
     assert!(result.rows[0][1].render().contains("WaterSalinity"));
 }
@@ -109,8 +106,11 @@ fn figure3_assisted_interaction_full_stack() {
     // Build history: CityLocations popular overall, but WaterSalinity pairs
     // with WaterTemp (the §2.3 setup).
     for i in 0..8 {
-        cqms.run_query(user, &format!("SELECT city FROM CityLocations WHERE pop > {i}"))
-            .unwrap();
+        cqms.run_query(
+            user,
+            &format!("SELECT city FROM CityLocations WHERE pop > {i}"),
+        )
+        .unwrap();
     }
     for _ in 0..5 {
         cqms.run_query(
@@ -203,7 +203,9 @@ fn adaptive_summarisation_full_stack() {
     // Big result from a fast query → sampled.
     let big = cqms.run_query(user, "SELECT * FROM WaterTemp").unwrap();
     match &cqms.storage.get(big.id).unwrap().summary {
-        OutputSummary::Sample { rows, total_rows, .. } => {
+        OutputSummary::Sample {
+            rows, total_rows, ..
+        } => {
             assert_eq!(rows.len(), 8);
             assert_eq!(*total_rows, 200);
         }

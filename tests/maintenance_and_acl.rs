@@ -23,7 +23,10 @@ fn group_isolation_spans_every_search_mode() {
     c.join_group(alice, lab).unwrap();
 
     let out = c
-        .run_query(alice, "SELECT salinity FROM WaterSalinity WHERE salinity > 0.4")
+        .run_query(
+            alice,
+            "SELECT salinity FROM WaterSalinity WHERE salinity > 0.4",
+        )
         .unwrap();
     let id = out.id;
 
@@ -40,8 +43,12 @@ fn group_isolation_spans_every_search_mode() {
         .unwrap();
     assert!(feat.rows.is_empty());
     assert!(c
-        .similar_queries(eve, "SELECT salinity FROM WaterSalinity", 5,
-            cqms::engine::similarity::DistanceKind::Features)
+        .similar_queries(
+            eve,
+            "SELECT salinity FROM WaterSalinity",
+            5,
+            cqms::engine::similarity::DistanceKind::Features
+        )
         .unwrap()
         .is_empty());
     // But alice sees her query everywhere.
@@ -107,15 +114,20 @@ fn chained_schema_evolution_repairs_transitively() {
 fn obsolete_queries_leave_search_results() {
     let mut c = lakes_cqms();
     let u = c.register_user("u");
-    c.run_query(u, "SELECT * FROM Lakes WHERE area > 100").unwrap();
+    c.run_query(u, "SELECT * FROM Lakes WHERE area > 100")
+        .unwrap();
     assert_eq!(c.search_keyword(u, "lakes", 10).len(), 1);
     c.data.execute("DROP TABLE Lakes").unwrap();
     let (schema, _) = c.run_maintenance().unwrap();
     assert_eq!(schema.obsolete.len(), 1);
     // Obsolete queries no longer surface in recommendations or search.
     assert!(c
-        .similar_queries(u, "SELECT * FROM Lakes", 5,
-            cqms::engine::similarity::DistanceKind::Features)
+        .similar_queries(
+            u,
+            "SELECT * FROM Lakes",
+            5,
+            cqms::engine::similarity::DistanceKind::Features
+        )
         .unwrap()
         .is_empty());
 }
@@ -164,8 +176,11 @@ fn refresh_policy_beats_naive_on_cost() {
     let mut c = lakes_cqms();
     let u = c.register_user("u");
     for i in 0..10 {
-        c.run_query(u, &format!("SELECT * FROM WaterTemp WHERE temp < {}", 10 + i))
-            .unwrap();
+        c.run_query(
+            u,
+            &format!("SELECT * FROM WaterTemp WHERE temp < {}", 10 + i),
+        )
+        .unwrap();
         c.run_query(u, &format!("SELECT * FROM Lakes WHERE area > {}", 100 * i))
             .unwrap();
     }
