@@ -1,0 +1,105 @@
+//! E10 — concurrent read throughput of the service layer.
+//!
+//! The paper's online components must answer interactive requests from many
+//! analysts at once while background work proceeds (§4, Fig. 4). This bench
+//! measures the read path of `CqmsService` — completion, keyword search and
+//! SQL meta-query search — at 1/2/4/8 reader threads with one continuous
+//! writer ingesting in the background.
+//!
+//! Each measured closure performs a *fixed total* of `READ_OPS` operations
+//! split evenly across the reader threads, so scaling shows up directly as
+//! falling mean time (4 readers ≥ 2× the 1-reader ops/sec means the
+//! 4-reader mean is ≤ half the 1-reader mean). Every reader count gets a
+//! fresh service + writer so the log size at measurement time is identical
+//! across configurations.
+
+use cqms_bench::logged_cqms;
+use cqms_core::model::UserId;
+use cqms_core::service::CqmsService;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use workload::Domain;
+
+/// Total read operations per measured iteration (divisible by 1, 2, 4, 8).
+const READ_OPS: usize = 120;
+
+/// One reader's share of the workload: a fixed rotation over the three
+/// online read paths.
+fn read_ops(svc: &CqmsService, user: UserId, ops: usize) {
+    for i in 0..ops {
+        match i % 3 {
+            0 => {
+                std::hint::black_box(svc.complete(user, "SELECT * FROM WaterSalinity, ", 5));
+            }
+            1 => {
+                std::hint::black_box(svc.search_keyword(user, "temp", 10));
+            }
+            _ => {
+                std::hint::black_box(
+                    svc.search_feature_sql(
+                        user,
+                        "SELECT qid FROM DataSources WHERE relName = 'watertemp'",
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_concurrency");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for readers in [1usize, 2, 4, 8] {
+        // Fresh state per configuration: same initial log size for every
+        // reader count, unpolluted by the previous writer.
+        let lc = logged_cqms(Domain::Lakes, 1500, 0xE10);
+        let users = lc.users.clone();
+        let svc = CqmsService::new(lc.cqms);
+        let user = users[0];
+
+        // One writer ingesting continuously while readers are measured.
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let svc = svc.clone();
+            let stop = stop.clone();
+            let writer_user = users[1];
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let sql = format!("SELECT * FROM WaterTemp WHERE temp < {}", i % 30);
+                    let _ = svc.run_query(writer_user, &sql);
+                    i += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                i
+            })
+        };
+
+        let per_thread = READ_OPS / readers;
+        group.bench_function(BenchmarkId::new("readers", readers), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for _ in 0..readers {
+                        let svc = svc.clone();
+                        s.spawn(move || read_ops(&svc, user, per_thread));
+                    }
+                });
+            })
+        });
+
+        stop.store(true, Ordering::Relaxed);
+        let written = writer.join().expect("writer thread panicked");
+        assert!(written > 0, "writer never ran");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
     for &size in &[500usize, 2000] {
-        let mut lc = logged_cqms(Domain::Lakes, size, 0xE1);
+        let lc = logged_cqms(Domain::Lakes, size, 0xE1);
         let user = lc.users[0];
         group.bench_with_input(BenchmarkId::new("feature_sql", size), &size, |b, _| {
             b.iter(|| {

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
             full_output_min_rows: 10_000,
             ..CqmsConfig::default()
         };
-        let mut lc = logged_cqms_with(Domain::Lakes, size, 0xE5, cfg);
+        let lc = logged_cqms_with(Domain::Lakes, size, 0xE5, cfg);
         let user = lc.users[0];
         group.bench_with_input(BenchmarkId::new("summary_match", size), &size, |b, _| {
             b.iter(|| {

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
-    let mut lc = logged_cqms(Domain::Lakes, 2000, 0xE6);
+    let lc = logged_cqms(Domain::Lakes, 2000, 0xE6);
     let user = lc.users[0];
     group.bench_function("keyword", |b| {
         b.iter(|| lc.cqms.search_keyword(user, "salinity temp", 10).len())

@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
-    let mut lc = logged_cqms(Domain::Lakes, 1000, 0xE7);
+    let lc = logged_cqms(Domain::Lakes, 1000, 0xE7);
     let user = lc.users[0];
     for metric in [
         DistanceKind::Features,

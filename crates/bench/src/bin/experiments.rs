@@ -69,7 +69,7 @@ fn e1_figure1_metaquery() {
     );
     println!("|---|---|---|---|---|");
     for &size in &[500usize, 2000, 8000] {
-        let mut lc = logged_cqms(Domain::Lakes, size, 0xE1);
+        let lc = logged_cqms(Domain::Lakes, size, 0xE1);
         let user = lc.users[0];
         let result = lc
             .cqms
@@ -239,7 +239,7 @@ fn e3_completion() {
             }
         }
         let t_suggest = {
-            let mut c = cqms;
+            let c = cqms;
             time_mean(20, move || c.complete(users[0], "SELECT * FROM ", 5).len())
         };
         let n = cases.max(1) as f64;
@@ -361,7 +361,7 @@ fn e5_query_by_data() {
             cfg.full_output_rows_per_ms = 0.0;
             cfg.output_sample_size = 8;
         }
-        let mut lc = logged_cqms_with(Domain::Lakes, size, 0xE5, cfg);
+        let lc = logged_cqms_with(Domain::Lakes, size, 0xE5, cfg);
         let user = lc.users[0];
         let hits = lc
             .cqms
@@ -386,7 +386,7 @@ fn e5_query_by_data() {
 // ---------------------------------------------------------------------
 fn e6_search_modes() {
     println!("## E6 — meta-query latency by search mode (2000-query log)\n");
-    let mut lc = logged_cqms(Domain::Lakes, 2000, 0xE6);
+    let lc = logged_cqms(Domain::Lakes, 2000, 0xE6);
     let user = lc.users[0];
     let tree = TreePattern {
         tables_all: vec!["watersalinity".into()],
@@ -431,7 +431,7 @@ fn e7_knn() {
     println!("| log size | metric | top-1 same-topic | latency (us, k=5) |");
     println!("|---|---|---|---|");
     for &size in &[500usize, 2000] {
-        let mut lc = logged_cqms(Domain::Lakes, size, 0xE7);
+        let lc = logged_cqms(Domain::Lakes, size, 0xE7);
         let user = lc.users[0];
         let probes: Vec<(String, u32)> = lc
             .trace

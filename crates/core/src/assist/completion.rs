@@ -50,7 +50,7 @@ pub struct Suggestion {
 /// the miner's association rules.
 pub struct CompletionEngine<'a> {
     storage: &'a QueryStorage,
-    rules: &'a mut RuleMiner,
+    rules: &'a RuleMiner,
     config: &'a CqmsConfig,
     /// Known relation names (lower → display form) from the data catalog.
     catalog_tables: HashMap<String, String>,
@@ -61,7 +61,7 @@ pub struct CompletionEngine<'a> {
 impl<'a> CompletionEngine<'a> {
     pub fn new(
         storage: &'a QueryStorage,
-        rules: &'a mut RuleMiner,
+        rules: &'a RuleMiner,
         config: &'a CqmsConfig,
         engine: &relstore::Engine,
     ) -> Self {
@@ -149,7 +149,7 @@ impl<'a> CompletionEngine<'a> {
     }
 
     /// Top-k suggestions for the partial SQL.
-    pub fn suggest(&mut self, partial: &str, k: usize) -> Vec<Suggestion> {
+    pub fn suggest(&self, partial: &str, k: usize) -> Vec<Suggestion> {
         let (ctx, prefix, tables) = Self::detect_context(partial);
         match ctx {
             CompletionContext::Table => self.suggest_tables(&tables, &prefix, k),
@@ -165,12 +165,7 @@ impl<'a> CompletionEngine<'a> {
 
     /// Table suggestions: association rules first (context-aware), then
     /// global popularity, then catalog order.
-    pub fn suggest_tables(
-        &mut self,
-        present: &[String],
-        prefix: &str,
-        k: usize,
-    ) -> Vec<Suggestion> {
+    pub fn suggest_tables(&self, present: &[String], prefix: &str, k: usize) -> Vec<Suggestion> {
         let prefix_l = prefix.to_ascii_lowercase();
         let mut out: Vec<Suggestion> = Vec::new();
         let mut suggested: HashSet<String> = HashSet::new();
@@ -256,7 +251,7 @@ impl<'a> CompletionEngine<'a> {
 
     /// Attribute suggestions for the in-scope tables, popularity-ranked.
     pub fn suggest_attributes(
-        &mut self,
+        &self,
         present: &[String],
         prefix: &str,
         k: usize,
@@ -315,7 +310,7 @@ impl<'a> CompletionEngine<'a> {
     /// their most common constants (§2.3 "suggest predicates in the WHERE
     /// clause … and even complete subclauses").
     pub fn suggest_predicates(
-        &mut self,
+        &self,
         present: &[String],
         prefix: &str,
         k: usize,
@@ -437,9 +432,9 @@ mod tests {
 
     #[test]
     fn paper_scenario_watertemp_over_citylocations() {
-        let (st, mut rules, engine) = seeded();
+        let (st, rules, engine) = seeded();
         let cfg = CqmsConfig::default();
-        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let ce = CompletionEngine::new(&st, &rules, &cfg, &engine);
         // No context: CityLocations is most popular.
         let plain = ce.suggest_tables(&[], "", 3);
         assert_eq!(plain[0].text, "CityLocations", "{plain:?}");
@@ -452,9 +447,9 @@ mod tests {
 
     #[test]
     fn prefix_filters_suggestions() {
-        let (st, mut rules, engine) = seeded();
+        let (st, rules, engine) = seeded();
         let cfg = CqmsConfig::default();
-        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let ce = CompletionEngine::new(&st, &rules, &cfg, &engine);
         let hits = ce.suggest_tables(&[], "Water", 5);
         assert!(!hits.is_empty());
         assert!(hits.iter().all(|s| s.text.starts_with("Water")));
@@ -462,18 +457,18 @@ mod tests {
 
     #[test]
     fn full_pipeline_from_partial_sql() {
-        let (st, mut rules, engine) = seeded();
+        let (st, rules, engine) = seeded();
         let cfg = CqmsConfig::default();
-        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let ce = CompletionEngine::new(&st, &rules, &cfg, &engine);
         let hits = ce.suggest("SELECT * FROM WaterSalinity, ", 3);
         assert_eq!(hits[0].text, "WaterTemp");
     }
 
     #[test]
     fn attribute_suggestions_ranked_by_use() {
-        let (st, mut rules, engine) = seeded();
+        let (st, rules, engine) = seeded();
         let cfg = CqmsConfig::default();
-        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let ce = CompletionEngine::new(&st, &rules, &cfg, &engine);
         let hits = ce.suggest_attributes(&["citylocations".to_string()], "", 5);
         assert!(!hits.is_empty());
         // `pop` and `city` are the logged attributes of CityLocations.
@@ -483,9 +478,9 @@ mod tests {
 
     #[test]
     fn predicate_suggestions_include_popular_constant() {
-        let (st, mut rules, engine) = seeded();
+        let (st, rules, engine) = seeded();
         let cfg = CqmsConfig::default();
-        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let ce = CompletionEngine::new(&st, &rules, &cfg, &engine);
         let hits = ce.suggest_predicates(&["watertemp".to_string()], "", 5);
         assert!(hits.iter().any(|s| s.text == "temp < 18"), "{hits:?}");
     }
@@ -495,9 +490,9 @@ mod tests {
         let mut engine = relstore::Engine::new();
         workload::Domain::Lakes.setup(&mut engine, 5, 1);
         let st = QueryStorage::new();
-        let mut rules = RuleMiner::new();
+        let rules = RuleMiner::new();
         let cfg = CqmsConfig::default();
-        let mut ce = CompletionEngine::new(&st, &mut rules, &cfg, &engine);
+        let ce = CompletionEngine::new(&st, &rules, &cfg, &engine);
         let hits = ce.suggest_tables(&[], "", 10);
         assert!(hits.iter().any(|s| s.text == "WaterTemp"));
         let attrs = ce.suggest_attributes(&["watertemp".to_string()], "", 10);

@@ -121,7 +121,7 @@ impl<'a> CorrectionEngine<'a> {
     /// keep candidates that actually return rows (verified by execution).
     pub fn repair_empty_result(
         &self,
-        engine: &mut relstore::Engine,
+        engine: &relstore::Engine,
         sql: &str,
         max_suggestions: usize,
     ) -> Vec<RepairSuggestion> {
@@ -129,7 +129,7 @@ impl<'a> CorrectionEngine<'a> {
             return Vec::new();
         };
         // Only meaningful when the query indeed returns nothing.
-        match engine.execute_statement(&Statement::Select(base.clone())) {
+        match engine.query_statement(&Statement::Select(base.clone())) {
             Ok(r) if r.rows.is_empty() => {}
             _ => return Vec::new(),
         }
@@ -197,7 +197,7 @@ impl<'a> CorrectionEngine<'a> {
                 break;
             }
             let stmt = Statement::Select(cand);
-            if let Ok(r) = engine.execute_statement(&stmt) {
+            if let Ok(r) = engine.query_statement(&stmt) {
                 if !r.rows.is_empty() {
                     out.push(RepairSuggestion {
                         description,
@@ -358,12 +358,12 @@ mod tests {
 
     #[test]
     fn repairs_empty_result_by_dropping_predicate() {
-        let mut en = engine();
+        let en = engine();
         let st = storage_with(&[]);
         let ce = CorrectionEngine::new(&st);
         // temp < -100 is unsatisfiable in the data.
         let fixes = ce.repair_empty_result(
-            &mut en,
+            &en,
             "SELECT * FROM WaterTemp WHERE temp < -100 AND lake = 'Lake Washington'",
             5,
         );
@@ -374,7 +374,7 @@ mod tests {
 
     #[test]
     fn repairs_with_popular_constants_from_log() {
-        let mut en = engine();
+        let en = engine();
         // The log knows that `temp < 18` is a popular, satisfiable choice.
         let st = storage_with(&[
             "SELECT * FROM WaterTemp WHERE temp < 18",
@@ -382,7 +382,7 @@ mod tests {
             "SELECT * FROM WaterTemp WHERE temp < 20",
         ]);
         let ce = CorrectionEngine::new(&st);
-        let fixes = ce.repair_empty_result(&mut en, "SELECT * FROM WaterTemp WHERE temp < -5", 10);
+        let fixes = ce.repair_empty_result(&en, "SELECT * FROM WaterTemp WHERE temp < -5", 10);
         assert!(
             fixes.iter().any(|f| f.description.contains("18")),
             "{fixes:?}"
@@ -391,10 +391,10 @@ mod tests {
 
     #[test]
     fn non_empty_queries_are_left_alone() {
-        let mut en = engine();
+        let en = engine();
         let st = storage_with(&[]);
         let ce = CorrectionEngine::new(&st);
-        let fixes = ce.repair_empty_result(&mut en, "SELECT * FROM WaterTemp", 5);
+        let fixes = ce.repair_empty_result(&en, "SELECT * FROM WaterTemp", 5);
         assert!(fixes.is_empty());
     }
 }

@@ -29,7 +29,7 @@ pub struct PanelRow {
 
 /// Compute the recommendation panel for `seed_sql` on behalf of `viewer`.
 pub fn recommend_panel(
-    storage: &mut QueryStorage,
+    storage: &QueryStorage,
     directory: &Directory,
     config: &CqmsConfig,
     viewer: UserId,
@@ -152,10 +152,10 @@ mod tests {
 
     #[test]
     fn panel_rows_have_figure3_columns() {
-        let (mut st, dir) = seeded();
+        let (st, dir) = seeded();
         let cfg = CqmsConfig::default();
         let rows = recommend_panel(
-            &mut st,
+            &st,
             &dir,
             &cfg,
             UserId(1),
@@ -175,10 +175,10 @@ mod tests {
 
     #[test]
     fn unrelated_queries_rank_last() {
-        let (mut st, dir) = seeded();
+        let (st, dir) = seeded();
         let cfg = CqmsConfig::default();
         let rows = recommend_panel(
-            &mut st,
+            &st,
             &dir,
             &cfg,
             UserId(1),
@@ -195,8 +195,8 @@ mod tests {
 
     #[test]
     fn bad_seed_sql_errors() {
-        let (mut st, dir) = seeded();
+        let (st, dir) = seeded();
         let cfg = CqmsConfig::default();
-        assert!(recommend_panel(&mut st, &dir, &cfg, UserId(1), "SELEC nope", 3).is_err());
+        assert!(recommend_panel(&st, &dir, &cfg, UserId(1), "SELEC nope", 3).is_err());
     }
 }

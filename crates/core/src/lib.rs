@@ -18,6 +18,9 @@
 //!
 //! The façade tying everything together over one embedded
 //! [`relstore::Engine`] is [`server::Cqms`]; see `examples/quickstart.rs`.
+//! For shared multi-threaded use — many analysts completing and searching
+//! while writers ingest and the miner runs in the background — wrap it in
+//! [`service::CqmsService`], which enforces the read/write lock discipline.
 
 pub mod admin;
 pub mod assist;
@@ -30,6 +33,7 @@ pub mod miner;
 pub mod model;
 pub mod profiler;
 pub mod server;
+pub mod service;
 pub mod similarity;
 pub mod storage;
 pub mod viz;
@@ -38,3 +42,4 @@ pub use config::CqmsConfig;
 pub use error::CqmsError;
 pub use model::{Annotation, QueryId, QueryRecord, SessionId, UserId, Visibility};
 pub use server::Cqms;
+pub use service::{CqmsService, IngestItem};

@@ -344,7 +344,7 @@ mod tests {
         // The feature relations were re-indexed.
         let hits = st
             .meta_engine()
-            .execute("SELECT qid FROM Attributes WHERE attrName = 'temperature'")
+            .query("SELECT qid FROM Attributes WHERE attrName = 'temperature'")
             .unwrap();
         assert_eq!(hits.rows.len(), 1);
     }

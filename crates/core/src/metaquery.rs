@@ -109,18 +109,20 @@ impl TreePattern {
     }
 }
 
-/// The Meta-query Executor. Borrows the storage mutably because SQL
-/// meta-queries run on the embedded feature-relation engine (which maintains
-/// lazy indexes).
+/// The Meta-query Executor. Every search paradigm is a pure read: the
+/// executor borrows the storage *shared*, so any number of concurrent
+/// searches can run against one storage (SQL meta-queries go through
+/// [`relstore::Engine::query_statement`], whose lazy index maintenance sits
+/// behind interior mutability).
 pub struct MetaQueryExecutor<'a> {
-    pub storage: &'a mut QueryStorage,
+    pub storage: &'a QueryStorage,
     pub directory: &'a Directory,
     pub config: &'a CqmsConfig,
 }
 
 impl<'a> MetaQueryExecutor<'a> {
     pub fn new(
-        storage: &'a mut QueryStorage,
+        storage: &'a QueryStorage,
         directory: &'a Directory,
         config: &'a CqmsConfig,
     ) -> Self {
@@ -174,7 +176,7 @@ impl<'a> MetaQueryExecutor<'a> {
     /// literals compared against the `relName`/`attrName` columns are folded
     /// to match, so the paper's Figure 1 example runs verbatim.
     pub fn by_feature_sql(
-        &mut self,
+        &self,
         viewer: UserId,
         sql: &str,
     ) -> Result<relstore::QueryResult, CqmsError> {
@@ -182,7 +184,7 @@ impl<'a> MetaQueryExecutor<'a> {
         if let Statement::Select(s) = &mut stmt {
             fold_name_literals(s);
         }
-        let mut result = self.storage.meta_engine().execute_statement(&stmt)?;
+        let mut result = self.storage.meta_engine().query_statement(&stmt)?;
         // ACL: when the result exposes a qid column, filter hidden queries.
         if let Some(qid_col) = result
             .columns
@@ -257,7 +259,7 @@ impl<'a> MetaQueryExecutor<'a> {
         viewer: UserId,
         include: &[&str],
         exclude: &[&str],
-        mut engine: Option<&mut relstore::Engine>,
+        engine: Option<&relstore::Engine>,
     ) -> Vec<QueryId> {
         let mut out = Vec::new();
         for r in self.storage.iter_live() {
@@ -278,7 +280,7 @@ impl<'a> MetaQueryExecutor<'a> {
                     if exclude.iter().any(|v| s.contains_value(v)) {
                         continue;
                     }
-                    match engine.as_deref_mut() {
+                    match engine {
                         None => {
                             // Trust the sample for inclusion when everything
                             // requested is present.
@@ -287,7 +289,7 @@ impl<'a> MetaQueryExecutor<'a> {
                             }
                         }
                         Some(en) => {
-                            if let Ok(res) = en.execute(&r.raw_sql) {
+                            if let Ok(res) = en.query(&r.raw_sql) {
                                 let cells: Vec<String> = res
                                     .rows
                                     .iter()
@@ -493,8 +495,8 @@ mod tests {
 
     #[test]
     fn figure1_meta_query_runs_verbatim() {
-        let (mut st, dir, cfg) = setup();
-        let mut mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let (st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
         let r = mq.by_feature_sql(UserId(1), FIGURE1_META_QUERY).unwrap();
         // Only query 0 correlates salinity with temp.
         assert_eq!(r.rows.len(), 1);
@@ -504,8 +506,8 @@ mod tests {
 
     #[test]
     fn keyword_and_substring_search() {
-        let (mut st, dir, cfg) = setup();
-        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let (st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
         let hits = mq.keyword(UserId(1), "salinity", 10);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].id, QueryId(0));
@@ -515,8 +517,8 @@ mod tests {
 
     #[test]
     fn acl_hides_private_queries() {
-        let (mut st, dir, cfg) = setup();
-        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let (st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
         // Owner sees it.
         assert_eq!(mq.substring(UserId(2), "PrivateStuff").len(), 1);
         // Others don't.
@@ -527,8 +529,8 @@ mod tests {
 
     #[test]
     fn acl_filters_feature_sql_by_qid() {
-        let (mut st, dir, cfg) = setup();
-        let mut mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let (st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
         let all = mq
             .by_feature_sql(UserId(2), "SELECT qid FROM Queries")
             .unwrap();
@@ -541,8 +543,8 @@ mod tests {
 
     #[test]
     fn generated_feature_query_finds_matches() {
-        let (mut st, dir, cfg) = setup();
-        let mut mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let (st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
         // The paper's partial query example (§2.2).
         let sql = mq
             .generate_feature_query("SELECT FROM WaterSalinity, WaterTemp")
@@ -555,8 +557,8 @@ mod tests {
 
     #[test]
     fn parse_tree_patterns() {
-        let (mut st, dir, cfg) = setup();
-        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let (st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
         // All queries touching WaterTemp.
         let p = TreePattern {
             tables_all: vec!["watertemp".into()],
@@ -635,7 +637,7 @@ mod tests {
         );
         let dir = Directory::new();
         let cfg = CqmsConfig::default();
-        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
         let hits = mq.by_data(UserId(1), &["Lake Washington"], &["Lake Union"], None);
         assert_eq!(hits, vec![QueryId(0)]);
         // And indeed that query specifies temp < 18.
@@ -644,8 +646,8 @@ mod tests {
 
     #[test]
     fn knn_orders_by_similarity() {
-        let (mut st, dir, cfg) = setup();
-        let mq = MetaQueryExecutor::new(&mut st, &dir, &cfg);
+        let (st, dir, cfg) = setup();
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
         let hits = mq
             .knn_sql(
                 UserId(1),

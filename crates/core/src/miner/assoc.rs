@@ -8,6 +8,7 @@
 //! rule generation; incremental maintenance via monotone transaction
 //! appends.
 
+use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 
 /// An association rule `antecedent ⇒ consequent`.
@@ -29,6 +30,10 @@ impl AssocRule {
     }
 }
 
+/// Mining-cache key+payload: (transaction count, min support, confidence
+/// key, mined rules).
+type MineCache = Option<(usize, u32, u64, Vec<AssocRule>)>;
+
 /// Incremental Apriori miner. Transactions are appended over time; mining
 /// re-runs over all accumulated transactions (cheap at CQMS scales — the
 /// incremental piece is that accumulated counts are reused between epochs
@@ -36,8 +41,10 @@ impl AssocRule {
 #[derive(Debug, Default)]
 pub struct RuleMiner {
     transactions: Vec<Vec<String>>,
-    /// Cache: number of transactions at last mine + its result.
-    cache: Option<(usize, u32, u64, Vec<AssocRule>)>,
+    /// Cache: number of transactions at last mine + its result. Behind a
+    /// mutex so [`RuleMiner::mine`] / [`RuleMiner::suggest`] stay `&self` —
+    /// the completion read path must not need a write lock on the CQMS.
+    cache: Mutex<MineCache>,
 }
 
 impl RuleMiner {
@@ -58,15 +65,17 @@ impl RuleMiner {
 
     /// Mine rules at the given thresholds. `min_support` is an absolute
     /// transaction count; confidence is a fraction.
-    pub fn mine(&mut self, min_support: u32, min_confidence: f64) -> Vec<AssocRule> {
+    pub fn mine(&self, min_support: u32, min_confidence: f64) -> Vec<AssocRule> {
         let conf_key = (min_confidence * 1_000_000.0) as u64;
-        if let Some((n, ms, conf, rules)) = &self.cache {
+        if let Some((n, ms, conf, rules)) = self.cache.lock().as_ref() {
             if *n == self.transactions.len() && *ms == min_support && *conf == conf_key {
                 return rules.clone();
             }
         }
+        // Mine outside the lock: concurrent callers may duplicate the work
+        // but never block each other on it.
         let rules = mine_apriori(&self.transactions, min_support, min_confidence);
-        self.cache = Some((
+        *self.cache.lock() = Some((
             self.transactions.len(),
             min_support,
             conf_key,
@@ -78,7 +87,7 @@ impl RuleMiner {
     /// Confidence-ranked consequents applicable in `context` (used by the
     /// completion engine). Already-present items are not suggested.
     pub fn suggest(
-        &mut self,
+        &self,
         context: &HashSet<String>,
         min_support: u32,
         min_confidence: f64,
@@ -366,7 +375,7 @@ mod tests {
 
     #[test]
     fn empty_miner_yields_nothing() {
-        let mut m = RuleMiner::new();
+        let m = RuleMiner::new();
         assert!(m.mine(1, 0.1).is_empty());
     }
 }

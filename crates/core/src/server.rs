@@ -84,9 +84,13 @@ impl Cqms {
     /// Execute a query on behalf of `user` at the internal clock, which
     /// advances by 30 seconds per call (tests and examples that care about
     /// session boundaries use [`Cqms::run_query_at`]).
+    ///
+    /// The tick applies on *every* path, including failed profiling: a
+    /// failed attempt still consumed trace time, and skipping the tick on
+    /// errors would let a later successful query reuse the same timestamp
+    /// (breaking monotonic trace time and session-gap accounting).
     pub fn run_query(&mut self, user: UserId, sql: &str) -> Result<ProfiledQuery, CqmsError> {
-        self.clock += 30;
-        let ts = self.clock;
+        let ts = self.clock + 30;
         self.run_query_at(user, sql, ts)
     }
 
@@ -97,6 +101,8 @@ impl Cqms {
         sql: &str,
         ts: u64,
     ) -> Result<ProfiledQuery, CqmsError> {
+        // Advance the clock before the fallible profiling call so error
+        // paths observe the same monotonic trace time as successes.
         self.clock = self.clock.max(ts);
         let visibility = self.default_visibility(user);
         let out = self.profiler.profile(
@@ -165,66 +171,61 @@ impl Cqms {
     // Search & Browse Interaction Mode (§2.2)
     // ------------------------------------------------------------------
 
-    pub fn search_keyword(&mut self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
-        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
-            .keyword(user, query, k)
+    pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
+        MetaQueryExecutor::new(&self.storage, &self.directory, &self.config).keyword(user, query, k)
     }
 
-    pub fn search_substring(&mut self, user: UserId, needle: &str) -> Vec<QueryId> {
-        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
-            .substring(user, needle)
+    pub fn search_substring(&self, user: UserId, needle: &str) -> Vec<QueryId> {
+        MetaQueryExecutor::new(&self.storage, &self.directory, &self.config).substring(user, needle)
     }
 
     /// Run a SQL meta-query over the Figure 1 feature relations.
     pub fn search_feature_sql(
-        &mut self,
+        &self,
         user: UserId,
         sql: &str,
     ) -> Result<relstore::QueryResult, CqmsError> {
-        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+        MetaQueryExecutor::new(&self.storage, &self.directory, &self.config)
             .by_feature_sql(user, sql)
     }
 
     /// §2.2: generate the feature meta-query for a partially typed query.
-    pub fn generate_feature_query(&mut self, partial_sql: &str) -> Result<String, CqmsError> {
-        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+    pub fn generate_feature_query(&self, partial_sql: &str) -> Result<String, CqmsError> {
+        MetaQueryExecutor::new(&self.storage, &self.directory, &self.config)
             .generate_feature_query(partial_sql)
     }
 
-    pub fn search_parse_tree(&mut self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
-        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+    pub fn search_parse_tree(&self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
+        MetaQueryExecutor::new(&self.storage, &self.directory, &self.config)
             .by_parse_tree(user, pattern)
     }
 
-    /// Query-by-data with optional re-execution of sampled candidates.
+    /// Query-by-data with optional re-execution of sampled candidates
+    /// (re-execution stays on the engine's read-only path).
     pub fn search_by_data(
-        &mut self,
+        &self,
         user: UserId,
         include: &[&str],
         exclude: &[&str],
         reexecute: bool,
     ) -> Vec<QueryId> {
-        let Cqms {
-            storage,
-            directory,
-            config,
-            data,
-            ..
-        } = self;
-        let mq = MetaQueryExecutor::new(storage, directory, config);
-        let engine = if reexecute { Some(&mut *data) } else { None };
-        mq.by_data(user, include, exclude, engine)
+        MetaQueryExecutor::new(&self.storage, &self.directory, &self.config).by_data(
+            user,
+            include,
+            exclude,
+            reexecute.then_some(&self.data),
+        )
     }
 
     /// kNN similar queries to arbitrary SQL text.
     pub fn similar_queries(
-        &mut self,
+        &self,
         user: UserId,
         sql: &str,
         k: usize,
         metric: DistanceKind,
     ) -> Result<Vec<ScoredHit>, CqmsError> {
-        MetaQueryExecutor::new(&mut self.storage, &self.directory, &self.config)
+        MetaQueryExecutor::new(&self.storage, &self.directory, &self.config)
             .knn_sql(user, sql, k, metric)
     }
 
@@ -243,37 +244,30 @@ impl Cqms {
     // ------------------------------------------------------------------
 
     /// Completions for partial SQL (Fig. 3 dropdown).
-    pub fn complete(&mut self, _user: UserId, partial_sql: &str, k: usize) -> Vec<Suggestion> {
-        let Cqms {
-            storage,
-            rules,
-            config,
-            data,
-            ..
-        } = self;
-        CompletionEngine::new(storage, rules, config, data).suggest(partial_sql, k)
+    pub fn complete(&self, _user: UserId, partial_sql: &str, k: usize) -> Vec<Suggestion> {
+        CompletionEngine::new(&self.storage, &self.rules, &self.config, &self.data)
+            .suggest(partial_sql, k)
     }
 
     /// Identifier spell-check (Fig. 3 "Corrections").
-    pub fn check_identifiers(&mut self, sql: &str) -> Vec<Correction> {
+    pub fn check_identifiers(&self, sql: &str) -> Vec<Correction> {
         CorrectionEngine::new(&self.storage).check_identifiers(&self.data, sql)
     }
 
     /// Empty-result repair suggestions.
-    pub fn repair_empty_result(&mut self, sql: &str, k: usize) -> Vec<RepairSuggestion> {
-        let Cqms { storage, data, .. } = self;
-        CorrectionEngine::new(storage).repair_empty_result(data, sql, k)
+    pub fn repair_empty_result(&self, sql: &str, k: usize) -> Vec<RepairSuggestion> {
+        CorrectionEngine::new(&self.storage).repair_empty_result(&self.data, sql, k)
     }
 
     /// The Figure 3 "Similar Queries" panel for a query being composed.
     pub fn recommend(
-        &mut self,
+        &self,
         user: UserId,
         seed_sql: &str,
         k: usize,
     ) -> Result<Vec<PanelRow>, CqmsError> {
         recommend_panel(
-            &mut self.storage,
+            &self.storage,
             &self.directory,
             &self.config,
             user,
@@ -284,7 +278,7 @@ impl Cqms {
 
     /// Render a recommendation panel as text (Fig. 3).
     pub fn render_recommendations(
-        &mut self,
+        &self,
         user: UserId,
         seed_sql: &str,
         k: usize,
@@ -500,20 +494,60 @@ impl Cqms {
 
 /// Handle to a background miner thread (§3: "the Query Miner … runs in the
 /// background … periodically").
+///
+/// Shutdown is graceful in both forms: [`BackgroundMiner::stop`] and simply
+/// dropping the handle join the thread, and the miner runs one *final*
+/// epoch on the way out so results mined from the latest ingested queries
+/// are visible after shutdown. Every epoch — periodic or final — acquires
+/// the write lock with a bounded retry and is skipped if the lock stays
+/// held for the whole grace period (e.g. by the very thread doing the
+/// join), so the miner can be delayed by a stuck client but stopping can
+/// never deadlock.
 pub struct BackgroundMiner {
     stop_tx: std::sync::mpsc::SyncSender<()>,
     handle: Option<std::thread::JoinHandle<usize>>,
 }
 
 impl BackgroundMiner {
-    /// Stop the miner and return the number of epochs it completed.
+    /// Stop the miner and return the number of epochs it completed
+    /// (including the final shutdown epoch).
     pub fn stop(mut self) -> usize {
+        self.join()
+    }
+
+    fn join(&mut self) -> usize {
+        // The receiver may already be gone (thread exited); that's fine.
         let _ = self.stop_tx.send(());
         self.handle
             .take()
             .map(|h| h.join().unwrap_or(0))
             .unwrap_or(0)
     }
+}
+
+impl Drop for BackgroundMiner {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// One miner epoch with a bounded write-lock retry (~1 s grace).
+///
+/// The miner must never *block* on the CQMS lock: a client that stops (or
+/// drops) the miner handle while holding a guard would otherwise deadlock
+/// the join — the joiner waits on the miner, the miner waits on the write
+/// lock, the lock waits on the joiner's guard. Transient contention still
+/// gets its epoch via the retries; a lock held for the whole grace period
+/// skips the epoch instead of hanging. Returns whether the epoch ran.
+fn try_miner_epoch(cqms: &RwLock<Cqms>) -> bool {
+    for _ in 0..500 {
+        if let Some(mut guard) = cqms.try_write() {
+            guard.run_miner_epoch();
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
 }
 
 /// Spawn a miner thread that runs an epoch every `interval` until stopped.
@@ -523,10 +557,19 @@ pub fn spawn_background_miner(cqms: Arc<RwLock<Cqms>>, interval: Duration) -> Ba
         let mut epochs = 0usize;
         loop {
             match stop_rx.recv_timeout(interval) {
-                Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                Ok(()) => {
+                    // Graceful stop: one final (best-effort) epoch over
+                    // everything ingested since the last periodic run.
+                    if try_miner_epoch(&cqms) {
+                        epochs += 1;
+                    }
+                    break;
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                    cqms.write().run_miner_epoch();
-                    epochs += 1;
+                    if try_miner_epoch(&cqms) {
+                        epochs += 1;
+                    }
                 }
             }
         }
@@ -659,6 +702,33 @@ mod tests {
         assert!(epochs >= 1, "no epochs ran");
         // State was actually mined.
         assert!(c.read().storage.live_count() == 5);
+    }
+
+    #[test]
+    fn clock_ticks_on_failed_queries() {
+        let mut c = cqms();
+        let u = c.register_user("u");
+        let t0 = c.now();
+        // Engine error (unknown table): the attempt is logged as failed and
+        // the 30-second tick still applies.
+        let out = c.run_query(u, "SELECT * FROM NoSuchTable").unwrap();
+        assert!(out.error.is_some());
+        assert_eq!(c.now(), t0 + 30);
+        // Parse error: logged, ticked.
+        let out = c.run_query(u, "SELEC nope").unwrap();
+        assert!(out.result.is_none());
+        assert_eq!(c.now(), t0 + 60);
+        // Explicit-timestamp failures advance the clock to their ts too.
+        c.run_query_at(u, "SELECT * FROM NoSuchTable", t0 + 500)
+            .unwrap();
+        assert_eq!(c.now(), t0 + 500);
+        // The next internal tick builds on the advanced clock: trace time
+        // never repeats or goes backwards across mixed success/failure.
+        c.run_query(u, "SELECT * FROM Lakes").unwrap();
+        assert_eq!(c.now(), t0 + 530);
+        // A stale explicit timestamp does not rewind the clock.
+        c.run_query_at(u, "SELECT * FROM Lakes", t0).unwrap();
+        assert_eq!(c.now(), t0 + 530);
     }
 
     #[test]

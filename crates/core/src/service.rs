@@ -1,0 +1,406 @@
+//! The concurrent multi-user service layer.
+//!
+//! The paper's CQMS serves many analysts at once: the *online* components
+//! (Query Profiler, Meta-query Executor — Fig. 4) answer interactive
+//! requests while the Query Miner and Query Maintenance run in the
+//! background. [`CqmsService`] is the façade that makes one [`Cqms`]
+//! instance safely shareable across client threads with a strict
+//! **read/write lock discipline**:
+//!
+//! * **Read path** — completion, every meta-query search mode,
+//!   recommendation, correction. These call the `&self` methods of [`Cqms`]
+//!   under the *read* side of an `RwLock`, so any number of clients search
+//!   and complete concurrently. The only mutable state on this path lives
+//!   behind interior mutability: the feature-relation engine's lazy hash
+//!   indexes are only ever *try*-locked (a contended SELECT degrades to an
+//!   index-free scan instead of queueing), and the rule miner's result
+//!   cache takes a blocking lock but holds it just long enough to copy
+//!   results in or out — the mining itself runs outside the lock.
+//! * **Write path** — query ingestion, annotations, ACL changes, deletes,
+//!   miner epochs, maintenance passes. These take the write side and
+//!   serialise as a group, exactly like the single-user [`Cqms`].
+//! * **Batched ingestion** — [`CqmsService::ingest_batch`] amortises the
+//!   write lock (and the readers' wait) over a whole batch of queries
+//!   instead of paying one acquisition per statement.
+//! * **Background mining** — [`CqmsService::start_miner`] runs the Query
+//!   Miner on its own thread; [`CqmsService::shutdown`] (or dropping the
+//!   last service clone) joins it gracefully after one final epoch, so
+//!   rules mined from the most recent queries stay visible.
+//!
+//! The service is `Clone` (cheap: two `Arc`s); hand one clone to each
+//! client thread. See `tests/concurrency.rs` for the multi-writer /
+//! multi-reader stress test and `benches/e10_concurrency.rs` for the read
+//! scaling experiment.
+
+use crate::assist::completion::Suggestion;
+use crate::assist::correction::{Correction, RepairSuggestion};
+use crate::assist::recommend::PanelRow;
+use crate::error::CqmsError;
+use crate::maintenance::{MaintenanceReport, RefreshReport};
+use crate::metaquery::{ScoredHit, TreePattern};
+use crate::miner::assoc::AssocRule;
+use crate::model::*;
+use crate::profiler::ProfiledQuery;
+use crate::server::{spawn_background_miner, BackgroundMiner, Cqms, MinerReport};
+use crate::similarity::DistanceKind;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One query of a batched ingest ([`CqmsService::ingest_batch`]).
+#[derive(Debug, Clone)]
+pub struct IngestItem {
+    pub user: UserId,
+    pub sql: String,
+    /// Explicit trace time; `None` ticks the internal clock (+30 s).
+    pub ts: Option<u64>,
+}
+
+impl IngestItem {
+    pub fn new(user: UserId, sql: impl Into<String>) -> Self {
+        IngestItem {
+            user,
+            sql: sql.into(),
+            ts: None,
+        }
+    }
+
+    pub fn at(user: UserId, sql: impl Into<String>, ts: u64) -> Self {
+        IngestItem {
+            user,
+            sql: sql.into(),
+            ts: Some(ts),
+        }
+    }
+}
+
+/// A thread-safe, cloneable handle to a shared CQMS.
+#[derive(Clone)]
+pub struct CqmsService {
+    cqms: Arc<RwLock<Cqms>>,
+    miner: Arc<Mutex<Option<BackgroundMiner>>>,
+}
+
+impl CqmsService {
+    /// Wrap a CQMS for shared multi-threaded use.
+    pub fn new(cqms: Cqms) -> Self {
+        Self::from_shared(Arc::new(RwLock::new(cqms)))
+    }
+
+    /// Build a service over an already-shared CQMS (e.g. one that other
+    /// code also holds via [`spawn_background_miner`]).
+    pub fn from_shared(cqms: Arc<RwLock<Cqms>>) -> Self {
+        CqmsService {
+            cqms,
+            miner: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The shared lock itself, for callers that need custom locking scope.
+    pub fn shared(&self) -> Arc<RwLock<Cqms>> {
+        self.cqms.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Read path (read lock; never blocked by other readers)
+    // ------------------------------------------------------------------
+
+    /// Run `f` under the read lock (escape hatch for compound reads that
+    /// must see one consistent snapshot).
+    pub fn read<R>(&self, f: impl FnOnce(&Cqms) -> R) -> R {
+        f(&self.cqms.read())
+    }
+
+    /// Completions for partial SQL (Fig. 3 dropdown).
+    pub fn complete(&self, user: UserId, partial_sql: &str, k: usize) -> Vec<Suggestion> {
+        self.cqms.read().complete(user, partial_sql, k)
+    }
+
+    pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
+        self.cqms.read().search_keyword(user, query, k)
+    }
+
+    pub fn search_substring(&self, user: UserId, needle: &str) -> Vec<QueryId> {
+        self.cqms.read().search_substring(user, needle)
+    }
+
+    /// SQL meta-query over the Figure 1 feature relations.
+    pub fn search_feature_sql(
+        &self,
+        user: UserId,
+        sql: &str,
+    ) -> Result<relstore::QueryResult, CqmsError> {
+        self.cqms.read().search_feature_sql(user, sql)
+    }
+
+    pub fn search_parse_tree(&self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
+        self.cqms.read().search_parse_tree(user, pattern)
+    }
+
+    pub fn search_by_data(
+        &self,
+        user: UserId,
+        include: &[&str],
+        exclude: &[&str],
+        reexecute: bool,
+    ) -> Vec<QueryId> {
+        self.cqms
+            .read()
+            .search_by_data(user, include, exclude, reexecute)
+    }
+
+    pub fn similar_queries(
+        &self,
+        user: UserId,
+        sql: &str,
+        k: usize,
+        metric: DistanceKind,
+    ) -> Result<Vec<ScoredHit>, CqmsError> {
+        self.cqms.read().similar_queries(user, sql, k, metric)
+    }
+
+    pub fn recommend(
+        &self,
+        user: UserId,
+        seed_sql: &str,
+        k: usize,
+    ) -> Result<Vec<PanelRow>, CqmsError> {
+        self.cqms.read().recommend(user, seed_sql, k)
+    }
+
+    pub fn check_identifiers(&self, sql: &str) -> Vec<Correction> {
+        self.cqms.read().check_identifiers(sql)
+    }
+
+    pub fn repair_empty_result(&self, sql: &str, k: usize) -> Vec<RepairSuggestion> {
+        self.cqms.read().repair_empty_result(sql, k)
+    }
+
+    /// Number of live (visible, usable) logged queries.
+    pub fn live_count(&self) -> usize {
+        self.cqms.read().storage.live_count()
+    }
+
+    /// Current trace time.
+    pub fn now(&self) -> u64 {
+        self.cqms.read().now()
+    }
+
+    /// The latest mined association rules (cloned out of the lock).
+    pub fn association_rules(&self) -> Vec<AssocRule> {
+        self.cqms.read().association_rules().to_vec()
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (write lock)
+    // ------------------------------------------------------------------
+
+    /// Run `f` under the write lock (escape hatch for compound writes).
+    pub fn write<R>(&self, f: impl FnOnce(&mut Cqms) -> R) -> R {
+        f(&mut self.cqms.write())
+    }
+
+    pub fn run_query(&self, user: UserId, sql: &str) -> Result<ProfiledQuery, CqmsError> {
+        self.cqms.write().run_query(user, sql)
+    }
+
+    pub fn run_query_at(
+        &self,
+        user: UserId,
+        sql: &str,
+        ts: u64,
+    ) -> Result<ProfiledQuery, CqmsError> {
+        self.cqms.write().run_query_at(user, sql, ts)
+    }
+
+    /// Ingest a batch of queries under **one** write-lock acquisition.
+    ///
+    /// With many writers, per-statement locking makes readers requeue
+    /// behind every single statement; batching bounds that to once per
+    /// batch. Items run in order; a failure is recorded in its slot and
+    /// does not abort the rest of the batch.
+    pub fn ingest_batch(&self, items: &[IngestItem]) -> Vec<Result<QueryId, CqmsError>> {
+        let mut guard = self.cqms.write();
+        items
+            .iter()
+            .map(|item| {
+                match item.ts {
+                    Some(ts) => guard.run_query_at(item.user, &item.sql, ts),
+                    None => guard.run_query(item.user, &item.sql),
+                }
+                .map(|p| p.id)
+            })
+            .collect()
+    }
+
+    pub fn register_user(&self, name: &str) -> UserId {
+        self.cqms.write().register_user(name)
+    }
+
+    pub fn create_group(&self, name: &str) -> GroupId {
+        self.cqms.write().create_group(name)
+    }
+
+    pub fn join_group(&self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
+        self.cqms.write().join_group(user, group)
+    }
+
+    pub fn annotate(
+        &self,
+        actor: UserId,
+        id: QueryId,
+        text: &str,
+        fragment: Option<&str>,
+    ) -> Result<(), CqmsError> {
+        self.cqms.write().annotate(actor, id, text, fragment)
+    }
+
+    pub fn set_visibility(
+        &self,
+        actor: UserId,
+        id: QueryId,
+        visibility: Visibility,
+    ) -> Result<(), CqmsError> {
+        self.cqms.write().set_visibility(actor, id, visibility)
+    }
+
+    pub fn delete_query(&self, actor: UserId, id: QueryId) -> Result<(), CqmsError> {
+        self.cqms.write().delete_query(actor, id)
+    }
+
+    /// Run one synchronous miner epoch on the caller's thread.
+    pub fn run_miner_epoch(&self) -> MinerReport {
+        self.cqms.write().run_miner_epoch()
+    }
+
+    pub fn run_maintenance(&self) -> Result<(MaintenanceReport, RefreshReport), CqmsError> {
+        self.cqms.write().run_maintenance()
+    }
+
+    // ------------------------------------------------------------------
+    // Background miner lifecycle
+    // ------------------------------------------------------------------
+
+    /// Start the background Query Miner (one epoch every `interval`).
+    /// Returns `false` when a miner is already running.
+    pub fn start_miner(&self, interval: Duration) -> bool {
+        let mut slot = self.miner.lock();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(spawn_background_miner(self.cqms.clone(), interval));
+        true
+    }
+
+    /// Is a background miner currently attached?
+    pub fn miner_running(&self) -> bool {
+        self.miner.lock().is_some()
+    }
+
+    /// Stop the background miner, if any: it runs one final epoch, the
+    /// thread is joined, and the epoch count is returned.
+    pub fn stop_miner(&self) -> Option<usize> {
+        let handle = self.miner.lock().take();
+        handle.map(BackgroundMiner::stop)
+    }
+
+    /// Graceful shutdown: stop the background miner (final epoch included).
+    /// Idempotent — later calls (and other clones' drops) are no-ops.
+    pub fn shutdown(&self) -> Option<usize> {
+        self.stop_miner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CqmsConfig;
+    use relstore::Engine;
+    use workload::Domain;
+
+    fn service() -> (CqmsService, UserId) {
+        let mut engine = Engine::new();
+        Domain::Lakes.setup(&mut engine, 60, 3);
+        let svc = CqmsService::new(Cqms::new(engine, CqmsConfig::default()));
+        let user = svc.register_user("alice");
+        (svc, user)
+    }
+
+    #[test]
+    fn reads_and_writes_through_the_service() {
+        let (svc, user) = service();
+        let id = svc
+            .run_query(user, "SELECT lake, temp FROM WaterTemp WHERE temp < 18")
+            .unwrap()
+            .id;
+        assert_eq!(svc.live_count(), 1);
+        assert_eq!(svc.search_keyword(user, "temp", 5).len(), 1);
+        assert_eq!(svc.search_substring(user, "temp < 18"), vec![id]);
+        assert!(!svc.complete(user, "SELECT * FROM ", 5).is_empty());
+        svc.annotate(user, id, "cold lakes", None).unwrap();
+        svc.delete_query(user, id).unwrap();
+        assert_eq!(svc.live_count(), 0);
+    }
+
+    #[test]
+    fn batched_ingestion_takes_one_lock_and_reports_per_item() {
+        let (svc, user) = service();
+        let batch = vec![
+            IngestItem::at(user, "SELECT * FROM WaterTemp WHERE temp < 18", 100),
+            IngestItem::at(user, "SELECT * FROM WaterTemp WHERE temp < 20", 130),
+            IngestItem::new(user, "SELECT salinity FROM WaterSalinity"),
+        ];
+        let ids = svc.ingest_batch(&batch);
+        assert_eq!(ids.len(), 3);
+        assert!(ids.iter().all(|r| r.is_ok()));
+        assert_eq!(svc.live_count(), 3);
+        // The clock-ticking item advanced past the explicit timestamps.
+        assert_eq!(svc.now(), 160);
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_clone_each() {
+        let (svc, user) = service();
+        for i in 0..6 {
+            svc.run_query(user, &format!("SELECT * FROM WaterTemp WHERE temp < {i}"))
+                .unwrap();
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let svc = svc.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        assert!(!svc
+                            .complete(user, "SELECT * FROM WaterTemp WHERE ", 5)
+                            .is_empty());
+                        assert!(svc.search_keyword(user, "watertemp", 5).len() <= 5);
+                    }
+                });
+            }
+        });
+        assert_eq!(svc.live_count(), 6);
+    }
+
+    #[test]
+    fn miner_lifecycle_is_idempotent() {
+        let (svc, user) = service();
+        for i in 0..6 {
+            svc.run_query(
+                user,
+                &format!("SELECT * FROM WaterSalinity S, WaterTemp T WHERE S.loc_x = T.loc_x AND T.temp < {i}"),
+            )
+            .unwrap();
+        }
+        // Interval far beyond the test's lifetime: the only epoch that can
+        // run is the final shutdown epoch.
+        assert!(svc.start_miner(Duration::from_secs(3600)));
+        assert!(!svc.start_miner(Duration::from_secs(3600)));
+        assert!(svc.miner_running());
+        let epochs = svc.shutdown().expect("miner was running");
+        assert_eq!(epochs, 1, "exactly the final shutdown epoch");
+        assert!(!svc.miner_running());
+        assert!(svc.shutdown().is_none(), "second shutdown is a no-op");
+        // The final epoch's results are visible after shutdown.
+        assert!(!svc.association_rules().is_empty());
+    }
+}

@@ -134,7 +134,17 @@ impl QueryStorage {
     }
 
     /// The embedded feature-relation engine (Meta-query Executor entry).
-    pub fn meta_engine(&mut self) -> &mut relstore::Engine {
+    ///
+    /// Shared access suffices for meta-queries: SQL reads go through
+    /// [`relstore::Engine::query`] / `query_statement`, which take `&self`
+    /// (lazy index maintenance lives behind interior mutability). Writers
+    /// (the Profiler, deletes, maintenance) use [`QueryStorage::meta_engine_mut`].
+    pub fn meta_engine(&self) -> &relstore::Engine {
+        &self.meta
+    }
+
+    /// Mutable access to the feature-relation engine (write paths only).
+    pub fn meta_engine_mut(&mut self) -> &mut relstore::Engine {
         &mut self.meta
     }
 
@@ -156,6 +166,20 @@ impl QueryStorage {
     /// Highest template popularity (for score normalisation).
     pub fn max_popularity(&self) -> u32 {
         self.template_counts.values().copied().max().unwrap_or(1)
+    }
+
+    /// The full popularity table as sorted `(template fingerprint, live
+    /// count)` pairs, zero counts dropped. Independent of ingestion order,
+    /// which makes it the state concurrency tests compare across replays.
+    pub fn template_histogram(&self) -> Vec<(u64, u32)> {
+        let mut hist: Vec<(u64, u32)> = self
+            .template_counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&fp, &c)| (fp, c))
+            .collect();
+        hist.sort_unstable();
+        hist
     }
 
     /// Record a session-graph edge.
@@ -687,10 +711,10 @@ mod tests {
 
     #[test]
     fn feature_relations_queryable() {
-        let mut s = populated();
+        let s = populated();
         let r = s
             .meta_engine()
-            .execute("SELECT qid FROM DataSources WHERE relName = 'watersalinity'")
+            .query("SELECT qid FROM DataSources WHERE relName = 'watersalinity'")
             .unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0].render(), "2");
@@ -735,7 +759,7 @@ mod tests {
         assert_eq!(s.popularity(fp), 1);
         let r = s
             .meta_engine()
-            .execute("SELECT * FROM Queries WHERE qid = 0")
+            .query("SELECT * FROM Queries WHERE qid = 0")
             .unwrap();
         assert!(r.rows.is_empty());
         // Record is retained for audit.

@@ -152,6 +152,89 @@ proptest! {
         prop_assert_eq!(restored.max_popularity(), st.max_popularity());
     }
 
+    /// Snapshot → load over storages that also saw deletes and
+    /// session-graph edges: live records, both text indexes, the feature
+    /// relations, the popularity table and the edges all survive.
+    #[test]
+    fn snapshot_roundtrip_with_deletes_and_edges(
+        records in records_strategy(),
+        del_seeds in proptest::collection::vec(any::<bool>(), 12),
+        edge_seeds in proptest::collection::vec((0usize..12, 0usize..12, any::<bool>()), 0..6),
+    ) {
+        let mut st = build_storage(records);
+        let n = st.len();
+        // Session-graph edges between arbitrary pairs.
+        for (a, b, investigation) in edge_seeds {
+            let from = QueryId((a % n) as u64);
+            let to = QueryId((b % n) as u64);
+            let edits = match (
+                st.get(from).ok().and_then(|r| r.statement.clone()),
+                st.get(to).ok().and_then(|r| r.statement.clone()),
+            ) {
+                (Some(x), Some(y)) => sqlparse::diff_statements(&x, &y),
+                _ => Vec::new(),
+            };
+            st.add_edge(SessionEdge {
+                from,
+                to,
+                kind: if investigation { EdgeKind::Investigation } else { EdgeKind::Evolution },
+                edits,
+            });
+        }
+        // Tombstone a random subset.
+        for (i, del) in del_seeds.iter().take(n).enumerate() {
+            if *del {
+                st.delete(QueryId(i as u64)).unwrap();
+            }
+        }
+
+        let mut buf = Vec::new();
+        st.snapshot(&mut buf).unwrap();
+        let restored = QueryStorage::load(&buf[..]).unwrap();
+
+        prop_assert_eq!(restored.len(), st.len());
+        prop_assert_eq!(restored.live_count(), st.live_count());
+        for r in st.iter() {
+            let q = restored.get(r.id).unwrap();
+            prop_assert_eq!(q.is_live(), r.is_live());
+            prop_assert_eq!(&q.raw_sql, &r.raw_sql);
+            prop_assert_eq!(q.user, r.user);
+            prop_assert_eq!(q.session, r.session);
+            prop_assert_eq!(q.visibility, r.visibility);
+            prop_assert_eq!(q.template_fp, r.template_fp);
+            prop_assert_eq!(q.annotations.len(), r.annotations.len());
+            // Index membership mirrors liveness, on both sides.
+            prop_assert_eq!(r.is_live(), st.text_index().contains(r.id.0));
+            prop_assert_eq!(
+                restored.text_index().contains(r.id.0),
+                st.text_index().contains(r.id.0)
+            );
+        }
+        // Popularity table rebuilt identically (deletes included).
+        prop_assert_eq!(restored.template_histogram(), st.template_histogram());
+        // Feature relations: SQL meta-queries see the same live qids.
+        let visible_qids = |s: &QueryStorage| -> Vec<String> {
+            let mut v: Vec<String> = s
+                .meta_engine()
+                .query("SELECT qid FROM Queries")
+                .unwrap()
+                .rows
+                .iter()
+                .map(|row| row[0].render())
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(visible_qids(&restored), visible_qids(&st));
+        // Edges survive with endpoints and kind intact.
+        prop_assert_eq!(restored.edges().len(), st.edges().len());
+        for (a, b) in restored.edges().iter().zip(st.edges()) {
+            prop_assert_eq!(a.from, b.from);
+            prop_assert_eq!(a.to, b.to);
+            prop_assert_eq!(a.kind, b.kind);
+        }
+    }
+
     /// Distance metrics satisfy identity, symmetry and [0, 1] bounds.
     #[test]
     fn metric_axioms(a in sql_strategy(), b in sql_strategy()) {

@@ -9,6 +9,7 @@ use crate::schema::{ColumnDef, TableSchema};
 use crate::stats::TableStats;
 use crate::table::Row;
 use crate::value::Value;
+use parking_lot::Mutex;
 use sqlparse::ast::*;
 use std::time::{Duration, Instant};
 
@@ -77,10 +78,17 @@ impl QueryResult {
 }
 
 /// The embedded relational engine: a catalog plus hash indexes.
+///
+/// Writes (`execute*`) take `&mut self`. Read-only SELECTs can instead go
+/// through [`Engine::query`] / [`Engine::query_statement`], which take
+/// `&self` so concurrent readers never serialise on the engine itself: the
+/// lazily-maintained hash indexes are the only mutable read-path state, and
+/// they sit behind a mutex that readers merely *try* to take, degrading to
+/// an index-free scan under contention instead of blocking.
 #[derive(Default)]
 pub struct Engine {
     pub catalog: Catalog,
-    indexes: Indexes,
+    indexes: Mutex<Indexes>,
 }
 
 impl Engine {
@@ -104,6 +112,43 @@ impl Engine {
         Ok(last)
     }
 
+    /// Parse and run one read-only SELECT with `&self` (the concurrent read
+    /// path). Non-SELECT statements are rejected; use [`Engine::execute`].
+    pub fn query(&self, sql: &str) -> Result<QueryResult, EngineError> {
+        let stmt = sqlparse::parse(sql)?;
+        self.query_statement(&stmt)
+    }
+
+    /// Run an already-parsed SELECT with `&self`.
+    ///
+    /// Unlike [`Engine::execute_statement`], reads observe but do not
+    /// advance the catalog's logical clock, and they never block on the
+    /// index cache: when another statement holds it, the SELECT falls back
+    /// to an index-free scan.
+    pub fn query_statement(&self, stmt: &Statement) -> Result<QueryResult, EngineError> {
+        let Statement::Select(s) = stmt else {
+            return Err(EngineError::Unsupported(
+                "query()/query_statement() are read-only; use execute() for writes".into(),
+            ));
+        };
+        let start = Instant::now();
+        let out = match self.indexes.try_lock() {
+            Some(mut indexes) => exec::run_select(&self.catalog, s, Some(&mut indexes))?,
+            None => exec::run_select(&self.catalog, s, None)?,
+        };
+        Ok(QueryResult {
+            metrics: ExecMetrics {
+                cardinality: out.rows.len() as u64,
+                rows_scanned: out.stats.rows_scanned,
+                plan: out.stats.plan,
+                elapsed: start.elapsed(),
+                logical_time: self.catalog.now(),
+            },
+            columns: out.columns,
+            rows: out.rows,
+        })
+    }
+
     /// Execute an already-parsed statement.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult, EngineError> {
         let start = Instant::now();
@@ -125,17 +170,17 @@ impl Engine {
             Statement::Delete(d) => self.run_delete(d)?,
             Statement::DropTable(t) => {
                 self.catalog.drop_table(t)?;
-                self.indexes.invalidate_table(t);
+                self.indexes.get_mut().invalidate_table(t);
                 QueryResult::default()
             }
             Statement::AlterRenameColumn { table, from, to } => {
                 self.catalog.rename_column(table, from, to)?;
-                self.indexes.invalidate_table(table);
+                self.indexes.get_mut().invalidate_table(table);
                 QueryResult::default()
             }
             Statement::AlterDropColumn { table, column } => {
                 self.catalog.drop_column(table, column)?;
-                self.indexes.invalidate_table(table);
+                self.indexes.get_mut().invalidate_table(table);
                 QueryResult::default()
             }
             Statement::AlterAddColumn {
@@ -144,13 +189,13 @@ impl Engine {
                 data_type,
             } => {
                 self.catalog.add_column(table, column, *data_type)?;
-                self.indexes.invalidate_table(table);
+                self.indexes.get_mut().invalidate_table(table);
                 QueryResult::default()
             }
             Statement::AlterRenameTable { table, to } => {
                 self.catalog.rename_table(table, to)?;
-                self.indexes.invalidate_table(table);
-                self.indexes.invalidate_table(to);
+                self.indexes.get_mut().invalidate_table(table);
+                self.indexes.get_mut().invalidate_table(to);
                 QueryResult::default()
             }
         };
@@ -170,7 +215,7 @@ impl Engine {
     }
 
     fn run_select(&mut self, s: &SelectStatement) -> Result<QueryResult, EngineError> {
-        let out = exec::run_select(&self.catalog, s, Some(&mut self.indexes))?;
+        let out = exec::run_select(&self.catalog, s, Some(self.indexes.get_mut()))?;
         Ok(QueryResult {
             metrics: ExecMetrics {
                 cardinality: out.rows.len() as u64,
@@ -226,7 +271,7 @@ impl Engine {
         for row in rows {
             table.insert(row)?;
         }
-        self.indexes.invalidate_table(&ins.table);
+        self.indexes.get_mut().invalidate_table(&ins.table);
         Ok(QueryResult {
             metrics: ExecMetrics {
                 cardinality: n,
@@ -291,7 +336,7 @@ impl Engine {
                 table.rows[ri][idx] = v.coerce(ty);
             }
         }
-        self.indexes.invalidate_table(&u.table);
+        self.indexes.get_mut().invalidate_table(&u.table);
         Ok(QueryResult {
             metrics: ExecMetrics {
                 cardinality: n,
@@ -326,7 +371,7 @@ impl Engine {
             keep
         });
         let n = (before - table.rows.len()) as u64;
-        self.indexes.invalidate_table(&d.table);
+        self.indexes.get_mut().invalidate_table(&d.table);
         Ok(QueryResult {
             metrics: ExecMetrics {
                 cardinality: n,
@@ -349,22 +394,22 @@ impl Engine {
                 context: format!("table `{table}`"),
             });
         }
-        self.indexes.create(table, column);
+        self.indexes.get_mut().create(table, column);
         Ok(())
     }
 
     pub fn drop_index(&mut self, table: &str, column: &str) -> bool {
-        self.indexes.drop(table, column)
+        self.indexes.get_mut().drop(table, column)
     }
 
     pub fn has_index(&self, table: &str, column: &str) -> bool {
-        self.indexes.has(table, column)
+        self.indexes.lock().has(table, column)
     }
 
     /// Mark all indexes on `table` stale. Required after mutating a table's
     /// rows directly through `catalog.table_mut` (bulk loads) instead of SQL.
     pub fn invalidate_indexes(&mut self, table: &str) {
-        self.indexes.invalidate_table(table);
+        self.indexes.get_mut().invalidate_table(table);
     }
 
     /// Compute statistics for a table (paper §4.1/§4.4 building block).
@@ -459,6 +504,56 @@ mod tests {
         )
         .unwrap();
         e
+    }
+
+    #[test]
+    fn query_is_read_only_and_matches_execute() {
+        let mut e = lakes_engine();
+        let sql = "SELECT lake, temp FROM WaterTemp WHERE temp < 18 ORDER BY temp";
+        let via_execute = e.execute(sql).unwrap();
+        let via_query = e.query(sql).unwrap();
+        assert_eq!(via_query.columns, via_execute.columns);
+        assert_eq!(via_query.rows, via_execute.rows);
+        // Reads observe, but never advance, the logical clock.
+        let before = e.catalog.now();
+        e.query("SELECT * FROM WaterTemp").unwrap();
+        assert_eq!(e.catalog.now(), before);
+        // Writes are rejected on the read path.
+        let err = e.query("DELETE FROM WaterTemp").unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)), "{err:?}");
+        assert_eq!(e.query("SELECT * FROM WaterTemp").unwrap().rows.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_engine() {
+        let mut e = lakes_engine();
+        e.create_index("WaterTemp", "lake").unwrap();
+        // Warm the index through the write path, then hammer reads from
+        // multiple threads; the try-lock fast path must never deadlock and
+        // every thread must see identical results.
+        e.execute("SELECT temp FROM WaterTemp WHERE lake = 'Lake Union'")
+            .unwrap();
+        let e = &e;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut rows = 0usize;
+                        for _ in 0..50 {
+                            rows += e
+                                .query("SELECT temp FROM WaterTemp WHERE lake = 'Lake Washington'")
+                                .unwrap()
+                                .rows
+                                .len();
+                        }
+                        rows
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 100);
+            }
+        });
     }
 
     #[test]

@@ -33,6 +33,24 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Non-blocking read: `None` when a writer holds the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Non-blocking write: `None` when any other guard is held.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
     }
@@ -60,6 +78,15 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Non-blocking lock: `None` when the mutex is currently held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
     }
@@ -84,5 +111,27 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_variants_fail_under_contention() {
+        let m = Mutex::new(0);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        assert!(m.try_lock().is_some());
+
+        let rw = RwLock::new(0);
+        {
+            let _w = rw.write();
+            assert!(rw.try_read().is_none());
+            assert!(rw.try_write().is_none());
+        }
+        {
+            let _r = rw.read();
+            assert!(rw.try_read().is_some());
+            assert!(rw.try_write().is_none());
+        }
     }
 }

@@ -109,6 +109,76 @@ impl Trace {
         ids.dedup();
         ids.len()
     }
+
+    /// Deterministically partition the query log across `threads` replay
+    /// clients.
+    ///
+    /// All queries of one user land on one thread (distinct users are
+    /// assigned round-robin in sorted order), and each thread's schedule
+    /// preserves the trace order of its queries. Per-user ordering is what
+    /// online session assignment depends on, so a concurrent replay of
+    /// these partitions reaches the same per-user state as a sequential
+    /// replay regardless of how the threads interleave.
+    pub fn partition(&self, threads: usize) -> Vec<Vec<GenQuery>> {
+        self.partition_refs(threads)
+            .into_iter()
+            .map(|part| part.into_iter().cloned().collect())
+            .collect()
+    }
+
+    /// Borrowing form of [`Trace::partition`]: the same deterministic
+    /// schedule without cloning any query.
+    fn partition_refs(&self, threads: usize) -> Vec<Vec<&GenQuery>> {
+        let n = threads.max(1);
+        let mut users: Vec<u32> = self.queries.iter().map(|q| q.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        let slot_of = |user: u32| {
+            users
+                .binary_search(&user)
+                .expect("user came from this trace")
+                % n
+        };
+        let mut parts: Vec<Vec<&GenQuery>> = vec![Vec::new(); n];
+        for q in &self.queries {
+            parts[slot_of(q.user)].push(q);
+        }
+        parts
+    }
+
+    /// Multi-threaded trace replay: fan the log across `threads` client
+    /// threads with the deterministic per-thread schedule of
+    /// [`Trace::partition`], calling `f(thread_index, query)` for every
+    /// query. Blocks until all clients finish; returns the number of
+    /// queries each thread replayed.
+    ///
+    /// `f` decides what "replaying" means — typically ingesting into a
+    /// shared `CqmsService` — and must be thread-safe.
+    pub fn replay_concurrent<F>(&self, threads: usize, f: F) -> Vec<usize>
+    where
+        F: Fn(usize, &GenQuery) + Sync,
+    {
+        let parts = self.partition_refs(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .enumerate()
+                .map(|(i, part)| {
+                    scope.spawn(move || {
+                        for q in part {
+                            f(i, q);
+                        }
+                        part.len()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay client panicked"))
+                .collect()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +206,64 @@ mod tests {
         let sa: Vec<&str> = a.queries.iter().map(|q| q.sql.as_str()).collect();
         let sb: Vec<&str> = b.queries.iter().map(|q| q.sql.as_str()).collect();
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_complete() {
+        let t = Trace::generate(
+            TraceConfig::new(Domain::Lakes)
+                .with_sessions(20)
+                .with_users(5),
+        );
+        let parts = t.partition(3);
+        assert_eq!(parts.len(), 3);
+        // Nothing lost, nothing duplicated.
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, t.queries.len());
+        // One thread per user, trace order preserved within each thread.
+        for part in &parts {
+            for pair in part.windows(2) {
+                assert!(pair[0].ts <= pair[1].ts, "schedule out of trace order");
+            }
+        }
+        let mut user_thread = std::collections::HashMap::new();
+        for (i, part) in parts.iter().enumerate() {
+            for q in part {
+                assert_eq!(
+                    *user_thread.entry(q.user).or_insert(i),
+                    i,
+                    "user split across threads"
+                );
+            }
+        }
+        // Deterministic across calls.
+        let again = t.partition(3);
+        for (a, b) in parts.iter().zip(&again) {
+            let sa: Vec<&str> = a.iter().map(|q| q.sql.as_str()).collect();
+            let sb: Vec<&str> = b.iter().map(|q| q.sql.as_str()).collect();
+            assert_eq!(sa, sb);
+        }
+        // More threads than users still works.
+        let wide = t.partition(64);
+        assert_eq!(wide.iter().map(Vec::len).sum::<usize>(), t.queries.len());
+    }
+
+    #[test]
+    fn replay_concurrent_visits_every_query_once() {
+        use std::sync::Mutex;
+        let t = Trace::generate(TraceConfig::new(Domain::WebLog).with_sessions(12));
+        let seen = Mutex::new(Vec::new());
+        let counts = t.replay_concurrent(4, |thread, q| {
+            seen.lock().unwrap().push((thread, q.sql.clone()));
+        });
+        assert_eq!(counts.iter().sum::<usize>(), t.queries.len());
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), t.queries.len());
+        let mut expected: Vec<String> = t.queries.iter().map(|q| q.sql.clone()).collect();
+        expected.sort();
+        let mut replayed: Vec<String> = seen.into_iter().map(|(_, sql)| sql).collect();
+        replayed.sort();
+        assert_eq!(replayed, expected);
     }
 
     #[test]

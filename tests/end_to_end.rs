@@ -117,7 +117,7 @@ fn clustering_recovers_topics() {
 
 #[test]
 fn search_modes_agree_on_an_easy_target() {
-    let (mut cqms, _, users) = replay(Domain::Lakes, 20);
+    let (cqms, _, users) = replay(Domain::Lakes, 20);
     let u = users[0];
     // Find queries mentioning WaterSalinity through four different paths.
     let kw: std::collections::HashSet<u64> = cqms
@@ -162,7 +162,7 @@ fn search_modes_agree_on_an_easy_target() {
 
 #[test]
 fn knn_metrics_all_return_and_agree_on_self_similarity() {
-    let (mut cqms, trace, users) = replay(Domain::Lakes, 15);
+    let (cqms, trace, users) = replay(Domain::Lakes, 15);
     let u = users[0];
     let probe = &trace.queries[0].sql;
     for metric in [
@@ -187,7 +187,7 @@ fn knn_metrics_all_return_and_agree_on_self_similarity() {
 #[test]
 fn recommendation_panel_well_formed_across_domains() {
     for domain in Domain::all() {
-        let (mut cqms, trace, users) = replay(domain, 12);
+        let (cqms, trace, users) = replay(domain, 12);
         let seed_sql = &trace.queries[trace.queries.len() / 2].sql;
         let rows = cqms.recommend(users[0], seed_sql, 5).unwrap();
         assert!(!rows.is_empty(), "{domain:?}: no recommendations");
