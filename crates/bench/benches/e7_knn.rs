@@ -1,5 +1,8 @@
 //! E7 — kNN recommendation latency by similarity metric (§4.2: kNN
-//! meta-queries must be interactive; A3 ablation across distance kinds).
+//! meta-queries must be interactive; A3 ablation across distance kinds),
+//! plus a store-size axis (500/2000) for the candidate-pruned metrics:
+//! with signature precomputation and posting-index pruning, Features and
+//! Combined latency should grow far slower than the log.
 
 use cqms_bench::logged_cqms;
 use cqms_core::similarity::DistanceKind;
@@ -29,6 +32,19 @@ fn bench(c: &mut Criterion) {
             &metric,
             |b, &m| b.iter(|| lc.cqms.similar_queries(user, PROBE, 5, m).unwrap().len()),
         );
+    }
+    // Store-size axis for the pruned metrics: the asymptotic win shows as
+    // sub-linear growth from 500 → 2000 logged queries.
+    for &size in &[500usize, 2000] {
+        let lc = logged_cqms(Domain::Lakes, size, 0xE7);
+        let user = lc.users[0];
+        for metric in [DistanceKind::Features, DistanceKind::Combined] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("store_{metric:?}"), size),
+                &metric,
+                |b, &m| b.iter(|| lc.cqms.similar_queries(user, PROBE, 5, m).unwrap().len()),
+            );
+        }
     }
     group.finish();
 }

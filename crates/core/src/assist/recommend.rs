@@ -28,6 +28,12 @@ pub struct PanelRow {
 }
 
 /// Compute the recommendation panel for `seed_sql` on behalf of `viewer`.
+///
+/// The candidate search runs through the signature-backed kNN
+/// ([`MetaQueryExecutor::knn`] with the Combined metric): the probe is
+/// interned against the storage's feature vocabulary once and the
+/// posting-index/lower-bound pruning applies, so panel latency tracks the
+/// number of genuinely similar queries rather than the log size.
 pub fn recommend_panel(
     storage: &QueryStorage,
     directory: &Directory,

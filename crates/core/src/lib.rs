@@ -34,6 +34,7 @@ pub mod model;
 pub mod profiler;
 pub mod server;
 pub mod service;
+pub mod signature;
 pub mod similarity;
 pub mod storage;
 pub mod viz;

@@ -104,11 +104,13 @@ pub fn scan_schema_changes(
 
         let at = engine.catalog.now();
         if hopeless {
-            let r = storage.get_mut(id)?;
-            r.validity = Validity::Obsolete {
-                reason: "input relation was dropped".into(),
-                at,
-            };
+            storage.set_validity(
+                id,
+                Validity::Obsolete {
+                    reason: "input relation was dropped".into(),
+                    at,
+                },
+            )?;
             report.obsolete.push(id);
             continue;
         }
@@ -117,36 +119,38 @@ pub fn scan_schema_changes(
         match engine.validates(&stmt) {
             Ok(()) => {
                 let new_sql = sqlparse::to_sql(&stmt);
-                let changed = {
+                let original = {
                     let r = storage.get_mut(id)?;
                     if new_sql != r.raw_sql {
                         let original = std::mem::replace(&mut r.raw_sql, new_sql);
+                        let old_tfp = r.template_fp;
                         r.statement = Some(stmt.clone());
                         r.canonical_sql = sqlparse::to_sql(&sqlparse::canonicalize(&stmt));
                         r.structure_fp = sqlparse::structure_fingerprint(&stmt);
                         r.template_fp = sqlparse::template_fingerprint(&stmt);
                         r.features = crate::features::extract(&stmt, Some(&engine.catalog));
-                        r.validity = Validity::Repaired {
-                            original_sql: original,
-                            at,
-                        };
-                        true
+                        Some((original, old_tfp, r.template_fp))
                     } else {
-                        false
+                        None
                     }
                 };
-                if changed {
+                if let Some((original_sql, old_tfp, new_tfp)) = original {
+                    // Popularity follows the query to its new template.
+                    storage.retemplate(old_tfp, new_tfp);
+                    storage.set_validity(id, Validity::Repaired { original_sql, at })?;
                     storage.reindex(id)?;
                     report.repaired.push(id);
                 }
                 // Still valid untouched: a benign change (e.g. ADD COLUMN).
             }
             Err(e) => {
-                let r = storage.get_mut(id)?;
-                r.validity = Validity::Flagged {
-                    reason: e.to_string(),
-                    at,
-                };
+                storage.set_validity(
+                    id,
+                    Validity::Flagged {
+                        reason: e.to_string(),
+                        at,
+                    },
+                )?;
                 report.flagged.push(id);
             }
         }
@@ -361,6 +365,8 @@ mod tests {
         let r = st.get(id).unwrap();
         assert!(r.raw_sql.contains("LakeTemp"), "{}", r.raw_sql);
         assert!(en.execute(&r.raw_sql).is_ok());
+        // Popularity followed the query to its new template.
+        assert_eq!(st.popularity(r.template_fp), 1);
     }
 
     #[test]

@@ -266,25 +266,33 @@ impl<'a> MetaQueryExecutor<'a> {
             if !self.visible(viewer, r) {
                 continue;
             }
+            // Signature cell-hash screen: absence of a hash proves the
+            // value is absent, so most records are rejected without
+            // scanning any stored row; a hash hit is re-verified against
+            // the rows, so collisions can never flip an answer.
+            let sig = self.storage.signature(r.id);
+            let contains = |s: &crate::model::OutputSummary, v: &str| -> bool {
+                sig.map(|g| g.may_contain_cell(v)).unwrap_or(true) && s.contains_value(v)
+            };
             match &r.summary {
                 crate::model::OutputSummary::None => continue,
                 s if s.is_exhaustive() => {
-                    let inc_ok = include.iter().all(|v| s.contains_value(v));
-                    let exc_ok = exclude.iter().all(|v| !s.contains_value(v));
+                    let inc_ok = include.iter().all(|v| contains(s, v));
+                    let exc_ok = exclude.iter().all(|v| !contains(s, v));
                     if inc_ok && exc_ok {
                         out.push(r.id);
                     }
                 }
                 s => {
                     // Sampled summary: cheap screen, then optionally re-run.
-                    if exclude.iter().any(|v| s.contains_value(v)) {
+                    if exclude.iter().any(|v| contains(s, v)) {
                         continue;
                     }
                     match engine {
                         None => {
                             // Trust the sample for inclusion when everything
                             // requested is present.
-                            if include.iter().all(|v| s.contains_value(v)) {
+                            if include.iter().all(|v| contains(s, v)) {
                                 out.push(r.id);
                             }
                         }
@@ -313,6 +321,17 @@ impl<'a> MetaQueryExecutor<'a> {
 
     /// kNN similarity meta-query (§4.2): the `k` nearest live, visible
     /// queries to `target` under the given metric. Self-matches excluded.
+    ///
+    /// Runs over precomputed similarity signatures. `Features` and
+    /// `Combined` additionally prune with the storage's inverted
+    /// feature-posting index — a record sharing no feature with the probe
+    /// has each per-namespace Jaccard pinned at 1.0 (0.0 when both sides
+    /// are empty), so its distance is bounded below in O(1) — while
+    /// `Combined` also defers the expensive parse-tree component until the
+    /// cheap feature+output lower bound says a record could still make the
+    /// top k. Both prunings are *exact*: the result (ids and scores,
+    /// ties broken by ascending id) is identical to the brute-force scan,
+    /// which the pruning-equivalence proptest asserts.
     pub fn knn(
         &self,
         viewer: UserId,
@@ -320,23 +339,139 @@ impl<'a> MetaQueryExecutor<'a> {
         k: usize,
         metric: DistanceKind,
     ) -> Vec<ScoredHit> {
-        let mut scored: Vec<ScoredHit> = self
-            .storage
-            .iter_live()
-            .filter(|r| r.id != target.id && self.visible(viewer, r))
-            .map(|r| ScoredHit {
+        if k == 0 {
+            return Vec::new();
+        }
+        let psig = self.storage.probe_signature(target);
+        match metric {
+            DistanceKind::Features => self.knn_features(viewer, target, &psig, k),
+            DistanceKind::Combined => self.knn_combined(viewer, target, &psig, k),
+            // ParseTree diffs statements per pair; TreeEdit and Output run
+            // over cached trees / hashed row sets — all full scans.
+            _ => {
+                let mut top = TopK::new(k);
+                for r in self.storage.iter_live() {
+                    if r.id == target.id || !self.visible(viewer, r) {
+                        continue;
+                    }
+                    let sig = self.storage.signature(r.id).expect("signature per record");
+                    let d = similarity::distance_with(target, &psig, r, sig, metric, self.config);
+                    top.push(ScoredHit {
+                        id: r.id,
+                        score: 1.0 - d,
+                    });
+                }
+                top.into_vec()
+            }
+        }
+    }
+
+    /// Feature-metric kNN with posting-index candidate generation.
+    fn knn_features(
+        &self,
+        viewer: UserId,
+        target: &QueryRecord,
+        psig: &crate::signature::SimSignature,
+        k: usize,
+    ) -> Vec<ScoredHit> {
+        let mut top = TopK::new(k);
+        let candidates = self.storage.candidate_ids(psig);
+        for &qid in &candidates {
+            let Ok(r) = self.storage.get(QueryId(qid)) else {
+                continue;
+            };
+            if r.id == target.id || !self.visible(viewer, r) {
+                continue;
+            }
+            let sig = self.storage.signature(r.id).expect("signature per record");
+            top.push(ScoredHit {
                 id: r.id,
-                score: 1.0 - similarity::distance(target, r, metric, self.config),
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
+                score: 1.0 - similarity::feature_distance_sig(psig, sig, self.config),
+            });
+        }
+        // Smallest distance any non-candidate can achieve: every namespace
+        // the probe populates contributes its full weight (disjoint sets);
+        // namespaces the probe leaves empty can contribute 0 (both empty).
+        // Same expression shape as `feature_distance_disjoint`, so the
+        // bound is ≤ every non-candidate's distance float-for-float.
+        let populated = |s: &[u32]| if s.is_empty() { 0.0 } else { 1.0 };
+        let nc_best = self.config.weight_tables * populated(&psig.tables)
+            + self.config.weight_attributes * populated(&psig.attributes)
+            + self.config.weight_predicates * populated(&psig.predicates);
+        let pruned = top.full() && top.worst().map(|w| w.score).unwrap_or(f64::MIN) > 1.0 - nc_best;
+        if !pruned {
+            // Sparse probe or thin candidate set: finish with a pass over
+            // the non-candidates, each an O(1) emptiness-pattern distance.
+            for r in self.storage.iter_live() {
+                if r.id == target.id
+                    || candidates.binary_search(&r.id.0).is_ok()
+                    || !self.visible(viewer, r)
+                {
+                    continue;
+                }
+                let sig = self.storage.signature(r.id).expect("signature per record");
+                top.push(ScoredHit {
+                    id: r.id,
+                    score: 1.0 - similarity::feature_distance_disjoint(psig, sig, self.config),
+                });
+            }
+        }
+        top.into_vec()
+    }
+
+    /// Combined-metric kNN: the feature and output components are cheap
+    /// over signatures, so they form a lower bound on the blended distance
+    /// (the parse-tree term is ≥ 0); records are then visited in bound
+    /// order and the tree diff is only computed while a record could still
+    /// enter the top k.
+    fn knn_combined(
+        &self,
+        viewer: UserId,
+        target: &QueryRecord,
+        psig: &crate::signature::SimSignature,
+        k: usize,
+    ) -> Vec<ScoredHit> {
+        let candidates = self.storage.candidate_ids(psig);
+        let mut bounds: Vec<(f64, QueryId)> = Vec::new();
+        for r in self.storage.iter_live() {
+            if r.id == target.id || !self.visible(viewer, r) {
+                continue;
+            }
+            let sig = self.storage.signature(r.id).expect("signature per record");
+            // Posting-index candidates get the exact merge; everything
+            // else is provably feature-disjoint, an O(1) pattern.
+            let f = if candidates.binary_search(&r.id.0).is_ok() {
+                similarity::feature_distance_sig(psig, sig, self.config)
+            } else {
+                similarity::feature_distance_disjoint(psig, sig, self.config)
+            };
+            // Same blend as the exact distance with the tree term at 0.
+            let lb = similarity::combined_blend(f, 0.0, similarity::output_distance_sig(psig, sig));
+            bounds.push((lb, r.id));
+        }
+        bounds.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
+                .then_with(|| a.1.cmp(&b.1))
         });
-        scored.truncate(k);
-        scored
+        let mut top = TopK::new(k);
+        for (lb, id) in bounds {
+            if top.full() && 1.0 - lb < top.worst().map(|w| w.score).unwrap_or(f64::MIN) {
+                break; // every remaining bound is at least as large
+            }
+            let r = self.storage.get(id).expect("bounded ids exist");
+            let sig = self.storage.signature(id).expect("signature per record");
+            let d = similarity::distance_with(
+                target,
+                psig,
+                r,
+                sig,
+                DistanceKind::Combined,
+                self.config,
+            );
+            top.push(ScoredHit { id, score: 1.0 - d });
+        }
+        top.into_vec()
     }
 
     /// kNN against ad-hoc SQL text that is not in the log (used while the
@@ -363,6 +498,53 @@ impl<'a> MetaQueryExecutor<'a> {
             crate::model::Visibility::Private,
         );
         Ok(self.knn(viewer, &probe, k, metric))
+    }
+}
+
+/// Bounded best-k accumulator with brute-force-identical ordering
+/// (score descending, then id ascending). `k` is small on every call
+/// site, so ordered insertion beats a heap here.
+struct TopK {
+    k: usize,
+    items: Vec<ScoredHit>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.items.len() == self.k
+    }
+
+    /// The current k-th best (worst retained) hit, if `k` are held.
+    fn worst(&self) -> Option<&ScoredHit> {
+        if self.full() {
+            self.items.last()
+        } else {
+            None
+        }
+    }
+
+    fn push(&mut self, hit: ScoredHit) {
+        let beats =
+            |a: &ScoredHit, b: &ScoredHit| a.score > b.score || (a.score == b.score && a.id < b.id);
+        if let Some(w) = self.worst() {
+            if !beats(&hit, w) {
+                return;
+            }
+        }
+        let pos = self.items.partition_point(|x| beats(x, &hit));
+        self.items.insert(pos, hit);
+        self.items.truncate(self.k);
+    }
+
+    fn into_vec(self) -> Vec<ScoredHit> {
+        self.items
     }
 }
 

@@ -116,32 +116,30 @@ pub fn cluster_sessions(
     max_iters: usize,
     seed: u64,
 ) -> (Vec<crate::model::SessionId>, ClusteringResult) {
-    use std::collections::HashSet;
     let sessions = storage.session_ids();
-    let item_sets: Vec<HashSet<String>> = sessions
+    // Each session's item set is the union of its queries' interned
+    // feature ids (signatures precompute these; the namespaced interner
+    // keys are in bijection with the old `items()` string vocabulary, so
+    // the Jaccard values are unchanged).
+    let item_sets: Vec<Vec<u32>> = sessions
         .iter()
         .map(|s| {
-            storage
+            let mut ids: Vec<u32> = storage
                 .queries_in_session(*s)
                 .iter()
-                .filter_map(|id| storage.get(*id).ok())
-                .flat_map(|r| r.features.items())
-                .collect()
+                .filter_map(|id| storage.signature(*id))
+                .flat_map(|sig| sig.feature_ids())
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
         })
         .collect();
     let n = sessions.len();
     let mut dist = vec![vec![0.0f64; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let a = &item_sets[i];
-            let b = &item_sets[j];
-            let d = if a.is_empty() && b.is_empty() {
-                0.0
-            } else {
-                let inter = a.intersection(b).count() as f64;
-                let union = (a.len() + b.len()) as f64 - inter;
-                1.0 - inter / union
-            };
+            let d = crate::signature::jaccard_ids(&item_sets[i], &item_sets[j]);
             dist[i][j] = d;
             dist[j][i] = d;
         }

@@ -307,23 +307,20 @@ impl Cqms {
         );
         report.association_rules = self.last_rules.len();
 
-        // Clustering over live queries.
+        // Clustering over live queries. The O(n²) distance matrix runs on
+        // precomputed similarity signatures (sorted-id merges), not on the
+        // records — this is the §4.3 hot loop the signatures exist for.
         let ids: Vec<QueryId> = self.storage.iter_live().map(|r| r.id).collect();
         if ids.len() >= 4 {
-            let records: Vec<&QueryRecord> = ids
+            let sigs: Vec<&crate::signature::SimSignature> = ids
                 .iter()
-                .map(|id| self.storage.get(*id).unwrap())
+                .map(|id| self.storage.signature(*id).expect("signature per record"))
                 .collect();
-            let n = records.len();
+            let n = sigs.len();
             let mut dist = vec![vec![0.0f64; n]; n];
             for i in 0..n {
                 for j in (i + 1)..n {
-                    let d = crate::similarity::distance(
-                        records[i],
-                        records[j],
-                        DistanceKind::Features,
-                        &self.config,
-                    );
+                    let d = crate::similarity::feature_distance_sig(sigs[i], sigs[j], &self.config);
                     dist[i][j] = d;
                     dist[j][i] = d;
                 }

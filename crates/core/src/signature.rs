@@ -1,0 +1,346 @@
+//! Precomputed similarity signatures (§4.2/§4.3 hot-path support).
+//!
+//! Every pairwise-similarity consumer in the system — kNN meta-queries,
+//! the recommendation panel, the miner's clustering distance matrix,
+//! query-by-data — ultimately compares the same per-query artifacts: the
+//! syntactic feature sets, the constant-stripped parse tree, and the output
+//! rows. Recomputing those artifacts per *pair* (as the seed implementation
+//! did: six `HashSet<String>` allocations of `format!`-ed keys plus a
+//! `strip_constants` + `statement_tree` rebuild per distance call) made
+//! every hot path O(n · feature-materialisation) per probe.
+//!
+//! A [`SimSignature`] is computed **once per record at ingest** and holds:
+//!
+//! * the three feature sets (tables, `table.column` attributes, predicate
+//!   templates) as sorted `u32` vectors interned through a
+//!   [`FeatureInterner`] owned by the Query Storage — pairwise Jaccard
+//!   becomes an allocation-free sorted merge;
+//! * the cached constant-stripped canonical parse tree (shared via
+//!   `Arc`), so Zhang–Shasha tree edit distance never rebuilds trees;
+//! * the output rows hashed to a sorted `u64` set (output Jaccard) and the
+//!   lower-cased output *cells* hashed likewise (a sound negative screen
+//!   for query-by-data containment checks).
+//!
+//! The same interned ids key the storage's inverted feature-posting index,
+//! which kNN uses for candidate generation: any record sharing **no**
+//! feature with the probe has a per-namespace Jaccard of exactly 1.0
+//! (or 0.0 when both sides are empty), which yields an O(1) lower bound
+//! that prunes non-candidates without giving up the exact top-k.
+
+use crate::features::SyntacticFeatures;
+use crate::model::{OutputSummary, QueryRecord};
+use sqlparse::TreeNode;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FNV-1a 64-bit hash (stable across runs; used for output row/cell sets).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Interns feature keys to dense `u32` ids. Owned by the Query Storage;
+/// ids are assigned in first-seen order and are **process-local** — they
+/// are never persisted, and a storage rebuilt from a snapshot may assign
+/// different ids to the same keys (e.g. when a maintenance repair
+/// re-interned features out of insertion order before the snapshot).
+/// Every id-consuming structure (signatures, postings) is rebuilt
+/// alongside the interner, so cross-process id stability is never needed.
+///
+/// Keys are namespaced (`t:` tables, `a:` attributes, `p:` predicate
+/// templates) so ids never collide across feature kinds and one posting
+/// index can cover all three.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureInterner {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl FeatureInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `key`, assigning a fresh id on first sight.
+    pub fn intern(&mut self, key: &str) -> u32 {
+        if let Some(&id) = self.map.get(key) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.map.insert(key.to_string(), id);
+        self.names.push(key.to_string());
+        id
+    }
+
+    /// Look up a key without interning (probe signatures: a feature never
+    /// seen by the store cannot match any stored record anyway).
+    pub fn lookup(&self, key: &str) -> Option<u32> {
+        self.map.get(key).copied()
+    }
+
+    /// The key behind an id.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned features.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// The precomputed similarity signature of one logged query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSignature {
+    /// Interned table ids, sorted, deduplicated.
+    pub tables: Vec<u32>,
+    /// Interned `table.column` attribute ids, sorted, deduplicated.
+    pub attributes: Vec<u32>,
+    /// Interned predicate-template (`table.column op`) ids, sorted,
+    /// deduplicated (constants excluded per §4.3).
+    pub predicates: Vec<u32>,
+    /// Cached constant-stripped parse tree (None when the SQL failed to
+    /// parse — such records are maximally far under tree metrics).
+    pub tree: Option<Arc<TreeNode>>,
+    /// Hashed output rows, sorted + deduplicated (None when no summary is
+    /// stored — output distance is then undefined, as before).
+    pub output_rows: Option<Vec<u64>>,
+    /// Hashed lower-cased output cells, sorted + deduplicated. A sound
+    /// *negative* screen for [`OutputSummary::contains_value`]: a missing
+    /// hash proves the value is absent; a present hash is verified against
+    /// the stored rows (hash collisions can never flip an answer).
+    pub output_cells: Option<Vec<u64>>,
+}
+
+impl SimSignature {
+    /// Build the signature for a record at ingest, interning new features.
+    pub fn build(record: &QueryRecord, interner: &mut FeatureInterner) -> SimSignature {
+        Self::assemble(record, &mut |key| interner.intern(key))
+    }
+
+    /// Build a probe signature against a read-only interner. Features the
+    /// store has never seen get unique sentinel ids from `u32::MAX`
+    /// downward — they match nothing, which is exactly their semantics.
+    pub fn probe(record: &QueryRecord, interner: &FeatureInterner) -> SimSignature {
+        let mut next_sentinel = u32::MAX;
+        Self::assemble(record, &mut |key| {
+            interner.lookup(key).unwrap_or_else(|| {
+                let id = next_sentinel;
+                next_sentinel -= 1;
+                id
+            })
+        })
+    }
+
+    fn assemble(record: &QueryRecord, map: &mut dyn FnMut(&str) -> u32) -> SimSignature {
+        let f: &SyntacticFeatures = &record.features;
+        let mut ids = |keys: Vec<String>| -> Vec<u32> {
+            let mut keys = keys;
+            keys.sort();
+            keys.dedup();
+            let mut v: Vec<u32> = keys.iter().map(|k| map(k)).collect();
+            v.sort_unstable();
+            v
+        };
+        let tables = ids(f.tables.iter().map(|t| format!("t:{t}")).collect());
+        let attributes = ids(f
+            .attributes
+            .iter()
+            .map(|(t, c)| format!("a:{t}.{c}"))
+            .collect());
+        let predicates = ids(f
+            .predicates
+            .iter()
+            .map(|p| format!("p:{}.{}{}", p.table, p.column, p.op))
+            .collect());
+
+        let tree = record
+            .statement
+            .as_ref()
+            .map(|s| Arc::new(sqlparse::statement_tree(&sqlparse::strip_constants(s))));
+
+        let (output_rows, output_cells) = match &record.summary {
+            OutputSummary::None => (None, None),
+            OutputSummary::Full { rows, .. } | OutputSummary::Sample { rows, .. } => {
+                // Same join key the record-based output distance uses, so
+                // the hashed set has identical cardinalities.
+                let mut row_hashes: Vec<u64> = rows
+                    .iter()
+                    .map(|r| fnv1a(r.join("\u{1}").as_bytes()))
+                    .collect();
+                row_hashes.sort_unstable();
+                row_hashes.dedup();
+                let mut cell_hashes: Vec<u64> = rows
+                    .iter()
+                    .flat_map(|r| r.iter())
+                    .map(|c| fnv1a(c.to_ascii_lowercase().as_bytes()))
+                    .collect();
+                cell_hashes.sort_unstable();
+                cell_hashes.dedup();
+                (Some(row_hashes), Some(cell_hashes))
+            }
+        };
+
+        SimSignature {
+            tables,
+            attributes,
+            predicates,
+            tree,
+            output_rows,
+            output_cells,
+        }
+    }
+
+    /// All interned feature ids (posting-index keys), in no particular
+    /// order but without duplicates (namespaced keys cannot collide).
+    pub fn feature_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.tables
+            .iter()
+            .chain(self.attributes.iter())
+            .chain(self.predicates.iter())
+            .copied()
+    }
+
+    /// Could the output contain a cell equal to `value`
+    /// (case-insensitively)? `false` is definitive; `true` must be
+    /// verified against the stored rows.
+    pub fn may_contain_cell(&self, value: &str) -> bool {
+        match &self.output_cells {
+            None => false,
+            Some(cells) => cells
+                .binary_search(&fnv1a(value.to_ascii_lowercase().as_bytes()))
+                .is_ok(),
+        }
+    }
+}
+
+/// Size of the intersection of two sorted, deduplicated id slices.
+pub fn intersect_count<T: Ord + Copy>(a: &[T], b: &[T]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard distance over sorted id sets — float-for-float the same
+/// computation as the seed's `HashSet` version (empty ∪ empty ⇒ 0).
+pub fn jaccard_ids<T: Ord + Copy>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersect_count(a, b) as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    1.0 - inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract;
+    use crate::model::*;
+    use crate::storage::make_record;
+
+    fn rec(id: u64, sql: &str) -> QueryRecord {
+        let stmt = sqlparse::parse(sql).ok();
+        let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+        make_record(
+            QueryId(id),
+            UserId(0),
+            0,
+            sql,
+            stmt,
+            feats,
+            RuntimeFeatures::default(),
+            OutputSummary::None,
+            SessionId(0),
+            Visibility::Public,
+        )
+    }
+
+    #[test]
+    fn interner_assigns_dense_stable_ids() {
+        let mut i = FeatureInterner::new();
+        let a = i.intern("t:watertemp");
+        let b = i.intern("t:lakes");
+        assert_eq!(i.intern("t:watertemp"), a);
+        assert_ne!(a, b);
+        assert_eq!(i.lookup("t:lakes"), Some(b));
+        assert_eq!(i.lookup("t:nope"), None);
+        assert_eq!(i.resolve(a), Some("t:watertemp"));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn signature_sets_sorted_and_deduped() {
+        let mut i = FeatureInterner::new();
+        let s = SimSignature::build(
+            &rec(0, "SELECT * FROM WaterTemp WHERE temp < 18 AND temp < 22"),
+            &mut i,
+        );
+        assert_eq!(s.tables.len(), 1);
+        // The two predicates share the template `watertemp.temp<`.
+        assert_eq!(s.predicates.len(), 1);
+        assert!(s.tables.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.tree.is_some());
+    }
+
+    #[test]
+    fn probe_sentinels_never_match() {
+        let mut i = FeatureInterner::new();
+        let stored = SimSignature::build(&rec(0, "SELECT * FROM WaterTemp"), &mut i);
+        let probe = SimSignature::probe(&rec(1, "SELECT * FROM Unseen"), &i);
+        assert_eq!(intersect_count(&stored.tables, &probe.tables), 0);
+        // The same table as stored does resolve to the interned id.
+        let probe2 = SimSignature::probe(&rec(2, "SELECT * FROM WaterTemp"), &i);
+        assert_eq!(intersect_count(&stored.tables, &probe2.tables), 1);
+    }
+
+    #[test]
+    fn unparseable_sql_has_no_tree() {
+        let mut i = FeatureInterner::new();
+        let s = SimSignature::build(&rec(0, "SELEC nope"), &mut i);
+        assert!(s.tree.is_none());
+        assert!(s.tables.is_empty());
+    }
+
+    #[test]
+    fn output_hashes_screen_cells() {
+        let mut i = FeatureInterner::new();
+        let mut r = rec(0, "SELECT lake FROM WaterTemp");
+        r.summary = OutputSummary::Full {
+            columns: vec!["lake".into()],
+            rows: vec![vec!["Lake Washington".into()], vec!["Green Lake".into()]],
+        };
+        let s = SimSignature::build(&r, &mut i);
+        assert!(s.may_contain_cell("lake washington"));
+        assert!(s.may_contain_cell("GREEN LAKE"));
+        assert!(!s.may_contain_cell("Lake Union"));
+        assert_eq!(s.output_rows.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn jaccard_matches_hashset_semantics() {
+        assert_eq!(jaccard_ids::<u32>(&[], &[]), 0.0);
+        assert_eq!(jaccard_ids(&[1u32, 2], &[3, 4]), 1.0);
+        assert_eq!(jaccard_ids(&[1u32, 2], &[1, 2]), 0.0);
+        let d = jaccard_ids(&[1u32, 2, 3], &[2, 3, 4]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::config::CqmsConfig;
 use crate::model::{OutputSummary, QueryRecord};
+use crate::signature::{self, SimSignature};
 use std::collections::HashSet;
 
 /// Which distance the kNN meta-query uses (§2.3 "Query similarity could be
@@ -113,7 +114,104 @@ pub fn output_distance(a: &QueryRecord, b: &QueryRecord) -> Option<f64> {
     Some(jaccard_distance(&ra, &rb))
 }
 
+// ---------------------------------------------------------------------
+// Signature-based kernels (the hot path)
+//
+// Every function below is value-identical to its record-based sibling
+// above but runs allocation-free over precomputed [`SimSignature`]s:
+// interned sorted id sets instead of freshly `format!`-ed `HashSet`s,
+// cached constant-stripped trees instead of per-pair rebuilds, hashed
+// output-row sets instead of re-joined strings. kNN, the recommendation
+// panel, the miner's distance matrix and query-by-data all go through
+// these.
+// ---------------------------------------------------------------------
+
+/// The Combined blend (§2.3): features and parse tree always available,
+/// output folded in when both sides store a summary. Single source of
+/// truth for the weights — the exact distance ([`distance`],
+/// [`distance_with`]) and the kNN lower bound (tree term at 0) both go
+/// through here, so the bound can never drift above the distance.
+pub fn combined_blend(f: f64, t: f64, o: Option<f64>) -> f64 {
+    match o {
+        Some(o) => 0.45 * f + 0.35 * t + 0.2 * o,
+        None => 0.55 * f + 0.45 * t,
+    }
+}
+
+/// Feature distance over signatures — same weighted Jaccard as
+/// [`feature_distance`], as a sorted merge over interned ids.
+pub fn feature_distance_sig(a: &SimSignature, b: &SimSignature, config: &CqmsConfig) -> f64 {
+    config.weight_tables * signature::jaccard_ids(&a.tables, &b.tables)
+        + config.weight_attributes * signature::jaccard_ids(&a.attributes, &b.attributes)
+        + config.weight_predicates * signature::jaccard_ids(&a.predicates, &b.predicates)
+}
+
+/// Feature distance between signatures known to share **no** feature
+/// (posting-index non-candidates): each per-namespace Jaccard is exactly
+/// 0.0 (both empty) or 1.0 (disjoint), so the distance collapses to an
+/// O(1) emptiness pattern — bit-identical to [`feature_distance_sig`]
+/// on the same pair.
+pub fn feature_distance_disjoint(a: &SimSignature, b: &SimSignature, config: &CqmsConfig) -> f64 {
+    fn j(x: &[u32], y: &[u32]) -> f64 {
+        if x.is_empty() && y.is_empty() {
+            0.0
+        } else {
+            1.0
+        }
+    }
+    config.weight_tables * j(&a.tables, &b.tables)
+        + config.weight_attributes * j(&a.attributes, &b.attributes)
+        + config.weight_predicates * j(&a.predicates, &b.predicates)
+}
+
+/// Zhang–Shasha distance over the cached constant-stripped trees — same
+/// value as [`tree_edit_distance`] without rebuilding either tree.
+pub fn tree_edit_distance_sig(a: &SimSignature, b: &SimSignature) -> f64 {
+    match (&a.tree, &b.tree) {
+        (Some(ta), Some(tb)) => sqlparse::normalized_tree_distance(ta, tb),
+        _ => 1.0,
+    }
+}
+
+/// Output distance over hashed row sets — same Jaccard as
+/// [`output_distance`] without re-joining or re-hashing any row.
+pub fn output_distance_sig(a: &SimSignature, b: &SimSignature) -> Option<f64> {
+    let ra = a.output_rows.as_ref()?;
+    let rb = b.output_rows.as_ref()?;
+    Some(signature::jaccard_ids(ra, rb))
+}
+
+/// Distance under the chosen metric over precomputed signatures. The
+/// records are still needed for [`DistanceKind::ParseTree`] (diff-based,
+/// operates on the statements directly) and the ParseTree component of
+/// `Combined`.
+pub fn distance_with(
+    a: &QueryRecord,
+    a_sig: &SimSignature,
+    b: &QueryRecord,
+    b_sig: &SimSignature,
+    kind: DistanceKind,
+    config: &CqmsConfig,
+) -> f64 {
+    match kind {
+        DistanceKind::Features => feature_distance_sig(a_sig, b_sig, config),
+        DistanceKind::ParseTree => tree_distance(a, b),
+        DistanceKind::TreeEdit => tree_edit_distance_sig(a_sig, b_sig),
+        DistanceKind::Output => output_distance_sig(a_sig, b_sig).unwrap_or(1.0),
+        DistanceKind::Combined => {
+            let f = feature_distance_sig(a_sig, b_sig, config);
+            let t = tree_distance(a, b);
+            combined_blend(f, t, output_distance_sig(a_sig, b_sig))
+        }
+    }
+}
+
 /// Distance under the chosen metric, in [0, 1].
+///
+/// Record-based reference implementation: materialises feature sets and
+/// parse trees per call. The serving paths use [`distance_with`] over
+/// precomputed signatures instead; this stays as the ground truth the
+/// signature kernels are tested (and benchmarked) against.
 pub fn distance(a: &QueryRecord, b: &QueryRecord, kind: DistanceKind, config: &CqmsConfig) -> f64 {
     match kind {
         DistanceKind::Features => feature_distance(a, b, config),
@@ -124,10 +222,7 @@ pub fn distance(a: &QueryRecord, b: &QueryRecord, kind: DistanceKind, config: &C
             // Blend: features and tree always available; output when stored.
             let f = feature_distance(a, b, config);
             let t = tree_distance(a, b);
-            match output_distance(a, b) {
-                Some(o) => 0.45 * f + 0.35 * t + 0.2 * o,
-                None => 0.55 * f + 0.45 * t,
-            }
+            combined_blend(f, t, output_distance(a, b))
         }
     }
 }
@@ -269,6 +364,49 @@ mod tests {
         assert!(d_far > 0.3, "{d_far}");
         // Symmetry.
         assert!((d_far - distance(&c, &a, DistanceKind::TreeEdit, &cfg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_kernels_match_record_kernels() {
+        let cfg = CqmsConfig::default();
+        let recs = [
+            rec(0, "SELECT * FROM WaterTemp WHERE temp < 18"),
+            with_summary(
+                rec(1, "SELECT lake FROM WaterTemp, Lakes WHERE area > 100"),
+                vec![vec!["Lake Washington"], vec!["Green Lake"]],
+            ),
+            with_summary(
+                rec(2, "SELECT city FROM CityLocations GROUP BY city"),
+                vec![vec!["Lake Washington"]],
+            ),
+            rec(3, "SELECT salinity FROM WaterSalinity WHERE salinity > 0.2"),
+        ];
+        let mut interner = crate::signature::FeatureInterner::new();
+        let sigs: Vec<SimSignature> = recs
+            .iter()
+            .map(|r| SimSignature::build(r, &mut interner))
+            .collect();
+        for i in 0..recs.len() {
+            for j in 0..recs.len() {
+                for kind in [
+                    DistanceKind::Features,
+                    DistanceKind::ParseTree,
+                    DistanceKind::TreeEdit,
+                    DistanceKind::Output,
+                    DistanceKind::Combined,
+                ] {
+                    let legacy = distance(&recs[i], &recs[j], kind, &cfg);
+                    let sig = distance_with(&recs[i], &sigs[i], &recs[j], &sigs[j], kind, &cfg);
+                    assert_eq!(legacy, sig, "{kind:?} diverges on pair ({i}, {j})");
+                }
+            }
+        }
+        // Disjoint fast path agrees with the full merge on disjoint pairs
+        // (records 0 and 2 share no tables, attributes or predicates).
+        assert_eq!(
+            feature_distance_disjoint(&sigs[0], &sigs[2], &cfg),
+            feature_distance_sig(&sigs[0], &sigs[2], &cfg),
+        );
     }
 
     #[test]

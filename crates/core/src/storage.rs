@@ -15,6 +15,7 @@
 use crate::error::CqmsError;
 use crate::features::{self, SyntacticFeatures};
 use crate::model::*;
+use crate::signature::{FeatureInterner, SimSignature};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use textindex::{InvertedIndex, TrigramIndex};
@@ -31,6 +32,19 @@ pub struct QueryStorage {
     /// Popularity: template fingerprint → number of live queries.
     template_counts: HashMap<u64, u32>,
     next_session: u64,
+    /// Feature-key interner backing the similarity signatures.
+    interner: FeatureInterner,
+    /// Per-record similarity signatures, parallel to `records`.
+    signatures: Vec<SimSignature>,
+    /// Inverted feature-posting index: interned feature id → sorted qids
+    /// of *live* records carrying that feature. kNN candidate generation
+    /// unions the probe's posting lists; keeping only live records in the
+    /// lists means flagged/obsoleted queries stop costing probes anything.
+    postings: HashMap<u32, Vec<u64>>,
+    /// Incrementally maintained count of live records (kept coherent by
+    /// `insert`/`delete`/`set_validity`; validity must never be flipped
+    /// through `get_mut`).
+    live: usize,
 }
 
 impl Default for QueryStorage {
@@ -52,6 +66,10 @@ impl QueryStorage {
             sessions: HashMap::new(),
             template_counts: HashMap::new(),
             next_session: 0,
+            interner: FeatureInterner::new(),
+            signatures: Vec::new(),
+            postings: HashMap::new(),
+            live: 0,
         }
     }
 
@@ -64,9 +82,15 @@ impl QueryStorage {
         self.records.is_empty()
     }
 
-    /// Number of live (visible, usable) queries.
+    /// Number of live (visible, usable) queries. O(1): the counter is
+    /// maintained incrementally across insert/delete/set_validity/load.
     pub fn live_count(&self) -> usize {
-        self.records.iter().filter(|r| r.is_live()).count()
+        debug_assert_eq!(
+            self.live,
+            self.records.iter().filter(|r| r.is_live()).count(),
+            "live counter out of sync"
+        );
+        self.live
     }
 
     /// Allocate a fresh session id.
@@ -78,6 +102,10 @@ impl QueryStorage {
 
     /// Insert a fully-built record (the Profiler constructs records; tests
     /// may too). The record's `id` must equal `self.len()`.
+    ///
+    /// A record arriving already tombstoned (snapshot restore) is logged
+    /// but never indexed — the same end state [`QueryStorage::delete`]
+    /// leaves behind.
     pub fn insert(&mut self, record: QueryRecord) -> QueryId {
         assert_eq!(
             record.id.0 as usize,
@@ -85,27 +113,43 @@ impl QueryStorage {
             "QueryStorage ids are dense"
         );
         let id = record.id;
-        self.text.add(id.0, &record.raw_sql);
-        self.trigram.add(id.0, &record.raw_sql);
-        features::insert_features(
-            &mut self.meta,
-            &features::FeatureRowMeta {
-                qid: id.0,
-                author: record.user.0,
-                ts: record.ts,
-                session: record.session.0,
-                elapsed_us: record.runtime.elapsed_us,
-                cardinality: record.runtime.cardinality,
-                success: record.runtime.success,
-            },
-            &record.raw_sql,
-            &record.features,
-        );
-        *self.template_counts.entry(record.template_fp).or_insert(0) += 1;
+        let tombstoned = record.validity == Validity::Deleted;
+        if !tombstoned {
+            self.text.add(id.0, &record.raw_sql);
+            self.trigram.add(id.0, &record.raw_sql);
+            features::insert_features(
+                &mut self.meta,
+                &features::FeatureRowMeta {
+                    qid: id.0,
+                    author: record.user.0,
+                    ts: record.ts,
+                    session: record.session.0,
+                    elapsed_us: record.runtime.elapsed_us,
+                    cardinality: record.runtime.cardinality,
+                    success: record.runtime.success,
+                },
+                &record.raw_sql,
+                &record.features,
+            );
+            *self.template_counts.entry(record.template_fp).or_insert(0) += 1;
+        }
         self.sessions.entry(record.session).or_default().push(id);
         if record.session.0 >= self.next_session {
             self.next_session = record.session.0 + 1;
         }
+        // Similarity signature + posting index (ids are dense and
+        // inserted in order, so posting lists stay sorted by pushing).
+        // Only live records are posted — a snapshot-restored tombstone or
+        // flagged record enters with its final validity and is skipped,
+        // matching the state set_validity/delete leave behind.
+        let sig = SimSignature::build(&record, &mut self.interner);
+        if record.is_live() {
+            for fid in sig.feature_ids() {
+                self.postings.entry(fid).or_default().push(id.0);
+            }
+            self.live += 1;
+        }
+        self.signatures.push(sig);
         self.records.push(record);
         id
     }
@@ -223,22 +267,116 @@ impl QueryStorage {
         Ok(())
     }
 
-    /// Tombstone a query: drop it from every index and the feature
-    /// relations; the record itself remains for audit (§2.4 delete).
+    /// Tombstone a query: drop it from every index (text, trigram,
+    /// feature relations, feature postings); the record itself remains
+    /// for audit (§2.4 delete).
     pub fn delete(&mut self, id: QueryId) -> Result<(), CqmsError> {
-        let tfp = {
+        let (tfp, was_live) = {
             let r = self.get_mut(id)?;
+            if r.validity == Validity::Deleted {
+                return Ok(()); // idempotent: already tombstoned
+            }
             let tfp = r.template_fp;
+            let was_live = r.is_live();
             r.validity = Validity::Deleted;
-            tfp
+            (tfp, was_live)
         };
+        if was_live {
+            self.live -= 1;
+        }
         self.text.remove(id.0);
         self.trigram.remove(id.0);
         features::delete_features(&mut self.meta, id.0);
         if let Some(c) = self.template_counts.get_mut(&tfp) {
             *c = c.saturating_sub(1);
         }
+        self.unpost_signature(id);
         Ok(())
+    }
+
+    /// Change a record's maintenance validity, keeping the live counter
+    /// and the feature-posting index coherent. Query Maintenance goes
+    /// through here (never through `get_mut`) when it flags, repairs or
+    /// obsoletes a query.
+    ///
+    /// Tombstoning is *not* a validity edit: transitions into
+    /// `Validity::Deleted` must use [`QueryStorage::delete`] (which also
+    /// drops the text indexes, feature relations and popularity count),
+    /// and tombstoned records cannot be resurrected — both directions
+    /// are rejected here.
+    pub fn set_validity(&mut self, id: QueryId, validity: Validity) -> Result<(), CqmsError> {
+        if validity == Validity::Deleted {
+            return Err(CqmsError::Admin(
+                "set_validity cannot tombstone; use QueryStorage::delete".into(),
+            ));
+        }
+        if self.get(id)?.validity == Validity::Deleted {
+            return Err(CqmsError::Admin(format!(
+                "query {id} is tombstoned and cannot change validity"
+            )));
+        }
+        let (was_live, now_live) = {
+            let r = self.get_mut(id)?;
+            let was_live = r.is_live();
+            r.validity = validity;
+            (was_live, r.is_live())
+        };
+        match (was_live, now_live) {
+            (true, false) => {
+                self.live -= 1;
+                self.unpost_signature(id);
+            }
+            (false, true) => {
+                self.live += 1;
+                self.post_signature(id);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Move one query's popularity count between template fingerprints —
+    /// a maintenance repair can change a record's template (e.g. a table
+    /// rename), and the count must follow it.
+    pub(crate) fn retemplate(&mut self, old_fp: u64, new_fp: u64) {
+        if old_fp == new_fp {
+            return;
+        }
+        if let Some(c) = self.template_counts.get_mut(&old_fp) {
+            *c = c.saturating_sub(1);
+        }
+        *self.template_counts.entry(new_fp).or_insert(0) += 1;
+    }
+
+    /// Add a record's feature ids to the posting index (sorted insert:
+    /// the qid is arbitrary relative to existing list entries).
+    fn post_signature(&mut self, id: QueryId) {
+        let Some(sig) = self.signatures.get(id.0 as usize) else {
+            return;
+        };
+        for fid in sig.feature_ids() {
+            let list = self.postings.entry(fid).or_default();
+            if let Err(pos) = list.binary_search(&id.0) {
+                list.insert(pos, id.0);
+            }
+        }
+    }
+
+    /// Remove a record's feature ids from the posting index.
+    fn unpost_signature(&mut self, id: QueryId) {
+        let Some(sig) = self.signatures.get(id.0 as usize) else {
+            return;
+        };
+        for fid in sig.feature_ids() {
+            if let Some(list) = self.postings.get_mut(&fid) {
+                if let Ok(pos) = list.binary_search(&id.0) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.postings.remove(&fid);
+                }
+            }
+        }
     }
 
     /// Re-index a record whose SQL was rewritten (maintenance repair).
@@ -263,7 +401,66 @@ impl QueryStorage {
         self.trigram.add(id.0, &sql);
         features::delete_features(&mut self.meta, id.0);
         features::insert_features(&mut self.meta, &meta_row, &sql, &feats);
+        // Rebuild the similarity signature and its posting entries (the
+        // statement, features and possibly the summary changed).
+        self.unpost_signature(id);
+        let (sig, live) = {
+            let r = &self.records[id.0 as usize];
+            (SimSignature::build(r, &mut self.interner), r.is_live())
+        };
+        self.signatures[id.0 as usize] = sig;
+        if live {
+            self.post_signature(id);
+        }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Similarity signatures & posting index
+    // ------------------------------------------------------------------
+
+    /// The precomputed similarity signature of a record.
+    pub fn signature(&self, id: QueryId) -> Option<&SimSignature> {
+        self.signatures.get(id.0 as usize)
+    }
+
+    /// All signatures, parallel to the record vector.
+    pub fn signatures(&self) -> &[SimSignature] {
+        &self.signatures
+    }
+
+    /// The feature-key interner backing the signatures.
+    pub fn interner(&self) -> &FeatureInterner {
+        &self.interner
+    }
+
+    /// The inverted feature-posting index (feature id → sorted qids of
+    /// live records carrying it).
+    pub fn postings(&self) -> &HashMap<u32, Vec<u64>> {
+        &self.postings
+    }
+
+    /// Build a probe signature for a record that is not (necessarily) in
+    /// the store — ad-hoc SQL being composed, §2.3. Read-only: unseen
+    /// features get sentinel ids that match nothing.
+    pub fn probe_signature(&self, record: &QueryRecord) -> SimSignature {
+        SimSignature::probe(record, &self.interner)
+    }
+
+    /// Candidate generation for kNN: the sorted, deduplicated qids of all
+    /// *live* records sharing at least one feature with `sig`. Live
+    /// records outside this set have per-namespace feature Jaccard of
+    /// exactly 1.0 (or 0.0 for mutually empty namespaces), which bounds
+    /// their distance below without touching them.
+    pub fn candidate_ids(&self, sig: &SimSignature) -> Vec<u64> {
+        let mut out: Vec<u64> = sig
+            .feature_ids()
+            .filter_map(|fid| self.postings.get(&fid))
+            .flat_map(|list| list.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Adopt a refined session assignment from the Query Miner (§4.3: the
@@ -490,13 +687,9 @@ impl QueryStorage {
                             .parse()
                             .map_err(|_| CqmsError::Snapshot("bad quality".into()))?,
                     };
-                    let deleted = validity == Validity::Deleted;
-                    let id = storage.insert(record);
-                    if deleted {
-                        // insert() indexed it; remove again to restore the
-                        // tombstone state.
-                        storage.delete(id)?;
-                    }
+                    // insert() recognises tombstones and skips indexing,
+                    // so a restored delete needs no further work.
+                    storage.insert(record);
                 }
                 Section::Annotations => {
                     let f: Vec<&str> = line.split('\t').collect();
@@ -851,6 +1044,99 @@ mod tests {
             "cqms-snapshot v1\n[records]\nnot\tenough\tfields\n".as_bytes()
         )
         .is_err());
+    }
+
+    #[test]
+    fn live_counter_tracks_all_transitions() {
+        let mut s = populated();
+        let scan = |s: &QueryStorage| s.iter().filter(|r| r.is_live()).count();
+        assert_eq!(s.live_count(), scan(&s));
+        // delete: live → dead; double-delete stays coherent.
+        s.delete(QueryId(0)).unwrap();
+        s.delete(QueryId(0)).unwrap();
+        assert_eq!(s.live_count(), 2);
+        // set_validity transitions in both directions.
+        s.set_validity(
+            QueryId(1),
+            Validity::Flagged {
+                reason: "schema drift".into(),
+                at: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.live_count(), 1);
+        s.set_validity(
+            QueryId(1),
+            Validity::Repaired {
+                original_sql: "SELECT * FROM WaterTemp WHERE temp < 18".into(),
+                at: 6,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.live_count(), 2);
+        // Tombstoning is delete()'s job, in both directions.
+        assert!(s.set_validity(QueryId(1), Validity::Deleted).is_err());
+        assert!(s.set_validity(QueryId(0), Validity::Valid).is_err());
+        assert_eq!(s.live_count(), 2);
+        // Snapshot → load preserves the counter (incl. tombstones).
+        let mut buf = Vec::new();
+        s.snapshot(&mut buf).unwrap();
+        let restored = QueryStorage::load(&buf[..]).unwrap();
+        assert_eq!(restored.live_count(), s.live_count());
+        assert_eq!(restored.live_count(), scan(&restored));
+    }
+
+    #[test]
+    fn posting_index_follows_insert_delete_reindex() {
+        let mut s = populated();
+        let sig = s.signature(QueryId(2)).unwrap().clone();
+        // Every feature of a live record posts to its qid.
+        for fid in sig.feature_ids() {
+            assert!(s.postings().get(&fid).unwrap().contains(&2));
+        }
+        // Candidate generation sees records sharing the probe's features.
+        let probe = s.probe_signature(s.get(QueryId(0)).unwrap());
+        let cands = s.candidate_ids(&probe);
+        assert!(cands.contains(&0) && cands.contains(&1));
+        assert!(cands.contains(&2), "join shares watertemp");
+        // Tombstoning unposts the record everywhere.
+        s.delete(QueryId(2)).unwrap();
+        for fid in sig.feature_ids() {
+            assert!(!s
+                .postings()
+                .get(&fid)
+                .map(|l| l.contains(&2))
+                .unwrap_or(false));
+        }
+        // Flagging unposts too (non-live records cost probes nothing);
+        // repairing re-posts.
+        let sig0 = s.signature(QueryId(0)).unwrap().clone();
+        s.set_validity(
+            QueryId(0),
+            Validity::Flagged {
+                reason: "drift".into(),
+                at: 1,
+            },
+        )
+        .unwrap();
+        for fid in sig0.feature_ids() {
+            assert!(!s
+                .postings()
+                .get(&fid)
+                .map(|l| l.contains(&0))
+                .unwrap_or(false));
+        }
+        s.set_validity(
+            QueryId(0),
+            Validity::Repaired {
+                original_sql: "x".into(),
+                at: 2,
+            },
+        )
+        .unwrap();
+        for fid in sig0.feature_ids() {
+            assert!(s.postings().get(&fid).unwrap().contains(&0));
+        }
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Property-based tests for the CQMS core: snapshot durability, metric
-//! axioms, Apriori correctness against brute force, and completion-prefix
-//! discipline, all over generator-driven inputs.
+//! axioms, candidate-pruned kNN vs brute force, Apriori correctness
+//! against brute force, and completion-prefix discipline, all over
+//! generator-driven inputs.
 
+use cqms_core::admin::Directory;
 use cqms_core::features::extract;
+use cqms_core::metaquery::{MetaQueryExecutor, ScoredHit};
 use cqms_core::miner::assoc::mine_apriori;
 use cqms_core::model::*;
 use cqms_core::similarity::{self, DistanceKind};
@@ -115,6 +118,53 @@ fn build_storage(records: Vec<QueryRecord>) -> QueryStorage {
         st.insert(r);
     }
     st
+}
+
+/// Records for the kNN-pruning property: the plain SQL generator plus
+/// feature-less records (unparseable text ⇒ empty feature sets, no parse
+/// tree) and optional output summaries, which together exercise every
+/// pruning branch (posting candidates, emptiness patterns, output blend).
+fn knn_record_strategy(id: u64) -> impl Strategy<Value = QueryRecord> {
+    (
+        prop_oneof![
+            4 => sql_strategy(),
+            1 => Just("not really sql at all".to_string()),
+        ],
+        0u32..4,
+        0u64..100_000,
+        prop_oneof![
+            Just(Visibility::Public),
+            Just(Visibility::Private),
+            (0u32..3).prop_map(|g| Visibility::Group(GroupId(g))),
+        ],
+        proptest::option::of(proptest::collection::vec("[a-c]{1,2}", 1..4)),
+    )
+        .prop_map(move |(sql, user, ts, vis, out_rows)| {
+            let stmt = sqlparse::parse(&sql).ok();
+            let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+            let mut rec = make_record(
+                QueryId(id),
+                UserId(user),
+                ts,
+                &sql,
+                stmt,
+                feats,
+                RuntimeFeatures {
+                    success: true,
+                    ..Default::default()
+                },
+                OutputSummary::None,
+                SessionId(id),
+                vis,
+            );
+            if let Some(rows) = out_rows {
+                rec.summary = OutputSummary::Full {
+                    columns: vec!["c".into()],
+                    rows: rows.into_iter().map(|v| vec![v]).collect(),
+                };
+            }
+            rec
+        })
 }
 
 // ---------------------------------------------------------------------
@@ -233,6 +283,106 @@ proptest! {
             prop_assert_eq!(a.to, b.to);
             prop_assert_eq!(a.kind, b.kind);
         }
+    }
+
+    /// Candidate-pruned kNN returns exactly the brute-force top-k — same
+    /// ids, same scores, same tie-breaking — on randomized workloads
+    /// including records with empty feature sets, mixed visibility and
+    /// tombstones, for every pruned metric.
+    #[test]
+    fn pruned_knn_matches_brute_force(
+        records in proptest::collection::vec(0u64..1, 2..20).prop_flat_map(|seeds| {
+            (0..seeds.len() as u64).map(knn_record_strategy).collect::<Vec<_>>()
+        }),
+        del_seeds in proptest::collection::vec(any::<bool>(), 20),
+        probe_sql in prop_oneof![
+            4 => sql_strategy(),
+            1 => Just("word salad, no features".to_string()),
+        ],
+        viewer in 0u32..4,
+        k in 1usize..6,
+    ) {
+        let mut st = QueryStorage::new();
+        for (i, mut r) in records.into_iter().enumerate() {
+            r.id = QueryId(i as u64);
+            st.insert(r);
+        }
+        let n = st.len();
+        for (i, del) in del_seeds.iter().take(n).enumerate() {
+            if *del {
+                st.delete(QueryId(i as u64)).unwrap();
+            }
+        }
+        let dir = Directory::new();
+        let cfg = CqmsConfig::default();
+        let viewer = UserId(viewer);
+        let stmt = sqlparse::parse(&probe_sql).ok();
+        let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+        let probe = make_record(
+            QueryId(u64::MAX), viewer, 0, &probe_sql, stmt, feats,
+            RuntimeFeatures::default(), OutputSummary::None,
+            SessionId(u64::MAX), Visibility::Private,
+        );
+        let psig = st.probe_signature(&probe);
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
+        for metric in [DistanceKind::Features, DistanceKind::Combined] {
+            // Brute force: full scan, same distance kernels, no pruning.
+            let mut brute: Vec<ScoredHit> = st
+                .iter_live()
+                .filter(|r| dir.can_see(viewer, r))
+                .map(|r| ScoredHit {
+                    id: r.id,
+                    score: 1.0 - similarity::distance_with(
+                        &probe, &psig, r, st.signature(r.id).unwrap(), metric, &cfg,
+                    ),
+                })
+                .collect();
+            brute.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+            brute.truncate(k);
+            let pruned = mq.knn(viewer, &probe, k, metric);
+            prop_assert_eq!(&pruned, &brute, "{:?} pruning diverged", metric);
+        }
+    }
+
+    /// Snapshot → load reproduces the similarity-signature state exactly:
+    /// the interner, every per-record signature, the posting index and
+    /// the live counter (summaries are not persisted, so generated
+    /// records carry none).
+    #[test]
+    fn snapshot_roundtrip_preserves_signature_state(
+        records in records_strategy(),
+        del_seeds in proptest::collection::vec(any::<bool>(), 12),
+        flag_seeds in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let mut st = build_storage(records);
+        let n = st.len();
+        // Flag a subset (maintenance-style live → non-live transitions
+        // unpost the record), then tombstone a possibly-overlapping one.
+        for (i, flag) in flag_seeds.iter().take(n).enumerate() {
+            if *flag {
+                st.set_validity(
+                    QueryId(i as u64),
+                    Validity::Flagged { reason: "drift".into(), at: 1 },
+                ).unwrap();
+            }
+        }
+        for (i, del) in del_seeds.iter().take(n).enumerate() {
+            if *del {
+                st.delete(QueryId(i as u64)).unwrap();
+            }
+        }
+        let mut buf = Vec::new();
+        st.snapshot(&mut buf).unwrap();
+        let restored = QueryStorage::load(&buf[..]).unwrap();
+        prop_assert_eq!(restored.interner(), st.interner());
+        prop_assert_eq!(restored.signatures(), st.signatures());
+        prop_assert_eq!(restored.postings(), st.postings());
+        prop_assert_eq!(restored.live_count(), st.live_count());
     }
 
     /// Distance metrics satisfy identity, symmetry and [0, 1] bounds.
