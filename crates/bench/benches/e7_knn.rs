@@ -1,12 +1,18 @@
 //! E7 — kNN recommendation latency by similarity metric (§4.2: kNN
 //! meta-queries must be interactive; A3 ablation across distance kinds),
-//! plus a store-size axis (500/2000) for the candidate-pruned metrics:
-//! with signature precomputation and posting-index pruning, Features and
-//! Combined latency should grow far slower than the log.
+//! plus a store-size axis (500/2000) for the indexed/pruned metrics:
+//! Features and Combined via signatures + posting pruning, TreeEdit via
+//! the VP-tree metric index, ParseTree via the diff-profile lower-bound
+//! sweep — all should grow far slower than the log.
+//!
+//! After the timed axes, the cheap-bound effectiveness counters of the
+//! tree metrics are reported as `bound_hit_rate/...` lines (and appended
+//! to `CQMS_BENCH_JSON` when set).
 
 use cqms_bench::logged_cqms;
 use cqms_core::similarity::DistanceKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::io::Write as _;
 use workload::Domain;
 
 const PROBE: &str = "SELECT * FROM WaterSalinity S, WaterTemp T \
@@ -33,12 +39,27 @@ fn bench(c: &mut Criterion) {
             |b, &m| b.iter(|| lc.cqms.similar_queries(user, PROBE, 5, m).unwrap().len()),
         );
     }
-    // Store-size axis for the pruned metrics: the asymptotic win shows as
-    // sub-linear growth from 500 → 2000 logged queries.
+    // Cheap-bound hit rates at the 1000-query store, accumulated over the
+    // metric axis above: fraction of considered pairs a bound disposed of
+    // without running the exact tree metric.
+    let stats = lc.cqms.storage.metric_stats();
+    report_rate("e7_knn/bound_hit_rate/TreeEdit", stats.tree_edit.hit_rate());
+    report_rate(
+        "e7_knn/bound_hit_rate/ParseTree",
+        stats.parse_tree.hit_rate(),
+    );
+
+    // Store-size axis for the indexed/pruned metrics: the asymptotic win
+    // shows as sub-linear growth from 500 → 2000 logged queries.
     for &size in &[500usize, 2000] {
         let lc = logged_cqms(Domain::Lakes, size, 0xE7);
         let user = lc.users[0];
-        for metric in [DistanceKind::Features, DistanceKind::Combined] {
+        for metric in [
+            DistanceKind::Features,
+            DistanceKind::Combined,
+            DistanceKind::TreeEdit,
+            DistanceKind::ParseTree,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("store_{metric:?}"), size),
                 &metric,
@@ -47,6 +68,21 @@ fn bench(c: &mut Criterion) {
         }
     }
     group.finish();
+}
+
+/// Print a counter line and append it to `CQMS_BENCH_JSON` (same sink the
+/// criterion shim writes timing lines to).
+fn report_rate(id: &str, rate: f64) {
+    println!("{id:<50} rate {rate:.4}");
+    if let Ok(path) = std::env::var("CQMS_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "{{\"id\": \"{id}\", \"value\": {rate:.4}}}");
+        }
+    }
 }
 
 criterion_group!(benches, bench);

@@ -29,8 +29,10 @@ pub mod error;
 pub mod features;
 pub mod maintenance;
 pub mod metaquery;
+pub mod metricindex;
 pub mod miner;
 pub mod model;
+pub mod postings;
 pub mod profiler;
 pub mod server;
 pub mod service;

@@ -346,8 +346,9 @@ impl<'a> MetaQueryExecutor<'a> {
         match metric {
             DistanceKind::Features => self.knn_features(viewer, target, &psig, k),
             DistanceKind::Combined => self.knn_combined(viewer, target, &psig, k),
-            // ParseTree diffs statements per pair; TreeEdit and Output run
-            // over cached trees / hashed row sets — all full scans.
+            DistanceKind::TreeEdit => self.knn_tree_edit(viewer, target, &psig, k),
+            DistanceKind::ParseTree => self.knn_parse_tree(viewer, target, &psig, k),
+            // Output runs over hashed row sets — already a cheap full scan.
             _ => {
                 let mut top = TopK::new(k);
                 for r in self.storage.iter_live() {
@@ -420,10 +421,10 @@ impl<'a> MetaQueryExecutor<'a> {
     }
 
     /// Combined-metric kNN: the feature and output components are cheap
-    /// over signatures, so they form a lower bound on the blended distance
-    /// (the parse-tree term is ≥ 0); records are then visited in bound
-    /// order and the tree diff is only computed while a record could still
-    /// enter the top k.
+    /// over signatures, and the parse-tree term is bounded below by the
+    /// precomputed SELECT-profile diff bound (0 when either side has no
+    /// profile); records are then visited in bound order and the tree
+    /// diff is only computed while a record could still enter the top k.
     fn knn_combined(
         &self,
         viewer: UserId,
@@ -445,17 +446,18 @@ impl<'a> MetaQueryExecutor<'a> {
             } else {
                 similarity::feature_distance_disjoint(psig, sig, self.config)
             };
-            // Same blend as the exact distance with the tree term at 0.
-            let lb = similarity::combined_blend(f, 0.0, similarity::output_distance_sig(psig, sig));
+            // Same blend as the exact distance with the tree term at its
+            // cheap lower bound (the blend is monotone in every term).
+            let t = match (&psig.diff_profile, &sig.diff_profile) {
+                (Some(pa), Some(pb)) => sqlparse::edit_distance_lower_bound(pa, pb),
+                _ => 0.0,
+            };
+            let lb = similarity::combined_blend(f, t, similarity::output_distance_sig(psig, sig));
             bounds.push((lb, r.id));
         }
-        bounds.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.1.cmp(&b.1))
-        });
+        let mut sweep = BoundSweep::new(bounds, k);
         let mut top = TopK::new(k);
-        for (lb, id) in bounds {
+        while let Some((lb, id)) = sweep.next() {
             if top.full() && 1.0 - lb < top.worst().map(|w| w.score).unwrap_or(f64::MIN) {
                 break; // every remaining bound is at least as large
             }
@@ -469,6 +471,148 @@ impl<'a> MetaQueryExecutor<'a> {
                 DistanceKind::Combined,
                 self.config,
             );
+            top.push(ScoredHit { id, score: 1.0 - d });
+        }
+        top.into_vec()
+    }
+
+    /// TreeEdit kNN over the storage's VP-tree (§4.3's exact Zhang–Shasha
+    /// metric, sublinear). The index covers every non-tombstoned record
+    /// with a parse tree; liveness, visibility and the self-match are
+    /// filtered per query through the accept closure, and records without
+    /// a tree — which sit at exactly distance 1.0 — are merged in from a
+    /// cheap scan. Exact: ids and scores match the brute-force scan
+    /// (`vp_tree_knn_matches_brute_force`).
+    fn knn_tree_edit(
+        &self,
+        viewer: UserId,
+        target: &QueryRecord,
+        psig: &crate::signature::SimSignature,
+        k: usize,
+    ) -> Vec<ScoredHit> {
+        let mut top = TopK::new(k);
+        let (Some(probe_tree), Some(probe_shape)) = (&psig.tree, &psig.tree_shape) else {
+            // Unparseable probe: every record is at exactly distance 1.0,
+            // so the top k are simply the k smallest visible ids —
+            // iter_live yields in id order, stop as soon as k are found.
+            for r in self.storage.iter_live() {
+                if r.id != target.id && self.visible(viewer, r) {
+                    top.push(ScoredHit {
+                        id: r.id,
+                        score: 0.0,
+                    });
+                    if top.full() {
+                        break;
+                    }
+                }
+            }
+            return top.into_vec();
+        };
+        // Tree-less records first (exact distance 1.0, no DP) — merged
+        // from the storage's side list, not a full scan; they all tie at
+        // score 0.0, so the first k visible (ascending ids) suffice.
+        let mut merged = 0usize;
+        for &qid in self.storage.treeless_ids() {
+            if qid == target.id.0 {
+                continue;
+            }
+            let Ok(r) = self.storage.get(QueryId(qid)) else {
+                continue;
+            };
+            if self.visible(viewer, r) {
+                top.push(ScoredHit {
+                    id: r.id,
+                    score: 0.0,
+                });
+                merged += 1;
+                if merged >= k {
+                    break;
+                }
+            }
+        }
+        let guard = self.storage.tree_index();
+        let idx = guard.as_ref().expect("tree index built on access");
+        let hits = idx.knn(
+            probe_tree,
+            probe_shape,
+            k,
+            |qid| {
+                qid != target.id.0
+                    && self
+                        .storage
+                        .get(QueryId(qid))
+                        .map(|r| self.visible(viewer, r))
+                        .unwrap_or(false)
+            },
+            &self.storage.metric_stats().tree_edit,
+        );
+        for hit in hits {
+            top.push(hit);
+        }
+        top.into_vec()
+    }
+
+    /// ParseTree (diff-based) kNN as a lower-bound-ordered sweep,
+    /// mirroring the Combined sweep: every candidate gets a cheap
+    /// [`sqlparse::edit_distance_lower_bound`] from the precomputed
+    /// SELECT profiles (a few sorted-hash merges — orders of magnitude
+    /// cheaper than the exact diff, and tight on workload pairs), records
+    /// are visited in bound order and the exact diff only runs while a
+    /// record could still enter the top k. Exact:
+    /// `parsetree_bounded_knn_matches_brute_force`.
+    fn knn_parse_tree(
+        &self,
+        viewer: UserId,
+        target: &QueryRecord,
+        psig: &crate::signature::SimSignature,
+        k: usize,
+    ) -> Vec<ScoredHit> {
+        let stats = &self.storage.metric_stats().parse_tree;
+        let mut top = TopK::new(k);
+        let mut bounds: Vec<(f64, QueryId)> = Vec::new();
+        for r in self.storage.iter_live() {
+            if r.id == target.id || !self.visible(viewer, r) {
+                continue;
+            }
+            let sig = self.storage.signature(r.id).expect("signature per record");
+            match (&psig.diff_profile, &sig.diff_profile) {
+                (Some(pa), Some(pb)) => {
+                    bounds.push((sqlparse::edit_distance_lower_bound(pa, pb), r.id));
+                }
+                _ => {
+                    // No SELECT pair: the exact distance is an O(1)-ish
+                    // statement comparison — no reason to defer it.
+                    let d = similarity::tree_distance_sig(target, psig, r, sig);
+                    stats.add_exact(1);
+                    top.push(ScoredHit {
+                        id: r.id,
+                        score: 1.0 - d,
+                    });
+                }
+            }
+        }
+        let mut sweep = BoundSweep::new(bounds, k);
+        while let Some((lb, id)) = sweep.next() {
+            if let Some(w) = top.worst() {
+                let bound_score = 1.0 - lb;
+                if bound_score < w.score {
+                    // Every remaining bound is at least as large.
+                    stats.add_hits(sweep.remaining() as u64 + 1);
+                    break;
+                }
+                // Tie plateau: a candidate whose *bound* only ties the
+                // k-th score can at best tie it exactly (exact ≥ bound),
+                // and a tie with a larger id never displaces — skip the
+                // whole plateau tail without running the diff.
+                if bound_score == w.score && id > w.id {
+                    stats.add_hits(1);
+                    continue;
+                }
+            }
+            let r = self.storage.get(id).expect("bounded ids exist");
+            let sig = self.storage.signature(id).expect("signature per record");
+            let d = similarity::tree_distance_sig(target, psig, r, sig);
+            stats.add_exact(1);
             top.push(ScoredHit { id, score: 1.0 - d });
         }
         top.into_vec()
@@ -501,28 +645,85 @@ impl<'a> MetaQueryExecutor<'a> {
     }
 }
 
+/// Bound-ordered sweep scaffold shared by the Combined and ParseTree kNN
+/// paths: yields `(lower bound, id)` in (bound ascending, id ascending)
+/// order. The sweep almost always terminates within a handful of
+/// entries, so instead of a full O(n log n) sort it selects and sorts a
+/// small prefix up front and sorts the tail only if the sweep outlives
+/// the prefix.
+struct BoundSweep {
+    bounds: Vec<(f64, QueryId)>,
+    prefix: usize,
+    i: usize,
+    tail_sorted: bool,
+}
+
+impl BoundSweep {
+    fn new(mut bounds: Vec<(f64, QueryId)>, k: usize) -> BoundSweep {
+        fn by_bound(a: &(f64, QueryId), b: &(f64, QueryId)) -> std::cmp::Ordering {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        }
+        let prefix = (4 * k + 32).min(bounds.len());
+        if prefix < bounds.len() {
+            bounds.select_nth_unstable_by(prefix - 1, by_bound);
+            bounds[..prefix].sort_unstable_by(by_bound);
+        } else {
+            bounds.sort_unstable_by(by_bound);
+        }
+        let tail_sorted = prefix >= bounds.len();
+        BoundSweep {
+            bounds,
+            prefix,
+            i: 0,
+            tail_sorted,
+        }
+    }
+
+    /// Entries not yet yielded (for bound-hit accounting on early exit).
+    fn remaining(&self) -> usize {
+        self.bounds.len() - self.i
+    }
+
+    fn next(&mut self) -> Option<(f64, QueryId)> {
+        if self.i == self.prefix && !self.tail_sorted {
+            self.bounds[self.prefix..].sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            self.tail_sorted = true;
+        }
+        let out = self.bounds.get(self.i).copied();
+        self.i += 1;
+        out
+    }
+}
+
 /// Bounded best-k accumulator with brute-force-identical ordering
 /// (score descending, then id ascending). `k` is small on every call
-/// site, so ordered insertion beats a heap here.
-struct TopK {
+/// site, so ordered insertion beats a heap here. Shared with the metric
+/// index, whose VP-tree search must replicate this exact ordering.
+pub(crate) struct TopK {
     k: usize,
     items: Vec<ScoredHit>,
 }
 
 impl TopK {
-    fn new(k: usize) -> Self {
+    pub(crate) fn new(k: usize) -> Self {
         TopK {
             k,
             items: Vec::with_capacity(k + 1),
         }
     }
 
-    fn full(&self) -> bool {
+    pub(crate) fn full(&self) -> bool {
         self.items.len() == self.k
     }
 
     /// The current k-th best (worst retained) hit, if `k` are held.
-    fn worst(&self) -> Option<&ScoredHit> {
+    pub(crate) fn worst(&self) -> Option<&ScoredHit> {
         if self.full() {
             self.items.last()
         } else {
@@ -530,7 +731,7 @@ impl TopK {
         }
     }
 
-    fn push(&mut self, hit: ScoredHit) {
+    pub(crate) fn push(&mut self, hit: ScoredHit) {
         let beats =
             |a: &ScoredHit, b: &ScoredHit| a.score > b.score || (a.score == b.score && a.id < b.id);
         if let Some(w) = self.worst() {
@@ -543,7 +744,7 @@ impl TopK {
         self.items.truncate(self.k);
     }
 
-    fn into_vec(self) -> Vec<ScoredHit> {
+    pub(crate) fn into_vec(self) -> Vec<ScoredHit> {
         self.items
     }
 }

@@ -135,11 +135,27 @@ pub fn cluster_sessions(
             ids
         })
         .collect();
+    // Session bloom = OR of the member blooms (bloom of a union is the OR
+    // of the blooms): disjoint blooms prove disjoint item sets, so the
+    // pair's Jaccard is exactly 1.0 (0.0 when both sets are empty) with
+    // no merge at all.
+    let blooms: Vec<u64> = item_sets
+        .iter()
+        .map(|ids| crate::signature::bloom64(ids.iter().copied()))
+        .collect();
     let n = sessions.len();
     let mut dist = vec![vec![0.0f64; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = crate::signature::jaccard_ids(&item_sets[i], &item_sets[j]);
+            let d = if blooms[i] & blooms[j] == 0 {
+                if item_sets[i].is_empty() && item_sets[j].is_empty() {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                crate::signature::jaccard_ids(&item_sets[i], &item_sets[j])
+            };
             dist[i][j] = d;
             dist[j][i] = d;
         }

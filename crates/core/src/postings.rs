@@ -1,0 +1,438 @@
+//! Compressed feature-posting lists with lazy compaction.
+//!
+//! The inverted feature index used to hold raw sorted `Vec<u64>` qids and
+//! eagerly removed an id from every list the moment its record stopped
+//! being live. At millions of records the hot lists (popular tables) make
+//! both choices expensive: 8 bytes per posting, and O(list) shifting per
+//! maintenance transition per feature.
+//!
+//! A [`PostingList`] instead:
+//!
+//! * **delta-encodes** long lists — ids are dense and appended in
+//!   ascending order, so lists past [`DELTA_THRESHOLD`] become a `u64`
+//!   head plus `u32` gaps (4 bytes per posting, sequential decode);
+//! * **defers removal** — a record going non-live only bumps the list's
+//!   `dead` counter; the stale id stays until the dead fraction of the
+//!   list passes [`COMPACT_DEAD_FRACTION`], when the storage rebuilds the
+//!   list from currently-live members in one pass. Consumers already
+//!   filter candidates by liveness, so stale ids are harmless: the kNN
+//!   exactness argument only needs every *live* record outside the
+//!   candidate union to be feature-disjoint from the probe, and live
+//!   records are always present in their lists.
+//!
+//! Candidate generation unions the probe's lists through a galloping
+//! multi-way merge ([`union_cursors`]): cursors over plain lists skip past
+//! the last emitted id with exponential search, delta cursors decode
+//! forward — no intermediate allocation, no global sort.
+
+/// Lists at least this long switch to delta encoding.
+const DELTA_THRESHOLD: usize = 64;
+
+/// Compact a list once more than a quarter of its entries are stale.
+const COMPACT_DEAD_FRACTION_DEN: u32 = 4;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Encoding {
+    /// Sorted ids, uncompressed.
+    Plain(Vec<u64>),
+    /// Sorted ids as `first` plus strictly-positive `u32` gaps.
+    Delta { first: u64, gaps: Vec<u32> },
+}
+
+/// One feature's posting list: sorted, deduplicated qids (possibly stale —
+/// see the module docs) plus the stale-entry counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostingList {
+    enc: Encoding,
+    /// Largest stored id (undefined when empty).
+    last: u64,
+    /// Entries whose record is currently non-live.
+    dead: u32,
+}
+
+impl Default for PostingList {
+    fn default() -> Self {
+        PostingList {
+            enc: Encoding::Plain(Vec::new()),
+            last: 0,
+            dead: 0,
+        }
+    }
+}
+
+impl PostingList {
+    pub fn len(&self) -> usize {
+        match &self.enc {
+            Encoding::Plain(v) => v.len(),
+            Encoding::Delta { gaps, .. } => 1 + gaps.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!(&self.enc, Encoding::Plain(v) if v.is_empty())
+    }
+
+    /// Number of entries currently known stale.
+    pub fn dead(&self) -> u32 {
+        self.dead
+    }
+
+    /// Append `qid`, which must exceed every stored id (the storage
+    /// assigns dense ascending ids at insert).
+    pub fn append(&mut self, qid: u64) {
+        debug_assert!(self.is_empty() || qid > self.last);
+        match &mut self.enc {
+            Encoding::Plain(v) => {
+                v.push(qid);
+                if v.len() >= DELTA_THRESHOLD {
+                    self.enc = encode(std::mem::take(v));
+                }
+            }
+            Encoding::Delta { gaps, .. } => match u32::try_from(qid - self.last) {
+                Ok(gap) => gaps.push(gap),
+                Err(_) => {
+                    // Gap overflow (never happens with dense ids): fall
+                    // back to plain.
+                    let mut ids = self.ids();
+                    ids.push(qid);
+                    self.enc = Encoding::Plain(ids);
+                }
+            },
+        }
+        self.last = qid;
+    }
+
+    /// Insert `qid` at its sorted position. Returns `false` when already
+    /// present. Mid-list inserts on delta lists decode and re-encode —
+    /// only maintenance revival paths take this route.
+    pub fn insert(&mut self, qid: u64) -> bool {
+        if self.is_empty() || qid > self.last {
+            self.append(qid);
+            return true;
+        }
+        let mut ids = self.decode_plain();
+        match ids.binary_search(&qid) {
+            Ok(_) => {
+                self.restore(ids);
+                false
+            }
+            Err(pos) => {
+                ids.insert(pos, qid);
+                self.restore(ids);
+                true
+            }
+        }
+    }
+
+    /// Remove `qid` if present (reindex path — the record's feature set
+    /// changed, so staleness bookkeeping does not apply).
+    pub fn remove(&mut self, qid: u64) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let mut ids = self.decode_plain();
+        match ids.binary_search(&qid) {
+            Ok(pos) => {
+                ids.remove(pos);
+                self.restore(ids);
+                true
+            }
+            Err(_) => {
+                self.restore(ids);
+                false
+            }
+        }
+    }
+
+    pub fn contains(&self, qid: u64) -> bool {
+        match &self.enc {
+            Encoding::Plain(v) => v.binary_search(&qid).is_ok(),
+            Encoding::Delta { first, gaps } => {
+                if qid < *first || qid > self.last {
+                    return false;
+                }
+                let mut cur = *first;
+                if cur == qid {
+                    return true;
+                }
+                for &g in gaps {
+                    cur += u64::from(g);
+                    if cur >= qid {
+                        return cur == qid;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Mark one present entry stale (its record went non-live).
+    pub fn mark_dead(&mut self) {
+        self.dead += 1;
+    }
+
+    /// A stale entry's record came back to life (maintenance repair).
+    pub fn mark_alive(&mut self) {
+        self.dead = self.dead.saturating_sub(1);
+    }
+
+    /// Should the storage compact this list now?
+    pub fn needs_compaction(&self) -> bool {
+        u64::from(self.dead) * u64::from(COMPACT_DEAD_FRACTION_DEN) > self.len() as u64
+    }
+
+    /// Rebuild keeping only ids satisfying `keep`; resets the stale count.
+    pub fn retain(&mut self, keep: impl Fn(u64) -> bool) {
+        let ids: Vec<u64> = self.iter().filter(|&q| keep(q)).collect();
+        self.restore(ids);
+        self.dead = 0;
+    }
+
+    /// Decoded ids (stale included), sorted.
+    pub fn ids(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    pub fn iter(&self) -> PostingIter<'_> {
+        PostingIter {
+            list: self,
+            pos: 0,
+            cur: match &self.enc {
+                Encoding::Plain(_) => 0,
+                Encoding::Delta { first, .. } => *first,
+            },
+        }
+    }
+
+    /// A merge cursor positioned at the first id.
+    pub fn cursor(&self) -> PostingCursor<'_> {
+        match &self.enc {
+            Encoding::Plain(v) => PostingCursor::Plain { ids: v, pos: 0 },
+            Encoding::Delta { first, gaps } => PostingCursor::Delta {
+                gaps,
+                pos: 0,
+                cur: Some(*first),
+            },
+        }
+    }
+
+    fn decode_plain(&mut self) -> Vec<u64> {
+        match std::mem::replace(&mut self.enc, Encoding::Plain(Vec::new())) {
+            Encoding::Plain(v) => v,
+            Encoding::Delta { first, gaps } => {
+                let mut ids = Vec::with_capacity(1 + gaps.len());
+                let mut cur = first;
+                ids.push(cur);
+                for g in gaps {
+                    cur += u64::from(g);
+                    ids.push(cur);
+                }
+                ids
+            }
+        }
+    }
+
+    fn restore(&mut self, ids: Vec<u64>) {
+        self.last = ids.last().copied().unwrap_or(0);
+        self.enc = if ids.len() >= DELTA_THRESHOLD {
+            encode(ids)
+        } else {
+            Encoding::Plain(ids)
+        };
+    }
+}
+
+fn encode(ids: Vec<u64>) -> Encoding {
+    debug_assert!(!ids.is_empty());
+    let first = ids[0];
+    let mut gaps = Vec::with_capacity(ids.len() - 1);
+    for w in ids.windows(2) {
+        match u32::try_from(w[1] - w[0]) {
+            Ok(g) => gaps.push(g),
+            Err(_) => return Encoding::Plain(ids),
+        }
+    }
+    Encoding::Delta { first, gaps }
+}
+
+/// Sequential iterator over a list's decoded ids.
+pub struct PostingIter<'a> {
+    list: &'a PostingList,
+    pos: usize,
+    cur: u64,
+}
+
+impl Iterator for PostingIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        match &self.list.enc {
+            Encoding::Plain(v) => {
+                let out = v.get(self.pos).copied();
+                self.pos += 1;
+                out
+            }
+            Encoding::Delta { gaps, .. } => {
+                if self.pos == 0 {
+                    self.pos = 1;
+                    Some(self.cur)
+                } else if let Some(&g) = gaps.get(self.pos - 1) {
+                    self.pos += 1;
+                    self.cur += u64::from(g);
+                    Some(self.cur)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// One input to the multi-way union merge.
+pub enum PostingCursor<'a> {
+    Plain {
+        ids: &'a [u64],
+        pos: usize,
+    },
+    Delta {
+        gaps: &'a [u32],
+        pos: usize,
+        cur: Option<u64>,
+    },
+}
+
+impl PostingCursor<'_> {
+    fn current(&self) -> Option<u64> {
+        match self {
+            PostingCursor::Plain { ids, pos } => ids.get(*pos).copied(),
+            PostingCursor::Delta { cur, .. } => *cur,
+        }
+    }
+
+    /// Advance past every id ≤ `v`. Plain cursors gallop (exponential
+    /// probe, then binary search within the bracket); delta cursors decode
+    /// forward.
+    fn advance_past(&mut self, v: u64) {
+        match self {
+            PostingCursor::Plain { ids, pos } => {
+                if *pos >= ids.len() || ids[*pos] > v {
+                    return;
+                }
+                let mut step = 1usize;
+                while *pos + step < ids.len() && ids[*pos + step] <= v {
+                    step <<= 1;
+                }
+                let lo = *pos + (step >> 1);
+                let hi = (*pos + step + 1).min(ids.len());
+                *pos = lo + ids[lo..hi].partition_point(|&x| x <= v);
+            }
+            PostingCursor::Delta { gaps, pos, cur } => {
+                while let Some(c) = *cur {
+                    if c > v {
+                        return;
+                    }
+                    *cur = gaps.get(*pos).map(|&g| c + u64::from(g));
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Sorted, deduplicated union of all cursor streams — the kNN candidate
+/// set. Each round emits the minimum current id and gallops every cursor
+/// past it, so shared runs cost one comparison per cursor, not one per
+/// element.
+pub fn union_cursors(mut cursors: Vec<PostingCursor<'_>>) -> Vec<u64> {
+    let mut out = Vec::new();
+    cursors.retain(|c| c.current().is_some());
+    while !cursors.is_empty() {
+        let min = cursors
+            .iter()
+            .filter_map(PostingCursor::current)
+            .min()
+            .expect("non-empty cursors");
+        out.push(min);
+        cursors.retain_mut(|c| {
+            c.advance_past(min);
+            c.current().is_some()
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list_of(ids: &[u64]) -> PostingList {
+        let mut l = PostingList::default();
+        for &q in ids {
+            l.append(q);
+        }
+        l
+    }
+
+    #[test]
+    fn append_roundtrips_across_encodings() {
+        // Short stays plain; long flips to delta; both decode identically.
+        let short: Vec<u64> = (0..10).map(|i| i * 3).collect();
+        assert_eq!(list_of(&short).ids(), short);
+        let long: Vec<u64> = (0..500).map(|i| i * 7 + 1).collect();
+        let l = list_of(&long);
+        assert!(matches!(l.enc, Encoding::Delta { .. }));
+        assert_eq!(l.ids(), long);
+        assert_eq!(l.len(), 500);
+        for &q in &long {
+            assert!(l.contains(q));
+        }
+        assert!(!l.contains(2));
+        assert!(!l.contains(9999));
+    }
+
+    #[test]
+    fn insert_and_remove_anywhere() {
+        let mut l = list_of(&(0..200).map(|i| i * 2).collect::<Vec<u64>>());
+        assert!(l.insert(101)); // mid-list, odd
+        assert!(!l.insert(101)); // duplicate
+        assert!(l.contains(101));
+        assert!(l.remove(101));
+        assert!(!l.remove(101));
+        assert_eq!(l.len(), 200);
+        assert_eq!(l.ids(), (0..200).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn compaction_trigger_and_retain() {
+        let mut l = list_of(&(0..100).collect::<Vec<u64>>());
+        for _ in 0..20 {
+            l.mark_dead();
+        }
+        assert!(!l.needs_compaction()); // 20/100 ≤ 25%
+        for _ in 0..6 {
+            l.mark_dead();
+        }
+        assert!(l.needs_compaction()); // 26/100 > 25%
+        l.retain(|q| q % 4 != 0);
+        assert_eq!(l.dead(), 0);
+        assert_eq!(l.len(), 75);
+        assert!(!l.contains(8));
+        assert!(l.contains(9));
+    }
+
+    #[test]
+    fn union_matches_naive_merge() {
+        let a = list_of(&(0..300).map(|i| i * 2).collect::<Vec<u64>>());
+        let b = list_of(&(0..300).map(|i| i * 3).collect::<Vec<u64>>());
+        let c = list_of(&[5, 7, 600, 601]);
+        let empty = PostingList::default();
+        let got = union_cursors(vec![a.cursor(), b.cursor(), c.cursor(), empty.cursor()]);
+        let mut want: Vec<u64> = a.ids();
+        want.extend(b.ids());
+        want.extend(c.ids());
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(got, want);
+        assert!(union_cursors(Vec::new()).is_empty());
+    }
+}

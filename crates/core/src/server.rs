@@ -320,7 +320,14 @@ impl Cqms {
             let mut dist = vec![vec![0.0f64; n]; n];
             for i in 0..n {
                 for j in (i + 1)..n {
-                    let d = crate::similarity::feature_distance_sig(sigs[i], sigs[j], &self.config);
+                    // Bloom screen: disjoint blooms prove the feature sets
+                    // disjoint, collapsing the merge to the O(1) emptiness
+                    // pattern (bit-identical to the full merge).
+                    let d = if sigs[i].feature_bloom & sigs[j].feature_bloom == 0 {
+                        crate::similarity::feature_distance_disjoint(sigs[i], sigs[j], &self.config)
+                    } else {
+                        crate::similarity::feature_distance_sig(sigs[i], sigs[j], &self.config)
+                    };
                     dist[i][j] = d;
                     dist[j][i] = d;
                 }

@@ -29,19 +29,14 @@
 
 use crate::features::SyntacticFeatures;
 use crate::model::{OutputSummary, QueryRecord};
-use sqlparse::TreeNode;
+use sqlparse::{SelectProfile, TreeNode, TreeShape};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// FNV-1a 64-bit hash (stable across runs; used for output row/cell sets).
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a 64-bit hash (stable across runs; used for output row/cell
+/// sets). One implementation serves the whole workspace — the tree-label
+/// and diff-profile hashes use it too.
+pub use sqlparse::fingerprint::fnv1a;
 
 /// Interns feature keys to dense `u32` ids. Owned by the Query Storage;
 /// ids are assigned in first-seen order and are **process-local** — they
@@ -110,6 +105,24 @@ pub struct SimSignature {
     /// Cached constant-stripped parse tree (None when the SQL failed to
     /// parse — such records are maximally far under tree metrics).
     pub tree: Option<Arc<TreeNode>>,
+    /// Size + node-label histogram of `tree` (present iff `tree` is):
+    /// feeds the Zhang–Shasha lower bound that rejects a pair before the
+    /// O(tree²) DP runs, and the metric index's size-gap pruning.
+    pub tree_shape: Option<TreeShape>,
+    /// Folded SELECT-clause profile (present iff the statement is a
+    /// SELECT): feeds the ParseTree diff lower bound. Boxed to keep the
+    /// signature itself slim — paths that scan every signature (output
+    /// screens, feature merges) never touch the profile.
+    pub diff_profile: Option<Box<SelectProfile>>,
+    /// The diff-folded statement itself (present iff the statement is a
+    /// SELECT): lets exact ParseTree diffs skip the two per-pair clones
+    /// ([`sqlparse::diff::edit_distance_normalized_folded`]).
+    pub folded_select: Option<Arc<sqlparse::SelectStatement>>,
+    /// 64-bit bloom over the interned feature ids (all three namespaces,
+    /// bit `id & 63`): non-overlapping blooms *prove* the feature sets
+    /// disjoint, so the miner's distance matrix and session clustering can
+    /// take the O(1) disjoint path without merging.
+    pub feature_bloom: u64,
     /// Hashed output rows, sorted + deduplicated (None when no summary is
     /// stored — output distance is then undefined, as before).
     pub output_rows: Option<Vec<u64>>,
@@ -166,6 +179,17 @@ impl SimSignature {
             .statement
             .as_ref()
             .map(|s| Arc::new(sqlparse::statement_tree(&sqlparse::strip_constants(s))));
+        let tree_shape = tree.as_deref().map(TreeShape::of);
+        let (diff_profile, folded_select) = match &record.statement {
+            Some(sqlparse::Statement::Select(s)) => {
+                let folded = sqlparse::diff::fold_for_diff(s);
+                (
+                    Some(Box::new(SelectProfile::of_folded(&folded))),
+                    Some(Arc::new(folded)),
+                )
+            }
+            _ => (None, None),
+        };
 
         let (output_rows, output_cells) = match &record.summary {
             OutputSummary::None => (None, None),
@@ -189,11 +213,23 @@ impl SimSignature {
             }
         };
 
+        let feature_bloom = bloom64(
+            tables
+                .iter()
+                .chain(attributes.iter())
+                .chain(predicates.iter())
+                .copied(),
+        );
+
         SimSignature {
             tables,
             attributes,
             predicates,
             tree,
+            tree_shape,
+            diff_profile,
+            folded_select,
+            feature_bloom,
             output_rows,
             output_cells,
         }
@@ -220,6 +256,14 @@ impl SimSignature {
                 .is_ok(),
         }
     }
+}
+
+/// 64-bit bloom over a set of ids (bit `id & 63` each): non-overlapping
+/// blooms *prove* the id sets disjoint. The single definition of the
+/// bit-assignment scheme — signatures, session clustering and the miner's
+/// matrix screen all rely on it agreeing.
+pub fn bloom64(ids: impl Iterator<Item = u32>) -> u64 {
+    ids.fold(0u64, |acc, id| acc | (1u64 << (id & 63)))
 }
 
 /// Size of the intersection of two sorted, deduplicated id slices.

@@ -181,10 +181,30 @@ pub fn output_distance_sig(a: &SimSignature, b: &SimSignature) -> Option<f64> {
     Some(signature::jaccard_ids(ra, rb))
 }
 
+/// ParseTree (diff-based) distance over the cached folded statements —
+/// same value as [`tree_distance`] without the two per-pair clones the
+/// differ's fold pass otherwise makes.
+pub fn tree_distance_sig(
+    a: &QueryRecord,
+    a_sig: &SimSignature,
+    b: &QueryRecord,
+    b_sig: &SimSignature,
+) -> f64 {
+    match (&a_sig.folded_select, &b_sig.folded_select) {
+        (Some(fa), Some(fb)) => sqlparse::diff::edit_distance_normalized_folded(fa, fb),
+        // Folded statements exist iff the statement is a SELECT, so these
+        // arms mirror tree_distance's non-SELECT cases exactly.
+        _ => match (&a.statement, &b.statement) {
+            (Some(x), Some(y)) if x == y => 0.0,
+            _ => 1.0,
+        },
+    }
+}
+
 /// Distance under the chosen metric over precomputed signatures. The
-/// records are still needed for [`DistanceKind::ParseTree`] (diff-based,
-/// operates on the statements directly) and the ParseTree component of
-/// `Combined`.
+/// records are still needed for the non-SELECT fallback arms of
+/// [`DistanceKind::ParseTree`] (and the ParseTree component of
+/// `Combined`), which compare the statements directly.
 pub fn distance_with(
     a: &QueryRecord,
     a_sig: &SimSignature,
@@ -195,12 +215,12 @@ pub fn distance_with(
 ) -> f64 {
     match kind {
         DistanceKind::Features => feature_distance_sig(a_sig, b_sig, config),
-        DistanceKind::ParseTree => tree_distance(a, b),
+        DistanceKind::ParseTree => tree_distance_sig(a, a_sig, b, b_sig),
         DistanceKind::TreeEdit => tree_edit_distance_sig(a_sig, b_sig),
         DistanceKind::Output => output_distance_sig(a_sig, b_sig).unwrap_or(1.0),
         DistanceKind::Combined => {
             let f = feature_distance_sig(a_sig, b_sig, config);
-            let t = tree_distance(a, b);
+            let t = tree_distance_sig(a, a_sig, b, b_sig);
             combined_blend(f, t, output_distance_sig(a_sig, b_sig))
         }
     }

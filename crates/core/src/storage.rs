@@ -14,10 +14,13 @@
 
 use crate::error::CqmsError;
 use crate::features::{self, SyntacticFeatures};
+use crate::metricindex::{MetricIndexStats, TreeEntry, VpTree, REBUILD_DEAD_FRACTION};
 use crate::model::*;
+use crate::postings::{self, PostingCursor, PostingList};
 use crate::signature::{FeatureInterner, SimSignature};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 use textindex::{InvertedIndex, TrigramIndex};
 
 /// The CQMS query store.
@@ -37,10 +40,26 @@ pub struct QueryStorage {
     /// Per-record similarity signatures, parallel to `records`.
     signatures: Vec<SimSignature>,
     /// Inverted feature-posting index: interned feature id → sorted qids
-    /// of *live* records carrying that feature. kNN candidate generation
-    /// unions the probe's posting lists; keeping only live records in the
-    /// lists means flagged/obsoleted queries stop costing probes anything.
-    postings: HashMap<u32, Vec<u64>>,
+    /// of records carrying that feature. Every *live* record is present in
+    /// each of its lists; non-live records may linger as stale entries
+    /// until the list's lazy compaction pass (see [`crate::postings`]) —
+    /// consumers filter candidates by liveness anyway, and the kNN
+    /// pruning argument only needs live non-candidates to be provably
+    /// feature-disjoint.
+    postings: HashMap<u32, PostingList>,
+    /// Lazily built VP-tree over the tree-edit metric (all non-tombstoned
+    /// records with a parse tree; liveness/ACL filtered at query time).
+    /// Dropped for a lazy rebuild when reindex invalidates a tree or
+    /// tombstones pass [`REBUILD_DEAD_FRACTION`].
+    tree_index: RwLock<Option<VpTree>>,
+    /// Cheap-bound effectiveness counters for the tree metrics.
+    metric_stats: MetricIndexStats,
+    /// Sorted qids of non-tombstoned records *without* a parse tree (the
+    /// VP-tree's complement — they sit at exactly distance 1.0 under tree
+    /// metrics). Typically a tiny minority; TreeEdit kNN merges them from
+    /// here instead of scanning every live record. Liveness/ACL are
+    /// filtered at query time, so `set_validity` needs no update here.
+    treeless: Vec<u64>,
     /// Incrementally maintained count of live records (kept coherent by
     /// `insert`/`delete`/`set_validity`; validity must never be flipped
     /// through `get_mut`).
@@ -69,6 +88,9 @@ impl QueryStorage {
             interner: FeatureInterner::new(),
             signatures: Vec::new(),
             postings: HashMap::new(),
+            tree_index: RwLock::new(None),
+            metric_stats: MetricIndexStats::default(),
+            treeless: Vec::new(),
             live: 0,
         }
     }
@@ -138,16 +160,33 @@ impl QueryStorage {
             self.next_session = record.session.0 + 1;
         }
         // Similarity signature + posting index (ids are dense and
-        // inserted in order, so posting lists stay sorted by pushing).
+        // inserted in order, so posting lists stay sorted by appending).
         // Only live records are posted — a snapshot-restored tombstone or
         // flagged record enters with its final validity and is skipped,
         // matching the state set_validity/delete leave behind.
         let sig = SimSignature::build(&record, &mut self.interner);
         if record.is_live() {
             for fid in sig.feature_ids() {
-                self.postings.entry(fid).or_default().push(id.0);
+                self.postings.entry(fid).or_default().append(id.0);
             }
             self.live += 1;
+        }
+        // Keep an already-built VP-tree coherent: every non-tombstoned
+        // record with a parse tree is indexed (flagged records may be
+        // repaired later; tombstones never come back). Tree-less records
+        // go on the side list instead.
+        if !tombstoned {
+            if let (Some(tree), Some(shape)) = (&sig.tree, &sig.tree_shape) {
+                if let Some(idx) = self.tree_index.get_mut().expect("tree index lock").as_mut() {
+                    idx.insert(TreeEntry {
+                        qid: id.0,
+                        tree: Arc::clone(tree),
+                        shape: shape.clone(),
+                    });
+                }
+            } else {
+                self.treeless.push(id.0);
+            }
         }
         self.signatures.push(sig);
         self.records.push(record);
@@ -283,6 +322,10 @@ impl QueryStorage {
         };
         if was_live {
             self.live -= 1;
+            // A record that was already non-live (flagged/obsoleted) had
+            // its posting entries counted stale at that transition —
+            // marking again would double-count.
+            self.mark_dead_postings(id);
         }
         self.text.remove(id.0);
         self.trigram.remove(id.0);
@@ -290,7 +333,24 @@ impl QueryStorage {
         if let Some(c) = self.template_counts.get_mut(&tfp) {
             *c = c.saturating_sub(1);
         }
-        self.unpost_signature(id);
+        // Tombstones are permanent dead weight in the VP-tree: count them,
+        // and drop the index for a lazy rebuild past the threshold.
+        // Tree-less tombstones just leave the side list.
+        let had_tree = self
+            .signatures
+            .get(id.0 as usize)
+            .map(|s| s.tree.is_some())
+            .unwrap_or(false);
+        if had_tree {
+            let slot = self.tree_index.get_mut().expect("tree index lock");
+            if let Some(idx) = slot.as_mut() {
+                if idx.note_dead() > REBUILD_DEAD_FRACTION {
+                    *slot = None;
+                }
+            }
+        } else if let Ok(pos) = self.treeless.binary_search(&id.0) {
+            self.treeless.remove(pos);
+        }
         Ok(())
     }
 
@@ -321,14 +381,18 @@ impl QueryStorage {
             r.validity = validity;
             (was_live, r.is_live())
         };
+        // The VP-tree needs no update on either transition: it indexes
+        // every non-tombstoned record and filters liveness at query time,
+        // so a flagged record is hidden now and findable again the moment
+        // maintenance repairs it.
         match (was_live, now_live) {
             (true, false) => {
                 self.live -= 1;
-                self.unpost_signature(id);
+                self.mark_dead_postings(id);
             }
             (false, true) => {
                 self.live += 1;
-                self.post_signature(id);
+                self.ensure_posted(id);
             }
             _ => {}
         }
@@ -348,32 +412,83 @@ impl QueryStorage {
         *self.template_counts.entry(new_fp).or_insert(0) += 1;
     }
 
-    /// Add a record's feature ids to the posting index (sorted insert:
-    /// the qid is arbitrary relative to existing list entries).
-    fn post_signature(&mut self, id: QueryId) {
+    /// Make sure a (live) record's feature ids are posted exactly once.
+    /// Its entries may still be present as stale leftovers from an earlier
+    /// live→non-live transition; those flip back to alive instead of
+    /// duplicating.
+    fn ensure_posted(&mut self, id: QueryId) {
         let Some(sig) = self.signatures.get(id.0 as usize) else {
             return;
         };
         for fid in sig.feature_ids() {
             let list = self.postings.entry(fid).or_default();
-            if let Err(pos) = list.binary_search(&id.0) {
-                list.insert(pos, id.0);
+            if !list.insert(id.0) {
+                // Already present ⇒ it was counted stale; revive it.
+                list.mark_alive();
             }
         }
     }
 
-    /// Remove a record's feature ids from the posting index.
-    fn unpost_signature(&mut self, id: QueryId) {
-        let Some(sig) = self.signatures.get(id.0 as usize) else {
+    /// Note a record's posting entries stale. Callers invoke this exactly
+    /// at the record's live → non-live transition, and live records are
+    /// always present in each of their lists (insert appends, revival
+    /// re-inserts, compaction retains them), so no membership check is
+    /// needed — marking is O(1) per list. A list whose stale fraction
+    /// passes the threshold is compacted down to its currently-live
+    /// members; one left empty is dropped from the map.
+    fn mark_dead_postings(&mut self, id: QueryId) {
+        let QueryStorage {
+            signatures,
+            postings,
+            records,
+            ..
+        } = self;
+        let Some(sig) = signatures.get(id.0 as usize) else {
             return;
         };
         for fid in sig.feature_ids() {
-            if let Some(list) = self.postings.get_mut(&fid) {
-                if let Ok(pos) = list.binary_search(&id.0) {
-                    list.remove(pos);
+            if let Some(list) = postings.get_mut(&fid) {
+                debug_assert!(list.contains(id.0), "live record missing from posting");
+                list.mark_dead();
+                if list.needs_compaction() {
+                    list.retain(|q| {
+                        records
+                            .get(q as usize)
+                            .map(QueryRecord::is_live)
+                            .unwrap_or(false)
+                    });
+                    if list.is_empty() {
+                        postings.remove(&fid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hard-remove a record's posting entries (reindex path: the feature
+    /// set itself is changing, so stale-entry bookkeeping does not apply).
+    fn remove_postings(&mut self, id: QueryId) {
+        let QueryStorage {
+            signatures,
+            postings,
+            records,
+            ..
+        } = self;
+        let Some(sig) = signatures.get(id.0 as usize) else {
+            return;
+        };
+        let non_live = records
+            .get(id.0 as usize)
+            .map(|r| !r.is_live())
+            .unwrap_or(true);
+        for fid in sig.feature_ids() {
+            if let Some(list) = postings.get_mut(&fid) {
+                if list.remove(id.0) && non_live {
+                    // The entry was counted stale; the counter follows it out.
+                    list.mark_alive();
                 }
                 if list.is_empty() {
-                    self.postings.remove(&fid);
+                    postings.remove(&fid);
                 }
             }
         }
@@ -403,14 +518,27 @@ impl QueryStorage {
         features::insert_features(&mut self.meta, &meta_row, &sql, &feats);
         // Rebuild the similarity signature and its posting entries (the
         // statement, features and possibly the summary changed).
-        self.unpost_signature(id);
+        self.remove_postings(id);
         let (sig, live) = {
             let r = &self.records[id.0 as usize];
             (SimSignature::build(r, &mut self.interner), r.is_live())
         };
         self.signatures[id.0 as usize] = sig;
         if live {
-            self.post_signature(id);
+            self.ensure_posted(id);
+        }
+        // The record's parse tree may have changed: drop the VP-tree for a
+        // lazy rebuild (repairs are rare maintenance events) and refresh
+        // the tree-less side list membership.
+        *self.tree_index.get_mut().expect("tree index lock") = None;
+        let is_treeless = self.signatures[id.0 as usize].tree.is_none()
+            && self.records[id.0 as usize].validity != Validity::Deleted;
+        match (self.treeless.binary_search(&id.0), is_treeless) {
+            (Err(pos), true) => self.treeless.insert(pos, id.0),
+            (Ok(pos), false) => {
+                self.treeless.remove(pos);
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -434,10 +562,29 @@ impl QueryStorage {
         &self.interner
     }
 
-    /// The inverted feature-posting index (feature id → sorted qids of
-    /// live records carrying it).
-    pub fn postings(&self) -> &HashMap<u32, Vec<u64>> {
+    /// The inverted feature-posting index (feature id → posting list;
+    /// lists may carry stale non-live entries pending lazy compaction).
+    pub fn postings(&self) -> &HashMap<u32, PostingList> {
         &self.postings
+    }
+
+    /// The decoded posting ids of one feature, restricted to currently
+    /// live records — the canonical view of the index, independent of
+    /// compaction timing (tests compare storages through this).
+    pub fn live_posting_ids(&self, fid: u32) -> Vec<u64> {
+        self.postings
+            .get(&fid)
+            .map(|l| {
+                l.iter()
+                    .filter(|&q| {
+                        self.records
+                            .get(q as usize)
+                            .map(QueryRecord::is_live)
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Build a probe signature for a record that is not (necessarily) in
@@ -448,19 +595,68 @@ impl QueryStorage {
     }
 
     /// Candidate generation for kNN: the sorted, deduplicated qids of all
-    /// *live* records sharing at least one feature with `sig`. Live
-    /// records outside this set have per-namespace feature Jaccard of
-    /// exactly 1.0 (or 0.0 for mutually empty namespaces), which bounds
-    /// their distance below without touching them.
+    /// records sharing at least one feature with `sig`, via a galloping
+    /// multi-way merge of the probe's posting lists. Every *live* record
+    /// outside this set has per-namespace feature Jaccard of exactly 1.0
+    /// (or 0.0 for mutually empty namespaces), which bounds its distance
+    /// below without touching it. The set may contain stale non-live ids
+    /// (pending lazy compaction); callers filter by liveness anyway.
     pub fn candidate_ids(&self, sig: &SimSignature) -> Vec<u64> {
-        let mut out: Vec<u64> = sig
+        let cursors: Vec<PostingCursor<'_>> = sig
             .feature_ids()
             .filter_map(|fid| self.postings.get(&fid))
-            .flat_map(|list| list.iter().copied())
+            .filter(|l| !l.is_empty())
+            .map(PostingList::cursor)
             .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        postings::union_cursors(cursors)
+    }
+
+    /// Read access to the VP-tree over the tree-edit metric, building it
+    /// on first use. The index covers every non-tombstoned record with a
+    /// parse tree; callers filter liveness/visibility per query.
+    pub fn tree_index(&self) -> RwLockReadGuard<'_, Option<VpTree>> {
+        {
+            let g = self.tree_index.read().expect("tree index lock");
+            if g.is_some() {
+                return g;
+            }
+        }
+        {
+            let mut w = self.tree_index.write().expect("tree index lock");
+            if w.is_none() {
+                let entries: Vec<TreeEntry> = self
+                    .records
+                    .iter()
+                    .zip(&self.signatures)
+                    .filter(|(r, _)| r.validity != Validity::Deleted)
+                    .filter_map(|(r, s)| {
+                        Some(TreeEntry {
+                            qid: r.id.0,
+                            tree: Arc::clone(s.tree.as_ref()?),
+                            shape: s.tree_shape.clone()?,
+                        })
+                    })
+                    .collect();
+                *w = Some(VpTree::build(entries));
+            }
+        }
+        self.tree_index.read().expect("tree index lock")
+    }
+
+    /// Is the VP-tree currently materialised? (Observability for tests.)
+    pub fn tree_index_built(&self) -> bool {
+        self.tree_index.read().expect("tree index lock").is_some()
+    }
+
+    /// Sorted qids of non-tombstoned records without a parse tree (the
+    /// VP-tree's complement; callers filter liveness/ACL).
+    pub fn treeless_ids(&self) -> &[u64] {
+        &self.treeless
+    }
+
+    /// Cheap-bound effectiveness counters for the tree metrics.
+    pub fn metric_stats(&self) -> &MetricIndexStats {
+        &self.metric_stats
     }
 
     /// Adopt a refined session assignment from the Query Miner (§4.3: the
@@ -1092,7 +1288,7 @@ mod tests {
         let sig = s.signature(QueryId(2)).unwrap().clone();
         // Every feature of a live record posts to its qid.
         for fid in sig.feature_ids() {
-            assert!(s.postings().get(&fid).unwrap().contains(&2));
+            assert!(s.postings().get(&fid).unwrap().contains(2));
         }
         // Candidate generation sees records sharing the probe's features.
         let probe = s.probe_signature(s.get(QueryId(0)).unwrap());
@@ -1105,7 +1301,7 @@ mod tests {
             assert!(!s
                 .postings()
                 .get(&fid)
-                .map(|l| l.contains(&2))
+                .map(|l| l.contains(2))
                 .unwrap_or(false));
         }
         // Flagging unposts too (non-live records cost probes nothing);
@@ -1123,7 +1319,7 @@ mod tests {
             assert!(!s
                 .postings()
                 .get(&fid)
-                .map(|l| l.contains(&0))
+                .map(|l| l.contains(0))
                 .unwrap_or(false));
         }
         s.set_validity(
@@ -1135,7 +1331,7 @@ mod tests {
         )
         .unwrap();
         for fid in sig0.feature_ids() {
-            assert!(s.postings().get(&fid).unwrap().contains(&0));
+            assert!(s.postings().get(&fid).unwrap().contains(0));
         }
     }
 
@@ -1144,5 +1340,109 @@ mod tests {
         let s = populated();
         assert_eq!(s.last_query_of(UserId(1)).unwrap().id, QueryId(1));
         assert!(s.last_query_of(UserId(9)).is_none());
+    }
+
+    /// Regression for the stale-posting leak: hammering insert/delete
+    /// cycles must not grow posting lists without bound — lazy compaction
+    /// keeps every list's stale fraction at or below 25%, so list length
+    /// stays within a constant factor of the live membership.
+    #[test]
+    fn posting_lists_stay_bounded_under_churn() {
+        let mut s = QueryStorage::new();
+        let mut next_id = 0u64;
+        // 12 rounds of: insert a batch sharing one hot feature set, then
+        // delete most of it (plus some flag/repair churn).
+        for round in 0..12u64 {
+            let start = next_id;
+            for i in 0..50u64 {
+                s.insert(record(
+                    next_id,
+                    1,
+                    round * 1000 + i,
+                    "SELECT * FROM WaterTemp WHERE temp < 18",
+                    round,
+                ));
+                next_id += 1;
+            }
+            for q in start..start + 45 {
+                s.delete(QueryId(q)).unwrap();
+            }
+            // Flag + repair the survivors' head, exercising the
+            // dead→alive revival path on stale entries.
+            s.set_validity(
+                QueryId(start + 45),
+                Validity::Flagged {
+                    reason: "drift".into(),
+                    at: round,
+                },
+            )
+            .unwrap();
+            s.set_validity(
+                QueryId(start + 45),
+                Validity::Repaired {
+                    original_sql: "x".into(),
+                    at: round,
+                },
+            )
+            .unwrap();
+        }
+        let live = s.live_count();
+        assert_eq!(live, 12 * 5);
+        for (fid, list) in s.postings() {
+            // Invariant maintained by lazy compaction: stale entries are
+            // at most a quarter of any list…
+            assert!(
+                u64::from(list.dead()) * 4 <= list.len() as u64,
+                "feature {fid}: {} dead of {}",
+                list.dead(),
+                list.len()
+            );
+            // …and every live id with this feature is present, while the
+            // list never exceeds live + tolerated-stale.
+            let live_ids = s.live_posting_ids(*fid);
+            assert!(list.len() <= live_ids.len() + live_ids.len() / 3 + 1);
+            for q in live_ids {
+                assert!(list.contains(q));
+            }
+        }
+        // Candidate generation still returns every live sharer.
+        let probe = s.probe_signature(s.get(QueryId(next_id - 1)).unwrap());
+        let cands = s.candidate_ids(&probe);
+        for r in s.iter_live() {
+            assert!(cands.binary_search(&r.id.0).is_ok());
+        }
+    }
+
+    /// The VP-tree follows insert/delete/reindex: built lazily, extended
+    /// incrementally, dropped past the tombstone threshold and on reindex.
+    #[test]
+    fn tree_index_lifecycle() {
+        let mut s = populated();
+        assert!(!s.tree_index_built());
+        assert_eq!(s.tree_index().as_ref().unwrap().len(), 3);
+        assert!(s.tree_index_built());
+        // Incremental insert keeps the built index coherent.
+        s.insert(record(3, 1, 60, "SELECT * FROM Lakes", 2));
+        assert_eq!(s.tree_index().as_ref().unwrap().len(), 4);
+        // Flagging is query-time filtering only — no index change.
+        s.set_validity(
+            QueryId(0),
+            Validity::Flagged {
+                reason: "drift".into(),
+                at: 1,
+            },
+        )
+        .unwrap();
+        assert!(s.tree_index_built());
+        // Reindex may change the tree: the index is dropped for rebuild.
+        s.reindex(QueryId(1)).unwrap();
+        assert!(!s.tree_index_built());
+        assert_eq!(s.tree_index().as_ref().unwrap().len(), 4);
+        // Crossing the tombstone threshold drops it too.
+        s.delete(QueryId(0)).unwrap();
+        assert!(s.tree_index_built()); // 1/4 ≤ threshold
+        s.delete(QueryId(1)).unwrap();
+        assert!(!s.tree_index_built()); // 2/4 > threshold
+        assert_eq!(s.tree_index().as_ref().unwrap().len(), 2);
     }
 }

@@ -120,6 +120,44 @@ fn build_storage(records: Vec<QueryRecord>) -> QueryStorage {
     st
 }
 
+/// Reference kNN: full scan over live visible records with the exact
+/// signature kernels, brute-force ordering (score desc, id asc).
+fn brute_knn(
+    st: &QueryStorage,
+    dir: &Directory,
+    cfg: &CqmsConfig,
+    viewer: UserId,
+    probe: &QueryRecord,
+    metric: DistanceKind,
+    k: usize,
+) -> Vec<ScoredHit> {
+    let psig = st.probe_signature(probe);
+    let mut brute: Vec<ScoredHit> = st
+        .iter_live()
+        .filter(|r| r.id != probe.id && dir.can_see(viewer, r))
+        .map(|r| ScoredHit {
+            id: r.id,
+            score: 1.0
+                - similarity::distance_with(
+                    probe,
+                    &psig,
+                    r,
+                    st.signature(r.id).unwrap(),
+                    metric,
+                    cfg,
+                ),
+        })
+        .collect();
+    brute.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    brute.truncate(k);
+    brute
+}
+
 /// Records for the kNN-pruning property: the plain SQL generator plus
 /// feature-less records (unparseable text ⇒ empty feature sets, no parse
 /// tree) and optional output summaries, which together exercise every
@@ -349,6 +387,176 @@ proptest! {
         }
     }
 
+    /// VP-tree TreeEdit kNN returns exactly the brute-force top-k — ids
+    /// and scores — through the index's whole coherence lifecycle: lazy
+    /// build over a store with tombstones, query-time filtering of
+    /// flagged records and ACLs, revival of repaired records, incremental
+    /// inserts into the already-built tree, and further tombstoning
+    /// (possibly crossing the rebuild threshold). Statement-less records
+    /// (distance exactly 1.0, outside the index) are covered by the
+    /// generator.
+    #[test]
+    fn vp_tree_knn_matches_brute_force(
+        records in proptest::collection::vec(0u64..1, 2..16).prop_flat_map(|seeds| {
+            (0..seeds.len() as u64).map(knn_record_strategy).collect::<Vec<_>>()
+        }),
+        extra in proptest::collection::vec(0u64..1, 1..5).prop_flat_map(|seeds| {
+            (100..100 + seeds.len() as u64).map(knn_record_strategy).collect::<Vec<_>>()
+        }),
+        del_seeds in proptest::collection::vec(any::<bool>(), 16),
+        flag_seeds in proptest::collection::vec(any::<bool>(), 16),
+        late_del_seeds in proptest::collection::vec(any::<bool>(), 16),
+        probe_sql in prop_oneof![
+            4 => sql_strategy(),
+            1 => Just("word salad, no features".to_string()),
+        ],
+        viewer in 0u32..4,
+        k in 1usize..6,
+    ) {
+        let mut st = QueryStorage::new();
+        for (i, mut r) in records.into_iter().enumerate() {
+            r.id = QueryId(i as u64);
+            st.insert(r);
+        }
+        let n = st.len();
+        for (i, del) in del_seeds.iter().take(n).enumerate() {
+            if *del {
+                st.delete(QueryId(i as u64)).unwrap();
+            }
+        }
+        let dir = Directory::new();
+        let cfg = CqmsConfig::default();
+        let viewer = UserId(viewer);
+        let stmt = sqlparse::parse(&probe_sql).ok();
+        let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+        let probe = make_record(
+            QueryId(u64::MAX), viewer, 0, &probe_sql, stmt, feats,
+            RuntimeFeatures::default(), OutputSummary::None,
+            SessionId(u64::MAX), Visibility::Private,
+        );
+        let check = |st: &QueryStorage, phase: &str| -> Result<(), TestCaseError> {
+            let mq = MetaQueryExecutor::new(st, &dir, &cfg);
+            let got = mq.knn(viewer, &probe, k, DistanceKind::TreeEdit);
+            let want = brute_knn(st, &dir, &cfg, viewer, &probe, DistanceKind::TreeEdit, k);
+            prop_assert_eq!(&got, &want, "TreeEdit diverged in phase `{}`", phase);
+            Ok(())
+        };
+        // Phase 1: lazy build over the tombstoned store.
+        check(&st, "build")?;
+        // Phase 2: flag a subset — indexed but hidden at query time.
+        for (i, flag) in flag_seeds.iter().take(n).enumerate() {
+            if *flag {
+                let _ = st.set_validity(
+                    QueryId(i as u64),
+                    Validity::Flagged { reason: "drift".into(), at: 1 },
+                );
+            }
+        }
+        check(&st, "flagged")?;
+        // Phase 3: repair them — findable again without any index change.
+        for (i, flag) in flag_seeds.iter().take(n).enumerate() {
+            if *flag && st.get(QueryId(i as u64)).unwrap().validity != Validity::Deleted {
+                st.set_validity(
+                    QueryId(i as u64),
+                    Validity::Repaired { original_sql: "x".into(), at: 2 },
+                ).unwrap();
+            }
+        }
+        check(&st, "repaired")?;
+        // Phase 4: incremental inserts into the already-built tree.
+        for (i, mut r) in extra.into_iter().enumerate() {
+            r.id = QueryId((n + i) as u64);
+            st.insert(r);
+        }
+        check(&st, "inserted")?;
+        // Phase 5: more tombstones — may cross the rebuild threshold.
+        let total = st.len();
+        for (i, del) in late_del_seeds.iter().take(total).enumerate() {
+            if *del {
+                st.delete(QueryId(i as u64)).unwrap();
+            }
+        }
+        check(&st, "late-deletes")?;
+    }
+
+    /// Bounded ParseTree kNN (diff-profile lower-bound sweep) returns
+    /// exactly the brute-force top-k — ids and scores — over stores with
+    /// tombstones, statement-less records and mixed ACLs.
+    #[test]
+    fn parsetree_bounded_knn_matches_brute_force(
+        records in proptest::collection::vec(0u64..1, 2..20).prop_flat_map(|seeds| {
+            (0..seeds.len() as u64).map(knn_record_strategy).collect::<Vec<_>>()
+        }),
+        del_seeds in proptest::collection::vec(any::<bool>(), 20),
+        flag_seeds in proptest::collection::vec(any::<bool>(), 20),
+        probe_sql in prop_oneof![
+            4 => sql_strategy(),
+            1 => Just("word salad, no features".to_string()),
+        ],
+        viewer in 0u32..4,
+        k in 1usize..6,
+    ) {
+        let mut st = QueryStorage::new();
+        for (i, mut r) in records.into_iter().enumerate() {
+            r.id = QueryId(i as u64);
+            st.insert(r);
+        }
+        let n = st.len();
+        for (i, del) in del_seeds.iter().take(n).enumerate() {
+            if *del {
+                st.delete(QueryId(i as u64)).unwrap();
+            }
+        }
+        for (i, flag) in flag_seeds.iter().take(n).enumerate() {
+            if *flag && st.get(QueryId(i as u64)).unwrap().validity != Validity::Deleted {
+                st.set_validity(
+                    QueryId(i as u64),
+                    Validity::Flagged { reason: "drift".into(), at: 1 },
+                ).unwrap();
+            }
+        }
+        let dir = Directory::new();
+        let cfg = CqmsConfig::default();
+        let viewer = UserId(viewer);
+        let stmt = sqlparse::parse(&probe_sql).ok();
+        let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+        let probe = make_record(
+            QueryId(u64::MAX), viewer, 0, &probe_sql, stmt, feats,
+            RuntimeFeatures::default(), OutputSummary::None,
+            SessionId(u64::MAX), Visibility::Private,
+        );
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
+        let got = mq.knn(viewer, &probe, k, DistanceKind::ParseTree);
+        let want = brute_knn(&st, &dir, &cfg, viewer, &probe, DistanceKind::ParseTree, k);
+        prop_assert_eq!(&got, &want, "ParseTree pruning diverged");
+    }
+
+    /// The two cheap structural lower bounds are sound on generated query
+    /// pairs: the tree-shape (size + label histogram) bound never exceeds
+    /// the exact Zhang–Shasha distance, and the SELECT-profile bound
+    /// never exceeds the exact diff distance.
+    #[test]
+    fn structural_lower_bounds_are_sound(a in sql_strategy(), b in sql_strategy()) {
+        let sa = sqlparse::parse(&a).unwrap();
+        let sb = sqlparse::parse(&b).unwrap();
+        let ta = sqlparse::statement_tree(&sqlparse::strip_constants(&sa));
+        let tb = sqlparse::statement_tree(&sqlparse::strip_constants(&sb));
+        let (ha, hb) = (sqlparse::TreeShape::of(&ta), sqlparse::TreeShape::of(&tb));
+        let ted = sqlparse::tree_edit_distance(&ta, &tb);
+        prop_assert!(sqlparse::tree_edit_lower_bound(&ha, &hb) <= ted);
+        prop_assert!(
+            sqlparse::normalized_tree_lower_bound(&ha, &hb)
+                <= sqlparse::normalized_tree_distance(&ta, &tb) + 1e-12
+        );
+        if let (sqlparse::Statement::Select(pa), sqlparse::Statement::Select(pb)) = (&sa, &sb) {
+            let (fa, fb) = (sqlparse::SelectProfile::build(pa), sqlparse::SelectProfile::build(pb));
+            prop_assert!(
+                sqlparse::edit_distance_lower_bound(&fa, &fb)
+                    <= sqlparse::diff::edit_distance_normalized(pa, pb) + 1e-12
+            );
+        }
+    }
+
     /// Snapshot → load reproduces the similarity-signature state exactly:
     /// the interner, every per-record signature, the posting index and
     /// the live counter (summaries are not persisted, so generated
@@ -381,7 +589,17 @@ proptest! {
         let restored = QueryStorage::load(&buf[..]).unwrap();
         prop_assert_eq!(restored.interner(), st.interner());
         prop_assert_eq!(restored.signatures(), st.signatures());
-        prop_assert_eq!(restored.postings(), st.postings());
+        // Posting lists may differ in stale entries (lazy compaction runs
+        // on thresholds; a freshly restored storage has none), so compare
+        // the canonical live view per interned feature.
+        for fid in 0..st.interner().len() as u32 {
+            prop_assert_eq!(
+                restored.live_posting_ids(fid),
+                st.live_posting_ids(fid),
+                "feature {} diverges",
+                fid
+            );
+        }
         prop_assert_eq!(restored.live_count(), st.live_count());
     }
 

@@ -121,13 +121,19 @@ pub fn diff_statements(a: &Statement, b: &Statement) -> Vec<EditOp> {
 
 /// Diff two SELECT statements into typed edits.
 pub fn diff_selects(a: &SelectStatement, b: &SelectStatement) -> Vec<EditOp> {
-    let a = fold_select(a);
-    let b = fold_select(b);
+    diff_selects_folded(&fold_select(a), &fold_select(b))
+}
+
+/// [`diff_selects`] over statements already passed through
+/// [`fold_select`]. Folding is idempotent, so this produces the exact
+/// same edits as `diff_selects` on the originals — callers that compare
+/// one query against many (kNN) fold each side once instead of per pair.
+pub fn diff_selects_folded(a: &SelectStatement, b: &SelectStatement) -> Vec<EditOp> {
     let mut edits = Vec::new();
 
     // Tables (FROM + explicit joins), multiset diff by name.
-    let ta = table_multiset(&a);
-    let tb = table_multiset(&b);
+    let ta = table_multiset(a);
+    let tb = table_multiset(b);
     for (name, &ca) in &ta {
         let cb = tb.get(name).copied().unwrap_or(0);
         for _ in cb..ca {
@@ -142,8 +148,8 @@ pub fn diff_selects(a: &SelectStatement, b: &SelectStatement) -> Vec<EditOp> {
     }
 
     // Projections: set diff over printed items.
-    let pa = projection_set(&a);
-    let pb = projection_set(&b);
+    let pa = projection_set(a);
+    let pb = projection_set(b);
     for p in pa.iter().filter(|p| !pb.contains(*p)) {
         edits.push(EditOp::RemoveProjection(p.clone()));
     }
@@ -152,8 +158,8 @@ pub fn diff_selects(a: &SelectStatement, b: &SelectStatement) -> Vec<EditOp> {
     }
 
     // Predicates: conjunct diff with constant-change pairing.
-    let ca = conjunct_list(&a);
-    let cb = conjunct_list(&b);
+    let ca = conjunct_list(a);
+    let cb = conjunct_list(b);
     let removed: Vec<&Expr> = ca
         .iter()
         .filter(|e| !cb.iter().any(|f| f == *e))
@@ -238,6 +244,24 @@ pub fn edit_distance_normalized(a: &SelectStatement, b: &SelectStatement) -> f64
     (edits / size).min(1.0)
 }
 
+/// [`edit_distance_normalized`] over pre-[`fold_select`]ed statements —
+/// float-for-float the same value (folding changes neither the edit list
+/// nor [`select_size`]), without the two per-pair statement clones.
+pub fn edit_distance_normalized_folded(a: &SelectStatement, b: &SelectStatement) -> f64 {
+    let edits = diff_selects_folded(a, b).len() as f64;
+    let size = (select_size(a) + select_size(b)) as f64;
+    if size == 0.0 {
+        return 0.0;
+    }
+    (edits / size).min(1.0)
+}
+
+/// Case-fold identifiers the way the differ does (aliases kept), exposed
+/// so ingest-time signature building can cache the folded statement.
+pub fn fold_for_diff(s: &SelectStatement) -> SelectStatement {
+    fold_select(s)
+}
+
 /// Count of structural elements in a SELECT (tables + projections +
 /// conjuncts + group/order items + limit/distinct flags).
 pub fn select_size(s: &SelectStatement) -> usize {
@@ -300,6 +324,204 @@ pub fn summarize_edits(edits: &[EditOp]) -> String {
     } else {
         parts.join(", ")
     }
+}
+
+// ---------------------------------------------------------------------
+// Diff profiles — cheap lower bound on the edit distance
+// ---------------------------------------------------------------------
+
+/// Precomputed multiset profile of one (folded) SELECT: the per-record data
+/// behind [`edit_distance_lower_bound`], the O(profile-size) screen that
+/// rejects a pair before [`diff_selects`] runs. Built once per query at
+/// ingest; every clause is reduced to sorted FNV hashes of exactly the
+/// strings [`diff_selects`] compares, so the bound tracks the true diff
+/// term by term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectProfile {
+    /// [`select_size`] of the statement (the normalisation denominator).
+    pub size: u32,
+    /// Table-name hashes, one per FROM/join occurrence, sorted (multiset).
+    pub tables: Vec<u64>,
+    /// Printed-projection-item hashes, sorted (multiset).
+    pub projections: Vec<u64>,
+    /// `(printed conjunct hash, conjunct-template hash)` per WHERE
+    /// conjunct, sorted by the printed hash.
+    pub conjuncts: Vec<(u64, u64)>,
+    /// The same conjuncts as `(template hash, printed hash)`, sorted —
+    /// lets the bound walk template groups without allocating.
+    pub conjuncts_by_template: Vec<(u64, u64)>,
+    /// Printed GROUP BY key hashes, sorted.
+    pub group_by: Vec<u64>,
+    /// ORDER BY key hashes (direction folded in), sorted.
+    pub order_by: Vec<u64>,
+    pub limit: Option<u64>,
+    pub distinct: bool,
+}
+
+impl SelectProfile {
+    /// Build the profile of `s` (folds identifiers exactly like
+    /// [`diff_selects`] before hashing).
+    pub fn build(s: &SelectStatement) -> SelectProfile {
+        Self::of_folded(&fold_select(s))
+    }
+
+    /// Build from an already-folded statement (shares the fold with the
+    /// cached folded statement the signature keeps for exact diffs).
+    pub fn of_folded(s: &SelectStatement) -> SelectProfile {
+        let h = |x: &str| crate::fingerprint::fnv1a(x.as_bytes());
+        let mut tables: Vec<u64> = Vec::new();
+        for t in &s.from {
+            tables.push(h(&t.name));
+            for j in &t.joins {
+                tables.push(h(&j.table));
+            }
+        }
+        tables.sort_unstable();
+        let mut projections: Vec<u64> = projection_set(s).iter().map(|p| h(p)).collect();
+        projections.sort_unstable();
+        let mut conjuncts: Vec<(u64, u64)> = conjunct_list(s)
+            .iter()
+            .map(|e| (h(&expr_to_sql(e)), h(&conjunct_template(e))))
+            .collect();
+        conjuncts.sort_unstable();
+        let mut conjuncts_by_template: Vec<(u64, u64)> =
+            conjuncts.iter().map(|&(full, tpl)| (tpl, full)).collect();
+        conjuncts_by_template.sort_unstable();
+        let mut group_by: Vec<u64> = s.group_by.iter().map(|e| h(&expr_to_sql(e))).collect();
+        group_by.sort_unstable();
+        let mut order_by: Vec<u64> = s.order_by.iter().map(|o| h(&order_key(o))).collect();
+        order_by.sort_unstable();
+        SelectProfile {
+            size: select_size(s) as u32,
+            tables,
+            projections,
+            conjuncts,
+            conjuncts_by_template,
+            group_by,
+            order_by,
+            limit: s.limit,
+            distinct: s.distinct,
+        }
+    }
+}
+
+/// Lower bound on [`edit_distance_normalized`] computed from two profiles —
+/// no AST walk, no cloning, just sorted-hash merges. Sound: every term
+/// undercounts (or matches) the edits [`diff_selects`] emits for that
+/// clause, and hash collisions can only make two clauses look *more* equal.
+///
+/// * tables — the multiset L1 gap is exactly the Add/RemoveTable count;
+/// * projections / GROUP BY / ORDER BY — occurrences whose printed form is
+///   absent from the other side, matching the diff's `contains` semantics;
+/// * conjuncts — removed/added occurrences by printed hash, then the
+///   constant-change pairing is credited at its maximum: the diff emits at
+///   least `Σ_template max(removed_t, added_t)` predicate edits;
+/// * limit / distinct — exact.
+pub fn edit_distance_lower_bound(a: &SelectProfile, b: &SelectProfile) -> f64 {
+    let edits = multiset_l1(&a.tables, &b.tables)
+        + one_sided(&a.projections, &b.projections)
+        + conjunct_edit_bound(a, b)
+        + one_sided(&a.group_by, &b.group_by)
+        + one_sided(&a.order_by, &b.order_by)
+        + usize::from(a.limit != b.limit)
+        + usize::from(a.distinct != b.distinct);
+    let size = (a.size + b.size) as f64;
+    if size == 0.0 {
+        return 0.0;
+    }
+    (edits as f64 / size).min(1.0)
+}
+
+/// Σ over distinct values of |count_a − count_b| (sorted multisets).
+fn multiset_l1(a: &[u64], b: &[u64]) -> usize {
+    let mut l1 = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let run = |s: &[u64], k: usize| {
+            let v = s[k];
+            let mut e = k;
+            while e < s.len() && s[e] == v {
+                e += 1;
+            }
+            (v, e)
+        };
+        match (i < a.len(), j < b.len()) {
+            (true, false) => {
+                l1 += a.len() - i;
+                break;
+            }
+            (false, true) => {
+                l1 += b.len() - j;
+                break;
+            }
+            _ => {
+                let (va, ea) = run(a, i);
+                let (vb, eb) = run(b, j);
+                match va.cmp(&vb) {
+                    std::cmp::Ordering::Less => {
+                        l1 += ea - i;
+                        i = ea;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        l1 += eb - j;
+                        j = eb;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        l1 += (ea - i).abs_diff(eb - j);
+                        i = ea;
+                        j = eb;
+                    }
+                }
+            }
+        }
+    }
+    l1
+}
+
+/// Occurrences on either side whose value does not appear on the other at
+/// all — the diff's per-occurrence `contains` semantics for projections,
+/// GROUP BY and ORDER BY.
+fn one_sided(a: &[u64], b: &[u64]) -> usize {
+    let count = |x: &[u64], y: &[u64]| x.iter().filter(|v| y.binary_search(v).is_err()).count();
+    count(a, b) + count(b, a)
+}
+
+/// Lower bound on the WHERE-conjunct edits: removed/added occurrences by
+/// printed hash, minus the best-case ChangeConstant pairing — i.e.
+/// `Σ_template max(removed_t, added_t)`. Allocation-free: walks the two
+/// template-sorted orders in lockstep, checking printed-hash membership
+/// against the other side's printed-sorted order.
+fn conjunct_edit_bound(a: &SelectProfile, b: &SelectProfile) -> usize {
+    let (ta, tb) = (&a.conjuncts_by_template, &b.conjuncts_by_template);
+    if ta.is_empty() && tb.is_empty() {
+        return 0;
+    }
+    let absent =
+        |full: u64, other: &[(u64, u64)]| other.binary_search_by_key(&full, |p| p.0).is_err();
+    let (mut i, mut j, mut edits) = (0usize, 0usize, 0usize);
+    while i < ta.len() || j < tb.len() {
+        let t = match (ta.get(i), tb.get(j)) {
+            (Some(&(x, _)), Some(&(y, _))) => x.min(y),
+            (Some(&(x, _)), None) => x,
+            (None, Some(&(y, _))) => y,
+            (None, None) => unreachable!(),
+        };
+        let (mut removed, mut added) = (0usize, 0usize);
+        while i < ta.len() && ta[i].0 == t {
+            if absent(ta[i].1, &b.conjuncts) {
+                removed += 1;
+            }
+            i += 1;
+        }
+        while j < tb.len() && tb[j].0 == t {
+            if absent(tb[j].1, &a.conjuncts) {
+                added += 1;
+            }
+            j += 1;
+        }
+        edits += removed.max(added);
+    }
+    edits
 }
 
 // ---------------------------------------------------------------------
@@ -634,6 +856,50 @@ mod tests {
         let dist = edit_distance_normalized(&a, &b);
         assert!(dist > 0.0 && dist <= 1.0);
         assert_eq!(edit_distance_normalized(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn profile_bound_never_exceeds_true_distance() {
+        let pool = [
+            "SELECT * FROM t",
+            "SELECT * FROM t WHERE x < 1",
+            "SELECT * FROM t WHERE x < 2",
+            "SELECT a, b FROM t",
+            "SELECT a FROM t, u WHERE t.x = u.y AND a < 5",
+            "SELECT DISTINCT lake FROM WaterTemp GROUP BY lake ORDER BY lake DESC LIMIT 5",
+            "SELECT * FROM Attributes A1, Attributes A2 WHERE A1.qid = A2.qid",
+            "SELECT x, y, z FROM b, c, d WHERE y = 2 AND z = 3 ORDER BY z",
+            "SELECT temp FROM WaterTemp WHERE temp < 18 AND month = 7",
+        ];
+        let sels: Vec<SelectStatement> = pool.iter().map(|q| sel(q)).collect();
+        let profiles: Vec<SelectProfile> = sels.iter().map(SelectProfile::build).collect();
+        for i in 0..sels.len() {
+            for j in 0..sels.len() {
+                let true_d = edit_distance_normalized(&sels[i], &sels[j]);
+                let lb = edit_distance_lower_bound(&profiles[i], &profiles[j]);
+                assert!(
+                    lb <= true_d + 1e-12,
+                    "pool pair ({i}, {j}): bound {lb} > distance {true_d}"
+                );
+                if i == j {
+                    assert_eq!(lb, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_bound_is_tight_on_simple_edits() {
+        // Pure structural edits (no constant pairing) are counted exactly.
+        let a = sel("SELECT a FROM t");
+        let b = sel("SELECT a, b FROM t, u ORDER BY a");
+        let lb = edit_distance_lower_bound(&SelectProfile::build(&a), &SelectProfile::build(&b));
+        assert!((lb - edit_distance_normalized(&a, &b)).abs() < 1e-12);
+        // A constant change is credited as exactly one edit.
+        let a = sel("SELECT * FROM t WHERE x < 1");
+        let b = sel("SELECT * FROM t WHERE x < 2");
+        let lb = edit_distance_lower_bound(&SelectProfile::build(&a), &SelectProfile::build(&b));
+        assert!((lb - edit_distance_normalized(&a, &b)).abs() < 1e-12);
     }
 
     #[test]

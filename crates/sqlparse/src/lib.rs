@@ -39,14 +39,20 @@ pub use ast::{
     UpdateStatement,
 };
 pub use canon::{canonicalize, strip_constants};
-pub use diff::{diff_selects, diff_statements, summarize_edits, EditOp};
+pub use diff::{
+    diff_selects, diff_statements, edit_distance_lower_bound, summarize_edits, EditOp,
+    SelectProfile,
+};
 pub use error::{ParseError, Span};
 pub use fingerprint::{structure_fingerprint, template_fingerprint};
 pub use lexer::Lexer;
 pub use parser::{parse_expression, parse_statement, parse_statements, Parser};
 pub use printer::to_sql;
 pub use token::{Keyword, Token, TokenKind};
-pub use tree::{normalized_tree_distance, statement_tree, tree_edit_distance, TreeNode};
+pub use tree::{
+    normalized_from_ted, normalized_tree_distance, normalized_tree_lower_bound, statement_tree,
+    tree_edit_distance, tree_edit_lower_bound, TreeNode, TreeShape,
+};
 
 /// Parse a single SQL statement from text.
 ///

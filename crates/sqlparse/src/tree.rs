@@ -8,6 +8,7 @@
 //! A3 in the CQMS experiment suite).
 
 use crate::ast::*;
+use crate::fingerprint::fnv1a;
 use crate::printer::expr_to_sql;
 
 /// A labeled ordered tree.
@@ -191,13 +192,88 @@ pub fn tree_edit_distance(a: &TreeNode, b: &TreeNode) -> usize {
 
 /// Normalised tree edit distance in [0, 1]: TED / max(size).
 pub fn normalized_tree_distance(a: &TreeNode, b: &TreeNode) -> f64 {
-    let d = tree_edit_distance(a, b) as f64;
-    let m = a.size().max(b.size()) as f64;
+    normalized_from_ted(tree_edit_distance(a, b), a.size(), b.size())
+}
+
+/// Normalise a (possibly lower-bounded) edit count by the larger tree size —
+/// the single source of truth for the [0, 1] mapping, shared by
+/// [`normalized_tree_distance`], [`normalized_tree_lower_bound`] and the
+/// metric index (which must reproduce the exact same floats).
+pub fn normalized_from_ted(ted: usize, size_a: usize, size_b: usize) -> f64 {
+    let m = size_a.max(size_b) as f64;
     if m == 0.0 {
         0.0
     } else {
-        (d / m).min(1.0)
+        (ted as f64 / m).min(1.0)
     }
+}
+
+/// Size + node-label histogram of a tree: the O(|labels|) screen that
+/// rejects a pair before the O(tree²) Zhang–Shasha DP runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeShape {
+    /// Node count of the tree.
+    pub size: u32,
+    /// `(label hash, occurrence count)`, sorted by hash.
+    pub labels: Vec<(u64, u32)>,
+}
+
+impl TreeShape {
+    /// Build the shape of `root` (one traversal, labels FNV-hashed).
+    pub fn of(root: &TreeNode) -> TreeShape {
+        fn rec(node: &TreeNode, hist: &mut std::collections::HashMap<u64, u32>, size: &mut u32) {
+            *size += 1;
+            *hist.entry(fnv1a(node.label.as_bytes())).or_insert(0) += 1;
+            for c in &node.children {
+                rec(c, hist, size);
+            }
+        }
+        let mut hist = std::collections::HashMap::new();
+        let mut size = 0u32;
+        rec(root, &mut hist, &mut size);
+        let mut labels: Vec<(u64, u32)> = hist.into_iter().collect();
+        labels.sort_unstable();
+        TreeShape { size, labels }
+    }
+}
+
+/// Lower bound on [`tree_edit_distance`] from two [`TreeShape`]s:
+///
+/// ```text
+/// TED(a, b) ≥ max(|a|, |b|) − Σ_label min(count_a, count_b)
+/// ```
+///
+/// Any edit script keeps some set of nodes unchanged (not inserted, deleted
+/// or relabelled); unchanged nodes carry equal labels on both sides, so at
+/// most `M = Σ_label min(count_a, count_b)` nodes survive. With `R` relabels,
+/// the script deletes `|a| − M − R` nodes and inserts `|b| − M − R`, hence
+/// `TED = |a| + |b| − 2M − R ≥ max(|a|, |b|) − M` (using `R ≤ min − M`).
+/// This subsumes the pure size bound `TED ≥ ||a| − |b||` since `M ≤ min`.
+/// Equivalent to `(||a|−|b|| + L1(hist_a, hist_b)) / 2`.
+pub fn tree_edit_lower_bound(a: &TreeShape, b: &TreeShape) -> usize {
+    let mut shared: u64 = 0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.labels.len() && j < b.labels.len() {
+        match a.labels[i].0.cmp(&b.labels[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += u64::from(a.labels[i].1.min(b.labels[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (u64::from(a.size.max(b.size)) - shared) as usize
+}
+
+/// Lower bound on [`normalized_tree_distance`] from two [`TreeShape`]s.
+pub fn normalized_tree_lower_bound(a: &TreeShape, b: &TreeShape) -> f64 {
+    normalized_from_ted(
+        tree_edit_lower_bound(a, b),
+        a.size as usize,
+        b.size as usize,
+    )
 }
 
 /// Postorder-flattened tree with leftmost-leaf indices and keyroots.
@@ -363,5 +439,62 @@ mod tests {
         let a = tree("SELECT * FROM t WHERE x IN (SELECT y FROM u)");
         let b = tree("SELECT * FROM t WHERE x IN (SELECT y FROM v)");
         assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn shape_counts_labels() {
+        let t = tree("SELECT a, a FROM t");
+        let shape = TreeShape::of(&t);
+        assert_eq!(shape.size as usize, t.size());
+        assert!(shape.labels.windows(2).all(|w| w[0].0 < w[1].0));
+        let total: u32 = shape.labels.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, shape.size);
+        // The duplicated projection column appears with count 2.
+        assert!(shape.labels.iter().any(|&(_, c)| c == 2));
+    }
+
+    #[test]
+    fn shape_bound_never_exceeds_zhang_shasha() {
+        // A diverse pool covering relabels, insertions, subqueries,
+        // aggregates and disjoint structures.
+        let pool = [
+            "SELECT * FROM t",
+            "SELECT * FROM t WHERE x < 1",
+            "SELECT * FROM t WHERE x < 2",
+            "SELECT a FROM t",
+            "SELECT a, b FROM t",
+            "SELECT a, b FROM t, u WHERE t.x = u.y AND a < 5",
+            "SELECT a FROM t WHERE a < 9 ORDER BY a",
+            "SELECT city, COUNT(*) FROM CityLocations GROUP BY city HAVING COUNT(*) > 2",
+            "SELECT * FROM t WHERE x IN (SELECT y FROM u)",
+            "SELECT DISTINCT lake FROM WaterTemp WHERE temp < 18 LIMIT 5",
+            "SELECT x, y, z FROM b, c, d WHERE x = 1 AND y = 2 ORDER BY z LIMIT 3",
+        ];
+        let trees: Vec<TreeNode> = pool.iter().map(|q| tree(q)).collect();
+        let shapes: Vec<TreeShape> = trees.iter().map(TreeShape::of).collect();
+        for i in 0..trees.len() {
+            for j in 0..trees.len() {
+                let true_ted = tree_edit_distance(&trees[i], &trees[j]);
+                let lb = tree_edit_lower_bound(&shapes[i], &shapes[j]);
+                assert!(
+                    lb <= true_ted,
+                    "pool pair ({i}, {j}): bound {lb} > TED {true_ted}"
+                );
+                let nd = normalized_tree_distance(&trees[i], &trees[j]);
+                let nlb = normalized_tree_lower_bound(&shapes[i], &shapes[j]);
+                assert!(nlb <= nd, "pool pair ({i}, {j}): {nlb} > {nd}");
+                if i == j {
+                    assert_eq!(lb, 0);
+                }
+            }
+        }
+        // The bound is non-trivial: identical shapes give 0, disjoint
+        // label sets give the full larger size.
+        let a = TreeShape::of(&trees[0]);
+        let far = TreeShape {
+            size: 7,
+            labels: vec![(1, 3), (2, 4)],
+        };
+        assert_eq!(tree_edit_lower_bound(&a, &far), (a.size.max(7)) as usize);
     }
 }
