@@ -98,6 +98,51 @@ fn bench(c: &mut Criterion) {
         let written = writer.join().expect("writer thread panicked");
         assert!(written > 0, "writer never ran");
     }
+
+    // Reader-threads-during-rebuild config: the same fixed read batch,
+    // but instead of a writer, a background thread continuously forces
+    // double-buffered index rebuilds (schedule → build under the read
+    // lock → publish swap). Readers keep serving the published
+    // generation; the gap to the plain `readers` axis is the cost of
+    // racing a rebuild instead of stopping the world for one.
+    for readers in [1usize, 4] {
+        let lc = logged_cqms(Domain::Lakes, 1500, 0xE10);
+        let users = lc.users.clone();
+        let svc = CqmsService::new(lc.cqms);
+        let user = users[0];
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let rebuilder = {
+            let svc = svc.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut rebuilds = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    svc.write(|c| c.storage.schedule_index_rebuild());
+                    if svc.rebuild_indexes() {
+                        rebuilds += 1;
+                    }
+                }
+                rebuilds
+            })
+        };
+
+        let per_thread = READ_OPS / readers;
+        group.bench_function(BenchmarkId::new("readers_rebuild", readers), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for _ in 0..readers {
+                        let svc = svc.clone();
+                        s.spawn(move || read_ops(&svc, user, per_thread));
+                    }
+                });
+            })
+        });
+
+        stop.store(true, Ordering::Relaxed);
+        let rebuilds = rebuilder.join().expect("rebuilder thread panicked");
+        assert!(rebuilds > 0, "rebuilder never published a generation");
+    }
     group.finish();
 }
 

@@ -46,6 +46,12 @@ pub fn logged_cqms_with(
         let user = users[q.user as usize % users.len()];
         let _ = cqms.run_query_at(user, &q.sql, q.ts);
     }
+    // Steady state: a background miner epoch has sealed the ingested log
+    // into a published index generation (benches measure the serving
+    // path a live deployment would see; the rebuild-race axes measure
+    // the racing case explicitly).
+    cqms.storage.schedule_index_rebuild();
+    cqms.storage.run_index_maintenance();
     LoggedCqms { cqms, trace, users }
 }
 

@@ -27,6 +27,7 @@ pub mod assist;
 pub mod config;
 pub mod error;
 pub mod features;
+pub mod indexreg;
 pub mod maintenance;
 pub mod metaquery;
 pub mod metricindex;

@@ -10,11 +10,15 @@
 //! 2. **Statistics refresh** — re-execute stored queries' runtime statistics
 //!    only when the underlying data distribution drifted ("re-execute
 //!    queries only when there is reason to believe their statistics have
-//!    significantly changed"), popularity-first, under a budget;
+//!    significantly changed"), popularity-first, under a budget. A
+//!    re-execution also refreshes the stored output summary — through
+//!    [`crate::storage::QueryStorage::refresh_summary`] (→ `reindex` → a
+//!    scheduled registry rebuild), never by mutating the record in place,
+//!    so the signature output screens can't silently go stale;
 //! 3. **Quality scoring** — maintain each query's quality measure used by
 //!    the ranking functions.
 
-use crate::config::CqmsConfig;
+use crate::config::{CqmsConfig, ProfilingDepth};
 use crate::error::CqmsError;
 use crate::model::*;
 use crate::storage::QueryStorage;
@@ -227,12 +231,27 @@ pub fn refresh_statistics(
         }
         let stmt = storage.get(*id)?.statement.clone().unwrap();
         if let Ok(res) = engine.execute_statement(&stmt) {
-            let r = storage.get_mut(*id)?;
-            r.runtime.elapsed_us = res.metrics.elapsed.as_micros() as u64;
-            r.runtime.cardinality = res.metrics.cardinality;
-            r.runtime.rows_scanned = res.metrics.rows_scanned;
-            r.runtime.plan = res.metrics.plan;
-            r.runtime.logical_time = res.metrics.logical_time;
+            {
+                let r = storage.get_mut(*id)?;
+                r.runtime.elapsed_us = res.metrics.elapsed.as_micros() as u64;
+                r.runtime.cardinality = res.metrics.cardinality;
+                r.runtime.rows_scanned = res.metrics.rows_scanned;
+                r.runtime.plan = res.metrics.plan.clone();
+                r.runtime.logical_time = res.metrics.logical_time;
+            }
+            // The drifted data also drifted the stored output: refresh
+            // the summary through the sealed setter (→ reindex → the
+            // registry schedules a background rebuild), never in place —
+            // the signature's output row/cell hashes must follow it.
+            let summary = match config.profiling_depth {
+                ProfilingDepth::Full if !res.columns.is_empty() => {
+                    crate::profiler::summarize_output(config, &res)
+                }
+                _ => OutputSummary::None,
+            };
+            if storage.get(*id)?.summary != summary {
+                storage.refresh_summary(*id, summary)?;
+            }
         }
         report.refreshed.push(*id);
     }

@@ -271,6 +271,16 @@ impl<'a> MetaQueryExecutor<'a> {
             // scanning any stored row; a hash hit is re-verified against
             // the rows, so collisions can never flip an answer.
             let sig = self.storage.signature(r.id);
+            // The screen is sound only while summaries are immutable
+            // outside `QueryStorage::refresh_summary`/`reindex`, which
+            // rebuild these hashes. A summary mutated in place through
+            // `get_mut` would silently stale the screen — fail loudly.
+            debug_assert!(
+                sig.map(|g| g.summary_coherent(&r.summary)).unwrap_or(true),
+                "stale output summary on {}: refresh summaries via \
+                 QueryStorage::refresh_summary, never through get_mut",
+                r.id
+            );
             let contains = |s: &crate::model::OutputSummary, v: &str| -> bool {
                 sig.map(|g| g.may_contain_cell(v)).unwrap_or(true) && s.contains_value(v)
             };
@@ -476,12 +486,17 @@ impl<'a> MetaQueryExecutor<'a> {
         top.into_vec()
     }
 
-    /// TreeEdit kNN over the storage's VP-tree (§4.3's exact Zhang–Shasha
-    /// metric, sublinear). The index covers every non-tombstoned record
-    /// with a parse tree; liveness, visibility and the self-match are
-    /// filtered per query through the accept closure, and records without
-    /// a tree — which sit at exactly distance 1.0 — are merged in from a
-    /// cheap scan. Exact: ids and scores match the brute-force scan
+    /// TreeEdit kNN over the registry's published generation and mutable
+    /// head (§4.3's exact Zhang–Shasha metric, sublinear). The sealed
+    /// VP-tree snapshot is taken once per probe (one `Arc` clone — no
+    /// lock is held while searching, and a concurrent background rebuild
+    /// swaps generations without ever blocking this path); records that
+    /// arrived after the seal are served from the head VP-tree, tree-less
+    /// records (exact distance 1.0) from the two side lists, and
+    /// overridden records (reindexed since the covering structure was
+    /// built) are re-evaluated from their live signatures. Liveness,
+    /// visibility and the self-match are filtered per query through the
+    /// accept closure. Exact: ids and scores match the brute-force scan
     /// (`vp_tree_knn_matches_brute_force`).
     fn knn_tree_edit(
         &self,
@@ -508,57 +523,82 @@ impl<'a> MetaQueryExecutor<'a> {
             }
             return top.into_vec();
         };
-        // Tree-less records first (exact distance 1.0, no DP) — merged
-        // from the storage's side list, not a full scan; they all tie at
-        // score 0.0, so the first k visible (ascending ids) suffice.
-        let mut merged = 0usize;
-        for &qid in self.storage.treeless_ids() {
+        let reg = self.storage.indexes();
+        let sealed = reg.sealed();
+        let stats = &reg.stats().tree_edit;
+        let mut accept = |qid: u64| {
+            qid != target.id.0
+                && !reg.overridden(qid)
+                && self
+                    .storage
+                    .get(QueryId(qid))
+                    .map(|r| self.visible(viewer, r))
+                    .unwrap_or(false)
+        };
+        // Overridden records: their sealed/head entries are stale, so
+        // they are masked above and evaluated from the live signature.
+        for qid in reg.override_qids() {
             if qid == target.id.0 {
                 continue;
             }
             let Ok(r) = self.storage.get(QueryId(qid)) else {
                 continue;
             };
-            if self.visible(viewer, r) {
-                top.push(ScoredHit {
-                    id: r.id,
-                    score: 0.0,
-                });
-                merged += 1;
-                if merged >= k {
-                    break;
-                }
+            if !self.visible(viewer, r) {
+                continue;
+            }
+            let sig = self.storage.signature(r.id).expect("signature per record");
+            stats.add_exact(1);
+            top.push(ScoredHit {
+                id: r.id,
+                score: 1.0 - similarity::tree_edit_distance_sig(psig, sig),
+            });
+        }
+        // Tree-less records (exact distance 1.0, no DP) — merged from
+        // the sealed and head side lists (head qids all sit above the
+        // sealed horizon, so the chain stays ascending); they all tie at
+        // score 0.0, so the first k accepted suffice.
+        let mut merged = 0usize;
+        for &qid in sealed.treeless.iter().chain(reg.head_treeless()) {
+            if !accept(qid) {
+                continue;
+            }
+            top.push(ScoredHit {
+                id: QueryId(qid),
+                score: 0.0,
+            });
+            merged += 1;
+            if merged >= k {
+                break;
             }
         }
-        let guard = self.storage.tree_index();
-        let idx = guard.as_ref().expect("tree index built on access");
-        let hits = idx.knn(
-            probe_tree,
-            probe_shape,
-            k,
-            |qid| {
-                qid != target.id.0
-                    && self
-                        .storage
-                        .get(QueryId(qid))
-                        .map(|r| self.visible(viewer, r))
-                        .unwrap_or(false)
-            },
-            &self.storage.metric_stats().tree_edit,
-        );
-        for hit in hits {
-            top.push(hit);
+        // Sealed generation, then the head over post-seal arrivals.
+        for hits in [
+            sealed
+                .tree
+                .knn(probe_tree, probe_shape, k, &mut accept, stats),
+            reg.head_tree()
+                .knn(probe_tree, probe_shape, k, &mut accept, stats),
+        ] {
+            for hit in hits {
+                top.push(hit);
+            }
         }
         top.into_vec()
     }
 
-    /// ParseTree (diff-based) kNN as a lower-bound-ordered sweep,
-    /// mirroring the Combined sweep: every candidate gets a cheap
-    /// [`sqlparse::edit_distance_lower_bound`] from the precomputed
-    /// SELECT profiles (a few sorted-hash merges — orders of magnitude
-    /// cheaper than the exact diff, and tight on workload pairs), records
-    /// are visited in bound order and the exact diff only runs while a
-    /// record could still enter the top k. Exact:
+    /// ParseTree (diff-based) kNN over the registry's profile-fingerprint
+    /// groups: records whose diff-folded SELECTs are identical share one
+    /// [`sqlparse::edit_distance_lower_bound`] *and* one exact diff — the
+    /// per-probe bound work scales with the number of distinct folded
+    /// SELECTs, not with the number of logged queries (a duplicate-heavy
+    /// log of one template costs one evaluation, however large). Groups
+    /// from the sealed generation and the mutable head are swept together
+    /// in bound order, the exact diff runs once per admissible group, and
+    /// its distance fans out to the group's visible members. Records
+    /// without a folded SELECT (non-SELECT or unparseable statements) are
+    /// evaluated per record from the side lists, and overridden records
+    /// from their live signatures. Exact:
     /// `parsetree_bounded_knn_matches_brute_force`.
     fn knn_parse_tree(
         &self,
@@ -567,53 +607,154 @@ impl<'a> MetaQueryExecutor<'a> {
         psig: &crate::signature::SimSignature,
         k: usize,
     ) -> Vec<ScoredHit> {
-        let stats = &self.storage.metric_stats().parse_tree;
+        let reg = self.storage.indexes();
+        let stats = &reg.stats().parse_tree;
         let mut top = TopK::new(k);
-        let mut bounds: Vec<(f64, QueryId)> = Vec::new();
-        for r in self.storage.iter_live() {
-            if r.id == target.id || !self.visible(viewer, r) {
-                continue;
+        // Evaluate one record exactly from its live signature.
+        let exact = |qid: u64, top: &mut TopK| {
+            let Ok(r) = self.storage.get(QueryId(qid)) else {
+                return;
+            };
+            if r.id == target.id || !r.is_live() || !self.visible(viewer, r) {
+                return;
             }
             let sig = self.storage.signature(r.id).expect("signature per record");
-            match (&psig.diff_profile, &sig.diff_profile) {
-                (Some(pa), Some(pb)) => {
-                    bounds.push((sqlparse::edit_distance_lower_bound(pa, pb), r.id));
+            let d = similarity::tree_distance_sig(target, psig, r, sig);
+            stats.add_exact(1);
+            top.push(ScoredHit {
+                id: r.id,
+                score: 1.0 - d,
+            });
+        };
+        let (Some(pa), Some(probe_folded)) = (&psig.diff_profile, &psig.folded_select) else {
+            // Probe without a folded SELECT: every pair is an O(1)-ish
+            // statement comparison — a plain scan is already optimal.
+            for r in self.storage.iter_live() {
+                exact(r.id.0, &mut top);
+            }
+            return top.into_vec();
+        };
+        let sealed = reg.sealed();
+        // Overridden records (stale group membership) and the ungrouped
+        // complement: exact per record, masked out of the group sweep.
+        for qid in reg.override_qids() {
+            exact(qid, &mut top);
+        }
+        for &qid in sealed.ungrouped.iter().chain(reg.head_ungrouped()) {
+            if !reg.overridden(qid) {
+                exact(qid, &mut top);
+            }
+        }
+        // Sweep unit: a template's member lists from the sealed
+        // generation and (when the template straddles the horizon) the
+        // head, merged so one bound + one exact diff covers both —
+        // without the merge, every popular template re-logged after a
+        // publish would be evaluated twice per probe until the next
+        // rebuild. Sealed qids all sit below head qids, so chaining the
+        // two parts keeps member order ascending.
+        struct SweepGroup<'g> {
+            folded: &'g std::sync::Arc<sqlparse::SelectStatement>,
+            profile: &'g sqlparse::SelectProfile,
+            parts: [&'g [u64]; 2],
+        }
+        let mut groups: Vec<SweepGroup<'_>> = sealed
+            .groups
+            .iter()
+            .map(|g| SweepGroup {
+                folded: &g.folded,
+                profile: &g.profile,
+                parts: [&g.members, &[]],
+            })
+            .collect();
+        for hg in reg.head_groups().iter() {
+            // Sealed indices come first in `groups`, in iteration order,
+            // so the sealed bucket's indices address it directly.
+            let twin = sealed.groups.bucket(hg.fp).iter().copied().find(|&i| {
+                let sg = &groups[i as usize];
+                std::sync::Arc::ptr_eq(sg.folded, &hg.folded) || *sg.folded == hg.folded
+            });
+            match twin {
+                Some(i) => groups[i as usize].parts[1] = &hg.members,
+                None => groups.push(SweepGroup {
+                    folded: &hg.folded,
+                    profile: &hg.profile,
+                    parts: [&hg.members, &[]],
+                }),
+            }
+        }
+        // Bound ascending (ties by smallest member qid so the plateau
+        // shortcut below stays exact).
+        let mut order: Vec<(f64, u32)> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| {
+                (
+                    sqlparse::edit_distance_lower_bound(pa, g.profile),
+                    gi as u32,
+                )
+            })
+            .collect();
+        order.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    groups[a.1 as usize].parts[0][0].cmp(&groups[b.1 as usize].parts[0][0])
+                })
+        });
+        let member_count = |g: &SweepGroup<'_>| (g.parts[0].len() + g.parts[1].len()) as u64;
+        let mut next = 0usize;
+        while next < order.len() {
+            let (lb, gi) = order[next];
+            next += 1;
+            let g = &groups[gi as usize];
+            if let Some(w) = top.worst() {
+                let bound_score = 1.0 - lb;
+                if bound_score < w.score {
+                    // Bound-ordered: no remaining group can enter the top k.
+                    let skipped: u64 = order[next - 1..]
+                        .iter()
+                        .map(|&(_, i)| member_count(&groups[i as usize]))
+                        .sum();
+                    stats.add_hits(skipped);
+                    break;
                 }
-                _ => {
-                    // No SELECT pair: the exact distance is an O(1)-ish
-                    // statement comparison — no reason to defer it.
-                    let d = similarity::tree_distance_sig(target, psig, r, sig);
-                    stats.add_exact(1);
+                // Tie plateau: a group whose *bound* only ties the k-th
+                // score can at best tie it exactly (exact ≥ bound), and
+                // members are ascending — if even the smallest cannot win
+                // the id tie-break, no member can.
+                if bound_score == w.score && g.parts[0][0] > w.id.0 {
+                    stats.add_hits(member_count(g));
+                    continue;
+                }
+            }
+            // One exact diff for the whole template.
+            let d = sqlparse::diff::edit_distance_normalized_folded(probe_folded, g.folded);
+            stats.add_exact(1);
+            stats.add_hits(member_count(g) - 1);
+            // Members tie at the same score, ascending ids: only the
+            // first k accepted can matter.
+            let mut pushed = 0usize;
+            'members: for part in g.parts {
+                for &qid in part {
+                    if qid == target.id.0 || reg.overridden(qid) {
+                        continue;
+                    }
+                    let Ok(r) = self.storage.get(QueryId(qid)) else {
+                        continue;
+                    };
+                    if !self.visible(viewer, r) {
+                        continue;
+                    }
                     top.push(ScoredHit {
                         id: r.id,
                         score: 1.0 - d,
                     });
+                    pushed += 1;
+                    if pushed >= k {
+                        break 'members;
+                    }
                 }
             }
-        }
-        let mut sweep = BoundSweep::new(bounds, k);
-        while let Some((lb, id)) = sweep.next() {
-            if let Some(w) = top.worst() {
-                let bound_score = 1.0 - lb;
-                if bound_score < w.score {
-                    // Every remaining bound is at least as large.
-                    stats.add_hits(sweep.remaining() as u64 + 1);
-                    break;
-                }
-                // Tie plateau: a candidate whose *bound* only ties the
-                // k-th score can at best tie it exactly (exact ≥ bound),
-                // and a tie with a larger id never displaces — skip the
-                // whole plateau tail without running the diff.
-                if bound_score == w.score && id > w.id {
-                    stats.add_hits(1);
-                    continue;
-                }
-            }
-            let r = self.storage.get(id).expect("bounded ids exist");
-            let sig = self.storage.signature(id).expect("signature per record");
-            let d = similarity::tree_distance_sig(target, psig, r, sig);
-            stats.add_exact(1);
-            top.push(ScoredHit { id, score: 1.0 - d });
         }
         top.into_vec()
     }
@@ -679,11 +820,6 @@ impl BoundSweep {
             i: 0,
             tail_sorted,
         }
-    }
-
-    /// Entries not yet yielded (for bound-hit accounting on early exit).
-    fn remaining(&self) -> usize {
-        self.bounds.len() - self.i
     }
 
     fn next(&mut self) -> Option<(f64, QueryId)> {
@@ -1025,6 +1161,134 @@ mod tests {
         assert_eq!(hits, vec![QueryId(0)]);
         // And indeed that query specifies temp < 18.
         assert!(st.get(QueryId(0)).unwrap().raw_sql.contains("temp < 18"));
+    }
+
+    /// Acceptance: no TreeEdit/ParseTree probe ever executes an inline
+    /// full index rebuild. Forcing the tombstone threshold only
+    /// *schedules* a rebuild; probes keep reading the published
+    /// generation (the `MetricIndexStats` generation counter is
+    /// untouched by any number of probes) and stay exact; the rebuild
+    /// runs in the miner-epoch maintenance pass and becomes visible
+    /// after exactly one atomic swap (+1 on the counter).
+    #[test]
+    fn probes_never_rebuild_inline() {
+        use std::sync::atomic::Ordering;
+        let mut st = QueryStorage::new();
+        for i in 0..12u64 {
+            add(
+                &mut st,
+                i,
+                1,
+                &format!("SELECT * FROM WaterTemp WHERE temp < {i}"),
+                Visibility::Public,
+            );
+        }
+        add(
+            &mut st,
+            12,
+            1,
+            "SELECT city FROM CityLocations",
+            Visibility::Public,
+        );
+        // Seal the log into generation 1 (the steady state a running
+        // miner maintains).
+        st.schedule_index_rebuild();
+        st.run_index_maintenance();
+        assert_eq!(st.index_generation(), 1);
+        let brute = |st: &QueryStorage, _dir: &Directory, cfg: &CqmsConfig, m| {
+            let probe = st.get(QueryId(12)).unwrap().clone();
+            let psig = st.probe_signature(&probe);
+            let mut hits: Vec<ScoredHit> = st
+                .iter_live()
+                .filter(|r| r.id != probe.id)
+                .map(|r| ScoredHit {
+                    id: r.id,
+                    score: 1.0
+                        - crate::similarity::distance_with(
+                            &probe,
+                            &psig,
+                            r,
+                            st.signature(r.id).unwrap(),
+                            m,
+                            cfg,
+                        ),
+                })
+                .collect();
+            hits.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap()
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+            hits.truncate(3);
+            hits
+        };
+        // Force the tombstone threshold: > 25% of indexed records die.
+        for i in 0..5u64 {
+            st.delete(QueryId(i)).unwrap();
+        }
+        assert!(st.index_rebuild_pending(), "threshold schedules");
+        assert_eq!(st.index_generation(), 1, "…but does not rebuild");
+        let (dir, cfg) = (Directory::new(), CqmsConfig::default());
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
+        let probe = st.get(QueryId(12)).unwrap().clone();
+        for metric in [DistanceKind::TreeEdit, DistanceKind::ParseTree] {
+            let got = mq.knn(UserId(1), &probe, 3, metric);
+            assert_eq!(got, brute(&st, &dir, &cfg, metric), "{metric:?}");
+        }
+        // Probes read the published generation; they never advance it.
+        assert_eq!(st.index_generation(), 1);
+        assert!(st.index_rebuild_pending());
+        assert_eq!(
+            st.metric_stats().rebuilds_completed.load(Ordering::Relaxed),
+            1
+        );
+        // The miner-epoch pass publishes with one atomic swap.
+        assert!(st.run_index_maintenance());
+        assert_eq!(st.index_generation(), 2);
+        assert!(!st.index_rebuild_pending());
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
+        for metric in [DistanceKind::TreeEdit, DistanceKind::ParseTree] {
+            let got = mq.knn(UserId(1), &probe, 3, metric);
+            assert_eq!(got, brute(&st, &dir, &cfg, metric), "{metric:?} post-swap");
+        }
+    }
+
+    /// The grouped ParseTree sweep does one exact diff per distinct
+    /// folded SELECT, not per record: a duplicate-heavy store costs the
+    /// probe the same number of exact evaluations as its tiny template
+    /// pool.
+    #[test]
+    fn parse_tree_group_sweep_scales_with_groups() {
+        use std::sync::atomic::Ordering;
+        let mut st = QueryStorage::new();
+        // 120 records re-running 3 distinct statements (the popular-query
+        // pattern: identical SQL logged over and over, differing only in
+        // letter case — folded away by the differ).
+        for i in 0..120u64 {
+            let sql = match i % 3 {
+                0 if i % 2 == 0 => "SELECT * FROM WaterTemp WHERE temp < 18",
+                0 => "select * from watertemp where temp < 18",
+                1 => "SELECT city FROM CityLocations WHERE pop > 1000",
+                _ => "SELECT * FROM Lakes WHERE area > 50",
+            };
+            add(&mut st, i, 1, sql, Visibility::Public);
+        }
+        st.schedule_index_rebuild();
+        st.run_index_maintenance();
+        assert_eq!(st.indexes().sealed().groups.len(), 3);
+        let (dir, cfg) = (Directory::new(), CqmsConfig::default());
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
+        let probe = st.get(QueryId(0)).unwrap().clone();
+        st.metric_stats().parse_tree.reset();
+        let hits = mq.knn(UserId(1), &probe, 5, DistanceKind::ParseTree);
+        assert_eq!(hits.len(), 5);
+        let exact = st
+            .metric_stats()
+            .parse_tree
+            .exact_evals
+            .load(Ordering::Relaxed);
+        assert!(exact <= 3, "one diff per group, got {exact}");
     }
 
     #[test]

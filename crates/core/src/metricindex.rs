@@ -25,8 +25,10 @@
 //! The tree indexes every non-tombstoned record that has a parse tree —
 //! including currently flagged/obsoleted ones, which maintenance may
 //! revive — and filters liveness/visibility at query time through the
-//! caller's `accept` closure. Tombstones accumulate as dead weight and
-//! trigger a lazy rebuild once they exceed [`REBUILD_DEAD_FRACTION`].
+//! caller's `accept` closure. Tombstones accumulate as dead weight; the
+//! [`crate::indexreg::IndexRegistry`] counts them and *schedules* a
+//! background rebuild once they exceed [`REBUILD_DEAD_FRACTION`] — the
+//! probe path itself never rebuilds.
 
 use crate::metaquery::{ScoredHit, TopK};
 use crate::model::QueryId;
@@ -42,8 +44,8 @@ use std::sync::Arc;
 /// leaves; 128 measured best on the e7 workload by a wide margin.
 const LEAF_CAP: usize = 128;
 
-/// Tombstone fraction beyond which the storage drops the index and
-/// rebuilds it lazily on the next tree-metric kNN.
+/// Tombstone fraction beyond which the index registry schedules a
+/// background rebuild into the next miner epoch.
 pub const REBUILD_DEAD_FRACTION: f64 = 0.25;
 
 /// Sentinel for "no parent pivot" (entries in a root-level leaf).
@@ -86,19 +88,32 @@ impl MetricStats {
     }
 }
 
-/// Per-metric stats owned by the Query Storage.
+/// Per-metric stats plus generation observability, owned by the index
+/// registry (reachable through `QueryStorage::metric_stats`).
 #[derive(Debug, Default)]
 pub struct MetricIndexStats {
     pub tree_edit: MetricStats,
     pub parse_tree: MetricStats,
+    /// The published structural-index generation (0 until the first
+    /// background rebuild publishes). Bumped by exactly 1 per atomic
+    /// swap — tests assert probes never advance it.
+    pub generation: AtomicU64,
+    /// Rebuilds requested (tombstone threshold, reindex, summary
+    /// refresh) since process start.
+    pub rebuilds_scheduled: AtomicU64,
+    /// Rebuilds built + published since process start.
+    pub rebuilds_completed: AtomicU64,
 }
 
-/// One indexed record: its id, cached constant-stripped tree and shape.
+/// One indexed record: its id, cached constant-stripped tree and shape
+/// (both `Arc`-shared with the record's signature — index entries own no
+/// per-entry heap blocks, so building or retiring a whole generation
+/// never scatters allocations through the record heap).
 #[derive(Debug, Clone)]
 pub struct TreeEntry {
     pub qid: u64,
     pub tree: Arc<TreeNode>,
-    pub shape: TreeShape,
+    pub shape: Arc<TreeShape>,
 }
 
 /// Aggregate description of one child subtree: the pivot-distance band
@@ -188,9 +203,6 @@ pub struct VpTree {
     entries: Vec<TreeEntry>,
     root: Option<Node>,
     leaf_cap: usize,
-    /// Entries whose records have been tombstoned since the build — dead
-    /// weight the next rebuild drops.
-    dead: usize,
 }
 
 impl VpTree {
@@ -214,7 +226,6 @@ impl VpTree {
             entries,
             root,
             leaf_cap,
-            dead: 0,
         }
     }
 
@@ -224,13 +235,6 @@ impl VpTree {
 
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
-    }
-
-    /// Note one indexed record tombstoned. Returns the dead fraction so
-    /// the caller can decide to drop + rebuild.
-    pub fn note_dead(&mut self) -> f64 {
-        self.dead += 1;
-        self.dead as f64 / self.entries.len().max(1) as f64
     }
 
     /// Incrementally insert a new record: descend by pivot distance,
@@ -534,7 +538,7 @@ mod tests {
         let tree = Arc::new(statement_tree(&sqlparse::strip_constants(
             &sqlparse::parse(sql).unwrap(),
         )));
-        let shape = TreeShape::of(&tree);
+        let shape = Arc::new(TreeShape::of(&tree));
         TreeEntry { qid, tree, shape }
     }
 
@@ -711,15 +715,5 @@ mod tests {
         assert!(empty
             .knn(&probe.tree, &probe.shape, 3, |_| true, &stats)
             .is_empty());
-    }
-
-    #[test]
-    fn dead_fraction_tracks_tombstones() {
-        let mut vp = VpTree::build(pool());
-        assert!(vp.note_dead() < REBUILD_DEAD_FRACTION);
-        for _ in 0..5 {
-            vp.note_dead();
-        }
-        assert!(vp.note_dead() > REBUILD_DEAD_FRACTION);
     }
 }

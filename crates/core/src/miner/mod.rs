@@ -9,6 +9,14 @@
 //! * [`tutorial`] — automatic tutorial generation (§2.3: "introduce each
 //!   relation … by showing the user the most popular queries that include
 //!   the relation").
+//!
+//! The miner epoch is also where *scheduled index rebuilds* execute: the
+//! Query Storage's [`crate::indexreg::IndexRegistry`] only ever flags
+//! that a structural rebuild is wanted (tombstone threshold, maintenance
+//! reindex, summary refresh), and [`crate::server::Cqms::run_miner_epoch`]
+//! / the background miner thread build generation N+1 — off the write
+//! lock when driven through the service layer — and publish it with one
+//! atomic swap, keeping index maintenance entirely off the query path.
 
 pub mod assoc;
 pub mod cluster;

@@ -228,8 +228,9 @@ fn table_overlap(a: &SyntacticFeatures, b: &SyntacticFeatures) -> f64 {
 
 /// §4.1's adaptive rule: store the full output when it is small relative to
 /// how expensive the query was; otherwise store a deterministic reservoir
-/// sample.
-fn summarize_output(config: &CqmsConfig, r: &QueryResult) -> OutputSummary {
+/// sample. Shared with the maintenance statistics refresh, whose summary
+/// updates flow through `QueryStorage::refresh_summary`.
+pub(crate) fn summarize_output(config: &CqmsConfig, r: &QueryResult) -> OutputSummary {
     let budget = config.full_output_budget(r.metrics.elapsed.as_micros() as u64);
     let columns = r.columns.clone();
     if (r.rows.len() as u64) <= budget {

@@ -39,6 +39,10 @@ pub struct MinerReport {
     pub clustering_cost: f64,
     pub sessions_refined: usize,
     pub edit_edges_mined: usize,
+    /// Did this epoch build + publish a scheduled index generation?
+    pub index_rebuilt: bool,
+    /// The structural-index generation published after this epoch.
+    pub index_generation: u64,
 }
 
 /// The Collaborative Query Management System.
@@ -295,10 +299,36 @@ impl Cqms {
     // Query Miner (§4.3)
     // ------------------------------------------------------------------
 
-    /// Run one miner epoch: refresh association rules, re-cluster the log,
-    /// refine session boundaries, mine edit patterns.
+    /// Run one miner epoch: execute any scheduled index rebuild, refresh
+    /// association rules, re-cluster the log, refine session boundaries,
+    /// mine edit patterns.
     pub fn run_miner_epoch(&mut self) -> MinerReport {
-        let mut report = MinerReport::default();
+        self.miner_epoch(true)
+    }
+
+    /// The epoch body. `execute_rebuild` controls whether a scheduled
+    /// index rebuild runs *inline* (synchronous callers, who already
+    /// hold exclusive access and expect the epoch to leave the indexes
+    /// fresh) or is left pending (the background miner thread, which
+    /// must never build under the write lock — it defers to its own
+    /// off-lock collect/build on the next cycle instead of stalling
+    /// every reader for the O(n log n) build).
+    pub(crate) fn miner_epoch(&mut self, execute_rebuild: bool) -> MinerReport {
+        // Scheduled index maintenance first (tombstone threshold,
+        // reindex, summary refresh): the rebuild the query path only
+        // ever *requests* runs here, plus the queued posting
+        // compactions.
+        let index_rebuilt = if execute_rebuild {
+            self.storage.run_index_maintenance()
+        } else {
+            self.storage.compact_postings();
+            false
+        };
+        let mut report = MinerReport {
+            index_rebuilt,
+            index_generation: self.storage.index_generation(),
+            ..MinerReport::default()
+        };
 
         // Association rules.
         self.last_rules = self.rules.mine(
@@ -543,10 +573,33 @@ impl Drop for BackgroundMiner {
 /// lock, the lock waits on the joiner's guard. Transient contention still
 /// gets its epoch via the retries; a lock held for the whole grace period
 /// skips the epoch instead of hanging. Returns whether the epoch ran.
+///
+/// A scheduled index rebuild is double-buffered here: the snapshot is
+/// collected under a momentary read lock (cheap `Arc` clones), the
+/// O(n log n) build of generation N+1 then runs with no lock held —
+/// readers *and* writers keep working against generation N the whole
+/// time — and the publish under the write lock only replays the
+/// mid-build delta and performs the single atomic swap.
 fn try_miner_epoch(cqms: &RwLock<Cqms>) -> bool {
+    let snapshot = cqms.try_read().and_then(|guard| {
+        guard
+            .storage
+            .index_rebuild_pending()
+            .then(|| guard.storage.collect_index_rebuild())
+    });
+    let mut build = snapshot.map(crate::indexreg::RebuildSnapshot::build); // off-lock
     for _ in 0..500 {
         if let Some(mut guard) = cqms.try_write() {
-            guard.run_miner_epoch();
+            if let Some(b) = build.take() {
+                // A racing explicit rebuild may have published newer
+                // content already — a discarded build just leaves the
+                // schedule pending for the next cycle.
+                let _ = guard.storage.publish_index_rebuild(b);
+            }
+            // A rebuild that became pending after (or was invisible to)
+            // the off-lock collect is *deferred* to the next cycle's
+            // collect/build — never built inline under the write lock.
+            guard.miner_epoch(false);
             return true;
         }
         std::thread::sleep(Duration::from_millis(2));

@@ -181,6 +181,11 @@ impl CqmsService {
         self.cqms.read().storage.live_count()
     }
 
+    /// The published structural-index generation number.
+    pub fn index_generation(&self) -> u64 {
+        self.cqms.read().storage.index_generation()
+    }
+
     /// Current trace time.
     pub fn now(&self) -> u64 {
         self.cqms.read().now()
@@ -275,6 +280,28 @@ impl CqmsService {
 
     pub fn run_maintenance(&self) -> Result<(MaintenanceReport, RefreshReport), CqmsError> {
         self.cqms.write().run_maintenance()
+    }
+
+    /// Execute a scheduled index rebuild, double-buffered: the snapshot
+    /// is collected under a *momentary* read lock (per-record `Arc`
+    /// clones only), the O(n log n) build of generation N+1 then runs
+    /// with **no lock held** — concurrent searches *and* writers proceed
+    /// against generation N the whole time — and the write lock is taken
+    /// only for the delta replay of whatever landed mid-build plus the
+    /// single atomic swap. Returns `false` when no rebuild was
+    /// scheduled. (The background miner does the same dance on its own
+    /// thread; this entry point is for explicit maintenance and the
+    /// rebuild-race benches/tests.)
+    pub fn rebuild_indexes(&self) -> bool {
+        let snapshot = {
+            let guard = self.cqms.read();
+            if !guard.storage.index_rebuild_pending() {
+                return false;
+            }
+            guard.storage.collect_index_rebuild()
+        };
+        let build = snapshot.build(); // off-lock
+        self.cqms.write().storage.publish_index_rebuild(build)
     }
 
     // ------------------------------------------------------------------

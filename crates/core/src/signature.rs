@@ -108,16 +108,24 @@ pub struct SimSignature {
     /// Size + node-label histogram of `tree` (present iff `tree` is):
     /// feeds the Zhang–Shasha lower bound that rejects a pair before the
     /// O(tree²) DP runs, and the metric index's size-gap pruning.
-    pub tree_shape: Option<TreeShape>,
+    /// `Arc`-shared with every index entry that carries it, so sealing
+    /// or dropping a generation never clones or frees histograms.
+    pub tree_shape: Option<Arc<TreeShape>>,
     /// Folded SELECT-clause profile (present iff the statement is a
-    /// SELECT): feeds the ParseTree diff lower bound. Boxed to keep the
-    /// signature itself slim — paths that scan every signature (output
-    /// screens, feature merges) never touch the profile.
-    pub diff_profile: Option<Box<SelectProfile>>,
+    /// SELECT): feeds the ParseTree diff lower bound. Behind a pointer
+    /// to keep the signature itself slim — paths that scan every
+    /// signature (output screens, feature merges) never touch the
+    /// profile — and `Arc`-shared with the registry's profile groups.
+    pub diff_profile: Option<Arc<SelectProfile>>,
     /// The diff-folded statement itself (present iff the statement is a
     /// SELECT): lets exact ParseTree diffs skip the two per-pair clones
     /// ([`sqlparse::diff::edit_distance_normalized_folded`]).
     pub folded_select: Option<Arc<sqlparse::SelectStatement>>,
+    /// FNV fingerprint of the printed folded SELECT (present iff
+    /// `folded_select` is): the index registry's profile-fingerprint
+    /// grouping buckets by it (and verifies structural equality, so a
+    /// collision can never merge two templates).
+    pub profile_fp: Option<u64>,
     /// 64-bit bloom over the interned feature ids (all three namespaces,
     /// bit `id & 63`): non-overlapping blooms *prove* the feature sets
     /// disjoint, so the miner's distance matrix and session clustering can
@@ -179,16 +187,18 @@ impl SimSignature {
             .statement
             .as_ref()
             .map(|s| Arc::new(sqlparse::statement_tree(&sqlparse::strip_constants(s))));
-        let tree_shape = tree.as_deref().map(TreeShape::of);
-        let (diff_profile, folded_select) = match &record.statement {
+        let tree_shape = tree.as_deref().map(|t| Arc::new(TreeShape::of(t)));
+        let (diff_profile, folded_select, profile_fp) = match &record.statement {
             Some(sqlparse::Statement::Select(s)) => {
                 let folded = sqlparse::diff::fold_for_diff(s);
+                let fp = fnv1a(sqlparse::printer::select_to_sql(&folded).as_bytes());
                 (
-                    Some(Box::new(SelectProfile::of_folded(&folded))),
+                    Some(Arc::new(SelectProfile::of_folded(&folded))),
                     Some(Arc::new(folded)),
+                    Some(fp),
                 )
             }
-            _ => (None, None),
+            _ => (None, None, None),
         };
 
         let (output_rows, output_cells) = match &record.summary {
@@ -229,6 +239,7 @@ impl SimSignature {
             tree_shape,
             diff_profile,
             folded_select,
+            profile_fp,
             feature_bloom,
             output_rows,
             output_cells,
@@ -254,6 +265,31 @@ impl SimSignature {
             Some(cells) => cells
                 .binary_search(&fnv1a(value.to_ascii_lowercase().as_bytes()))
                 .is_ok(),
+        }
+    }
+
+    /// Does this signature's hashed output state still describe
+    /// `summary`? Summaries are immutable after insert *except* through
+    /// `QueryStorage::refresh_summary`/`reindex`, which rebuild the
+    /// signature — a mismatch here means someone mutated the summary in
+    /// place and the output-cell screens would silently go stale. Debug
+    /// assertions on the query-by-data path enforce the invariant.
+    pub fn summary_coherent(&self, summary: &OutputSummary) -> bool {
+        match (summary, &self.output_rows) {
+            (OutputSummary::None, None) => self.output_cells.is_none(),
+            (
+                OutputSummary::Full { rows, .. } | OutputSummary::Sample { rows, .. },
+                Some(hashes),
+            ) => {
+                let mut fresh: Vec<u64> = rows
+                    .iter()
+                    .map(|r| fnv1a(r.join("\u{1}").as_bytes()))
+                    .collect();
+                fresh.sort_unstable();
+                fresh.dedup();
+                fresh == *hashes
+            }
+            _ => false,
         }
     }
 }

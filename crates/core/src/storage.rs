@@ -14,13 +14,13 @@
 
 use crate::error::CqmsError;
 use crate::features::{self, SyntacticFeatures};
-use crate::metricindex::{MetricIndexStats, TreeEntry, VpTree, REBUILD_DEAD_FRACTION};
+use crate::indexreg::{IndexBuild, IndexRegistry, RebuildSnapshot};
+use crate::metricindex::MetricIndexStats;
 use crate::model::*;
-use crate::postings::{self, PostingCursor, PostingList};
+use crate::postings::PostingList;
 use crate::signature::{FeatureInterner, SimSignature};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::sync::{Arc, RwLock, RwLockReadGuard};
 use textindex::{InvertedIndex, TrigramIndex};
 
 /// The CQMS query store.
@@ -39,27 +39,13 @@ pub struct QueryStorage {
     interner: FeatureInterner,
     /// Per-record similarity signatures, parallel to `records`.
     signatures: Vec<SimSignature>,
-    /// Inverted feature-posting index: interned feature id → sorted qids
-    /// of records carrying that feature. Every *live* record is present in
-    /// each of its lists; non-live records may linger as stale entries
-    /// until the list's lazy compaction pass (see [`crate::postings`]) —
-    /// consumers filter candidates by liveness anyway, and the kNN
-    /// pruning argument only needs live non-candidates to be provably
-    /// feature-disjoint.
-    postings: HashMap<u32, PostingList>,
-    /// Lazily built VP-tree over the tree-edit metric (all non-tombstoned
-    /// records with a parse tree; liveness/ACL filtered at query time).
-    /// Dropped for a lazy rebuild when reindex invalidates a tree or
-    /// tombstones pass [`REBUILD_DEAD_FRACTION`].
-    tree_index: RwLock<Option<VpTree>>,
-    /// Cheap-bound effectiveness counters for the tree metrics.
-    metric_stats: MetricIndexStats,
-    /// Sorted qids of non-tombstoned records *without* a parse tree (the
-    /// VP-tree's complement — they sit at exactly distance 1.0 under tree
-    /// metrics). Typically a tiny minority; TreeEdit kNN merges them from
-    /// here instead of scanning every live record. Liveness/ACL are
-    /// filtered at query time, so `set_validity` needs no update here.
-    treeless: Vec<u64>,
+    /// All derived index state — feature postings, the sealed structural
+    /// generation (VP-tree, tree-less list, ParseTree profile groups),
+    /// the mutable head, the override log and the rebuild schedule. See
+    /// [`crate::indexreg`] for the generation lifecycle; probes read it
+    /// through [`QueryStorage::indexes`], rebuilds run in the background
+    /// miner epoch.
+    indexes: IndexRegistry,
     /// Incrementally maintained count of live records (kept coherent by
     /// `insert`/`delete`/`set_validity`; validity must never be flipped
     /// through `get_mut`).
@@ -87,10 +73,7 @@ impl QueryStorage {
             next_session: 0,
             interner: FeatureInterner::new(),
             signatures: Vec::new(),
-            postings: HashMap::new(),
-            tree_index: RwLock::new(None),
-            metric_stats: MetricIndexStats::default(),
-            treeless: Vec::new(),
+            indexes: IndexRegistry::new(),
             live: 0,
         }
     }
@@ -166,27 +149,15 @@ impl QueryStorage {
         // matching the state set_validity/delete leave behind.
         let sig = SimSignature::build(&record, &mut self.interner);
         if record.is_live() {
-            for fid in sig.feature_ids() {
-                self.postings.entry(fid).or_default().append(id.0);
-            }
+            self.indexes.post(&sig, id.0);
             self.live += 1;
         }
-        // Keep an already-built VP-tree coherent: every non-tombstoned
-        // record with a parse tree is indexed (flagged records may be
-        // repaired later; tombstones never come back). Tree-less records
-        // go on the side list instead.
+        // Index the record into the registry's mutable head: every
+        // non-tombstoned record is indexed (flagged records may be
+        // repaired later; tombstones never come back), and the sealed
+        // generation stays untouched until the next background rebuild.
         if !tombstoned {
-            if let (Some(tree), Some(shape)) = (&sig.tree, &sig.tree_shape) {
-                if let Some(idx) = self.tree_index.get_mut().expect("tree index lock").as_mut() {
-                    idx.insert(TreeEntry {
-                        qid: id.0,
-                        tree: Arc::clone(tree),
-                        shape: shape.clone(),
-                    });
-                }
-            } else {
-                self.treeless.push(id.0);
-            }
+            self.indexes.note_insert(&record, &sig);
         }
         self.signatures.push(sig);
         self.records.push(record);
@@ -333,24 +304,12 @@ impl QueryStorage {
         if let Some(c) = self.template_counts.get_mut(&tfp) {
             *c = c.saturating_sub(1);
         }
-        // Tombstones are permanent dead weight in the VP-tree: count them,
-        // and drop the index for a lazy rebuild past the threshold.
-        // Tree-less tombstones just leave the side list.
-        let had_tree = self
-            .signatures
-            .get(id.0 as usize)
-            .map(|s| s.tree.is_some())
-            .unwrap_or(false);
-        if had_tree {
-            let slot = self.tree_index.get_mut().expect("tree index lock");
-            if let Some(idx) = slot.as_mut() {
-                if idx.note_dead() > REBUILD_DEAD_FRACTION {
-                    *slot = None;
-                }
-            }
-        } else if let Ok(pos) = self.treeless.binary_search(&id.0) {
-            self.treeless.remove(pos);
-        }
+        // Tombstones are permanent dead weight in the structural indexes
+        // (probes filter them by liveness — VP-tree entries and side-list
+        // ids alike): the registry counts them and schedules a background
+        // rebuild past the threshold — the probe path keeps serving the
+        // published generation either way.
+        self.indexes.note_tombstone();
         Ok(())
     }
 
@@ -417,15 +376,13 @@ impl QueryStorage {
     /// live→non-live transition; those flip back to alive instead of
     /// duplicating.
     fn ensure_posted(&mut self, id: QueryId) {
-        let Some(sig) = self.signatures.get(id.0 as usize) else {
-            return;
-        };
-        for fid in sig.feature_ids() {
-            let list = self.postings.entry(fid).or_default();
-            if !list.insert(id.0) {
-                // Already present ⇒ it was counted stale; revive it.
-                list.mark_alive();
-            }
+        let QueryStorage {
+            signatures,
+            indexes,
+            ..
+        } = self;
+        if let Some(sig) = signatures.get(id.0 as usize) {
+            indexes.repost(sig, id.0);
         }
     }
 
@@ -434,34 +391,17 @@ impl QueryStorage {
     /// always present in each of their lists (insert appends, revival
     /// re-inserts, compaction retains them), so no membership check is
     /// needed — marking is O(1) per list. A list whose stale fraction
-    /// passes the threshold is compacted down to its currently-live
-    /// members; one left empty is dropped from the map.
+    /// passes the threshold is *queued* for the registry's background
+    /// compaction pass ([`QueryStorage::compact_postings`]) instead of
+    /// being compacted inline.
     fn mark_dead_postings(&mut self, id: QueryId) {
         let QueryStorage {
             signatures,
-            postings,
-            records,
+            indexes,
             ..
         } = self;
-        let Some(sig) = signatures.get(id.0 as usize) else {
-            return;
-        };
-        for fid in sig.feature_ids() {
-            if let Some(list) = postings.get_mut(&fid) {
-                debug_assert!(list.contains(id.0), "live record missing from posting");
-                list.mark_dead();
-                if list.needs_compaction() {
-                    list.retain(|q| {
-                        records
-                            .get(q as usize)
-                            .map(QueryRecord::is_live)
-                            .unwrap_or(false)
-                    });
-                    if list.is_empty() {
-                        postings.remove(&fid);
-                    }
-                }
-            }
+        if let Some(sig) = signatures.get(id.0 as usize) {
+            indexes.mark_stale(sig, id.0);
         }
     }
 
@@ -470,7 +410,7 @@ impl QueryStorage {
     fn remove_postings(&mut self, id: QueryId) {
         let QueryStorage {
             signatures,
-            postings,
+            indexes,
             records,
             ..
         } = self;
@@ -481,20 +421,19 @@ impl QueryStorage {
             .get(id.0 as usize)
             .map(|r| !r.is_live())
             .unwrap_or(true);
-        for fid in sig.feature_ids() {
-            if let Some(list) = postings.get_mut(&fid) {
-                if list.remove(id.0) && non_live {
-                    // The entry was counted stale; the counter follows it out.
-                    list.mark_alive();
-                }
-                if list.is_empty() {
-                    postings.remove(&fid);
-                }
-            }
-        }
+        indexes.remove_posted(sig, id.0, non_live);
     }
 
-    /// Re-index a record whose SQL was rewritten (maintenance repair).
+    /// Re-index a record whose SQL (or output summary) was rewritten —
+    /// the maintenance repair path, and the only sanctioned route for
+    /// any in-place record mutation that derived state depends on.
+    ///
+    /// Text indexes, feature relations, the similarity signature and the
+    /// posting entries are rebuilt immediately; the structural indexes
+    /// (VP-tree, ParseTree profile groups) are *not* rebuilt inline —
+    /// the registry logs an override (probes mask the stale entries and
+    /// re-evaluate this record from its fresh signature) and schedules a
+    /// background rebuild into the next miner epoch.
     pub fn reindex(&mut self, id: QueryId) -> Result<(), CqmsError> {
         let (sql, meta_row, feats) = {
             let r = self.get(id)?;
@@ -527,20 +466,28 @@ impl QueryStorage {
         if live {
             self.ensure_posted(id);
         }
-        // The record's parse tree may have changed: drop the VP-tree for a
-        // lazy rebuild (repairs are rare maintenance events) and refresh
-        // the tree-less side list membership.
-        *self.tree_index.get_mut().expect("tree index lock") = None;
-        let is_treeless = self.signatures[id.0 as usize].tree.is_none()
-            && self.records[id.0 as usize].validity != Validity::Deleted;
-        match (self.treeless.binary_search(&id.0), is_treeless) {
-            (Err(pos), true) => self.treeless.insert(pos, id.0),
-            (Ok(pos), false) => {
-                self.treeless.remove(pos);
-            }
-            _ => {}
-        }
+        // The record's parse tree / folded SELECT / summary may have
+        // changed: log an override (probes re-evaluate this record from
+        // the fresh signature) and schedule the background rebuild that
+        // retires it — no index is dropped, no probe pays a lazy build.
+        self.indexes.note_reindex(id.0);
         Ok(())
+    }
+
+    /// Refresh a record's output summary (§4.4 statistics refresh). The
+    /// summary feeds the signature's hashed output row/cell sets — the
+    /// query-by-data screens and the Output/Combined distances — so the
+    /// *only* sanctioned route is this sealed setter, which routes
+    /// through [`QueryStorage::reindex`] (now a registry rebuild
+    /// request). Mutating `record.summary` through `get_mut` instead
+    /// trips the coherence `debug_assert` on the query-by-data path.
+    pub fn refresh_summary(
+        &mut self,
+        id: QueryId,
+        summary: OutputSummary,
+    ) -> Result<(), CqmsError> {
+        self.get_mut(id)?.summary = summary;
+        self.reindex(id)
     }
 
     // ------------------------------------------------------------------
@@ -562,17 +509,26 @@ impl QueryStorage {
         &self.interner
     }
 
+    /// The index registry: feature postings, the published structural
+    /// generation, the mutable head and the override log. Probes read
+    /// indexes through here ([`IndexRegistry::sealed`] + head accessors).
+    pub fn indexes(&self) -> &IndexRegistry {
+        &self.indexes
+    }
+
     /// The inverted feature-posting index (feature id → posting list;
-    /// lists may carry stale non-live entries pending lazy compaction).
+    /// lists may carry stale non-live entries pending the background
+    /// compaction pass).
     pub fn postings(&self) -> &HashMap<u32, PostingList> {
-        &self.postings
+        self.indexes.postings()
     }
 
     /// The decoded posting ids of one feature, restricted to currently
     /// live records — the canonical view of the index, independent of
     /// compaction timing (tests compare storages through this).
     pub fn live_posting_ids(&self, fid: u32) -> Vec<u64> {
-        self.postings
+        self.indexes
+            .postings()
             .get(&fid)
             .map(|l| {
                 l.iter()
@@ -600,63 +556,99 @@ impl QueryStorage {
     /// outside this set has per-namespace feature Jaccard of exactly 1.0
     /// (or 0.0 for mutually empty namespaces), which bounds its distance
     /// below without touching it. The set may contain stale non-live ids
-    /// (pending lazy compaction); callers filter by liveness anyway.
+    /// (pending background compaction); callers filter by liveness anyway.
     pub fn candidate_ids(&self, sig: &SimSignature) -> Vec<u64> {
-        let cursors: Vec<PostingCursor<'_>> = sig
-            .feature_ids()
-            .filter_map(|fid| self.postings.get(&fid))
-            .filter(|l| !l.is_empty())
-            .map(PostingList::cursor)
-            .collect();
-        postings::union_cursors(cursors)
+        self.indexes.candidate_ids(sig)
     }
 
-    /// Read access to the VP-tree over the tree-edit metric, building it
-    /// on first use. The index covers every non-tombstoned record with a
-    /// parse tree; callers filter liveness/visibility per query.
-    pub fn tree_index(&self) -> RwLockReadGuard<'_, Option<VpTree>> {
-        {
-            let g = self.tree_index.read().expect("tree index lock");
-            if g.is_some() {
-                return g;
-            }
-        }
-        {
-            let mut w = self.tree_index.write().expect("tree index lock");
-            if w.is_none() {
-                let entries: Vec<TreeEntry> = self
-                    .records
-                    .iter()
-                    .zip(&self.signatures)
-                    .filter(|(r, _)| r.validity != Validity::Deleted)
-                    .filter_map(|(r, s)| {
-                        Some(TreeEntry {
-                            qid: r.id.0,
-                            tree: Arc::clone(s.tree.as_ref()?),
-                            shape: s.tree_shape.clone()?,
-                        })
-                    })
-                    .collect();
-                *w = Some(VpTree::build(entries));
-            }
-        }
-        self.tree_index.read().expect("tree index lock")
-    }
-
-    /// Is the VP-tree currently materialised? (Observability for tests.)
-    pub fn tree_index_built(&self) -> bool {
-        self.tree_index.read().expect("tree index lock").is_some()
-    }
-
-    /// Sorted qids of non-tombstoned records without a parse tree (the
-    /// VP-tree's complement; callers filter liveness/ACL).
-    pub fn treeless_ids(&self) -> &[u64] {
-        &self.treeless
-    }
-
-    /// Cheap-bound effectiveness counters for the tree metrics.
+    /// Cheap-bound effectiveness counters + generation counters for the
+    /// tree metrics.
     pub fn metric_stats(&self) -> &MetricIndexStats {
-        &self.metric_stats
+        self.indexes.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Index rebuild lifecycle (background; see `crate::indexreg`)
+    // ------------------------------------------------------------------
+
+    /// The published structural-index generation number.
+    pub fn index_generation(&self) -> u64 {
+        self.indexes.generation()
+    }
+
+    /// Request a background structural rebuild (the next miner epoch —
+    /// or an explicit [`QueryStorage::run_index_maintenance`] — executes
+    /// it; probes never do).
+    pub fn schedule_index_rebuild(&mut self) {
+        self.indexes.schedule_rebuild();
+    }
+
+    /// Is a rebuild currently scheduled?
+    pub fn index_rebuild_pending(&self) -> bool {
+        self.indexes.rebuild_pending()
+    }
+
+    /// Phase 1a of the double-buffered rebuild: capture a cheap,
+    /// self-contained snapshot of the build inputs (per-record `Arc`
+    /// clones only). The service layer and background miner grab this
+    /// under a read lock, drop the lock, and run the O(n log n)
+    /// [`RebuildSnapshot::build`] with no lock held — readers *and*
+    /// writers proceed against generation N for the entire build.
+    pub fn collect_index_rebuild(&self) -> RebuildSnapshot {
+        self.indexes
+            .collect_rebuild(&self.records, &self.signatures)
+    }
+
+    /// Phases 1a + 1b in one call (collect + build) for synchronous
+    /// callers that already hold exclusive access.
+    pub fn begin_index_rebuild(&self) -> IndexBuild {
+        self.indexes.begin_rebuild(&self.records, &self.signatures)
+    }
+
+    /// Phase 2: replay the delta that landed mid-build (inserts past the
+    /// collected horizon, overrides the build missed), publish with one
+    /// atomic swap, and run the queued posting compactions. Returns
+    /// `false` when the build was discarded as stale (a racing rebuild
+    /// that collected against a newer mutation epoch published first).
+    pub fn publish_index_rebuild(&mut self, build: IndexBuild) -> bool {
+        let published = {
+            let QueryStorage {
+                records,
+                signatures,
+                indexes,
+                ..
+            } = self;
+            indexes.publish_rebuild(build, records, signatures)
+        };
+        self.compact_postings();
+        published
+    }
+
+    /// The background index-maintenance pass (run from the miner epoch):
+    /// executes a scheduled rebuild synchronously and compacts queued
+    /// posting lists. Returns whether a rebuild was published.
+    pub fn run_index_maintenance(&mut self) -> bool {
+        if self.indexes.rebuild_pending() {
+            let build = self.begin_index_rebuild();
+            self.publish_index_rebuild(build)
+        } else {
+            self.compact_postings();
+            false
+        }
+    }
+
+    /// Compact every posting list queued by a live→non-live transition
+    /// down to its currently-live members.
+    pub fn compact_postings(&mut self) -> usize {
+        let QueryStorage {
+            records, indexes, ..
+        } = self;
+        indexes.maintain_postings(|q| {
+            records
+                .get(q as usize)
+                .map(QueryRecord::is_live)
+                .unwrap_or(false)
+        })
     }
 
     /// Adopt a refined session assignment from the Query Miner (§4.3: the
@@ -1295,8 +1287,14 @@ mod tests {
         let cands = s.candidate_ids(&probe);
         assert!(cands.contains(&0) && cands.contains(&1));
         assert!(cands.contains(&2), "join shares watertemp");
-        // Tombstoning unposts the record everywhere.
+        // Tombstoning marks the entries stale everywhere (the canonical
+        // live view drops them at once); the background compaction pass
+        // then removes them physically.
         s.delete(QueryId(2)).unwrap();
+        for fid in sig.feature_ids() {
+            assert!(!s.live_posting_ids(fid).contains(&2));
+        }
+        s.compact_postings();
         for fid in sig.feature_ids() {
             assert!(!s
                 .postings()
@@ -1315,6 +1313,7 @@ mod tests {
             },
         )
         .unwrap();
+        s.compact_postings();
         for fid in sig0.feature_ids() {
             assert!(!s
                 .postings()
@@ -1343,9 +1342,11 @@ mod tests {
     }
 
     /// Regression for the stale-posting leak: hammering insert/delete
-    /// cycles must not grow posting lists without bound — lazy compaction
-    /// keeps every list's stale fraction at or below 25%, so list length
-    /// stays within a constant factor of the live membership.
+    /// cycles must not grow posting lists without bound — transitions
+    /// queue over-threshold lists, and the background maintenance pass
+    /// (here run once per round, as the miner epoch does) compacts them,
+    /// so list length stays within a constant factor of the live
+    /// membership while the transitions themselves stay O(1) per list.
     #[test]
     fn posting_lists_stay_bounded_under_churn() {
         let mut s = QueryStorage::new();
@@ -1385,12 +1386,14 @@ mod tests {
                 },
             )
             .unwrap();
+            // The per-epoch background pass drains the compaction queue.
+            s.compact_postings();
         }
         let live = s.live_count();
         assert_eq!(live, 12 * 5);
         for (fid, list) in s.postings() {
-            // Invariant maintained by lazy compaction: stale entries are
-            // at most a quarter of any list…
+            // Invariant maintained by the background compaction pass:
+            // stale entries are at most a quarter of any list…
             assert!(
                 u64::from(list.dead()) * 4 <= list.len() as u64,
                 "feature {fid}: {} dead of {}",
@@ -1413,17 +1416,30 @@ mod tests {
         }
     }
 
-    /// The VP-tree follows insert/delete/reindex: built lazily, extended
-    /// incrementally, dropped past the tombstone threshold and on reindex.
+    /// The registry generation lifecycle: inserts land in the mutable
+    /// head, a rebuild seals them into a published generation with one
+    /// atomic swap, reindex logs an override + schedules, and crossing
+    /// the tombstone threshold schedules — probes never rebuild inline.
     #[test]
-    fn tree_index_lifecycle() {
+    fn index_registry_lifecycle() {
+        use std::sync::atomic::Ordering;
         let mut s = populated();
-        assert!(!s.tree_index_built());
-        assert_eq!(s.tree_index().as_ref().unwrap().len(), 3);
-        assert!(s.tree_index_built());
-        // Incremental insert keeps the built index coherent.
+        // Fresh store: generation 0 (empty sealed), everything in the head.
+        assert_eq!(s.index_generation(), 0);
+        assert!(!s.index_rebuild_pending());
+        assert_eq!(s.indexes().sealed().tree.len(), 0);
+        assert_eq!(s.indexes().head_tree().len(), 3);
+        // Seal: one rebuild publishes generation 1 and empties the head.
+        s.schedule_index_rebuild();
+        assert!(s.run_index_maintenance());
+        assert_eq!(s.index_generation(), 1);
+        assert_eq!(s.indexes().sealed().tree.len(), 3);
+        assert_eq!(s.indexes().head_tree().len(), 0);
+        assert!(s.indexes().sealed().groups.len() >= 2);
+        // Inserts go to the head; the sealed generation is untouched.
         s.insert(record(3, 1, 60, "SELECT * FROM Lakes", 2));
-        assert_eq!(s.tree_index().as_ref().unwrap().len(), 4);
+        assert_eq!(s.indexes().sealed().tree.len(), 3);
+        assert_eq!(s.indexes().head_tree().len(), 1);
         // Flagging is query-time filtering only — no index change.
         s.set_validity(
             QueryId(0),
@@ -1433,16 +1449,53 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(s.tree_index_built());
-        // Reindex may change the tree: the index is dropped for rebuild.
+        assert!(!s.index_rebuild_pending());
+        // Reindex: override logged + rebuild scheduled; nothing dropped.
         s.reindex(QueryId(1)).unwrap();
-        assert!(!s.tree_index_built());
-        assert_eq!(s.tree_index().as_ref().unwrap().len(), 4);
-        // Crossing the tombstone threshold drops it too.
+        assert!(s.index_rebuild_pending());
+        assert!(s.indexes().overridden(1));
+        assert_eq!(s.index_generation(), 1, "no inline rebuild");
+        // The miner-epoch pass publishes generation 2 and retires the
+        // override; the mid-head insert was replayed in.
+        assert!(s.run_index_maintenance());
+        assert_eq!(s.index_generation(), 2);
+        assert!(!s.indexes().overridden(1));
+        assert_eq!(s.indexes().sealed().tree.len(), 4);
+        assert_eq!(s.indexes().head_tree().len(), 0);
+        // Tombstones only *schedule* past the 25% threshold.
         s.delete(QueryId(0)).unwrap();
-        assert!(s.tree_index_built()); // 1/4 ≤ threshold
+        assert!(!s.index_rebuild_pending()); // 1/4 ≤ threshold
         s.delete(QueryId(1)).unwrap();
-        assert!(!s.tree_index_built()); // 2/4 > threshold
-        assert_eq!(s.tree_index().as_ref().unwrap().len(), 2);
+        assert!(s.index_rebuild_pending()); // 2/4 > threshold
+        assert_eq!(s.index_generation(), 2, "rebuild deferred to the epoch");
+        assert!(s.run_index_maintenance());
+        assert_eq!(s.index_generation(), 3);
+        assert_eq!(s.indexes().sealed().tree.len(), 2);
+        assert_eq!(
+            s.metric_stats().rebuilds_completed.load(Ordering::Relaxed),
+            3
+        );
+    }
+
+    /// A refreshed summary must flow through the sealed setter, which
+    /// rebuilds the signature's output hashes (so the query-by-data
+    /// screens stay coherent) and schedules a registry rebuild.
+    #[test]
+    fn refresh_summary_routes_through_reindex() {
+        let mut s = populated();
+        assert!(s.signature(QueryId(0)).unwrap().output_rows.is_none());
+        s.refresh_summary(
+            QueryId(0),
+            OutputSummary::Full {
+                columns: vec!["lake".into()],
+                rows: vec![vec!["Lake Washington".into()]],
+            },
+        )
+        .unwrap();
+        let sig = s.signature(QueryId(0)).unwrap();
+        assert!(sig.may_contain_cell("lake washington"));
+        assert!(sig.summary_coherent(&s.get(QueryId(0)).unwrap().summary));
+        assert!(s.index_rebuild_pending(), "refresh schedules a rebuild");
+        assert!(s.indexes().overridden(0));
     }
 }

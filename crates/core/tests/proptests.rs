@@ -479,6 +479,103 @@ proptest! {
         check(&st, "late-deletes")?;
     }
 
+    /// Delta-log replay: mutations that land *during* a double-buffered
+    /// index rebuild — inserts past the collected horizon, tombstones,
+    /// flag/repair transitions and a reindex — are replayed (or kept
+    /// masked by the override log) when the build publishes, so
+    /// registry-served kNN (ids and scores, TreeEdit and ParseTree)
+    /// equals brute force on the post-publish state. No probe ever sees
+    /// a missing record, before or after the swap.
+    #[test]
+    fn index_rebuild_delta_replay_matches_brute_force(
+        records in proptest::collection::vec(0u64..1, 2..12).prop_flat_map(|seeds| {
+            (0..seeds.len() as u64).map(knn_record_strategy).collect::<Vec<_>>()
+        }),
+        mid_inserts in proptest::collection::vec(0u64..1, 1..6).prop_flat_map(|seeds| {
+            (100..100 + seeds.len() as u64).map(knn_record_strategy).collect::<Vec<_>>()
+        }),
+        del_seeds in proptest::collection::vec(any::<bool>(), 12),
+        mid_del_seeds in proptest::collection::vec(any::<bool>(), 18),
+        mid_flag_seeds in proptest::collection::vec(any::<bool>(), 18),
+        reindex_pick in 0usize..12,
+        probe_sql in prop_oneof![
+            4 => sql_strategy(),
+            1 => Just("word salad, no features".to_string()),
+        ],
+        viewer in 0u32..4,
+        k in 1usize..6,
+    ) {
+        let mut st = QueryStorage::new();
+        for (i, mut r) in records.into_iter().enumerate() {
+            r.id = QueryId(i as u64);
+            st.insert(r);
+        }
+        let n = st.len();
+        for (i, del) in del_seeds.iter().take(n).enumerate() {
+            if *del {
+                st.delete(QueryId(i as u64)).unwrap();
+            }
+        }
+        // Seal once so the mid-build window below runs against a real
+        // published generation, not just the head.
+        st.schedule_index_rebuild();
+        st.run_index_maintenance();
+        let sealed_gen = st.index_generation();
+
+        // Open the mid-build window: generation N+1 is built from the
+        // current snapshot…
+        st.schedule_index_rebuild();
+        let build = st.begin_index_rebuild();
+        // …while inserts, tombstones, flag/repair transitions and a
+        // reindex land before it publishes.
+        for (i, mut r) in mid_inserts.into_iter().enumerate() {
+            r.id = QueryId((n + i) as u64);
+            st.insert(r);
+        }
+        let total = st.len();
+        for (i, del) in mid_del_seeds.iter().take(total).enumerate() {
+            if *del {
+                st.delete(QueryId(i as u64)).unwrap();
+            }
+        }
+        for (i, flag) in mid_flag_seeds.iter().take(total).enumerate() {
+            if *flag && st.get(QueryId(i as u64)).unwrap().validity != Validity::Deleted {
+                st.set_validity(
+                    QueryId(i as u64),
+                    Validity::Flagged { reason: "drift".into(), at: 1 },
+                ).unwrap();
+                st.set_validity(
+                    QueryId(i as u64),
+                    Validity::Repaired { original_sql: "x".into(), at: 2 },
+                ).unwrap();
+            }
+        }
+        let reindexed = QueryId((reindex_pick % n) as u64);
+        if st.get(reindexed).unwrap().validity != Validity::Deleted {
+            st.reindex(reindexed).unwrap();
+        }
+        // Publish: delta replay + one atomic swap.
+        st.publish_index_rebuild(build);
+        prop_assert_eq!(st.index_generation(), sealed_gen + 1);
+
+        let dir = Directory::new();
+        let cfg = CqmsConfig::default();
+        let viewer = UserId(viewer);
+        let stmt = sqlparse::parse(&probe_sql).ok();
+        let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+        let probe = make_record(
+            QueryId(u64::MAX), viewer, 0, &probe_sql, stmt, feats,
+            RuntimeFeatures::default(), OutputSummary::None,
+            SessionId(u64::MAX), Visibility::Private,
+        );
+        let mq = MetaQueryExecutor::new(&st, &dir, &cfg);
+        for metric in [DistanceKind::TreeEdit, DistanceKind::ParseTree] {
+            let got = mq.knn(viewer, &probe, k, metric);
+            let want = brute_knn(&st, &dir, &cfg, viewer, &probe, metric, k);
+            prop_assert_eq!(&got, &want, "{:?} diverged after delta replay", metric);
+        }
+    }
+
     /// Bounded ParseTree kNN (diff-profile lower-bound sweep) returns
     /// exactly the brute-force top-k — ids and scores — over stores with
     /// tombstones, statement-less records and mixed ACLs.

@@ -316,3 +316,173 @@ fn background_miner_shutdown_after_concurrent_ingest() {
         "final epoch results not visible"
     );
 }
+
+/// Readers racing a background generation rebuild: TreeEdit/ParseTree
+/// kNN probes run continuously while one thread forces double-buffered
+/// rebuilds (build under the read lock, publish under a brief write
+/// lock) and a writer keeps ingesting. Probes must never panic, never
+/// return more than k hits, and never observe a torn generation; after
+/// the dust settles, the registry-served top-k must equal brute force
+/// and the generation counter must have advanced monotonically.
+#[test]
+fn readers_race_background_rebuilds() {
+    use cqms::engine::metaquery::ScoredHit;
+    use cqms::engine::similarity::{self, DistanceKind};
+
+    let trace = test_trace();
+    let svc = CqmsService::new(Cqms::new(trace.build_engine(), CqmsConfig::default()));
+    let users: Vec<UserId> = (0..USERS)
+        .map(|i| svc.register_user(&format!("user-{i}")))
+        .collect();
+    // Seed log + first sealed generation.
+    for q in trace.queries.iter().take(120) {
+        svc.run_query_at(users[q.user as usize % users.len()], &q.sql, q.ts)
+            .expect("profiling never hard-fails");
+    }
+    svc.write(|c| c.storage.schedule_index_rebuild());
+    assert!(svc.rebuild_indexes());
+    let gen0 = svc.index_generation();
+    assert!(gen0 >= 1);
+
+    const PROBE: &str = "SELECT * FROM WaterTemp WHERE temp < 18";
+    let done = AtomicBool::new(false);
+    let probes = AtomicUsize::new(0);
+    let rebuilds = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        // Readers: tree-metric kNN, the paths that used to pay the
+        // stop-the-world lazy build.
+        for r in 0..3usize {
+            let svc = svc.clone();
+            let user = users[r % users.len()];
+            let (done, probes) = (&done, &probes);
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    let metric = if i.is_multiple_of(2) {
+                        DistanceKind::TreeEdit
+                    } else {
+                        DistanceKind::ParseTree
+                    };
+                    let hits = svc
+                        .similar_queries(user, PROBE, 5, metric)
+                        .expect("probe failed mid-rebuild");
+                    assert!(hits.len() <= 5);
+                    probes.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        // Rebuilder: force + publish generations as fast as it can.
+        {
+            let svc = svc.clone();
+            let (done, rebuilds) = (&done, &rebuilds);
+            s.spawn(move || {
+                let mut last = svc.index_generation();
+                while !done.load(Ordering::Relaxed) {
+                    svc.write(|c| c.storage.schedule_index_rebuild());
+                    if svc.rebuild_indexes() {
+                        rebuilds.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let now = svc.index_generation();
+                    assert!(now >= last, "generation went backwards");
+                    last = now;
+                }
+            });
+        }
+        // Writer: the delta the publishes must replay.
+        let svc2 = svc.clone();
+        let writer_user = users[0];
+        let done = &done;
+        let queries: Vec<String> = trace
+            .queries
+            .iter()
+            .skip(120)
+            .take(150)
+            .map(|q| q.sql.clone())
+            .collect();
+        s.spawn(move || {
+            for sql in queries {
+                let _ = svc2.run_query(writer_user, &sql);
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+    assert!(probes.load(Ordering::Relaxed) > 0, "readers never probed");
+    assert!(rebuilds.load(Ordering::Relaxed) > 0, "no rebuild raced");
+    assert!(svc.index_generation() > gen0);
+
+    // Steady state: registry-served kNN equals brute force, so every
+    // mid-build insert was replayed and every swap was clean.
+    svc.read(|c| {
+        let probe_stmt = sqlparse::parse(PROBE).unwrap();
+        let feats = cqms::engine::features::extract(&probe_stmt, None);
+        let probe = cqms::engine::storage::make_record(
+            cqms::engine::model::QueryId(u64::MAX),
+            users[0],
+            0,
+            PROBE,
+            Some(probe_stmt),
+            feats,
+            Default::default(),
+            cqms::engine::model::OutputSummary::None,
+            cqms::engine::model::SessionId(u64::MAX),
+            cqms::engine::model::Visibility::Private,
+        );
+        let psig = c.storage.probe_signature(&probe);
+        for metric in [DistanceKind::TreeEdit, DistanceKind::ParseTree] {
+            let got = c
+                .similar_queries(users[0], PROBE, 5, metric)
+                .expect("probe");
+            let mut want: Vec<ScoredHit> = c
+                .storage
+                .iter_live()
+                .map(|r| ScoredHit {
+                    id: r.id,
+                    score: 1.0
+                        - similarity::distance_with(
+                            &probe,
+                            &psig,
+                            r,
+                            c.storage.signature(r.id).unwrap(),
+                            metric,
+                            &c.config,
+                        ),
+                })
+                .collect();
+            want.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap()
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+            want.truncate(5);
+            assert_eq!(got, want, "{metric:?} diverged after racing rebuilds");
+        }
+    });
+}
+
+/// The background miner executes scheduled rebuilds: a reindex only
+/// *requests* one, probes keep the old generation, and the next epoch
+/// (here the final shutdown epoch) publishes exactly one swap.
+#[test]
+fn miner_epoch_executes_scheduled_rebuild() {
+    let trace = test_trace();
+    let svc = CqmsService::new(Cqms::new(trace.build_engine(), CqmsConfig::default()));
+    let users: Vec<UserId> = (0..USERS)
+        .map(|i| svc.register_user(&format!("user-{i}")))
+        .collect();
+    for q in trace.queries.iter().take(40) {
+        svc.run_query_at(users[q.user as usize % users.len()], &q.sql, q.ts)
+            .expect("profiling never hard-fails");
+    }
+    let gen0 = svc.index_generation();
+    svc.write(|c| {
+        c.storage.schedule_index_rebuild();
+    });
+    assert_eq!(svc.index_generation(), gen0, "scheduling does not rebuild");
+    // Long interval: the only epoch is the shutdown epoch.
+    assert!(svc.start_miner(std::time::Duration::from_secs(3600)));
+    svc.shutdown().expect("miner was running");
+    assert_eq!(svc.index_generation(), gen0 + 1, "one swap per rebuild");
+    assert!(!svc.read(|c| c.storage.index_rebuild_pending()));
+}
