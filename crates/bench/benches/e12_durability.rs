@@ -1,0 +1,134 @@
+//! E12 — durability overhead. The write-ahead log must not price the
+//! profiler out of the ingest path (§2.1's "no significant runtime
+//! overhead" applies to durable deployments too). Three axes:
+//!
+//! * `ingest_batch32_ram` — the RAM-only baseline: one acknowledged
+//!   32-query batch through `CqmsService::ingest_batch`.
+//! * `ingest_batch32_wal` — the same batch over a durable CQMS
+//!   (`Cqms::open`) with `wal_fsync` off: encode + buffered write per
+//!   query, one flush per batch. This is the ≤1.3× acceptance axis — it
+//!   isolates the WAL's own bookkeeping from syscall latency.
+//! * `ingest_batch32_wal_fsync` — fsync-per-batch, the production
+//!   setting; reported for operators, dominated by the device.
+//!
+//! Plus recovery: `open_replay_2k` reopens a directory holding a 2 000
+//! query log (no snapshot) against `open_baseline`, which builds the
+//! same engine without a directory — the difference is replay cost.
+
+use cqms_core::{Cqms, CqmsConfig, CqmsService, IngestItem};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use workload::Domain;
+
+/// Queries pre-logged for the replay axis (rounded down to whole batches).
+const REPLAY_QUERIES: usize = 2_000;
+
+fn engine(scale: usize) -> relstore::Engine {
+    let mut engine = relstore::Engine::new();
+    Domain::Lakes.setup(&mut engine, scale, 0xE12);
+    engine
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cqms-e12-{tag}-{}", std::process::id()))
+}
+
+/// One acknowledged batch: 32 queries cycling over the lakes templates.
+fn batch(user: cqms_core::UserId) -> Vec<IngestItem> {
+    let templates = [
+        "SELECT * FROM Lakes",
+        "SELECT lake, temp FROM WaterTemp WHERE temp < {}",
+        "SELECT salinity FROM WaterSalinity WHERE salinity > {}",
+        "SELECT city, pop FROM CityLocations WHERE pop > {}",
+    ];
+    (0..32)
+        .map(|i| {
+            let sql = templates[i % templates.len()].replace("{}", &i.to_string());
+            IngestItem::new(user, sql)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_durability");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    // --- Ingest overhead -------------------------------------------------
+    let ram = CqmsService::new(Cqms::new(engine(1_000), CqmsConfig::default()));
+    let user = ram.register_user("bench");
+    let items = batch(user);
+    group.bench_function("ingest_batch32_ram", |b| {
+        b.iter(|| {
+            let acks = ram.ingest_batch(&items);
+            assert!(acks.iter().all(|r| r.is_ok()));
+        })
+    });
+
+    let wal_dir = temp_dir("wal");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let cfg = CqmsConfig {
+        wal_fsync: false,
+        ..CqmsConfig::default()
+    };
+    let wal = CqmsService::new(Cqms::open(engine(1_000), cfg, &wal_dir).unwrap());
+    let user = wal.register_user("bench");
+    let items = batch(user);
+    group.bench_function("ingest_batch32_wal", |b| {
+        b.iter(|| {
+            let acks = wal.ingest_batch(&items);
+            assert!(acks.iter().all(|r| r.is_ok()));
+        })
+    });
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let fsync_dir = temp_dir("fsync");
+    let _ = std::fs::remove_dir_all(&fsync_dir);
+    let durable =
+        CqmsService::new(Cqms::open(engine(1_000), CqmsConfig::default(), &fsync_dir).unwrap());
+    let user = durable.register_user("bench");
+    let items = batch(user);
+    group.bench_function("ingest_batch32_wal_fsync", |b| {
+        b.iter(|| {
+            let acks = durable.ingest_batch(&items);
+            assert!(acks.iter().all(|r| r.is_ok()));
+        })
+    });
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&fsync_dir);
+
+    // --- Recovery: reopen a 2 000-query log ------------------------------
+    let replay_dir = temp_dir("replay");
+    let _ = std::fs::remove_dir_all(&replay_dir);
+    {
+        let cfg = CqmsConfig {
+            wal_fsync: false,
+            ..CqmsConfig::default()
+        };
+        let svc = CqmsService::new(Cqms::open(engine(60), cfg, &replay_dir).unwrap());
+        let user = svc.register_user("bench");
+        let items = batch(user);
+        for _ in 0..REPLAY_QUERIES / items.len() {
+            svc.ingest_batch(&items);
+        }
+    }
+    group.bench_function("open_baseline", |b| {
+        b.iter(|| Cqms::new(engine(60), CqmsConfig::default()).storage.len())
+    });
+    group.bench_function("open_replay_2k", |b| {
+        b.iter(|| {
+            let cqms = Cqms::open(engine(60), CqmsConfig::default(), &replay_dir).unwrap();
+            assert_eq!(cqms.storage.len(), REPLAY_QUERIES / 32 * 32);
+            cqms.storage.len()
+        })
+    });
+    let _ = std::fs::remove_dir_all(&replay_dir);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,8 +12,11 @@ use std::collections::HashMap;
 /// A registered user.
 #[derive(Debug, Clone)]
 pub struct UserInfo {
+    /// The user's id.
     pub id: UserId,
+    /// Display name.
     pub name: String,
+    /// Groups the user belongs to.
     pub groups: Vec<GroupId>,
     /// Administrators may manage any query and the system tunables.
     pub is_admin: bool,
@@ -29,6 +32,7 @@ pub struct Directory {
 }
 
 impl Directory {
+    /// An empty directory.
     pub fn new() -> Self {
         Directory::default()
     }
@@ -49,6 +53,7 @@ impl Directory {
         id
     }
 
+    /// Create a collaboration group.
     pub fn create_group(&mut self, name: &str) -> GroupId {
         let id = GroupId(self.next_group);
         self.next_group += 1;
@@ -56,6 +61,7 @@ impl Directory {
         id
     }
 
+    /// Add a user to a group (idempotent).
     pub fn join_group(&mut self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
         if !self.groups.contains_key(&group) {
             return Err(CqmsError::Admin(format!("unknown group {group}")));
@@ -70,6 +76,7 @@ impl Directory {
         Ok(())
     }
 
+    /// Remove a user from a group.
     pub fn leave_group(&mut self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
         let u = self
             .users
@@ -79,22 +86,27 @@ impl Directory {
         Ok(())
     }
 
+    /// Look up a user.
     pub fn user(&self, id: UserId) -> Option<&UserInfo> {
         self.users.get(&id)
     }
 
+    /// A group's display name.
     pub fn group_name(&self, id: GroupId) -> Option<&str> {
         self.groups.get(&id).map(String::as_str)
     }
 
+    /// Number of registered users.
     pub fn user_count(&self) -> usize {
         self.users.len()
     }
 
+    /// Is this user an administrator?
     pub fn is_admin(&self, user: UserId) -> bool {
         self.users.get(&user).map(|u| u.is_admin).unwrap_or(false)
     }
 
+    /// Is this user a member of the group?
     pub fn in_group(&self, user: UserId, group: GroupId) -> bool {
         self.users
             .get(&user)

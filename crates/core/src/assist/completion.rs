@@ -59,6 +59,7 @@ pub struct CompletionEngine<'a> {
 }
 
 impl<'a> CompletionEngine<'a> {
+    /// Bind a completion engine over the storage, rule miner and catalog.
     pub fn new(
         storage: &'a QueryStorage,
         rules: &'a RuleMiner,

@@ -37,10 +37,12 @@ pub struct RepairSuggestion {
 
 /// Correction engine over a data engine's catalog and the query log.
 pub struct CorrectionEngine<'a> {
+    /// The query log consulted for repairs.
     pub storage: &'a QueryStorage,
 }
 
 impl<'a> CorrectionEngine<'a> {
+    /// Bind a correction engine over the storage.
     pub fn new(storage: &'a QueryStorage) -> Self {
         CorrectionEngine { storage }
     }

@@ -19,11 +19,13 @@ use crate::storage::QueryStorage;
 pub struct PanelRow {
     /// Rank score in percent (Fig. 3 shows `[100%]`, `[98%]`, `[75%]`).
     pub score_pct: u8,
+    /// The recommended SQL text.
     pub sql: String,
     /// Diff summary against the seed query (`none`, `-1 col`, …).
     pub diff: String,
     /// First-annotation digest (possibly empty).
     pub annotation: String,
+    /// The recommended query's id.
     pub id: crate::model::QueryId,
 }
 

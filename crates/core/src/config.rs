@@ -15,6 +15,7 @@ pub enum ProfilingDepth {
 /// All CQMS tunables with paper-faithful defaults.
 #[derive(Debug, Clone)]
 pub struct CqmsConfig {
+    /// How much the profiler captures per query.
     pub profiling_depth: ProfilingDepth,
 
     // --- Output summarisation (§4.1) ---
@@ -24,6 +25,7 @@ pub struct CqmsConfig {
     /// elapsed_ms × full_output_rows_per_ms)` — the paper's adaptive rule
     /// ("two hours / ten rows ⇒ store all; two seconds / 2M rows ⇒ don't").
     pub full_output_min_rows: u64,
+    /// Rows of full-output budget earned per millisecond of runtime.
     pub full_output_rows_per_ms: f64,
     /// Hard cap on stored full outputs.
     pub full_output_max_rows: u64,
@@ -47,9 +49,11 @@ pub struct CqmsConfig {
     // --- Mining (§4.3) ---
     /// Minimum absolute support for frequent itemsets.
     pub assoc_min_support: u32,
+    /// Minimum confidence for published association rules.
     pub assoc_min_confidence: f64,
     /// k for query clustering (0 = auto: √(n/2)).
     pub cluster_k: usize,
+    /// Iteration cap for the k-medoids refinement loop.
     pub cluster_max_iters: usize,
 
     // --- Maintenance (§4.4) ---
@@ -59,13 +63,30 @@ pub struct CqmsConfig {
     pub refresh_budget: usize,
 
     // --- Similarity / ranking (§2.3/§4.2) ---
+    /// Feature-distance weight of the tables namespace.
     pub weight_tables: f64,
+    /// Feature-distance weight of the attributes namespace.
     pub weight_attributes: f64,
+    /// Feature-distance weight of the predicate-template namespace.
     pub weight_predicates: f64,
+    /// Ranking weight of similarity to the seed.
     pub rank_similarity: f64,
+    /// Ranking weight of template popularity.
     pub rank_popularity: f64,
+    /// Ranking weight of recency.
     pub rank_recency: f64,
+    /// Ranking weight of the maintained quality score.
     pub rank_quality: f64,
+
+    // --- Durability (WAL + snapshots) ---
+    /// `fsync` the log at every flush point and snapshots at every rename.
+    /// Leave on for real deployments; tests and benches may disable it to
+    /// measure the non-syscall overhead in isolation.
+    pub wal_fsync: bool,
+    /// Write a snapshot (and truncate the log) once this many operations
+    /// have been logged since the last one. Checked by the miner epoch, so
+    /// snapshots ride the existing background-maintenance seam.
+    pub snapshot_every_ops: u64,
 
     /// Deterministic seed for sampling/clustering.
     pub seed: u64,
@@ -97,6 +118,8 @@ impl Default for CqmsConfig {
             rank_popularity: 0.2,
             rank_recency: 0.1,
             rank_quality: 0.1,
+            wal_fsync: true,
+            snapshot_every_ops: 8192,
             seed: 0xC1D2_2009,
         }
     }

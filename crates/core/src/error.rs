@@ -10,13 +10,20 @@ pub enum CqmsError {
     /// The underlying engine rejected a statement.
     Engine(relstore::EngineError),
     /// The requesting user may not see or modify the target.
-    NotAuthorized { user: u32, what: String },
+    NotAuthorized {
+        /// The requesting user's id.
+        user: u32,
+        /// What was attempted.
+        what: String,
+    },
     /// A query/session/user id does not exist.
     NotFound(String),
     /// Administrative misuse (e.g. unknown group).
     Admin(String),
     /// Snapshot (de)serialisation failure.
     Snapshot(String),
+    /// Write-ahead-log I/O or replay failure.
+    Wal(String),
 }
 
 impl fmt::Display for CqmsError {
@@ -30,6 +37,7 @@ impl fmt::Display for CqmsError {
             CqmsError::NotFound(what) => write!(f, "not found: {what}"),
             CqmsError::Admin(m) => write!(f, "admin error: {m}"),
             CqmsError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            CqmsError::Wal(m) => write!(f, "wal error: {m}"),
         }
     }
 }

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 pub struct PredicateFeature {
     /// Resolved relation name (lower-cased; empty when unresolvable).
     pub table: String,
+    /// Attribute name (lower-cased).
     pub column: String,
     /// `<`, `<=`, `=`, `<>`, `>`, `>=`.
     pub op: String,
@@ -38,12 +39,17 @@ pub struct SyntacticFeatures {
     pub predicates: Vec<PredicateFeature>,
     /// Rendered projection items.
     pub projections: Vec<String>,
+    /// Rendered GROUP BY items.
     pub group_by: Vec<String>,
+    /// Rendered ORDER BY items.
     pub order_by: Vec<String>,
     /// Number of join pairs (tables − 1 per query block, summed).
     pub num_joins: usize,
+    /// Does any block nest a subquery?
     pub has_subquery: bool,
+    /// Does the projection aggregate?
     pub has_aggregate: bool,
+    /// LIMIT value, when present.
     pub limit: Option<u64>,
 }
 
@@ -424,12 +430,19 @@ pub fn create_feature_relations(engine: &mut Engine) {
 
 /// Context rows for [`insert_features`].
 pub struct FeatureRowMeta {
+    /// Query id the rows describe.
     pub qid: u64,
+    /// Issuing user id.
     pub author: u32,
+    /// Trace-time seconds.
     pub ts: u64,
+    /// Session id.
     pub session: u64,
+    /// Execution time in microseconds.
     pub elapsed_us: u64,
+    /// Result row count.
     pub cardinality: u64,
+    /// Whether execution succeeded.
     pub success: bool,
 }
 

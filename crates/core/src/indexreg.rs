@@ -24,12 +24,12 @@
 //! [`IndexRegistry::schedule_rebuild`] just sets a flag (tombstone
 //! threshold crossed, a `reindex` landed, a summary was refreshed), and
 //! the background miner epoch runs the double-buffered build —
-//! [`IndexRegistry::collect_rebuild`] captures a cheap self-contained
+//! `IndexRegistry::collect_rebuild` captures a cheap self-contained
 //! snapshot (per-record `Arc` clones) under a momentary read lock,
 //! [`RebuildSnapshot::build`] constructs generation N+1 with **no lock
 //! held** (readers and writers both proceed against generation N for
 //! the whole O(n log n) build), then
-//! [`IndexRegistry::publish_rebuild`] *replays the delta* — inserts that
+//! `IndexRegistry::publish_rebuild` *replays the delta* — inserts that
 //! landed mid-build (qids past the collected horizon) and reindexes
 //! recorded in the override log — and publishes with one atomic swap.
 //! No probe ever sees a missing record: before the swap it finds
@@ -49,7 +49,7 @@
 //! need sealing. Their lazy compaction, however, used to run inline the
 //! moment a list crossed its stale threshold; the registry instead
 //! queues the list and compacts it in the background maintenance pass
-//! ([`IndexRegistry::maintain_postings`]), keeping every maintenance
+//! (`IndexRegistry::maintain_postings`), keeping every maintenance
 //! transition O(1) per list and the read path allocation-free.
 
 use crate::metricindex::{MetricIndexStats, TreeEntry, VpTree, REBUILD_DEAD_FRACTION};
@@ -150,14 +150,17 @@ impl ProfileGroups {
     }
 
     /// Number of distinct folded-SELECT groups.
+    /// Number of profile groups.
     pub fn len(&self) -> usize {
         self.groups.len()
     }
 
+    /// Are there no groups?
     pub fn is_empty(&self) -> bool {
         self.groups.is_empty()
     }
 
+    /// Iterate the groups in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &ProfileGroup> {
         self.groups.iter()
     }
@@ -279,8 +282,8 @@ impl RebuildSnapshot {
 
 /// An in-flight double-buffered rebuild: generation N+1, fully built but
 /// not yet published. Produced by [`RebuildSnapshot::build`] (or the
-/// one-shot [`IndexRegistry::begin_rebuild`]), consumed by
-/// [`IndexRegistry::publish_rebuild`] (exclusive borrow — replay the
+/// one-shot `IndexRegistry::begin_rebuild`), consumed by
+/// `IndexRegistry::publish_rebuild` (exclusive borrow — replay the
 /// delta, swap, retire generation N). The generation *number* is
 /// assigned at publish time, so every swap bumps the published counter
 /// by exactly 1 even when two rebuilds race.
@@ -359,6 +362,7 @@ impl Default for IndexRegistry {
 }
 
 impl IndexRegistry {
+    /// An empty registry (generation 0, nothing scheduled).
     pub fn new() -> IndexRegistry {
         IndexRegistry {
             postings: HashMap::new(),
@@ -503,6 +507,7 @@ impl IndexRegistry {
         }
     }
 
+    /// Has a rebuild been scheduled and not yet published?
     pub fn rebuild_pending(&self) -> bool {
         self.rebuild_wanted
     }

@@ -21,6 +21,12 @@
 //! For shared multi-threaded use — many analysts completing and searching
 //! while writers ingest and the miner runs in the background — wrap it in
 //! [`service::CqmsService`], which enforces the read/write lock discipline.
+//!
+//! Durable deployments build the façade with [`server::Cqms::open`], which
+//! attaches the [`wal`] write-ahead log and replays it on restart; see
+//! `ARCHITECTURE.md` at the repo root for the recovery state machine.
+
+#![warn(missing_docs)]
 
 pub mod admin;
 pub mod assist;
@@ -41,9 +47,11 @@ pub mod signature;
 pub mod similarity;
 pub mod storage;
 pub mod viz;
+pub mod wal;
 
 pub use config::CqmsConfig;
 pub use error::CqmsError;
 pub use model::{Annotation, QueryId, QueryRecord, SessionId, UserId, Visibility};
 pub use server::Cqms;
 pub use service::{CqmsService, IngestItem};
+pub use wal::RecoveryReport;

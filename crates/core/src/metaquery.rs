@@ -27,6 +27,7 @@ use sqlparse::ast::*;
 /// A scored search hit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoredHit {
+    /// The matching query.
     pub id: QueryId,
     /// Higher is better; semantics depend on the search mode.
     pub score: f64,
@@ -115,12 +116,16 @@ impl TreePattern {
 /// [`relstore::Engine::query_statement`], whose lazy index maintenance sits
 /// behind interior mutability).
 pub struct MetaQueryExecutor<'a> {
+    /// The query log being searched.
     pub storage: &'a QueryStorage,
+    /// ACL checks.
     pub directory: &'a Directory,
+    /// Ranking/similarity tunables.
     pub config: &'a CqmsConfig,
 }
 
 impl<'a> MetaQueryExecutor<'a> {
+    /// Bind an executor over one storage, directory and config.
     pub fn new(
         storage: &'a QueryStorage,
         directory: &'a Directory,

@@ -63,10 +63,12 @@ pub struct MetricStats {
 }
 
 impl MetricStats {
+    /// Count `n` pairs disposed of by a cheap bound.
     pub fn add_hits(&self, n: u64) {
         self.bound_hits.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` pairs that paid the exact metric.
     pub fn add_exact(&self, n: u64) {
         self.exact_evals.fetch_add(n, Ordering::Relaxed);
     }
@@ -82,6 +84,7 @@ impl MetricStats {
         }
     }
 
+    /// Zero both counters.
     pub fn reset(&self) {
         self.bound_hits.store(0, Ordering::Relaxed);
         self.exact_evals.store(0, Ordering::Relaxed);
@@ -92,7 +95,9 @@ impl MetricStats {
 /// registry (reachable through `QueryStorage::metric_stats`).
 #[derive(Debug, Default)]
 pub struct MetricIndexStats {
+    /// Bound/exact counters of the TreeEdit sweeps.
     pub tree_edit: MetricStats,
+    /// Bound/exact counters of the ParseTree sweeps.
     pub parse_tree: MetricStats,
     /// The published structural-index generation (0 until the first
     /// background rebuild publishes). Bumped by exactly 1 per atomic
@@ -111,8 +116,11 @@ pub struct MetricIndexStats {
 /// never scatters allocations through the record heap).
 #[derive(Debug, Clone)]
 pub struct TreeEntry {
+    /// The indexed record's id.
     pub qid: u64,
+    /// Cached constant-stripped parse tree.
     pub tree: Arc<TreeNode>,
+    /// Cached size + label-histogram shape.
     pub shape: Arc<TreeShape>,
 }
 
@@ -229,10 +237,12 @@ impl VpTree {
         }
     }
 
+    /// Number of indexed entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Is the tree empty?
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

@@ -16,6 +16,7 @@ use std::collections::{HashMap, HashSet};
 pub struct AssocRule {
     /// Sorted item set (size 1–2 in practice).
     pub antecedent: Vec<String>,
+    /// The implied item.
     pub consequent: String,
     /// Fraction of transactions containing antecedent ∪ consequent.
     pub support: f64,
@@ -48,10 +49,12 @@ pub struct RuleMiner {
 }
 
 impl RuleMiner {
+    /// An empty miner.
     pub fn new() -> Self {
         RuleMiner::default()
     }
 
+    /// Transactions fed so far.
     pub fn transaction_count(&self) -> usize {
         self.transactions.len()
     }

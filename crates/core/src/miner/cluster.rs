@@ -17,6 +17,7 @@ pub struct ClusteringResult {
     pub medoids: Vec<usize>,
     /// Sum of distances of items to their medoid.
     pub cost: f64,
+    /// Refinement iterations performed.
     pub iterations: usize,
 }
 

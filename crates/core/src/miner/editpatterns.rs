@@ -17,6 +17,7 @@ pub struct EditPatternMiner {
 }
 
 impl EditPatternMiner {
+    /// An empty miner.
     pub fn new() -> Self {
         EditPatternMiner::default()
     }
@@ -43,6 +44,7 @@ impl EditPatternMiner {
         m
     }
 
+    /// Session-graph edges consumed so far.
     pub fn edges_seen(&self) -> usize {
         self.edges_seen
     }

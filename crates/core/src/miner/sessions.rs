@@ -59,7 +59,9 @@ pub struct SegmentationQuality {
     /// Precision/recall/F1 of session *boundaries* (a boundary sits between
     /// two consecutive queries of one user).
     pub boundary_precision: f64,
+    /// Recall of predicted session boundaries.
     pub boundary_recall: f64,
+    /// F1 of predicted session boundaries.
     pub boundary_f1: f64,
     /// Pairwise F1: over all same-user query pairs, do the two labelings
     /// agree on "same session"?

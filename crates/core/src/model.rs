@@ -62,13 +62,18 @@ pub enum Visibility {
 /// execution time, and the query execution plan").
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuntimeFeatures {
+    /// Execution time in microseconds.
     pub elapsed_us: u64,
+    /// Number of rows the query returned.
     pub cardinality: u64,
+    /// Rows the executor touched while answering.
     pub rows_scanned: u64,
+    /// The execution plan, rendered as one line.
     pub plan: String,
     /// Logical (catalog-clock) time of execution; compared against schema
     /// change timestamps by Query Maintenance (§4.4).
     pub logical_time: u64,
+    /// Whether execution succeeded.
     pub success: bool,
     /// The error text when `success == false`.
     pub error: Option<String>,
@@ -82,18 +87,24 @@ pub enum OutputSummary {
     None,
     /// The complete output (small results / expensive queries).
     Full {
+        /// Output column names.
         columns: Vec<String>,
+        /// Every output row, cells rendered as text.
         rows: Vec<Vec<String>>,
     },
     /// A reservoir sample of a larger output.
     Sample {
+        /// Output column names.
         columns: Vec<String>,
+        /// The sampled rows, cells rendered as text.
         rows: Vec<Vec<String>>,
+        /// Cardinality of the full output the sample was drawn from.
         total_rows: u64,
     },
 }
 
 impl OutputSummary {
+    /// Number of rows physically stored (0 for [`OutputSummary::None`]).
     pub fn row_count_stored(&self) -> usize {
         match self {
             OutputSummary::None => 0,
@@ -120,9 +131,11 @@ impl OutputSummary {
 /// A free-text annotation on a whole query or a fragment of it (§2.1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Annotation {
+    /// Who wrote it.
     pub author: UserId,
     /// Trace-time seconds.
     pub at: u64,
+    /// The annotation body.
     pub text: String,
     /// When set, the annotation targets this exact fragment of the SQL text
     /// (e.g. an outer-join clause the author wants to explain).
@@ -132,20 +145,27 @@ pub struct Annotation {
 /// Maintenance status of a stored query (§4.4).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Validity {
+    /// Healthy: searchable, recommendable, re-executable.
     Valid,
     /// Possibly broken by schema evolution; kept but flagged.
     Flagged {
+        /// Why maintenance flagged it.
         reason: String,
+        /// Trace-time seconds of the flip.
         at: u64,
     },
     /// Automatically repaired; original text preserved.
     Repaired {
+        /// The pre-repair SQL text.
         original_sql: String,
+        /// Trace-time seconds of the repair.
         at: u64,
     },
     /// Confirmed broken and irreparable.
     Obsolete {
+        /// Why it can no longer run.
         reason: String,
+        /// Trace-time seconds of the verdict.
         at: u64,
     },
     /// Deleted by its owner or an administrator (tombstoned).
@@ -153,6 +173,7 @@ pub enum Validity {
 }
 
 impl Validity {
+    /// Does this status keep the query in the live working set?
     pub fn is_usable(&self) -> bool {
         matches!(self, Validity::Valid | Validity::Repaired { .. })
     }
@@ -171,8 +192,11 @@ pub enum EdgeKind {
 /// One edge of the session graph, stored as a normalised edge relation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionEdge {
+    /// The earlier query.
     pub from: QueryId,
+    /// The query related to it.
     pub to: QueryId,
+    /// Kind of relationship.
     pub kind: EdgeKind,
     /// The parse-tree diff labels shown on Fig. 2 edges.
     pub edits: Vec<EditOp>,
@@ -181,25 +205,36 @@ pub struct SessionEdge {
 /// A fully profiled, logged query.
 #[derive(Debug, Clone)]
 pub struct QueryRecord {
+    /// Dense storage-assigned identifier.
     pub id: QueryId,
+    /// The analyst who issued it.
     pub user: UserId,
     /// Trace-time seconds (wall-clock stand-in).
     pub ts: u64,
+    /// The SQL exactly as typed.
     pub raw_sql: String,
     /// Parsed statement (None when the text failed to parse — the log still
     /// records the attempt; §2.3 correction mode needs those too).
     pub statement: Option<Statement>,
+    /// The canonicalised re-print of `statement` (raw text when unparsed).
     pub canonical_sql: String,
     /// Fingerprint of the canonicalised statement.
     pub structure_fp: u64,
     /// Fingerprint of the constant-stripped template (popularity key).
     pub template_fp: u64,
+    /// Extracted syntactic features (the Fig. 1 relations' source).
     pub features: SyntacticFeatures,
+    /// Captured runtime features.
     pub runtime: RuntimeFeatures,
+    /// Semantic output summary.
     pub summary: OutputSummary,
+    /// Session this query belongs to.
     pub session: SessionId,
+    /// Who may see it.
     pub visibility: Visibility,
+    /// Attached free-text annotations, oldest first.
     pub annotations: Vec<Annotation>,
+    /// Maintenance status.
     pub validity: Validity,
     /// Maintained quality score in [0, 1] (§4.4).
     pub quality: f64,

@@ -9,11 +9,11 @@
 //! A [`PostingList`] instead:
 //!
 //! * **delta-encodes** long lists — ids are dense and appended in
-//!   ascending order, so lists past [`DELTA_THRESHOLD`] become a `u64`
+//!   ascending order, so lists past `DELTA_THRESHOLD` become a `u64`
 //!   head plus `u32` gaps (4 bytes per posting, sequential decode);
 //! * **defers removal** — a record going non-live only bumps the list's
 //!   `dead` counter; the stale id stays until the dead fraction of the
-//!   list passes [`COMPACT_DEAD_FRACTION`], when the storage rebuilds the
+//!   list passes the compact-dead fraction (1/4), when the storage rebuilds the
 //!   list from currently-live members in one pass. Consumers already
 //!   filter candidates by liveness, so stale ids are harmless: the kNN
 //!   exactness argument only needs every *live* record outside the
@@ -61,6 +61,7 @@ impl Default for PostingList {
 }
 
 impl PostingList {
+    /// Entries in the list (stale included).
     pub fn len(&self) -> usize {
         match &self.enc {
             Encoding::Plain(v) => v.len(),
@@ -68,6 +69,7 @@ impl PostingList {
         }
     }
 
+    /// Is the list empty?
     pub fn is_empty(&self) -> bool {
         matches!(&self.enc, Encoding::Plain(v) if v.is_empty())
     }
@@ -144,6 +146,7 @@ impl PostingList {
         }
     }
 
+    /// Does the list contain `qid` (stale entries included)?
     pub fn contains(&self, qid: u64) -> bool {
         match &self.enc {
             Encoding::Plain(v) => v.binary_search(&qid).is_ok(),
@@ -193,6 +196,7 @@ impl PostingList {
         self.iter().collect()
     }
 
+    /// Iterate the ids in sorted order (stale included).
     pub fn iter(&self) -> PostingIter<'_> {
         PostingIter {
             list: self,
@@ -290,13 +294,20 @@ impl Iterator for PostingIter<'_> {
 
 /// One input to the multi-way union merge.
 pub enum PostingCursor<'a> {
+    /// Cursor over a plain sorted-id list.
     Plain {
+        /// The remaining ids.
         ids: &'a [u64],
+        /// Position of the next id.
         pos: usize,
     },
+    /// Cursor over a delta-encoded list.
     Delta {
+        /// The gap stream after the head.
         gaps: &'a [u32],
+        /// Position of the next gap.
         pos: usize,
+        /// The decoded value the cursor currently sits on.
         cur: Option<u64>,
     },
 }

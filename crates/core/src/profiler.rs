@@ -19,6 +19,7 @@ use std::collections::HashMap;
 /// Outcome of profiling one statement.
 #[derive(Debug)]
 pub struct ProfiledQuery {
+    /// Id assigned to the logged record.
     pub id: QueryId,
     /// The engine result (present when execution succeeded).
     pub result: Option<QueryResult>,
@@ -52,6 +53,7 @@ impl Default for Profiler {
 }
 
 impl Profiler {
+    /// A profiler with no per-user session state yet.
     pub fn new() -> Self {
         Profiler {
             user_state: HashMap::new(),

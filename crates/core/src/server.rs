@@ -25,33 +25,44 @@ use crate::profiler::{ProfiledQuery, Profiler};
 use crate::similarity::DistanceKind;
 use crate::storage::QueryStorage;
 use crate::viz;
+use crate::wal::{self, RecoveryReport};
 use parking_lot::RwLock;
 use relstore::{Engine, TableStats};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Summary of one Query Miner epoch (§4.3).
 #[derive(Debug, Clone, Default)]
 pub struct MinerReport {
+    /// Association rules in the published rule set.
     pub association_rules: usize,
+    /// Clusters produced by the epoch's k-medoids run.
     pub clusters: usize,
+    /// Final clustering cost (sum of distances to medoids).
     pub clustering_cost: f64,
+    /// Queries whose predicted session changed this epoch.
     pub sessions_refined: usize,
+    /// Edit-pattern edges mined this epoch.
     pub edit_edges_mined: usize,
     /// Did this epoch build + publish a scheduled index generation?
     pub index_rebuilt: bool,
     /// The structural-index generation published after this epoch.
     pub index_generation: u64,
+    /// Did this epoch write a durable snapshot and truncate the WAL?
+    pub snapshot_written: bool,
 }
 
 /// The Collaborative Query Management System.
 pub struct Cqms {
+    /// The live tunables.
     pub config: CqmsConfig,
     /// The underlying DBMS holding the *data* (Fig. 4 bottom box).
     pub data: Engine,
     /// The Query Storage (Fig. 4 centre box).
     pub storage: QueryStorage,
+    /// Users, groups and ACL checks (§2.4).
     pub directory: Directory,
     profiler: Profiler,
     rules: RuleMiner,
@@ -62,6 +73,9 @@ pub struct Cqms {
     /// Internal trace clock (seconds); advances when callers do not supply
     /// explicit timestamps.
     clock: u64,
+    /// What crash recovery found and did, when this CQMS was built by
+    /// [`Cqms::open`] (None for pure-RAM instances).
+    recovery: Option<RecoveryReport>,
 }
 
 impl Cqms {
@@ -78,7 +92,102 @@ impl Cqms {
             last_clustering: None,
             baseline_stats: HashMap::new(),
             clock: 0,
+            recovery: None,
         }
+    }
+
+    /// Open (or create) a *durable* CQMS whose query history lives in
+    /// `dir`: load the newest snapshot, replay the write-ahead log past
+    /// its horizon (truncating any torn tail), and attach the log so
+    /// every subsequent mutation is re-logged. See [`crate::wal`].
+    ///
+    /// Not persisted (by design, matching the snapshot format): the
+    /// user/group [`Directory`] — deployments re-register principals at
+    /// startup in the same order, which reproduces the same dense ids —
+    /// plus output summaries and mined state, which the maintenance and
+    /// miner passes re-derive.
+    ///
+    /// ```
+    /// use cqms_core::{Cqms, CqmsConfig};
+    /// use relstore::Engine;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("cqms-open-doc-{}", std::process::id()));
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// let mut cqms = Cqms::open(Engine::new(), CqmsConfig::default(), &dir).unwrap();
+    /// let user = cqms.register_user("alice");
+    /// cqms.run_query(user, "SELECT * FROM Lakes").unwrap();
+    /// cqms.wal_flush().unwrap(); // durability point (the service layer does this per batch)
+    /// drop(cqms);
+    ///
+    /// // A later process reopens the directory and the history is back.
+    /// let reopened = Cqms::open(Engine::new(), CqmsConfig::default(), &dir).unwrap();
+    /// assert_eq!(reopened.storage.len(), 1);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// ```
+    pub fn open(
+        data: Engine,
+        config: CqmsConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, CqmsError> {
+        let wal::Recovered { storage, report } = wal::open_dir(dir.as_ref(), config.wal_fsync)?;
+        let mut cqms = Cqms::new(data, config);
+        // Trace time must never run backwards across a restart: resume
+        // the clock past every recovered timestamp.
+        cqms.clock = storage
+            .iter()
+            .map(|r| {
+                r.ts.max(r.annotations.iter().map(|a| a.at).max().unwrap_or(0))
+            })
+            .max()
+            .unwrap_or(0);
+        // Re-feed the rule miner's transaction log from the recovered
+        // live records (mined state is derived, not persisted).
+        for rec in storage.iter_live() {
+            let items = rec.features.items();
+            if !items.is_empty() {
+                cqms.rules.add_transaction(items);
+            }
+        }
+        cqms.storage = storage;
+        cqms.recovery = Some(report);
+        Ok(cqms)
+    }
+
+    /// The crash-recovery report, when this CQMS was built by
+    /// [`Cqms::open`] — the operator's one-line answer to "what did
+    /// replay do?" (render it with `{}`).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Make every logged mutation durable (no-op for pure-RAM instances).
+    /// [`crate::service::CqmsService`] calls this once per write operation
+    /// / ingest batch before acknowledging the caller.
+    pub fn wal_flush(&mut self) -> Result<(), CqmsError> {
+        self.storage.wal_flush()
+    }
+
+    /// Has enough been logged since the last snapshot that the miner
+    /// epoch should write a new one?
+    pub fn wal_snapshot_due(&self) -> bool {
+        self.storage.wal_attached()
+            && self.config.snapshot_every_ops > 0
+            && self.storage.wal_ops_since_snapshot() >= self.config.snapshot_every_ops
+    }
+
+    /// Write a durable snapshot *now* and truncate the log behind it
+    /// (the operator's "force a snapshot" lever; the background path in
+    /// [`spawn_background_miner`] prefers the off-lock route). Returns
+    /// `false` for pure-RAM instances.
+    pub fn force_snapshot(&mut self) -> Result<bool, CqmsError> {
+        if !self.storage.wal_attached() {
+            return Ok(false);
+        }
+        let mut body = Vec::new();
+        self.storage.snapshot(&mut body)?;
+        let horizon = self.storage.wal_last_lsn().unwrap_or(0);
+        self.storage.wal_write_snapshot(horizon, &body)?;
+        Ok(true)
     }
 
     // ------------------------------------------------------------------
@@ -175,10 +284,12 @@ impl Cqms {
     // Search & Browse Interaction Mode (§2.2)
     // ------------------------------------------------------------------
 
+    /// TF-IDF keyword search over logged query text.
     pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
         MetaQueryExecutor::new(&self.storage, &self.directory, &self.config).keyword(user, query, k)
     }
 
+    /// Exact substring search over logged query text.
     pub fn search_substring(&self, user: UserId, needle: &str) -> Vec<QueryId> {
         MetaQueryExecutor::new(&self.storage, &self.directory, &self.config).substring(user, needle)
     }
@@ -199,6 +310,7 @@ impl Cqms {
             .generate_feature_query(partial_sql)
     }
 
+    /// Structural search by parse-tree pattern.
     pub fn search_parse_tree(&self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
         MetaQueryExecutor::new(&self.storage, &self.directory, &self.config)
             .by_parse_tree(user, pattern)
@@ -394,6 +506,14 @@ impl Cqms {
         let patterns = EditPatternMiner::mine(&self.storage);
         report.edit_edges_mined = patterns.edges_seen();
 
+        // Periodic durability: synchronous epochs write due snapshots
+        // inline (the caller holds exclusive access anyway); the
+        // background thread skips this and uses the off-lock
+        // collect/write/mark path instead.
+        if execute_rebuild && self.wal_snapshot_due() {
+            report.snapshot_written = self.force_snapshot().unwrap_or(false);
+        }
+
         report
     }
 
@@ -472,14 +592,17 @@ impl Cqms {
     // Administrative Interaction Mode (§2.4)
     // ------------------------------------------------------------------
 
+    /// Register (or look up) a user by name.
     pub fn register_user(&mut self, name: &str) -> UserId {
         self.directory.create_user(name)
     }
 
+    /// Create a collaboration group.
     pub fn create_group(&mut self, name: &str) -> GroupId {
         self.directory.create_group(name)
     }
 
+    /// Add a user to a group.
     pub fn join_group(&mut self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
         self.directory.join_group(user, group)
     }
@@ -501,8 +624,7 @@ impl Cqms {
                 what: format!("query {id}"),
             });
         }
-        self.storage.get_mut(id)?.visibility = visibility;
-        Ok(())
+        self.storage.set_visibility(id, visibility)
     }
 
     /// Delete (tombstone) a query (owner or admin only, §2.4).
@@ -600,11 +722,77 @@ fn try_miner_epoch(cqms: &RwLock<Cqms>) -> bool {
             // the off-lock collect is *deferred* to the next cycle's
             // collect/build — never built inline under the write lock.
             guard.miner_epoch(false);
+            drop(guard);
+            // Durability rides the same seam: a due snapshot is written
+            // off the hot path now that the epoch's write lock is gone.
+            try_wal_snapshot(cqms);
             return true;
         }
         std::thread::sleep(Duration::from_millis(2));
     }
     false
+}
+
+/// The background snapshot path, mirroring the index rebuild's
+/// double-buffering: serialize the storage under a momentary read lock,
+/// write + fsync the snapshot file with **no lock held** (readers and
+/// writers keep working), then take a brief write lock only to rotate
+/// and prune the log behind the now-durable snapshot. An in-memory sink
+/// (no backing directory) falls back to the inline path — its "file
+/// write" is a vector push, too cheap to double-buffer.
+///
+/// Every lock acquisition is a bounded try (the miner must never block,
+/// see [`try_miner_epoch`]); a skipped snapshot just stays due for the
+/// next cycle. Returns whether a snapshot was marked.
+fn try_wal_snapshot(cqms: &RwLock<Cqms>) -> bool {
+    // Phase 1: collect (dir, horizon, body) under a momentary read lock.
+    let collected = match cqms.try_read() {
+        Some(guard) => {
+            if !guard.wal_snapshot_due() {
+                return false;
+            }
+            let mut body = Vec::new();
+            if guard.storage.snapshot(&mut body).is_err() {
+                return false;
+            }
+            Some((
+                guard.storage.wal_snapshot_dir(),
+                guard.storage.wal_last_lsn().unwrap_or(0),
+                body,
+                guard.config.wal_fsync,
+            ))
+        }
+        None => None,
+    };
+    let Some((dir, horizon, body, fsync)) = collected else {
+        return false;
+    };
+    match dir {
+        Some(dir) => {
+            // Phase 2: durable write, no lock held. Ops logged meanwhile
+            // have lsn > horizon and replay on top of this snapshot.
+            if wal::write_snapshot_file(&dir, horizon, &body, fsync).is_err() {
+                return false;
+            }
+            // Phase 3: brief write lock to rotate + prune.
+            for _ in 0..500 {
+                if let Some(mut guard) = cqms.try_write() {
+                    return guard.storage.wal_mark_snapshot(horizon).is_ok();
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            false
+        }
+        None => {
+            for _ in 0..500 {
+                if let Some(mut guard) = cqms.try_write() {
+                    return guard.force_snapshot().unwrap_or(false);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            false
+        }
+    }
 }
 
 /// Spawn a miner thread that runs an epoch every `interval` until stopped.

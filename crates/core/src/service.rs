@@ -26,6 +26,11 @@
 //!   Miner on its own thread; [`CqmsService::shutdown`] (or dropping the
 //!   last service clone) joins it gracefully after one final epoch, so
 //!   rules mined from the most recent queries stay visible.
+//! * **Durability** — over a durable CQMS (built by [`Cqms::open`]) every
+//!   write-path method flushes the write-ahead log before returning, and
+//!   [`CqmsService::ingest_batch`] flushes **once per batch**: an `Ok`
+//!   result is an acknowledgement that the query survives a crash. See
+//!   [`crate::wal`] for the log format and recovery semantics.
 //!
 //! The service is `Clone` (cheap: two `Arc`s); hand one clone to each
 //! client thread. See `tests/concurrency.rs` for the multi-writer /
@@ -50,13 +55,16 @@ use std::time::Duration;
 /// One query of a batched ingest ([`CqmsService::ingest_batch`]).
 #[derive(Debug, Clone)]
 pub struct IngestItem {
+    /// The issuing analyst.
     pub user: UserId,
+    /// The SQL to run and log.
     pub sql: String,
     /// Explicit trace time; `None` ticks the internal clock (+30 s).
     pub ts: Option<u64>,
 }
 
 impl IngestItem {
+    /// An item at the service's internal clock.
     pub fn new(user: UserId, sql: impl Into<String>) -> Self {
         IngestItem {
             user,
@@ -65,6 +73,7 @@ impl IngestItem {
         }
     }
 
+    /// An item with an explicit trace time.
     pub fn at(user: UserId, sql: impl Into<String>, ts: u64) -> Self {
         IngestItem {
             user,
@@ -116,10 +125,12 @@ impl CqmsService {
         self.cqms.read().complete(user, partial_sql, k)
     }
 
+    /// TF-IDF keyword search over logged query text.
     pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
         self.cqms.read().search_keyword(user, query, k)
     }
 
+    /// Exact substring search over logged query text.
     pub fn search_substring(&self, user: UserId, needle: &str) -> Vec<QueryId> {
         self.cqms.read().search_substring(user, needle)
     }
@@ -133,10 +144,12 @@ impl CqmsService {
         self.cqms.read().search_feature_sql(user, sql)
     }
 
+    /// Structural search by parse-tree pattern.
     pub fn search_parse_tree(&self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
         self.cqms.read().search_parse_tree(user, pattern)
     }
 
+    /// Query-by-data: find queries whose output did/didn't contain values.
     pub fn search_by_data(
         &self,
         user: UserId,
@@ -149,6 +162,7 @@ impl CqmsService {
             .search_by_data(user, include, exclude, reexecute)
     }
 
+    /// kNN similarity search around ad-hoc SQL.
     pub fn similar_queries(
         &self,
         user: UserId,
@@ -159,6 +173,7 @@ impl CqmsService {
         self.cqms.read().similar_queries(user, sql, k, metric)
     }
 
+    /// The Fig. 3 recommendation panel for a seed query.
     pub fn recommend(
         &self,
         user: UserId,
@@ -168,10 +183,12 @@ impl CqmsService {
         self.cqms.read().recommend(user, seed_sql, k)
     }
 
+    /// Misspelled table/column detection with suggested fixes.
     pub fn check_identifiers(&self, sql: &str) -> Vec<Correction> {
         self.cqms.read().check_identifiers(sql)
     }
 
+    /// Predicate relaxations for a query that returned nothing.
     pub fn repair_empty_result(&self, sql: &str, k: usize) -> Vec<RepairSuggestion> {
         self.cqms.read().repair_empty_result(sql, k)
     }
@@ -205,17 +222,25 @@ impl CqmsService {
         f(&mut self.cqms.write())
     }
 
+    /// Run + profile one query (WAL flushed before returning).
     pub fn run_query(&self, user: UserId, sql: &str) -> Result<ProfiledQuery, CqmsError> {
-        self.cqms.write().run_query(user, sql)
+        let mut guard = self.cqms.write();
+        let out = guard.run_query(user, sql)?;
+        guard.wal_flush()?;
+        Ok(out)
     }
 
+    /// [`CqmsService::run_query`] at an explicit trace time.
     pub fn run_query_at(
         &self,
         user: UserId,
         sql: &str,
         ts: u64,
     ) -> Result<ProfiledQuery, CqmsError> {
-        self.cqms.write().run_query_at(user, sql, ts)
+        let mut guard = self.cqms.write();
+        let out = guard.run_query_at(user, sql, ts)?;
+        guard.wal_flush()?;
+        Ok(out)
     }
 
     /// Ingest a batch of queries under **one** write-lock acquisition.
@@ -224,9 +249,15 @@ impl CqmsService {
     /// behind every single statement; batching bounds that to once per
     /// batch. Items run in order; a failure is recorded in its slot and
     /// does not abort the rest of the batch.
+    ///
+    /// On a durable CQMS ([`Cqms::open`]) the WAL is flushed **once per
+    /// batch**, before the results are returned — an `Ok` slot is an
+    /// acknowledgement that the query survives a crash. If that flush
+    /// fails, every would-be-acknowledged slot is converted to the flush
+    /// error instead (nothing is acknowledged that is not durable).
     pub fn ingest_batch(&self, items: &[IngestItem]) -> Vec<Result<QueryId, CqmsError>> {
         let mut guard = self.cqms.write();
-        items
+        let results: Vec<Result<QueryId, CqmsError>> = items
             .iter()
             .map(|item| {
                 match item.ts {
@@ -235,21 +266,29 @@ impl CqmsService {
                 }
                 .map(|p| p.id)
             })
-            .collect()
+            .collect();
+        match guard.wal_flush() {
+            Ok(()) => results,
+            Err(e) => results.into_iter().map(|r| r.and(Err(e.clone()))).collect(),
+        }
     }
 
+    /// Register (or look up) a user by name.
     pub fn register_user(&self, name: &str) -> UserId {
         self.cqms.write().register_user(name)
     }
 
+    /// Create a collaboration group.
     pub fn create_group(&self, name: &str) -> GroupId {
         self.cqms.write().create_group(name)
     }
 
+    /// Add a user to a group.
     pub fn join_group(&self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
         self.cqms.write().join_group(user, group)
     }
 
+    /// Attach an annotation (durably acknowledged).
     pub fn annotate(
         &self,
         actor: UserId,
@@ -257,29 +296,46 @@ impl CqmsService {
         text: &str,
         fragment: Option<&str>,
     ) -> Result<(), CqmsError> {
-        self.cqms.write().annotate(actor, id, text, fragment)
+        let mut guard = self.cqms.write();
+        guard.annotate(actor, id, text, fragment)?;
+        guard.wal_flush()
     }
 
+    /// Change a query's ACL (durably acknowledged).
     pub fn set_visibility(
         &self,
         actor: UserId,
         id: QueryId,
         visibility: Visibility,
     ) -> Result<(), CqmsError> {
-        self.cqms.write().set_visibility(actor, id, visibility)
+        let mut guard = self.cqms.write();
+        guard.set_visibility(actor, id, visibility)?;
+        guard.wal_flush()
     }
 
+    /// Tombstone a query (durably acknowledged).
     pub fn delete_query(&self, actor: UserId, id: QueryId) -> Result<(), CqmsError> {
-        self.cqms.write().delete_query(actor, id)
+        let mut guard = self.cqms.write();
+        guard.delete_query(actor, id)?;
+        guard.wal_flush()
     }
 
-    /// Run one synchronous miner epoch on the caller's thread.
+    /// Run one synchronous miner epoch on the caller's thread. (The WAL
+    /// flush here is best-effort: the epoch only derives state, except
+    /// for a due snapshot, which handles its own durability.)
     pub fn run_miner_epoch(&self) -> MinerReport {
-        self.cqms.write().run_miner_epoch()
+        let mut guard = self.cqms.write();
+        let report = guard.run_miner_epoch();
+        let _ = guard.wal_flush();
+        report
     }
 
+    /// Run one Query Maintenance pass (validity sweep + stats refresh).
     pub fn run_maintenance(&self) -> Result<(MaintenanceReport, RefreshReport), CqmsError> {
-        self.cqms.write().run_maintenance()
+        let mut guard = self.cqms.write();
+        let out = guard.run_maintenance()?;
+        guard.wal_flush()?;
+        Ok(out)
     }
 
     /// Execute a scheduled index rebuild, double-buffered: the snapshot

@@ -56,6 +56,7 @@ pub struct FeatureInterner {
 }
 
 impl FeatureInterner {
+    /// An empty interner.
     pub fn new() -> Self {
         Self::default()
     }
@@ -87,6 +88,7 @@ impl FeatureInterner {
         self.names.len()
     }
 
+    /// Is the interner empty?
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }

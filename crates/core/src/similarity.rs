@@ -16,6 +16,7 @@ use std::collections::HashSet;
 /// defined in terms of query parse trees, features, or output data").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DistanceKind {
+    /// Weighted Jaccard over the three syntactic feature namespaces.
     Features,
     /// Cheap diff-based parse-tree distance (edit-op count, normalised).
     ParseTree,
@@ -24,6 +25,7 @@ pub enum DistanceKind {
     /// after removing the constants from the tree"). More faithful, ~4-6x
     /// slower than [`DistanceKind::ParseTree`] (ablation A3).
     TreeEdit,
+    /// Jaccard over hashed output rows/cells.
     Output,
     /// Weighted blend of whatever signals are available.
     Combined,

@@ -19,6 +19,7 @@ use crate::metricindex::MetricIndexStats;
 use crate::model::*;
 use crate::postings::PostingList;
 use crate::signature::{FeatureInterner, SimSignature};
+use crate::wal::{InsertFrame, WalOp, WalWriter};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use textindex::{InvertedIndex, TrigramIndex};
@@ -50,6 +51,10 @@ pub struct QueryStorage {
     /// `insert`/`delete`/`set_validity`; validity must never be flipped
     /// through `get_mut`).
     live: usize,
+    /// Write-ahead log, when this store is durable ([`crate::wal`]). Every
+    /// sanctioned mutator logs its operation here; durability happens at
+    /// the service layer's per-batch [`QueryStorage::wal_flush`].
+    wal: Option<WalWriter>,
 }
 
 impl Default for QueryStorage {
@@ -59,6 +64,7 @@ impl Default for QueryStorage {
 }
 
 impl QueryStorage {
+    /// An empty storage with freshly created feature relations.
     pub fn new() -> Self {
         let mut meta = relstore::Engine::new();
         features::create_feature_relations(&mut meta);
@@ -75,6 +81,7 @@ impl QueryStorage {
             signatures: Vec::new(),
             indexes: IndexRegistry::new(),
             live: 0,
+            wal: None,
         }
     }
 
@@ -83,6 +90,7 @@ impl QueryStorage {
         self.records.len()
     }
 
+    /// Is the log empty?
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -159,17 +167,24 @@ impl QueryStorage {
         if !tombstoned {
             self.indexes.note_insert(&record, &sig);
         }
+        if self.wal.is_some() {
+            let op = WalOp::Insert(Box::new(InsertFrame::of(&record)));
+            self.wal_log(op);
+        }
         self.signatures.push(sig);
         self.records.push(record);
         id
     }
 
+    /// Look up a record by id (tombstoned records included).
     pub fn get(&self, id: QueryId) -> Result<&QueryRecord, CqmsError> {
         self.records
             .get(id.0 as usize)
             .ok_or_else(|| CqmsError::NotFound(format!("query {id}")))
     }
 
+    /// Mutable record access. Bypasses every index/WAL hook — callers
+    /// must keep derived state coherent (prefer the typed mutators).
     pub fn get_mut(&mut self, id: QueryId) -> Result<&mut QueryRecord, CqmsError> {
         self.records
             .get_mut(id.0 as usize)
@@ -238,9 +253,15 @@ impl QueryStorage {
 
     /// Record a session-graph edge.
     pub fn add_edge(&mut self, edge: SessionEdge) {
+        self.wal_log(WalOp::Edge {
+            from: edge.from,
+            to: edge.to,
+            kind: edge.kind,
+        });
         self.edges.push(edge);
     }
 
+    /// The session graph's edges, in insertion order.
     pub fn edges(&self) -> &[SessionEdge] {
         &self.edges
     }
@@ -273,7 +294,17 @@ impl QueryStorage {
 
     /// Attach an annotation (§2.1).
     pub fn annotate(&mut self, id: QueryId, annotation: Annotation) -> Result<(), CqmsError> {
+        let logged = self.wal.is_some().then(|| annotation.clone());
         self.get_mut(id)?.annotations.push(annotation);
+        if let Some(a) = logged {
+            self.wal_log(WalOp::Annotate {
+                id,
+                author: a.author,
+                at: a.at,
+                text: a.text,
+                fragment: a.fragment,
+            });
+        }
         Ok(())
     }
 
@@ -310,6 +341,7 @@ impl QueryStorage {
         // rebuild past the threshold — the probe path keeps serving the
         // published generation either way.
         self.indexes.note_tombstone();
+        self.wal_log(WalOp::Tombstone { id });
         Ok(())
     }
 
@@ -334,12 +366,16 @@ impl QueryStorage {
                 "query {id} is tombstoned and cannot change validity"
             )));
         }
+        let logged = self.wal.is_some().then(|| validity.clone());
         let (was_live, now_live) = {
             let r = self.get_mut(id)?;
             let was_live = r.is_live();
             r.validity = validity;
             (was_live, r.is_live())
         };
+        if let Some(v) = logged {
+            self.wal_log(WalOp::SetValidity { id, validity: v });
+        }
         // The VP-tree needs no update on either transition: it indexes
         // every non-tombstoned record and filters liveness at query time,
         // so a flagged record is hidden now and findable again the moment
@@ -355,6 +391,15 @@ impl QueryStorage {
             }
             _ => {}
         }
+        Ok(())
+    }
+
+    /// Change a record's access control (§2.4 administrative interaction).
+    /// The sanctioned route for visibility edits: unlike a bare `get_mut`
+    /// assignment, this logs the change to the WAL when one is attached.
+    pub fn set_visibility(&mut self, id: QueryId, visibility: Visibility) -> Result<(), CqmsError> {
+        self.get_mut(id)?.visibility = visibility;
+        self.wal_log(WalOp::SetVisibility { id, visibility });
         Ok(())
     }
 
@@ -471,6 +516,7 @@ impl QueryStorage {
         // the fresh signature) and schedule the background rebuild that
         // retires it — no index is dropped, no probe pays a lazy build.
         self.indexes.note_reindex(id.0);
+        self.wal_log(WalOp::Reindex { id, raw_sql: sql });
         Ok(())
     }
 
@@ -680,11 +726,91 @@ impl QueryStorage {
     }
 
     // ------------------------------------------------------------------
+    // Durability (see crate::wal)
+    // ------------------------------------------------------------------
+
+    /// Log one op to the attached WAL (no-op on a pure-RAM store).
+    fn wal_log(&mut self, op: WalOp) {
+        if let Some(w) = self.wal.as_mut() {
+            w.log(&op);
+        }
+    }
+
+    /// Attach a write-ahead log: every subsequent sanctioned mutation is
+    /// logged and becomes durable at the next [`QueryStorage::wal_flush`].
+    pub fn attach_wal(&mut self, writer: WalWriter) {
+        self.wal = Some(writer);
+    }
+
+    /// Detach the WAL (ops stop being logged), returning the writer.
+    pub fn detach_wal(&mut self) -> Option<WalWriter> {
+        self.wal.take()
+    }
+
+    /// Is this store durable?
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Make every logged op durable — the acknowledgement point the
+    /// service layer hits once per write operation / ingest batch.
+    pub fn wal_flush(&mut self) -> Result<(), CqmsError> {
+        match self.wal.as_mut() {
+            Some(w) => w.flush().map_err(crate::wal::wal_io),
+            None => Ok(()),
+        }
+    }
+
+    /// LSN of the most recently logged op (None without a WAL).
+    pub fn wal_last_lsn(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.last_lsn())
+    }
+
+    /// Ops logged since the last snapshot mark (0 without a WAL) — the
+    /// miner epoch's snapshot trigger.
+    pub fn wal_ops_since_snapshot(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.ops_since_snapshot())
+    }
+
+    /// A snapshot at `horizon` is durable elsewhere: rotate to a fresh
+    /// segment and prune what the snapshot covers (the off-lock snapshot
+    /// path, which wrote the file itself via [`crate::wal::write_snapshot_file`]).
+    pub fn wal_mark_snapshot(&mut self, horizon: u64) -> Result<(), CqmsError> {
+        match self.wal.as_mut() {
+            Some(w) => w.mark_snapshot(horizon).map_err(crate::wal::wal_io),
+            None => Ok(()),
+        }
+    }
+
+    /// Write a snapshot body through the sink, then mark it (the inline
+    /// path for synchronous callers and in-memory sinks).
+    pub fn wal_write_snapshot(&mut self, horizon: u64, body: &[u8]) -> Result<(), CqmsError> {
+        match self.wal.as_mut() {
+            Some(w) => w.write_snapshot(horizon, body).map_err(crate::wal::wal_io),
+            None => Ok(()),
+        }
+    }
+
+    /// The WAL directory when the sink is file-backed (None otherwise).
+    pub fn wal_snapshot_dir(&self) -> Option<std::path::PathBuf> {
+        self.wal.as_ref().and_then(|w| w.snapshot_dir())
+    }
+
+    // ------------------------------------------------------------------
     // Snapshot / restore
     // ------------------------------------------------------------------
 
     /// Persist the storage as a TSV-ish text snapshot. Indexes and feature
     /// relations are derived state and get rebuilt on load.
+    ///
+    /// ```
+    /// use cqms_core::storage::QueryStorage;
+    ///
+    /// let storage = QueryStorage::new();
+    /// let mut buf = Vec::new();
+    /// storage.snapshot(&mut buf).unwrap();
+    /// assert!(buf.starts_with(b"cqms-snapshot v1"));
+    /// ```
     pub fn snapshot(&self, mut out: impl Write) -> Result<(), CqmsError> {
         let w = &mut out;
         writeln!(w, "cqms-snapshot v1").map_err(io_err)?;
@@ -763,6 +889,16 @@ impl QueryStorage {
     /// Statements are re-parsed and features re-extracted; the text indexes
     /// and feature relations are rebuilt. Output summaries are *not*
     /// persisted (they are statistics, re-creatable by maintenance refresh).
+    ///
+    /// ```
+    /// use cqms_core::storage::QueryStorage;
+    ///
+    /// let storage = QueryStorage::new();
+    /// let mut buf = Vec::new();
+    /// storage.snapshot(&mut buf).unwrap();
+    /// let restored = QueryStorage::load(buf.as_slice()).unwrap();
+    /// assert_eq!(restored.len(), storage.len());
+    /// ```
     pub fn load(reader: impl BufRead) -> Result<QueryStorage, CqmsError> {
         let mut storage = QueryStorage::new();
         #[derive(PartialEq)]

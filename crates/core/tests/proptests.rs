@@ -10,6 +10,7 @@ use cqms_core::miner::assoc::mine_apriori;
 use cqms_core::model::*;
 use cqms_core::similarity::{self, DistanceKind};
 use cqms_core::storage::{make_record, QueryStorage};
+use cqms_core::wal::{MemSink, WalWriter};
 use cqms_core::CqmsConfig;
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -203,6 +204,44 @@ fn knn_record_strategy(id: u64) -> impl Strategy<Value = QueryRecord> {
             }
             rec
         })
+}
+
+/// One step of a generated WAL workload: every logged mutation kind,
+/// plus explicit flush points and full snapshot cycles, in any order.
+#[derive(Debug, Clone)]
+enum WalStep {
+    Insert(String),
+    Delete(usize),
+    Flag(usize),
+    Repair(usize),
+    Annotate(usize, String),
+    Visibility(usize, Visibility),
+    Edge(usize, usize, bool),
+    Reindex(usize),
+    Flush,
+    Snapshot,
+}
+
+fn wal_step_strategy() -> impl Strategy<Value = WalStep> {
+    prop_oneof![
+        4 => sql_strategy().prop_map(WalStep::Insert),
+        1 => (0usize..32).prop_map(WalStep::Delete),
+        1 => (0usize..32).prop_map(WalStep::Flag),
+        1 => (0usize..32).prop_map(WalStep::Repair),
+        1 => ((0usize..32), annotation_strategy())
+            .prop_map(|(i, t)| WalStep::Annotate(i, t)),
+        1 => ((0usize..32), any::<bool>()).prop_map(|(i, public)| {
+            WalStep::Visibility(
+                i,
+                if public { Visibility::Public } else { Visibility::Private },
+            )
+        }),
+        1 => ((0usize..32), (0usize..32), any::<bool>())
+            .prop_map(|(a, b, inv)| WalStep::Edge(a, b, inv)),
+        1 => (0usize..32).prop_map(WalStep::Reindex),
+        2 => Just(WalStep::Flush),
+        1 => Just(WalStep::Snapshot),
+    ]
 }
 
 // ---------------------------------------------------------------------
@@ -698,6 +737,120 @@ proptest! {
             );
         }
         prop_assert_eq!(restored.live_count(), st.live_count());
+    }
+
+    /// WAL replay reproduces the live state exactly under arbitrary
+    /// interleavings of logged mutations, flush points and snapshot
+    /// cycles (snapshot → rotate → prune). After a final flush, recovery
+    /// from the durable in-memory log — newest snapshot plus whatever
+    /// segments survived pruning — must equal the storage that wrote it.
+    #[test]
+    fn wal_replay_matches_live_state_across_snapshot_interleavings(
+        steps in proptest::collection::vec(wal_step_strategy(), 1..40),
+    ) {
+        let (sink, log) = MemSink::new();
+        let mut st = QueryStorage::new();
+        st.attach_wal(WalWriter::new(Box::new(sink), 1));
+        for step in steps {
+            let n = st.len();
+            match step {
+                WalStep::Insert(sql) => {
+                    let stmt = sqlparse::parse(&sql).ok();
+                    let feats = stmt.as_ref().map(|s| extract(s, None)).unwrap_or_default();
+                    let id = n as u64;
+                    st.insert(make_record(
+                        QueryId(id),
+                        UserId((id % 3) as u32),
+                        1_000 + id * 60,
+                        &sql,
+                        stmt,
+                        feats,
+                        RuntimeFeatures { elapsed_us: id, success: true, ..Default::default() },
+                        OutputSummary::None,
+                        SessionId(id / 4),
+                        Visibility::Public,
+                    ));
+                }
+                WalStep::Delete(i) if n > 0 => {
+                    let _ = st.delete(QueryId((i % n) as u64));
+                }
+                WalStep::Flag(i) if n > 0 => {
+                    let id = QueryId((i % n) as u64);
+                    if st.get(id).unwrap().validity != Validity::Deleted {
+                        st.set_validity(
+                            id,
+                            Validity::Flagged { reason: "drift".into(), at: 1 },
+                        ).unwrap();
+                    }
+                }
+                WalStep::Repair(i) if n > 0 => {
+                    let id = QueryId((i % n) as u64);
+                    if st.get(id).unwrap().validity != Validity::Deleted {
+                        st.set_validity(
+                            id,
+                            Validity::Repaired { original_sql: "x".into(), at: 2 },
+                        ).unwrap();
+                    }
+                }
+                WalStep::Annotate(i, text) if n > 0 => {
+                    let _ = st.annotate(
+                        QueryId((i % n) as u64),
+                        Annotation { author: UserId(0), at: 9, text, fragment: None },
+                    );
+                }
+                WalStep::Visibility(i, vis) if n > 0 => {
+                    st.set_visibility(QueryId((i % n) as u64), vis).unwrap();
+                }
+                WalStep::Edge(a, b, inv) if n > 0 => {
+                    let from = QueryId((a % n) as u64);
+                    let to = QueryId((b % n) as u64);
+                    let edits = match (
+                        st.get(from).ok().and_then(|r| r.statement.clone()),
+                        st.get(to).ok().and_then(|r| r.statement.clone()),
+                    ) {
+                        (Some(x), Some(y)) => sqlparse::diff_statements(&x, &y),
+                        _ => Vec::new(),
+                    };
+                    st.add_edge(SessionEdge {
+                        from,
+                        to,
+                        kind: if inv { EdgeKind::Investigation } else { EdgeKind::Evolution },
+                        edits,
+                    });
+                }
+                WalStep::Reindex(i) if n > 0 => {
+                    let id = QueryId((i % n) as u64);
+                    if st.get(id).unwrap().validity != Validity::Deleted {
+                        st.reindex(id).unwrap();
+                    }
+                }
+                WalStep::Flush => st.wal_flush().unwrap(),
+                WalStep::Snapshot => {
+                    let mut body = Vec::new();
+                    st.snapshot(&mut body).unwrap();
+                    let horizon = st.wal_last_lsn().unwrap_or(0);
+                    st.wal_write_snapshot(horizon, &body).unwrap();
+                }
+                // Index-targeting steps against an empty store: no-ops.
+                _ => {}
+            }
+        }
+        st.wal_flush().unwrap();
+        let (recovered, report) = log.lock().recover().unwrap();
+        prop_assert_eq!(report.frames_failed, 0, "replay failures: {}", report);
+        prop_assert_eq!(recovered.len(), st.len());
+        prop_assert_eq!(recovered.live_count(), st.live_count());
+        prop_assert_eq!(recovered.template_histogram(), st.template_histogram());
+        for r in st.iter() {
+            let q = recovered.get(r.id).unwrap();
+            prop_assert_eq!(&q.raw_sql, &r.raw_sql);
+            prop_assert_eq!(&q.validity, &r.validity);
+            prop_assert_eq!(q.visibility, r.visibility);
+            prop_assert_eq!(q.session, r.session);
+            prop_assert_eq!(q.template_fp, r.template_fp);
+            prop_assert_eq!(q.annotations.len(), r.annotations.len());
+        }
+        prop_assert_eq!(recovered.edges().len(), st.edges().len());
     }
 
     /// Distance metrics satisfy identity, symmetry and [0, 1] bounds.

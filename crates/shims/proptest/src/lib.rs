@@ -24,7 +24,7 @@ pub mod test_runner;
 pub use strategy::{BoxedStrategy, Just, Strategy, Union};
 pub use test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
 
-/// `proptest::arbitrary` subset: [`any`] over primitive types.
+/// `proptest::arbitrary` subset: [`arbitrary::any`] over primitive types.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;

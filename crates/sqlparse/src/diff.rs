@@ -125,7 +125,7 @@ pub fn diff_selects(a: &SelectStatement, b: &SelectStatement) -> Vec<EditOp> {
 }
 
 /// [`diff_selects`] over statements already passed through
-/// [`fold_select`]. Folding is idempotent, so this produces the exact
+/// `fold_select`. Folding is idempotent, so this produces the exact
 /// same edits as `diff_selects` on the originals — callers that compare
 /// one query against many (kNN) fold each side once instead of per pair.
 pub fn diff_selects_folded(a: &SelectStatement, b: &SelectStatement) -> Vec<EditOp> {
@@ -244,7 +244,7 @@ pub fn edit_distance_normalized(a: &SelectStatement, b: &SelectStatement) -> f64
     (edits / size).min(1.0)
 }
 
-/// [`edit_distance_normalized`] over pre-[`fold_select`]ed statements —
+/// [`edit_distance_normalized`] over pre-`fold_select`ed statements —
 /// float-for-float the same value (folding changes neither the edit list
 /// nor [`select_size`]), without the two per-pair statement clones.
 pub fn edit_distance_normalized_folded(a: &SelectStatement, b: &SelectStatement) -> f64 {
