@@ -12,15 +12,22 @@
 //! 4-reader mean is ≤ half the 1-reader mean). Every reader count gets a
 //! fresh service + writer so the log size at measurement time is identical
 //! across configurations.
+//!
+//! PR 7 adds the sharded axes: `writers_sharded/{1,4,8}` (a fixed batch
+//! of writes fanned over 8 threads against N independently write-locked
+//! shards) and `sharded_read/{idle,storm8}` (merged cross-shard reads
+//! with and without an 8-writer storm).
 
 use cqms_bench::logged_cqms;
 use cqms_core::model::UserId;
 use cqms_core::service::CqmsService;
+use cqms_core::shard::ShardedCqms;
+use cqms_core::CqmsConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use workload::Domain;
+use workload::{Domain, Trace, TraceConfig};
 
 /// Total read operations per measured iteration (divisible by 1, 2, 4, 8).
 const READ_OPS: usize = 120;
@@ -143,7 +150,139 @@ fn bench(c: &mut Criterion) {
         let rebuilds = rebuilder.join().expect("rebuilder thread panicked");
         assert!(rebuilds > 0, "rebuilder never published a generation");
     }
+
+    // Sharded write throughput (PR 7): the same fixed batch of writes,
+    // fanned over 8 writer threads, against 1/4/8 shards. With one shard
+    // every writer serialises on the single write lock; with N shards
+    // only same-shard writers contend, so the mean should fall roughly
+    // with the shard count until routing collisions dominate.
+    const WRITE_OPS: usize = 96;
+    const WRITERS: usize = 8;
+    for shards in [1usize, 4, 8] {
+        let (s, _) = sharded_logged(shards);
+        // Pick writer users that spread evenly over the shards (writer t
+        // on shard t % N), so the axis measures lock contention, not
+        // routing luck at a tiny user count.
+        let mut writer_users: Vec<UserId> = Vec::with_capacity(WRITERS);
+        let mut candidate = 0usize;
+        while writer_users.len() < WRITERS {
+            let u = s.register_user(&format!("writer-{candidate}"));
+            candidate += 1;
+            if s.shard_of(u) == writer_users.len() % shards {
+                writer_users.push(u);
+            }
+        }
+        let per_thread = WRITE_OPS / WRITERS;
+        group.bench_function(BenchmarkId::new("writers_sharded", shards), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for (t, &u) in writer_users.iter().enumerate() {
+                        let s = s.clone();
+                        scope.spawn(move || {
+                            for i in 0..per_thread {
+                                let sql = format!(
+                                    "SELECT * FROM WaterTemp WHERE temp < {}",
+                                    (t * per_thread + i) % 30
+                                );
+                                std::hint::black_box(s.run_query(u, &sql).unwrap());
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+
+    // Sharded read latency, idle vs under an 8-writer storm: with writes
+    // spread across 8 independently-locked shards and the per-shard read
+    // path epoch-based, a full writer storm should cost readers well
+    // under 2× the idle figure. Each iteration is self-contained — the
+    // read batch races 8 writers pushing a *fixed* quota of churned
+    // writes (insert + tombstone of the previous one), so the log stays
+    // near its seeded size and every sample measures the same workload
+    // instead of an ever-growing store.
+    const STORM_WRITES: usize = 12;
+    for (label, storm_writers) in [("idle", 0usize), ("storm8", 8)] {
+        let (s, users) = sharded_logged(8);
+        let user = users[0];
+        let writer_users: Vec<UserId> = (0..storm_writers)
+            .map(|w| s.register_user(&format!("storm-{w}")))
+            .collect();
+
+        group.bench_function(BenchmarkId::new("sharded_read", label), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for (w, &u) in writer_users.iter().enumerate() {
+                        let s = s.clone();
+                        scope.spawn(move || {
+                            let mut prev = None;
+                            for i in 0..STORM_WRITES {
+                                let sql = format!(
+                                    "SELECT * FROM WaterTemp WHERE temp < {}",
+                                    (w * STORM_WRITES + i) % 30
+                                );
+                                if let Ok(out) = s.run_query(u, &sql) {
+                                    if let Some(old) = prev.replace(out.id) {
+                                        let _ = s.delete_query(u, old);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                    sharded_read_ops(&s, user, READ_OPS);
+                });
+            })
+        });
+    }
     group.finish();
+}
+
+/// Build a sharded deployment replaying the same 1500-query trace the
+/// unsharded axes use (`logged_cqms(Domain::Lakes, 1500, 0xE10)`).
+fn sharded_logged(shards: usize) -> (ShardedCqms, Vec<UserId>) {
+    let trace = Trace::generate(
+        TraceConfig::new(Domain::Lakes)
+            .with_sessions(300)
+            .with_users(6)
+            .with_scale(300)
+            .with_seed(0xE10),
+    );
+    let config = CqmsConfig {
+        shards,
+        ..CqmsConfig::default()
+    };
+    let s = ShardedCqms::new(|| trace.build_engine(), config);
+    let users: Vec<UserId> = (0..6)
+        .map(|i| s.register_user(&format!("user-{i}")))
+        .collect();
+    for q in &trace.queries {
+        let _ = s.run_query_at(users[q.user as usize % users.len()], &q.sql, q.ts);
+    }
+    (s, users)
+}
+
+/// The cross-shard mirror of [`read_ops`]: the same rotation over the
+/// three online read paths, served by k-way merges.
+fn sharded_read_ops(s: &ShardedCqms, user: UserId, ops: usize) {
+    for i in 0..ops {
+        match i % 3 {
+            0 => {
+                std::hint::black_box(s.complete(user, "SELECT * FROM WaterSalinity, ", 5));
+            }
+            1 => {
+                std::hint::black_box(s.search_keyword(user, "temp", 10));
+            }
+            _ => {
+                std::hint::black_box(
+                    s.search_feature_sql(
+                        user,
+                        "SELECT qid FROM DataSources WHERE relName = 'watertemp'",
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+    }
 }
 
 criterion_group!(benches, bench);

@@ -88,8 +88,31 @@ pub struct CqmsConfig {
     /// snapshots ride the existing background-maintenance seam.
     pub snapshot_every_ops: u64,
 
+    // --- Sharding ---
+    /// Number of independently write-locked shards a
+    /// [`crate::shard::ShardedCqms`] splits the query log into. Queries
+    /// route by user hash; `1` is an unsharded deployment. Defaults to
+    /// `min(8, available cores)` and honours the `CQMS_SHARDS` environment
+    /// variable (CI's shard-stress lever).
+    pub shards: usize,
+
     /// Deterministic seed for sampling/clustering.
     pub seed: u64,
+}
+
+/// The default shard count: `CQMS_SHARDS` when set and positive, otherwise
+/// `min(8, available cores)`.
+pub fn default_shards() -> usize {
+    if let Ok(s) = std::env::var("CQMS_SHARDS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
 }
 
 impl Default for CqmsConfig {
@@ -120,6 +143,7 @@ impl Default for CqmsConfig {
             rank_quality: 0.1,
             wal_fsync: true,
             snapshot_every_ops: 8192,
+            shards: default_shards(),
             seed: 0xC1D2_2009,
         }
     }

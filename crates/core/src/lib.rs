@@ -43,6 +43,7 @@ pub mod postings;
 pub mod profiler;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod signature;
 pub mod similarity;
 pub mod storage;
@@ -54,4 +55,5 @@ pub use error::CqmsError;
 pub use model::{Annotation, QueryId, QueryRecord, SessionId, UserId, Visibility};
 pub use server::Cqms;
 pub use service::{CqmsService, IngestItem};
+pub use shard::ShardedCqms;
 pub use wal::RecoveryReport;

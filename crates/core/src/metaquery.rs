@@ -159,6 +159,35 @@ impl<'a> MetaQueryExecutor<'a> {
             .collect()
     }
 
+    /// [`MetaQueryExecutor::keyword`] scored against externally supplied
+    /// corpus statistics (`total_docs` live documents, per-term document
+    /// frequencies `df`). A sharded deployment sums each shard's stats and
+    /// passes the totals here, so every shard weighs terms with the
+    /// *global* IDF and the cross-shard merge reproduces the unsharded
+    /// scores exactly.
+    pub fn keyword_with_corpus(
+        &self,
+        viewer: UserId,
+        query: &str,
+        k: usize,
+        total_docs: u64,
+        df: &std::collections::HashMap<String, u64>,
+    ) -> Vec<ScoredHit> {
+        self.storage
+            .text_index()
+            .search_with_corpus(query, k * 4, total_docs, df)
+            .into_iter()
+            .filter_map(|h| {
+                let rec = self.storage.get(QueryId(h.doc)).ok()?;
+                self.visible(viewer, rec).then_some(ScoredHit {
+                    id: QueryId(h.doc),
+                    score: h.score,
+                })
+            })
+            .take(k)
+            .collect()
+    }
+
     /// Substring search over query text.
     pub fn substring(&self, viewer: UserId, needle: &str) -> Vec<QueryId> {
         self.storage

@@ -52,6 +52,10 @@ pub struct MinerReport {
     pub index_generation: u64,
     /// Did this epoch write a durable snapshot and truncate the WAL?
     pub snapshot_written: bool,
+    /// The WAL flush that closes the epoch failed: state the epoch derived
+    /// (refined sessions, rotations) may not be durable yet. `None` means
+    /// the flush succeeded (or there is no WAL attached).
+    pub wal_flush_error: Option<CqmsError>,
 }
 
 /// The Collaborative Query Management System.
@@ -287,6 +291,30 @@ impl Cqms {
     /// TF-IDF keyword search over logged query text.
     pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
         MetaQueryExecutor::new(&self.storage, &self.directory, &self.config).keyword(user, query, k)
+    }
+
+    /// Corpus statistics of this instance's text index for `query`: live
+    /// document count and per-term document frequencies. A sharded
+    /// deployment sums these across shards and feeds the totals to
+    /// [`Cqms::search_keyword_with_corpus`] so keyword scores are
+    /// shard-placement independent.
+    pub fn keyword_corpus_stats(&self, query: &str) -> (u64, HashMap<String, u64>) {
+        let ix = self.storage.text_index();
+        (ix.len() as u64, ix.query_term_dfs(query))
+    }
+
+    /// [`Cqms::search_keyword`] with externally supplied corpus statistics
+    /// (the cross-shard global-IDF path).
+    pub fn search_keyword_with_corpus(
+        &self,
+        user: UserId,
+        query: &str,
+        k: usize,
+        total_docs: u64,
+        df: &HashMap<String, u64>,
+    ) -> Vec<ScoredHit> {
+        MetaQueryExecutor::new(&self.storage, &self.directory, &self.config)
+            .keyword_with_corpus(user, query, k, total_docs, df)
     }
 
     /// Exact substring search over logged query text.
@@ -687,14 +715,25 @@ impl Drop for BackgroundMiner {
     }
 }
 
-/// One miner epoch with a bounded write-lock retry (~1 s grace).
+/// Write-lock retry budget of one normal background epoch: 500 × 2 ms ≈ 1 s.
+const MINER_GRACE_ATTEMPTS: usize = 500;
+/// Escalated budget once [`MINER_STARVATION_EPOCHS`] consecutive epochs were
+/// skipped: a continuous writer storm hands the lock over in microsecond
+/// windows, so a starving miner widens its net (~4 s) instead of skipping
+/// forever. Still bounded — stopping the miner can never deadlock.
+const MINER_ESCALATED_ATTEMPTS: usize = 2000;
+/// Consecutive skipped epochs before the grace loop escalates.
+const MINER_STARVATION_EPOCHS: usize = 3;
+
+/// One miner epoch with a bounded write-lock retry (`attempts` × 2 ms grace).
 ///
 /// The miner must never *block* on the CQMS lock: a client that stops (or
 /// drops) the miner handle while holding a guard would otherwise deadlock
 /// the join — the joiner waits on the miner, the miner waits on the write
 /// lock, the lock waits on the joiner's guard. Transient contention still
 /// gets its epoch via the retries; a lock held for the whole grace period
-/// skips the epoch instead of hanging. Returns whether the epoch ran.
+/// skips the epoch instead of hanging. Returns the epoch's report, or
+/// `None` when the epoch was skipped.
 ///
 /// A scheduled index rebuild is double-buffered here: the snapshot is
 /// collected under a momentary read lock (cheap `Arc` clones), the
@@ -702,7 +741,7 @@ impl Drop for BackgroundMiner {
 /// readers *and* writers keep working against generation N the whole
 /// time — and the publish under the write lock only replays the
 /// mid-build delta and performs the single atomic swap.
-fn try_miner_epoch(cqms: &RwLock<Cqms>) -> bool {
+fn try_miner_epoch(cqms: &RwLock<Cqms>, attempts: usize) -> Option<MinerReport> {
     let snapshot = cqms.try_read().and_then(|guard| {
         guard
             .storage
@@ -710,7 +749,7 @@ fn try_miner_epoch(cqms: &RwLock<Cqms>) -> bool {
             .then(|| guard.storage.collect_index_rebuild())
     });
     let mut build = snapshot.map(crate::indexreg::RebuildSnapshot::build); // off-lock
-    for _ in 0..500 {
+    for _ in 0..attempts {
         if let Some(mut guard) = cqms.try_write() {
             if let Some(b) = build.take() {
                 // A racing explicit rebuild may have published newer
@@ -721,16 +760,22 @@ fn try_miner_epoch(cqms: &RwLock<Cqms>) -> bool {
             // A rebuild that became pending after (or was invisible to)
             // the off-lock collect is *deferred* to the next cycle's
             // collect/build — never built inline under the write lock.
-            guard.miner_epoch(false);
+            let mut report = guard.miner_epoch(false);
+            // The epoch may have re-logged state (session refinement);
+            // flush so it is durable, and surface — never swallow — a
+            // failure: the caller decides how loudly to report it.
+            if let Err(e) = guard.wal_flush() {
+                report.wal_flush_error = Some(e);
+            }
             drop(guard);
             // Durability rides the same seam: a due snapshot is written
             // off the hot path now that the epoch's write lock is gone.
-            try_wal_snapshot(cqms);
-            return true;
+            report.snapshot_written = try_wal_snapshot(cqms);
+            return Some(report);
         }
         std::thread::sleep(Duration::from_millis(2));
     }
-    false
+    None
 }
 
 /// The background snapshot path, mirroring the index rebuild's
@@ -771,7 +816,17 @@ fn try_wal_snapshot(cqms: &RwLock<Cqms>) -> bool {
         Some(dir) => {
             // Phase 2: durable write, no lock held. Ops logged meanwhile
             // have lsn > horizon and replay on top of this snapshot.
-            if wal::write_snapshot_file(&dir, horizon, &body, fsync).is_err() {
+            //
+            // A previous cycle may have written+fsynced this very horizon
+            // and then failed phase 3 (write lock never came free within
+            // the grace period), orphaning an unmarked snapshot file.
+            // Recovery already prefers that file — replay skips lsn ≤
+            // horizon — so it is safe to *reuse* it and go straight to
+            // marking instead of serialising and fsyncing it again.
+            let already_written = wal::list_snapshots(&dir)
+                .map(|snaps| snaps.iter().any(|(h, _)| *h == horizon))
+                .unwrap_or(false);
+            if !already_written && wal::write_snapshot_file(&dir, horizon, &body, fsync).is_err() {
                 return false;
             }
             // Phase 3: brief write lock to rotate + prune.
@@ -796,23 +851,51 @@ fn try_wal_snapshot(cqms: &RwLock<Cqms>) -> bool {
 }
 
 /// Spawn a miner thread that runs an epoch every `interval` until stopped.
+///
+/// Starvation resilience: every skipped epoch (grace period exhausted under
+/// writer pressure) bumps a consecutive-skip counter; after
+/// `MINER_STARVATION_EPOCHS` skips the next attempts run with the
+/// escalated (but still bounded) retry budget until an epoch lands. A WAL
+/// flush failure surfaced by an epoch is logged here — the background
+/// thread has no caller to return the report to.
 pub fn spawn_background_miner(cqms: Arc<RwLock<Cqms>>, interval: Duration) -> BackgroundMiner {
     let (stop_tx, stop_rx) = std::sync::mpsc::sync_channel::<()>(1);
     let handle = std::thread::spawn(move || {
         let mut epochs = 0usize;
+        let mut skipped = 0usize;
+        let run_one = |attempts: usize, skipped: &mut usize| -> bool {
+            match try_miner_epoch(&cqms, attempts) {
+                Some(report) => {
+                    *skipped = 0;
+                    if let Some(e) = &report.wal_flush_error {
+                        eprintln!("cqms background miner: WAL flush failed after epoch: {e}");
+                    }
+                    true
+                }
+                None => {
+                    *skipped += 1;
+                    false
+                }
+            }
+        };
         loop {
+            let attempts = if skipped >= MINER_STARVATION_EPOCHS {
+                MINER_ESCALATED_ATTEMPTS
+            } else {
+                MINER_GRACE_ATTEMPTS
+            };
             match stop_rx.recv_timeout(interval) {
                 Ok(()) => {
                     // Graceful stop: one final (best-effort) epoch over
                     // everything ingested since the last periodic run.
-                    if try_miner_epoch(&cqms) {
+                    if run_one(attempts, &mut skipped) {
                         epochs += 1;
                     }
                     break;
                 }
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                    if try_miner_epoch(&cqms) {
+                    if run_one(attempts, &mut skipped) {
                         epochs += 1;
                     }
                 }

@@ -12,10 +12,11 @@
 //!   under the *read* side of an `RwLock`, so any number of clients search
 //!   and complete concurrently. The only mutable state on this path lives
 //!   behind interior mutability: the feature-relation engine's lazy hash
-//!   indexes are only ever *try*-locked (a contended SELECT degrades to an
-//!   index-free scan instead of queueing), and the rule miner's result
-//!   cache takes a blocking lock but holds it just long enough to copy
-//!   results in or out — the mining itself runs outside the lock.
+//!   indexes are published as an epoch snapshot (`Arc`-swapped, rebuilt
+//!   off-lock — a contended SELECT never degrades or queues), and the rule
+//!   miner's result cache takes a blocking lock but holds it just long
+//!   enough to copy results in or out — the mining itself runs outside the
+//!   lock.
 //! * **Write path** — query ingestion, annotations, ACL changes, deletes,
 //!   miner epochs, maintenance passes. These take the write side and
 //!   serialise as a group, exactly like the single-user [`Cqms`].
@@ -256,6 +257,11 @@ impl CqmsService {
     /// fails, every would-be-acknowledged slot is converted to the flush
     /// error instead (nothing is acknowledged that is not durable).
     pub fn ingest_batch(&self, items: &[IngestItem]) -> Vec<Result<QueryId, CqmsError>> {
+        // An empty batch has nothing to make durable: don't contend on the
+        // write lock or pay a WAL flush for it.
+        if items.is_empty() {
+            return Vec::new();
+        }
         let mut guard = self.cqms.write();
         let results: Vec<Result<QueryId, CqmsError>> = items
             .iter()
@@ -320,13 +326,18 @@ impl CqmsService {
         guard.wal_flush()
     }
 
-    /// Run one synchronous miner epoch on the caller's thread. (The WAL
-    /// flush here is best-effort: the epoch only derives state, except
-    /// for a due snapshot, which handles its own durability.)
+    /// Run one synchronous miner epoch on the caller's thread. A failure
+    /// of the closing WAL flush is surfaced in
+    /// [`MinerReport::wal_flush_error`] rather than swallowed: the epoch
+    /// mostly derives state, but refined sessions are re-logged and a due
+    /// snapshot rotates the log, so the caller must be able to see that
+    /// those did not reach disk.
     pub fn run_miner_epoch(&self) -> MinerReport {
         let mut guard = self.cqms.write();
-        let report = guard.run_miner_epoch();
-        let _ = guard.wal_flush();
+        let mut report = guard.run_miner_epoch();
+        if let Err(e) = guard.wal_flush() {
+            report.wal_flush_error = Some(e);
+        }
         report
     }
 
@@ -439,6 +450,43 @@ mod tests {
         assert_eq!(svc.live_count(), 3);
         // The clock-ticking item advanced past the explicit timestamps.
         assert_eq!(svc.now(), 160);
+    }
+
+    #[test]
+    fn empty_batch_takes_no_lock_and_flushes_nothing() {
+        let (svc, _user) = service();
+        let shared = svc.shared();
+        let _guard = shared.write();
+        // Would deadlock here if the empty batch still acquired the write
+        // lock (same thread already holds it).
+        assert!(svc.ingest_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_explicit_timestamps_never_regress_the_clock() {
+        let (svc, user) = service();
+        // A ticking item advances to 30; explicit timestamps then arrive
+        // out of order and must never rewind `now()`.
+        svc.run_query(user, "SELECT * FROM WaterTemp").unwrap();
+        assert_eq!(svc.now(), 30);
+        svc.run_query_at(user, "SELECT * FROM WaterTemp WHERE temp < 5", 500)
+            .unwrap();
+        svc.run_query_at(user, "SELECT * FROM WaterTemp WHERE temp < 6", 100)
+            .unwrap();
+        assert_eq!(svc.now(), 500, "stale explicit timestamp rewound now()");
+        // A ticking item continues from the high-water mark.
+        svc.run_query(user, "SELECT salinity FROM WaterSalinity")
+            .unwrap();
+        assert_eq!(svc.now(), 530);
+        // The batched variant of the same interleaving (the `now() == 160`
+        // case of `batched_ingestion_...`, scrambled out of order).
+        let batch = vec![
+            IngestItem::at(user, "SELECT * FROM WaterTemp WHERE temp < 20", 700),
+            IngestItem::at(user, "SELECT * FROM WaterTemp WHERE temp < 18", 600),
+            IngestItem::new(user, "SELECT lake FROM WaterTemp"),
+        ];
+        assert!(svc.ingest_batch(&batch).iter().all(|r| r.is_ok()));
+        assert_eq!(svc.now(), 730, "tick must ride the monotonic maximum");
     }
 
     #[test]

@@ -1,0 +1,862 @@
+//! Sharded writes with cross-shard merged reads.
+//!
+//! After PR 6 every writer still serialised on the single `RwLock<Cqms>`
+//! inside [`CqmsService`]. [`ShardedCqms`] splits the query log into N
+//! **independently write-locked shards** — a full [`Cqms`] each, with its
+//! own storage, feature engine, text indexes, WAL directory and background
+//! miner — and routes every query to the shard owning its user. Writers on
+//! different shards never contend; readers take only the brief per-shard
+//! read locks (the per-shard read path is itself epoch-based, see
+//! `relstore::Engine` and [`crate::indexreg`]).
+//!
+//! ## Shard map
+//!
+//! Routing is by **user hash**: `shard_of(user) = splitmix64(user) % N`.
+//! Because sessions are per-user (§4.1), a user's whole session tree lives
+//! on one shard, so session segmentation, completion history and edit
+//! mining see exactly the traffic they would see unsharded.
+//!
+//! ## Global query ids (striping)
+//!
+//! Each shard assigns dense local ids; the deployment exposes
+//! `global = local × N + shard`. The mapping is a pure function of the
+//! shard count — nothing extra is persisted, so PR 6 WAL framing, snapshots
+//! and recovery work unchanged: each shard recovers its own `shard-{i}/`
+//! directory and the stripe falls back out. `locate` inverts it for
+//! id-addressed mutations (annotate / ACL / delete).
+//!
+//! ## Cross-shard merged reads
+//!
+//! Per-shard search results arrive ordered `(score desc, local id asc)`,
+//! which under striping is exactly `(score desc, global id asc)` within the
+//! shard — so a k-way [`BinaryHeap`] merge over shard cursors reproduces
+//! the *global* top-k, id-and-score exact, provided scores are
+//! shard-placement independent. kNN distances depend only on record
+//! content, and keyword TF-IDF is made placement-independent by scoring
+//! every shard with the summed corpus statistics
+//! ([`Cqms::keyword_corpus_stats`] → [`Cqms::search_keyword_with_corpus`]).
+//!
+//! ## Per-shard epoch lifecycle
+//!
+//! Miners, maintenance passes, WAL snapshots and structural-index
+//! generations all stay per shard: each shard's background miner runs the
+//! PR 5 collect → off-lock build → delta-replay publish dance against its
+//! own registry, and the PR 6 snapshot/rotation machinery sees an ordinary
+//! single-node WAL directory.
+//!
+//! ## Caveats (documented, by design)
+//!
+//! * [`ShardedCqms::recommend`] and [`ShardedCqms::complete`] normalise
+//!   popularity within each shard before merging; with user-hash routing
+//!   the per-shard corpora are near-uniform samples, but the blended ranks
+//!   are not bit-identical to an unsharded deployment the way kNN/keyword
+//!   results are.
+//! * [`ShardedCqms::search_feature_sql`] runs the meta-query on every
+//!   shard and concatenates rows (remapping a projected `qid` column to
+//!   global ids); SQL-level aggregates are therefore computed per shard,
+//!   not globally.
+//! * Each shard owns an independent *data* engine built by the engine
+//!   factory. DML routed through `run_query` mutates only the owning
+//!   shard's copy — deployments whose analysts write the underlying data
+//!   should keep the data tier external (the paper's Fig. 4 bottom box)
+//!   and treat these engines as catalogs for validation/profiling.
+
+use crate::assist::completion::Suggestion;
+use crate::assist::correction::{Correction, RepairSuggestion};
+use crate::assist::recommend::PanelRow;
+use crate::config::CqmsConfig;
+use crate::error::CqmsError;
+use crate::maintenance::{MaintenanceReport, RefreshReport};
+use crate::metaquery::{ScoredHit, TreePattern};
+use crate::miner::assoc::AssocRule;
+use crate::model::{GroupId, QueryId, UserId, Visibility};
+use crate::profiler::ProfiledQuery;
+use crate::server::{Cqms, MinerReport};
+use crate::service::{CqmsService, IngestItem};
+use crate::similarity::DistanceKind;
+use relstore::Engine;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A CQMS deployment sharded by user hash into independently write-locked
+/// [`CqmsService`]s, with cross-shard reads merged exactly. Cloning is
+/// cheap (per-shard `Arc`s plus one shared clock).
+#[derive(Clone)]
+pub struct ShardedCqms {
+    shards: Vec<CqmsService>,
+    /// Global trace clock: `run_query` ticks it by 30 s, explicit
+    /// timestamps raise it monotonically (`fetch_max`). Per-shard clocks
+    /// trail it, which is fine — every ingest carries an explicit global
+    /// timestamp down to its shard.
+    clock: Arc<AtomicU64>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ShardedCqms {
+    /// Build a pure-RAM sharded deployment. `config.shards` (≥ 1) shards
+    /// are created, each wrapping one engine from `engine_factory` (every
+    /// shard needs its own copy of the data tier's catalog).
+    pub fn new(mut engine_factory: impl FnMut() -> Engine, config: CqmsConfig) -> Self {
+        let n = config.shards.max(1);
+        let shards = (0..n)
+            .map(|_| CqmsService::new(Cqms::new(engine_factory(), config.clone())))
+            .collect();
+        ShardedCqms {
+            shards,
+            clock: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Open (or create) a *durable* sharded deployment under `dir`: shard
+    /// `i` recovers `dir/shard-{i}/` with the ordinary single-node WAL
+    /// machinery (see [`Cqms::open`]); the global clock resumes past every
+    /// shard's recovered high-water mark. The shard count must match
+    /// across restarts — the id stripe is a function of it.
+    pub fn open(
+        mut engine_factory: impl FnMut() -> Engine,
+        config: CqmsConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, CqmsError> {
+        let n = config.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        let mut clock = 0u64;
+        for i in 0..n {
+            let shard_dir = dir.as_ref().join(format!("shard-{i}"));
+            let cqms = Cqms::open(engine_factory(), config.clone(), shard_dir)?;
+            clock = clock.max(cqms.now());
+            shards.push(CqmsService::new(cqms));
+        }
+        Ok(ShardedCqms {
+            shards,
+            clock: Arc::new(AtomicU64::new(clock)),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `user`'s queries.
+    pub fn shard_of(&self, user: UserId) -> usize {
+        (splitmix64(user.0 as u64) % self.shards.len() as u64) as usize
+    }
+
+    /// The per-shard service handles (tests, benches, operators).
+    pub fn shards(&self) -> &[CqmsService] {
+        &self.shards
+    }
+
+    /// Stripe a shard-local id into the global id space.
+    pub fn globalize(&self, shard: usize, local: QueryId) -> QueryId {
+        QueryId(local.0 * self.shards.len() as u64 + shard as u64)
+    }
+
+    /// Invert [`ShardedCqms::globalize`]: which shard holds a global id,
+    /// and under which local id.
+    pub fn locate(&self, global: QueryId) -> (usize, QueryId) {
+        let n = self.shards.len() as u64;
+        ((global.0 % n) as usize, QueryId(global.0 / n))
+    }
+
+    /// Current global trace time.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(30, Ordering::SeqCst) + 30
+    }
+
+    fn observe(&self, ts: u64) {
+        self.clock.fetch_max(ts, Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Admin (broadcast: every shard keeps an identical directory)
+    // ------------------------------------------------------------------
+
+    /// Register (or look up) a user by name — broadcast, so every shard's
+    /// directory assigns the same dense id and ACL checks agree everywhere.
+    pub fn register_user(&self, name: &str) -> UserId {
+        let ids: Vec<UserId> = self.shards.iter().map(|s| s.register_user(name)).collect();
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] == w[1]),
+            "shard directories diverged registering {name:?}"
+        );
+        ids[0]
+    }
+
+    /// Create a collaboration group on every shard.
+    pub fn create_group(&self, name: &str) -> GroupId {
+        let ids: Vec<GroupId> = self.shards.iter().map(|s| s.create_group(name)).collect();
+        debug_assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        ids[0]
+    }
+
+    /// Add a user to a group on every shard.
+    pub fn join_group(&self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
+        self.shards
+            .iter()
+            .try_for_each(|s| s.join_group(user, group))
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (routed to the owning shard; only that shard locks)
+    // ------------------------------------------------------------------
+
+    /// Run + profile one query at the global clock (ticked by 30 s).
+    pub fn run_query(&self, user: UserId, sql: &str) -> Result<ProfiledQuery, CqmsError> {
+        let ts = self.tick();
+        self.route_query(user, sql, ts)
+    }
+
+    /// Run + profile one query at an explicit trace time (the global clock
+    /// never regresses: it advances to `max(now, ts)`).
+    pub fn run_query_at(
+        &self,
+        user: UserId,
+        sql: &str,
+        ts: u64,
+    ) -> Result<ProfiledQuery, CqmsError> {
+        self.observe(ts);
+        self.route_query(user, sql, ts)
+    }
+
+    fn route_query(&self, user: UserId, sql: &str, ts: u64) -> Result<ProfiledQuery, CqmsError> {
+        let shard = self.shard_of(user);
+        let mut out = self.shards[shard].run_query_at(user, sql, ts)?;
+        out.id = self.globalize(shard, out.id);
+        Ok(out)
+    }
+
+    /// Ingest a batch: items are timestamped against the global clock in
+    /// order, partitioned by owning shard, ingested with **one write-lock
+    /// acquisition and one WAL flush per touched shard**, and the results
+    /// reassembled in input order with global ids. Shards not named by the
+    /// batch are never locked.
+    pub fn ingest_batch(&self, items: &[IngestItem]) -> Vec<Result<QueryId, CqmsError>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        // Resolve every timestamp first so the batch observes one coherent
+        // global order regardless of per-shard scheduling.
+        let mut per_shard: Vec<(Vec<usize>, Vec<IngestItem>)> =
+            vec![(Vec::new(), Vec::new()); self.shards.len()];
+        for (pos, item) in items.iter().enumerate() {
+            let ts = match item.ts {
+                Some(ts) => {
+                    self.observe(ts);
+                    ts
+                }
+                None => self.tick(),
+            };
+            let shard = self.shard_of(item.user);
+            per_shard[shard].0.push(pos);
+            per_shard[shard]
+                .1
+                .push(IngestItem::at(item.user, item.sql.clone(), ts));
+        }
+        let mut out: Vec<Result<QueryId, CqmsError>> = items
+            .iter()
+            .map(|_| Err(CqmsError::NotFound("unrouted batch item".into())))
+            .collect();
+        for (shard, (positions, batch)) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let results = self.shards[shard].ingest_batch(&batch);
+            for (pos, res) in positions.into_iter().zip(results) {
+                out[pos] = res.map(|local| self.globalize(shard, local));
+            }
+        }
+        out
+    }
+
+    /// Attach an annotation (routed by the global id's stripe).
+    pub fn annotate(
+        &self,
+        actor: UserId,
+        id: QueryId,
+        text: &str,
+        fragment: Option<&str>,
+    ) -> Result<(), CqmsError> {
+        let (shard, local) = self.locate(id);
+        self.shards[shard].annotate(actor, local, text, fragment)
+    }
+
+    /// Change a query's ACL.
+    pub fn set_visibility(
+        &self,
+        actor: UserId,
+        id: QueryId,
+        visibility: Visibility,
+    ) -> Result<(), CqmsError> {
+        let (shard, local) = self.locate(id);
+        self.shards[shard].set_visibility(actor, local, visibility)
+    }
+
+    /// Tombstone a query.
+    pub fn delete_query(&self, actor: UserId, id: QueryId) -> Result<(), CqmsError> {
+        let (shard, local) = self.locate(id);
+        self.shards[shard].delete_query(actor, local)
+    }
+
+    // ------------------------------------------------------------------
+    // Read path (per-shard reads + exact k-way merges)
+    // ------------------------------------------------------------------
+
+    /// Live queries across all shards.
+    pub fn live_count(&self) -> usize {
+        self.shards.iter().map(CqmsService::live_count).sum()
+    }
+
+    /// TF-IDF keyword search, scored with **global** corpus statistics so
+    /// the merged ranking is identical to an unsharded deployment's.
+    pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
+        // Pass 1: sum each shard's live-doc count and per-term df.
+        let mut total_docs = 0u64;
+        let mut df: HashMap<String, u64> = HashMap::new();
+        for s in &self.shards {
+            let (n, local_df) = s.read(|c| c.keyword_corpus_stats(query));
+            total_docs += n;
+            for (term, d) in local_df {
+                *df.entry(term).or_insert(0) += d;
+            }
+        }
+        // Pass 2: per-shard top-k under the global stats, then merge.
+        let per_shard: Vec<Vec<ScoredHit>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.read(|c| c.search_keyword_with_corpus(user, query, k, total_docs, &df))
+                    .into_iter()
+                    .map(|h| ScoredHit {
+                        id: self.globalize(i, h.id),
+                        score: h.score,
+                    })
+                    .collect()
+            })
+            .collect();
+        merge_scored(per_shard, k)
+    }
+
+    /// Exact substring search; the merged output is ascending by global id.
+    pub fn search_substring(&self, user: UserId, needle: &str) -> Vec<QueryId> {
+        let mut out: Vec<QueryId> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.search_substring(user, needle)
+                    .into_iter()
+                    .map(move |id| QueryId(id.0 * self.shards.len() as u64 + i as u64))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Structural search by parse-tree pattern (ascending global ids).
+    pub fn search_parse_tree(&self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
+        let mut out: Vec<QueryId> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.search_parse_tree(user, pattern)
+                    .into_iter()
+                    .map(move |id| QueryId(id.0 * self.shards.len() as u64 + i as u64))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Query-by-data across shards (ascending global ids).
+    pub fn search_by_data(
+        &self,
+        user: UserId,
+        include: &[&str],
+        exclude: &[&str],
+        reexecute: bool,
+    ) -> Vec<QueryId> {
+        let mut out: Vec<QueryId> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.search_by_data(user, include, exclude, reexecute)
+                    .into_iter()
+                    .map(move |id| QueryId(id.0 * self.shards.len() as u64 + i as u64))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// kNN similarity search: per-shard bound-ordered sweeps, merged by a
+    /// heap over shard cursors — id-and-score equal to an unsharded scan
+    /// (distances depend only on record content).
+    pub fn similar_queries(
+        &self,
+        user: UserId,
+        sql: &str,
+        k: usize,
+        metric: DistanceKind,
+    ) -> Result<Vec<ScoredHit>, CqmsError> {
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for (i, s) in self.shards.iter().enumerate() {
+            let hits = s
+                .similar_queries(user, sql, k, metric)?
+                .into_iter()
+                .map(|h| ScoredHit {
+                    id: self.globalize(i, h.id),
+                    score: h.score,
+                })
+                .collect();
+            per_shard.push(hits);
+        }
+        Ok(merge_scored(per_shard, k))
+    }
+
+    /// SQL meta-query over the feature relations, run on every shard with
+    /// rows concatenated in shard order. A projected `qid` column is
+    /// remapped to global ids; SQL aggregates are per-shard (see module
+    /// docs).
+    pub fn search_feature_sql(
+        &self,
+        user: UserId,
+        sql: &str,
+    ) -> Result<relstore::QueryResult, CqmsError> {
+        let mut merged: Option<relstore::QueryResult> = None;
+        for (i, s) in self.shards.iter().enumerate() {
+            let mut r = s.search_feature_sql(user, sql)?;
+            let qid_cols: Vec<usize> = r
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.eq_ignore_ascii_case("qid"))
+                .map(|(ci, _)| ci)
+                .collect();
+            for row in &mut r.rows {
+                for &ci in &qid_cols {
+                    if let relstore::Value::Int(v) = row[ci] {
+                        if v >= 0 {
+                            row[ci] = relstore::Value::Int(v * self.shards.len() as i64 + i as i64);
+                        }
+                    }
+                }
+            }
+            match &mut merged {
+                None => merged = Some(r),
+                Some(m) => m.rows.extend(r.rows),
+            }
+        }
+        Ok(merged.expect("at least one shard"))
+    }
+
+    /// Completions merged across shards (deduplicated by suggestion text,
+    /// best score wins; per-shard popularity normalisation, see module
+    /// docs).
+    pub fn complete(&self, user: UserId, partial_sql: &str, k: usize) -> Vec<Suggestion> {
+        let mut best: HashMap<String, Suggestion> = HashMap::new();
+        for s in &self.shards {
+            for sug in s.complete(user, partial_sql, k) {
+                match best.get(&sug.text) {
+                    Some(prev) if prev.score >= sug.score => {}
+                    _ => {
+                        best.insert(sug.text.clone(), sug);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Suggestion> = best.into_values().collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(CmpOrdering::Equal)
+                .then_with(|| a.text.cmp(&b.text))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// The recommendation panel merged across shards (per-shard popularity
+    /// normalisation, see module docs).
+    pub fn recommend(
+        &self,
+        user: UserId,
+        seed_sql: &str,
+        k: usize,
+    ) -> Result<Vec<PanelRow>, CqmsError> {
+        let mut rows = Vec::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            for mut row in s.recommend(user, seed_sql, k)? {
+                row.id = self.globalize(i, row.id);
+                rows.push(row);
+            }
+        }
+        rows.sort_by(|a, b| b.score_pct.cmp(&a.score_pct).then_with(|| a.id.cmp(&b.id)));
+        rows.truncate(k);
+        Ok(rows)
+    }
+
+    /// Identifier checking is schema-driven and identical on every shard.
+    pub fn check_identifiers(&self, sql: &str) -> Vec<Correction> {
+        self.shards[0].check_identifiers(sql)
+    }
+
+    /// Empty-result repair (schema + data driven; shard 0's data engine).
+    pub fn repair_empty_result(&self, sql: &str, k: usize) -> Vec<RepairSuggestion> {
+        self.shards[0].repair_empty_result(sql, k)
+    }
+
+    /// Association rules from every shard's miner, concatenated.
+    pub fn association_rules(&self) -> Vec<AssocRule> {
+        self.shards
+            .iter()
+            .flat_map(CqmsService::association_rules)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Background maintenance (per shard)
+    // ------------------------------------------------------------------
+
+    /// Run one synchronous miner epoch on every shard.
+    pub fn run_miner_epoch(&self) -> Vec<MinerReport> {
+        self.shards
+            .iter()
+            .map(CqmsService::run_miner_epoch)
+            .collect()
+    }
+
+    /// Run one Query Maintenance pass on every shard.
+    pub fn run_maintenance(&self) -> Result<Vec<(MaintenanceReport, RefreshReport)>, CqmsError> {
+        self.shards
+            .iter()
+            .map(CqmsService::run_maintenance)
+            .collect()
+    }
+
+    /// Execute scheduled index rebuilds; returns how many shards rebuilt.
+    pub fn rebuild_indexes(&self) -> usize {
+        self.shards.iter().filter(|s| s.rebuild_indexes()).count()
+    }
+
+    /// Start one background miner per shard (all idle → `true`).
+    pub fn start_miner(&self, interval: Duration) -> bool {
+        // Eagerly start every shard's miner before folding the answers —
+        // a short-circuiting `all` would leave later shards unmined.
+        let started: Vec<bool> = self
+            .shards
+            .iter()
+            .map(|s| s.start_miner(interval))
+            .collect();
+        started.into_iter().all(|s| s)
+    }
+
+    /// Stop every shard's miner; total epochs, or `None` if none ran.
+    pub fn stop_miner(&self) -> Option<usize> {
+        let epochs: Vec<usize> = self
+            .shards
+            .iter()
+            .filter_map(CqmsService::stop_miner)
+            .collect();
+        if epochs.is_empty() {
+            None
+        } else {
+            Some(epochs.into_iter().sum())
+        }
+    }
+
+    /// Graceful shutdown of all shards (final miner epochs included).
+    pub fn shutdown(&self) -> Option<usize> {
+        self.stop_miner()
+    }
+}
+
+/// Exact k-way merge of per-shard `(score desc, id asc)` result lists via a
+/// binary heap over shard cursors. Each input list must already be sorted
+/// in that order (which every per-shard search guarantees); the output is
+/// the global top-k in the same order.
+fn merge_scored(per_shard: Vec<Vec<ScoredHit>>, k: usize) -> Vec<ScoredHit> {
+    struct Cursor {
+        shard: usize,
+        pos: usize,
+        head: ScoredHit,
+    }
+    impl PartialEq for Cursor {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == CmpOrdering::Equal
+        }
+    }
+    impl Eq for Cursor {}
+    impl PartialOrd for Cursor {
+        fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Cursor {
+        fn cmp(&self, other: &Self) -> CmpOrdering {
+            // Max-heap: better hit = higher score, then smaller id.
+            self.head
+                .score
+                .partial_cmp(&other.head.score)
+                .unwrap_or(CmpOrdering::Equal)
+                .then_with(|| other.head.id.cmp(&self.head.id))
+        }
+    }
+    let mut heap: BinaryHeap<Cursor> = per_shard
+        .iter()
+        .enumerate()
+        .filter_map(|(shard, hits)| {
+            hits.first().map(|h| Cursor {
+                shard,
+                pos: 0,
+                head: h.clone(),
+            })
+        })
+        .collect();
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let Some(cur) = heap.pop() else { break };
+        out.push(cur.head);
+        let next_pos = cur.pos + 1;
+        if let Some(h) = per_shard[cur.shard].get(next_pos) {
+            heap.push(Cursor {
+                shard: cur.shard,
+                pos: next_pos,
+                head: h.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Domain;
+
+    fn engine_factory() -> impl FnMut() -> Engine {
+        || {
+            let mut e = Engine::new();
+            Domain::Lakes.setup(&mut e, 60, 3);
+            e
+        }
+    }
+
+    fn sharded(n: usize) -> ShardedCqms {
+        let config = CqmsConfig {
+            shards: n,
+            wal_fsync: false,
+            ..CqmsConfig::default()
+        };
+        ShardedCqms::new(engine_factory(), config)
+    }
+
+    #[test]
+    fn stripe_roundtrips() {
+        let s = sharded(4);
+        for shard in 0..4 {
+            for local in [0u64, 1, 7, 1000] {
+                let g = s.globalize(shard, QueryId(local));
+                assert_eq!(s.locate(g), (shard, QueryId(local)));
+            }
+        }
+    }
+
+    #[test]
+    fn users_route_stably_and_ids_are_globally_unique() {
+        let s = sharded(4);
+        let users: Vec<UserId> = (0..12)
+            .map(|i| s.register_user(&format!("user{i}")))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for &u in &users {
+            assert_eq!(s.shard_of(u), s.shard_of(u));
+            let id = s
+                .run_query(u, "SELECT lake, temp FROM WaterTemp WHERE temp < 18")
+                .unwrap()
+                .id;
+            assert!(seen.insert(id), "duplicate global id {id}");
+        }
+        assert_eq!(s.live_count(), 12);
+    }
+
+    #[test]
+    fn global_clock_is_monotonic_across_shards() {
+        let s = sharded(4);
+        let a = s.register_user("alice");
+        let b = s.register_user("bob");
+        s.run_query_at(a, "SELECT * FROM WaterTemp", 100).unwrap();
+        s.run_query_at(b, "SELECT * FROM WaterTemp", 130).unwrap();
+        // Ticking query advances past both, whichever shard it lands on.
+        s.run_query(a, "SELECT salinity FROM WaterSalinity")
+            .unwrap();
+        assert_eq!(s.now(), 160);
+        // Stale explicit timestamp never rewinds.
+        s.run_query_at(b, "SELECT * FROM WaterTemp WHERE temp < 5", 40)
+            .unwrap();
+        assert_eq!(s.now(), 160);
+    }
+
+    #[test]
+    fn batched_ingest_reassembles_in_input_order() {
+        let s = sharded(3);
+        let users: Vec<UserId> = (0..6)
+            .map(|i| s.register_user(&format!("user{i}")))
+            .collect();
+        let items: Vec<IngestItem> = users
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| IngestItem::new(u, format!("SELECT * FROM WaterTemp WHERE temp < {i}")))
+            .collect();
+        let results = s.ingest_batch(&items);
+        assert_eq!(results.len(), 6);
+        for (i, (res, &u)) in results.iter().zip(&users).enumerate() {
+            let id = *res.as_ref().unwrap();
+            let (shard, local) = s.locate(id);
+            assert_eq!(shard, s.shard_of(u), "item {i} landed on the wrong shard");
+            let sql = s.shards()[shard].read(|c| c.storage.get(local).unwrap().raw_sql.clone());
+            assert!(sql.contains(&format!("temp < {i}")));
+        }
+        assert!(s.ingest_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn id_addressed_mutations_route_through_the_stripe() {
+        let s = sharded(4);
+        let u = s.register_user("alice");
+        let id = s
+            .run_query(u, "SELECT lake FROM WaterTemp WHERE temp < 18")
+            .unwrap()
+            .id;
+        s.annotate(u, id, "cold lakes", None).unwrap();
+        s.set_visibility(u, id, Visibility::Private).unwrap();
+        assert_eq!(s.live_count(), 1);
+        s.delete_query(u, id).unwrap();
+        assert_eq!(s.live_count(), 0);
+    }
+
+    #[test]
+    fn cross_shard_searches_see_everything() {
+        let s = sharded(4);
+        let users: Vec<UserId> = (0..8)
+            .map(|i| s.register_user(&format!("user{i}")))
+            .collect();
+        for (i, &u) in users.iter().enumerate() {
+            s.run_query(
+                u,
+                &format!("SELECT lake, temp FROM WaterTemp WHERE temp < {}", 10 + i),
+            )
+            .unwrap();
+        }
+        let viewer = users[0];
+        assert_eq!(s.search_substring(viewer, "WaterTemp").len(), 8);
+        let sub = s.search_substring(viewer, "temp < 10");
+        assert_eq!(sub.len(), 1);
+        let hits = s.search_keyword(viewer, "watertemp temp", 20);
+        assert_eq!(hits.len(), 8);
+        for w in hits.windows(2) {
+            assert!(
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].id < w[1].id),
+                "merged keyword hits out of order: {hits:?}"
+            );
+        }
+        let knn = s
+            .similar_queries(
+                viewer,
+                "SELECT lake, temp FROM WaterTemp WHERE temp < 12",
+                5,
+                DistanceKind::Features,
+            )
+            .unwrap();
+        assert_eq!(knn.len(), 5);
+    }
+
+    #[test]
+    fn feature_sql_concatenates_shards_and_remaps_ids() {
+        let s = sharded(2);
+        let a = s.register_user("alice");
+        let b = s.register_user("bob");
+        let ia = s.run_query(a, "SELECT temp FROM WaterTemp").unwrap().id;
+        let ib = s.run_query(b, "SELECT temp FROM WaterTemp").unwrap().id;
+        let r = s.search_feature_sql(a, "SELECT qid FROM Queries").unwrap();
+        let mut got: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| match row[0] {
+                relstore::Value::Int(v) => v,
+                ref other => panic!("unexpected value {other:?}"),
+            })
+            .collect();
+        got.sort();
+        let mut want = vec![ia.0 as i64, ib.0 as i64];
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_unsharded_behaviour() {
+        let s = sharded(1);
+        let u = s.register_user("alice");
+        let id = s.run_query(u, "SELECT * FROM WaterTemp").unwrap().id;
+        assert_eq!(s.locate(id), (0, id));
+        assert_eq!(s.now(), 30);
+    }
+
+    #[test]
+    fn merge_scored_is_an_exact_top_k() {
+        let hit = |id: u64, score: f64| ScoredHit {
+            id: QueryId(id),
+            score,
+        };
+        // Shard lists in (score desc, id asc) order, ids striped mod 2.
+        let a = vec![hit(0, 0.9), hit(2, 0.5), hit(4, 0.5)];
+        let b = vec![hit(1, 0.9), hit(3, 0.7)];
+        let merged = merge_scored(vec![a, b], 4);
+        let ids: Vec<u64> = merged.iter().map(|h| h.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 3, 2], "{merged:?}");
+    }
+
+    #[test]
+    fn miners_run_per_shard() {
+        let s = sharded(3);
+        let users: Vec<UserId> = (0..6)
+            .map(|i| s.register_user(&format!("user{i}")))
+            .collect();
+        for &u in &users {
+            for i in 0..4 {
+                s.run_query(
+                    u,
+                    &format!(
+                        "SELECT * FROM WaterSalinity S, WaterTemp T \
+                         WHERE S.loc_x = T.loc_x AND T.temp < {i}"
+                    ),
+                )
+                .unwrap();
+            }
+        }
+        let reports = s.run_miner_epoch();
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.wal_flush_error.is_none()));
+        assert!(s.start_miner(Duration::from_secs(3600)));
+        assert!(!s.start_miner(Duration::from_secs(3600)));
+        let epochs = s.shutdown().expect("miners were running");
+        assert_eq!(epochs, 3, "one final epoch per shard");
+    }
+}

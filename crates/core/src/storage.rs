@@ -11,6 +11,12 @@
 //!   target of SQL meta-queries (Figure 1);
 //! * **typed records** ([`QueryRecord`]) carrying the parse tree, runtime
 //!   features, output summary, annotations, ACLs and maintenance state.
+//!
+//! One `QueryStorage` is single-writer. Deployments that need parallel
+//! write throughput run several — one per shard, routed by user hash —
+//! behind [`crate::shard::ShardedCqms`], which merges cross-shard reads
+//! exactly; ids here are then *shard-local* and striped into a global id
+//! space by the shard layer.
 
 use crate::error::CqmsError;
 use crate::features::{self, SyntacticFeatures};

@@ -42,6 +42,16 @@
 //! per-segment *synced length* so tests can simulate a crash (everything
 //! past the last `sync` is discarded) without touching a filesystem.
 //!
+//! # Sharded deployments
+//!
+//! The framing above is deliberately shard-agnostic. A
+//! [`crate::shard::ShardedCqms`] gives every shard its own directory
+//! (`dir/shard-{i}/`) with an independent LSN space, segment rotation and
+//! snapshot cadence; each shard recovers exactly like a single-node
+//! deployment, and the global id stripe (`global = local × N + shard`) is
+//! a pure function of the shard count, so nothing about sharding is — or
+//! needs to be — persisted in the log.
+//!
 //! # What is (deliberately) not logged
 //!
 //! Matching the snapshot format's scope: output summaries (statistics,

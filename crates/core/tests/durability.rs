@@ -393,3 +393,190 @@ fn mid_batch_crash_replays_only_synced_operations() {
     );
     assert_eq!(recovered.get(QueryId(2)).unwrap().annotations.len(), 1);
 }
+
+// ---------------------------------------------------------------------
+// Orphaned (written-but-unmarked) snapshots: the phase-3-giveup path.
+// ---------------------------------------------------------------------
+
+/// A previous snapshot cycle may have written + fsynced the snapshot file
+/// and then failed to mark it (the write lock never came free within the
+/// bounded grace period). Recovery must prefer that orphan anyway: the
+/// snapshot provides every record up to its horizon and replay skips
+/// frames with lsn ≤ horizon, so nothing is double-applied.
+#[test]
+fn recovery_prefers_orphaned_unmarked_snapshot() {
+    let dir = temp_dir("orphan-recover");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (reference_len, reference_now, horizon) = {
+        let mut cqms = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+        let user = cqms.register_user("alice");
+        for i in 0..6u64 {
+            cqms.run_query_at(
+                user,
+                &format!("SELECT * FROM WaterTemp WHERE temp < {i}"),
+                1_000 + i * 60,
+            )
+            .unwrap();
+        }
+        cqms.wal_flush().unwrap();
+        // Simulate the giveup: write + fsync the snapshot file exactly the
+        // way phase 2 does, but never mark it — no rotation, no pruning.
+        let snap_dir = cqms.storage.wal_snapshot_dir().expect("durable dir");
+        let horizon = cqms.storage.wal_last_lsn().unwrap();
+        let mut body = Vec::new();
+        cqms.storage.snapshot(&mut body).unwrap();
+        wal::write_snapshot_file(&snap_dir, horizon, &body, true).unwrap();
+        (cqms.storage.len(), cqms.now(), horizon)
+    };
+
+    let recovered = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+    let report = recovered.recovery().unwrap();
+    assert_eq!(
+        report.snapshot_lsn, horizon,
+        "recovery starts from the orphaned snapshot"
+    );
+    assert_eq!(report.frames_failed, 0);
+    assert_eq!(recovered.storage.len(), reference_len);
+    assert_eq!(recovered.now(), reference_now, "clock recovered");
+    // The pre-horizon frames are still in the (unrotated) log, so they
+    // were offered to replay — and skipped, not double-applied.
+    assert_eq!(recovered.storage.live_count(), reference_len);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The *reuse* half of the fix: when the next snapshot cycle comes due at
+/// the same horizon, the already-fsynced orphan is adopted as-is (same
+/// inode — the file is not serialised and written again) and only the
+/// cheap phase-3 mark runs.
+#[test]
+#[cfg(unix)]
+fn orphaned_snapshot_is_reused_not_rewritten() {
+    use std::os::unix::fs::MetadataExt;
+    use std::time::Duration;
+
+    let dir = temp_dir("orphan-reuse");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Snapshots never come due on their own until we lower the threshold.
+    let config = CqmsConfig {
+        snapshot_every_ops: u64::MAX,
+        ..CqmsConfig::default()
+    };
+    let cqms = Cqms::open(engine(), config, &dir).unwrap();
+    let svc = CqmsService::new(cqms);
+    let user = svc.register_user("alice");
+    for i in 0..6u64 {
+        svc.run_query_at(
+            user,
+            &format!("SELECT * FROM WaterTemp WHERE temp < {i}"),
+            1_000 + i * 60,
+        )
+        .unwrap();
+    }
+    // Settle the miner once so the next epoch re-logs nothing and the
+    // horizon stays put.
+    let report = svc.run_miner_epoch();
+    assert!(report.wal_flush_error.is_none());
+
+    // Fabricate the orphan at the current horizon, exactly as a crashed
+    // phase 3 would leave it.
+    let (snap_dir, horizon) = svc.read(|c| {
+        (
+            c.storage.wal_snapshot_dir().expect("durable dir"),
+            c.storage.wal_last_lsn().unwrap(),
+        )
+    });
+    let body = svc.read(|c| {
+        let mut b = Vec::new();
+        c.storage.snapshot(&mut b).unwrap();
+        b
+    });
+    wal::write_snapshot_file(&snap_dir, horizon, &body, true).unwrap();
+    let snaps = wal::list_snapshots(&snap_dir).unwrap();
+    let orphan = snaps
+        .iter()
+        .find(|(h, _)| *h == horizon)
+        .map(|(_, p)| p.clone())
+        .expect("orphan written");
+    let orphan_ino = std::fs::metadata(&orphan).unwrap().ino();
+
+    // Make a snapshot due and let the background path run one cycle.
+    svc.write(|c| c.config.snapshot_every_ops = 1);
+    assert!(svc.read(Cqms::wal_snapshot_due), "snapshot is due");
+    assert!(svc.start_miner(Duration::from_millis(1)));
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while svc.read(Cqms::wal_snapshot_due) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background snapshot never marked"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    svc.stop_miner();
+
+    // The orphan was adopted: same path, same inode — never rewritten.
+    let meta = std::fs::metadata(&orphan).expect("snapshot survived the mark");
+    assert_eq!(
+        meta.ino(),
+        orphan_ino,
+        "snapshot file was rewritten instead of reused"
+    );
+    // And it is now the marked snapshot of record: a reopen starts there.
+    drop(svc);
+    let recovered = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+    assert_eq!(recovered.recovery().unwrap().snapshot_lsn, horizon);
+    assert_eq!(recovered.storage.len(), 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Sharded durability: each shard recovers its own WAL directory.
+// ---------------------------------------------------------------------
+
+/// A sharded deployment persists one WAL directory per shard; reopening
+/// recovers every shard and resumes the global clock past all of them.
+#[test]
+fn sharded_deployment_recovers_every_shard() {
+    use cqms_core::ShardedCqms;
+
+    let dir = temp_dir("sharded");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = CqmsConfig {
+        shards: 3,
+        ..CqmsConfig::default()
+    };
+    let mut expect: Vec<(QueryId, String)> = Vec::new();
+    {
+        let s = ShardedCqms::open(engine, config.clone(), &dir).unwrap();
+        let users: Vec<UserId> = (0..6)
+            .map(|i| s.register_user(&format!("user{i}")))
+            .collect();
+        for (i, &u) in users.iter().enumerate() {
+            let sql = format!("SELECT lake, temp FROM WaterTemp WHERE temp < {}", 10 + i);
+            let id = s.run_query(u, &sql).unwrap().id;
+            expect.push((id, sql));
+        }
+        assert_eq!(s.now(), 6 * 30);
+        s.shutdown();
+    }
+    for i in 0..3 {
+        assert!(
+            dir.join(format!("shard-{i}")).is_dir(),
+            "shard {i} has its own WAL directory"
+        );
+    }
+    let s = ShardedCqms::open(engine, config, &dir).unwrap();
+    assert_eq!(s.live_count(), 6, "every shard recovered its records");
+    assert_eq!(s.now(), 6 * 30, "global clock resumed past all shards");
+    for (id, sql) in expect {
+        let (shard, local) = s.locate(id);
+        let got = s.shards()[shard].read(|c| c.storage.get(local).unwrap().raw_sql.clone());
+        assert_eq!(got, sql, "{id} recovered on shard {shard}");
+    }
+    // And the recovered deployment keeps working.
+    let u = s.register_user("late");
+    let id = s.run_query(u, "SELECT * FROM Lakes").unwrap().id;
+    assert_eq!(s.live_count(), 7);
+    s.delete_query(u, id).unwrap();
+    assert_eq!(s.live_count(), 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}

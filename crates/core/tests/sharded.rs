@@ -1,0 +1,286 @@
+//! Property-based equivalence of the sharded deployment against the
+//! unsharded path (PR 7 acceptance): for generator-driven workloads of
+//! ingests, tombstones, visibility flips, maintenance repairs and index
+//! rebuilds, every cross-shard merged read — keyword TF-IDF, kNN,
+//! substring — must return the *same results with the same scores* as one
+//! unsharded [`CqmsService`] fed the identical trace.
+//!
+//! Global ids intentionally differ (the sharded deployment stripes them),
+//! so equality is checked on what ids denote: the multiset of
+//! `(score bits, issuing user, raw SQL)` per viewer. Scores must match
+//! **bit for bit** — keyword scoring uses summed global corpus statistics
+//! and kNN distances depend only on record content, so there is no
+//! tolerance to hide behind.
+
+use cqms_core::model::{GroupId, QueryId, UserId, Visibility};
+use cqms_core::shard::ShardedCqms;
+use cqms_core::similarity::DistanceKind;
+use cqms_core::{Cqms, CqmsConfig, CqmsService};
+use proptest::prelude::*;
+use relstore::Engine;
+use workload::Domain;
+
+const USERS: u32 = 4;
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    Domain::Lakes.setup(&mut e, 30, 3);
+    e
+}
+
+fn config(shards: usize) -> CqmsConfig {
+    CqmsConfig {
+        shards,
+        wal_fsync: false,
+        ..CqmsConfig::default()
+    }
+}
+
+/// One step of the generated workload, applied identically to both
+/// deployments. Indices address the n-th *issued* query (mod count), so
+/// the same logical record is targeted on both sides even though their id
+/// spaces differ.
+#[derive(Debug, Clone)]
+enum Op {
+    Run { user: u32, sql: String },
+    Delete { nth: usize },
+    Hide { nth: usize, vis: Visibility },
+    Rebuild,
+    Maintain,
+}
+
+fn sql_strategy() -> impl Strategy<Value = String> {
+    let table = prop_oneof![
+        Just("WaterTemp"),
+        Just("WaterSalinity"),
+        Just("CityLocations"),
+        Just("Lakes"),
+    ];
+    let col = prop_oneof![
+        Just("temp"),
+        Just("salinity"),
+        Just("pop"),
+        Just("area"),
+        Just("month"),
+    ];
+    let op = prop_oneof![Just("<"), Just(">"), Just("="), Just("<=")];
+    (table, proptest::option::of((col, op, -50i64..50))).prop_map(|(t, pred)| {
+        let mut sql = format!("SELECT * FROM {t}");
+        if let Some((c, o, k)) = pred {
+            sql.push_str(&format!(" WHERE {c} {o} {k}"));
+        }
+        sql
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..USERS, sql_strategy()).prop_map(|(user, sql)| Op::Run { user, sql }),
+        2 => (0usize..64).prop_map(|nth| Op::Delete { nth }),
+        2 => (
+            0usize..64,
+            prop_oneof![
+                Just(Visibility::Public),
+                Just(Visibility::Private),
+                (0u32..2).prop_map(|g| Visibility::Group(GroupId(g))),
+            ]
+        )
+            .prop_map(|(nth, vis)| Op::Hide { nth, vis }),
+        1 => Just(Op::Rebuild),
+        1 => Just(Op::Maintain),
+    ]
+}
+
+/// Owner + id of every issued query, in issue order — the shared index
+/// space `Delete`/`Hide` address into.
+type Issued = Vec<(UserId, QueryId)>;
+
+fn apply_unsharded(svc: &CqmsService, users: &[UserId], issued: &mut Issued, op: &Op, ts: u64) {
+    match op {
+        Op::Run { user, sql } => {
+            let out = svc
+                .run_query_at(users[*user as usize], sql, ts)
+                .expect("profiling never hard-fails");
+            issued.push((users[*user as usize], out.id));
+        }
+        Op::Delete { nth } if !issued.is_empty() => {
+            let (owner, id) = issued[nth % issued.len()];
+            let _ = svc.delete_query(owner, id);
+        }
+        Op::Hide { nth, vis } if !issued.is_empty() => {
+            let (owner, id) = issued[nth % issued.len()];
+            let _ = svc.set_visibility(owner, id, *vis);
+        }
+        Op::Rebuild => {
+            svc.write(|c| c.storage.schedule_index_rebuild());
+            svc.rebuild_indexes();
+        }
+        Op::Maintain => {
+            svc.run_maintenance().expect("maintenance");
+        }
+        _ => {}
+    }
+}
+
+fn apply_sharded(s: &ShardedCqms, users: &[UserId], issued: &mut Issued, op: &Op, ts: u64) {
+    match op {
+        Op::Run { user, sql } => {
+            let out = s
+                .run_query_at(users[*user as usize], sql, ts)
+                .expect("profiling never hard-fails");
+            issued.push((users[*user as usize], out.id));
+        }
+        Op::Delete { nth } if !issued.is_empty() => {
+            let (owner, id) = issued[nth % issued.len()];
+            let _ = s.delete_query(owner, id);
+        }
+        Op::Hide { nth, vis } if !issued.is_empty() => {
+            let (owner, id) = issued[nth % issued.len()];
+            let _ = s.set_visibility(owner, id, *vis);
+        }
+        Op::Rebuild => {
+            for shard in s.shards() {
+                shard.write(|c| c.storage.schedule_index_rebuild());
+            }
+            s.rebuild_indexes();
+        }
+        Op::Maintain => {
+            s.run_maintenance().expect("maintenance");
+        }
+        _ => {}
+    }
+}
+
+/// What a hit *denotes*, independent of either deployment's id space.
+/// Scores are compared as raw bits: merged sharded scoring must be
+/// exactly the unsharded computation, not merely close.
+type Denoted = Vec<(u64, u32, String)>;
+
+fn denote_unsharded(svc: &CqmsService, hits: &[(QueryId, f64)]) -> Denoted {
+    let mut out: Denoted = hits
+        .iter()
+        .map(|(id, score)| {
+            svc.read(|c| {
+                let r = c.storage.get(*id).expect("hit resolves");
+                (score.to_bits(), r.user.0, r.raw_sql.clone())
+            })
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn denote_sharded(s: &ShardedCqms, hits: &[(QueryId, f64)]) -> Denoted {
+    let mut out: Denoted = hits
+        .iter()
+        .map(|(id, score)| {
+            let (shard, local) = s.locate(*id);
+            s.shards()[shard].read(|c| {
+                let r = c.storage.get(local).expect("hit resolves");
+                (score.to_bits(), r.user.0, r.raw_sql.clone())
+            })
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline equivalence: under any generated interleaving of
+    /// ingests, tombstones, ACL flips, maintenance and rebuilds, sharded
+    /// keyword / kNN / substring reads match the unsharded path exactly,
+    /// for every viewer.
+    #[test]
+    fn sharded_reads_match_unsharded(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        shards in 2usize..=4,
+    ) {
+        let unsharded = CqmsService::new(Cqms::new(engine(), config(1)));
+        let sharded = ShardedCqms::new(engine, config(shards));
+        let u_users: Vec<UserId> =
+            (0..USERS).map(|i| unsharded.register_user(&format!("user-{i}"))).collect();
+        let s_users: Vec<UserId> =
+            (0..USERS).map(|i| sharded.register_user(&format!("user-{i}"))).collect();
+        prop_assert_eq!(&u_users, &s_users, "broadcast directories agree");
+        for (g, u) in [(GroupId(0), u_users[0]), (GroupId(1), u_users[1])] {
+            let ug = unsharded.create_group(&format!("g{}", g.0));
+            let sg = sharded.create_group(&format!("g{}", g.0));
+            prop_assert_eq!(ug, sg);
+            unsharded.join_group(u, ug).unwrap();
+            sharded.join_group(u, sg).unwrap();
+        }
+
+        let mut u_issued = Issued::new();
+        let mut s_issued = Issued::new();
+        for (i, op) in ops.iter().enumerate() {
+            let ts = 1_000 + i as u64 * 60;
+            apply_unsharded(&unsharded, &u_users, &mut u_issued, op, ts);
+            apply_sharded(&sharded, &s_users, &mut s_issued, op, ts);
+        }
+        prop_assert_eq!(u_issued.len(), s_issued.len());
+        prop_assert_eq!(unsharded.live_count(), sharded.live_count());
+
+        let knn_probe = "SELECT * FROM WaterTemp WHERE temp < 18";
+        for &viewer in &u_users {
+            // Keyword TF-IDF, k past every possible hit: the whole visible
+            // ranking must agree.
+            let uk: Vec<(QueryId, f64)> = unsharded
+                .search_keyword(viewer, "watertemp temp salinity lakes month", 64)
+                .into_iter().map(|h| (h.id, h.score)).collect();
+            let sk: Vec<(QueryId, f64)> = sharded
+                .search_keyword(viewer, "watertemp temp salinity lakes month", 64)
+                .into_iter().map(|h| (h.id, h.score)).collect();
+            prop_assert_eq!(
+                denote_unsharded(&unsharded, &uk),
+                denote_sharded(&sharded, &sk),
+                "keyword diverged for viewer {}", viewer
+            );
+            // And truncated top-k: the merged score *sequence* is the
+            // unsharded one (contents may differ only on ties at the cut).
+            let u3: Vec<u64> = unsharded
+                .search_keyword(viewer, "watertemp temp", 3)
+                .iter().map(|h| h.score.to_bits()).collect();
+            let s3: Vec<u64> = sharded
+                .search_keyword(viewer, "watertemp temp", 3)
+                .iter().map(|h| h.score.to_bits()).collect();
+            prop_assert_eq!(u3, s3, "top-3 keyword scores diverged");
+
+            // kNN over feature and combined metrics.
+            for metric in [DistanceKind::Features, DistanceKind::Combined] {
+                let un: Vec<(QueryId, f64)> = unsharded
+                    .similar_queries(viewer, knn_probe, 64, metric)
+                    .unwrap().into_iter().map(|h| (h.id, h.score)).collect();
+                let sn: Vec<(QueryId, f64)> = sharded
+                    .similar_queries(viewer, knn_probe, 64, metric)
+                    .unwrap().into_iter().map(|h| (h.id, h.score)).collect();
+                prop_assert_eq!(
+                    denote_unsharded(&unsharded, &un),
+                    denote_sharded(&sharded, &sn),
+                    "{:?} kNN diverged for viewer {}", metric, viewer
+                );
+                let u3: Vec<u64> = unsharded
+                    .similar_queries(viewer, knn_probe, 3, metric)
+                    .unwrap().iter().map(|h| h.score.to_bits()).collect();
+                let s3: Vec<u64> = sharded
+                    .similar_queries(viewer, knn_probe, 3, metric)
+                    .unwrap().iter().map(|h| h.score.to_bits()).collect();
+                prop_assert_eq!(u3, s3, "top-3 {:?} scores diverged", metric);
+            }
+
+            // Substring (exact membership; scoreless).
+            let us: Vec<(QueryId, f64)> = unsharded
+                .search_substring(viewer, "WaterTemp")
+                .into_iter().map(|id| (id, 0.0)).collect();
+            let ss: Vec<(QueryId, f64)> = sharded
+                .search_substring(viewer, "WaterTemp")
+                .into_iter().map(|id| (id, 0.0)).collect();
+            prop_assert_eq!(
+                denote_unsharded(&unsharded, &us),
+                denote_sharded(&sharded, &ss),
+                "substring diverged for viewer {}", viewer
+            );
+        }
+    }
+}

@@ -4,13 +4,14 @@ use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::exec;
 use crate::expr::{Binding, Compiler, EvalCtx, Scope};
-use crate::index::Indexes;
+use crate::index::{HashIndex, IndexAccess, Indexes};
 use crate::schema::{ColumnDef, TableSchema};
 use crate::stats::TableStats;
-use crate::table::Row;
+use crate::table::{Row, Table};
 use crate::value::Value;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use sqlparse::ast::*;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Runtime metrics for one executed statement — the "runtime features" the
@@ -82,18 +83,36 @@ impl QueryResult {
 /// Writes (`execute*`) take `&mut self`. Read-only SELECTs can instead go
 /// through [`Engine::query`] / [`Engine::query_statement`], which take
 /// `&self` so concurrent readers never serialise on the engine itself: the
-/// lazily-maintained hash indexes are the only mutable read-path state, and
-/// they sit behind a mutex that readers merely *try* to take, degrading to
-/// an index-free scan under contention instead of blocking.
-#[derive(Default)]
+/// lazily-maintained hash indexes — the only mutable read-path state — are
+/// published as an epoch snapshot (`Arc<Indexes>`). A reader clones the
+/// current snapshot once and uses it lock-free; a reader that finds an
+/// index stale rebuilds it **off-lock** and publishes a copy-on-write
+/// successor with one brief write-lock swap, so readers always get index
+/// pushdown instead of degrading to a scan under contention.
 pub struct Engine {
     pub catalog: Catalog,
-    indexes: Mutex<Indexes>,
+    indexes: RwLock<Arc<Indexes>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            catalog: Catalog::default(),
+            indexes: RwLock::new(Arc::new(Indexes::new())),
+        }
+    }
 }
 
 impl Engine {
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// Exclusive access to the index set (write paths). Copy-on-write: if a
+    /// published snapshot still shares the `Arc`, it is detached first so
+    /// in-flight readers keep their frozen epoch.
+    fn indexes_mut(&mut self) -> &mut Indexes {
+        Arc::make_mut(self.indexes.get_mut())
     }
 
     /// Parse and execute one SQL statement.
@@ -123,8 +142,9 @@ impl Engine {
     ///
     /// Unlike [`Engine::execute_statement`], reads observe but do not
     /// advance the catalog's logical clock, and they never block on the
-    /// index cache: when another statement holds it, the SELECT falls back
-    /// to an index-free scan.
+    /// index cache: the SELECT runs against an epoch snapshot of the
+    /// indexes ([`EpochIndexes`]), rebuilding a stale index off-lock and
+    /// publishing the result for later readers.
     pub fn query_statement(&self, stmt: &Statement) -> Result<QueryResult, EngineError> {
         let Statement::Select(s) = stmt else {
             return Err(EngineError::Unsupported(
@@ -132,10 +152,8 @@ impl Engine {
             ));
         };
         let start = Instant::now();
-        let out = match self.indexes.try_lock() {
-            Some(mut indexes) => exec::run_select(&self.catalog, s, Some(&mut indexes))?,
-            None => exec::run_select(&self.catalog, s, None)?,
-        };
+        let mut epoch = EpochIndexes::new(&self.indexes);
+        let out = exec::run_select(&self.catalog, s, Some(&mut epoch))?;
         Ok(QueryResult {
             metrics: ExecMetrics {
                 cardinality: out.rows.len() as u64,
@@ -170,17 +188,17 @@ impl Engine {
             Statement::Delete(d) => self.run_delete(d)?,
             Statement::DropTable(t) => {
                 self.catalog.drop_table(t)?;
-                self.indexes.get_mut().invalidate_table(t);
+                self.indexes_mut().invalidate_table(t);
                 QueryResult::default()
             }
             Statement::AlterRenameColumn { table, from, to } => {
                 self.catalog.rename_column(table, from, to)?;
-                self.indexes.get_mut().invalidate_table(table);
+                self.indexes_mut().invalidate_table(table);
                 QueryResult::default()
             }
             Statement::AlterDropColumn { table, column } => {
                 self.catalog.drop_column(table, column)?;
-                self.indexes.get_mut().invalidate_table(table);
+                self.indexes_mut().invalidate_table(table);
                 QueryResult::default()
             }
             Statement::AlterAddColumn {
@@ -189,13 +207,13 @@ impl Engine {
                 data_type,
             } => {
                 self.catalog.add_column(table, column, *data_type)?;
-                self.indexes.get_mut().invalidate_table(table);
+                self.indexes_mut().invalidate_table(table);
                 QueryResult::default()
             }
             Statement::AlterRenameTable { table, to } => {
                 self.catalog.rename_table(table, to)?;
-                self.indexes.get_mut().invalidate_table(table);
-                self.indexes.get_mut().invalidate_table(to);
+                self.indexes_mut().invalidate_table(table);
+                self.indexes_mut().invalidate_table(to);
                 QueryResult::default()
             }
         };
@@ -215,7 +233,8 @@ impl Engine {
     }
 
     fn run_select(&mut self, s: &SelectStatement) -> Result<QueryResult, EngineError> {
-        let out = exec::run_select(&self.catalog, s, Some(self.indexes.get_mut()))?;
+        let idxs = Arc::make_mut(self.indexes.get_mut());
+        let out = exec::run_select(&self.catalog, s, Some(idxs))?;
         Ok(QueryResult {
             metrics: ExecMetrics {
                 cardinality: out.rows.len() as u64,
@@ -271,7 +290,7 @@ impl Engine {
         for row in rows {
             table.insert(row)?;
         }
-        self.indexes.get_mut().invalidate_table(&ins.table);
+        self.indexes_mut().invalidate_table(&ins.table);
         Ok(QueryResult {
             metrics: ExecMetrics {
                 cardinality: n,
@@ -336,7 +355,7 @@ impl Engine {
                 table.rows[ri][idx] = v.coerce(ty);
             }
         }
-        self.indexes.get_mut().invalidate_table(&u.table);
+        self.indexes_mut().invalidate_table(&u.table);
         Ok(QueryResult {
             metrics: ExecMetrics {
                 cardinality: n,
@@ -371,7 +390,7 @@ impl Engine {
             keep
         });
         let n = (before - table.rows.len()) as u64;
-        self.indexes.get_mut().invalidate_table(&d.table);
+        self.indexes_mut().invalidate_table(&d.table);
         Ok(QueryResult {
             metrics: ExecMetrics {
                 cardinality: n,
@@ -394,22 +413,22 @@ impl Engine {
                 context: format!("table `{table}`"),
             });
         }
-        self.indexes.get_mut().create(table, column);
+        self.indexes_mut().create(table, column);
         Ok(())
     }
 
     pub fn drop_index(&mut self, table: &str, column: &str) -> bool {
-        self.indexes.get_mut().drop(table, column)
+        self.indexes_mut().drop(table, column)
     }
 
     pub fn has_index(&self, table: &str, column: &str) -> bool {
-        self.indexes.lock().has(table, column)
+        self.indexes.read().has(table, column)
     }
 
     /// Mark all indexes on `table` stale. Required after mutating a table's
     /// rows directly through `catalog.table_mut` (bulk loads) instead of SQL.
     pub fn invalidate_indexes(&mut self, table: &str) {
-        self.indexes.get_mut().invalidate_table(table);
+        self.indexes_mut().invalidate_table(table);
     }
 
     /// Compute statistics for a table (paper §4.1/§4.4 building block).
@@ -448,6 +467,52 @@ impl Engine {
             }
             _ => Ok(()),
         }
+    }
+}
+
+/// The read-path index accessor: one epoch snapshot per statement.
+///
+/// Construction clones the engine's current `Arc<Indexes>` under a brief
+/// read lock; every lookup after that is lock-free. When a lookup finds its
+/// index stale (a writer invalidated it since the last publish), the reader
+/// rebuilds **off-lock** from the table it already holds a borrow of, then
+/// publishes a copy-on-write successor snapshot with one short write-lock
+/// swap so later readers skip the rebuild. Because `query_statement` holds
+/// `&Engine`, no writer can mutate the catalog mid-statement; concurrent
+/// readers racing to publish the same rebuild install identical content,
+/// so the race is benign.
+pub struct EpochIndexes<'a> {
+    shared: &'a RwLock<Arc<Indexes>>,
+    snap: Arc<Indexes>,
+}
+
+impl<'a> EpochIndexes<'a> {
+    fn new(shared: &'a RwLock<Arc<Indexes>>) -> Self {
+        let snap = shared.read().clone();
+        EpochIndexes { shared, snap }
+    }
+}
+
+impl IndexAccess for EpochIndexes<'_> {
+    fn prepared(
+        &mut self,
+        table_name: &str,
+        column: &str,
+        table: &Table,
+        col_idx: usize,
+    ) -> Option<Arc<HashIndex>> {
+        let declared = self.snap.get(table_name, column)?;
+        if declared.is_fresh(table) {
+            return Some(declared.clone());
+        }
+        let mut fresh = HashIndex::new();
+        fresh.rebuild(table, col_idx);
+        let fresh = Arc::new(fresh);
+        let mut guard = self.shared.write();
+        Arc::make_mut(&mut guard).install(table_name, column, fresh.clone());
+        self.snap = guard.clone();
+        drop(guard);
+        Some(fresh)
     }
 }
 
@@ -529,7 +594,7 @@ mod tests {
         let mut e = lakes_engine();
         e.create_index("WaterTemp", "lake").unwrap();
         // Warm the index through the write path, then hammer reads from
-        // multiple threads; the try-lock fast path must never deadlock and
+        // multiple threads; each statement clones one epoch snapshot and
         // every thread must see identical results.
         e.execute("SELECT temp FROM WaterTemp WHERE lake = 'Lake Union'")
             .unwrap();
@@ -554,6 +619,27 @@ mod tests {
                 assert_eq!(h.join().unwrap(), 100);
             }
         });
+    }
+
+    #[test]
+    fn read_path_rebuilds_and_publishes_indexes() {
+        let mut e = lakes_engine();
+        e.create_index("WaterTemp", "lake").unwrap();
+        // The index has never been built; a `&self` read must rebuild it
+        // off-lock and use it rather than degrade to an index-free scan.
+        let r = e
+            .query("SELECT temp FROM WaterTemp WHERE lake = 'Lake Union'")
+            .unwrap();
+        assert!(r.metrics.plan.contains("idx[lake]"), "{}", r.metrics.plan);
+        // The publish sticks: after a write invalidates, the next readers
+        // again rebuild once and share the fresh epoch.
+        e.execute("INSERT INTO WaterTemp VALUES (9.0, 9.0, 12.0, 'Lake Union')")
+            .unwrap();
+        let r2 = e
+            .query("SELECT temp FROM WaterTemp WHERE lake = 'Lake Union'")
+            .unwrap();
+        assert_eq!(r2.rows.len(), 2);
+        assert!(r2.metrics.plan.contains("idx[lake]"), "{}", r2.metrics.plan);
     }
 
     #[test]

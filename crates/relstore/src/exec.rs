@@ -20,7 +20,7 @@
 use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::expr::{AggKind, AggSpec, Binding, CompiledExpr, Compiler, EvalCtx, Scope};
-use crate::index::Indexes;
+use crate::index::IndexAccess;
 use crate::table::Row;
 use crate::value::{row_key, Key, Value};
 use sqlparse::ast::*;
@@ -48,7 +48,7 @@ pub struct SelectOutput {
 pub fn run_select(
     catalog: &Catalog,
     stmt: &SelectStatement,
-    indexes: Option<&mut Indexes>,
+    indexes: Option<&mut dyn IndexAccess>,
 ) -> Result<SelectOutput, EngineError> {
     run_select_inner(catalog, stmt, &[], &[], indexes)
 }
@@ -114,7 +114,7 @@ fn run_select_inner(
     stmt: &SelectStatement,
     outer: &[Vec<Binding>],
     env: &[&[Value]],
-    mut indexes: Option<&mut Indexes>,
+    mut indexes: Option<&mut dyn IndexAccess>,
 ) -> Result<SelectOutput, EngineError> {
     if stmt.from.is_empty() {
         return run_fromless(catalog, stmt, outer, env);
@@ -186,7 +186,7 @@ fn run_select_inner(
         let mut index_note = String::new();
         let mut base_rows: Vec<Row> = Vec::new();
         let mut used_index = false;
-        if let Some(idxs) = indexes.as_deref_mut() {
+        if let Some(idxs) = indexes.as_mut() {
             for &ci in &pushed {
                 if let Some((col_name, lit)) = as_col_eq_literal(conjuncts[ci], b) {
                     let col_idx = b.columns.iter().position(|c| c == &col_name).unwrap();

@@ -1,16 +1,26 @@
-//! Hash indexes for point lookups.
+//! Hash indexes for point lookups, published as epoch snapshots.
 //!
 //! The CQMS's feature relations (paper Fig. 1) are hit with highly selective
 //! equality meta-queries (`attrName = 'salinity'`), so the engine supports
 //! per-column hash indexes. Indexes are maintained lazily: DML marks them
 //! dirty and the next lookup rebuilds.
+//!
+//! Concurrency follows the epoch-publication discipline used by the CQMS
+//! index registry rather than a lock around mutable state: the engine holds
+//! the current index set as an immutable `Arc<Indexes>` snapshot, readers
+//! clone that `Arc` once per statement and use it without any further
+//! locking, and whoever finds an index stale rebuilds **off-lock** and
+//! publishes a copy-on-write successor snapshot with one brief write-lock
+//! swap. `Indexes` is therefore a shallow map of `Arc<HashIndex>` — cloning
+//! a snapshot to evolve it copies pointers, not postings.
 
 use crate::table::Table;
 use crate::value::{Key, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A hash index over one column of one table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct HashIndex {
     /// Key → row positions.
     map: HashMap<Key, Vec<usize>>,
@@ -67,10 +77,11 @@ impl HashIndex {
 }
 
 /// The set of indexes owned by an [`crate::engine::Engine`], keyed by
-/// lower-cased `(table, column)`.
-#[derive(Debug, Default)]
+/// lower-cased `(table, column)`. Each index sits behind its own `Arc` so
+/// a snapshot clone shares every unchanged index with its predecessor.
+#[derive(Debug, Default, Clone)]
 pub struct Indexes {
-    map: HashMap<(String, String), HashIndex>,
+    map: HashMap<(String, String), Arc<HashIndex>>,
 }
 
 impl Indexes {
@@ -84,7 +95,9 @@ impl Indexes {
 
     /// Declare an index on `table.column`. Building is lazy.
     pub fn create(&mut self, table: &str, column: &str) {
-        self.map.entry(Self::key(table, column)).or_default();
+        self.map
+            .entry(Self::key(table, column))
+            .or_insert_with(|| Arc::new(HashIndex::new()));
     }
 
     pub fn drop(&mut self, table: &str, column: &str) -> bool {
@@ -96,30 +109,75 @@ impl Indexes {
         self.map.contains_key(&Self::key(table, column))
     }
 
-    /// Mark all indexes of `table` dirty (after DML/DDL).
+    /// The declared index on `table.column`, fresh or stale.
+    pub fn get(&self, table: &str, column: &str) -> Option<&Arc<HashIndex>> {
+        self.map.get(&Self::key(table, column))
+    }
+
+    /// Replace the index on an already-declared column — the publish half
+    /// of an off-lock rebuild. A column whose index was dropped mid-build
+    /// stays dropped.
+    pub fn install(&mut self, table: &str, column: &str, index: Arc<HashIndex>) {
+        if let Some(slot) = self.map.get_mut(&Self::key(table, column)) {
+            *slot = index;
+        }
+    }
+
+    /// Mark all indexes of `table` dirty (after DML/DDL). Copy-on-write:
+    /// an index still referenced by a published snapshot is cloned before
+    /// the mark, so readers of that snapshot keep their frozen view.
     pub fn invalidate_table(&mut self, table: &str) {
         let t = table.to_ascii_lowercase();
         for ((it, _), idx) in self.map.iter_mut() {
             if *it == t {
-                idx.mark_dirty();
+                Arc::make_mut(idx).mark_dirty();
             }
         }
     }
 
-    /// Fetch the index for a lookup, rebuilding if stale. Returns `None`
-    /// when no index exists on that column.
-    pub fn prepared<'a>(
-        &'a mut self,
+    /// Fetch the index for a lookup, rebuilding **in place** if stale.
+    /// This is the exclusive-access path (`&mut Engine` writes); the
+    /// shared read path goes through [`crate::engine::EpochIndexes`]
+    /// instead. Returns `None` when no index exists on that column.
+    pub fn prepared(
+        &mut self,
         table_name: &str,
         column: &str,
         table: &Table,
         col_idx: usize,
-    ) -> Option<&'a HashIndex> {
+    ) -> Option<Arc<HashIndex>> {
         let idx = self.map.get_mut(&Self::key(table_name, column))?;
         if !idx.is_fresh(table) {
-            idx.rebuild(table, col_idx);
+            Arc::make_mut(idx).rebuild(table, col_idx);
         }
-        Some(idx)
+        Some(idx.clone())
+    }
+}
+
+/// How the executor obtains a usable index for a `col = literal` pushdown.
+/// Implemented by [`Indexes`] itself (exclusive write path, rebuilds in
+/// place) and by `crate::engine::EpochIndexes` (shared read path, rebuilds
+/// off-lock and publishes a successor snapshot).
+pub trait IndexAccess {
+    /// A fresh index over `table_name.column`, or `None` if undeclared.
+    fn prepared(
+        &mut self,
+        table_name: &str,
+        column: &str,
+        table: &Table,
+        col_idx: usize,
+    ) -> Option<Arc<HashIndex>>;
+}
+
+impl IndexAccess for Indexes {
+    fn prepared(
+        &mut self,
+        table_name: &str,
+        column: &str,
+        table: &Table,
+        col_idx: usize,
+    ) -> Option<Arc<HashIndex>> {
+        Indexes::prepared(self, table_name, column, table, col_idx)
     }
 }
 
@@ -193,5 +251,30 @@ mod tests {
         assert!(idxs.drop("t", "id"));
         assert!(!idxs.drop("t", "id"));
         assert!(!idxs.has("t", "id"));
+    }
+
+    #[test]
+    fn snapshot_clone_is_isolated_from_invalidation() {
+        let t = table();
+        let mut idxs = Indexes::new();
+        idxs.create("t", "id");
+        idxs.prepared("t", "id", &t, 0).unwrap();
+        // A published snapshot keeps its frozen (fresh) view even after
+        // the successor marks the index dirty.
+        let snapshot = idxs.clone();
+        idxs.invalidate_table("t");
+        assert!(snapshot.get("t", "id").unwrap().is_fresh(&t));
+        assert!(!idxs.get("t", "id").unwrap().is_fresh(&t));
+    }
+
+    #[test]
+    fn install_respects_drops() {
+        let mut idxs = Indexes::new();
+        idxs.create("t", "id");
+        idxs.install("t", "id", Arc::new(HashIndex::new()));
+        assert!(idxs.has("t", "id"));
+        idxs.drop("t", "id");
+        idxs.install("t", "id", Arc::new(HashIndex::new()));
+        assert!(!idxs.has("t", "id"), "install must not resurrect a drop");
     }
 }

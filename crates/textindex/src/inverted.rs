@@ -82,9 +82,52 @@ impl InvertedIndex {
     /// TF-IDF search returning the top `k` documents.
     ///
     /// Score = Σ_term tf(term, doc) · idf(term) / √len(doc); idf uses the
-    /// classic `ln(1 + N/df)` damping.
+    /// classic `ln(1 + N/df)` damping, with N and df taken from this index.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
-        let n = self.len().max(1) as f64;
+        let df = self.query_term_dfs(query);
+        self.search_with_corpus(query, k, self.len() as u64, &df)
+    }
+
+    /// Document frequency of each distinct query term among live documents.
+    /// Terms absent from the index report 0 so callers can sum df maps
+    /// across shards without special-casing misses.
+    pub fn query_term_dfs(&self, query: &str) -> HashMap<String, u64> {
+        let mut qterms = tokenize(query);
+        qterms.sort();
+        qterms.dedup();
+        let mut out = HashMap::with_capacity(qterms.len());
+        for term in qterms {
+            let df = self
+                .postings
+                .get(&term)
+                .map(|posts| {
+                    posts
+                        .iter()
+                        .filter(|(d, _)| !self.deleted.contains(d))
+                        .count() as u64
+                })
+                .unwrap_or(0);
+            out.insert(term, df);
+        }
+        out
+    }
+
+    /// TF-IDF search scored against externally supplied corpus statistics:
+    /// `total_docs` live documents and per-term document frequencies `df`.
+    ///
+    /// This is what makes sharded keyword search score-identical to an
+    /// unsharded index: each shard scans only its own postings but weighs
+    /// terms with the *global* N and df (summed over shards via
+    /// [`InvertedIndex::len`] and [`InvertedIndex::query_term_dfs`]), so a
+    /// document's score is independent of which shard holds it.
+    pub fn search_with_corpus(
+        &self,
+        query: &str,
+        k: usize,
+        total_docs: u64,
+        df: &HashMap<String, u64>,
+    ) -> Vec<SearchHit> {
+        let n = total_docs.max(1) as f64;
         let mut scores: HashMap<u64, f64> = HashMap::new();
         let mut qterms = tokenize(query);
         qterms.sort();
@@ -93,12 +136,8 @@ impl InvertedIndex {
             let Some(posts) = self.postings.get(term) else {
                 continue;
             };
-            let df = posts
-                .iter()
-                .filter(|(d, _)| !self.deleted.contains(d))
-                .count()
-                .max(1) as f64;
-            let idf = (1.0 + n / df).ln();
+            let dfv = df.get(term).copied().unwrap_or(0).max(1) as f64;
+            let idf = (1.0 + n / dfv).ln();
             for (doc, tf) in posts {
                 if self.deleted.contains(doc) {
                     continue;
@@ -257,6 +296,42 @@ mod tests {
         let ix = index();
         assert!(ix.search("", 5).is_empty());
         assert!(ix.search("zzz_unknown", 5).is_empty());
+    }
+
+    #[test]
+    fn sharded_search_with_global_corpus_matches_unsharded() {
+        // Split the corpus across two shards; searching each shard with the
+        // summed (global) corpus statistics must reproduce the unsharded
+        // scores bit-for-bit.
+        let full = index();
+        let mut shard_a = InvertedIndex::new();
+        let mut shard_b = InvertedIndex::new();
+        shard_a.add(1, "SELECT * FROM WaterSalinity WHERE salinity > 0.3");
+        shard_b.add(2, "SELECT * FROM WaterTemp WHERE temp < 18");
+        shard_a.add(
+            3,
+            "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T",
+        );
+        shard_b.add(4, "SELECT city FROM CityLocations WHERE state = 'WA'");
+
+        let q = "select water salinity";
+        let n = (shard_a.len() + shard_b.len()) as u64;
+        let mut df = shard_a.query_term_dfs(q);
+        for (term, d) in shard_b.query_term_dfs(q) {
+            *df.entry(term).or_insert(0) += d;
+        }
+        let mut merged: Vec<SearchHit> = shard_a
+            .search_with_corpus(q, 10, n, &df)
+            .into_iter()
+            .chain(shard_b.search_with_corpus(q, 10, n, &df))
+            .collect();
+        merged.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.doc.cmp(&b.doc))
+        });
+        assert_eq!(merged, full.search(q, 10));
     }
 
     #[test]

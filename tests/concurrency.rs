@@ -486,3 +486,263 @@ fn miner_epoch_executes_scheduled_rebuild() {
     assert_eq!(svc.index_generation(), gen0 + 1, "one swap per rebuild");
     assert!(!svc.read(|c| c.storage.index_rebuild_pending()));
 }
+
+// ---------------------------------------------------------------------
+// Sharded deployments: writer storms spread over independent shard
+// locks, merged reads racing them.
+// ---------------------------------------------------------------------
+
+/// Digest a sharded deployment by folding every shard's state — the same
+/// order-independent axes `digest` uses for one service.
+fn sharded_digest(s: &cqms::engine::ShardedCqms) -> StateDigest {
+    let mut per_user = BTreeMap::new();
+    let mut sqls = Vec::new();
+    let mut popularity: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut total = 0usize;
+    for shard in s.shards() {
+        shard.read(|c| {
+            for r in c.storage.iter() {
+                *per_user.entry(r.user.0).or_insert(0) += 1;
+                sqls.push(r.raw_sql.clone());
+            }
+            for (fp, n) in c.storage.template_histogram() {
+                *popularity.entry(fp).or_insert(0) += n;
+            }
+            total += c.storage.len();
+        });
+    }
+    sqls.sort();
+    StateDigest {
+        total,
+        live: s.live_count(),
+        popularity: popularity.into_iter().collect(),
+        per_user,
+        sqls,
+    }
+}
+
+/// An 8-writer storm over a sharded deployment — writers on different
+/// shards never contend — with readers hammering the *merged* read path
+/// throughout, must land on exactly the single-threaded unsharded state
+/// (ids aside: the stripe is the sharded deployment's id space).
+///
+/// Uses the default config, so CI's `CQMS_SHARDS` lever controls the
+/// shard count exercised here.
+#[test]
+fn sharded_concurrent_replay_matches_single_threaded() {
+    use cqms::engine::ShardedCqms;
+
+    let trace = test_trace();
+    let expected = sequential_digest(&trace);
+
+    let s = ShardedCqms::new(|| trace.build_engine(), CqmsConfig::default());
+    assert!(s.shard_count() >= 1);
+    let users: Vec<UserId> = (0..USERS)
+        .map(|i| s.register_user(&format!("user-{i}")))
+        .collect();
+
+    let done = AtomicBool::new(false);
+    let read_ops = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for r in 0..3usize {
+            let s = s.clone();
+            let user = users[r % users.len()];
+            let done = &done;
+            let read_ops = &read_ops;
+            scope.spawn(move || {
+                let mut i = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    match i % 4 {
+                        0 => {
+                            let hits = s.search_keyword(user, "watertemp", 5);
+                            assert!(hits.len() <= 5);
+                            // The merge discipline holds mid-storm:
+                            // (score desc, id asc), never torn.
+                            for w in hits.windows(2) {
+                                assert!(
+                                    w[0].score > w[1].score
+                                        || (w[0].score == w[1].score && w[0].id < w[1].id),
+                                    "merged ordering violated: {hits:?}"
+                                );
+                            }
+                        }
+                        1 => {
+                            let hits = s
+                                .similar_queries(
+                                    user,
+                                    "SELECT * FROM WaterTemp WHERE temp < 18",
+                                    5,
+                                    cqms::engine::similarity::DistanceKind::Features,
+                                )
+                                .expect("merged kNN failed mid-storm");
+                            assert!(hits.len() <= 5);
+                        }
+                        2 => {
+                            let live_before = s.live_count();
+                            let live_after = s.live_count();
+                            assert!(live_after >= live_before, "live count went backwards");
+                        }
+                        _ => {
+                            let res = s
+                                .search_feature_sql(user, "SELECT qid FROM Queries")
+                                .expect("merged meta-query failed");
+                            assert!(res.columns.iter().any(|c| c == "qid"));
+                        }
+                    }
+                    read_ops.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+
+        let counts = trace.replay_concurrent(8, |_thread, q| {
+            s.run_query_at(users[q.user as usize % users.len()], &q.sql, q.ts)
+                .expect("profiling never hard-fails");
+        });
+        assert_eq!(counts.iter().sum::<usize>(), trace.queries.len());
+        done.store(true, Ordering::Relaxed);
+    });
+    assert!(read_ops.load(Ordering::Relaxed) > 0, "readers never ran");
+
+    let got = sharded_digest(&s);
+    assert_eq!(got, expected, "sharded storm diverged from sequential");
+}
+
+/// Merged kNN racing per-shard generation rebuilds and a writer: the
+/// k-way merge must stay exact while every shard is swapping index
+/// generations underneath it. Afterwards, the merged registry-served
+/// top-k must equal a global brute-force scan — proof that no mid-merge
+/// rebuild tore a shard's contribution.
+#[test]
+fn sharded_readers_race_per_shard_rebuilds() {
+    use cqms::engine::metaquery::ScoredHit;
+    use cqms::engine::similarity::{self, DistanceKind};
+    use cqms::engine::ShardedCqms;
+
+    let trace = test_trace();
+    let config = CqmsConfig {
+        shards: 4,
+        ..CqmsConfig::default()
+    };
+    let s = ShardedCqms::new(|| trace.build_engine(), config);
+    let users: Vec<UserId> = (0..USERS)
+        .map(|i| s.register_user(&format!("user-{i}")))
+        .collect();
+    for q in trace.queries.iter().take(120) {
+        s.run_query_at(users[q.user as usize % users.len()], &q.sql, q.ts)
+            .expect("profiling never hard-fails");
+    }
+    for shard in s.shards() {
+        shard.write(|c| c.storage.schedule_index_rebuild());
+    }
+    assert_eq!(s.rebuild_indexes(), 4, "every shard sealed a generation");
+
+    const PROBE: &str = "SELECT * FROM WaterTemp WHERE temp < 18";
+    let done = AtomicBool::new(false);
+    let probes = AtomicUsize::new(0);
+    let rebuilds = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for r in 0..3usize {
+            let s = s.clone();
+            let user = users[r % users.len()];
+            let (done, probes) = (&done, &probes);
+            scope.spawn(move || {
+                let mut i = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    let metric = if i.is_multiple_of(2) {
+                        DistanceKind::TreeEdit
+                    } else {
+                        DistanceKind::ParseTree
+                    };
+                    let hits = s
+                        .similar_queries(user, PROBE, 5, metric)
+                        .expect("merged probe failed mid-rebuild");
+                    assert!(hits.len() <= 5);
+                    probes.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        {
+            let s = s.clone();
+            let (done, rebuilds) = (&done, &rebuilds);
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    for shard in s.shards() {
+                        shard.write(|c| c.storage.schedule_index_rebuild());
+                    }
+                    rebuilds.fetch_add(s.rebuild_indexes(), Ordering::Relaxed);
+                }
+            });
+        }
+        let s2 = s.clone();
+        let done = &done;
+        let users = &users;
+        let queries: Vec<(u32, String)> = trace
+            .queries
+            .iter()
+            .skip(120)
+            .take(150)
+            .map(|q| (q.user, q.sql.clone()))
+            .collect();
+        scope.spawn(move || {
+            for (u, sql) in queries {
+                let _ = s2.run_query(users[u as usize % users.len()], &sql);
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+    assert!(probes.load(Ordering::Relaxed) > 0, "readers never probed");
+    assert!(rebuilds.load(Ordering::Relaxed) > 0, "no rebuild raced");
+
+    // Exactness after the dust settles: merged top-k == global brute force.
+    let viewer = users[0];
+    for metric in [DistanceKind::TreeEdit, DistanceKind::ParseTree] {
+        let got = s.similar_queries(viewer, PROBE, 5, metric).expect("probe");
+        let mut want: Vec<ScoredHit> = Vec::new();
+        for (i, shard) in s.shards().iter().enumerate() {
+            shard.read(|c| {
+                let probe_stmt = sqlparse::parse(PROBE).unwrap();
+                let feats = cqms::engine::features::extract(&probe_stmt, None);
+                let probe = cqms::engine::storage::make_record(
+                    cqms::engine::model::QueryId(u64::MAX),
+                    viewer,
+                    0,
+                    PROBE,
+                    Some(probe_stmt),
+                    feats,
+                    Default::default(),
+                    cqms::engine::model::OutputSummary::None,
+                    cqms::engine::model::SessionId(u64::MAX),
+                    cqms::engine::model::Visibility::Private,
+                );
+                let psig = c.storage.probe_signature(&probe);
+                for r in c.storage.iter_live() {
+                    want.push(ScoredHit {
+                        id: s.globalize(i, r.id),
+                        score: 1.0
+                            - similarity::distance_with(
+                                &probe,
+                                &psig,
+                                r,
+                                c.storage.signature(r.id).unwrap(),
+                                metric,
+                                &c.config,
+                            ),
+                    });
+                }
+            });
+        }
+        want.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        want.truncate(5);
+        assert_eq!(
+            got, want,
+            "{metric:?} merged kNN diverged after racing rebuilds"
+        );
+    }
+}
