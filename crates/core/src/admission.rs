@@ -1,0 +1,352 @@
+//! Admission control: bounded ingest queues and per-user rate limiting.
+//!
+//! The paper's CQMS is a *shared* service for a whole community of
+//! analysts, so it must degrade predictably when that community
+//! misbehaves: an ingest burst must not queue unboundedly behind one
+//! shard's write lock, and one noisy user must not starve everyone else.
+//! This module is the gate in front of the write path:
+//!
+//! * **Bounded in-flight depth** — each shard's [`AdmissionGate`] admits
+//!   at most [`CqmsConfig::ingest_queue_depth`](crate::config::CqmsConfig)
+//!   concurrent write requests (admitted = holding a [`WritePermit`],
+//!   i.e. waiting for or holding the write lock). Request number
+//!   depth+1 is **shed immediately** with
+//!   [`CqmsError::Overloaded`] and a retry hint instead of joining an
+//!   unbounded queue — the caller gets backpressure in O(1), not a stall.
+//! * **Per-user token buckets** — each user refills at
+//!   `user_rate_limit` requests/second up to a burst of
+//!   `user_rate_burst`. A drained bucket rejects with a precise
+//!   `retry_after_ms` (the time until one token accrues) while other
+//!   users' buckets are untouched.
+//!
+//! Shedding order is bucket first, depth second: a rate-limited user is
+//! rejected without consuming queue capacity from well-behaved ones.
+//!
+//! Only the *ingest* write path is gated (`run_query`, `run_query_at`,
+//! `ingest_batch`) — it is the high-volume path the paper's workload
+//! hammers. Administrative writes (annotations, ACL changes, deletes,
+//! user registration) and the miner are deliberately ungated: they are
+//! low-volume, often part of recovery/cleanup, and shedding them would
+//! hurt more than the capacity they cost.
+//!
+//! The module also hosts [`retry_with_backoff`], the capped-exponential
+//! retry helper the write path uses for transient WAL/snapshot faults.
+
+use crate::config::CqmsConfig;
+use crate::error::CqmsError;
+use crate::model::UserId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Retry hint attached to depth-shed requests: long enough for a typical
+/// batch to drain the lock, short enough that a client retry loop stays
+/// responsive.
+const GATE_RETRY_MS: u64 = 25;
+
+/// Counters exported by [`AdmissionGate::stats`] (cheap relaxed reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted through the gate.
+    pub admitted: u64,
+    /// Requests shed because the gate was at depth.
+    pub shed_overload: u64,
+    /// Requests shed by a drained per-user token bucket.
+    pub shed_rate_limited: u64,
+    /// Current in-flight admitted requests.
+    pub in_flight: usize,
+    /// High-water mark of concurrent admitted requests.
+    pub max_in_flight: usize,
+}
+
+/// One user's token bucket (times in ms since the gate's creation).
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    tokens: f64,
+    last_ms: u64,
+}
+
+/// The per-shard admission gate: bounded in-flight depth plus per-user
+/// token buckets. See the module docs for semantics.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    /// Max concurrent admitted write requests; 0 disables the depth gate.
+    depth: usize,
+    /// Tokens per second per user; 0.0 disables rate limiting.
+    rate: f64,
+    /// Bucket capacity (burst allowance).
+    burst: f64,
+    start: Instant,
+    in_flight: AtomicUsize,
+    max_in_flight: AtomicUsize,
+    admitted: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_rate_limited: AtomicU64,
+    buckets: Mutex<HashMap<u32, TokenBucket>>,
+}
+
+impl AdmissionGate {
+    /// A gate with an explicit depth and rate (mostly for tests; services
+    /// build theirs with [`AdmissionGate::from_config`]).
+    pub fn new(depth: usize, rate: f64, burst: f64) -> Self {
+        AdmissionGate {
+            depth,
+            rate,
+            burst: if burst <= 0.0 { 1.0 } else { burst },
+            start: Instant::now(),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            shed_rate_limited: AtomicU64::new(0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The gate a [`CqmsConfig`] describes.
+    pub fn from_config(config: &CqmsConfig) -> Self {
+        AdmissionGate::new(
+            config.ingest_queue_depth,
+            config.user_rate_limit,
+            config.user_rate_burst,
+        )
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            shed_rate_limited: self.shed_rate_limited.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Milliseconds since the gate was created (the bucket clock).
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Check (and charge) `user`'s token bucket at the wall clock.
+    pub fn check_user(&self, user: UserId) -> Result<(), CqmsError> {
+        self.check_user_at(user, self.now_ms())
+    }
+
+    /// Deterministic variant of [`AdmissionGate::check_user`]: the bucket
+    /// clock is the caller's `now_ms`. Lets tests prove refill behaviour
+    /// without sleeping.
+    pub fn check_user_at(&self, user: UserId, now_ms: u64) -> Result<(), CqmsError> {
+        if self.rate <= 0.0 {
+            return Ok(());
+        }
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(user.0).or_insert(TokenBucket {
+            tokens: self.burst,
+            last_ms: now_ms,
+        });
+        let elapsed_ms = now_ms.saturating_sub(bucket.last_ms);
+        bucket.tokens = (bucket.tokens + elapsed_ms as f64 / 1000.0 * self.rate).min(self.burst);
+        bucket.last_ms = now_ms;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            // Time until one full token accrues at `rate` tokens/sec.
+            let retry_after_ms = (((1.0 - bucket.tokens) / self.rate) * 1000.0).ceil() as u64;
+            self.shed_rate_limited.fetch_add(1, Ordering::Relaxed);
+            Err(CqmsError::Overloaded {
+                retry_after_ms: retry_after_ms.max(1),
+            })
+        }
+    }
+
+    /// Claim an in-flight slot, shedding with [`CqmsError::Overloaded`]
+    /// when the gate is at depth. The slot is released when the returned
+    /// [`WritePermit`] drops.
+    pub fn admit(&self) -> Result<WritePermit<'_>, CqmsError> {
+        if self.depth > 0 {
+            let claimed = self
+                .in_flight
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                    (cur < self.depth).then_some(cur + 1)
+                });
+            if claimed.is_err() {
+                self.shed_overload.fetch_add(1, Ordering::Relaxed);
+                return Err(CqmsError::Overloaded {
+                    retry_after_ms: GATE_RETRY_MS,
+                });
+            }
+        } else {
+            self.in_flight.fetch_add(1, Ordering::AcqRel);
+        }
+        let now = self.in_flight.load(Ordering::Acquire);
+        self.max_in_flight.fetch_max(now, Ordering::AcqRel);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(WritePermit { gate: self })
+    }
+
+    /// Bucket check then depth gate — the full ingest admission sequence.
+    pub fn admit_user(&self, user: UserId) -> Result<WritePermit<'_>, CqmsError> {
+        self.check_user(user)?;
+        self.admit()
+    }
+}
+
+/// RAII proof of admission: holds one in-flight slot of its gate until
+/// dropped (i.e. for the whole lock-wait + critical section).
+#[derive(Debug)]
+pub struct WritePermit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for WritePermit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Run `op` up to `attempts` times, sleeping `base_ms << try` (capped at
+/// `cap_ms`) between failures. Returns the final result and how many
+/// retries (not tries) were spent — the write path surfaces that count in
+/// [`crate::server::MinerReport`] so transient-but-recovered faults stay
+/// observable.
+pub fn retry_with_backoff<T, E>(
+    attempts: u32,
+    base_ms: u64,
+    cap_ms: u64,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> (Result<T, E>, u32) {
+    let attempts = attempts.max(1);
+    let mut retries = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return (Ok(v), retries),
+            Err(e) => {
+                if retries + 1 >= attempts {
+                    return (Err(e), retries);
+                }
+                let delay = base_ms
+                    .checked_shl(retries.min(16))
+                    .unwrap_or(u64::MAX)
+                    .min(cap_ms)
+                    .max(1);
+                std::thread::sleep(Duration::from_millis(delay));
+                retries += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_gate_sheds_at_capacity_and_releases_on_drop() {
+        let gate = AdmissionGate::new(2, 0.0, 1.0);
+        let p1 = gate.admit().unwrap();
+        let p2 = gate.admit().unwrap();
+        let shed = gate.admit();
+        assert!(
+            matches!(shed, Err(CqmsError::Overloaded { retry_after_ms }) if retry_after_ms > 0)
+        );
+        drop(p1);
+        let p3 = gate.admit().expect("slot freed by drop");
+        drop(p2);
+        drop(p3);
+        let s = gate.stats();
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.shed_overload, 1);
+        assert_eq!(s.max_in_flight, 2);
+    }
+
+    #[test]
+    fn zero_depth_disables_the_gate() {
+        let gate = AdmissionGate::new(0, 0.0, 1.0);
+        let permits: Vec<_> = (0..64).map(|_| gate.admit().unwrap()).collect();
+        assert_eq!(gate.stats().in_flight, 64);
+        drop(permits);
+        assert_eq!(gate.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn token_bucket_drains_refills_and_isolates_users() {
+        // 2 tokens/sec, burst 2; deterministic clock.
+        let gate = AdmissionGate::new(0, 2.0, 2.0);
+        let alice = UserId(1);
+        let bob = UserId(2);
+        assert!(gate.check_user_at(alice, 0).is_ok());
+        assert!(gate.check_user_at(alice, 0).is_ok());
+        let shed = gate.check_user_at(alice, 0);
+        let Err(CqmsError::Overloaded { retry_after_ms }) = shed else {
+            panic!("drained bucket must shed, got {shed:?}");
+        };
+        // One token accrues in 500 ms at 2/sec.
+        assert_eq!(retry_after_ms, 500);
+        // Bob's bucket is untouched by Alice's starvation.
+        assert!(gate.check_user_at(bob, 0).is_ok());
+        // After the hinted wait Alice has exactly one token again.
+        assert!(gate.check_user_at(alice, 500).is_ok());
+        assert!(gate.check_user_at(alice, 500).is_err());
+        // Refill is capped at the burst.
+        assert!(gate.check_user_at(alice, 1_000_000).is_ok());
+        assert!(gate.check_user_at(alice, 1_000_000).is_ok());
+        assert!(gate.check_user_at(alice, 1_000_000).is_err());
+        assert_eq!(gate.stats().shed_rate_limited, 3);
+    }
+
+    #[test]
+    fn zero_rate_disables_rate_limiting() {
+        let gate = AdmissionGate::new(0, 0.0, 1.0);
+        for _ in 0..100 {
+            assert!(gate.check_user_at(UserId(7), 0).is_ok());
+        }
+    }
+
+    #[test]
+    fn concurrent_admission_never_exceeds_depth() {
+        let gate = std::sync::Arc::new(AdmissionGate::new(3, 0.0, 1.0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let gate = gate.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if let Ok(_permit) = gate.admit() {
+                            std::hint::black_box(());
+                        }
+                    }
+                });
+            }
+        });
+        let s = gate.stats();
+        assert_eq!(s.in_flight, 0);
+        assert!(s.max_in_flight <= 3, "depth bound violated: {s:?}");
+    }
+
+    #[test]
+    fn backoff_retries_then_surfaces_the_last_error() {
+        let mut calls = 0;
+        let (res, retries) = retry_with_backoff(3, 1, 4, || {
+            calls += 1;
+            if calls < 3 {
+                Err("transient")
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(res, Ok(3));
+        assert_eq!(retries, 2);
+
+        let mut calls = 0;
+        let (res, retries): (Result<(), _>, _) = retry_with_backoff(3, 1, 4, || {
+            calls += 1;
+            Err::<(), _>("still down")
+        });
+        assert_eq!(res, Err("still down"));
+        assert_eq!(retries, 2);
+        assert_eq!(calls, 3);
+    }
+}

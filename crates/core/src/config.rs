@@ -88,6 +88,38 @@ pub struct CqmsConfig {
     /// snapshots ride the existing background-maintenance seam.
     pub snapshot_every_ops: u64,
 
+    // --- Admission control (overload robustness) ---
+    /// Max concurrent admitted ingest requests per shard (the write-lock
+    /// wait line). Request depth+1 is shed immediately with
+    /// [`crate::error::CqmsError::Overloaded`] instead of queueing
+    /// unboundedly. `0` disables the depth gate. Honours the
+    /// `CQMS_INGEST_QUEUE_DEPTH` environment variable.
+    pub ingest_queue_depth: usize,
+    /// Per-user ingest token-bucket refill rate, requests/second.
+    /// `0.0` (the default) disables rate limiting. Honours `CQMS_USER_RATE`.
+    pub user_rate_limit: f64,
+    /// Per-user token-bucket capacity (burst allowance). Honours
+    /// `CQMS_USER_BURST`.
+    pub user_rate_burst: f64,
+    /// When true, [`crate::shard::ShardedCqms::open`] survives a corrupt
+    /// or unreadable shard directory by opening that shard *degraded*
+    /// (empty, rejecting writes with
+    /// [`crate::error::CqmsError::ShardUnavailable`]) instead of failing
+    /// the whole open. Honours `CQMS_OPEN_DEGRADED`.
+    pub open_degraded: bool,
+    /// Force an index-generation publish once this many overrides are
+    /// outstanding in the registry head (each override costs every probe
+    /// a linear scan — a repair storm would otherwise degrade reads until
+    /// the next scheduled rebuild). `0` disables the forced publish.
+    pub override_publish_threshold: usize,
+    /// Total tries (1 + retries) for transient write-path faults: miner
+    /// WAL flushes and snapshot writes retry with capped exponential
+    /// backoff before surfacing the error.
+    pub wal_retry_attempts: u32,
+    /// Base backoff between write-path retries, in milliseconds
+    /// (doubled per retry, capped at 8× the base).
+    pub wal_retry_base_ms: u64,
+
     // --- Sharding ---
     /// Number of independently write-locked shards a
     /// [`crate::shard::ShardedCqms`] splits the query log into. Queries
@@ -113,6 +145,43 @@ pub fn default_shards() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get().min(8))
         .unwrap_or(1)
+}
+
+/// Parse environment variable `name`, falling back to `default` when the
+/// variable is unset or malformed.
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// The default ingest gate depth: `CQMS_INGEST_QUEUE_DEPTH` when set,
+/// otherwise 64 (≫ any reasonable writer-thread count; 0 disables).
+pub fn default_ingest_queue_depth() -> usize {
+    env_or("CQMS_INGEST_QUEUE_DEPTH", 64)
+}
+
+/// The default per-user rate limit: `CQMS_USER_RATE` when set, otherwise
+/// 0.0 (rate limiting off).
+pub fn default_user_rate_limit() -> f64 {
+    env_or("CQMS_USER_RATE", 0.0)
+}
+
+/// The default per-user burst: `CQMS_USER_BURST` when set, otherwise 32.
+pub fn default_user_rate_burst() -> f64 {
+    env_or("CQMS_USER_BURST", 32.0)
+}
+
+/// The default degraded-open policy: `CQMS_OPEN_DEGRADED` truthy
+/// (`1`/`true`) when set, otherwise false.
+pub fn default_open_degraded() -> bool {
+    std::env::var("CQMS_OPEN_DEGRADED")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
 }
 
 impl Default for CqmsConfig {
@@ -143,6 +212,13 @@ impl Default for CqmsConfig {
             rank_quality: 0.1,
             wal_fsync: true,
             snapshot_every_ops: 8192,
+            ingest_queue_depth: default_ingest_queue_depth(),
+            user_rate_limit: default_user_rate_limit(),
+            user_rate_burst: default_user_rate_burst(),
+            open_degraded: default_open_degraded(),
+            override_publish_threshold: 64,
+            wal_retry_attempts: 3,
+            wal_retry_base_ms: 1,
             shards: default_shards(),
             seed: 0xC1D2_2009,
         }

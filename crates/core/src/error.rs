@@ -24,6 +24,25 @@ pub enum CqmsError {
     Snapshot(String),
     /// Write-ahead-log I/O or replay failure.
     Wal(String),
+    /// The request was shed by admission control (queue depth or per-user
+    /// rate limit). Retry after the hinted delay.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A shard's durable state failed to open ([`crate::shard::ShardedCqms::open`]).
+    ShardOpen {
+        /// The shard that failed.
+        shard: usize,
+        /// The underlying open/recovery error.
+        detail: String,
+    },
+    /// The target shard was opened degraded (its durable state is
+    /// unavailable) and cannot accept writes.
+    ShardUnavailable {
+        /// The degraded shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for CqmsError {
@@ -38,6 +57,15 @@ impl fmt::Display for CqmsError {
             CqmsError::Admin(m) => write!(f, "admin error: {m}"),
             CqmsError::Snapshot(m) => write!(f, "snapshot error: {m}"),
             CqmsError::Wal(m) => write!(f, "wal error: {m}"),
+            CqmsError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms} ms")
+            }
+            CqmsError::ShardOpen { shard, detail } => {
+                write!(f, "shard {shard} failed to open: {detail}")
+            }
+            CqmsError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable (opened degraded)")
+            }
         }
     }
 }
@@ -70,6 +98,18 @@ mod tests {
         assert!(CqmsError::NotFound("q".into())
             .to_string()
             .contains("not found"));
+        assert!(CqmsError::Overloaded { retry_after_ms: 25 }
+            .to_string()
+            .contains("retry after 25 ms"));
+        assert!(CqmsError::ShardOpen {
+            shard: 2,
+            detail: "bad dir".into()
+        }
+        .to_string()
+        .contains("shard 2"));
+        assert!(CqmsError::ShardUnavailable { shard: 1 }
+            .to_string()
+            .contains("unavailable"));
     }
 
     #[test]

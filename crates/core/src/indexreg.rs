@@ -424,6 +424,14 @@ impl IndexRegistry {
         self.overrides.iter().map(|o| o.qid)
     }
 
+    /// Outstanding overrides (each one is masked and re-evaluated by
+    /// every probe until a publish retires it). The storage layer forces
+    /// a publish once this crosses its configured threshold, bounding the
+    /// per-probe override scan under repair storms.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
     /// Cheap-bound effectiveness counters + generation counters.
     pub fn stats(&self) -> &MetricIndexStats {
         &self.stats

@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 
 pub mod admin;
+pub mod admission;
 pub mod assist;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod features;
 pub mod indexreg;
 pub mod maintenance;
@@ -50,10 +52,12 @@ pub mod storage;
 pub mod viz;
 pub mod wal;
 
+pub use admission::{AdmissionGate, AdmissionStats};
 pub use config::CqmsConfig;
 pub use error::CqmsError;
+pub use faults::{FaultAction, FaultPlan, FaultySink};
 pub use model::{Annotation, QueryId, QueryRecord, SessionId, UserId, Visibility};
 pub use server::Cqms;
 pub use service::{CqmsService, IngestItem};
-pub use shard::ShardedCqms;
+pub use shard::{PartialResult, ShardedCqms};
 pub use wal::RecoveryReport;

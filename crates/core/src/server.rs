@@ -56,6 +56,10 @@ pub struct MinerReport {
     /// (refined sessions, rotations) may not be durable yet. `None` means
     /// the flush succeeded (or there is no WAL attached).
     pub wal_flush_error: Option<CqmsError>,
+    /// Retries the closing WAL flush needed before succeeding (or giving
+    /// up into [`MinerReport::wal_flush_error`]) — transient sink faults
+    /// that backoff recovered stay observable here.
+    pub wal_flush_retries: u32,
 }
 
 /// The Collaborative Query Management System.
@@ -85,10 +89,12 @@ pub struct Cqms {
 impl Cqms {
     /// Wrap an existing data engine in a CQMS.
     pub fn new(data: Engine, config: CqmsConfig) -> Self {
+        let mut storage = QueryStorage::new();
+        storage.set_override_publish_threshold(config.override_publish_threshold);
         Cqms {
             config,
             data,
-            storage: QueryStorage::new(),
+            storage,
             directory: Directory::new(),
             profiler: Profiler::new(),
             rules: RuleMiner::new(),
@@ -153,6 +159,8 @@ impl Cqms {
             }
         }
         cqms.storage = storage;
+        cqms.storage
+            .set_override_publish_threshold(cqms.config.override_publish_threshold);
         cqms.recovery = Some(report);
         Ok(cqms)
     }
@@ -182,7 +190,9 @@ impl Cqms {
     /// Write a durable snapshot *now* and truncate the log behind it
     /// (the operator's "force a snapshot" lever; the background path in
     /// [`spawn_background_miner`] prefers the off-lock route). Returns
-    /// `false` for pure-RAM instances.
+    /// `false` for pure-RAM instances. A transient write fault is retried
+    /// with capped exponential backoff
+    /// ([`CqmsConfig::wal_retry_attempts`]) before surfacing.
     pub fn force_snapshot(&mut self) -> Result<bool, CqmsError> {
         if !self.storage.wal_attached() {
             return Ok(false);
@@ -190,7 +200,15 @@ impl Cqms {
         let mut body = Vec::new();
         self.storage.snapshot(&mut body)?;
         let horizon = self.storage.wal_last_lsn().unwrap_or(0);
-        self.storage.wal_write_snapshot(horizon, &body)?;
+        let (attempts, base_ms) = (
+            self.config.wal_retry_attempts,
+            self.config.wal_retry_base_ms,
+        );
+        let (written, _retries) =
+            crate::admission::retry_with_backoff(attempts, base_ms, base_ms * 8, || {
+                self.storage.wal_write_snapshot(horizon, &body)
+            });
+        written?;
         Ok(true)
     }
 
@@ -741,7 +759,18 @@ const MINER_STARVATION_EPOCHS: usize = 3;
 /// readers *and* writers keep working against generation N the whole
 /// time — and the publish under the write lock only replays the
 /// mid-build delta and performs the single atomic swap.
-fn try_miner_epoch(cqms: &RwLock<Cqms>, attempts: usize) -> Option<MinerReport> {
+fn try_miner_epoch(
+    cqms: &RwLock<Cqms>,
+    attempts: usize,
+    faults: &crate::faults::FaultPlan,
+) -> Option<MinerReport> {
+    // The miner.epoch failpoint fires before any lock is taken, so an
+    // injected panic can never leave a guard behind (and the shim locks
+    // are non-poisoning anyway). The background loop survives it via
+    // catch_unwind; see `spawn_background_miner_with_faults`.
+    if faults.hit(crate::faults::MINER_EPOCH).is_err() {
+        return None;
+    }
     let snapshot = cqms.try_read().and_then(|guard| {
         guard
             .storage
@@ -762,15 +791,25 @@ fn try_miner_epoch(cqms: &RwLock<Cqms>, attempts: usize) -> Option<MinerReport> 
             // collect/build — never built inline under the write lock.
             let mut report = guard.miner_epoch(false);
             // The epoch may have re-logged state (session refinement);
-            // flush so it is durable, and surface — never swallow — a
-            // failure: the caller decides how loudly to report it.
-            if let Err(e) = guard.wal_flush() {
+            // flush so it is durable — retrying transient sink faults
+            // with capped backoff first — and surface, never swallow, a
+            // terminal failure: the caller decides how loudly to report.
+            let (flush_attempts, base_ms) = (
+                guard.config.wal_retry_attempts,
+                guard.config.wal_retry_base_ms,
+            );
+            let (flushed, retries) =
+                crate::admission::retry_with_backoff(flush_attempts, base_ms, base_ms * 8, || {
+                    guard.wal_flush()
+                });
+            report.wal_flush_retries = retries;
+            if let Err(e) = flushed {
                 report.wal_flush_error = Some(e);
             }
             drop(guard);
             // Durability rides the same seam: a due snapshot is written
             // off the hot path now that the epoch's write lock is gone.
-            report.snapshot_written = try_wal_snapshot(cqms);
+            report.snapshot_written = try_wal_snapshot(cqms, faults);
             return Some(report);
         }
         std::thread::sleep(Duration::from_millis(2));
@@ -789,7 +828,7 @@ fn try_miner_epoch(cqms: &RwLock<Cqms>, attempts: usize) -> Option<MinerReport> 
 /// Every lock acquisition is a bounded try (the miner must never block,
 /// see [`try_miner_epoch`]); a skipped snapshot just stays due for the
 /// next cycle. Returns whether a snapshot was marked.
-fn try_wal_snapshot(cqms: &RwLock<Cqms>) -> bool {
+fn try_wal_snapshot(cqms: &RwLock<Cqms>, faults: &crate::faults::FaultPlan) -> bool {
     // Phase 1: collect (dir, horizon, body) under a momentary read lock.
     let collected = match cqms.try_read() {
         Some(guard) => {
@@ -805,11 +844,15 @@ fn try_wal_snapshot(cqms: &RwLock<Cqms>) -> bool {
                 guard.storage.wal_last_lsn().unwrap_or(0),
                 body,
                 guard.config.wal_fsync,
+                (
+                    guard.config.wal_retry_attempts,
+                    guard.config.wal_retry_base_ms,
+                ),
             ))
         }
         None => None,
     };
-    let Some((dir, horizon, body, fsync)) = collected else {
+    let Some((dir, horizon, body, fsync, (retry_attempts, retry_base_ms))) = collected else {
         return false;
     };
     match dir {
@@ -826,7 +869,22 @@ fn try_wal_snapshot(cqms: &RwLock<Cqms>) -> bool {
             let already_written = wal::list_snapshots(&dir)
                 .map(|snaps| snaps.iter().any(|(h, _)| *h == horizon))
                 .unwrap_or(false);
-            if !already_written && wal::write_snapshot_file(&dir, horizon, &body, fsync).is_err() {
+            // The off-lock write retries transient faults (and consults
+            // the wal.snapshot failpoint) with capped backoff: a snapshot
+            // only stays due for the next cycle once backoff is spent.
+            let (written, _retries) = crate::admission::retry_with_backoff(
+                retry_attempts,
+                retry_base_ms,
+                retry_base_ms * 8,
+                || {
+                    if already_written {
+                        return Ok(());
+                    }
+                    faults.hit(crate::faults::SNAPSHOT_WRITE)?;
+                    wal::write_snapshot_file(&dir, horizon, &body, fsync)
+                },
+            );
+            if written.is_err() {
                 return false;
             }
             // Phase 3: brief write lock to rotate + prune.
@@ -859,20 +917,44 @@ fn try_wal_snapshot(cqms: &RwLock<Cqms>) -> bool {
 /// flush failure surfaced by an epoch is logged here — the background
 /// thread has no caller to return the report to.
 pub fn spawn_background_miner(cqms: Arc<RwLock<Cqms>>, interval: Duration) -> BackgroundMiner {
+    spawn_background_miner_with_faults(cqms, interval, crate::faults::global_plan())
+}
+
+/// [`spawn_background_miner`] with an explicit fault plan (the service
+/// layer passes its own, so per-service failpoints reach the miner). The
+/// loop runs each epoch under `catch_unwind`: an epoch that panics — a
+/// mining bug, or the `miner.epoch` failpoint armed with a panic — is
+/// counted as a skipped epoch and the miner keeps running, instead of
+/// dying silently and letting rules/snapshots go permanently stale. (The
+/// lock shims are non-poisoning, and the failpoint fires before any lock
+/// is taken, so a panicking epoch can never wedge the lock.)
+pub fn spawn_background_miner_with_faults(
+    cqms: Arc<RwLock<Cqms>>,
+    interval: Duration,
+    faults: Arc<crate::faults::FaultPlan>,
+) -> BackgroundMiner {
     let (stop_tx, stop_rx) = std::sync::mpsc::sync_channel::<()>(1);
     let handle = std::thread::spawn(move || {
         let mut epochs = 0usize;
         let mut skipped = 0usize;
         let run_one = |attempts: usize, skipped: &mut usize| -> bool {
-            match try_miner_epoch(&cqms, attempts) {
-                Some(report) => {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                try_miner_epoch(&cqms, attempts, &faults)
+            }));
+            match outcome {
+                Ok(Some(report)) => {
                     *skipped = 0;
                     if let Some(e) = &report.wal_flush_error {
                         eprintln!("cqms background miner: WAL flush failed after epoch: {e}");
                     }
                     true
                 }
-                None => {
+                Ok(None) => {
+                    *skipped += 1;
+                    false
+                }
+                Err(_) => {
+                    eprintln!("cqms background miner: epoch panicked; surviving");
                     *skipped += 1;
                     false
                 }

@@ -38,18 +38,20 @@
 //! multi-reader stress test and `benches/e10_concurrency.rs` for the read
 //! scaling experiment.
 
+use crate::admission::{retry_with_backoff, AdmissionGate};
 use crate::assist::completion::Suggestion;
 use crate::assist::correction::{Correction, RepairSuggestion};
 use crate::assist::recommend::PanelRow;
 use crate::error::CqmsError;
+use crate::faults::{self, FaultPlan};
 use crate::maintenance::{MaintenanceReport, RefreshReport};
 use crate::metaquery::{ScoredHit, TreePattern};
 use crate::miner::assoc::AssocRule;
 use crate::model::*;
 use crate::profiler::ProfiledQuery;
-use crate::server::{spawn_background_miner, BackgroundMiner, Cqms, MinerReport};
+use crate::server::{spawn_background_miner_with_faults, BackgroundMiner, Cqms, MinerReport};
 use crate::similarity::DistanceKind;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -89,6 +91,8 @@ impl IngestItem {
 pub struct CqmsService {
     cqms: Arc<RwLock<Cqms>>,
     miner: Arc<Mutex<Option<BackgroundMiner>>>,
+    admission: Arc<AdmissionGate>,
+    faults: Arc<FaultPlan>,
 }
 
 impl CqmsService {
@@ -98,17 +102,48 @@ impl CqmsService {
     }
 
     /// Build a service over an already-shared CQMS (e.g. one that other
-    /// code also holds via [`spawn_background_miner`]).
+    /// code also holds via
+    /// [`crate::server::spawn_background_miner`]).
     pub fn from_shared(cqms: Arc<RwLock<Cqms>>) -> Self {
+        let admission = Arc::new(AdmissionGate::from_config(&cqms.read().config));
         CqmsService {
             cqms,
             miner: Arc::new(Mutex::new(None)),
+            admission,
+            // Every service gets its *own* plan, so tests can fault one
+            // shard without touching the others; the ambient CQMS_FAULTS
+            // plan is consulted additionally on the read path (see
+            // `read_guard`), keeping CI-wide chaos and per-shard
+            // injection independent.
+            faults: Arc::new(FaultPlan::new()),
         }
     }
 
     /// The shared lock itself, for callers that need custom locking scope.
     pub fn shared(&self) -> Arc<RwLock<Cqms>> {
         self.cqms.clone()
+    }
+
+    /// This service's admission gate (stats, direct bucket checks).
+    pub fn admission(&self) -> &AdmissionGate {
+        &self.admission
+    }
+
+    /// This service's fault plan — arm failpoints here to inject faults
+    /// into this service (and only this service; the `CQMS_FAULTS`
+    /// process-wide plan is separate and consulted in addition).
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        self.faults.clone()
+    }
+
+    /// Take the read lock, first evaluating the `shard.read` failpoint on
+    /// the ambient (`CQMS_FAULTS`) plan and this service's own plan (a
+    /// delay here simulates a slow/overloaded shard for deadline tests;
+    /// other actions are meaningless for reads and ignored).
+    fn read_guard(&self) -> RwLockReadGuard<'_, Cqms> {
+        let _ = faults::global_plan().hit(faults::SHARD_READ);
+        let _ = self.faults.hit(faults::SHARD_READ);
+        self.cqms.read()
     }
 
     // ------------------------------------------------------------------
@@ -118,22 +153,22 @@ impl CqmsService {
     /// Run `f` under the read lock (escape hatch for compound reads that
     /// must see one consistent snapshot).
     pub fn read<R>(&self, f: impl FnOnce(&Cqms) -> R) -> R {
-        f(&self.cqms.read())
+        f(&self.read_guard())
     }
 
     /// Completions for partial SQL (Fig. 3 dropdown).
     pub fn complete(&self, user: UserId, partial_sql: &str, k: usize) -> Vec<Suggestion> {
-        self.cqms.read().complete(user, partial_sql, k)
+        self.read_guard().complete(user, partial_sql, k)
     }
 
     /// TF-IDF keyword search over logged query text.
     pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
-        self.cqms.read().search_keyword(user, query, k)
+        self.read_guard().search_keyword(user, query, k)
     }
 
     /// Exact substring search over logged query text.
     pub fn search_substring(&self, user: UserId, needle: &str) -> Vec<QueryId> {
-        self.cqms.read().search_substring(user, needle)
+        self.read_guard().search_substring(user, needle)
     }
 
     /// SQL meta-query over the Figure 1 feature relations.
@@ -142,12 +177,12 @@ impl CqmsService {
         user: UserId,
         sql: &str,
     ) -> Result<relstore::QueryResult, CqmsError> {
-        self.cqms.read().search_feature_sql(user, sql)
+        self.read_guard().search_feature_sql(user, sql)
     }
 
     /// Structural search by parse-tree pattern.
     pub fn search_parse_tree(&self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
-        self.cqms.read().search_parse_tree(user, pattern)
+        self.read_guard().search_parse_tree(user, pattern)
     }
 
     /// Query-by-data: find queries whose output did/didn't contain values.
@@ -158,8 +193,7 @@ impl CqmsService {
         exclude: &[&str],
         reexecute: bool,
     ) -> Vec<QueryId> {
-        self.cqms
-            .read()
+        self.read_guard()
             .search_by_data(user, include, exclude, reexecute)
     }
 
@@ -171,7 +205,7 @@ impl CqmsService {
         k: usize,
         metric: DistanceKind,
     ) -> Result<Vec<ScoredHit>, CqmsError> {
-        self.cqms.read().similar_queries(user, sql, k, metric)
+        self.read_guard().similar_queries(user, sql, k, metric)
     }
 
     /// The Fig. 3 recommendation panel for a seed query.
@@ -181,37 +215,37 @@ impl CqmsService {
         seed_sql: &str,
         k: usize,
     ) -> Result<Vec<PanelRow>, CqmsError> {
-        self.cqms.read().recommend(user, seed_sql, k)
+        self.read_guard().recommend(user, seed_sql, k)
     }
 
     /// Misspelled table/column detection with suggested fixes.
     pub fn check_identifiers(&self, sql: &str) -> Vec<Correction> {
-        self.cqms.read().check_identifiers(sql)
+        self.read_guard().check_identifiers(sql)
     }
 
     /// Predicate relaxations for a query that returned nothing.
     pub fn repair_empty_result(&self, sql: &str, k: usize) -> Vec<RepairSuggestion> {
-        self.cqms.read().repair_empty_result(sql, k)
+        self.read_guard().repair_empty_result(sql, k)
     }
 
     /// Number of live (visible, usable) logged queries.
     pub fn live_count(&self) -> usize {
-        self.cqms.read().storage.live_count()
+        self.read_guard().storage.live_count()
     }
 
     /// The published structural-index generation number.
     pub fn index_generation(&self) -> u64 {
-        self.cqms.read().storage.index_generation()
+        self.read_guard().storage.index_generation()
     }
 
     /// Current trace time.
     pub fn now(&self) -> u64 {
-        self.cqms.read().now()
+        self.read_guard().now()
     }
 
     /// The latest mined association rules (cloned out of the lock).
     pub fn association_rules(&self) -> Vec<AssocRule> {
-        self.cqms.read().association_rules().to_vec()
+        self.read_guard().association_rules().to_vec()
     }
 
     // ------------------------------------------------------------------
@@ -224,20 +258,28 @@ impl CqmsService {
     }
 
     /// Run + profile one query (WAL flushed before returning).
+    ///
+    /// Gated by admission control: when the shard already has
+    /// `ingest_queue_depth` writers admitted, or the user's token bucket
+    /// is drained, this fails fast with [`CqmsError::Overloaded`] instead
+    /// of queueing on the write lock.
     pub fn run_query(&self, user: UserId, sql: &str) -> Result<ProfiledQuery, CqmsError> {
+        let _permit = self.admission.admit_user(user)?;
         let mut guard = self.cqms.write();
         let out = guard.run_query(user, sql)?;
         guard.wal_flush()?;
         Ok(out)
     }
 
-    /// [`CqmsService::run_query`] at an explicit trace time.
+    /// [`CqmsService::run_query`] at an explicit trace time (same
+    /// admission gating).
     pub fn run_query_at(
         &self,
         user: UserId,
         sql: &str,
         ts: u64,
     ) -> Result<ProfiledQuery, CqmsError> {
+        let _permit = self.admission.admit_user(user)?;
         let mut guard = self.cqms.write();
         let out = guard.run_query_at(user, sql, ts)?;
         guard.wal_flush()?;
@@ -256,25 +298,54 @@ impl CqmsService {
     /// acknowledgement that the query survives a crash. If that flush
     /// fails, every would-be-acknowledged slot is converted to the flush
     /// error instead (nothing is acknowledged that is not durable).
+    ///
+    /// **Partial-failure semantics under admission control**: each item is
+    /// charged against its user's token bucket *before* the lock is
+    /// taken; a rate-shed item gets [`CqmsError::Overloaded`] in its slot,
+    /// is never executed, and therefore never acknowledges durability —
+    /// while admitted items in the same batch still run and flush
+    /// normally. The whole batch holds **one** depth-gate slot; if the
+    /// gate itself is at capacity every slot is `Overloaded` and nothing
+    /// runs.
     pub fn ingest_batch(&self, items: &[IngestItem]) -> Vec<Result<QueryId, CqmsError>> {
         // An empty batch has nothing to make durable: don't contend on the
         // write lock or pay a WAL flush for it.
         if items.is_empty() {
             return Vec::new();
         }
-        let mut guard = self.cqms.write();
-        let results: Vec<Result<QueryId, CqmsError>> = items
+        // Per-item rate-limit charge, outside the lock: one user's drained
+        // bucket sheds that user's items only.
+        let mut results: Vec<Result<QueryId, CqmsError>> = items
             .iter()
-            .map(|item| {
-                match item.ts {
-                    Some(ts) => guard.run_query_at(item.user, &item.sql, ts),
-                    None => guard.run_query(item.user, &item.sql),
-                }
-                .map(|p| p.id)
-            })
+            .map(|item| self.admission.check_user(item.user).map(|()| QueryId(0)))
             .collect();
-        match guard.wal_flush() {
+        if results.iter().all(|r| r.is_err()) {
+            return results;
+        }
+        // One in-flight slot for the whole batch (batching is the unit of
+        // lock amortisation, so it is also the unit of depth accounting).
+        let permit = match self.admission.admit() {
+            Ok(p) => p,
+            Err(e) => return items.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let mut guard = self.cqms.write();
+        for (slot, item) in results.iter_mut().zip(items) {
+            if slot.is_err() {
+                continue; // rate-shed: never executed, never acknowledged
+            }
+            *slot = match item.ts {
+                Some(ts) => guard.run_query_at(item.user, &item.sql, ts),
+                None => guard.run_query(item.user, &item.sql),
+            }
+            .map(|p| p.id);
+        }
+        let flushed = guard.wal_flush();
+        drop(guard);
+        drop(permit);
+        match flushed {
             Ok(()) => results,
+            // Only would-be-acknowledged slots become the flush error;
+            // already-failed slots (parse errors, shed items) keep theirs.
             Err(e) => results.into_iter().map(|r| r.and(Err(e.clone()))).collect(),
         }
     }
@@ -331,11 +402,21 @@ impl CqmsService {
     /// [`MinerReport::wal_flush_error`] rather than swallowed: the epoch
     /// mostly derives state, but refined sessions are re-logged and a due
     /// snapshot rotates the log, so the caller must be able to see that
-    /// those did not reach disk.
+    /// those did not reach disk. Transient flush faults are retried with
+    /// capped exponential backoff first
+    /// ([`CqmsConfig::wal_retry_attempts`](crate::config::CqmsConfig));
+    /// recovered retries are counted in [`MinerReport::wal_flush_retries`].
     pub fn run_miner_epoch(&self) -> MinerReport {
         let mut guard = self.cqms.write();
         let mut report = guard.run_miner_epoch();
-        if let Err(e) = guard.wal_flush() {
+        let (attempts, base_ms) = (
+            guard.config.wal_retry_attempts,
+            guard.config.wal_retry_base_ms,
+        );
+        let (flushed, retries) =
+            retry_with_backoff(attempts, base_ms, base_ms * 8, || guard.wal_flush());
+        report.wal_flush_retries = retries;
+        if let Err(e) = flushed {
             report.wal_flush_error = Some(e);
         }
         report
@@ -382,7 +463,11 @@ impl CqmsService {
         if slot.is_some() {
             return false;
         }
-        *slot = Some(spawn_background_miner(self.cqms.clone(), interval));
+        *slot = Some(spawn_background_miner_with_faults(
+            self.cqms.clone(),
+            interval,
+            self.faults.clone(),
+        ));
         true
     }
 

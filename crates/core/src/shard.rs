@@ -74,13 +74,31 @@ use crate::profiler::ProfiledQuery;
 use crate::server::{Cqms, MinerReport};
 use crate::service::{CqmsService, IngestItem};
 use crate::similarity::DistanceKind;
+use crate::wal::RecoveryReport;
 use relstore::Engine;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The per-shard probe closure [`ShardedCqms`] fans out under a deadline:
+/// shared across the detached worker threads, one call per shard.
+type ShardProbe<T> = Arc<dyn Fn(&CqmsService, usize) -> T + Send + Sync>;
+
+/// A cross-shard read answered under a deadline budget: the merged value,
+/// whether any shard missed the deadline, and which ones did. See
+/// [`ShardedCqms::similar_queries_deadline`] for the exactness guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialResult<T> {
+    /// The merged result over the shards that answered in time.
+    pub value: T,
+    /// Did at least one shard miss the deadline (or sit degraded)?
+    pub partial: bool,
+    /// The shards whose answers were not included, ascending.
+    pub lagging_shards: Vec<usize>,
+}
 
 /// A CQMS deployment sharded by user hash into independently write-locked
 /// [`CqmsService`]s, with cross-shard reads merged exactly. Cloning is
@@ -93,6 +111,14 @@ pub struct ShardedCqms {
     /// trail it, which is fine — every ingest carries an explicit global
     /// timestamp down to its shard.
     clock: Arc<AtomicU64>,
+    /// Shards whose durable state failed to open (ascending). Present only
+    /// on a degraded [`ShardedCqms::open`]; such shards run empty and
+    /// reject writes with [`CqmsError::ShardUnavailable`].
+    degraded: Arc<Vec<usize>>,
+    /// Per-shard recovery outcome of a durable open (empty for pure-RAM
+    /// deployments): the shard's [`RecoveryReport`], or the open error
+    /// that degraded it.
+    recovery: Arc<Vec<Result<RecoveryReport, CqmsError>>>,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -114,6 +140,8 @@ impl ShardedCqms {
         ShardedCqms {
             shards,
             clock: Arc::new(AtomicU64::new(0)),
+            degraded: Arc::new(Vec::new()),
+            recovery: Arc::new(Vec::new()),
         }
     }
 
@@ -122,6 +150,16 @@ impl ShardedCqms {
     /// machinery (see [`Cqms::open`]); the global clock resumes past every
     /// shard's recovered high-water mark. The shard count must match
     /// across restarts — the id stripe is a function of it.
+    ///
+    /// A shard whose directory is corrupt or unreadable fails the whole
+    /// open with [`CqmsError::ShardOpen`] by default. With
+    /// [`CqmsConfig::open_degraded`] set, the deployment opens anyway:
+    /// the broken shard runs **empty and write-rejecting**
+    /// ([`CqmsError::ShardUnavailable`]) while healthy shards serve
+    /// normally, and the per-shard outcome — recovery report or open
+    /// error — is available from [`ShardedCqms::shard_recovery`]. Reads
+    /// silently exclude the degraded shard's (inaccessible) records; use
+    /// [`ShardedCqms::degraded_shards`] to surface that to clients.
     pub fn open(
         mut engine_factory: impl FnMut() -> Engine,
         config: CqmsConfig,
@@ -130,15 +168,41 @@ impl ShardedCqms {
         let n = config.shards.max(1);
         let mut shards = Vec::with_capacity(n);
         let mut clock = 0u64;
+        let mut degraded = Vec::new();
+        let mut recovery = Vec::with_capacity(n);
         for i in 0..n {
             let shard_dir = dir.as_ref().join(format!("shard-{i}"));
-            let cqms = Cqms::open(engine_factory(), config.clone(), shard_dir)?;
-            clock = clock.max(cqms.now());
-            shards.push(CqmsService::new(cqms));
+            match Cqms::open(engine_factory(), config.clone(), shard_dir) {
+                Ok(cqms) => {
+                    clock = clock.max(cqms.now());
+                    recovery.push(Ok(cqms.recovery().cloned().unwrap_or_default()));
+                    shards.push(CqmsService::new(cqms));
+                }
+                Err(e) => {
+                    let err = CqmsError::ShardOpen {
+                        shard: i,
+                        detail: e.to_string(),
+                    };
+                    if !config.open_degraded {
+                        return Err(err);
+                    }
+                    // Keep the slot (the id stripe and user routing are
+                    // functions of the shard *count*) but leave it empty
+                    // and mark it: writes bounce, reads see nothing.
+                    degraded.push(i);
+                    recovery.push(Err(err));
+                    shards.push(CqmsService::new(Cqms::new(
+                        engine_factory(),
+                        config.clone(),
+                    )));
+                }
+            }
         }
         Ok(ShardedCqms {
             shards,
             clock: Arc::new(AtomicU64::new(clock)),
+            degraded: Arc::new(degraded),
+            recovery: Arc::new(recovery),
         })
     }
 
@@ -155,6 +219,26 @@ impl ShardedCqms {
     /// The per-shard service handles (tests, benches, operators).
     pub fn shards(&self) -> &[CqmsService] {
         &self.shards
+    }
+
+    /// Shards that opened degraded (ascending; empty when healthy).
+    pub fn degraded_shards(&self) -> &[usize] {
+        &self.degraded
+    }
+
+    /// Per-shard recovery outcome of a durable open: the shard's
+    /// [`RecoveryReport`], or the [`CqmsError::ShardOpen`] that degraded
+    /// it. Empty for pure-RAM deployments built with [`ShardedCqms::new`].
+    pub fn shard_recovery(&self) -> &[Result<RecoveryReport, CqmsError>] {
+        &self.recovery
+    }
+
+    fn check_writable(&self, shard: usize) -> Result<(), CqmsError> {
+        if self.degraded.contains(&shard) {
+            Err(CqmsError::ShardUnavailable { shard })
+        } else {
+            Ok(())
+        }
     }
 
     /// Stripe a shard-local id into the global id space.
@@ -235,6 +319,7 @@ impl ShardedCqms {
 
     fn route_query(&self, user: UserId, sql: &str, ts: u64) -> Result<ProfiledQuery, CqmsError> {
         let shard = self.shard_of(user);
+        self.check_writable(shard)?;
         let mut out = self.shards[shard].run_query_at(user, sql, ts)?;
         out.id = self.globalize(shard, out.id);
         Ok(out)
@@ -275,6 +360,12 @@ impl ShardedCqms {
             if batch.is_empty() {
                 continue;
             }
+            if let Err(e) = self.check_writable(shard) {
+                for pos in positions {
+                    out[pos] = Err(e.clone());
+                }
+                continue;
+            }
             let results = self.shards[shard].ingest_batch(&batch);
             for (pos, res) in positions.into_iter().zip(results) {
                 out[pos] = res.map(|local| self.globalize(shard, local));
@@ -292,6 +383,7 @@ impl ShardedCqms {
         fragment: Option<&str>,
     ) -> Result<(), CqmsError> {
         let (shard, local) = self.locate(id);
+        self.check_writable(shard)?;
         self.shards[shard].annotate(actor, local, text, fragment)
     }
 
@@ -303,12 +395,14 @@ impl ShardedCqms {
         visibility: Visibility,
     ) -> Result<(), CqmsError> {
         let (shard, local) = self.locate(id);
+        self.check_writable(shard)?;
         self.shards[shard].set_visibility(actor, local, visibility)
     }
 
     /// Tombstone a query.
     pub fn delete_query(&self, actor: UserId, id: QueryId) -> Result<(), CqmsError> {
         let (shard, local) = self.locate(id);
+        self.check_writable(shard)?;
         self.shards[shard].delete_query(actor, local)
     }
 
@@ -429,6 +523,209 @@ impl ShardedCqms {
             per_shard.push(hits);
         }
         Ok(merge_scored(per_shard, k))
+    }
+
+    // ------------------------------------------------------------------
+    // Deadline reads (graceful degradation under slow shards)
+    // ------------------------------------------------------------------
+
+    /// Fan a read over `idxs`, collecting each shard's answer until
+    /// `deadline`. Shards that miss it are abandoned (their detached
+    /// worker threads finish against a dropped channel) and reported as
+    /// lagging. Returns per-shard answers indexed by shard id.
+    fn fanout_until<T: Send + 'static>(
+        &self,
+        idxs: &[usize],
+        deadline: Instant,
+        f: ShardProbe<T>,
+    ) -> (Vec<Option<T>>, Vec<usize>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        for &i in idxs {
+            let tx = tx.clone();
+            let svc = self.shards[i].clone();
+            let f = f.clone();
+            // Detached on purpose: joining would wait out the very
+            // slowness the deadline exists to bound. The worker holds its
+            // own service clone; a post-deadline send just fails.
+            std::thread::spawn(move || {
+                let out = f(&svc, i);
+                let _ = tx.send((i, out));
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<T>> = (0..self.shards.len()).map(|_| None).collect();
+        let mut pending = idxs.len();
+        while pending > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok((i, out)) => {
+                    results[i] = Some(out);
+                    pending -= 1;
+                }
+                Err(_) => break, // deadline (or every worker already gone)
+            }
+        }
+        let lagging = idxs
+            .iter()
+            .copied()
+            .filter(|&i| results[i].is_none())
+            .collect();
+        (results, lagging)
+    }
+
+    /// [`ShardedCqms::similar_queries`] under a deadline budget: shards
+    /// are probed in parallel and the merge runs over those that answered
+    /// within `budget`; the rest are reported in
+    /// [`PartialResult::lagging_shards`] instead of blocking the caller.
+    ///
+    /// **Exactness**: kNN scores depend only on record content, so the
+    /// partial value is precisely the full merged top-k *restricted to
+    /// the answering shards* — equivalently, the full answer with the
+    /// lagging shards' hits deleted and the next-best answering-shard
+    /// hits pulled up. In particular the full top-k filtered to answering
+    /// shards is a prefix of the partial value (pinned by
+    /// `tests/faults.rs`). With no lagging shard the result is
+    /// bit-identical to the undeadlined call.
+    pub fn similar_queries_deadline(
+        &self,
+        user: UserId,
+        sql: &str,
+        k: usize,
+        metric: DistanceKind,
+        budget: Duration,
+    ) -> Result<PartialResult<Vec<ScoredHit>>, CqmsError> {
+        let deadline = Instant::now() + budget;
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        let sql = sql.to_string();
+        let (results, lagging) = self.fanout_until(
+            &all,
+            deadline,
+            Arc::new(move |svc: &CqmsService, _| svc.similar_queries(user, &sql, k, metric)),
+        );
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for (i, res) in results.into_iter().enumerate() {
+            let Some(res) = res else { continue };
+            // A real per-shard error (e.g. unparsable seed SQL) is the
+            // same on every shard — propagate it rather than degrade.
+            let hits: Vec<ScoredHit> = res?
+                .into_iter()
+                .map(|h| ScoredHit {
+                    id: self.globalize(i, h.id),
+                    score: h.score,
+                })
+                .collect();
+            per_shard.push(hits);
+        }
+        Ok(PartialResult {
+            value: merge_scored(per_shard, k),
+            partial: !lagging.is_empty(),
+            lagging_shards: lagging,
+        })
+    }
+
+    /// [`ShardedCqms::search_substring`] under a deadline budget: the
+    /// value is exactly the full answer minus the lagging shards' ids
+    /// (substring matching has no cross-shard scoring), ascending by
+    /// global id.
+    pub fn search_substring_deadline(
+        &self,
+        user: UserId,
+        needle: &str,
+        budget: Duration,
+    ) -> PartialResult<Vec<QueryId>> {
+        let deadline = Instant::now() + budget;
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        let needle = needle.to_string();
+        let (results, lagging) = self.fanout_until(
+            &all,
+            deadline,
+            Arc::new(move |svc: &CqmsService, _| svc.search_substring(user, &needle)),
+        );
+        let n = self.shards.len() as u64;
+        let mut out: Vec<QueryId> = results
+            .into_iter()
+            .enumerate()
+            .flat_map(|(i, ids)| {
+                ids.unwrap_or_default()
+                    .into_iter()
+                    .map(move |id| QueryId(id.0 * n + i as u64))
+            })
+            .collect();
+        out.sort();
+        PartialResult {
+            value: out,
+            partial: !lagging.is_empty(),
+            lagging_shards: lagging,
+        }
+    }
+
+    /// [`ShardedCqms::search_keyword`] under a deadline budget. Both
+    /// passes of the global-stats protocol run under the same deadline:
+    /// corpus statistics are summed over the shards that answered pass 1
+    /// in time, and pass 2 probes only those shards with the remaining
+    /// budget. **Weaker guarantee than kNN/substring**: when shards lag,
+    /// the IDF corpus is the answering shards' corpus, so surviving
+    /// scores can differ from the unsharded run (ranking within the
+    /// answering corpus stays exact, and with no lagging shard the result
+    /// is bit-identical to the undeadlined call).
+    pub fn search_keyword_deadline(
+        &self,
+        user: UserId,
+        query: &str,
+        k: usize,
+        budget: Duration,
+    ) -> PartialResult<Vec<ScoredHit>> {
+        let deadline = Instant::now() + budget;
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        // Pass 1: per-shard corpus stats, under the deadline.
+        let q1 = query.to_string();
+        let (stats, mut lagging) = self.fanout_until(
+            &all,
+            deadline,
+            Arc::new(move |svc: &CqmsService, _| svc.read(|c| c.keyword_corpus_stats(&q1))),
+        );
+        let mut total_docs = 0u64;
+        let mut df: HashMap<String, u64> = HashMap::new();
+        let mut answered: Vec<usize> = Vec::new();
+        for (i, s) in stats.into_iter().enumerate() {
+            let Some((n, local_df)) = s else { continue };
+            answered.push(i);
+            total_docs += n;
+            for (term, d) in local_df {
+                *df.entry(term).or_insert(0) += d;
+            }
+        }
+        // Pass 2: top-k under the answering corpus, remaining budget only.
+        let q2 = query.to_string();
+        let df = Arc::new(df);
+        let (results, lagging2) = self.fanout_until(
+            &answered,
+            deadline,
+            Arc::new(move |svc: &CqmsService, _| {
+                svc.read(|c| c.search_keyword_with_corpus(user, &q2, k, total_docs, &df))
+            }),
+        );
+        lagging.extend(lagging2);
+        lagging.sort_unstable();
+        lagging.dedup();
+        let per_shard: Vec<Vec<ScoredHit>> = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, hits)| {
+                hits.unwrap_or_default()
+                    .into_iter()
+                    .map(|h| ScoredHit {
+                        id: self.globalize(i, h.id),
+                        score: h.score,
+                    })
+                    .collect()
+            })
+            .collect();
+        PartialResult {
+            value: merge_scored(per_shard, k),
+            partial: !lagging.is_empty(),
+            lagging_shards: lagging,
+        }
     }
 
     /// SQL meta-query over the feature relations, run on every shard with

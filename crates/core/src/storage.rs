@@ -61,6 +61,13 @@ pub struct QueryStorage {
     /// sanctioned mutator logs its operation here; durability happens at
     /// the service layer's per-batch [`QueryStorage::wal_flush`].
     wal: Option<WalWriter>,
+    /// Force an inline index publish once this many overrides are
+    /// outstanding (0 = never). Each override costs every structural
+    /// probe a scan entry until a publish retires it; under a repair
+    /// storm the scheduled background rebuild may lag arbitrarily, so
+    /// the storm itself amortises the publish instead. Wired from
+    /// [`crate::config::CqmsConfig::override_publish_threshold`].
+    override_publish_threshold: usize,
 }
 
 impl Default for QueryStorage {
@@ -88,7 +95,14 @@ impl QueryStorage {
             indexes: IndexRegistry::new(),
             live: 0,
             wal: None,
+            override_publish_threshold: 64,
         }
+    }
+
+    /// Set the forced-publish threshold for outstanding overrides
+    /// (0 disables; see the field docs).
+    pub fn set_override_publish_threshold(&mut self, threshold: usize) {
+        self.override_publish_threshold = threshold;
     }
 
     /// Number of logged queries (including tombstoned ones).
@@ -523,6 +537,17 @@ impl QueryStorage {
         // retires it — no index is dropped, no probe pays a lazy build.
         self.indexes.note_reindex(id.0);
         self.wal_log(WalOp::Reindex { id, raw_sql: sql });
+        // Bulk-repair bound: the override log is scanned by every probe,
+        // and a repair storm can outpace the background rebuild that
+        // retires it. Once the log crosses the threshold, publish a
+        // generation inline — the storm pays for its own cleanup, and
+        // probes never scan more than `threshold` overrides.
+        if self.override_publish_threshold > 0
+            && self.indexes.override_count() >= self.override_publish_threshold
+        {
+            let build = self.begin_index_rebuild();
+            self.publish_index_rebuild(build);
+        }
         Ok(())
     }
 
