@@ -14,10 +14,19 @@
 //! Plus recovery: `open_replay_2k` reopens a directory holding a 2 000
 //! query log (no snapshot) against `open_baseline`, which builds the
 //! same engine without a directory — the difference is replay cost.
+//!
+//! Plus self-healing (PR 9): `open_salvage_midlog` opens a directory
+//! whose log is corrupted mid-segment *under* a snapshot horizon — the
+//! salvage scan, quarantine, and re-anchor path — and `repair_promote`
+//! measures one manual repair epoch promoting a healed shard back to
+//! serving. Both copy a pre-built template directory inside the timed
+//! closure (the shim has no `iter_batched`), so they report salvage +
+//! copy; the copy is identical across samples.
 
-use cqms_core::{Cqms, CqmsConfig, CqmsService, IngestItem};
+use cqms_core::{Cqms, CqmsConfig, CqmsService, IngestItem, ShardedCqms};
+use std::path::{Path, PathBuf};
+
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::path::PathBuf;
 use workload::Domain;
 
 /// Queries pre-logged for the replay axis (rounded down to whole batches).
@@ -127,7 +136,143 @@ fn bench(c: &mut Criterion) {
     });
     let _ = std::fs::remove_dir_all(&replay_dir);
 
+    // --- Salvage: open over mid-log corruption under a snapshot ----------
+    // Template: 128 queries, a snapshot covering them, 64 more past the
+    // horizon, then one wrecked frame well below the horizon. Opening
+    // must skip the wound (no loss), quarantine the damaged segment, and
+    // re-anchor — the full self-healing open path.
+    let salvage_tmpl = temp_dir("salvage-tmpl");
+    let _ = std::fs::remove_dir_all(&salvage_tmpl);
+    {
+        let cfg = CqmsConfig {
+            wal_fsync: false,
+            ..CqmsConfig::default()
+        };
+        let mut cqms = Cqms::open(engine(60), cfg, &salvage_tmpl).unwrap();
+        let user = cqms.register_user("bench");
+        for i in 0..128u64 {
+            cqms.run_query_at(
+                user,
+                &format!("SELECT * FROM Lakes WHERE area > {i}"),
+                1_000 + i,
+            )
+            .unwrap();
+        }
+        cqms.wal_flush().unwrap();
+        let snap_dir = cqms.storage.wal_snapshot_dir().expect("durable dir");
+        let horizon = cqms.storage.wal_last_lsn().unwrap();
+        let mut body = Vec::new();
+        cqms.storage.snapshot(&mut body).unwrap();
+        cqms_core::wal::write_snapshot_file(&snap_dir, horizon, &body, true).unwrap();
+        for i in 128..192u64 {
+            cqms.run_query_at(
+                user,
+                &format!("SELECT * FROM Lakes WHERE area > {i}"),
+                1_000 + i,
+            )
+            .unwrap();
+        }
+        cqms.wal_flush().unwrap();
+    }
+    let (_, seg) = cqms_core::wal::list_segments(&salvage_tmpl)
+        .unwrap()
+        .remove(0);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let off = second_frame_offset(&bytes);
+    bytes[off] ^= 0xFF;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let salvage_work = temp_dir("salvage-work");
+    group.bench_function("open_salvage_midlog", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&salvage_work);
+            copy_flat(&salvage_tmpl, &salvage_work);
+            let cqms = Cqms::open(engine(60), CqmsConfig::default(), &salvage_work).unwrap();
+            let report = cqms.recovery().unwrap();
+            assert_eq!(report.frames_lost, 0, "covered corruption costs nothing");
+            assert!(report.bytes_quarantined > 0, "the wound is on the books");
+            cqms.storage.len()
+        })
+    });
+    let _ = std::fs::remove_dir_all(&salvage_tmpl);
+    let _ = std::fs::remove_dir_all(&salvage_work);
+
+    // --- Repair: one supervisor epoch promoting a healed shard -----------
+    // Template: a healthy 2-shard deployment. Each sample opens it with
+    // shard 1 replaced by a squatter file (degraded), heals the
+    // directory, and runs one manual repair epoch: recover off-lock,
+    // swap the placeholder, un-fence writes.
+    let repair_tmpl = temp_dir("repair-tmpl");
+    let _ = std::fs::remove_dir_all(&repair_tmpl);
+    let shard_cfg = CqmsConfig {
+        shards: 2,
+        wal_fsync: false,
+        open_degraded: true,
+        repair_interval_ms: 0, // manual epochs: the bench drives the clock
+        ..CqmsConfig::default()
+    };
+    {
+        let s = ShardedCqms::open(shard_engine, shard_cfg.clone(), &repair_tmpl).unwrap();
+        for i in 0..6 {
+            let u = s.register_user(&format!("user{i}"));
+            for j in 0..16u64 {
+                s.run_query_at(
+                    u,
+                    &format!("SELECT * FROM Lakes WHERE area > {j}"),
+                    1_000 + j,
+                )
+                .unwrap();
+            }
+        }
+        s.shutdown();
+    }
+
+    let repair_work = temp_dir("repair-work");
+    group.bench_function("repair_promote", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&repair_work);
+            std::fs::create_dir_all(&repair_work).unwrap();
+            copy_flat(&repair_tmpl.join("shard-0"), &repair_work.join("shard-0"));
+            std::fs::write(repair_work.join("shard-1"), b"disk fault").unwrap();
+            let s = ShardedCqms::open(shard_engine, shard_cfg.clone(), &repair_work).unwrap();
+            assert_eq!(s.degraded_shards(), vec![1]);
+            std::fs::remove_file(repair_work.join("shard-1")).unwrap();
+            copy_flat(&repair_tmpl.join("shard-1"), &repair_work.join("shard-1"));
+            let promoted = s.run_repair_epoch();
+            assert_eq!(promoted, vec![1], "the healed shard promotes");
+            let live = s.live_count();
+            s.shutdown();
+            live
+        })
+    });
+    let _ = std::fs::remove_dir_all(&repair_tmpl);
+    let _ = std::fs::remove_dir_all(&repair_work);
+
     group.finish();
+}
+
+fn shard_engine() -> relstore::Engine {
+    engine(60)
+}
+
+/// Byte offset of a payload byte inside the second WAL frame —
+/// `[len u32][crc u32][body]` framing, no decode needed.
+fn second_frame_offset(bytes: &[u8]) -> usize {
+    let len0 = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    let start1 = 8 + len0;
+    let len1 = u32::from_le_bytes(bytes[start1..start1 + 4].try_into().unwrap()) as usize;
+    start1 + 8 + len1 / 2
+}
+
+/// Copy every regular file in `src` into `dst` (WAL dirs are flat).
+fn copy_flat(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
 }
 
 criterion_group!(benches, bench);

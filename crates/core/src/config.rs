@@ -127,6 +127,16 @@ pub struct CqmsConfig {
     /// `min(8, available cores)` and honours the `CQMS_SHARDS` environment
     /// variable (CI's shard-stress lever).
     pub shards: usize,
+    /// How often the shard repair supervisor re-attempts recovery of
+    /// degraded shards, in milliseconds. `0` disables the background
+    /// loop (repairs then only happen via
+    /// [`crate::shard::ShardedCqms::run_repair_epoch`]). Honours
+    /// `CQMS_REPAIR_INTERVAL_MS`.
+    pub repair_interval_ms: u64,
+    /// Give up on a degraded shard after this many failed repair
+    /// attempts (it stays fenced until restart). `0` means retry
+    /// forever. Honours `CQMS_REPAIR_MAX_ATTEMPTS`.
+    pub repair_max_attempts: u64,
 
     /// Deterministic seed for sampling/clustering.
     pub seed: u64,
@@ -184,6 +194,18 @@ pub fn default_open_degraded() -> bool {
         .unwrap_or(false)
 }
 
+/// The default repair-loop interval: `CQMS_REPAIR_INTERVAL_MS` when set,
+/// otherwise 200 ms.
+pub fn default_repair_interval_ms() -> u64 {
+    env_or("CQMS_REPAIR_INTERVAL_MS", 200)
+}
+
+/// The default repair attempt cap: `CQMS_REPAIR_MAX_ATTEMPTS` when set,
+/// otherwise 0 (retry forever).
+pub fn default_repair_max_attempts() -> u64 {
+    env_or("CQMS_REPAIR_MAX_ATTEMPTS", 0)
+}
+
 impl Default for CqmsConfig {
     fn default() -> Self {
         CqmsConfig {
@@ -220,6 +242,8 @@ impl Default for CqmsConfig {
             wal_retry_attempts: 3,
             wal_retry_base_ms: 1,
             shards: default_shards(),
+            repair_interval_ms: default_repair_interval_ms(),
+            repair_max_attempts: default_repair_max_attempts(),
             seed: 0xC1D2_2009,
         }
     }

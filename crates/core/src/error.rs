@@ -38,7 +38,8 @@ pub enum CqmsError {
         detail: String,
     },
     /// The target shard was opened degraded (its durable state is
-    /// unavailable) and cannot accept writes.
+    /// unavailable) and cannot accept writes until the repair
+    /// supervisor promotes it back to serving.
     ShardUnavailable {
         /// The degraded shard.
         shard: usize,
@@ -64,7 +65,10 @@ impl fmt::Display for CqmsError {
                 write!(f, "shard {shard} failed to open: {detail}")
             }
             CqmsError::ShardUnavailable { shard } => {
-                write!(f, "shard {shard} is unavailable (opened degraded)")
+                write!(
+                    f,
+                    "shard {shard} is unavailable (degraded, awaiting repair)"
+                )
             }
         }
     }

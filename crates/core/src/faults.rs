@@ -28,6 +28,8 @@
 //! | `wal.snapshot` | [`SNAPSHOT_WRITE`] | [`FaultySink::write_snapshot`] and the miner's off-lock snapshot write |
 //! | `shard.read` | [`SHARD_READ`] | service read path, before the read lock |
 //! | `miner.epoch` | [`MINER_EPOCH`] | background-miner loop, before each epoch |
+//! | `repair.attempt` | [`REPAIR_ATTEMPT`] | repair supervisor, before each shard recovery attempt |
+//! | `wal.quarantine` | [`WAL_QUARANTINE`] | `open_dir`, before moving a corrupt file into `quarantine/` |
 //!
 //! ## `CQMS_FAULTS` syntax
 //!
@@ -58,6 +60,11 @@ pub const SNAPSHOT_WRITE: &str = "wal.snapshot";
 pub const SHARD_READ: &str = "shard.read";
 /// Failpoint: background miner, hit at the top of every epoch attempt.
 pub const MINER_EPOCH: &str = "miner.epoch";
+/// Failpoint: repair supervisor, hit before each shard recovery attempt.
+pub const REPAIR_ATTEMPT: &str = "repair.attempt";
+/// Failpoint: `wal::open_dir`, hit before a corrupt segment or snapshot
+/// is moved into `quarantine/`.
+pub const WAL_QUARANTINE: &str = "wal.quarantine";
 
 /// What an armed failpoint does when hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -59,5 +59,5 @@ pub use faults::{FaultAction, FaultPlan, FaultySink};
 pub use model::{Annotation, QueryId, QueryRecord, SessionId, UserId, Visibility};
 pub use server::Cqms;
 pub use service::{CqmsService, IngestItem};
-pub use shard::{PartialResult, ShardedCqms};
-pub use wal::RecoveryReport;
+pub use shard::{PartialResult, ShardHealth, ShardState, ShardedCqms};
+pub use wal::{RecoveryReport, SalvagePlan, SegmentDisposition};

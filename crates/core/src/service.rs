@@ -257,6 +257,40 @@ impl CqmsService {
         f(&mut self.cqms.write())
     }
 
+    /// Atomically swap the shared CQMS instance for `cqms`, returning the
+    /// one it replaced — the repair supervisor's promotion hook: a
+    /// repaired shard's recovered instance takes the place of the empty
+    /// degraded placeholder, and every clone of this service (including a
+    /// running background miner) sees the new instance at its next lock.
+    ///
+    /// The write lock is taken with a bounded retry (the same grace
+    /// budget as a miner epoch) so a stuck reader can delay but never
+    /// deadlock the supervisor; on timeout `cqms` is handed back in
+    /// `Err` for a later attempt.
+    ///
+    /// The outgoing instance's [`admin::Directory`](crate::admin::Directory)
+    /// is carried over into `cqms` under the same lock: directory state is
+    /// deployment-level (broadcast to every shard, never WAL-logged), so the
+    /// fenced placeholder — which kept receiving admin broadcasts while the
+    /// shard was degraded — holds the authoritative copy, not the recovered
+    /// instance rebuilt from the log.
+    // The Err variant hands the whole instance back by design — the
+    // supervisor retries with it on a later epoch instead of dropping
+    // the recovered state on the floor.
+    #[allow(clippy::result_large_err)]
+    pub fn try_replace(&self, cqms: Cqms) -> Result<Cqms, Cqms> {
+        const REPLACE_ATTEMPTS: usize = 500;
+        let mut incoming = cqms;
+        for _ in 0..REPLACE_ATTEMPTS {
+            if let Some(mut guard) = self.cqms.try_write() {
+                incoming.directory = std::mem::take(&mut guard.directory);
+                return Ok(std::mem::replace(&mut *guard, incoming));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Err(incoming)
+    }
+
     /// Run + profile one query (WAL flushed before returning).
     ///
     /// Gated by admission control: when the shard already has

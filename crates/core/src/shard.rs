@@ -66,6 +66,7 @@ use crate::assist::correction::{Correction, RepairSuggestion};
 use crate::assist::recommend::PanelRow;
 use crate::config::CqmsConfig;
 use crate::error::CqmsError;
+use crate::faults;
 use crate::maintenance::{MaintenanceReport, RefreshReport};
 use crate::metaquery::{ScoredHit, TreePattern};
 use crate::miner::assoc::AssocRule;
@@ -75,12 +76,16 @@ use crate::server::{Cqms, MinerReport};
 use crate::service::{CqmsService, IngestItem};
 use crate::similarity::DistanceKind;
 use crate::wal::RecoveryReport;
+use parking_lot::{Mutex, RwLock};
 use relstore::Engine;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap};
-use std::path::Path;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// The per-shard probe closure [`ShardedCqms`] fans out under a deadline:
@@ -100,6 +105,86 @@ pub struct PartialResult<T> {
     pub lagging_shards: Vec<usize>,
 }
 
+/// Lifecycle state of one shard, as reported by [`ShardedCqms::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Healthy: serving reads and accepting writes.
+    Serving,
+    /// Opened degraded: running empty, write-fenced, awaiting repair.
+    Degraded,
+    /// A repair attempt is recovering this shard's directory right now
+    /// (still write-fenced; healthy shards are unaffected).
+    Repairing,
+}
+
+/// One row of [`ShardedCqms::health`]: a shard's lifecycle state and how
+/// many repair attempts it has consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// The shard index.
+    pub shard: usize,
+    /// Current lifecycle state. A shard whose repair budget is exhausted
+    /// reports [`ShardState::Degraded`] (it stays fenced until restart).
+    pub state: ShardState,
+    /// Repair attempts made so far (`0` for never-degraded shards).
+    pub repair_attempts: u64,
+}
+
+/// Mutable degraded-shard bookkeeping, shared between every deployment
+/// handle and the repair supervisor behind one lock.
+struct DegradedState {
+    /// Write-fenced shards, ascending (degraded or mid-repair).
+    fenced: Vec<usize>,
+    /// Subset of `fenced` with a repair attempt in flight.
+    repairing: Vec<usize>,
+    /// Shards whose [`CqmsConfig::repair_max_attempts`] budget ran out —
+    /// they stay fenced until restart.
+    exhausted: Vec<usize>,
+    /// Per-shard repair attempts (empty for pure-RAM deployments).
+    attempts: Vec<u64>,
+    /// Per-shard recovery outcome of the durable open or the latest
+    /// repair attempt (empty for pure-RAM deployments).
+    recovery: Vec<Result<RecoveryReport, CqmsError>>,
+}
+
+/// Everything a repair attempt needs to re-open a shard, captured once at
+/// [`ShardedCqms::open`]: the deployment directory, the config, and the
+/// engine factory (behind a lock — factories are `FnMut`).
+struct RepairContext {
+    dir: PathBuf,
+    config: CqmsConfig,
+    factory: Mutex<Box<dyn FnMut() -> Engine + Send>>,
+}
+
+/// The background repair supervisor's thread handle. Mirrors
+/// [`crate::server::BackgroundMiner`]: `stop` (and plain drop) signals
+/// the loop and joins, returning how many shards it promoted.
+struct BackgroundRepairer {
+    stop_tx: SyncSender<()>,
+    handle: Option<JoinHandle<usize>>,
+}
+
+impl BackgroundRepairer {
+    fn stop(mut self) -> usize {
+        self.join()
+    }
+
+    fn join(&mut self) -> usize {
+        // The receiver may already be gone (loop exited); that's fine.
+        let _ = self.stop_tx.send(());
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for BackgroundRepairer {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
 /// A CQMS deployment sharded by user hash into independently write-locked
 /// [`CqmsService`]s, with cross-shard reads merged exactly. Cloning is
 /// cheap (per-shard `Arc`s plus one shared clock).
@@ -111,14 +196,14 @@ pub struct ShardedCqms {
     /// trail it, which is fine — every ingest carries an explicit global
     /// timestamp down to its shard.
     clock: Arc<AtomicU64>,
-    /// Shards whose durable state failed to open (ascending). Present only
-    /// on a degraded [`ShardedCqms::open`]; such shards run empty and
-    /// reject writes with [`CqmsError::ShardUnavailable`].
-    degraded: Arc<Vec<usize>>,
-    /// Per-shard recovery outcome of a durable open (empty for pure-RAM
-    /// deployments): the shard's [`RecoveryReport`], or the open error
-    /// that degraded it.
-    recovery: Arc<Vec<Result<RecoveryReport, CqmsError>>>,
+    /// Degraded/repair bookkeeping. Healthy-path readers only take the
+    /// read lock for a `Vec::contains` on the write fence.
+    state: Arc<RwLock<DegradedState>>,
+    /// Present only for durable deployments ([`ShardedCqms::open`]):
+    /// what a repair attempt needs to re-open a shard directory.
+    repair_ctx: Option<Arc<RepairContext>>,
+    /// The background repair supervisor, when running.
+    repairer: Arc<Mutex<Option<BackgroundRepairer>>>,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -140,8 +225,15 @@ impl ShardedCqms {
         ShardedCqms {
             shards,
             clock: Arc::new(AtomicU64::new(0)),
-            degraded: Arc::new(Vec::new()),
-            recovery: Arc::new(Vec::new()),
+            state: Arc::new(RwLock::new(DegradedState {
+                fenced: Vec::new(),
+                repairing: Vec::new(),
+                exhausted: Vec::new(),
+                attempts: Vec::new(),
+                recovery: Vec::new(),
+            })),
+            repair_ctx: None,
+            repairer: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -159,9 +251,18 @@ impl ShardedCqms {
     /// normally, and the per-shard outcome — recovery report or open
     /// error — is available from [`ShardedCqms::shard_recovery`]. Reads
     /// silently exclude the degraded shard's (inaccessible) records; use
-    /// [`ShardedCqms::degraded_shards`] to surface that to clients.
+    /// [`ShardedCqms::degraded_shards`] / [`ShardedCqms::health`] to
+    /// surface that to clients.
+    ///
+    /// Degraded shards are not permanent: when any shard opens degraded
+    /// and [`CqmsConfig::repair_interval_ms`] is non-zero, a background
+    /// **repair supervisor** starts automatically and re-attempts
+    /// recovery off-lock until every shard is promoted back to serving
+    /// (or its [`CqmsConfig::repair_max_attempts`] budget runs out). Set
+    /// the interval to `0` for manual control via
+    /// [`ShardedCqms::run_repair_epoch`].
     pub fn open(
-        mut engine_factory: impl FnMut() -> Engine,
+        mut engine_factory: impl FnMut() -> Engine + Send + 'static,
         config: CqmsConfig,
         dir: impl AsRef<Path>,
     ) -> Result<Self, CqmsError> {
@@ -198,12 +299,28 @@ impl ShardedCqms {
                 }
             }
         }
-        Ok(ShardedCqms {
+        let any_degraded = !degraded.is_empty();
+        let out = ShardedCqms {
             shards,
             clock: Arc::new(AtomicU64::new(clock)),
-            degraded: Arc::new(degraded),
-            recovery: Arc::new(recovery),
-        })
+            state: Arc::new(RwLock::new(DegradedState {
+                fenced: degraded,
+                repairing: Vec::new(),
+                exhausted: Vec::new(),
+                attempts: vec![0; n],
+                recovery,
+            })),
+            repair_ctx: Some(Arc::new(RepairContext {
+                dir: dir.as_ref().to_path_buf(),
+                config: config.clone(),
+                factory: Mutex::new(Box::new(engine_factory)),
+            })),
+            repairer: Arc::new(Mutex::new(None)),
+        };
+        if any_degraded && config.repair_interval_ms > 0 {
+            out.start_repair(Duration::from_millis(config.repair_interval_ms));
+        }
+        Ok(out)
     }
 
     /// Number of shards.
@@ -221,20 +338,41 @@ impl ShardedCqms {
         &self.shards
     }
 
-    /// Shards that opened degraded (ascending; empty when healthy).
-    pub fn degraded_shards(&self) -> &[usize] {
-        &self.degraded
+    /// Shards currently degraded — write-fenced, awaiting (or beyond)
+    /// repair — ascending; empty when every shard is serving. Shrinks as
+    /// the repair supervisor promotes shards back.
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.state.read().fenced.clone()
     }
 
-    /// Per-shard recovery outcome of a durable open: the shard's
-    /// [`RecoveryReport`], or the [`CqmsError::ShardOpen`] that degraded
-    /// it. Empty for pure-RAM deployments built with [`ShardedCqms::new`].
-    pub fn shard_recovery(&self) -> &[Result<RecoveryReport, CqmsError>] {
-        &self.recovery
+    /// Per-shard recovery outcome of the durable open or the latest
+    /// repair attempt: the shard's [`RecoveryReport`], or the
+    /// [`CqmsError::ShardOpen`] that degraded it. Empty for pure-RAM
+    /// deployments built with [`ShardedCqms::new`].
+    pub fn shard_recovery(&self) -> Vec<Result<RecoveryReport, CqmsError>> {
+        self.state.read().recovery.clone()
+    }
+
+    /// Lifecycle state of every shard, ascending by shard index.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        let st = self.state.read();
+        (0..self.shards.len())
+            .map(|i| ShardHealth {
+                shard: i,
+                state: if st.repairing.contains(&i) {
+                    ShardState::Repairing
+                } else if st.fenced.contains(&i) {
+                    ShardState::Degraded
+                } else {
+                    ShardState::Serving
+                },
+                repair_attempts: st.attempts.get(i).copied().unwrap_or(0),
+            })
+            .collect()
     }
 
     fn check_writable(&self, shard: usize) -> Result<(), CqmsError> {
-        if self.degraded.contains(&shard) {
+        if self.state.read().fenced.contains(&shard) {
             Err(CqmsError::ShardUnavailable { shard })
         } else {
             Ok(())
@@ -879,8 +1017,208 @@ impl ShardedCqms {
         }
     }
 
-    /// Graceful shutdown of all shards (final miner epochs included).
+    // ------------------------------------------------------------------
+    // Repair supervisor lifecycle
+    // ------------------------------------------------------------------
+
+    /// Degraded shards still worth repairing: fenced, budget not
+    /// exhausted, no attempt currently in flight.
+    fn repair_pending(&self) -> usize {
+        let st = self.state.read();
+        st.fenced
+            .iter()
+            .filter(|s| !st.exhausted.contains(s))
+            .count()
+    }
+
+    /// Start the background repair supervisor: every `interval` it runs
+    /// one repair epoch ([`ShardedCqms::run_repair_epoch`]) until every
+    /// degraded shard is promoted or exhausted, then parks. Returns
+    /// `false` when already running or when this deployment has no
+    /// durable directory to repair from ([`ShardedCqms::new`]).
+    pub fn start_repair(&self, interval: Duration) -> bool {
+        if self.repair_ctx.is_none() {
+            return false;
+        }
+        let mut slot = self.repairer.lock();
+        if slot.is_some() {
+            return false;
+        }
+        let this = self.clone();
+        let (stop_tx, stop_rx) = sync_channel::<()>(1);
+        let handle = std::thread::Builder::new()
+            .name("cqms-repair".into())
+            .spawn(move || {
+                let mut promoted_total = 0usize;
+                loop {
+                    match stop_rx.recv_timeout(interval) {
+                        Ok(()) | Err(RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Timeout) => {}
+                    }
+                    promoted_total += this.run_repair_epoch().len();
+                    if this.repair_pending() == 0 {
+                        // Everything healed (or gave up): nothing left to
+                        // poll for. stop_repair still joins cleanly.
+                        break;
+                    }
+                }
+                promoted_total
+            })
+            .expect("spawn cqms-repair supervisor");
+        *slot = Some(BackgroundRepairer {
+            stop_tx,
+            handle: Some(handle),
+        });
+        true
+    }
+
+    /// Is the background repair supervisor attached?
+    pub fn repair_running(&self) -> bool {
+        self.repairer.lock().is_some()
+    }
+
+    /// Stop the background repair supervisor, if any: the thread is
+    /// joined and the number of shards it promoted is returned.
+    pub fn stop_repair(&self) -> Option<usize> {
+        let handle = self.repairer.lock().take();
+        handle.map(BackgroundRepairer::stop)
+    }
+
+    /// Run one synchronous repair epoch: attempt recovery of every
+    /// degraded shard whose budget allows it, promoting each success back
+    /// to serving. Returns the shards promoted this epoch, ascending.
+    ///
+    /// Recovery runs **off-lock** — only the repaired shard's own lock is
+    /// touched, briefly, at promotion; healthy shards never block. Safe
+    /// to call concurrently with the background supervisor: a shard with
+    /// an attempt already in flight is skipped.
+    pub fn run_repair_epoch(&self) -> Vec<usize> {
+        let Some(ctx) = self.repair_ctx.clone() else {
+            return Vec::new();
+        };
+        let candidates: Vec<usize> = {
+            let mut st = self.state.write();
+            let DegradedState {
+                fenced,
+                repairing,
+                exhausted,
+                ..
+            } = &mut *st;
+            let c: Vec<usize> = fenced
+                .iter()
+                .copied()
+                .filter(|s| !exhausted.contains(s) && !repairing.contains(s))
+                .collect();
+            repairing.extend(c.iter().copied());
+            repairing.sort_unstable();
+            c
+        };
+        let mut promoted = Vec::new();
+        for shard in candidates {
+            if self.try_repair_shard(&ctx, shard) {
+                promoted.push(shard);
+            }
+        }
+        promoted
+    }
+
+    /// One repair attempt for one shard: re-open its directory off-lock
+    /// (salvage + quarantine happen inside [`crate::wal::open_dir`]) and
+    /// promote the recovered instance on success. Never panics — a panic
+    /// inside recovery is caught and recorded as a failed attempt.
+    fn try_repair_shard(&self, ctx: &RepairContext, shard: usize) -> bool {
+        // Failpoints first (ambient plan, then the shard's own service
+        // plan), so chaos tests can fail/stall/panic an attempt before
+        // any real I/O happens.
+        let fault = faults::global_plan()
+            .hit(faults::REPAIR_ATTEMPT)
+            .and_then(|()| self.shards[shard].fault_plan().hit(faults::REPAIR_ATTEMPT));
+        let attempt = {
+            let mut st = self.state.write();
+            st.attempts[shard] += 1;
+            st.attempts[shard]
+        };
+        let outcome = match fault {
+            Err(e) => Err(CqmsError::ShardOpen {
+                shard,
+                detail: format!("repair attempt {attempt} failed: {e}"),
+            }),
+            Ok(()) => {
+                let dir = ctx.dir.join(format!("shard-{shard}"));
+                let config = ctx.config.clone();
+                match catch_unwind(AssertUnwindSafe(|| {
+                    let engine = (*ctx.factory.lock())();
+                    Cqms::open(engine, config, dir)
+                })) {
+                    Ok(Ok(cqms)) => Ok(cqms),
+                    Ok(Err(e)) => Err(CqmsError::ShardOpen {
+                        shard,
+                        detail: format!("repair attempt {attempt}: {e}"),
+                    }),
+                    Err(_) => Err(CqmsError::ShardOpen {
+                        shard,
+                        detail: format!("repair attempt {attempt} panicked"),
+                    }),
+                }
+            }
+        };
+        match outcome {
+            Ok(cqms) => self.promote(shard, cqms),
+            Err(err) => {
+                self.record_repair_failure(ctx, shard, err);
+                false
+            }
+        }
+    }
+
+    /// Swap a recovered instance in for the degraded placeholder and
+    /// un-fence writes. Replace happens strictly **before** un-fencing,
+    /// so the first post-promotion writer is guaranteed to hit the
+    /// recovered instance, never the empty placeholder.
+    fn promote(&self, shard: usize, cqms: Cqms) -> bool {
+        self.clock.fetch_max(cqms.now(), Ordering::SeqCst);
+        let report = cqms.recovery().cloned().unwrap_or_default();
+        match self.shards[shard].try_replace(cqms) {
+            Ok(_placeholder) => {
+                let mut st = self.state.write();
+                st.fenced.retain(|s| *s != shard);
+                st.repairing.retain(|s| *s != shard);
+                st.recovery[shard] = Ok(report);
+                true
+            }
+            Err(_recovered) => {
+                // The shard lock stayed held for the whole grace budget.
+                // Drop the recovered instance (its WAL is durable) and
+                // let a later epoch retry from disk.
+                let err = CqmsError::ShardOpen {
+                    shard,
+                    detail: "repaired, but promotion timed out on the shard lock".into(),
+                };
+                let mut st = self.state.write();
+                st.repairing.retain(|s| *s != shard);
+                st.recovery[shard] = Err(err);
+                false
+            }
+        }
+    }
+
+    /// Record a failed attempt, clearing the in-flight mark and fencing
+    /// the shard out of future epochs once its budget is exhausted.
+    fn record_repair_failure(&self, ctx: &RepairContext, shard: usize, err: CqmsError) {
+        let mut st = self.state.write();
+        st.repairing.retain(|s| *s != shard);
+        st.recovery[shard] = Err(err);
+        let max = ctx.config.repair_max_attempts;
+        if max > 0 && st.attempts[shard] >= max && !st.exhausted.contains(&shard) {
+            st.exhausted.push(shard);
+            st.exhausted.sort_unstable();
+        }
+    }
+
+    /// Graceful shutdown of all shards: the repair supervisor is joined
+    /// and every shard's miner runs its final epoch.
     pub fn shutdown(&self) -> Option<usize> {
+        let _ = self.stop_repair();
         self.stop_miner()
     }
 }

@@ -545,6 +545,50 @@ pub fn decode_log(bytes: &[u8]) -> DecodedLog {
     }
 }
 
+/// One maximal run of valid frames found by [`salvage_scan`].
+#[derive(Debug)]
+pub struct SalvageRun {
+    /// Byte offset of the run's first frame within the segment.
+    pub offset: usize,
+    /// Bytes the run spans.
+    pub len: usize,
+    /// The decoded frames, in log order.
+    pub frames: Vec<(u64, WalOp)>,
+}
+
+/// Forward-scan a whole segment, resynchronising past corrupt regions.
+///
+/// Where [`decode_log`] stops at the first invalid frame, this slides the
+/// frame window a byte at a time until the length/CRC/payload checks pass
+/// again, yielding every maximal run of valid frames with the corrupt
+/// gaps between them implied by the offsets. The 32-bit CRC makes a false
+/// resync on random corruption vanishingly unlikely (~2⁻³²). Cost is
+/// linear in the *corrupt* region size — a clean segment is one
+/// [`decode_log`] pass, exactly as before.
+pub fn salvage_scan(bytes: &[u8]) -> Vec<SalvageRun> {
+    let mut runs = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let d = decode_log(&bytes[pos..]);
+        if d.frames.is_empty() {
+            pos += 1;
+            continue;
+        }
+        let torn = d.torn_bytes > 0;
+        runs.push(SalvageRun {
+            offset: pos,
+            len: d.valid_len,
+            frames: d.frames,
+        });
+        pos += d.valid_len;
+        if !torn {
+            break; // the run consumed everything to the end of the segment
+        }
+        pos += 1; // step past the known-bad offset before re-syncing
+    }
+    runs
+}
+
 // ---------------------------------------------------------------------
 // Sinks
 // ---------------------------------------------------------------------
@@ -626,9 +670,18 @@ pub fn list_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
+/// Fixed-width CRC trailer appended to snapshot files:
+/// `"snapshot-crc32 " + 8 hex digits + '\n'` — exactly 24 bytes, so the
+/// reader can peel it off the end without ambiguity.
+const SNAPSHOT_TRAILER_LEN: usize = 24;
+const SNAPSHOT_TRAILER_TAG: &[u8] = b"snapshot-crc32 ";
+
 /// Durably write `snapshot-<horizon>.cqms` (tmp file + fsync + rename +
 /// directory fsync) and drop older snapshots. Shared by [`FileSink`] and
-/// the service layer's off-lock snapshot path.
+/// the service layer's off-lock snapshot path. The file ends in a CRC-32
+/// trailer covering *everything* before it — the `wal-horizon` header
+/// included, so a flipped horizon digit cannot silently skip replay —
+/// which [`read_snapshot_file`] verifies on load.
 pub fn write_snapshot_file(
     dir: &Path,
     horizon: u64,
@@ -637,9 +690,12 @@ pub fn write_snapshot_file(
 ) -> std::io::Result<()> {
     let tmp = dir.join("snapshot.tmp");
     {
+        let mut content = Vec::with_capacity(body.len() + 32);
+        writeln!(content, "wal-horizon {horizon}")?;
+        content.extend_from_slice(body);
         let mut f = File::create(&tmp)?;
-        writeln!(f, "wal-horizon {horizon}")?;
-        f.write_all(body)?;
+        f.write_all(&content)?;
+        writeln!(f, "snapshot-crc32 {:08x}", crc32(&content))?;
         if fsync {
             f.sync_all()?;
         }
@@ -658,10 +714,29 @@ pub fn write_snapshot_file(
     Ok(())
 }
 
-/// Parse a snapshot file into `(horizon, snapshot body)`.
+/// Parse a snapshot file into `(horizon, snapshot body)`, verifying the
+/// CRC-32 trailer when present. Legacy trailer-less snapshots (written
+/// before the trailer existed) still load — detection keys on the exact
+/// fixed-width `snapshot-crc32 ` tail, which cannot appear at the end of
+/// a valid body (bodies end in a newline-terminated record, never this
+/// tag line).
 pub fn read_snapshot_file(path: &Path) -> std::io::Result<(u64, Vec<u8>)> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() >= SNAPSHOT_TRAILER_LEN
+        && bytes.ends_with(b"\n")
+        && bytes[bytes.len() - SNAPSHOT_TRAILER_LEN..].starts_with(SNAPSHOT_TRAILER_TAG)
+    {
+        let hex = &bytes[bytes.len() - 9..bytes.len() - 1];
+        let want = std::str::from_utf8(hex)
+            .ok()
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| std::io::Error::other("bad snapshot-crc32 trailer"))?;
+        bytes.truncate(bytes.len() - SNAPSHOT_TRAILER_LEN);
+        if crc32(&bytes) != want {
+            return Err(std::io::Error::other("snapshot checksum mismatch"));
+        }
+    }
     let nl = bytes
         .iter()
         .position(|&b| b == b'\n')
@@ -671,7 +746,8 @@ pub fn read_snapshot_file(path: &Path) -> std::io::Result<(u64, Vec<u8>)> {
         .and_then(|h| h.strip_prefix("wal-horizon "))
         .and_then(|h| h.trim().parse::<u64>().ok())
         .ok_or_else(|| std::io::Error::other("bad wal-horizon header"))?;
-    Ok((header, bytes.split_off(nl + 1)))
+    let body = bytes.split_off(nl + 1);
+    Ok((header, body))
 }
 
 /// A file-backed sink: numbered segment files in one directory.
@@ -980,11 +1056,34 @@ pub struct RecoveryReport {
     pub frames_skipped: usize,
     /// Frames whose replay failed (0 on any healthy log).
     pub frames_failed: usize,
-    /// Torn-tail / unreachable bytes truncated from the log.
+    /// **Benign** loss only: bytes truncated from the physical tail of
+    /// the log — a frame cut short by a crash mid-write, or garbage past
+    /// the last valid frame anywhere. Nothing acknowledged-and-synced
+    /// lives here.
     pub torn_bytes_truncated: usize,
+    /// **Real** loss: acknowledged frames that decoded past a mid-log
+    /// corruption but could not be replayed because LSN continuity was
+    /// broken across the corrupt region.
+    pub frames_lost: usize,
+    /// Bytes set aside rather than replayed: mid-log corrupt regions,
+    /// the bytes of lost frames, and corrupt snapshot files — all
+    /// preserved under `quarantine/` by [`open_dir`] for inspection.
+    pub bytes_quarantined: usize,
     /// Highest LSN seen (snapshot horizon included); the writer resumes
     /// at `max_lsn + 1`.
     pub max_lsn: u64,
+}
+
+impl RecoveryReport {
+    /// Did recovery drop anything at all — benign tail or real loss?
+    /// `false` means the recovered state is byte-complete with respect to
+    /// every acknowledged-and-synced operation.
+    pub fn lossy(&self) -> bool {
+        self.torn_bytes_truncated > 0
+            || self.frames_lost > 0
+            || self.bytes_quarantined > 0
+            || self.frames_failed > 0
+    }
 }
 
 impl fmt::Display for RecoveryReport {
@@ -992,7 +1091,8 @@ impl fmt::Display for RecoveryReport {
         write!(
             f,
             "recovered from snapshot@{} ({} records) + {} segment(s): \
-             {} replayed, {} skipped, {} failed, {} torn byte(s) truncated; next lsn {}",
+             {} replayed, {} skipped, {} failed, {} torn byte(s) truncated, \
+             {} frame(s) lost, {} byte(s) quarantined; next lsn {}",
             self.snapshot_lsn,
             self.snapshot_records,
             self.segments_scanned,
@@ -1000,6 +1100,8 @@ impl fmt::Display for RecoveryReport {
             self.frames_skipped,
             self.frames_failed,
             self.torn_bytes_truncated,
+            self.frames_lost,
+            self.bytes_quarantined,
             self.max_lsn + 1,
         )
     }
@@ -1136,19 +1238,63 @@ pub fn apply_op(storage: &mut QueryStorage, op: &WalOp) -> Result<bool, CqmsErro
     }
 }
 
-/// Torn-tail location: `(segment index, valid byte length)`.
-pub type TornInfo = Option<(usize, usize)>;
+/// What [`recover`] asks the caller to do with one scanned segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentDisposition {
+    /// Every byte decoded cleanly (or the file is empty) — leave it alone.
+    Keep,
+    /// A benign torn tail: truncate the file to this many bytes.
+    Truncate(usize),
+    /// A nonempty trailing segment with no valid frame at all (garbage
+    /// past the last durable frame anywhere) — remove it.
+    Remove,
+    /// Mid-log corruption or unsalvageable frames: preserve the whole
+    /// file under `quarantine/` for inspection. The caller must re-anchor
+    /// durable state with a snapshot before serving, because replayable
+    /// frames inside the file leave the directory with it.
+    Quarantine,
+}
+
+/// The physical cleanup [`recover`] asks of its caller, one entry per
+/// scanned segment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SalvagePlan {
+    /// Parallel to the `segments` passed to [`recover`].
+    pub dispositions: Vec<SegmentDisposition>,
+    /// Human-readable diagnosis per segment (empty string when healthy);
+    /// [`open_dir`] copies quarantined segments' entries into the
+    /// quarantine manifest.
+    pub reasons: Vec<String>,
+}
+
+impl SalvagePlan {
+    /// Does any segment need quarantining? When true the caller must
+    /// write a fresh snapshot at the recovered `max_lsn` before serving.
+    pub fn needs_quarantine(&self) -> bool {
+        self.dispositions.contains(&SegmentDisposition::Quarantine)
+    }
+}
 
 /// Rebuild a storage from a snapshot plus ordered log segments.
 ///
-/// Frames with `lsn <= horizon` are skipped (idempotent overlap); a torn
-/// tail ends the scan — segments after it are unreachable and counted as
-/// truncated. Returns the storage (no WAL attached), the report, and
-/// where the caller should physically truncate.
+/// Frames with `lsn <= horizon` are skipped (idempotent overlap). The
+/// scan is **salvage-aware**: a corrupt region does not end recovery.
+/// Valid frames past it are replayed whenever LSN continuity allows —
+/// a frame at or below the last LSN already seen is a duplicate
+/// (snapshot or replay overlap) and skips; a frame at exactly
+/// `last_seen + 1` continues the log. Only when the first frame after a
+/// corrupt region *jumps* the LSN sequence is acknowledged data actually
+/// gone, and then it is reported as [`RecoveryReport::frames_lost`] /
+/// [`RecoveryReport::bytes_quarantined`] rather than silently dropped.
+/// Corruption with no valid frame after it anywhere is the classic torn
+/// tail: benign, counted in `torn_bytes_truncated`, truncated.
+///
+/// Returns the storage (no WAL attached), the report, and the physical
+/// cleanup plan the caller should execute.
 pub fn recover(
     snapshot: Option<(u64, &[u8])>,
     segments: &[(u64, Vec<u8>)],
-) -> Result<(QueryStorage, RecoveryReport, TornInfo), CqmsError> {
+) -> Result<(QueryStorage, RecoveryReport, SalvagePlan), CqmsError> {
     let (mut storage, horizon) = match snapshot {
         Some((h, body)) => (QueryStorage::load(body)?, h),
         None => (QueryStorage::new(), 0),
@@ -1159,34 +1305,106 @@ pub fn recover(
         max_lsn: horizon,
         ..RecoveryReport::default()
     };
-    let mut torn: TornInfo = None;
-    for (i, (_first_lsn, bytes)) in segments.iter().enumerate() {
-        if torn.is_some() {
-            // Unreachable past a torn tail: with sync-per-batch these
-            // should never hold data, but count + drop them regardless.
-            report.torn_bytes_truncated += bytes.len();
-            continue;
-        }
-        report.segments_scanned += 1;
-        let decoded = decode_log(bytes);
-        for (lsn, op) in &decoded.frames {
-            report.max_lsn = report.max_lsn.max(*lsn);
-            if *lsn <= horizon {
-                report.frames_skipped += 1;
+
+    // Pass 1: scan every segment, resynchronising past corrupt regions.
+    let scans: Vec<Vec<SalvageRun>> = segments.iter().map(|(_, b)| salvage_scan(b)).collect();
+    report.segments_scanned = segments.len();
+    // Corruption after the last valid frame anywhere is a benign torn
+    // tail; corruption before it is mid-log (frames follow it).
+    let last_with_frames = scans.iter().rposition(|runs| !runs.is_empty());
+
+    let mut plan = SalvagePlan {
+        dispositions: vec![SegmentDisposition::Keep; segments.len()],
+        reasons: vec![String::new(); segments.len()],
+    };
+    // Has a corrupt region with valid frames after it been crossed?
+    // Until then replay behaves exactly like the pre-salvage code.
+    let mut gap_seen = false;
+    // LSN continuity broke across a corrupt region: every later frame is
+    // acknowledged data we cannot safely replay.
+    let mut lost = false;
+    // Highest LSN applied or legitimately skipped (duplicates included).
+    let mut last_seen = horizon;
+
+    for (i, ((_first_lsn, bytes), runs)) in segments.iter().zip(&scans).enumerate() {
+        let mut cursor = 0usize; // end of the previous run in this segment
+        let mut gap_bytes = 0usize;
+        let mut lost_frames = 0usize;
+        for run in runs {
+            if run.offset > cursor {
+                // A corrupt region with this run's frames right after it:
+                // mid-log by construction.
+                let gap = run.offset - cursor;
+                report.bytes_quarantined += gap;
+                gap_bytes += gap;
+                gap_seen = true;
+            }
+            cursor = run.offset + run.len;
+            // Frames within one physically contiguous run carry
+            // consecutive LSNs (the writer appends them in order), so
+            // continuity is decided by the run's first frame.
+            if !lost && gap_seen {
+                if let Some((first, _)) = run.frames.first() {
+                    if *first > last_seen + 1 {
+                        lost = true;
+                    }
+                }
+            }
+            if lost {
+                report.frames_lost += run.frames.len();
+                report.bytes_quarantined += run.len;
+                lost_frames += run.frames.len();
                 continue;
             }
-            match apply_op(&mut storage, op) {
-                Ok(true) => report.frames_replayed += 1,
-                Ok(false) => report.frames_skipped += 1,
-                Err(_) => report.frames_failed += 1,
+            for (lsn, op) in &run.frames {
+                report.max_lsn = report.max_lsn.max(*lsn);
+                last_seen = last_seen.max(*lsn);
+                if *lsn <= horizon {
+                    report.frames_skipped += 1;
+                    continue;
+                }
+                match apply_op(&mut storage, op) {
+                    Ok(true) => report.frames_replayed += 1,
+                    Ok(false) => report.frames_skipped += 1,
+                    Err(_) => report.frames_failed += 1,
+                }
             }
         }
-        if decoded.torn_bytes > 0 {
-            report.torn_bytes_truncated += decoded.torn_bytes;
-            torn = Some((i, decoded.valid_len));
+        // Trailing bytes past the segment's last run.
+        let trailing = bytes.len() - cursor;
+        let benign_tail = match last_with_frames {
+            // No frames after this point anywhere: classic torn tail.
+            Some(last) => i >= last,
+            None => true,
+        };
+        if trailing > 0 {
+            if benign_tail {
+                report.torn_bytes_truncated += trailing;
+            } else {
+                report.bytes_quarantined += trailing;
+                gap_bytes += trailing;
+                gap_seen = true;
+            }
         }
+        // Disposition: any mid-log damage or lost frames preserves the
+        // whole file in quarantine; a benign tail truncates (or removes
+        // an all-garbage trailing file); clean segments stay put.
+        plan.dispositions[i] = if gap_bytes > 0 || lost_frames > 0 {
+            plan.reasons[i] = format!(
+                "mid-log corruption: {gap_bytes} corrupt byte(s), {lost_frames} frame(s) lost"
+            );
+            SegmentDisposition::Quarantine
+        } else if trailing > 0 && benign_tail {
+            if runs.is_empty() {
+                SegmentDisposition::Remove
+            } else {
+                SegmentDisposition::Truncate(cursor)
+            }
+        } else {
+            SegmentDisposition::Keep
+        };
     }
-    Ok((storage, report, torn))
+    Ok((storage, report, plan))
 }
 
 /// A recovered store with its WAL re-attached and ready to append.
@@ -1197,9 +1415,55 @@ pub struct Recovered {
     pub report: RecoveryReport,
 }
 
+/// Move `path` into `dir/quarantine/` (collision-safe) and append a line
+/// to `quarantine/MANIFEST.txt` describing why. Returns the file's size
+/// in bytes for loss accounting. Fires the `wal.quarantine` failpoint.
+fn quarantine_file(dir: &Path, path: &Path, reason: &str, fsync: bool) -> std::io::Result<u64> {
+    crate::faults::global_plan().hit(crate::faults::WAL_QUARANTINE)?;
+    let qdir = dir.join("quarantine");
+    fs::create_dir_all(&qdir)?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("unnamed")
+        .to_string();
+    let bytes = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let mut target = qdir.join(&name);
+    let mut suffix = 0u32;
+    while target.exists() {
+        suffix += 1;
+        target = qdir.join(format!("{name}.{suffix}"));
+    }
+    fs::rename(path, &target)?;
+    let target_name = target
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("unnamed")
+        .to_string();
+    let mut manifest = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(qdir.join("MANIFEST.txt"))?;
+    writeln!(
+        manifest,
+        "file={name} bytes={bytes} quarantined-as={target_name} reason={reason}"
+    )?;
+    if fsync {
+        manifest.sync_all()?;
+        sync_dir(&qdir)?;
+        sync_dir(dir)?;
+    }
+    Ok(bytes)
+}
+
 /// Open (or create) a durable store in `dir`: load the newest readable
-/// snapshot, replay the log past its horizon, truncate any torn tail,
-/// and attach a [`FileSink`]-backed writer resuming at `max_lsn + 1`.
+/// snapshot, replay the log past its horizon salvaging past any mid-log
+/// corruption, then execute the physical cleanup plan — truncate benign
+/// torn tails in place, or (when corruption cost data) preserve the
+/// damaged files under `quarantine/` after re-anchoring survivors in a
+/// fresh snapshot — and attach a [`FileSink`]-backed writer resuming at
+/// `max_lsn + 1`. Corrupt snapshots met along the way are quarantined
+/// too, falling back to older snapshots and finally to log-only replay.
 pub fn open_dir(dir: &Path, fsync: bool) -> Result<Recovered, CqmsError> {
     fs::create_dir_all(dir).map_err(wal_io)?;
     let segment_files = list_segments(dir).map_err(wal_io)?;
@@ -1213,49 +1477,89 @@ pub fn open_dir(dir: &Path, fsync: bool) -> Result<Recovered, CqmsError> {
     }
 
     // Newest snapshot first; fall back to older ones (then to log-only)
-    // if a snapshot fails to parse — a half-written tmp never gets the
-    // final name, but disk corruption should degrade, not brick the open.
+    // if a snapshot fails its checksum or fails to load — a half-written
+    // tmp never gets the final name, but disk corruption should degrade,
+    // not brick the open. Rejected snapshots move to quarantine/ so the
+    // fallback is visible and the next open doesn't retry them.
     let mut snapshot_files = list_snapshots(dir).map_err(wal_io)?;
     snapshot_files.reverse();
     let mut outcome = None;
+    let mut snapshot_bytes_quarantined = 0usize;
     for (horizon, path) in &snapshot_files {
-        if let Ok((file_h, body)) = read_snapshot_file(path) {
-            let h = if file_h != 0 { file_h } else { *horizon };
-            if let Ok(r) = recover(Some((h, &body)), &segments) {
-                outcome = Some(r);
-                break;
+        let reason = match read_snapshot_file(path) {
+            Ok((file_h, body)) => {
+                let h = if file_h != 0 { file_h } else { *horizon };
+                match recover(Some((h, &body)), &segments) {
+                    Ok(r) => {
+                        outcome = Some(r);
+                        break;
+                    }
+                    Err(e) => format!("snapshot body failed to load: {e}"),
+                }
             }
-        }
+            Err(e) => format!("unreadable snapshot: {e}"),
+        };
+        snapshot_bytes_quarantined +=
+            quarantine_file(dir, path, &reason, fsync).map_err(wal_io)? as usize;
     }
-    let (storage, report, torn) = match outcome {
+    let (storage, mut report, plan) = match outcome {
         Some(r) => r,
         None => recover(None, &segments)?,
     };
+    report.bytes_quarantined += snapshot_bytes_quarantined;
 
-    // Physically truncate what replay refused to trust.
-    if let Some((idx, valid_len)) = torn {
-        let path = &segment_files[idx].1;
-        OpenOptions::new()
-            .write(true)
-            .open(path)
-            .and_then(|f| f.set_len(valid_len as u64))
-            .map_err(wal_io)?;
-        for (_, path) in &segment_files[idx + 1..] {
-            fs::remove_file(path).map_err(wal_io)?;
+    let next_lsn = report.max_lsn + 1;
+    let sink = if plan.needs_quarantine() {
+        // Crash-safe ordering: re-anchor everything replay recovered in
+        // a fresh snapshot FIRST, so the quarantine moves and deletions
+        // below never hold the only copy of a replayable frame. A crash
+        // between any two steps re-runs this path idempotently.
+        let mut body = Vec::new();
+        storage.snapshot(&mut body)?;
+        write_snapshot_file(dir, report.max_lsn, &body, fsync).map_err(wal_io)?;
+        for (i, (_, path)) in segment_files.iter().enumerate() {
+            if plan.dispositions[i] == SegmentDisposition::Quarantine {
+                quarantine_file(dir, path, &plan.reasons[i], fsync).map_err(wal_io)?;
+            } else {
+                // Fully covered by the snapshot we just wrote.
+                fs::remove_file(path).map_err(wal_io)?;
+            }
         }
         if fsync {
             sync_dir(dir).map_err(wal_io)?;
         }
-    }
-
-    let next_lsn = report.max_lsn + 1;
-    let surviving = match torn {
-        Some((idx, _)) => &segment_files[..=idx],
-        None => &segment_files[..],
-    };
-    let sink = match surviving.last() {
-        Some((_, path)) => FileSink::resume(dir, path, fsync).map_err(wal_io)?,
-        None => FileSink::create(dir, next_lsn, fsync).map_err(wal_io)?,
+        FileSink::create(dir, next_lsn, fsync).map_err(wal_io)?
+    } else {
+        // Benign path: truncate torn tails in place, drop all-garbage
+        // trailing files, resume appending to the last surviving segment.
+        let mut surviving_last: Option<&PathBuf> = None;
+        let mut touched = false;
+        for (i, (_, path)) in segment_files.iter().enumerate() {
+            match plan.dispositions[i] {
+                SegmentDisposition::Keep => surviving_last = Some(path),
+                SegmentDisposition::Truncate(valid_len) => {
+                    OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .and_then(|f| f.set_len(valid_len as u64))
+                        .map_err(wal_io)?;
+                    surviving_last = Some(path);
+                    touched = true;
+                }
+                SegmentDisposition::Remove => {
+                    fs::remove_file(path).map_err(wal_io)?;
+                    touched = true;
+                }
+                SegmentDisposition::Quarantine => unreachable!("handled above"),
+            }
+        }
+        if fsync && touched {
+            sync_dir(dir).map_err(wal_io)?;
+        }
+        match surviving_last {
+            Some(path) => FileSink::resume(dir, path, fsync).map_err(wal_io)?,
+            None => FileSink::create(dir, next_lsn, fsync).map_err(wal_io)?,
+        }
     };
     let mut storage = storage;
     storage.attach_wal(WalWriter::new(Box::new(sink), next_lsn));
@@ -1646,11 +1950,191 @@ mod tests {
             frames_skipped: 1,
             frames_failed: 0,
             torn_bytes_truncated: 6,
+            frames_lost: 2,
+            bytes_quarantined: 77,
             max_lsn: 14,
         };
         let line = report.to_string();
         assert!(line.contains("snapshot@10"));
         assert!(line.contains("3 replayed"));
+        assert!(line.contains("2 frame(s) lost"));
+        assert!(line.contains("77 byte(s) quarantined"));
         assert!(line.contains("next lsn 15"));
+        assert!(report.lossy());
+        assert!(!RecoveryReport::default().lossy());
+    }
+
+    #[test]
+    fn salvage_scan_resyncs_past_midlog_corruption() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 1, &WalOp::Tombstone { id: QueryId(0) });
+        let first_len = buf.len();
+        encode_frame(&mut buf, 2, &WalOp::Tombstone { id: QueryId(1) });
+        let second_len = buf.len() - first_len;
+        encode_frame(&mut buf, 3, &WalOp::Tombstone { id: QueryId(2) });
+        // Destroy the middle frame's CRC: decode stops there, salvage
+        // resynchronises on the third frame.
+        buf[first_len + 4] ^= 0xFF;
+        let runs = salvage_scan(&buf);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].offset, 0);
+        assert_eq!(runs[0].len, first_len);
+        assert_eq!(runs[0].frames.len(), 1);
+        assert_eq!(runs[0].frames[0].0, 1);
+        assert_eq!(runs[1].offset, first_len + second_len);
+        assert_eq!(runs[1].frames.len(), 1);
+        assert_eq!(runs[1].frames[0].0, 3);
+        // A clean log is a single run covering everything.
+        let mut clean = Vec::new();
+        encode_frame(&mut clean, 1, &WalOp::Tombstone { id: QueryId(0) });
+        encode_frame(&mut clean, 2, &WalOp::Tombstone { id: QueryId(1) });
+        let runs = salvage_scan(&clean);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].frames.len(), 2);
+        assert_eq!(runs[0].len, clean.len());
+    }
+
+    #[test]
+    fn recover_reports_lost_frames_on_broken_continuity() {
+        let mut buf = Vec::new();
+        for lsn in 1..=5u64 {
+            encode_frame(
+                &mut buf,
+                lsn,
+                // Storage ids are dense from 0; lsns start at 1.
+                &WalOp::Insert(Box::new(InsertFrame::of(&record(
+                    lsn - 1,
+                    "SELECT * FROM Lakes",
+                    0,
+                )))),
+            );
+        }
+        // Wreck frame 3 (offsets: each frame is buf.len()/5 bytes — they
+        // are identical ops except the id, so equal length).
+        let frame_len = buf.len() / 5;
+        buf[2 * frame_len + 4] ^= 0xFF;
+        let (storage, report, plan) = recover(None, &[(1, buf.clone())]).unwrap();
+        // Frames 1-2 replay; 4-5 decode but continuity broke at 3.
+        assert_eq!(report.frames_replayed, 2);
+        assert_eq!(report.frames_lost, 2);
+        assert!(report.bytes_quarantined >= 2 * frame_len);
+        assert_eq!(report.torn_bytes_truncated, 0);
+        assert_eq!(report.max_lsn, 2, "lost frames do not advance max_lsn");
+        assert_eq!(storage.len(), 2);
+        assert_eq!(plan.dispositions, vec![SegmentDisposition::Quarantine]);
+        assert!(plan.needs_quarantine());
+        assert!(plan.reasons[0].contains("2 frame(s) lost"));
+    }
+
+    #[test]
+    fn recover_salvages_snapshot_covered_corruption_without_loss() {
+        // Corruption confined to frames a snapshot already covers is no
+        // loss at all: later frames resume exactly at horizon + 1.
+        let mut buf = Vec::new();
+        let mut storage = QueryStorage::new();
+        for lsn in 1..=4u64 {
+            // Storage ids are dense from 0; lsns start at 1.
+            let rec = record(lsn - 1, "SELECT * FROM Lakes", 0);
+            if lsn <= 2 {
+                storage.insert(rec.clone());
+            }
+            encode_frame(
+                &mut buf,
+                lsn,
+                &WalOp::Insert(Box::new(InsertFrame::of(&rec))),
+            );
+        }
+        let mut snap = Vec::new();
+        storage.snapshot(&mut snap).unwrap();
+        let frame_len = buf.len() / 4;
+        buf[4] ^= 0xFF; // wreck frame 1 (lsn 1 <= horizon 2: covered)
+        let (recovered, report, plan) = recover(Some((2, &snap)), &[(1, buf)]).unwrap();
+        assert_eq!(report.frames_lost, 0, "covered corruption loses nothing");
+        assert_eq!(report.frames_replayed, 2, "lsn 3 and 4 salvaged");
+        assert_eq!(report.frames_skipped, 1, "lsn 2 is a duplicate");
+        assert!(report.bytes_quarantined >= frame_len);
+        assert_eq!(recovered.len(), 4);
+        assert!(plan.needs_quarantine());
+    }
+
+    #[test]
+    fn snapshot_crc_trailer_roundtrip_and_mismatch() {
+        let dir = std::env::temp_dir().join(format!("cqms-wal-crc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let body = b"line one\nline two\n";
+        write_snapshot_file(&dir, 7, body, false).unwrap();
+        let path = snapshot_path(&dir, 7);
+        let (h, read_body) = read_snapshot_file(&path).unwrap();
+        assert_eq!(h, 7);
+        assert_eq!(read_body, body);
+        // Flip a body byte: the checksum catches what parsing might not.
+        let mut raw = fs::read(&path).unwrap();
+        let i = raw.len() - SNAPSHOT_TRAILER_LEN - 3;
+        raw[i] ^= 0x01;
+        fs::write(&path, &raw).unwrap();
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // The trailer covers the header too: a flipped horizon digit
+        // (`7` -> `5`) must not silently re-anchor replay.
+        write_snapshot_file(&dir, 7, body, false).unwrap();
+        let mut raw = fs::read(&path).unwrap();
+        let j = b"wal-horizon ".len();
+        raw[j] ^= 0x02;
+        fs::write(&path, &raw).unwrap();
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // Legacy trailer-less snapshots still load.
+        let mut legacy = b"wal-horizon 7\n".to_vec();
+        legacy.extend_from_slice(body);
+        fs::write(&path, &legacy).unwrap();
+        let (h, read_body) = read_snapshot_file(&path).unwrap();
+        assert_eq!(h, 7);
+        assert_eq!(read_body, body);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_dir_quarantines_midlog_corruption_and_reanchors() {
+        let dir = std::env::temp_dir().join(format!("cqms-wal-quar-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        {
+            let rec = open_dir(&dir, true).unwrap();
+            let mut storage = rec.storage;
+            for i in 0..5 {
+                storage.insert(record(i, "SELECT * FROM Lakes", 0));
+            }
+            storage.wal_flush().unwrap();
+        }
+        // Wreck an early frame mid-log: frames after it decode but lose
+        // continuity, so they are real loss — reported, not silent.
+        let (_, seg_path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut raw = fs::read(&seg_path).unwrap();
+        let frame_len = raw.len() / 5;
+        raw[2 * frame_len + 4] ^= 0xFF;
+        fs::write(&seg_path, &raw).unwrap();
+
+        let rec = open_dir(&dir, true).unwrap();
+        assert_eq!(rec.storage.len(), 2);
+        assert_eq!(rec.report.frames_lost, 2);
+        assert!(rec.report.lossy());
+        // The damaged segment moved to quarantine/ with a manifest line.
+        assert!(!seg_path.exists());
+        let manifest = fs::read_to_string(dir.join("quarantine").join("MANIFEST.txt")).unwrap();
+        assert!(manifest.contains("frame(s) lost"), "{manifest}");
+        assert_eq!(fs::read_dir(dir.join("quarantine")).unwrap().count(), 2);
+        // Survivors were re-anchored in a snapshot; the next open is
+        // clean and converges (no double-apply, nothing newly lost).
+        let rec2 = open_dir(&dir, true).unwrap();
+        assert_eq!(rec2.storage.len(), 2);
+        assert!(!rec2.report.lossy());
+        assert_eq!(rec2.report.max_lsn, rec.report.max_lsn);
+        assert_eq!(
+            rec2.storage.template_histogram(),
+            rec.storage.template_histogram()
+        );
+
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -580,3 +580,264 @@ fn sharded_deployment_recovers_every_shard() {
     assert_eq!(s.live_count(), 6);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Byte offset, length and LSN of every frame in a segment, walked off
+/// the `[len][crc][body]` framing — lets a test wound one frame precisely.
+fn frame_offsets(bytes: &[u8]) -> Vec<(usize, usize, u64)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        if bytes.len() - pos - 8 < len {
+            break;
+        }
+        let lsn = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+        out.push((pos, 8 + len, lsn));
+        pos += 8 + len;
+    }
+    out
+}
+
+fn sorted_sqls(storage: &QueryStorage) -> Vec<String> {
+    let mut out: Vec<String> = (0..storage.len())
+        .map(|q| storage.get(QueryId(q as u64)).unwrap().raw_sql.clone())
+        .collect();
+    out.sort();
+    out
+}
+
+/// Mid-log corruption *under* a snapshot horizon is fully salvageable:
+/// the wrecked frames were only ever offered to replay to be skipped, so
+/// recovery loses nothing — it quarantines the damaged segment for
+/// forensics and replays the post-horizon tail as if nothing happened.
+#[test]
+fn midlog_corruption_under_snapshot_horizon_salvages_without_loss() {
+    let dir = temp_dir("salvage-covered");
+    let _ = std::fs::remove_dir_all(&dir);
+    let reference = {
+        let mut cqms = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+        let user = cqms.register_user("alice");
+        for i in 0..6u64 {
+            cqms.run_query_at(
+                user,
+                &format!("SELECT * FROM WaterTemp WHERE temp < {i}"),
+                1_000 + i * 60,
+            )
+            .unwrap();
+        }
+        cqms.wal_flush().unwrap();
+        // Snapshot covering everything written so far...
+        let snap_dir = cqms.storage.wal_snapshot_dir().expect("durable dir");
+        let horizon = cqms.storage.wal_last_lsn().unwrap();
+        let mut body = Vec::new();
+        cqms.storage.snapshot(&mut body).unwrap();
+        wal::write_snapshot_file(&snap_dir, horizon, &body, true).unwrap();
+        // ...then two more queries past the horizon.
+        for i in 6..8u64 {
+            cqms.run_query_at(
+                user,
+                &format!("SELECT * FROM WaterTemp WHERE temp < {i}"),
+                1_000 + i * 60,
+            )
+            .unwrap();
+        }
+        cqms.wal_flush().unwrap();
+        sorted_sqls(&cqms.storage)
+    };
+
+    // Wound the second frame — comfortably below the horizon.
+    let (_, seg) = wal::list_segments(&dir).unwrap().remove(0);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let frames = frame_offsets(&bytes);
+    assert!(frames.len() >= 4, "several frames to choose from");
+    let (off, len, _) = frames[1];
+    bytes[off + len / 2] ^= 0xFF;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let recovered = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+    let report = recovered.recovery().unwrap();
+    assert_eq!(report.frames_lost, 0, "covered corruption costs nothing");
+    assert!(report.bytes_quarantined > 0, "the wound is on the books");
+    assert!(report.frames_skipped > 0, "pre-horizon frames were skipped");
+    assert_eq!(
+        sorted_sqls(&recovered.storage),
+        reference,
+        "full state back"
+    );
+    assert!(
+        dir.join("quarantine").join("MANIFEST.txt").is_file(),
+        "quarantined segment is documented"
+    );
+    drop(recovered);
+
+    // Convergence: the next open finds a clean directory.
+    let again = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+    let report = again.recovery().unwrap();
+    assert_eq!(report.frames_lost, 0);
+    assert_eq!(report.bytes_quarantined, 0);
+    assert_eq!(report.torn_bytes_truncated, 0);
+    assert_eq!(sorted_sqls(&again.storage), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mid-log corruption with *no* covering snapshot breaks LSN continuity:
+/// later frames decode but cannot be safely applied. Recovery must report
+/// the loss precisely (`frames_lost` / `bytes_quarantined`, not the
+/// benign `torn_bytes_truncated`), preserve the evidence under
+/// `quarantine/`, and leave a working store.
+#[test]
+fn midlog_corruption_without_snapshot_reports_lost_frames() {
+    let dir = temp_dir("salvage-lost");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut cqms = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+        let user = cqms.register_user("alice");
+        for i in 0..5u64 {
+            cqms.run_query_at(
+                user,
+                &format!("SELECT * FROM WaterTemp WHERE temp < {i}"),
+                1_000 + i * 60,
+            )
+            .unwrap();
+        }
+        cqms.wal_flush().unwrap();
+    }
+
+    let (_, seg) = wal::list_segments(&dir).unwrap().remove(0);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let frames = frame_offsets(&bytes);
+    assert!(frames.len() >= 3);
+    let (off, len, _) = frames[1];
+    bytes[off + len / 2] ^= 0xFF;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let recovered = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+    let report = recovered.recovery().unwrap().clone();
+    assert!(report.frames_lost > 0, "unreachable frames are counted");
+    assert!(report.bytes_quarantined > 0);
+    assert_eq!(
+        report.torn_bytes_truncated, 0,
+        "mid-log damage is not a benign torn tail"
+    );
+    assert!(report.lossy());
+    assert!(
+        format!("{report}").contains("lost"),
+        "the report says so out loud: {report}"
+    );
+    let manifest = std::fs::read_to_string(dir.join("quarantine").join("MANIFEST.txt")).unwrap();
+    assert!(
+        manifest.contains("mid-log"),
+        "manifest names the cause: {manifest}"
+    );
+    drop(recovered);
+
+    // The store re-anchored: a second open is clean and writable.
+    let cqms = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+    let report = cqms.recovery().unwrap();
+    assert_eq!(
+        report.frames_lost, 0,
+        "loss is reported once, not re-reported"
+    );
+    assert_eq!(report.bytes_quarantined, 0);
+    let svc = CqmsService::new(cqms);
+    let user = svc.register_user("bob");
+    svc.run_query(user, "SELECT * FROM Lakes").unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted snapshot fails its CRC, is quarantined, and recovery falls
+/// back to full log replay — no state is lost because the segments are
+/// still whole.
+#[test]
+fn corrupt_snapshot_is_quarantined_and_log_replay_covers() {
+    let dir = temp_dir("salvage-snap");
+    let _ = std::fs::remove_dir_all(&dir);
+    let reference = {
+        let mut cqms = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+        let user = cqms.register_user("alice");
+        for i in 0..5u64 {
+            cqms.run_query_at(
+                user,
+                &format!("SELECT * FROM WaterTemp WHERE temp < {i}"),
+                1_000 + i * 60,
+            )
+            .unwrap();
+        }
+        cqms.wal_flush().unwrap();
+        let snap_dir = cqms.storage.wal_snapshot_dir().expect("durable dir");
+        let horizon = cqms.storage.wal_last_lsn().unwrap();
+        let mut body = Vec::new();
+        cqms.storage.snapshot(&mut body).unwrap();
+        wal::write_snapshot_file(&snap_dir, horizon, &body, true).unwrap();
+        sorted_sqls(&cqms.storage)
+    };
+
+    // Flip one byte in the middle of the snapshot: the CRC trailer turns
+    // would-be silent corruption into a detected failure.
+    let (_, snap) = wal::list_snapshots(&dir).unwrap().remove(0);
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let recovered = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+    let report = recovered.recovery().unwrap();
+    assert_eq!(
+        report.snapshot_lsn, 0,
+        "rejected snapshot is not replayed from"
+    );
+    assert!(
+        report.bytes_quarantined > 0,
+        "rejected snapshot is accounted"
+    );
+    assert_eq!(report.frames_lost, 0);
+    assert_eq!(
+        sorted_sqls(&recovered.storage),
+        reference,
+        "log replay covers"
+    );
+    assert!(
+        dir.join("quarantine").join("MANIFEST.txt").is_file(),
+        "snapshot preserved for forensics"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Legacy snapshots written before the CRC trailer existed carry no
+/// trailer at all — they must keep loading as-is.
+#[test]
+fn legacy_trailerless_snapshot_still_loads() {
+    let dir = temp_dir("salvage-legacy");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (reference, horizon) = {
+        let mut cqms = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+        let user = cqms.register_user("alice");
+        for i in 0..4u64 {
+            cqms.run_query_at(
+                user,
+                &format!("SELECT * FROM WaterTemp WHERE temp < {i}"),
+                1_000 + i * 60,
+            )
+            .unwrap();
+        }
+        cqms.wal_flush().unwrap();
+        let snap_dir = cqms.storage.wal_snapshot_dir().expect("durable dir");
+        let horizon = cqms.storage.wal_last_lsn().unwrap();
+        let mut body = Vec::new();
+        cqms.storage.snapshot(&mut body).unwrap();
+        wal::write_snapshot_file(&snap_dir, horizon, &body, true).unwrap();
+        (sorted_sqls(&cqms.storage), horizon)
+    };
+
+    // Strip the 24-byte trailer: byte-identical to a pre-trailer file.
+    let (_, snap) = wal::list_snapshots(&dir).unwrap().remove(0);
+    let bytes = std::fs::read(&snap).unwrap();
+    std::fs::write(&snap, &bytes[..bytes.len() - 24]).unwrap();
+
+    let recovered = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+    let report = recovered.recovery().unwrap();
+    assert_eq!(report.snapshot_lsn, horizon, "legacy snapshot is used");
+    assert_eq!(report.bytes_quarantined, 0);
+    assert_eq!(sorted_sqls(&recovered.storage), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -618,7 +618,7 @@ fn degraded_open_isolates_corrupt_shard() {
         ..config
     };
     let s = ShardedCqms::open(engine, degraded_config, &dir).expect("degraded open");
-    assert_eq!(s.degraded_shards(), &[1]);
+    assert_eq!(s.degraded_shards(), vec![1]);
     assert!(s.shard_recovery()[0].is_ok());
     assert!(s.shard_recovery()[1].is_err());
     assert_eq!(s.live_count(), 1, "shard 0's record survived");
@@ -684,4 +684,252 @@ fn override_storm_forces_inline_publish() {
         cqms.storage.index_generation() >= gen0 + 2,
         "each forced publish advanced the generation"
     );
+}
+
+// ---------------------------------------------------------------------
+// Shard repair supervisor (PR 9)
+// ---------------------------------------------------------------------
+
+/// Stash a shard directory behind `.bak` and plant a squatter file in its
+/// place — an unrepairable-until-fixed disk fault that keeps the data.
+fn stash_shard_dir(dir: &std::path::Path, shard: usize) {
+    let shard_dir = dir.join(format!("shard-{shard}"));
+    let bak = dir.join(format!("shard-{shard}.bak"));
+    std::fs::rename(&shard_dir, &bak).expect("stash shard dir");
+    std::fs::write(&shard_dir, b"disk fault").expect("plant squatter");
+}
+
+/// Undo [`stash_shard_dir`]: the original directory returns intact.
+fn restore_shard_dir(dir: &std::path::Path, shard: usize) {
+    let shard_dir = dir.join(format!("shard-{shard}"));
+    let bak = dir.join(format!("shard-{shard}.bak"));
+    std::fs::remove_file(&shard_dir).expect("evict squatter");
+    std::fs::rename(&bak, &shard_dir).expect("restore shard dir");
+}
+
+/// Seed a 2-shard durable deployment with one record on each shard and
+/// return a user routed to each.
+fn seed_two_shards(dir: &std::path::Path, config: &CqmsConfig) -> (String, String) {
+    let s = ShardedCqms::open(engine, config.clone(), dir).expect("seed open");
+    let mut names: Vec<Option<String>> = vec![None, None];
+    for i in 0..6 {
+        let name = format!("user{i}");
+        let u = s.register_user(&name);
+        let shard = s.shard_of(u);
+        if names[shard].is_none() {
+            s.run_query(u, "SELECT * FROM Lakes").expect("seed write");
+            names[shard] = Some(name);
+        }
+    }
+    s.shutdown();
+    (names[0].clone().unwrap(), names[1].clone().unwrap())
+}
+
+/// Re-register the seed users (same order ⇒ same ids) and return the one
+/// routed to `shard`.
+fn user_on_shard(s: &ShardedCqms, shard: usize) -> UserId {
+    for i in 0..6 {
+        let u = s.register_user(&format!("user{i}"));
+        if s.shard_of(u) == shard {
+            return u;
+        }
+    }
+    panic!("no user routed to shard {shard}");
+}
+
+/// **Pins the tentpole contract**: the background supervisor re-attempts
+/// a degraded shard on its own clock and, once the directory heals,
+/// promotes it back to serving — writes un-fenced, data recovered —
+/// while the healthy shard never stops serving.
+#[test]
+fn background_supervisor_promotes_healed_shard() {
+    let dir = temp_dir("repair-auto");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = CqmsConfig {
+        shards: 2,
+        open_degraded: true,
+        repair_interval_ms: 20,
+        ..CqmsConfig::default()
+    };
+    seed_two_shards(&dir, &config);
+    stash_shard_dir(&dir, 1);
+
+    let s = ShardedCqms::open(engine, config, &dir).expect("degraded open");
+    assert_eq!(s.degraded_shards(), vec![1]);
+    assert!(
+        s.repair_running(),
+        "a degraded durable open auto-starts the supervisor"
+    );
+    // The healthy shard serves while the supervisor spins on the fault.
+    let u0 = user_on_shard(&s, 0);
+    assert!(s.run_query(u0, "SELECT * FROM CityLocations").is_ok());
+
+    restore_shard_dir(&dir, 1);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !s.degraded_shards().is_empty() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        s.degraded_shards(),
+        Vec::<usize>::new(),
+        "supervisor promoted"
+    );
+    assert!(
+        s.shard_recovery()[1].is_ok(),
+        "latest outcome is the recovery"
+    );
+    assert!(
+        s.health()[1].repair_attempts >= 1,
+        "attempts were recorded along the way"
+    );
+    // Un-fenced: the healed shard accepts writes again, and its seed
+    // record survived the round trip.
+    let u1 = user_on_shard(&s, 1);
+    assert!(s.run_query(u1, "SELECT * FROM WaterSalinity").is_ok());
+    assert!(
+        s.search_substring(u1, "Lakes").len() >= 2,
+        "both seed records"
+    );
+    s.shutdown();
+    assert!(!s.repair_running(), "shutdown stops the supervisor");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `repair.attempt` failpoint fails attempts before any I/O: with a
+/// budget of 2 on the shard's own plan, two manual epochs burn the budget
+/// (each recording its error), and the third promotes.
+#[test]
+fn repair_attempt_failpoint_defers_promotion() {
+    let dir = temp_dir("repair-failpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = CqmsConfig {
+        shards: 2,
+        open_degraded: true,
+        repair_interval_ms: 0, // manual epochs only
+        ..CqmsConfig::default()
+    };
+    seed_two_shards(&dir, &config);
+    stash_shard_dir(&dir, 1);
+    let s = ShardedCqms::open(engine, config, &dir).expect("degraded open");
+    assert!(!s.repair_running(), "interval 0 means manual mode");
+    restore_shard_dir(&dir, 1); // the directory is fine; only the failpoint bites
+    s.shards()[1]
+        .fault_plan()
+        .arm(faults::REPAIR_ATTEMPT, FaultAction::Fail, Some(2));
+
+    assert_eq!(s.run_repair_epoch(), Vec::<usize>::new());
+    let err = s.shard_recovery()[1].clone().unwrap_err();
+    assert!(
+        err.to_string().contains("repair attempt 1"),
+        "failures are recorded per attempt: {err}"
+    );
+    assert_eq!(s.run_repair_epoch(), Vec::<usize>::new());
+    assert_eq!(s.run_repair_epoch(), vec![1], "third attempt goes through");
+    assert_eq!(s.health()[1].repair_attempts, 3);
+    assert!(s.shard_recovery()[1].is_ok());
+    s.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `repair_max_attempts` bounds the retry budget: once exhausted the
+/// shard stays fenced — even after the directory heals — and reports
+/// `Degraded` until a restart.
+#[test]
+fn repair_budget_exhaustion_keeps_shard_fenced() {
+    use cqms_core::shard::ShardState;
+
+    let dir = temp_dir("repair-budget");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = CqmsConfig {
+        shards: 2,
+        open_degraded: true,
+        repair_interval_ms: 0,
+        repair_max_attempts: 2,
+        ..CqmsConfig::default()
+    };
+    seed_two_shards(&dir, &config);
+    stash_shard_dir(&dir, 1);
+    let s = ShardedCqms::open(engine, config, &dir).expect("degraded open");
+
+    // Two attempts against the still-broken directory burn the budget.
+    assert_eq!(s.run_repair_epoch(), Vec::<usize>::new());
+    assert_eq!(s.run_repair_epoch(), Vec::<usize>::new());
+    assert_eq!(s.health()[1].repair_attempts, 2);
+
+    // Healing the disk now is too late for this process lifetime.
+    restore_shard_dir(&dir, 1);
+    assert_eq!(s.run_repair_epoch(), Vec::<usize>::new(), "budget is spent");
+    assert_eq!(s.degraded_shards(), vec![1]);
+    assert_eq!(s.health()[1].state, ShardState::Degraded);
+    let u1 = user_on_shard(&s, 1);
+    match s.run_query(u1, "SELECT * FROM Lakes") {
+        Err(CqmsError::ShardUnavailable { shard }) => assert_eq!(shard, 1),
+        other => panic!("exhausted shard must stay fenced, got {other:?}"),
+    }
+    s.shutdown();
+
+    // A restart gets a fresh budget: the healed directory comes back.
+    let config = CqmsConfig {
+        shards: 2,
+        open_degraded: true,
+        repair_interval_ms: 0,
+        repair_max_attempts: 2,
+        ..CqmsConfig::default()
+    };
+    let s = ShardedCqms::open(engine, config, &dir).expect("healed open");
+    assert_eq!(s.degraded_shards(), Vec::<usize>::new());
+    s.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `wal.quarantine` failpoint fails the quarantine move itself: an
+/// open that *needs* to quarantine propagates the error instead of
+/// silently dropping evidence; once the failpoint clears, the open
+/// succeeds and the loss is reported.
+#[test]
+fn wal_quarantine_failpoint_fails_open() {
+    let dir = temp_dir("repair-quarantine");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut cqms = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+        let user = cqms.register_user("alice");
+        for i in 0..5u64 {
+            cqms.run_query_at(
+                user,
+                &format!("SELECT * FROM WaterTemp WHERE temp < {i}"),
+                1_000 + i * 60,
+            )
+            .unwrap();
+        }
+        cqms.wal_flush().unwrap();
+    }
+    // Wound a mid-log frame so the next open must quarantine the segment.
+    let (_, seg) = cqms_core::wal::list_segments(&dir).unwrap().remove(0);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    // Find the second frame via the [len][crc][body] framing.
+    let len0 = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    let off = 8 + len0;
+    let len1 = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+    bytes[off + 8 + len1 / 2] ^= 0xFF;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    faults::global_plan().arm(faults::WAL_QUARANTINE, FaultAction::Fail, Some(1));
+    let err = match Cqms::open(engine(), CqmsConfig::default(), &dir) {
+        Err(e) => e,
+        Ok(_) => panic!("a failed quarantine move must fail the open"),
+    };
+    assert!(
+        err.to_string().contains("injected"),
+        "the failpoint is the cause: {err}"
+    );
+    faults::global_plan().disarm(faults::WAL_QUARANTINE);
+
+    let recovered = Cqms::open(engine(), CqmsConfig::default(), &dir).unwrap();
+    let report = recovered.recovery().unwrap();
+    assert!(report.lossy(), "the mid-log loss is reported");
+    assert!(
+        dir.join("quarantine").join("MANIFEST.txt").is_file(),
+        "evidence lands once the device cooperates"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

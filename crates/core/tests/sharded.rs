@@ -13,11 +13,12 @@
 //! tolerance to hide behind.
 
 use cqms_core::model::{GroupId, QueryId, UserId, Visibility};
-use cqms_core::shard::ShardedCqms;
+use cqms_core::shard::{ShardState, ShardedCqms};
 use cqms_core::similarity::DistanceKind;
 use cqms_core::{Cqms, CqmsConfig, CqmsService};
 use proptest::prelude::*;
 use relstore::Engine;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use workload::Domain;
 
 const USERS: u32 = 4;
@@ -282,5 +283,162 @@ proptest! {
                 "substring diverged for viewer {}", viewer
             );
         }
+    }
+}
+
+/// Unique scratch directory per proptest case (cases share one process).
+fn case_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cqms-sharded-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Make `shard-{i}` unopenable without destroying its durable state:
+/// the directory moves aside and a regular file squats on its name.
+fn break_shard_dir(dir: &std::path::Path, shard: usize) {
+    let shard_dir = dir.join(format!("shard-{shard}"));
+    let bak = dir.join(format!("shard-{shard}.bak"));
+    std::fs::rename(&shard_dir, &bak).expect("stash shard dir");
+    std::fs::write(&shard_dir, b"disk fault").expect("plant squatter");
+}
+
+/// Undo [`break_shard_dir`]: the original directory returns intact.
+fn fix_shard_dir(dir: &std::path::Path, shard: usize) {
+    let shard_dir = dir.join(format!("shard-{shard}"));
+    let bak = dir.join(format!("shard-{shard}.bak"));
+    std::fs::remove_file(&shard_dir).expect("evict squatter");
+    std::fs::rename(&bak, &shard_dir).expect("restore shard dir");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Degraded-open × repair interleavings (PR 9 acceptance): corrupt
+    /// any non-empty subset of a 3-shard durable deployment's
+    /// directories, open degraded, then heal the directories. A repair
+    /// epoch while they are broken promotes nothing; one epoch after
+    /// they are fixed promotes *exactly* the broken set, un-fences
+    /// writes, and the healed deployment's keyword / kNN / substring
+    /// reads converge to an unsharded oracle fed the identical trace.
+    #[test]
+    fn degraded_open_then_repair_converges_to_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        mask in 1usize..8,
+    ) {
+        const SHARDS: usize = 3;
+        let dir = case_dir("repair");
+        let _ = std::fs::remove_dir_all(&dir);
+        let broken: Vec<usize> = (0..SHARDS).filter(|i| mask & (1 << i) != 0).collect();
+
+        let durable_config = CqmsConfig {
+            wal_fsync: false,
+            open_degraded: true,
+            repair_interval_ms: 0, // manual epochs: the test is the clock
+            ..config(SHARDS)
+        };
+        // Feed the trace to a durable sharded deployment and an unsharded
+        // RAM oracle in lockstep, then close the durable one cleanly.
+        // Recovered shards rebuild with an *empty* directory (user/group
+        // registration is deliberately not WAL-logged; callers re-register
+        // after reopen, as the durability tests do). Burn `UserId(0)` — the
+        // implicit admin — on a sentinel in both deployments so every trace
+        // user is a plain user and the oracle's visibility semantics match
+        // a directory-less recovered shard: Public readable by anyone,
+        // Private owner-only, Group unreadable (nobody is a member).
+        let unsharded = CqmsService::new(Cqms::new(engine(), config(1)));
+        unsharded.register_user("root");
+        let u_users: Vec<UserId> =
+            (0..USERS).map(|i| unsharded.register_user(&format!("user-{i}"))).collect();
+        let mut u_issued = Issued::new();
+        let mut s_issued = Issued::new();
+        {
+            let sharded = ShardedCqms::open(engine, durable_config.clone(), &dir)
+                .expect("healthy open");
+            sharded.register_user("root");
+            let s_users: Vec<UserId> =
+                (0..USERS).map(|i| sharded.register_user(&format!("user-{i}"))).collect();
+            prop_assert_eq!(&u_users, &s_users);
+            for (i, op) in ops.iter().enumerate() {
+                let ts = 1_000 + i as u64 * 60;
+                apply_unsharded(&unsharded, &u_users, &mut u_issued, op, ts);
+                apply_sharded(&sharded, &s_users, &mut s_issued, op, ts);
+            }
+            sharded.shutdown();
+        }
+
+        for &b in &broken {
+            break_shard_dir(&dir, b);
+        }
+        let sharded = ShardedCqms::open(engine, durable_config, &dir)
+            .expect("degraded open");
+        prop_assert_eq!(sharded.degraded_shards(), broken.clone());
+        // Directories still broken: an epoch attempts but promotes nothing.
+        prop_assert_eq!(sharded.run_repair_epoch(), Vec::<usize>::new());
+        prop_assert_eq!(sharded.degraded_shards(), broken.clone());
+
+        for &b in &broken {
+            fix_shard_dir(&dir, b);
+        }
+        // One epoch after the fix promotes exactly the broken set.
+        prop_assert_eq!(sharded.run_repair_epoch(), broken.clone());
+        prop_assert_eq!(sharded.degraded_shards(), Vec::<usize>::new());
+        for h in sharded.health() {
+            prop_assert_eq!(h.state, ShardState::Serving);
+            if broken.contains(&h.shard) {
+                prop_assert!(h.repair_attempts >= 1, "attempts recorded");
+                prop_assert!(sharded.shard_recovery()[h.shard].is_ok());
+            }
+        }
+        prop_assert_eq!(unsharded.live_count(), sharded.live_count());
+
+        // Writes are un-fenced everywhere: land one per user (covers every
+        // formerly broken shard), mirrored into the oracle.
+        let ts0 = 1_000 + ops.len() as u64 * 60;
+        for (i, &u) in u_users.iter().enumerate() {
+            let ts = ts0 + i as u64 * 60;
+            let sql = "SELECT * FROM WaterTemp WHERE temp < 18";
+            unsharded.run_query_at(u, sql, ts).expect("oracle write");
+            sharded.run_query_at(u, sql, ts).expect("healed shard accepts writes");
+        }
+
+
+        // Read convergence, every viewer: keyword / kNN / substring.
+        for &viewer in &u_users {
+            let uk: Vec<(QueryId, f64)> = unsharded
+                .search_keyword(viewer, "watertemp temp salinity lakes month", 64)
+                .into_iter().map(|h| (h.id, h.score)).collect();
+            let sk: Vec<(QueryId, f64)> = sharded
+                .search_keyword(viewer, "watertemp temp salinity lakes month", 64)
+                .into_iter().map(|h| (h.id, h.score)).collect();
+            prop_assert_eq!(
+                denote_unsharded(&unsharded, &uk),
+                denote_sharded(&sharded, &sk),
+                "keyword diverged for viewer {}", viewer
+            );
+            let un: Vec<(QueryId, f64)> = unsharded
+                .similar_queries(viewer, "SELECT * FROM Lakes", 64, DistanceKind::Features)
+                .unwrap().into_iter().map(|h| (h.id, h.score)).collect();
+            let sn: Vec<(QueryId, f64)> = sharded
+                .similar_queries(viewer, "SELECT * FROM Lakes", 64, DistanceKind::Features)
+                .unwrap().into_iter().map(|h| (h.id, h.score)).collect();
+            prop_assert_eq!(
+                denote_unsharded(&unsharded, &un),
+                denote_sharded(&sharded, &sn),
+                "kNN diverged for viewer {}", viewer
+            );
+            let us: Vec<(QueryId, f64)> = unsharded
+                .search_substring(viewer, "WaterTemp")
+                .into_iter().map(|id| (id, 0.0)).collect();
+            let ss: Vec<(QueryId, f64)> = sharded
+                .search_substring(viewer, "WaterTemp")
+                .into_iter().map(|id| (id, 0.0)).collect();
+            prop_assert_eq!(
+                denote_unsharded(&unsharded, &us),
+                denote_sharded(&sharded, &ss),
+                "substring diverged for viewer {}", viewer
+            );
+        }
+        sharded.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
