@@ -23,7 +23,7 @@ pub struct UserInfo {
 }
 
 /// Users and groups.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Directory {
     users: HashMap<UserId, UserInfo>,
     groups: HashMap<GroupId, String>,

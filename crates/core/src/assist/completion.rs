@@ -11,15 +11,86 @@
 //! the tables already present, falling back to global popularity.
 
 use crate::config::CqmsConfig;
-use crate::miner::assoc::RuleMiner;
+use crate::miner::assoc::{suggest_from_counts, ContextCounts, RuleMiner};
 use crate::storage::QueryStorage;
 use sqlparse::{Keyword, Lexer, TokenKind};
 use std::collections::{HashMap, HashSet};
 
 /// A predicate shape: (table, column, operator).
-type PredicateKey = (String, String, String);
+pub type PredicateKey = (String, String, String);
 /// Popularity of one predicate shape: (count, constant → count).
-type PredicateStats = (u32, HashMap<String, u32>);
+pub type PredicateStats = (u32, HashMap<String, u32>);
+
+/// The catalog names completion needs, detached from the live
+/// [`relstore::Engine`] so a [`crate::snapshot::ReadSnapshot`] can answer
+/// completions without touching the engine (or any lock).
+#[derive(Debug, Clone, Default)]
+pub struct CatalogView {
+    /// Known relation names (lower → display form).
+    pub tables: HashMap<String, String>,
+    /// relation (lower) → its columns (display form).
+    pub columns: HashMap<String, Vec<String>>,
+}
+
+impl CatalogView {
+    /// Snapshot an engine's catalog names.
+    pub fn of(engine: &relstore::Engine) -> Self {
+        let mut view = CatalogView::default();
+        for name in engine.catalog.table_names() {
+            let lower = name.to_ascii_lowercase();
+            if let Ok(t) = engine.catalog.table(&name) {
+                view.columns.insert(
+                    lower.clone(),
+                    t.schema.columns.iter().map(|c| c.name.clone()).collect(),
+                );
+            }
+            view.tables.insert(lower, name);
+        }
+        view
+    }
+}
+
+/// Summable per-shard inputs behind one completion probe. Each shard
+/// computes its own over its live records (and rule-miner transactions);
+/// a sharded deployment [`CompletionStats::merge`]s them and scores the
+/// totals once, which reproduces a single unsharded instance holding
+/// every shard's log bit-for-bit (see [`suggest_from_counts`] for the
+/// rule part of that argument — the popularity parts are plain sums).
+#[derive(Debug, Clone, Default)]
+pub struct CompletionStats {
+    /// Rule-miner context counts for `table:`-prefixed consequents
+    /// (filled for FROM-clause probes with at least one table present).
+    pub rule_counts: ContextCounts,
+    /// table (lower) → live-query use count.
+    pub table_pop: HashMap<String, u32>,
+    /// (table, attribute) → use count over in-scope tables.
+    pub attr_pop: HashMap<(String, String), u32>,
+    /// predicate shape → (count, constant → count) over in-scope tables.
+    pub pred_pop: HashMap<PredicateKey, PredicateStats>,
+}
+
+impl CompletionStats {
+    /// Sum another shard's stats into this one.
+    pub fn merge(&mut self, other: &CompletionStats) {
+        self.rule_counts.merge(&other.rule_counts);
+        for (k, v) in &other.table_pop {
+            *self.table_pop.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.attr_pop {
+            *self.attr_pop.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, (c, consts)) in &other.pred_pop {
+            let entry = self
+                .pred_pop
+                .entry(k.clone())
+                .or_insert((0, HashMap::new()));
+            entry.0 += c;
+            for (constant, n) in consts {
+                *entry.1.entry(constant.clone()).or_insert(0) += n;
+            }
+        }
+    }
+}
 
 /// What the cursor is positioned to complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,10 +123,8 @@ pub struct CompletionEngine<'a> {
     storage: &'a QueryStorage,
     rules: &'a RuleMiner,
     config: &'a CqmsConfig,
-    /// Known relation names (lower → display form) from the data catalog.
-    catalog_tables: HashMap<String, String>,
-    /// relation (lower) → its columns (display form).
-    catalog_columns: HashMap<String, Vec<String>>,
+    /// Catalog names (owned copy — cheap, a handful of strings).
+    catalog: CatalogView,
 }
 
 impl<'a> CompletionEngine<'a> {
@@ -66,24 +135,22 @@ impl<'a> CompletionEngine<'a> {
         config: &'a CqmsConfig,
         engine: &relstore::Engine,
     ) -> Self {
-        let mut catalog_tables = HashMap::new();
-        let mut catalog_columns = HashMap::new();
-        for name in engine.catalog.table_names() {
-            let lower = name.to_ascii_lowercase();
-            if let Ok(t) = engine.catalog.table(&name) {
-                catalog_columns.insert(
-                    lower.clone(),
-                    t.schema.columns.iter().map(|c| c.name.clone()).collect(),
-                );
-            }
-            catalog_tables.insert(lower, name);
-        }
+        Self::with_view(storage, rules, config, CatalogView::of(engine))
+    }
+
+    /// Bind over a pre-extracted [`CatalogView`] (the snapshot read path,
+    /// which has no engine in reach).
+    pub fn with_view(
+        storage: &'a QueryStorage,
+        rules: &'a RuleMiner,
+        config: &'a CqmsConfig,
+        catalog: CatalogView,
+    ) -> Self {
         CompletionEngine {
             storage,
             rules,
             config,
-            catalog_tables,
-            catalog_columns,
+            catalog,
         }
     }
 
@@ -156,59 +223,138 @@ impl<'a> CompletionEngine<'a> {
             CompletionContext::Table => self.suggest_tables(&tables, &prefix, k),
             CompletionContext::Attribute => self.suggest_attributes(&tables, &prefix, k),
             CompletionContext::Predicate => self.suggest_predicates(&tables, &prefix, k),
-            CompletionContext::Statement => vec![Suggestion {
-                text: "SELECT".to_string(),
-                score: 1.0,
-                why: "start a query".to_string(),
-            }],
+            CompletionContext::Statement => Self::statement_start(),
         }
+    }
+
+    /// Collect the summable statistics this probe needs from *this*
+    /// storage/miner (one shard's contribution; only the maps the probe's
+    /// context consults are filled).
+    pub fn collect_stats(&self, partial: &str) -> CompletionStats {
+        let (ctx, _prefix, tables) = Self::detect_context(partial);
+        let mut stats = CompletionStats::default();
+        match ctx {
+            CompletionContext::Table => {
+                if !tables.is_empty() {
+                    let ctx_items: HashSet<String> =
+                        tables.iter().map(|t| format!("table:{t}")).collect();
+                    stats.rule_counts = self.rules.context_counts(&ctx_items, "table:");
+                }
+                stats.table_pop = self.collect_table_pop();
+            }
+            CompletionContext::Attribute => stats.attr_pop = self.collect_attr_pop(&tables),
+            CompletionContext::Predicate => stats.pred_pop = self.collect_pred_pop(&tables),
+            CompletionContext::Statement => {}
+        }
+        stats
+    }
+
+    /// Top-k suggestions scored from externally supplied (possibly
+    /// cross-shard merged) statistics. With stats collected from this
+    /// engine's own storage this is bit-identical to
+    /// [`CompletionEngine::suggest`].
+    pub fn suggest_with_stats(
+        &self,
+        partial: &str,
+        k: usize,
+        stats: &CompletionStats,
+    ) -> Vec<Suggestion> {
+        let (ctx, prefix, tables) = Self::detect_context(partial);
+        match ctx {
+            CompletionContext::Table => {
+                let rule_hits = if tables.is_empty() {
+                    Vec::new()
+                } else {
+                    suggest_from_counts(
+                        &stats.rule_counts,
+                        self.config.assoc_min_support,
+                        self.config.assoc_min_confidence,
+                    )
+                };
+                self.score_tables(&tables, &prefix, k, &rule_hits, &stats.table_pop)
+            }
+            CompletionContext::Attribute => {
+                self.score_attributes(&tables, &prefix, k, &stats.attr_pop)
+            }
+            CompletionContext::Predicate => self.score_predicates(&prefix, k, &stats.pred_pop),
+            CompletionContext::Statement => Self::statement_start(),
+        }
+    }
+
+    fn statement_start() -> Vec<Suggestion> {
+        vec![Suggestion {
+            text: "SELECT".to_string(),
+            score: 1.0,
+            why: "start a query".to_string(),
+        }]
     }
 
     /// Table suggestions: association rules first (context-aware), then
     /// global popularity, then catalog order.
     pub fn suggest_tables(&self, present: &[String], prefix: &str, k: usize) -> Vec<Suggestion> {
-        let prefix_l = prefix.to_ascii_lowercase();
-        let mut out: Vec<Suggestion> = Vec::new();
-        let mut suggested: HashSet<String> = HashSet::new();
-
-        // 1. Context-aware: rules whose antecedents hold.
-        if !present.is_empty() {
+        // Context-aware rule hits. The local path goes through the miner's
+        // cached Apriori run; the stats path reproduces it exactly from raw
+        // counts (see `suggest_from_counts`).
+        let rule_hits = if present.is_empty() {
+            Vec::new()
+        } else {
             let ctx: HashSet<String> = present.iter().map(|t| format!("table:{t}")).collect();
-            let rule_hits = self.rules.suggest(
+            self.rules.suggest(
                 &ctx,
                 self.config.assoc_min_support,
                 self.config.assoc_min_confidence,
                 "table:",
-            );
-            for (item, conf) in rule_hits {
-                let t = item.trim_start_matches("table:").to_string();
-                if !t.starts_with(&prefix_l) || present.contains(&t) {
-                    continue;
-                }
-                if suggested.insert(t.clone()) {
-                    let display = self.display_table(&t);
-                    out.push(Suggestion {
-                        text: display,
-                        score: conf.min(1.0),
-                        why: format!(
-                            "{:.0}% of queries with {} also use it",
-                            conf * 100.0,
-                            present.join(", ")
-                        ),
-                    });
-                }
-            }
-        }
+            )
+        };
+        self.score_tables(present, prefix, k, &rule_hits, &self.collect_table_pop())
+    }
 
-        // 2. Global popularity from the log.
+    /// Global table popularity from this storage's live log.
+    fn collect_table_pop(&self) -> HashMap<String, u32> {
         let mut pop: HashMap<String, u32> = HashMap::new();
         for r in self.storage.iter_live() {
             for t in &r.features.tables {
                 *pop.entry(t.clone()).or_insert(0) += 1;
             }
         }
+        pop
+    }
+
+    fn score_tables(
+        &self,
+        present: &[String],
+        prefix: &str,
+        k: usize,
+        rule_hits: &[(String, f64)],
+        pop: &HashMap<String, u32>,
+    ) -> Vec<Suggestion> {
+        let prefix_l = prefix.to_ascii_lowercase();
+        let mut out: Vec<Suggestion> = Vec::new();
+        let mut suggested: HashSet<String> = HashSet::new();
+
+        // 1. Context-aware: rules whose antecedents hold.
+        for (item, conf) in rule_hits {
+            let t = item.trim_start_matches("table:").to_string();
+            if !t.starts_with(&prefix_l) || present.contains(&t) {
+                continue;
+            }
+            if suggested.insert(t.clone()) {
+                let display = self.display_table(&t);
+                out.push(Suggestion {
+                    text: display,
+                    score: conf.min(1.0),
+                    why: format!(
+                        "{:.0}% of queries with {} also use it",
+                        conf * 100.0,
+                        present.join(", ")
+                    ),
+                });
+            }
+        }
+
+        // 2. Global popularity from the log.
         let max_pop = pop.values().copied().max().unwrap_or(1) as f64;
-        let mut by_pop: Vec<(String, u32)> = pop.into_iter().collect();
+        let mut by_pop: Vec<(String, u32)> = pop.iter().map(|(t, c)| (t.clone(), *c)).collect();
         by_pop.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         for (t, count) in by_pop {
             if out.len() >= k {
@@ -229,7 +375,7 @@ impl<'a> CompletionEngine<'a> {
 
         // 3. Catalog fallback (fresh deployments with an empty log).
         if out.len() < k {
-            let mut names: Vec<&String> = self.catalog_tables.keys().collect();
+            let mut names: Vec<&String> = self.catalog.tables.keys().collect();
             names.sort();
             for t in names {
                 if out.len() >= k {
@@ -257,7 +403,11 @@ impl<'a> CompletionEngine<'a> {
         prefix: &str,
         k: usize,
     ) -> Vec<Suggestion> {
-        let prefix_l = prefix.to_ascii_lowercase();
+        self.score_attributes(present, prefix, k, &self.collect_attr_pop(present))
+    }
+
+    /// (table, attribute) use counts over in-scope tables.
+    fn collect_attr_pop(&self, present: &[String]) -> HashMap<(String, String), u32> {
         let mut pop: HashMap<(String, String), u32> = HashMap::new();
         for r in self.storage.iter_live() {
             for (t, a) in &r.features.attributes {
@@ -266,8 +416,20 @@ impl<'a> CompletionEngine<'a> {
                 }
             }
         }
+        pop
+    }
+
+    fn score_attributes(
+        &self,
+        present: &[String],
+        prefix: &str,
+        k: usize,
+        pop: &HashMap<(String, String), u32>,
+    ) -> Vec<Suggestion> {
+        let prefix_l = prefix.to_ascii_lowercase();
         let max_pop = pop.values().copied().max().unwrap_or(1) as f64;
-        let mut by_pop: Vec<((String, String), u32)> = pop.into_iter().collect();
+        let mut by_pop: Vec<((String, String), u32)> =
+            pop.iter().map(|(ta, c)| (ta.clone(), *c)).collect();
         by_pop.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut out = Vec::new();
         let mut seen = HashSet::new();
@@ -287,7 +449,7 @@ impl<'a> CompletionEngine<'a> {
         // Catalog fallback.
         if out.len() < k {
             for t in present {
-                if let Some(cols) = self.catalog_columns.get(t) {
+                if let Some(cols) = self.catalog.columns.get(t) {
                     for c in cols {
                         if out.len() >= k {
                             break;
@@ -316,7 +478,11 @@ impl<'a> CompletionEngine<'a> {
         prefix: &str,
         k: usize,
     ) -> Vec<Suggestion> {
-        let prefix_l = prefix.to_ascii_lowercase();
+        self.score_predicates(prefix, k, &self.collect_pred_pop(present))
+    }
+
+    /// Predicate-shape stats over in-scope tables.
+    fn collect_pred_pop(&self, present: &[String]) -> HashMap<PredicateKey, PredicateStats> {
         let mut pop: HashMap<PredicateKey, PredicateStats> = HashMap::new();
         for r in self.storage.iter_live() {
             for p in &r.features.predicates {
@@ -330,9 +496,19 @@ impl<'a> CompletionEngine<'a> {
                 *entry.1.entry(p.constant.clone()).or_insert(0) += 1;
             }
         }
+        pop
+    }
+
+    fn score_predicates(
+        &self,
+        prefix: &str,
+        k: usize,
+        pop: &HashMap<PredicateKey, PredicateStats>,
+    ) -> Vec<Suggestion> {
+        let prefix_l = prefix.to_ascii_lowercase();
         let max_pop = pop.values().map(|(c, _)| *c).max().unwrap_or(1) as f64;
-        let mut list: Vec<(PredicateKey, PredicateStats)> = pop.into_iter().collect();
-        list.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(&b.0)));
+        let mut list: Vec<(&PredicateKey, &PredicateStats)> = pop.iter().collect();
+        list.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(b.0)));
         let mut out = Vec::new();
         for ((_t, col, op), (count, consts)) in list {
             if out.len() >= k {
@@ -348,7 +524,7 @@ impl<'a> CompletionEngine<'a> {
                 .unwrap_or_default();
             out.push(Suggestion {
                 text: format!("{col} {op} {best_const}"),
-                score: count as f64 / max_pop,
+                score: *count as f64 / max_pop,
                 why: format!("{count} logged queries filter on it"),
             });
         }
@@ -356,7 +532,8 @@ impl<'a> CompletionEngine<'a> {
     }
 
     fn display_table(&self, lower: &str) -> String {
-        self.catalog_tables
+        self.catalog
+            .tables
             .get(lower)
             .cloned()
             .unwrap_or_else(|| lower.to_string())

@@ -44,6 +44,35 @@ pub fn recommend_panel(
     seed_sql: &str,
     k: usize,
 ) -> Result<Vec<PanelRow>, CqmsError> {
+    let hits = knn_candidates(storage, directory, config, viewer, seed_sql, k * 3)?;
+    let pairs: Vec<(crate::model::QueryId, f64)> = hits.iter().map(|h| (h.id, h.score)).collect();
+    let now_ts = panel_now_ts(storage);
+    let max_pop = storage.max_popularity();
+    let mut rows = panel_rows_for(storage, config, seed_sql, &pairs, now_ts, max_pop, &|fp| {
+        storage.popularity(fp)
+    })?;
+    sort_panel_rows(&mut rows);
+    Ok(rows.into_iter().map(|(_, r)| r).take(k).collect())
+}
+
+/// The trace time the recency term decays from: the newest logged
+/// timestamp. A sharded deployment takes the max across shards.
+pub fn panel_now_ts(storage: &QueryStorage) -> u64 {
+    storage.iter().map(|r| r.ts).max().unwrap_or(0)
+}
+
+/// The panel's kNN candidate pool for `seed_sql`: the top `m` Combined
+/// hits visible to `viewer`, in the executor's (score desc, id asc)
+/// order. Sharded deployments run this per shard and merge with the same
+/// comparator, which reproduces a single instance's pool exactly.
+pub fn knn_candidates(
+    storage: &QueryStorage,
+    directory: &Directory,
+    config: &CqmsConfig,
+    viewer: UserId,
+    seed_sql: &str,
+    m: usize,
+) -> Result<Vec<crate::metaquery::ScoredHit>, CqmsError> {
     let stmt = sqlparse::parse(seed_sql)?;
     let feats = crate::features::extract(&stmt, None);
     let probe = crate::storage::make_record(
@@ -51,57 +80,72 @@ pub fn recommend_panel(
         viewer,
         u64::MAX, // not used for ranking of the probe itself
         seed_sql,
-        Some(stmt.clone()),
+        Some(stmt),
         feats,
         Default::default(),
         crate::model::OutputSummary::None,
         crate::model::SessionId(u64::MAX),
         crate::model::Visibility::Private,
     );
+    let mq = MetaQueryExecutor::new(storage, directory, config);
+    Ok(mq.knn(viewer, &probe, m, DistanceKind::Combined))
+}
 
-    let now_ts = storage.iter().map(|r| r.ts).max().unwrap_or(0);
-    let max_pop = storage.max_popularity();
-
-    // Collect candidates with combined rank scores.
-    let mut rows: Vec<(f64, PanelRow)> = Vec::new();
-    {
-        let mq = MetaQueryExecutor::new(storage, directory, config);
-        let hits = mq.knn(viewer, &probe, k * 3, DistanceKind::Combined);
-        for hit in hits {
-            let rec: &QueryRecord = mq.storage.get(hit.id)?;
-            let dist = 1.0 - hit.score;
-            let score = similarity::rank_score(
-                rec,
-                dist,
-                now_ts,
-                max_pop,
-                mq.storage.popularity(rec.template_fp),
-                config,
-            );
-            let diff = match (&stmt, &rec.statement) {
-                (sqlparse::Statement::Select(a), Some(sqlparse::Statement::Select(b))) => {
-                    sqlparse::summarize_edits(&sqlparse::diff_selects(a, b))
-                }
-                _ => "n/a".to_string(),
-            };
-            rows.push((
-                score,
-                PanelRow {
-                    score_pct: (score * 100.0).round().clamp(0.0, 100.0) as u8,
-                    sql: rec.raw_sql.clone(),
-                    diff,
-                    annotation: rec.annotation_digest(),
-                    id: rec.id,
-                },
-            ));
-        }
+/// Score `(candidate id, knn score)` pairs living in *this* storage into
+/// `(rank score, panel row)` rows using externally supplied corpus-wide
+/// terms (`now_ts`, `max_pop`, template popularity). With local values
+/// those are exactly [`recommend_panel`]'s rows; a sharded deployment
+/// passes the merged global values instead so a candidate's rank score
+/// is placement-independent.
+pub fn panel_rows_for(
+    storage: &QueryStorage,
+    config: &CqmsConfig,
+    seed_sql: &str,
+    hits: &[(crate::model::QueryId, f64)],
+    now_ts: u64,
+    max_pop: u32,
+    popularity_of: &dyn Fn(u64) -> u32,
+) -> Result<Vec<(f64, PanelRow)>, CqmsError> {
+    let stmt = sqlparse::parse(seed_sql)?;
+    let mut rows: Vec<(f64, PanelRow)> = Vec::with_capacity(hits.len());
+    for &(id, knn_score) in hits {
+        let rec: &QueryRecord = storage.get(id)?;
+        let dist = 1.0 - knn_score;
+        let score = similarity::rank_score(
+            rec,
+            dist,
+            now_ts,
+            max_pop,
+            popularity_of(rec.template_fp),
+            config,
+        );
+        let diff = match (&stmt, &rec.statement) {
+            (sqlparse::Statement::Select(a), Some(sqlparse::Statement::Select(b))) => {
+                sqlparse::summarize_edits(&sqlparse::diff_selects(a, b))
+            }
+            _ => "n/a".to_string(),
+        };
+        rows.push((
+            score,
+            PanelRow {
+                score_pct: (score * 100.0).round().clamp(0.0, 100.0) as u8,
+                sql: rec.raw_sql.clone(),
+                diff,
+                annotation: rec.annotation_digest(),
+                id: rec.id,
+            },
+        ));
     }
+    Ok(rows)
+}
+
+/// The panel's final order: rank score descending, id ascending.
+pub fn sort_panel_rows(rows: &mut [(f64, PanelRow)]) {
     rows.sort_by(|a, b| {
         b.0.partial_cmp(&a.0)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.1.id.cmp(&b.1.id))
     });
-    Ok(rows.into_iter().map(|(_, r)| r).take(k).collect())
 }
 
 #[cfg(test)]

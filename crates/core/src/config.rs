@@ -119,6 +119,15 @@ pub struct CqmsConfig {
     /// Base backoff between write-path retries, in milliseconds
     /// (doubled per retry, capped at 8× the base).
     pub wal_retry_base_ms: u64,
+    /// Seal the storage's COW delta heads (text/trigram/posting maps,
+    /// session + popularity tables, interner) into fresh sealed
+    /// generations once their combined size passes this many entries.
+    /// The heads are what each published [`crate::snapshot::ReadSnapshot`]
+    /// copies, so this bounds the per-publish copy cost; sealing itself
+    /// is O(total keys) of cheap shared-structure clones, amortised over
+    /// at least this many writes. `0` disables sealing. Honours
+    /// `CQMS_SNAPSHOT_HEAD_LIMIT`.
+    pub snapshot_head_limit: usize,
 
     // --- Sharding ---
     /// Number of independently write-locked shards a
@@ -241,6 +250,7 @@ impl Default for CqmsConfig {
             override_publish_threshold: 64,
             wal_retry_attempts: 3,
             wal_retry_base_ms: 1,
+            snapshot_head_limit: env_or("CQMS_SNAPSHOT_HEAD_LIMIT", 4096),
             shards: default_shards(),
             repair_interval_ms: default_repair_interval_ms(),
             repair_max_attempts: default_repair_max_attempts(),

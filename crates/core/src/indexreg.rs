@@ -56,6 +56,7 @@ use crate::metricindex::{MetricIndexStats, TreeEntry, VpTree, REBUILD_DEAD_FRACT
 use crate::model::{QueryRecord, Validity};
 use crate::postings::{self, PostingCursor, PostingList};
 use crate::signature::SimSignature;
+use cqms_cow::{CowMap, SnapshotVec};
 use sqlparse::{SelectProfile, SelectStatement, TreeNode, TreeShape};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
@@ -67,7 +68,7 @@ use std::sync::{Arc, RwLock};
 /// diff lower bound and the exact diff distance shared across the whole
 /// group — the per-probe sweep does one bound and at most one exact
 /// evaluation per group instead of one per record.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ProfileGroup {
     /// Fingerprint of the folded statement (bucket key; the executor
     /// uses it to merge a head group with its sealed twin per probe).
@@ -84,7 +85,7 @@ pub struct ProfileGroup {
 /// Profile-fingerprint grouping of every indexed record that has a
 /// diff-folded SELECT (the ROADMAP's "identical folded SELECTs share one
 /// bound/exact evaluation").
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ProfileGroups {
     groups: Vec<ProfileGroup>,
     /// Folded-statement fingerprint → group indices (collision bucket).
@@ -311,6 +312,33 @@ struct Override {
     epoch: u64,
 }
 
+/// The registry's mutable head structures, bundled behind one `Arc` so a
+/// registry clone (one per published read snapshot) shares them by
+/// pointer. The first head mutation after a publish detaches the bundle
+/// with one `Arc::make_mut` copy — O(head), which stays bounded because
+/// every publish resets the head and churn schedules rebuilds.
+#[derive(Debug, Clone)]
+struct HeadState {
+    tree: VpTree,
+    treeless: Vec<u64>,
+    groups: ProfileGroups,
+    ungrouped: Vec<u64>,
+    /// Override log, sorted by qid.
+    overrides: Vec<Override>,
+}
+
+impl HeadState {
+    fn empty() -> HeadState {
+        HeadState {
+            tree: VpTree::build(Vec::new()),
+            treeless: Vec::new(),
+            groups: ProfileGroups::default(),
+            ungrouped: Vec::new(),
+            overrides: Vec::new(),
+        }
+    }
+}
+
 /// The index registry: feature postings (mutable head), the sealed
 /// structural generation (atomic-swap published), the mutable head
 /// structures, the override log and the rebuild schedule. Owned by the
@@ -324,7 +352,7 @@ pub struct IndexRegistry {
     /// pass. Consumers filter candidates by liveness anyway, and the kNN
     /// pruning argument only needs live non-candidates to be provably
     /// feature-disjoint.
-    postings: HashMap<u32, PostingList>,
+    postings: CowMap<u32, PostingList>,
     /// Feature ids whose lists crossed the stale threshold — compacted
     /// by the next [`IndexRegistry::maintain_postings`] pass instead of
     /// inline at the transition (a set, so queueing stays O(1) per list
@@ -334,13 +362,9 @@ pub struct IndexRegistry {
     /// brief read lock); a publish replaces it (one brief write lock) —
     /// the single atomic swap of the generation lifecycle.
     sealed: RwLock<Arc<StructuralGen>>,
-    /// Mutable head: records at/above the sealed horizon.
-    head_tree: VpTree,
-    head_treeless: Vec<u64>,
-    head_groups: ProfileGroups,
-    head_ungrouped: Vec<u64>,
-    /// Override log, sorted by qid.
-    overrides: Vec<Override>,
+    /// Mutable head: records at/above the sealed horizon, plus the
+    /// override log — `Arc`-bundled so registry clones share it.
+    head: Arc<HeadState>,
     /// Monotonic counter of in-place record mutations (override epochs).
     mutations: u64,
     /// Monotonic publish counter: a racing build that collected before
@@ -351,8 +375,29 @@ pub struct IndexRegistry {
     /// Tombstoned records that still occupy sealed/head tree entries.
     dead_since_seal: usize,
     rebuild_wanted: bool,
-    /// Cheap-bound counters + generation observability.
-    stats: MetricIndexStats,
+    /// Cheap-bound counters + generation observability. `Arc`-shared
+    /// with read snapshots, so probes served off a snapshot still feed
+    /// the same counters (they are relaxed atomics, not control flow).
+    stats: Arc<MetricIndexStats>,
+}
+
+impl Clone for IndexRegistry {
+    /// O(postings head + compaction queue): the sealed generation, the
+    /// head bundle and the stats block are shared by pointer; the sealed
+    /// posting generation is one `Arc` bump.
+    fn clone(&self) -> Self {
+        IndexRegistry {
+            postings: self.postings.clone(),
+            compaction_due: self.compaction_due.clone(),
+            sealed: RwLock::new(self.sealed()),
+            head: Arc::clone(&self.head),
+            mutations: self.mutations,
+            publish_seq: self.publish_seq,
+            dead_since_seal: self.dead_since_seal,
+            rebuild_wanted: self.rebuild_wanted,
+            stats: Arc::clone(&self.stats),
+        }
+    }
 }
 
 impl Default for IndexRegistry {
@@ -365,19 +410,15 @@ impl IndexRegistry {
     /// An empty registry (generation 0, nothing scheduled).
     pub fn new() -> IndexRegistry {
         IndexRegistry {
-            postings: HashMap::new(),
+            postings: CowMap::new(),
             compaction_due: HashSet::new(),
             sealed: RwLock::new(Arc::new(StructuralGen::empty())),
-            head_tree: VpTree::build(Vec::new()),
-            head_treeless: Vec::new(),
-            head_groups: ProfileGroups::default(),
-            head_ungrouped: Vec::new(),
-            overrides: Vec::new(),
+            head: Arc::new(HeadState::empty()),
             mutations: 0,
             publish_seq: 0,
             dead_since_seal: 0,
             rebuild_wanted: false,
-            stats: MetricIndexStats::default(),
+            stats: Arc::new(MetricIndexStats::default()),
         }
     }
 
@@ -393,35 +434,38 @@ impl IndexRegistry {
 
     /// Head VP-tree (records above the sealed horizon).
     pub fn head_tree(&self) -> &VpTree {
-        &self.head_tree
+        &self.head.tree
     }
 
     /// Head tree-less side list, ascending (all qids above the sealed
     /// horizon, so chaining after the sealed list stays sorted).
     pub fn head_treeless(&self) -> &[u64] {
-        &self.head_treeless
+        &self.head.treeless
     }
 
     /// Head profile-fingerprint groups.
     pub fn head_groups(&self) -> &ProfileGroups {
-        &self.head_groups
+        &self.head.groups
     }
 
     /// Head ungrouped side list, ascending.
     pub fn head_ungrouped(&self) -> &[u64] {
-        &self.head_ungrouped
+        &self.head.ungrouped
     }
 
     /// Is this record's index content stale (overridden in place since
     /// the covering structure was built)? Probes mask such entries and
     /// re-evaluate the record from its live signature.
     pub fn overridden(&self, qid: u64) -> bool {
-        self.overrides.binary_search_by_key(&qid, |o| o.qid).is_ok()
+        self.head
+            .overrides
+            .binary_search_by_key(&qid, |o| o.qid)
+            .is_ok()
     }
 
     /// Qids in the override log, ascending.
     pub fn override_qids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.overrides.iter().map(|o| o.qid)
+        self.head.overrides.iter().map(|o| o.qid)
     }
 
     /// Outstanding overrides (each one is masked and re-evaluated by
@@ -429,7 +473,7 @@ impl IndexRegistry {
     /// a publish once this crosses its configured threshold, bounding the
     /// per-probe override scan under repair storms.
     pub fn override_count(&self) -> usize {
-        self.overrides.len()
+        self.head.overrides.len()
     }
 
     /// Cheap-bound effectiveness counters + generation counters.
@@ -449,17 +493,18 @@ impl IndexRegistry {
     /// A non-tombstoned record was inserted: index it into the head.
     pub(crate) fn note_insert(&mut self, record: &QueryRecord, sig: &SimSignature) {
         let qid = record.id.0;
+        let head = Arc::make_mut(&mut self.head);
         if let (Some(tree), Some(shape)) = (&sig.tree, &sig.tree_shape) {
-            self.head_tree.insert(TreeEntry {
+            head.tree.insert(TreeEntry {
                 qid,
                 tree: Arc::clone(tree),
                 shape: Arc::clone(shape),
             });
         } else {
-            self.head_treeless.push(qid);
+            head.treeless.push(qid);
         }
-        if !self.head_groups.insert(qid, sig) {
-            self.head_ungrouped.push(qid);
+        if !head.groups.insert(qid, sig) {
+            head.ungrouped.push(qid);
         }
     }
 
@@ -481,8 +526,8 @@ impl IndexRegistry {
         let sealed = self.sealed.read().expect("sealed generation lock");
         let indexed = sealed.tree.len()
             + sealed.treeless.len()
-            + self.head_tree.len()
-            + self.head_treeless.len();
+            + self.head.tree.len()
+            + self.head.treeless.len();
         self.dead_since_seal as f64 / indexed.max(1) as f64
     }
 
@@ -493,9 +538,10 @@ impl IndexRegistry {
     pub(crate) fn note_reindex(&mut self, qid: u64) {
         self.mutations += 1;
         let epoch = self.mutations;
-        match self.overrides.binary_search_by_key(&qid, |o| o.qid) {
-            Ok(pos) => self.overrides[pos].epoch = epoch,
-            Err(pos) => self.overrides.insert(pos, Override { qid, epoch }),
+        let overrides = &mut Arc::make_mut(&mut self.head).overrides;
+        match overrides.binary_search_by_key(&qid, |o| o.qid) {
+            Ok(pos) => overrides[pos].epoch = epoch,
+            Err(pos) => overrides.insert(pos, Override { qid, epoch }),
         }
         self.schedule_rebuild();
     }
@@ -527,12 +573,12 @@ impl IndexRegistry {
     /// expensive [`RebuildSnapshot::build`] with no lock held at all.
     pub(crate) fn collect_rebuild(
         &self,
-        records: &[QueryRecord],
-        signatures: &[SimSignature],
+        records: &SnapshotVec<Arc<QueryRecord>>,
+        signatures: &SnapshotVec<Arc<SimSignature>>,
     ) -> RebuildSnapshot {
         let entries = records
             .iter()
-            .zip(signatures)
+            .zip(signatures.iter())
             .filter(|(record, _)| record.validity != Validity::Deleted)
             .map(|(record, sig)| RebuildRecord {
                 qid: record.id.0,
@@ -560,8 +606,8 @@ impl IndexRegistry {
     /// inline maintenance pass and tests.
     pub(crate) fn begin_rebuild(
         &self,
-        records: &[QueryRecord],
-        signatures: &[SimSignature],
+        records: &SnapshotVec<Arc<QueryRecord>>,
+        signatures: &SnapshotVec<Arc<SimSignature>>,
     ) -> IndexBuild {
         self.collect_rebuild(records, signatures).build()
     }
@@ -581,8 +627,8 @@ impl IndexRegistry {
     pub(crate) fn publish_rebuild(
         &mut self,
         mut build: IndexBuild,
-        records: &[QueryRecord],
-        signatures: &[SimSignature],
+        records: &SnapshotVec<Arc<QueryRecord>>,
+        signatures: &SnapshotVec<Arc<SimSignature>>,
     ) -> bool {
         if build.collect_seq < self.publish_seq {
             return false;
@@ -591,7 +637,7 @@ impl IndexRegistry {
         // insert that was already tombstoned again is excluded from the
         // generation — and stops counting as dead weight with it.
         let from = build.gen.horizon as usize;
-        for (record, sig) in records.iter().zip(signatures).skip(from) {
+        for (record, sig) in records.iter().zip(signatures.iter()).skip(from) {
             if record.validity != Validity::Deleted {
                 build.gen.add(record, sig);
             } else {
@@ -600,16 +646,22 @@ impl IndexRegistry {
         }
         build.gen.horizon = records.len() as u64;
         // Overrides the build saw are now materialised; mid-build ones
-        // keep masking until the next rebuild.
-        self.overrides.retain(|o| o.epoch > build.collect_epoch);
+        // keep masking until the next rebuild. The head is fully covered
+        // by the new horizon: reset it (a fresh bundle, so snapshots
+        // holding the old head keep it alive untouched).
+        let surviving: Vec<Override> = self
+            .head
+            .overrides
+            .iter()
+            .filter(|o| o.epoch > build.collect_epoch)
+            .copied()
+            .collect();
+        let mut head = HeadState::empty();
+        head.overrides = surviving;
+        self.head = Arc::new(head);
         self.publish_seq += 1;
         // Tombstones the build dropped stop counting as dead weight.
         self.dead_since_seal -= build.dead_at_collect.min(self.dead_since_seal);
-        // The head is fully covered by the new horizon: reset it.
-        self.head_tree = VpTree::build(Vec::new());
-        self.head_treeless.clear();
-        self.head_groups = ProfileGroups::default();
-        self.head_ungrouped.clear();
         // Publish: the one atomic swap of the lifecycle. The generation
         // number is assigned *here* — each swap bumps the published
         // counter by exactly 1 even when two rebuilds raced their
@@ -623,7 +675,7 @@ impl IndexRegistry {
             .fetch_add(1, Ordering::Relaxed);
         // Mid-build churn may immediately justify the next rebuild.
         self.rebuild_wanted =
-            !self.overrides.is_empty() || self.dead_fraction() > REBUILD_DEAD_FRACTION;
+            !self.head.overrides.is_empty() || self.dead_fraction() > REBUILD_DEAD_FRACTION;
         true
     }
 
@@ -633,15 +685,27 @@ impl IndexRegistry {
 
     /// The raw posting map (lists may carry stale entries pending the
     /// background compaction pass).
-    pub fn postings(&self) -> &HashMap<u32, PostingList> {
+    pub fn postings(&self) -> &CowMap<u32, PostingList> {
         &self.postings
+    }
+
+    /// Delta entries in the posting map's head — the per-snapshot copy
+    /// cost the storage bounds via its `snapshot_head_limit`.
+    pub fn postings_head_len(&self) -> usize {
+        self.postings.head_len()
+    }
+
+    /// Fold the posting map's delta head into a fresh sealed generation
+    /// (cheap per entry: a [`PostingList`] clone is two `Arc` bumps).
+    pub(crate) fn seal_postings(&mut self) {
+        self.postings.seal();
     }
 
     /// Append a freshly-inserted live record to its feature lists (ids
     /// are dense and ascending, so appends keep every list sorted).
     pub(crate) fn post(&mut self, sig: &SimSignature, qid: u64) {
         for fid in sig.feature_ids() {
-            self.postings.entry(fid).or_default().append(qid);
+            self.postings.entry_or_default(fid).append(qid);
         }
     }
 
@@ -649,7 +713,7 @@ impl IndexRegistry {
     /// stale leftovers flip back to alive instead of duplicating.
     pub(crate) fn repost(&mut self, sig: &SimSignature, qid: u64) {
         for fid in sig.feature_ids() {
-            let list = self.postings.entry(fid).or_default();
+            let list = self.postings.entry_or_default(fid);
             if !list.insert(qid) {
                 list.mark_alive();
             }

@@ -48,6 +48,7 @@ pub mod service;
 pub mod shard;
 pub mod signature;
 pub mod similarity;
+pub mod snapshot;
 pub mod storage;
 pub mod viz;
 pub mod wal;
@@ -60,4 +61,5 @@ pub use model::{Annotation, QueryId, QueryRecord, SessionId, UserId, Visibility}
 pub use server::Cqms;
 pub use service::{CqmsService, IngestItem};
 pub use shard::{PartialResult, ShardHealth, ShardState, ShardedCqms};
+pub use snapshot::ReadSnapshot;
 pub use wal::{RecoveryReport, SalvagePlan, SegmentDisposition};

@@ -268,13 +268,29 @@ pub fn refresh_statistics(
 /// * documentation (0.15) — annotated queries are worth more;
 /// * freshness (0.1) — unflagged validity.
 pub fn recompute_quality(storage: &mut QueryStorage) {
-    // Latency percentile basis.
+    let basis = latency_basis(storage);
+    recompute_quality_with(storage, &basis);
+}
+
+/// The efficiency percentile's basis: sorted elapsed times of every
+/// live, successful query in `storage`. A sharded deployment
+/// concatenates (and re-sorts) the shards' bases and passes the merged
+/// vector to [`recompute_quality_with`], so maintained quality is
+/// placement-independent — each record lands on the same global
+/// percentile a single instance would compute.
+pub fn latency_basis(storage: &QueryStorage) -> Vec<u64> {
     let mut latencies: Vec<u64> = storage
         .iter()
         .filter(|r| r.is_live() && r.runtime.success)
         .map(|r| r.runtime.elapsed_us)
         .collect();
     latencies.sort_unstable();
+    latencies
+}
+
+/// [`recompute_quality`] with an externally supplied (sorted) latency
+/// basis — the corpus-wide statistic the efficiency term ranks against.
+pub fn recompute_quality_with(storage: &mut QueryStorage, latencies: &[u64]) {
     let pct = |v: u64| -> f64 {
         if latencies.is_empty() {
             return 0.5;
@@ -521,5 +537,73 @@ mod tests {
         let qb = st.get(bad).unwrap().quality;
         assert!(qg > qb, "{qg} vs {qb}");
         assert!((0.0..=1.0).contains(&qg));
+    }
+
+    #[test]
+    fn merged_latency_basis_reproduces_unsharded_quality() {
+        // Two shards holding a striped partition of one corpus: quality
+        // recomputed with the merged basis must equal the single-store
+        // answer record for record, while each shard's *local* basis
+        // ranks the same latencies differently.
+        let timed = |id: u64, sql: &str, us: u64| {
+            let stmt = sqlparse::parse(sql).unwrap();
+            let feats = extract(&stmt, None);
+            make_record(
+                QueryId(id),
+                UserId(1),
+                100 + id,
+                sql,
+                Some(stmt),
+                feats,
+                RuntimeFeatures {
+                    success: true,
+                    elapsed_us: us,
+                    ..Default::default()
+                },
+                OutputSummary::None,
+                SessionId(id),
+                Visibility::Public,
+            )
+        };
+        let specs = [
+            ("SELECT * FROM WaterTemp WHERE temp < 18", 100),
+            ("SELECT * FROM Lakes", 900),
+            ("SELECT * FROM WaterSalinity", 250),
+            ("SELECT * FROM CityLocations", 700),
+            ("SELECT temp FROM WaterTemp", 400),
+            ("SELECT lake FROM Lakes WHERE area > 10", 50),
+        ];
+        let mut whole = QueryStorage::new();
+        let mut shards = [QueryStorage::new(), QueryStorage::new()];
+        for (i, (sql, us)) in specs.iter().enumerate() {
+            whole.insert(timed(i as u64, sql, *us));
+            shards[i % 2].insert(timed((i / 2) as u64, sql, *us));
+        }
+        recompute_quality(&mut whole);
+        let basis: Vec<u64> = {
+            let mut b: Vec<u64> = shards.iter().flat_map(latency_basis).collect();
+            b.sort_unstable();
+            b
+        };
+        assert_eq!(basis, latency_basis(&whole));
+        for st in &mut shards {
+            recompute_quality_with(st, &basis);
+        }
+        for (i, _) in specs.iter().enumerate() {
+            let global = whole.get(QueryId(i as u64)).unwrap().quality;
+            let local = shards[i % 2].get(QueryId((i / 2) as u64)).unwrap().quality;
+            assert_eq!(global.to_bits(), local.to_bits(), "record {i} diverged");
+        }
+        // The local basis really would have skewed the percentile.
+        let mut skewed = shards[0].clone();
+        let own = latency_basis(&skewed);
+        recompute_quality_with(&mut skewed, &own);
+        assert!(
+            (0..3).any(|i| {
+                skewed.get(QueryId(i)).unwrap().quality.to_bits()
+                    != shards[0].get(QueryId(i)).unwrap().quality.to_bits()
+            }),
+            "local basis unexpectedly matched the merged one"
+        );
     }
 }

@@ -179,7 +179,7 @@ impl Band {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf {
         /// `(entry index, TED to the parent pivot; NO_PARENT at the root)`.
@@ -206,7 +206,7 @@ impl Node {
 }
 
 /// Vantage-point tree over the normalised Zhang–Shasha tree edit metric.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VpTree {
     entries: Vec<TreeEntry>,
     root: Option<Node>,

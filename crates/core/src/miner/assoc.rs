@@ -8,8 +8,10 @@
 //! rule generation; incremental maintenance via monotone transaction
 //! appends.
 
+use cqms_cow::SnapshotVec;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// An association rule `antecedent ⇒ consequent`.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,8 +34,10 @@ impl AssocRule {
 }
 
 /// Mining-cache key+payload: (transaction count, min support, confidence
-/// key, mined rules).
-type MineCache = Option<(usize, u32, u64, Vec<AssocRule>)>;
+/// key, mined rules). The rules sit behind an `Arc` so cache hits and
+/// miner clones (one per snapshot publish) are pointer bumps, not deep
+/// copies of every mined rule.
+type MineCache = Option<(usize, u32, u64, Arc<Vec<AssocRule>>)>;
 
 /// Incremental Apriori miner. Transactions are appended over time; mining
 /// re-runs over all accumulated transactions (cheap at CQMS scales — the
@@ -41,11 +45,24 @@ type MineCache = Option<(usize, u32, u64, Vec<AssocRule>)>;
 /// when no new transactions arrived).
 #[derive(Debug, Default)]
 pub struct RuleMiner {
-    transactions: Vec<Vec<String>>,
+    /// Copy-on-write so cloning the miner into a read snapshot shares
+    /// all accumulated transactions by chunk pointer.
+    transactions: SnapshotVec<Vec<String>>,
     /// Cache: number of transactions at last mine + its result. Behind a
     /// mutex so [`RuleMiner::mine`] / [`RuleMiner::suggest`] stay `&self` —
     /// the completion read path must not need a write lock on the CQMS.
     cache: Mutex<MineCache>,
+}
+
+impl Clone for RuleMiner {
+    /// O(transactions / CHUNK) pointer bumps; the mine cache is carried
+    /// over so a snapshot's first `suggest` doesn't re-mine.
+    fn clone(&self) -> Self {
+        RuleMiner {
+            transactions: self.transactions.clone(),
+            cache: Mutex::new(self.cache.lock().clone()),
+        }
+    }
 }
 
 impl RuleMiner {
@@ -68,21 +85,26 @@ impl RuleMiner {
 
     /// Mine rules at the given thresholds. `min_support` is an absolute
     /// transaction count; confidence is a fraction.
-    pub fn mine(&self, min_support: u32, min_confidence: f64) -> Vec<AssocRule> {
+    pub fn mine(&self, min_support: u32, min_confidence: f64) -> Arc<Vec<AssocRule>> {
         let conf_key = (min_confidence * 1_000_000.0) as u64;
         if let Some((n, ms, conf, rules)) = self.cache.lock().as_ref() {
             if *n == self.transactions.len() && *ms == min_support && *conf == conf_key {
-                return rules.clone();
+                return Arc::clone(rules);
             }
         }
         // Mine outside the lock: concurrent callers may duplicate the work
         // but never block each other on it.
-        let rules = mine_apriori(&self.transactions, min_support, min_confidence);
+        let rules = Arc::new(mine_apriori_impl(
+            self.transactions.len(),
+            || self.transactions.iter(),
+            min_support,
+            min_confidence,
+        ));
         *self.cache.lock() = Some((
             self.transactions.len(),
             min_support,
             conf_key,
-            rules.clone(),
+            Arc::clone(&rules),
         ));
         rules
     }
@@ -98,7 +120,7 @@ impl RuleMiner {
     ) -> Vec<(String, f64)> {
         let rules = self.mine(min_support, min_confidence);
         let mut best: HashMap<String, f64> = HashMap::new();
-        for r in &rules {
+        for r in rules.iter() {
             if !r.applies_to(context) || context.contains(&r.consequent) {
                 continue;
             }
@@ -121,6 +143,168 @@ impl RuleMiner {
         });
         out
     }
+
+    /// Exact context-conditional support counts: everything
+    /// [`suggest_from_counts`] needs to reproduce [`RuleMiner::suggest`]
+    /// for this `(context, prefix)` bit-for-bit. The point of the raw
+    /// counts is that they are **summable**: each shard computes its own,
+    /// the shard layer merges them, and scoring the merged counts equals
+    /// scoring one miner holding every shard's transactions — Apriori's
+    /// support-monotonicity guarantees the threshold pruning commutes
+    /// with the merge.
+    pub fn context_counts(&self, context: &HashSet<String>, prefix: &str) -> ContextCounts {
+        let mut out = ContextCounts {
+            transactions: self.transactions.len() as u64,
+            ..ContextCounts::default()
+        };
+        for t in self.transactions.iter() {
+            // Transactions are sorted + deduplicated by `add_transaction`,
+            // so these filtered views stay sorted — pair keys come out in
+            // the same (ordered) form `mine_apriori` uses.
+            let ctx_items: Vec<&str> = t
+                .iter()
+                .map(String::as_str)
+                .filter(|i| context.contains(*i))
+                .collect();
+            if ctx_items.is_empty() {
+                continue;
+            }
+            let cons: Vec<&str> = t
+                .iter()
+                .map(String::as_str)
+                .filter(|i| i.starts_with(prefix) && !context.contains(*i))
+                .collect();
+            for &a in &ctx_items {
+                *out.singles.entry(a.to_string()).or_insert(0) += 1;
+            }
+            for i in 0..ctx_items.len() {
+                for j in (i + 1)..ctx_items.len() {
+                    *out.pairs
+                        .entry((ctx_items[i].to_string(), ctx_items[j].to_string()))
+                        .or_insert(0) += 1;
+                }
+            }
+            for &a in &ctx_items {
+                for &b in &cons {
+                    *out.joint_pairs
+                        .entry((a.to_string(), b.to_string()))
+                        .or_insert(0) += 1;
+                }
+            }
+            for i in 0..ctx_items.len() {
+                for j in (i + 1)..ctx_items.len() {
+                    for &z in &cons {
+                        *out.joint_triples
+                            .entry((
+                                ctx_items[i].to_string(),
+                                ctx_items[j].to_string(),
+                                z.to_string(),
+                            ))
+                            .or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Context-conditional support counts for one `(context, prefix)`
+/// completion probe — the exact cross-shard merge currency of
+/// [`RuleMiner::suggest`]. See [`RuleMiner::context_counts`].
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ContextCounts {
+    /// Transactions scanned (summed across shards on merge).
+    pub transactions: u64,
+    /// `count(a)` per context item `a` — pair-rule antecedent supports.
+    pub singles: HashMap<String, u64>,
+    /// `count({x, y})` per unordered context pair (key sorted) —
+    /// triple-rule antecedent supports.
+    pub pairs: HashMap<(String, String), u64>,
+    /// `count({a, b})` per (context item, prefix-matching non-context
+    /// consequent) — pair-rule joint supports.
+    pub joint_pairs: HashMap<(String, String), u64>,
+    /// `count({x, y, z})` per (sorted context pair, consequent) —
+    /// triple-rule joint supports.
+    pub joint_triples: HashMap<(String, String, String), u64>,
+}
+
+impl ContextCounts {
+    /// Sum another shard's counts into this one.
+    pub fn merge(&mut self, other: &ContextCounts) {
+        self.transactions += other.transactions;
+        for (k, v) in &other.singles {
+            *self.singles.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.pairs {
+            *self.pairs.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.joint_pairs {
+            *self.joint_pairs.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.joint_triples {
+            *self.joint_triples.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// Score completion consequents from (possibly merged) context counts —
+/// bit-identical to [`RuleMiner::suggest`] over the same transactions:
+/// a pair rule `{a} ⇒ b` exists iff `count({a,b}) ≥ min_support` with
+/// `confidence = count({a,b}) / count(a)` (the Apriori f1/f2 filters
+/// prune only itemsets below `min_support`, which the joint-count
+/// threshold already enforces by monotonicity), and likewise for triple
+/// rules with the pair-antecedent count. The same float operations run
+/// in the same order per consequent, so scores — not just ranks — match.
+pub fn suggest_from_counts(
+    counts: &ContextCounts,
+    min_support: u32,
+    min_confidence: f64,
+) -> Vec<(String, f64)> {
+    let ms = u64::from(min_support);
+    let mut best: HashMap<String, f64> = HashMap::new();
+    let mut consider = |consequent: &String, s: f64| {
+        let e = best.entry(consequent.clone()).or_insert(0.0);
+        if s > *e {
+            *e = s;
+        }
+    };
+    for ((a, b), &cnt) in &counts.joint_pairs {
+        if cnt < ms {
+            continue;
+        }
+        let Some(&ante) = counts.singles.get(a) else {
+            continue;
+        };
+        let confidence = cnt as f64 / ante as f64;
+        if confidence >= min_confidence {
+            consider(b, confidence + 1e-6);
+        }
+    }
+    for ((x, y, z), &cnt) in &counts.joint_triples {
+        if cnt < ms {
+            continue;
+        }
+        let ante = counts
+            .pairs
+            .get(&(x.clone(), y.clone()))
+            .copied()
+            .unwrap_or(0);
+        if ante == 0 {
+            continue;
+        }
+        let confidence = cnt as f64 / ante as f64;
+        if confidence >= min_confidence {
+            consider(z, confidence + 2.0 * 1e-6);
+        }
+    }
+    let mut out: Vec<(String, f64)> = best.into_iter().collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    out
 }
 
 /// Run Apriori: frequent itemsets up to size 3, rules with single
@@ -130,14 +314,33 @@ pub fn mine_apriori(
     min_support: u32,
     min_confidence: f64,
 ) -> Vec<AssocRule> {
-    let n = transactions.len();
+    mine_apriori_impl(
+        transactions.len(),
+        || transactions.iter(),
+        min_support,
+        min_confidence,
+    )
+}
+
+/// [`mine_apriori`] over any re-iterable transaction source (the miner's
+/// copy-on-write log iterates without materialising a slice).
+fn mine_apriori_impl<'a, I, F>(
+    n: usize,
+    transactions: F,
+    min_support: u32,
+    min_confidence: f64,
+) -> Vec<AssocRule>
+where
+    I: Iterator<Item = &'a Vec<String>>,
+    F: Fn() -> I,
+{
     if n == 0 {
         return Vec::new();
     }
 
     // Pass 1: frequent single items.
     let mut c1: HashMap<&str, u32> = HashMap::new();
-    for t in transactions {
+    for t in transactions() {
         for item in t {
             *c1.entry(item.as_str()).or_insert(0) += 1;
         }
@@ -150,7 +353,7 @@ pub fn mine_apriori(
 
     // Pass 2: frequent pairs (candidates from f1 × f1).
     let mut c2: HashMap<(&str, &str), u32> = HashMap::new();
-    for t in transactions {
+    for t in transactions() {
         let frequent: Vec<&str> = t
             .iter()
             .map(String::as_str)
@@ -167,7 +370,7 @@ pub fn mine_apriori(
 
     // Pass 3: frequent triples (candidates joined from f2, pruned).
     let mut c3: HashMap<(&str, &str, &str), u32> = HashMap::new();
-    for t in transactions {
+    for t in transactions() {
         let frequent: Vec<&str> = t
             .iter()
             .map(String::as_str)
@@ -380,5 +583,74 @@ mod tests {
     fn empty_miner_yields_nothing() {
         let m = RuleMiner::new();
         assert!(m.mine(1, 0.1).is_empty());
+    }
+
+    /// `suggest_from_counts(context_counts(..))` must equal `suggest(..)`
+    /// bit-for-bit — scores included — on one miner.
+    #[test]
+    fn counts_protocol_matches_suggest() {
+        let mut m = RuleMiner::new();
+        for _ in 0..10 {
+            m.add_transaction(t(&["table:citylocations"]));
+        }
+        for _ in 0..6 {
+            m.add_transaction(t(&["table:watersalinity", "table:watertemp", "col:temp"]));
+        }
+        for _ in 0..4 {
+            m.add_transaction(t(&["table:watersalinity", "table:citylocations"]));
+        }
+        for _ in 0..3 {
+            m.add_transaction(t(&["table:watersalinity", "col:temp", "table:sensors"]));
+        }
+        for (ctx_items, prefix) in [
+            (vec!["table:watersalinity"], "table:"),
+            (vec!["table:watersalinity", "col:temp"], "table:"),
+            (vec!["table:watersalinity", "col:temp"], ""),
+            (vec!["table:citylocations"], "col:"),
+            (vec![], "table:"),
+        ] {
+            let ctx: HashSet<String> = ctx_items.iter().map(|s| s.to_string()).collect();
+            for (ms, mc) in [(1, 0.1), (2, 0.5), (3, 0.9), (5, 0.0)] {
+                let live = m.suggest(&ctx, ms, mc, prefix);
+                let counted = suggest_from_counts(&m.context_counts(&ctx, prefix), ms, mc);
+                assert_eq!(live, counted, "ctx={ctx_items:?} ms={ms} mc={mc}");
+            }
+        }
+    }
+
+    /// Summing two shards' counts and scoring must equal one miner
+    /// holding both shards' transactions.
+    #[test]
+    fn merged_counts_match_combined_miner() {
+        let txns = [
+            t(&["a", "b", "c"]),
+            t(&["a", "b"]),
+            t(&["a", "c"]),
+            t(&["b", "c", "d"]),
+            t(&["a", "b", "c", "d"]),
+            t(&["a", "d"]),
+            t(&["c", "d"]),
+        ];
+        let mut combined = RuleMiner::new();
+        let mut shard0 = RuleMiner::new();
+        let mut shard1 = RuleMiner::new();
+        for (i, tx) in txns.iter().enumerate() {
+            combined.add_transaction(tx.clone());
+            if i % 2 == 0 {
+                shard0.add_transaction(tx.clone());
+            } else {
+                shard1.add_transaction(tx.clone());
+            }
+        }
+        let ctx: HashSet<String> = ["a".to_string(), "b".to_string()].into_iter().collect();
+        for (ms, mc) in [(1, 0.1), (2, 0.4), (3, 0.6)] {
+            let mut merged = shard0.context_counts(&ctx, "");
+            merged.merge(&shard1.context_counts(&ctx, ""));
+            assert_eq!(
+                combined.suggest(&ctx, ms, mc, ""),
+                suggest_from_counts(&merged, ms, mc),
+                "ms={ms} mc={mc}"
+            );
+        }
     }
 }

@@ -74,8 +74,9 @@ pub struct Cqms {
     pub directory: Directory,
     profiler: Profiler,
     rules: RuleMiner,
-    /// Latest mined state consumed by the assisted mode.
-    last_rules: Vec<AssocRule>,
+    /// Latest mined state consumed by the assisted mode. Behind an `Arc`
+    /// so a [`crate::snapshot::ReadSnapshot`] shares it for free.
+    last_rules: Arc<Vec<AssocRule>>,
     last_clustering: Option<(Vec<QueryId>, ClusteringResult)>,
     baseline_stats: HashMap<String, TableStats>,
     /// Internal trace clock (seconds); advances when callers do not supply
@@ -98,7 +99,7 @@ impl Cqms {
             directory: Directory::new(),
             profiler: Profiler::new(),
             rules: RuleMiner::new(),
-            last_rules: Vec::new(),
+            last_rules: Arc::new(Vec::new()),
             last_clustering: None,
             baseline_stats: HashMap::new(),
             clock: 0,
@@ -256,6 +257,11 @@ impl Cqms {
                 self.rules.add_transaction(items);
             }
         }
+        // Keep snapshot publication cheap: once enough per-write COW
+        // deltas pile up, fold them into the sealed (structurally shared)
+        // layers. See `CqmsConfig::snapshot_head_limit`.
+        self.storage
+            .maybe_seal_cow_heads(self.config.snapshot_head_limit);
         Ok(out)
     }
 
@@ -493,6 +499,10 @@ impl Cqms {
             self.config.assoc_min_support,
             self.config.assoc_min_confidence,
         );
+        // Epochs are the natural seal point for the storage's COW heads:
+        // collapse accumulated per-write deltas so the next snapshot
+        // publish is O(1) clones again.
+        self.storage.seal_cow_heads();
         report.association_rules = self.last_rules.len();
 
         // Clustering over live queries. The O(n²) distance matrix runs on
@@ -623,6 +633,18 @@ impl Cqms {
     /// Run a maintenance pass: schema scan + drift-triggered statistics
     /// refresh + quality recomputation.
     pub fn run_maintenance(&mut self) -> Result<(MaintenanceReport, RefreshReport), CqmsError> {
+        self.run_maintenance_with_basis(None)
+    }
+
+    /// [`Cqms::run_maintenance`] with an externally supplied latency
+    /// basis for the quality pass. Sharded deployments pass the merged
+    /// global basis so the efficiency percentile — a corpus-wide
+    /// statistic — matches a single instance record for record; `None`
+    /// ranks against this store's own latencies.
+    pub fn run_maintenance_with_basis(
+        &mut self,
+        basis: Option<&[u64]>,
+    ) -> Result<(MaintenanceReport, RefreshReport), CqmsError> {
         let schema_report = maintenance::scan_schema_changes(&mut self.storage, &self.data)?;
         let refresh_report = maintenance::refresh_statistics(
             &mut self.storage,
@@ -630,7 +652,10 @@ impl Cqms {
             &mut self.baseline_stats,
             &self.config,
         )?;
-        maintenance::recompute_quality(&mut self.storage);
+        match basis {
+            Some(b) => maintenance::recompute_quality_with(&mut self.storage, b),
+            None => maintenance::recompute_quality(&mut self.storage),
+        }
         Ok((schema_report, refresh_report))
     }
 
@@ -692,6 +717,25 @@ impl Cqms {
     pub fn now(&self) -> u64 {
         self.clock
     }
+
+    /// Capture an immutable, lock-free-readable view of this instance.
+    /// All bulk state is structurally shared (COW containers and `Arc`s),
+    /// so the cost is O(unsealed delta) — bounded by
+    /// [`CqmsConfig::snapshot_head_limit`] — never O(log size). The
+    /// service layer publishes one per write; see
+    /// [`crate::snapshot::ReadSnapshot`].
+    pub fn capture_snapshot(&self, epoch: u64) -> crate::snapshot::ReadSnapshot {
+        crate::snapshot::ReadSnapshot {
+            epoch,
+            config: self.config.clone(),
+            storage: self.storage.clone(),
+            directory: self.directory.clone(),
+            rules: self.rules.clone(),
+            last_rules: Arc::clone(&self.last_rules),
+            catalog: crate::assist::completion::CatalogView::of(&self.data),
+            clock: self.clock,
+        }
+    }
 }
 
 /// Handle to a background miner thread (§3: "the Query Miner … runs in the
@@ -733,6 +777,12 @@ impl Drop for BackgroundMiner {
     }
 }
 
+/// A snapshot-publication hook: called with the write lock still held
+/// after any background mutation, so the service layer can republish its
+/// [`crate::snapshot::ReadSnapshot`] before readers can observe the lock
+/// released. See [`spawn_background_miner_hooked`].
+pub type SnapshotPublisher = Arc<dyn Fn(&Cqms) + Send + Sync>;
+
 /// Write-lock retry budget of one normal background epoch: 500 × 2 ms ≈ 1 s.
 const MINER_GRACE_ATTEMPTS: usize = 500;
 /// Escalated budget once [`MINER_STARVATION_EPOCHS`] consecutive epochs were
@@ -763,6 +813,7 @@ fn try_miner_epoch(
     cqms: &RwLock<Cqms>,
     attempts: usize,
     faults: &crate::faults::FaultPlan,
+    publish: Option<&SnapshotPublisher>,
 ) -> Option<MinerReport> {
     // The miner.epoch failpoint fires before any lock is taken, so an
     // injected panic can never leave a guard behind (and the shim locks
@@ -805,6 +856,12 @@ fn try_miner_epoch(
             report.wal_flush_retries = retries;
             if let Err(e) = flushed {
                 report.wal_flush_error = Some(e);
+            }
+            // Republish the service's read snapshot before the lock is
+            // released: the epoch refreshed rules, rebuilt indexes and
+            // refined sessions, all of which snapshot readers must see.
+            if let Some(publish) = publish {
+                publish(&guard);
             }
             drop(guard);
             // Durability rides the same seam: a due snapshot is written
@@ -920,18 +977,30 @@ pub fn spawn_background_miner(cqms: Arc<RwLock<Cqms>>, interval: Duration) -> Ba
     spawn_background_miner_with_faults(cqms, interval, crate::faults::global_plan())
 }
 
+/// [`spawn_background_miner_with_faults`] without a publication hook.
+pub fn spawn_background_miner_with_faults(
+    cqms: Arc<RwLock<Cqms>>,
+    interval: Duration,
+    faults: Arc<crate::faults::FaultPlan>,
+) -> BackgroundMiner {
+    spawn_background_miner_hooked(cqms, interval, faults, None)
+}
+
 /// [`spawn_background_miner`] with an explicit fault plan (the service
-/// layer passes its own, so per-service failpoints reach the miner). The
+/// layer passes its own, so per-service failpoints reach the miner) and
+/// an optional snapshot-publication hook, invoked with the write lock
+/// still held after every completed epoch. The
 /// loop runs each epoch under `catch_unwind`: an epoch that panics — a
 /// mining bug, or the `miner.epoch` failpoint armed with a panic — is
 /// counted as a skipped epoch and the miner keeps running, instead of
 /// dying silently and letting rules/snapshots go permanently stale. (The
 /// lock shims are non-poisoning, and the failpoint fires before any lock
 /// is taken, so a panicking epoch can never wedge the lock.)
-pub fn spawn_background_miner_with_faults(
+pub fn spawn_background_miner_hooked(
     cqms: Arc<RwLock<Cqms>>,
     interval: Duration,
     faults: Arc<crate::faults::FaultPlan>,
+    publish: Option<SnapshotPublisher>,
 ) -> BackgroundMiner {
     let (stop_tx, stop_rx) = std::sync::mpsc::sync_channel::<()>(1);
     let handle = std::thread::spawn(move || {
@@ -939,7 +1008,7 @@ pub fn spawn_background_miner_with_faults(
         let mut skipped = 0usize;
         let run_one = |attempts: usize, skipped: &mut usize| -> bool {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                try_miner_epoch(&cqms, attempts, &faults)
+                try_miner_epoch(&cqms, attempts, &faults, publish.as_ref())
             }));
             match outcome {
                 Ok(Some(report)) => {

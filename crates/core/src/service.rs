@@ -49,9 +49,11 @@ use crate::metaquery::{ScoredHit, TreePattern};
 use crate::miner::assoc::AssocRule;
 use crate::model::*;
 use crate::profiler::ProfiledQuery;
-use crate::server::{spawn_background_miner_with_faults, BackgroundMiner, Cqms, MinerReport};
+use crate::server::{spawn_background_miner_hooked, BackgroundMiner, Cqms, MinerReport};
 use crate::similarity::DistanceKind;
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use crate::snapshot::{assert_not_inside_snapshot_read, ReadSnapshot};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -90,6 +92,14 @@ impl IngestItem {
 #[derive(Clone)]
 pub struct CqmsService {
     cqms: Arc<RwLock<Cqms>>,
+    /// The published [`ReadSnapshot`]: the lock-free read path's whole
+    /// world. Writers replace the inner `Arc` under a *momentary* write
+    /// lock; readers clone it under a momentary read lock and then run
+    /// with no lock at all. (The slot lock is never held across any
+    /// actual work on either side.)
+    published: Arc<RwLock<Arc<ReadSnapshot>>>,
+    /// Monotonic snapshot publication epoch.
+    epoch: Arc<AtomicU64>,
     miner: Arc<Mutex<Option<BackgroundMiner>>>,
     admission: Arc<AdmissionGate>,
     faults: Arc<FaultPlan>,
@@ -105,9 +115,17 @@ impl CqmsService {
     /// code also holds via
     /// [`crate::server::spawn_background_miner`]).
     pub fn from_shared(cqms: Arc<RwLock<Cqms>>) -> Self {
-        let admission = Arc::new(AdmissionGate::from_config(&cqms.read().config));
+        let (admission, initial) = {
+            let guard = cqms.read();
+            (
+                Arc::new(AdmissionGate::from_config(&guard.config)),
+                Arc::new(guard.capture_snapshot(0)),
+            )
+        };
         CqmsService {
             cqms,
+            published: Arc::new(RwLock::new(initial)),
+            epoch: Arc::new(AtomicU64::new(0)),
             miner: Arc::new(Mutex::new(None)),
             admission,
             // Every service gets its *own* plan, so tests can fault one
@@ -139,39 +157,85 @@ impl CqmsService {
     /// Take the read lock, first evaluating the `shard.read` failpoint on
     /// the ambient (`CQMS_FAULTS`) plan and this service's own plan (a
     /// delay here simulates a slow/overloaded shard for deadline tests;
-    /// other actions are meaningless for reads and ignored).
+    /// other actions are meaningless for reads and ignored). Only the
+    /// engine-bound reads still come through here — everything else is
+    /// served off the published [`ReadSnapshot`].
     fn read_guard(&self) -> RwLockReadGuard<'_, Cqms> {
+        assert_not_inside_snapshot_read("CqmsService::read_guard");
         let _ = faults::global_plan().hit(faults::SHARD_READ);
         let _ = self.faults.hit(faults::SHARD_READ);
         self.cqms.read()
     }
 
+    /// Take the write lock (debug builds prove no snapshot read path
+    /// sneaks through here).
+    fn write_guard(&self) -> RwLockWriteGuard<'_, Cqms> {
+        assert_not_inside_snapshot_read("CqmsService::write_guard");
+        self.cqms.write()
+    }
+
+    /// Capture + publish a fresh snapshot from the (locked) instance.
+    /// Callers hold the CQMS write lock (or, for [`Self::republish`], the
+    /// read lock), so epochs are allocated in lock order; the slot guard
+    /// below makes out-of-order slot writes harmless anyway.
+    fn publish(&self, cqms: &Cqms) {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(cqms.capture_snapshot(epoch));
+        let mut slot = self.published.write();
+        if snap.epoch() >= slot.epoch() {
+            *slot = snap;
+        }
+    }
+
     // ------------------------------------------------------------------
-    // Read path (read lock; never blocked by other readers)
+    // Read path (lock-free: one Arc clone under a momentary slot lock)
     // ------------------------------------------------------------------
 
+    /// The currently published read snapshot: **one `Arc` clone under a
+    /// momentary lock**, then the caller runs entirely lock-free —
+    /// unblocked by writers, miner epochs, index rebuilds and repair
+    /// promotions, all of which publish new snapshots without touching
+    /// outstanding ones. The `shard.read` failpoints are consulted here,
+    /// so deadline/fault tests exercise this path like any other read.
+    pub fn snapshot(&self) -> Arc<ReadSnapshot> {
+        let _ = faults::global_plan().hit(faults::SHARD_READ);
+        let _ = self.faults.hit(faults::SHARD_READ);
+        Arc::clone(&self.published.read())
+    }
+
+    /// Re-capture and publish the snapshot from the live instance. Only
+    /// needed after mutating through [`CqmsService::shared`] directly —
+    /// every service-level write (and the hooked background miner)
+    /// already publishes.
+    pub fn republish(&self) {
+        let guard = self.cqms.read();
+        self.publish(&guard);
+    }
+
     /// Run `f` under the read lock (escape hatch for compound reads that
-    /// must see one consistent snapshot).
+    /// must see the *live* instance — e.g. engine-bound reads; snapshot
+    /// readers use [`CqmsService::snapshot`] instead).
     pub fn read<R>(&self, f: impl FnOnce(&Cqms) -> R) -> R {
         f(&self.read_guard())
     }
 
     /// Completions for partial SQL (Fig. 3 dropdown).
     pub fn complete(&self, user: UserId, partial_sql: &str, k: usize) -> Vec<Suggestion> {
-        self.read_guard().complete(user, partial_sql, k)
+        self.snapshot().complete(user, partial_sql, k)
     }
 
     /// TF-IDF keyword search over logged query text.
     pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
-        self.read_guard().search_keyword(user, query, k)
+        self.snapshot().search_keyword(user, query, k)
     }
 
     /// Exact substring search over logged query text.
     pub fn search_substring(&self, user: UserId, needle: &str) -> Vec<QueryId> {
-        self.read_guard().search_substring(user, needle)
+        self.snapshot().search_substring(user, needle)
     }
 
-    /// SQL meta-query over the Figure 1 feature relations.
+    /// SQL meta-query over the Figure 1 feature relations (engine-bound:
+    /// runs on the live instance under the read lock).
     pub fn search_feature_sql(
         &self,
         user: UserId,
@@ -182,10 +246,12 @@ impl CqmsService {
 
     /// Structural search by parse-tree pattern.
     pub fn search_parse_tree(&self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
-        self.read_guard().search_parse_tree(user, pattern)
+        self.snapshot().search_parse_tree(user, pattern)
     }
 
-    /// Query-by-data: find queries whose output did/didn't contain values.
+    /// Query-by-data: find queries whose output did/didn't contain
+    /// values. The summary-only variant runs lock-free off the snapshot;
+    /// `reexecute` needs the live data engine and stays on the lock.
     pub fn search_by_data(
         &self,
         user: UserId,
@@ -193,8 +259,12 @@ impl CqmsService {
         exclude: &[&str],
         reexecute: bool,
     ) -> Vec<QueryId> {
-        self.read_guard()
-            .search_by_data(user, include, exclude, reexecute)
+        if reexecute {
+            self.read_guard()
+                .search_by_data(user, include, exclude, true)
+        } else {
+            self.snapshot().search_by_data(user, include, exclude)
+        }
     }
 
     /// kNN similarity search around ad-hoc SQL.
@@ -205,7 +275,7 @@ impl CqmsService {
         k: usize,
         metric: DistanceKind,
     ) -> Result<Vec<ScoredHit>, CqmsError> {
-        self.read_guard().similar_queries(user, sql, k, metric)
+        self.snapshot().similar_queries(user, sql, k, metric)
     }
 
     /// The Fig. 3 recommendation panel for a seed query.
@@ -215,37 +285,39 @@ impl CqmsService {
         seed_sql: &str,
         k: usize,
     ) -> Result<Vec<PanelRow>, CqmsError> {
-        self.read_guard().recommend(user, seed_sql, k)
+        self.snapshot().recommend(user, seed_sql, k)
     }
 
-    /// Misspelled table/column detection with suggested fixes.
+    /// Misspelled table/column detection with suggested fixes
+    /// (engine-bound: needs the live catalog).
     pub fn check_identifiers(&self, sql: &str) -> Vec<Correction> {
         self.read_guard().check_identifiers(sql)
     }
 
-    /// Predicate relaxations for a query that returned nothing.
+    /// Predicate relaxations for a query that returned nothing
+    /// (engine-bound: re-executes relaxations on the live data).
     pub fn repair_empty_result(&self, sql: &str, k: usize) -> Vec<RepairSuggestion> {
         self.read_guard().repair_empty_result(sql, k)
     }
 
     /// Number of live (visible, usable) logged queries.
     pub fn live_count(&self) -> usize {
-        self.read_guard().storage.live_count()
+        self.snapshot().live_count()
     }
 
     /// The published structural-index generation number.
     pub fn index_generation(&self) -> u64 {
-        self.read_guard().storage.index_generation()
+        self.snapshot().index_generation()
     }
 
     /// Current trace time.
     pub fn now(&self) -> u64 {
-        self.read_guard().now()
+        self.snapshot().now()
     }
 
-    /// The latest mined association rules (cloned out of the lock).
+    /// The latest mined association rules (cloned out of the snapshot).
     pub fn association_rules(&self) -> Vec<AssocRule> {
-        self.read_guard().association_rules().to_vec()
+        self.snapshot().association_rules().to_vec()
     }
 
     // ------------------------------------------------------------------
@@ -253,8 +325,12 @@ impl CqmsService {
     // ------------------------------------------------------------------
 
     /// Run `f` under the write lock (escape hatch for compound writes).
+    /// A fresh snapshot is published before the lock is released.
     pub fn write<R>(&self, f: impl FnOnce(&mut Cqms) -> R) -> R {
-        f(&mut self.cqms.write())
+        let mut guard = self.write_guard();
+        let out = f(&mut guard);
+        self.publish(&guard);
+        out
     }
 
     /// Atomically swap the shared CQMS instance for `cqms`, returning the
@@ -279,12 +355,22 @@ impl CqmsService {
     // the recovered state on the floor.
     #[allow(clippy::result_large_err)]
     pub fn try_replace(&self, cqms: Cqms) -> Result<Cqms, Cqms> {
+        assert_not_inside_snapshot_read("CqmsService::try_replace");
         const REPLACE_ATTEMPTS: usize = 500;
         let mut incoming = cqms;
         for _ in 0..REPLACE_ATTEMPTS {
             if let Some(mut guard) = self.cqms.try_write() {
                 incoming.directory = std::mem::take(&mut guard.directory);
-                return Ok(std::mem::replace(&mut *guard, incoming));
+                let outgoing = std::mem::replace(&mut *guard, incoming);
+                // One atomic epoch bump covering the whole promotion:
+                // the placeholder's snapshot is invalidated and the
+                // recovered instance's published in a single slot swap,
+                // so no reader can ever pair the promoted shard's
+                // indexes with the placeholder's popularity tables (or
+                // vice versa). Readers pinned to the old snapshot keep a
+                // fully coherent placeholder view until they re-clone.
+                self.publish(&guard);
+                return Ok(outgoing);
             }
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -299,9 +385,15 @@ impl CqmsService {
     /// of queueing on the write lock.
     pub fn run_query(&self, user: UserId, sql: &str) -> Result<ProfiledQuery, CqmsError> {
         let _permit = self.admission.admit_user(user)?;
-        let mut guard = self.cqms.write();
-        let out = guard.run_query(user, sql)?;
-        guard.wal_flush()?;
+        let mut guard = self.write_guard();
+        let out = guard.run_query(user, sql);
+        let flushed = guard.wal_flush();
+        // Publish even when profiling failed: failed attempts still tick
+        // the trace clock, and snapshot `now()` must track it.
+        self.publish(&guard);
+        drop(guard);
+        let out = out?;
+        flushed?;
         Ok(out)
     }
 
@@ -314,9 +406,13 @@ impl CqmsService {
         ts: u64,
     ) -> Result<ProfiledQuery, CqmsError> {
         let _permit = self.admission.admit_user(user)?;
-        let mut guard = self.cqms.write();
-        let out = guard.run_query_at(user, sql, ts)?;
-        guard.wal_flush()?;
+        let mut guard = self.write_guard();
+        let out = guard.run_query_at(user, sql, ts);
+        let flushed = guard.wal_flush();
+        self.publish(&guard);
+        drop(guard);
+        let out = out?;
+        flushed?;
         Ok(out)
     }
 
@@ -362,7 +458,7 @@ impl CqmsService {
             Ok(p) => p,
             Err(e) => return items.iter().map(|_| Err(e.clone())).collect(),
         };
-        let mut guard = self.cqms.write();
+        let mut guard = self.write_guard();
         for (slot, item) in results.iter_mut().zip(items) {
             if slot.is_err() {
                 continue; // rate-shed: never executed, never acknowledged
@@ -374,6 +470,9 @@ impl CqmsService {
             .map(|p| p.id);
         }
         let flushed = guard.wal_flush();
+        // One publication per batch: batching is the unit of lock
+        // amortisation, so it is also the unit of snapshot capture.
+        self.publish(&guard);
         drop(guard);
         drop(permit);
         match flushed {
@@ -386,17 +485,26 @@ impl CqmsService {
 
     /// Register (or look up) a user by name.
     pub fn register_user(&self, name: &str) -> UserId {
-        self.cqms.write().register_user(name)
+        let mut guard = self.write_guard();
+        let id = guard.register_user(name);
+        self.publish(&guard);
+        id
     }
 
     /// Create a collaboration group.
     pub fn create_group(&self, name: &str) -> GroupId {
-        self.cqms.write().create_group(name)
+        let mut guard = self.write_guard();
+        let id = guard.create_group(name);
+        self.publish(&guard);
+        id
     }
 
     /// Add a user to a group.
     pub fn join_group(&self, user: UserId, group: GroupId) -> Result<(), CqmsError> {
-        self.cqms.write().join_group(user, group)
+        let mut guard = self.write_guard();
+        let out = guard.join_group(user, group);
+        self.publish(&guard);
+        out
     }
 
     /// Attach an annotation (durably acknowledged).
@@ -407,9 +515,11 @@ impl CqmsService {
         text: &str,
         fragment: Option<&str>,
     ) -> Result<(), CqmsError> {
-        let mut guard = self.cqms.write();
+        let mut guard = self.write_guard();
         guard.annotate(actor, id, text, fragment)?;
-        guard.wal_flush()
+        let flushed = guard.wal_flush();
+        self.publish(&guard);
+        flushed
     }
 
     /// Change a query's ACL (durably acknowledged).
@@ -419,16 +529,20 @@ impl CqmsService {
         id: QueryId,
         visibility: Visibility,
     ) -> Result<(), CqmsError> {
-        let mut guard = self.cqms.write();
+        let mut guard = self.write_guard();
         guard.set_visibility(actor, id, visibility)?;
-        guard.wal_flush()
+        let flushed = guard.wal_flush();
+        self.publish(&guard);
+        flushed
     }
 
     /// Tombstone a query (durably acknowledged).
     pub fn delete_query(&self, actor: UserId, id: QueryId) -> Result<(), CqmsError> {
-        let mut guard = self.cqms.write();
+        let mut guard = self.write_guard();
         guard.delete_query(actor, id)?;
-        guard.wal_flush()
+        let flushed = guard.wal_flush();
+        self.publish(&guard);
+        flushed
     }
 
     /// Run one synchronous miner epoch on the caller's thread. A failure
@@ -441,7 +555,7 @@ impl CqmsService {
     /// ([`CqmsConfig::wal_retry_attempts`](crate::config::CqmsConfig));
     /// recovered retries are counted in [`MinerReport::wal_flush_retries`].
     pub fn run_miner_epoch(&self) -> MinerReport {
-        let mut guard = self.cqms.write();
+        let mut guard = self.write_guard();
         let mut report = guard.run_miner_epoch();
         let (attempts, base_ms) = (
             guard.config.wal_retry_attempts,
@@ -453,14 +567,29 @@ impl CqmsService {
         if let Err(e) = flushed {
             report.wal_flush_error = Some(e);
         }
+        self.publish(&guard);
         report
     }
 
     /// Run one Query Maintenance pass (validity sweep + stats refresh).
     pub fn run_maintenance(&self) -> Result<(MaintenanceReport, RefreshReport), CqmsError> {
-        let mut guard = self.cqms.write();
-        let out = guard.run_maintenance()?;
-        guard.wal_flush()?;
+        self.run_maintenance_with_basis(None)
+    }
+
+    /// [`CqmsService::run_maintenance`] with an externally supplied
+    /// latency basis for the quality pass (sharded deployments pass the
+    /// merged global basis; `None` uses this store's own).
+    pub fn run_maintenance_with_basis(
+        &self,
+        basis: Option<&[u64]>,
+    ) -> Result<(MaintenanceReport, RefreshReport), CqmsError> {
+        let mut guard = self.write_guard();
+        let out = guard.run_maintenance_with_basis(basis);
+        let flushed = guard.wal_flush();
+        self.publish(&guard);
+        drop(guard);
+        let out = out?;
+        flushed?;
         Ok(out)
     }
 
@@ -476,14 +605,21 @@ impl CqmsService {
     /// rebuild-race benches/tests.)
     pub fn rebuild_indexes(&self) -> bool {
         let snapshot = {
-            let guard = self.cqms.read();
+            let guard = self.read_guard();
             if !guard.storage.index_rebuild_pending() {
                 return false;
             }
             guard.storage.collect_index_rebuild()
         };
         let build = snapshot.build(); // off-lock
-        self.cqms.write().storage.publish_index_rebuild(build)
+        let mut guard = self.write_guard();
+        let swapped = guard.storage.publish_index_rebuild(build);
+        // One epoch bump covering the generation swap: a reader either
+        // keeps the whole pre-rebuild snapshot or clones the whole
+        // post-rebuild one — never generation N+1 indexes with
+        // generation N popularity/session state.
+        self.publish(&guard);
+        swapped
     }
 
     // ------------------------------------------------------------------
@@ -497,10 +633,24 @@ impl CqmsService {
         if slot.is_some() {
             return false;
         }
-        *slot = Some(spawn_background_miner_with_faults(
+        let published = Arc::clone(&self.published);
+        let epoch = Arc::clone(&self.epoch);
+        let publisher: crate::server::SnapshotPublisher = Arc::new(move |cqms: &Cqms| {
+            // Same discipline as `CqmsService::publish`: invoked while the
+            // miner thread still holds the write guard, so epochs are
+            // lock-ordered and the guard below is a formality.
+            let e = epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            let snap = Arc::new(cqms.capture_snapshot(e));
+            let mut slot = published.write();
+            if snap.epoch() >= slot.epoch() {
+                *slot = snap;
+            }
+        });
+        *slot = Some(spawn_background_miner_hooked(
             self.cqms.clone(),
             interval,
             self.faults.clone(),
+            Some(publisher),
         ));
         true
     }

@@ -44,13 +44,26 @@
 //! own registry, and the PR 6 snapshot/rotation machinery sees an ordinary
 //! single-node WAL directory.
 //!
+//! ## One-snapshot merged reads
+//!
+//! Every cross-shard read first grabs all N shards' published
+//! [`ReadSnapshot`]s up front — one momentary slot lock per shard — and
+//! then merges entirely lock-free. Multi-pass protocols (keyword's
+//! corpus-stats pass and scoring pass) run both passes against the *same*
+//! snapshots, so writer churn between passes can no longer skew the
+//! merged ranking.
+//!
+//! [`ShardedCqms::complete`] and [`ShardedCqms::recommend`] are **exact**:
+//! completion merges each shard's summable [`CompletionStats`]
+//! (association-rule co-occurrence counts plus popularity histograms) and
+//! scores once from the global totals; recommendation merges the
+//! per-shard kNN candidate pools and template-popularity histograms and
+//! scores every candidate on its home shard with the global recency
+//! anchor and popularity terms — both bit-identical to an unsharded
+//! deployment over the union log.
+//!
 //! ## Caveats (documented, by design)
 //!
-//! * [`ShardedCqms::recommend`] and [`ShardedCqms::complete`] normalise
-//!   popularity within each shard before merging; with user-hash routing
-//!   the per-shard corpora are near-uniform samples, but the blended ranks
-//!   are not bit-identical to an unsharded deployment the way kNN/keyword
-//!   results are.
 //! * [`ShardedCqms::search_feature_sql`] runs the meta-query on every
 //!   shard and concatenates rows (remapping a projected `qid` column to
 //!   global ids); SQL-level aggregates are therefore computed per shard,
@@ -61,9 +74,9 @@
 //!   should keep the data tier external (the paper's Fig. 4 bottom box)
 //!   and treat these engines as catalogs for validation/profiling.
 
-use crate::assist::completion::Suggestion;
+use crate::assist::completion::{CompletionStats, Suggestion};
 use crate::assist::correction::{Correction, RepairSuggestion};
-use crate::assist::recommend::PanelRow;
+use crate::assist::recommend::{sort_panel_rows, PanelRow};
 use crate::config::CqmsConfig;
 use crate::error::CqmsError;
 use crate::faults;
@@ -75,6 +88,7 @@ use crate::profiler::ProfiledQuery;
 use crate::server::{Cqms, MinerReport};
 use crate::service::{CqmsService, IngestItem};
 use crate::similarity::DistanceKind;
+use crate::snapshot::ReadSnapshot;
 use crate::wal::RecoveryReport;
 use parking_lot::{Mutex, RwLock};
 use relstore::Engine;
@@ -545,34 +559,44 @@ impl ShardedCqms {
     }
 
     // ------------------------------------------------------------------
-    // Read path (per-shard reads + exact k-way merges)
+    // Read path (one snapshot per shard + exact lock-free k-way merges)
     // ------------------------------------------------------------------
+
+    /// Grab every shard's published [`ReadSnapshot`] up front — one
+    /// momentary slot lock per shard, in shard order, no ordering hazard
+    /// (snapshots are immutable) — so the whole merged read then runs
+    /// lock-free against one coherent per-shard cut.
+    fn snapshots(&self) -> Vec<Arc<ReadSnapshot>> {
+        self.shards.iter().map(CqmsService::snapshot).collect()
+    }
 
     /// Live queries across all shards.
     pub fn live_count(&self) -> usize {
-        self.shards.iter().map(CqmsService::live_count).sum()
+        self.snapshots().iter().map(|s| s.live_count()).sum()
     }
 
     /// TF-IDF keyword search, scored with **global** corpus statistics so
-    /// the merged ranking is identical to an unsharded deployment's.
+    /// the merged ranking is identical to an unsharded deployment's. Both
+    /// passes run against the same per-shard snapshots, so concurrent
+    /// writers cannot skew the IDF corpus between counting and scoring.
     pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
+        let snaps = self.snapshots();
         // Pass 1: sum each shard's live-doc count and per-term df.
         let mut total_docs = 0u64;
         let mut df: HashMap<String, u64> = HashMap::new();
-        for s in &self.shards {
-            let (n, local_df) = s.read(|c| c.keyword_corpus_stats(query));
+        for snap in &snaps {
+            let (n, local_df) = snap.keyword_corpus_stats(query);
             total_docs += n;
             for (term, d) in local_df {
                 *df.entry(term).or_insert(0) += d;
             }
         }
         // Pass 2: per-shard top-k under the global stats, then merge.
-        let per_shard: Vec<Vec<ScoredHit>> = self
-            .shards
+        let per_shard: Vec<Vec<ScoredHit>> = snaps
             .iter()
             .enumerate()
-            .map(|(i, s)| {
-                s.read(|c| c.search_keyword_with_corpus(user, query, k, total_docs, &df))
+            .map(|(i, snap)| {
+                snap.search_keyword_with_corpus(user, query, k, total_docs, &df)
                     .into_iter()
                     .map(|h| ScoredHit {
                         id: self.globalize(i, h.id),
@@ -587,11 +611,11 @@ impl ShardedCqms {
     /// Exact substring search; the merged output is ascending by global id.
     pub fn search_substring(&self, user: UserId, needle: &str) -> Vec<QueryId> {
         let mut out: Vec<QueryId> = self
-            .shards
+            .snapshots()
             .iter()
             .enumerate()
-            .flat_map(|(i, s)| {
-                s.search_substring(user, needle)
+            .flat_map(|(i, snap)| {
+                snap.search_substring(user, needle)
                     .into_iter()
                     .map(move |id| QueryId(id.0 * self.shards.len() as u64 + i as u64))
             })
@@ -603,11 +627,11 @@ impl ShardedCqms {
     /// Structural search by parse-tree pattern (ascending global ids).
     pub fn search_parse_tree(&self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
         let mut out: Vec<QueryId> = self
-            .shards
+            .snapshots()
             .iter()
             .enumerate()
-            .flat_map(|(i, s)| {
-                s.search_parse_tree(user, pattern)
+            .flat_map(|(i, snap)| {
+                snap.search_parse_tree(user, pattern)
                     .into_iter()
                     .map(move |id| QueryId(id.0 * self.shards.len() as u64 + i as u64))
             })
@@ -616,7 +640,9 @@ impl ShardedCqms {
         out
     }
 
-    /// Query-by-data across shards (ascending global ids).
+    /// Query-by-data across shards (ascending global ids). With
+    /// `reexecute` the sampled candidates need each shard's live data
+    /// engine, so that variant stays on the services' lock-retained path.
     pub fn search_by_data(
         &self,
         user: UserId,
@@ -624,16 +650,25 @@ impl ShardedCqms {
         exclude: &[&str],
         reexecute: bool,
     ) -> Vec<QueryId> {
-        let mut out: Vec<QueryId> = self
-            .shards
-            .iter()
-            .enumerate()
-            .flat_map(|(i, s)| {
-                s.search_by_data(user, include, exclude, reexecute)
-                    .into_iter()
-                    .map(move |id| QueryId(id.0 * self.shards.len() as u64 + i as u64))
-            })
-            .collect();
+        let n = self.shards.len() as u64;
+        let globalized = |i: usize, ids: Vec<QueryId>| {
+            ids.into_iter()
+                .map(move |id| QueryId(id.0 * n + i as u64))
+                .collect::<Vec<QueryId>>()
+        };
+        let mut out: Vec<QueryId> = if reexecute {
+            self.shards
+                .iter()
+                .enumerate()
+                .flat_map(|(i, s)| globalized(i, s.search_by_data(user, include, exclude, true)))
+                .collect()
+        } else {
+            self.snapshots()
+                .iter()
+                .enumerate()
+                .flat_map(|(i, snap)| globalized(i, snap.search_by_data(user, include, exclude)))
+                .collect()
+        };
         out.sort();
         out
     }
@@ -649,8 +684,8 @@ impl ShardedCqms {
         metric: DistanceKind,
     ) -> Result<Vec<ScoredHit>, CqmsError> {
         let mut per_shard = Vec::with_capacity(self.shards.len());
-        for (i, s) in self.shards.iter().enumerate() {
-            let hits = s
+        for (i, snap) in self.snapshots().iter().enumerate() {
+            let hits = snap
                 .similar_queries(user, sql, k, metric)?
                 .into_iter()
                 .map(|h| ScoredHit {
@@ -815,32 +850,47 @@ impl ShardedCqms {
     ) -> PartialResult<Vec<ScoredHit>> {
         let deadline = Instant::now() + budget;
         let all: Vec<usize> = (0..self.shards.len()).collect();
-        // Pass 1: per-shard corpus stats, under the deadline.
+        // Pass 1: each worker pins its shard's snapshot (the only moment
+        // it touches the shard at all — the `shard.read` failpoints fire
+        // there) and counts the corpus on it.
         let q1 = query.to_string();
         let (stats, mut lagging) = self.fanout_until(
             &all,
             deadline,
-            Arc::new(move |svc: &CqmsService, _| svc.read(|c| c.keyword_corpus_stats(&q1))),
+            Arc::new(move |svc: &CqmsService, _| {
+                let snap = svc.snapshot();
+                let stats = snap.keyword_corpus_stats(&q1);
+                (snap, stats)
+            }),
         );
         let mut total_docs = 0u64;
         let mut df: HashMap<String, u64> = HashMap::new();
         let mut answered: Vec<usize> = Vec::new();
+        let mut snaps: Vec<Option<Arc<ReadSnapshot>>> =
+            (0..self.shards.len()).map(|_| None).collect();
         for (i, s) in stats.into_iter().enumerate() {
-            let Some((n, local_df)) = s else { continue };
+            let Some((snap, (n, local_df))) = s else {
+                continue;
+            };
             answered.push(i);
+            snaps[i] = Some(snap);
             total_docs += n;
             for (term, d) in local_df {
                 *df.entry(term).or_insert(0) += d;
             }
         }
-        // Pass 2: top-k under the answering corpus, remaining budget only.
+        // Pass 2: top-k under the answering corpus, remaining budget only,
+        // scored on the *same* snapshots pass 1 counted — writer churn
+        // between the passes cannot skew the IDF corpus.
         let q2 = query.to_string();
         let df = Arc::new(df);
+        let snaps = Arc::new(snaps);
         let (results, lagging2) = self.fanout_until(
             &answered,
             deadline,
-            Arc::new(move |svc: &CqmsService, _| {
-                svc.read(|c| c.search_keyword_with_corpus(user, &q2, k, total_docs, &df))
+            Arc::new(move |_svc: &CqmsService, i| {
+                let snap = snaps[i].as_ref().expect("answered shard pinned a snapshot");
+                snap.search_keyword_with_corpus(user, &q2, k, total_docs, &df)
             }),
         );
         lagging.extend(lagging2);
@@ -902,50 +952,91 @@ impl ShardedCqms {
         Ok(merged.expect("at least one shard"))
     }
 
-    /// Completions merged across shards (deduplicated by suggestion text,
-    /// best score wins; per-shard popularity normalisation, see module
-    /// docs).
+    /// Completions scored from **globally merged** statistics: every
+    /// shard contributes its summable [`CompletionStats`] — association
+    /// co-occurrence counts, table/attribute popularity, predicate
+    /// histograms — and the suggestions are scored once from the totals.
+    /// Bit-identical to an unsharded deployment over the union log (shard
+    /// catalogs are identical by construction, so any shard can score).
     pub fn complete(&self, user: UserId, partial_sql: &str, k: usize) -> Vec<Suggestion> {
-        let mut best: HashMap<String, Suggestion> = HashMap::new();
-        for s in &self.shards {
-            for sug in s.complete(user, partial_sql, k) {
-                match best.get(&sug.text) {
-                    Some(prev) if prev.score >= sug.score => {}
-                    _ => {
-                        best.insert(sug.text.clone(), sug);
-                    }
-                }
-            }
+        let _ = user; // visibility does not gate completion stats
+        let snaps = self.snapshots();
+        let mut merged = CompletionStats::default();
+        for snap in &snaps {
+            merged.merge(&snap.completion_stats(partial_sql));
         }
-        let mut out: Vec<Suggestion> = best.into_values().collect();
-        out.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(CmpOrdering::Equal)
-                .then_with(|| a.text.cmp(&b.text))
-        });
-        out.truncate(k);
-        out
+        match snaps.first() {
+            Some(snap) => snap.complete_with_stats(partial_sql, k, &merged),
+            None => Vec::new(),
+        }
     }
 
-    /// The recommendation panel merged across shards (per-shard popularity
-    /// normalisation, see module docs).
+    /// The recommendation panel merged across shards **exactly**: the
+    /// per-shard kNN candidate pools are heap-merged into the global pool
+    /// a single instance would sweep, then every candidate is scored on
+    /// its home shard with the *global* recency anchor (max trace time)
+    /// and template-popularity terms, so a candidate's rank score is
+    /// placement-independent. Row-for-row identical to an unsharded
+    /// deployment over the union log, up to the usual top-k tie caveat:
+    /// kNN-score ties at the `3k` candidate-pool boundary cut by id, and
+    /// the two deployments' id spaces order tied records differently.
     pub fn recommend(
         &self,
         user: UserId,
         seed_sql: &str,
         k: usize,
     ) -> Result<Vec<PanelRow>, CqmsError> {
-        let mut rows = Vec::new();
-        for (i, s) in self.shards.iter().enumerate() {
-            for mut row in s.recommend(user, seed_sql, k)? {
-                row.id = self.globalize(i, row.id);
-                rows.push(row);
+        let snaps = self.snapshots();
+        // Global ranking terms: summed template histogram, max trace time.
+        let mut pop: HashMap<u64, u32> = HashMap::new();
+        let mut now_ts = 0u64;
+        for snap in &snaps {
+            now_ts = now_ts.max(snap.panel_now_ts());
+            for (fp, c) in snap.template_histogram() {
+                *pop.entry(fp).or_insert(0) += c;
             }
         }
-        rows.sort_by(|a, b| b.score_pct.cmp(&a.score_pct).then_with(|| a.id.cmp(&b.id)));
-        rows.truncate(k);
-        Ok(rows)
+        let max_pop = pop.values().copied().max().unwrap_or(0);
+        // The candidate pool: merged per-shard top-m. A shard's top-m
+        // union contains the global top-m, and the heap merge uses the
+        // executor's own (score desc, id asc) order, so this is exactly
+        // the pool an unsharded sweep would hand to the scorer.
+        let m = k * 3;
+        let mut per_shard: Vec<Vec<ScoredHit>> = Vec::with_capacity(snaps.len());
+        for (i, snap) in snaps.iter().enumerate() {
+            per_shard.push(
+                snap.recommend_candidates(user, seed_sql, m)?
+                    .into_iter()
+                    .map(|h| ScoredHit {
+                        id: self.globalize(i, h.id),
+                        score: h.score,
+                    })
+                    .collect(),
+            );
+        }
+        let pool = merge_scored(per_shard, m);
+        // Score each candidate on its home shard (the record lives there)
+        // with the merged global terms.
+        let mut by_shard: Vec<Vec<(QueryId, f64)>> = vec![Vec::new(); snaps.len()];
+        for h in &pool {
+            let (shard, local) = self.locate(h.id);
+            by_shard[shard].push((local, h.score));
+        }
+        let popularity_of = |fp: u64| pop.get(&fp).copied().unwrap_or(0);
+        let mut rows: Vec<(f64, PanelRow)> = Vec::with_capacity(pool.len());
+        for (i, hits) in by_shard.iter().enumerate() {
+            if hits.is_empty() {
+                continue;
+            }
+            for (score, mut row) in
+                snaps[i].recommend_rows_for(seed_sql, hits, now_ts, max_pop, &popularity_of)?
+            {
+                row.id = self.globalize(i, row.id);
+                rows.push((score, row));
+            }
+        }
+        sort_panel_rows(&mut rows);
+        Ok(rows.into_iter().map(|(_, r)| r).take(k).collect())
     }
 
     /// Identifier checking is schema-driven and identical on every shard.
@@ -979,10 +1070,21 @@ impl ShardedCqms {
     }
 
     /// Run one Query Maintenance pass on every shard.
+    ///
+    /// Quality's efficiency term ranks each query's latency against the
+    /// *live corpus* — a global statistic. The shards' bases are merged
+    /// up front (one snapshot per shard) and passed to every shard's
+    /// pass, so maintained quality matches a single instance record for
+    /// record and recommendation rank scores stay placement-independent.
     pub fn run_maintenance(&self) -> Result<Vec<(MaintenanceReport, RefreshReport)>, CqmsError> {
+        let mut basis: Vec<u64> = Vec::new();
+        for snap in self.snapshots() {
+            basis.extend(snap.latency_basis());
+        }
+        basis.sort_unstable();
         self.shards
             .iter()
-            .map(CqmsService::run_maintenance)
+            .map(|s| s.run_maintenance_with_basis(Some(&basis)))
             .collect()
     }
 

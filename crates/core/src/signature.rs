@@ -29,8 +29,8 @@
 
 use crate::features::SyntacticFeatures;
 use crate::model::{OutputSummary, QueryRecord};
+use cqms_cow::{CowMap, SnapshotVec};
 use sqlparse::{SelectProfile, TreeNode, TreeShape};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// FNV-1a 64-bit hash (stable across runs; used for output row/cell
@@ -49,10 +49,22 @@ pub use sqlparse::fingerprint::fnv1a;
 /// Keys are namespaced (`t:` tables, `a:` attributes, `p:` predicate
 /// templates) so ids never collide across feature kinds and one posting
 /// index can cover all three.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Internally copy-on-write ([`cqms_cow`] containers) so cloning the
+/// storage into a read snapshot shares the whole vocabulary by pointer
+/// instead of copying O(vocab) strings per publish.
+#[derive(Debug, Clone, Default)]
 pub struct FeatureInterner {
-    map: HashMap<String, u32>,
-    names: Vec<String>,
+    map: CowMap<String, u32>,
+    names: SnapshotVec<String>,
+}
+
+impl PartialEq for FeatureInterner {
+    fn eq(&self, other: &Self) -> bool {
+        // `map` is derivable from `names` (id = position), so comparing
+        // the name sequences compares the whole interner.
+        self.names == other.names
+    }
 }
 
 impl FeatureInterner {
@@ -63,7 +75,7 @@ impl FeatureInterner {
 
     /// Intern `key`, assigning a fresh id on first sight.
     pub fn intern(&mut self, key: &str) -> u32 {
-        if let Some(&id) = self.map.get(key) {
+        if let Some(&id) = self.map.get_by(key) {
             return id;
         }
         let id = self.names.len() as u32;
@@ -75,7 +87,7 @@ impl FeatureInterner {
     /// Look up a key without interning (probe signatures: a feature never
     /// seen by the store cannot match any stored record anyway).
     pub fn lookup(&self, key: &str) -> Option<u32> {
-        self.map.get(key).copied()
+        self.map.get_by(key).copied()
     }
 
     /// The key behind an id.
@@ -91,6 +103,18 @@ impl FeatureInterner {
     /// Is the interner empty?
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// Delta entries in the key map since its last seal — the marginal
+    /// copy cost a snapshot clone pays for the interner.
+    pub fn head_len(&self) -> usize {
+        self.map.head_len()
+    }
+
+    /// Fold the key map's delta head into a fresh sealed generation so
+    /// subsequent clones are pure `Arc` bumps.
+    pub fn seal(&mut self) {
+        self.map.seal();
     }
 }
 

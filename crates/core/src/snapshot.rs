@@ -1,0 +1,362 @@
+//! Lock-free read snapshots: the one-`Arc` immutable view behind
+//! [`crate::service::CqmsService`]'s read path.
+//!
+//! A [`ReadSnapshot`] bundles everything a meta-query needs — the COW
+//! [`QueryStorage`] (records, session graph, popularity tables, text
+//! indexes, structural index registry), the user [`Directory`], the rule
+//! miner's transaction log and latest mined rules, a detached
+//! [`CatalogView`] and the trace clock — into a single immutable value.
+//! The write path captures one per mutation ([`crate::server::Cqms::
+//! capture_snapshot`]) and publishes it behind an
+//! `ArcSwap`-style slot; a reader clones **one `Arc` under a momentary
+//! lock** and then runs entirely lock-free, never blocking on (or
+//! being blocked by) writers, miner epochs, index rebuild publishes or
+//! repair promotions.
+//!
+//! Capture cost is O(unsealed COW delta), bounded by
+//! [`crate::config::CqmsConfig::snapshot_head_limit`], never O(log
+//! size): all bulk state is structurally shared (`cqms_cow` containers
+//! and `Arc`s).
+//!
+//! Reads that genuinely need the live `relstore` meta/data engine
+//! (feature-SQL meta-queries, identifier spell-check, empty-result
+//! repair, query-by-data with re-execution) stay on the service's
+//! lock-retained path — a snapshot's storage is *detached* from the
+//! engine by design.
+//!
+//! In debug builds every snapshot read marks the thread, and the
+//! service's lock acquisitions assert the mark is absent, proving no
+//! read path silently re-enters the shard lock after cloning its
+//! snapshot.
+
+use crate::admin::Directory;
+use crate::assist::completion::{CatalogView, CompletionEngine, CompletionStats, Suggestion};
+use crate::assist::recommend::{self, PanelRow};
+use crate::config::CqmsConfig;
+use crate::error::CqmsError;
+use crate::metaquery::{MetaQueryExecutor, ScoredHit, TreePattern};
+use crate::miner::assoc::{AssocRule, RuleMiner};
+use crate::model::{QueryId, SessionId, UserId};
+use crate::similarity::DistanceKind;
+use crate::storage::QueryStorage;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Nesting depth of in-flight snapshot reads on this thread.
+    static SNAPSHOT_READ_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII marker: "this thread is inside a snapshot read". Compiled away
+/// in release builds.
+struct ReadScope;
+
+impl ReadScope {
+    fn enter() -> ReadScope {
+        #[cfg(debug_assertions)]
+        SNAPSHOT_READ_DEPTH.with(|d| d.set(d.get() + 1));
+        ReadScope
+    }
+}
+
+impl Drop for ReadScope {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        SNAPSHOT_READ_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Debug-build proof that snapshot reads are lock-free: the service's
+/// lock acquisitions call this, so a read path that re-acquired the
+/// shard lock after cloning its snapshot panics in tests instead of
+/// silently re-serialising.
+pub(crate) fn assert_not_inside_snapshot_read(_what: &str) {
+    #[cfg(debug_assertions)]
+    SNAPSHOT_READ_DEPTH.with(|d| {
+        assert_eq!(
+            d.get(),
+            0,
+            "{_what} acquired the shard lock inside a ReadSnapshot read; \
+             snapshot reads must stay lock-free"
+        );
+    });
+}
+
+/// An immutable, lock-free-readable view of one CQMS instance at a
+/// publication epoch. Cheap to hold: readers pin at most a few sealed
+/// `Arc` layers, so writer churn after capture costs them nothing.
+pub struct ReadSnapshot {
+    /// Publication epoch (monotonic per service; bumped on every write,
+    /// index-rebuild publish and repair promotion).
+    pub(crate) epoch: u64,
+    pub(crate) config: CqmsConfig,
+    pub(crate) storage: QueryStorage,
+    pub(crate) directory: Directory,
+    pub(crate) rules: RuleMiner,
+    pub(crate) last_rules: Arc<Vec<AssocRule>>,
+    pub(crate) catalog: CatalogView,
+    pub(crate) clock: u64,
+}
+
+impl std::fmt::Debug for ReadSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadSnapshot")
+            .field("epoch", &self.epoch)
+            .field("live", &self.storage.live_count())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+impl ReadSnapshot {
+    /// The publication epoch this snapshot was captured at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Trace time at capture.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Live (non-tombstoned) logged queries at capture.
+    pub fn live_count(&self) -> usize {
+        let _scope = ReadScope::enter();
+        self.storage.live_count()
+    }
+
+    /// The structural-index generation the snapshot serves from. Read
+    /// from the snapshot's own pinned sealed generation — *not* the
+    /// registry's live observability counter, which keeps advancing under
+    /// held snapshots as rebuilds publish.
+    pub fn index_generation(&self) -> u64 {
+        let _scope = ReadScope::enter();
+        self.storage.indexes().sealed().generation
+    }
+
+    /// The captured storage (for oracles and diagnostics; all methods on
+    /// it are read-only here — the snapshot is immutable).
+    pub fn storage(&self) -> &QueryStorage {
+        &self.storage
+    }
+
+    /// The captured tunables.
+    pub fn config(&self) -> &CqmsConfig {
+        &self.config
+    }
+
+    /// The captured user/group directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// The association rules mined by the latest epoch before capture.
+    pub fn association_rules(&self) -> &[AssocRule] {
+        &self.last_rules
+    }
+
+    fn executor(&self) -> MetaQueryExecutor<'_> {
+        MetaQueryExecutor::new(&self.storage, &self.directory, &self.config)
+    }
+
+    // ------------------------------------------------------------------
+    // Search & Browse (§2.2) — lock-free
+    // ------------------------------------------------------------------
+
+    /// TF-IDF keyword search over logged query text.
+    pub fn search_keyword(&self, user: UserId, query: &str, k: usize) -> Vec<ScoredHit> {
+        let _scope = ReadScope::enter();
+        self.executor().keyword(user, query, k)
+    }
+
+    /// This snapshot's corpus statistics for `query` (see
+    /// [`crate::server::Cqms::keyword_corpus_stats`]).
+    pub fn keyword_corpus_stats(&self, query: &str) -> (u64, HashMap<String, u64>) {
+        let _scope = ReadScope::enter();
+        let ix = self.storage.text_index();
+        (ix.len() as u64, ix.query_term_dfs(query))
+    }
+
+    /// Keyword search with externally supplied (cross-shard summed)
+    /// corpus statistics.
+    pub fn search_keyword_with_corpus(
+        &self,
+        user: UserId,
+        query: &str,
+        k: usize,
+        total_docs: u64,
+        df: &HashMap<String, u64>,
+    ) -> Vec<ScoredHit> {
+        let _scope = ReadScope::enter();
+        self.executor()
+            .keyword_with_corpus(user, query, k, total_docs, df)
+    }
+
+    /// Exact substring search over logged query text.
+    pub fn search_substring(&self, user: UserId, needle: &str) -> Vec<QueryId> {
+        let _scope = ReadScope::enter();
+        self.executor().substring(user, needle)
+    }
+
+    /// Structural search by parse-tree pattern.
+    pub fn search_parse_tree(&self, user: UserId, pattern: &TreePattern) -> Vec<QueryId> {
+        let _scope = ReadScope::enter();
+        self.executor().by_parse_tree(user, pattern)
+    }
+
+    /// Query-by-data over stored output summaries. Re-execution of
+    /// sampled candidates needs the live engine — that variant stays on
+    /// the service's lock-retained path.
+    pub fn search_by_data(&self, user: UserId, include: &[&str], exclude: &[&str]) -> Vec<QueryId> {
+        let _scope = ReadScope::enter();
+        self.executor().by_data(user, include, exclude, None)
+    }
+
+    /// §2.2: generate the feature meta-query for a partially typed query.
+    pub fn generate_feature_query(&self, partial_sql: &str) -> Result<String, CqmsError> {
+        let _scope = ReadScope::enter();
+        self.executor().generate_feature_query(partial_sql)
+    }
+
+    /// kNN similar queries to arbitrary SQL text.
+    pub fn similar_queries(
+        &self,
+        user: UserId,
+        sql: &str,
+        k: usize,
+        metric: DistanceKind,
+    ) -> Result<Vec<ScoredHit>, CqmsError> {
+        let _scope = ReadScope::enter();
+        self.executor().knn_sql(user, sql, k, metric)
+    }
+
+    /// Figure 2 session window.
+    pub fn render_session(&self, session: SessionId) -> Result<String, CqmsError> {
+        let _scope = ReadScope::enter();
+        crate::viz::render_session(&self.storage, session)
+    }
+
+    /// Browse view over the whole log.
+    pub fn render_log_summary(&self, max_sessions: usize) -> String {
+        let _scope = ReadScope::enter();
+        crate::viz::render_log_summary(&self.storage, max_sessions)
+    }
+
+    // ------------------------------------------------------------------
+    // Assisted mode (§2.3) — lock-free
+    // ------------------------------------------------------------------
+
+    fn completion_engine(&self) -> CompletionEngine<'_> {
+        CompletionEngine::with_view(
+            &self.storage,
+            &self.rules,
+            &self.config,
+            self.catalog.clone(),
+        )
+    }
+
+    /// Completions for partial SQL (Fig. 3 dropdown).
+    pub fn complete(&self, _user: UserId, partial_sql: &str, k: usize) -> Vec<Suggestion> {
+        let _scope = ReadScope::enter();
+        self.completion_engine().suggest(partial_sql, k)
+    }
+
+    /// This shard's summable completion statistics for the probe (the
+    /// exact cross-shard merge currency; see
+    /// [`CompletionStats::merge`]).
+    pub fn completion_stats(&self, partial_sql: &str) -> CompletionStats {
+        let _scope = ReadScope::enter();
+        self.completion_engine().collect_stats(partial_sql)
+    }
+
+    /// Completions scored from merged statistics — with this snapshot's
+    /// own stats it equals [`ReadSnapshot::complete`] bit-for-bit.
+    pub fn complete_with_stats(
+        &self,
+        partial_sql: &str,
+        k: usize,
+        stats: &CompletionStats,
+    ) -> Vec<Suggestion> {
+        let _scope = ReadScope::enter();
+        self.completion_engine()
+            .suggest_with_stats(partial_sql, k, stats)
+    }
+
+    /// The Figure 3 "Similar Queries" panel for a query being composed.
+    pub fn recommend(
+        &self,
+        user: UserId,
+        seed_sql: &str,
+        k: usize,
+    ) -> Result<Vec<PanelRow>, CqmsError> {
+        let _scope = ReadScope::enter();
+        recommend::recommend_panel(
+            &self.storage,
+            &self.directory,
+            &self.config,
+            user,
+            seed_sql,
+            k,
+        )
+    }
+
+    /// This shard's panel candidate pool (top `m` Combined kNN hits).
+    pub fn recommend_candidates(
+        &self,
+        user: UserId,
+        seed_sql: &str,
+        m: usize,
+    ) -> Result<Vec<ScoredHit>, CqmsError> {
+        let _scope = ReadScope::enter();
+        recommend::knn_candidates(
+            &self.storage,
+            &self.directory,
+            &self.config,
+            user,
+            seed_sql,
+            m,
+        )
+    }
+
+    /// Score local candidates with corpus-wide (cross-shard merged)
+    /// ranking terms; see [`recommend::panel_rows_for`].
+    pub fn recommend_rows_for(
+        &self,
+        seed_sql: &str,
+        hits: &[(QueryId, f64)],
+        now_ts: u64,
+        max_pop: u32,
+        popularity_of: &dyn Fn(u64) -> u32,
+    ) -> Result<Vec<(f64, PanelRow)>, CqmsError> {
+        let _scope = ReadScope::enter();
+        recommend::panel_rows_for(
+            &self.storage,
+            &self.config,
+            seed_sql,
+            hits,
+            now_ts,
+            max_pop,
+            popularity_of,
+        )
+    }
+
+    /// Newest logged trace timestamp (the panel recency anchor).
+    pub fn panel_now_ts(&self) -> u64 {
+        let _scope = ReadScope::enter();
+        recommend::panel_now_ts(&self.storage)
+    }
+
+    /// The template popularity histogram (summable across shards).
+    pub fn template_histogram(&self) -> Vec<(u64, u32)> {
+        let _scope = ReadScope::enter();
+        self.storage.template_histogram()
+    }
+
+    /// Sorted live-successful latencies — the quality pass's efficiency
+    /// basis (concatenated across shards for merged maintenance).
+    pub fn latency_basis(&self) -> Vec<u64> {
+        let _scope = ReadScope::enter();
+        crate::maintenance::latency_basis(&self.storage)
+    }
+}

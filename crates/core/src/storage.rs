@@ -26,26 +26,37 @@ use crate::model::*;
 use crate::postings::PostingList;
 use crate::signature::{FeatureInterner, SimSignature};
 use crate::wal::{InsertFrame, WalOp, WalWriter};
+use cqms_cow::{CowMap, SegVec, SnapshotVec};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use textindex::{InvertedIndex, TrigramIndex};
 
 /// The CQMS query store.
+///
+/// Every container is copy-on-write ([`cqms_cow`], the text indexes'
+/// persistent heads, the registry's `Arc`-bundled head), so `clone()`
+/// produces an immutable snapshot in O(delta-head + len/CHUNK pointer
+/// bumps) — the basis of the service layer's lock-free
+/// [`crate::snapshot::ReadSnapshot`]. The embedded feature-relation
+/// engine and the WAL are the two exceptions: a clone gets a fresh empty
+/// engine and no WAL (it is `detached`), and the reads that need live
+/// SQL stay on the service's lock-retained path.
 pub struct QueryStorage {
-    records: Vec<QueryRecord>,
+    records: SnapshotVec<Arc<QueryRecord>>,
     /// Embedded engine holding the Figure 1 feature relations.
     meta: relstore::Engine,
     text: InvertedIndex,
     trigram: TrigramIndex,
-    edges: Vec<SessionEdge>,
-    sessions: HashMap<SessionId, Vec<QueryId>>,
+    edges: SegVec<SessionEdge>,
+    sessions: CowMap<SessionId, Vec<QueryId>>,
     /// Popularity: template fingerprint → number of live queries.
-    template_counts: HashMap<u64, u32>,
+    template_counts: CowMap<u64, u32>,
     next_session: u64,
     /// Feature-key interner backing the similarity signatures.
     interner: FeatureInterner,
     /// Per-record similarity signatures, parallel to `records`.
-    signatures: Vec<SimSignature>,
+    signatures: SnapshotVec<Arc<SimSignature>>,
     /// All derived index state — feature postings, the sealed structural
     /// generation (VP-tree, tree-less list, ParseTree profile groups),
     /// the mutable head, the override log and the rebuild schedule. See
@@ -68,6 +79,37 @@ pub struct QueryStorage {
     /// the storm itself amortises the publish instead. Wired from
     /// [`crate::config::CqmsConfig::override_publish_threshold`].
     override_publish_threshold: usize,
+    /// `true` on snapshot clones: the feature-relation engine is a fresh
+    /// empty stand-in there, and touching it is a logic error (guarded by
+    /// `debug_assert` in the engine accessors).
+    detached: bool,
+}
+
+impl Clone for QueryStorage {
+    /// Cheap snapshot clone: O(COW delta heads + record-chunk pointer
+    /// bumps), never O(store). The clone is `detached` — it shares every
+    /// index and record by pointer but carries a fresh empty
+    /// feature-relation engine and no WAL, so it must only serve reads
+    /// that don't need live SQL over the feature relations.
+    fn clone(&self) -> Self {
+        QueryStorage {
+            records: self.records.clone(),
+            meta: relstore::Engine::new(),
+            text: self.text.clone(),
+            trigram: self.trigram.clone(),
+            edges: self.edges.clone(),
+            sessions: self.sessions.clone(),
+            template_counts: self.template_counts.clone(),
+            next_session: self.next_session,
+            interner: self.interner.clone(),
+            signatures: self.signatures.clone(),
+            indexes: self.indexes.clone(),
+            live: self.live,
+            wal: None,
+            override_publish_threshold: self.override_publish_threshold,
+            detached: true,
+        }
+    }
 }
 
 impl Default for QueryStorage {
@@ -82,20 +124,21 @@ impl QueryStorage {
         let mut meta = relstore::Engine::new();
         features::create_feature_relations(&mut meta);
         QueryStorage {
-            records: Vec::new(),
+            records: SnapshotVec::new(),
             meta,
             text: InvertedIndex::new(),
             trigram: TrigramIndex::new(),
-            edges: Vec::new(),
-            sessions: HashMap::new(),
-            template_counts: HashMap::new(),
+            edges: SegVec::new(),
+            sessions: CowMap::new(),
+            template_counts: CowMap::new(),
             next_session: 0,
             interner: FeatureInterner::new(),
-            signatures: Vec::new(),
+            signatures: SnapshotVec::new(),
             indexes: IndexRegistry::new(),
             live: 0,
             wal: None,
             override_publish_threshold: 64,
+            detached: false,
         }
     }
 
@@ -164,9 +207,9 @@ impl QueryStorage {
                 &record.raw_sql,
                 &record.features,
             );
-            *self.template_counts.entry(record.template_fp).or_insert(0) += 1;
+            *self.template_counts.entry_or_default(record.template_fp) += 1;
         }
-        self.sessions.entry(record.session).or_default().push(id);
+        self.sessions.entry_or_default(record.session).push(id);
         if record.session.0 >= self.next_session {
             self.next_session = record.session.0 + 1;
         }
@@ -191,8 +234,8 @@ impl QueryStorage {
             let op = WalOp::Insert(Box::new(InsertFrame::of(&record)));
             self.wal_log(op);
         }
-        self.signatures.push(sig);
-        self.records.push(record);
+        self.signatures.push(Arc::new(sig));
+        self.records.push(Arc::new(record));
         id
     }
 
@@ -200,6 +243,7 @@ impl QueryStorage {
     pub fn get(&self, id: QueryId) -> Result<&QueryRecord, CqmsError> {
         self.records
             .get(id.0 as usize)
+            .map(Arc::as_ref)
             .ok_or_else(|| CqmsError::NotFound(format!("query {id}")))
     }
 
@@ -208,18 +252,19 @@ impl QueryStorage {
     pub fn get_mut(&mut self, id: QueryId) -> Result<&mut QueryRecord, CqmsError> {
         self.records
             .get_mut(id.0 as usize)
+            .map(Arc::make_mut)
             .ok_or_else(|| CqmsError::NotFound(format!("query {id}")))
     }
 
     /// All records (including tombstones — callers filter with
     /// [`QueryRecord::is_live`]).
     pub fn iter(&self) -> impl Iterator<Item = &QueryRecord> {
-        self.records.iter()
+        self.records.iter().map(Arc::as_ref)
     }
 
     /// Live records only.
     pub fn iter_live(&self) -> impl Iterator<Item = &QueryRecord> {
-        self.records.iter().filter(|r| r.is_live())
+        self.records.iter().map(Arc::as_ref).filter(|r| r.is_live())
     }
 
     /// The embedded feature-relation engine (Meta-query Executor entry).
@@ -229,11 +274,19 @@ impl QueryStorage {
     /// (lazy index maintenance lives behind interior mutability). Writers
     /// (the Profiler, deletes, maintenance) use [`QueryStorage::meta_engine_mut`].
     pub fn meta_engine(&self) -> &relstore::Engine {
+        debug_assert!(
+            !self.detached,
+            "feature-relation reads must not run on a detached snapshot clone"
+        );
         &self.meta
     }
 
     /// Mutable access to the feature-relation engine (write paths only).
     pub fn meta_engine_mut(&mut self) -> &mut relstore::Engine {
+        debug_assert!(
+            !self.detached,
+            "feature-relation writes must not run on a detached snapshot clone"
+        );
         &mut self.meta
     }
 
@@ -282,7 +335,7 @@ impl QueryStorage {
     }
 
     /// The session graph's edges, in insertion order.
-    pub fn edges(&self) -> &[SessionEdge] {
+    pub fn edges(&self) -> &SegVec<SessionEdge> {
         &self.edges
     }
 
@@ -309,7 +362,10 @@ impl QueryStorage {
 
     /// The most recent query of `user`, if any.
     pub fn last_query_of(&self, user: UserId) -> Option<&QueryRecord> {
-        self.records.iter().rev().find(|r| r.user == user)
+        (0..self.records.len()).rev().find_map(|i| {
+            let r = self.records.get(i).map(Arc::as_ref)?;
+            (r.user == user).then_some(r)
+        })
     }
 
     /// Attach an annotation (§2.1).
@@ -433,7 +489,7 @@ impl QueryStorage {
         if let Some(c) = self.template_counts.get_mut(&old_fp) {
             *c = c.saturating_sub(1);
         }
-        *self.template_counts.entry(new_fp).or_insert(0) += 1;
+        *self.template_counts.entry_or_default(new_fp) += 1;
     }
 
     /// Make sure a (live) record's feature ids are posted exactly once.
@@ -524,10 +580,19 @@ impl QueryStorage {
         // statement, features and possibly the summary changed).
         self.remove_postings(id);
         let (sig, live) = {
-            let r = &self.records[id.0 as usize];
-            (SimSignature::build(r, &mut self.interner), r.is_live())
+            let QueryStorage {
+                records, interner, ..
+            } = &mut *self;
+            let r = records
+                .get(id.0 as usize)
+                .expect("validated by get above")
+                .as_ref();
+            (SimSignature::build(r, interner), r.is_live())
         };
-        self.signatures[id.0 as usize] = sig;
+        *self
+            .signatures
+            .get_mut(id.0 as usize)
+            .expect("signatures parallel records") = Arc::new(sig);
         if live {
             self.ensure_posted(id);
         }
@@ -573,11 +638,11 @@ impl QueryStorage {
 
     /// The precomputed similarity signature of a record.
     pub fn signature(&self, id: QueryId) -> Option<&SimSignature> {
-        self.signatures.get(id.0 as usize)
+        self.signatures.get(id.0 as usize).map(Arc::as_ref)
     }
 
     /// All signatures, parallel to the record vector.
-    pub fn signatures(&self) -> &[SimSignature] {
+    pub fn signatures(&self) -> &SnapshotVec<Arc<SimSignature>> {
         &self.signatures
     }
 
@@ -596,7 +661,7 @@ impl QueryStorage {
     /// The inverted feature-posting index (feature id → posting list;
     /// lists may carry stale non-live entries pending the background
     /// compaction pass).
-    pub fn postings(&self) -> &HashMap<u32, PostingList> {
+    pub fn postings(&self) -> &CowMap<u32, PostingList> {
         self.indexes.postings()
     }
 
@@ -612,7 +677,7 @@ impl QueryStorage {
                     .filter(|&q| {
                         self.records
                             .get(q as usize)
-                            .map(QueryRecord::is_live)
+                            .map(|r| r.is_live())
                             .unwrap_or(false)
                     })
                     .collect()
@@ -723,9 +788,46 @@ impl QueryStorage {
         indexes.maintain_postings(|q| {
             records
                 .get(q as usize)
-                .map(QueryRecord::is_live)
+                .map(|r| r.is_live())
                 .unwrap_or(false)
         })
+    }
+
+    /// Total delta-head entries across the COW containers — the marginal
+    /// copy cost the *next* snapshot clone pays (sealed state is shared
+    /// by pointer; only heads are copied per clone).
+    pub fn cow_head_len(&self) -> usize {
+        self.text.head_len()
+            + self.trigram.head_len()
+            + self.indexes.postings_head_len()
+            + self.sessions.head_len()
+            + self.template_counts.head_len()
+            + self.interner.head_len()
+    }
+
+    /// Fold every COW delta head into a fresh sealed generation once the
+    /// total passes `limit` (0 disables). Called by the write path before
+    /// publishing a read snapshot — sealing is O(total keys) but each
+    /// value moves by a cheap shared-structure clone, and it resets the
+    /// per-publish copy cost back to ~zero. Returns whether it sealed.
+    pub fn maybe_seal_cow_heads(&mut self, limit: usize) -> bool {
+        if limit == 0 || self.cow_head_len() < limit {
+            return false;
+        }
+        self.seal_cow_heads();
+        true
+    }
+
+    /// Unconditionally fold the COW delta heads (the maintenance pass and
+    /// tests use this; the write path goes through
+    /// [`QueryStorage::maybe_seal_cow_heads`]).
+    pub fn seal_cow_heads(&mut self) {
+        self.text.seal();
+        self.trigram.seal();
+        self.indexes.seal_postings();
+        self.sessions.seal();
+        self.template_counts.seal();
+        self.interner.seal();
     }
 
     /// Adopt a refined session assignment from the Query Miner (§4.3: the
@@ -734,12 +836,22 @@ impl QueryStorage {
     pub fn adopt_sessions(&mut self, assignment: &HashMap<QueryId, SessionId>) {
         self.sessions.clear();
         let mut max_session = 0u64;
-        for r in &mut self.records {
-            if let Some(&s) = assignment.get(&r.id) {
-                r.session = s;
-            }
-            self.sessions.entry(r.session).or_default().push(r.id);
-            max_session = max_session.max(r.session.0);
+        for i in 0..self.records.len() {
+            let (id, cur_session) = {
+                let r = self.records.get(i).expect("dense ids");
+                (r.id, r.session)
+            };
+            let session = match assignment.get(&id) {
+                Some(&s) => {
+                    if s != cur_session {
+                        Arc::make_mut(self.records.get_mut(i).expect("dense ids")).session = s;
+                    }
+                    s
+                }
+                None => cur_session,
+            };
+            self.sessions.entry_or_default(session).push(id);
+            max_session = max_session.max(session.0);
         }
         self.next_session = max_session + 1;
         // Refresh QueryMeta.sessionId (one UPDATE per record keeps the

@@ -33,6 +33,13 @@ fn config(shards: usize) -> CqmsConfig {
     CqmsConfig {
         shards,
         wal_fsync: false,
+        // Quality's efficiency term ranks *measured* execution latency —
+        // the same issued query times differently run to run, so any
+        // blend of it can never be bit-compared across two deployments.
+        // Zero its rank weight (folding it into recency) to pin the
+        // deterministic terms: similarity, global popularity, recency.
+        rank_recency: CqmsConfig::default().rank_recency + CqmsConfig::default().rank_quality,
+        rank_quality: 0.0,
         ..CqmsConfig::default()
     }
 }
@@ -282,6 +289,44 @@ proptest! {
                 denote_sharded(&sharded, &ss),
                 "substring diverged for viewer {}", viewer
             );
+
+            // Completion (PR 10): merged global statistics must reproduce
+            // the unsharded scoring exactly — full suggestion sequences,
+            // score bits included.
+            for probe in [
+                "SELECT * FROM WaterTemp, ",
+                "SELECT * FROM WaterTemp WHERE ",
+                "SELECT ",
+            ] {
+                let uc: Vec<(String, u64, String)> = unsharded
+                    .complete(viewer, probe, 8)
+                    .into_iter().map(|s| (s.text, s.score.to_bits(), s.why)).collect();
+                let sc: Vec<(String, u64, String)> = sharded
+                    .complete(viewer, probe, 8)
+                    .into_iter().map(|s| (s.text, s.score.to_bits(), s.why)).collect();
+                prop_assert_eq!(uc, sc, "completion diverged on {:?} for viewer {}", probe, viewer);
+            }
+
+            // Recommendation (PR 10): the merged panel must carry the same
+            // rows as the unsharded one — same score percentages in the
+            // same order, same SQL/diff/annotation multiset. k is chosen
+            // so the 3k candidate pool covers every possible hit: at the
+            // pool boundary, kNN-score ties may cut differently across the
+            // two id spaces (exactly the documented top-k tie caveat), but
+            // with no cut the panels must agree row for row. Ids differ by
+            // striping, so the row multiset is compared sorted.
+            let ur = unsharded.recommend(viewer, knn_probe, 16).expect("seed parses");
+            let sr = sharded.recommend(viewer, knn_probe, 16).expect("seed parses");
+            let upcts: Vec<u8> = ur.iter().map(|r| r.score_pct).collect();
+            let spcts: Vec<u8> = sr.iter().map(|r| r.score_pct).collect();
+            prop_assert_eq!(upcts, spcts, "panel score sequence diverged for viewer {}", viewer);
+            let mut urows: Vec<(u8, String, String, String)> = ur
+                .into_iter().map(|r| (r.score_pct, r.sql, r.diff, r.annotation)).collect();
+            let mut srows: Vec<(u8, String, String, String)> = sr
+                .into_iter().map(|r| (r.score_pct, r.sql, r.diff, r.annotation)).collect();
+            urows.sort();
+            srows.sort();
+            prop_assert_eq!(urows, srows, "panel rows diverged for viewer {}", viewer);
         }
     }
 }

@@ -1,0 +1,433 @@
+//! PR 10 acceptance: lock-free [`ReadSnapshot`] correctness.
+//!
+//! * `snapshot_reads_match_live_state` — a freshly cloned snapshot's
+//!   keyword / substring / kNN / completion / recommendation answers are
+//!   bit-identical to the quiesced store's lock-retained oracle at every
+//!   checkpoint of a generated workload, and a snapshot *held across*
+//!   further churn (ingests, tombstones, ACL flips, index rebuilds, miner
+//!   epochs) keeps returning exactly its capture-time answers.
+//! * `pinned_readers_survive_three_generations` — reader threads pinned to
+//!   one old snapshot keep getting byte-stable answers while the write
+//!   path publishes three index-rebuild generations under them.
+//! * `publish_points_bump_one_epoch` — every write-path publish point
+//!   (write, rebuild publish, miner epoch, `try_replace` promotion) bumps
+//!   the snapshot epoch so readers can never observe mixed
+//!   promoted-index/stale-popularity state.
+
+use cqms_core::metaquery::ScoredHit;
+use cqms_core::model::{GroupId, QueryId, UserId, Visibility};
+use cqms_core::similarity::DistanceKind;
+use cqms_core::{Cqms, CqmsConfig, CqmsService};
+use proptest::prelude::*;
+use relstore::Engine;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use workload::Domain;
+
+const USERS: u32 = 3;
+const KEYWORD_PROBE: &str = "watertemp temp salinity lakes month";
+const KNN_PROBE: &str = "SELECT * FROM WaterTemp WHERE temp < 18";
+const COMPLETE_PROBE: &str = "SELECT * FROM WaterTemp, ";
+const SEED_SQL: &str = "SELECT * FROM WaterTemp WHERE temp < 18";
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    Domain::Lakes.setup(&mut e, 30, 3);
+    e
+}
+
+fn service() -> (CqmsService, Vec<UserId>) {
+    let config = CqmsConfig {
+        wal_fsync: false,
+        ..CqmsConfig::default()
+    };
+    let svc = CqmsService::new(Cqms::new(engine(), config));
+    let users = (0..USERS)
+        .map(|i| svc.register_user(&format!("user-{i}")))
+        .collect();
+    (svc, users)
+}
+
+/// One step of the generated workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Run { user: u32, sql: String },
+    Delete { nth: usize },
+    Hide { nth: usize, vis: Visibility },
+    Rebuild,
+    Maintain,
+    MinerEpoch,
+}
+
+fn sql_strategy() -> impl Strategy<Value = String> {
+    let table = prop_oneof![
+        Just("WaterTemp"),
+        Just("WaterSalinity"),
+        Just("CityLocations"),
+        Just("Lakes"),
+    ];
+    let col = prop_oneof![
+        Just("temp"),
+        Just("salinity"),
+        Just("pop"),
+        Just("area"),
+        Just("month"),
+    ];
+    let op = prop_oneof![Just("<"), Just(">"), Just("="), Just("<=")];
+    (table, proptest::option::of((col, op, -50i64..50))).prop_map(|(t, pred)| {
+        let mut sql = format!("SELECT * FROM {t}");
+        if let Some((c, o, k)) = pred {
+            sql.push_str(&format!(" WHERE {c} {o} {k}"));
+        }
+        sql
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..USERS, sql_strategy()).prop_map(|(user, sql)| Op::Run { user, sql }),
+        2 => (0usize..64).prop_map(|nth| Op::Delete { nth }),
+        2 => (
+            0usize..64,
+            prop_oneof![
+                Just(Visibility::Public),
+                Just(Visibility::Private),
+                (0u32..2).prop_map(|g| Visibility::Group(GroupId(g))),
+            ]
+        )
+            .prop_map(|(nth, vis)| Op::Hide { nth, vis }),
+        1 => Just(Op::Rebuild),
+        1 => Just(Op::Maintain),
+        1 => Just(Op::MinerEpoch),
+    ]
+}
+
+fn apply(
+    svc: &CqmsService,
+    users: &[UserId],
+    issued: &mut Vec<(UserId, QueryId)>,
+    op: &Op,
+    ts: u64,
+) {
+    match op {
+        Op::Run { user, sql } => {
+            let out = svc
+                .run_query_at(users[*user as usize], sql, ts)
+                .expect("profiling never hard-fails");
+            issued.push((users[*user as usize], out.id));
+        }
+        Op::Delete { nth } if !issued.is_empty() => {
+            let (owner, id) = issued[nth % issued.len()];
+            let _ = svc.delete_query(owner, id);
+        }
+        Op::Hide { nth, vis } if !issued.is_empty() => {
+            let (owner, id) = issued[nth % issued.len()];
+            let _ = svc.set_visibility(owner, id, *vis);
+        }
+        Op::Rebuild => {
+            svc.write(|c| c.storage.schedule_index_rebuild());
+            svc.rebuild_indexes();
+        }
+        Op::Maintain => {
+            svc.run_maintenance().expect("maintenance");
+        }
+        Op::MinerEpoch => {
+            let report = svc.run_miner_epoch();
+            assert!(report.wal_flush_error.is_none());
+        }
+        _ => {}
+    }
+}
+
+/// Everything one snapshot answers for one viewer, byte-comparable.
+#[derive(Debug, Clone, PartialEq)]
+struct Answers {
+    live: usize,
+    now: u64,
+    generation: u64,
+    keyword: Vec<(QueryId, u64)>,
+    substring: Vec<QueryId>,
+    knn: Vec<(QueryId, u64)>,
+    complete: Vec<(String, u64, String)>,
+    recommend: Vec<(u8, String, String, String)>,
+}
+
+fn bits(hits: Vec<ScoredHit>) -> Vec<(QueryId, u64)> {
+    hits.into_iter()
+        .map(|h| (h.id, h.score.to_bits()))
+        .collect()
+}
+
+fn snapshot_answers(snap: &cqms_core::ReadSnapshot, viewer: UserId) -> Answers {
+    Answers {
+        live: snap.live_count(),
+        now: snap.now(),
+        generation: snap.index_generation(),
+        keyword: bits(snap.search_keyword(viewer, KEYWORD_PROBE, 64)),
+        substring: snap.search_substring(viewer, "WaterTemp"),
+        knn: bits(
+            snap.similar_queries(viewer, KNN_PROBE, 64, DistanceKind::Combined)
+                .expect("probe parses"),
+        ),
+        complete: snap
+            .complete(viewer, COMPLETE_PROBE, 8)
+            .into_iter()
+            .map(|s| (s.text, s.score.to_bits(), s.why))
+            .collect(),
+        recommend: snap
+            .recommend(viewer, SEED_SQL, 5)
+            .expect("seed parses")
+            .into_iter()
+            .map(|r| (r.score_pct, r.sql, r.diff, r.annotation))
+            .collect(),
+    }
+}
+
+/// The same answers computed under the service's live lock — the oracle a
+/// fresh snapshot must match exactly while the store is quiesced.
+fn live_answers(svc: &CqmsService, viewer: UserId) -> Answers {
+    svc.read(|c| Answers {
+        live: c.storage.live_count(),
+        now: c.now(),
+        generation: c.storage.index_generation(),
+        keyword: bits(c.search_keyword(viewer, KEYWORD_PROBE, 64)),
+        substring: c.search_substring(viewer, "WaterTemp"),
+        knn: bits(
+            c.similar_queries(viewer, KNN_PROBE, 64, DistanceKind::Combined)
+                .expect("probe parses"),
+        ),
+        complete: c
+            .complete(viewer, COMPLETE_PROBE, 8)
+            .into_iter()
+            .map(|s| (s.text, s.score.to_bits(), s.why))
+            .collect(),
+        recommend: c
+            .recommend(viewer, SEED_SQL, 5)
+            .expect("seed parses")
+            .into_iter()
+            .map(|r| (r.score_pct, r.sql, r.diff, r.annotation))
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: a just-cloned snapshot equals the quiesced
+    /// live store bit for bit, and a snapshot held across arbitrary
+    /// further churn — tombstones, ACL flips, rebuild races, miner
+    /// epochs — keeps answering exactly as it did at capture.
+    #[test]
+    fn snapshot_reads_match_live_state(
+        before in proptest::collection::vec(op_strategy(), 1..24),
+        after in proptest::collection::vec(op_strategy(), 1..24),
+    ) {
+        let (svc, users) = service();
+        let mut issued = Vec::new();
+        for (i, op) in before.iter().enumerate() {
+            apply(&svc, &users, &mut issued, op, 1_000 + i as u64 * 60);
+        }
+
+        // Freshly published snapshot == quiesced live oracle, per viewer.
+        let snap = svc.snapshot();
+        let mut pinned = Vec::new();
+        for &viewer in &users {
+            let got = snapshot_answers(&snap, viewer);
+            let want = live_answers(&svc, viewer);
+            prop_assert_eq!(&got, &want, "fresh snapshot diverged for viewer {}", viewer);
+            pinned.push(got);
+        }
+        let epoch0 = snap.epoch();
+
+        // Churn underneath the held snapshot.
+        for (i, op) in after.iter().enumerate() {
+            apply(&svc, &users, &mut issued, op, 100_000 + i as u64 * 60);
+        }
+
+        // The held snapshot is frozen at capture time...
+        for (&viewer, want) in users.iter().zip(&pinned) {
+            let again = snapshot_answers(&snap, viewer);
+            prop_assert_eq!(&again, want, "held snapshot drifted for viewer {}", viewer);
+        }
+        prop_assert_eq!(snap.epoch(), epoch0);
+
+        // ...while a re-clone sees the new state exactly.
+        let fresh = svc.snapshot();
+        prop_assert!(fresh.epoch() > epoch0, "churn published no snapshot");
+        for &viewer in &users {
+            prop_assert_eq!(
+                snapshot_answers(&fresh, viewer),
+                live_answers(&svc, viewer),
+                "re-cloned snapshot diverged for viewer {}", viewer
+            );
+        }
+    }
+}
+
+/// Readers pinned to one old snapshot stay byte-stable while the write
+/// path publishes three index-rebuild generations (plus writer churn and
+/// miner epochs) underneath them.
+#[test]
+fn pinned_readers_survive_three_generations() {
+    let (svc, users) = service();
+    for i in 0..40u64 {
+        svc.run_query_at(
+            users[(i % USERS as u64) as usize],
+            &format!("SELECT * FROM WaterTemp WHERE temp < {}", i % 25),
+            1_000 + i * 60,
+        )
+        .expect("seed write");
+    }
+
+    let pinned = svc.snapshot();
+    let baseline: Vec<Answers> = users
+        .iter()
+        .map(|&u| snapshot_answers(&pinned, u))
+        .collect();
+    let gen0 = pinned.index_generation();
+    let epoch0 = pinned.epoch();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = users
+        .iter()
+        .enumerate()
+        .map(|(r, &viewer)| {
+            let snap = Arc::clone(&pinned);
+            let want = baseline[r].clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut iterations = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    assert_eq!(
+                        snapshot_answers(&snap, viewer),
+                        want,
+                        "pinned reader {r} saw the snapshot change"
+                    );
+                    iterations += 1;
+                }
+                iterations
+            })
+        })
+        .collect();
+
+    // Three full generations under the pinned readers.
+    let mut last_epoch = epoch0;
+    for gen in 0..3u64 {
+        for i in 0..20u64 {
+            let ts = 200_000 + gen * 10_000 + i * 60;
+            svc.run_query_at(
+                users[(i % USERS as u64) as usize],
+                &format!("SELECT * FROM WaterSalinity WHERE salinity < {}", i % 25),
+                ts,
+            )
+            .expect("churn write");
+        }
+        svc.write(|c| c.storage.schedule_index_rebuild());
+        assert!(svc.rebuild_indexes(), "generation {gen} did not publish");
+        svc.run_miner_epoch();
+        let now = svc.snapshot();
+        assert!(
+            now.epoch() > last_epoch,
+            "generation {gen} published no snapshot epoch"
+        );
+        assert_eq!(now.index_generation(), gen0 + gen + 1);
+        last_epoch = now.epoch();
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        let iterations = r.join().expect("pinned reader panicked");
+        assert!(iterations > 0, "reader never completed a pass");
+    }
+
+    // The pinned snapshot still serves generation gen0, untouched.
+    assert_eq!(pinned.index_generation(), gen0);
+    assert_eq!(pinned.epoch(), epoch0);
+    for (r, &viewer) in users.iter().enumerate() {
+        assert_eq!(
+            snapshot_answers(&pinned, viewer),
+            baseline[r],
+            "pinned snapshot drifted after the stress"
+        );
+    }
+}
+
+/// Every write-path publish point bumps exactly one snapshot epoch, and
+/// `try_replace` swaps the whole view in one bump — a reader either keeps
+/// the full pre-promotion snapshot or clones the full post-promotion one,
+/// never a mix of the two.
+#[test]
+fn publish_points_bump_one_epoch() {
+    let (svc, users) = service();
+    let u = users[0];
+
+    let e0 = svc.snapshot().epoch();
+    svc.run_query_at(u, "SELECT * FROM WaterTemp WHERE temp < 10", 1_000)
+        .expect("write");
+    let e1 = svc.snapshot().epoch();
+    assert_eq!(e1, e0 + 1, "one write, one epoch");
+
+    svc.write(|c| c.storage.schedule_index_rebuild());
+    let e2 = svc.snapshot().epoch();
+    svc.rebuild_indexes();
+    let e3 = svc.snapshot().epoch();
+    assert_eq!(e3, e2 + 1, "one rebuild publish, one epoch");
+
+    svc.run_miner_epoch();
+    let e4 = svc.snapshot().epoch();
+    assert_eq!(e4, e3 + 1, "one miner epoch, one epoch");
+
+    // try_replace: the old snapshot stays coherent, the new slot serves
+    // the replacement's indexes AND popularity in the same epoch.
+    let old = svc.snapshot();
+    let old_live = old.live_count();
+    let replacement = {
+        let config = CqmsConfig {
+            wal_fsync: false,
+            ..CqmsConfig::default()
+        };
+        let mut c = Cqms::new(engine(), config);
+        let ru = c.register_user("user-0");
+        for i in 0..5u64 {
+            c.run_query_at(ru, "SELECT * FROM Lakes", 5_000 + i * 60)
+                .expect("replacement write");
+        }
+        c
+    };
+    let replaced = svc.try_replace(replacement);
+    assert!(replaced.is_ok(), "uncontended replace");
+    let promoted = svc.snapshot();
+    assert_eq!(promoted.epoch(), e4 + 1, "one promotion, one epoch");
+    assert_eq!(
+        promoted.live_count(),
+        5,
+        "promoted view serves the replacement"
+    );
+    assert!(
+        !promoted.template_histogram().is_empty(),
+        "promoted popularity tables came from the replacement, not the placeholder"
+    );
+    assert_eq!(
+        old.live_count(),
+        old_live,
+        "pinned pre-promotion view intact"
+    );
+}
+
+/// The service's lock-retained reads (live-engine dependencies) still
+/// work after snapshots took over the hot path, and a snapshot taken
+/// mid-flight ignores them entirely.
+#[test]
+fn lock_retained_reads_still_serve() {
+    let (svc, users) = service();
+    let u = users[0];
+    svc.run_query_at(u, "SELECT * FROM WaterTemp WHERE temp < 10", 1_000)
+        .expect("write");
+    let r = svc
+        .search_feature_sql(u, "SELECT qid FROM DataSources WHERE relName = 'watertemp'")
+        .expect("feature SQL");
+    assert_eq!(r.rows.len(), 1);
+    assert!(!svc
+        .check_identifiers("SELECT temp FROM WatrTemp")
+        .is_empty());
+}

@@ -1,0 +1,737 @@
+//! Copy-on-write snapshot collections.
+//!
+//! The CQMS read path serves every request from an immutable
+//! `ReadSnapshot` cloned out of the write path in O(pointer) time. That
+//! only works if the underlying containers are **cheap to clone and cheap
+//! to keep mutating after a clone**: a snapshot must be one `Arc` bump per
+//! shared run of data, and the writer's next mutation must pay at most a
+//! small, bounded copy — never O(store).
+//!
+//! Three sharing shapes cover everything the storage owns:
+//!
+//! * [`SnapshotVec<T>`] — a chunked vector (`Vec<Arc<Vec<T>>>`). Cloning
+//!   copies one `Arc` per chunk; mutating copies one chunk (at most
+//!   [`CHUNK`] elements) the first time it diverges from a snapshot.
+//!   Used for dense, id-indexed state: records, signatures, session edges.
+//! * [`CowMap<K, V>`] / [`CowSet<T>`] — a sealed generation behind an
+//!   `Arc` plus a mutable delta head (inserts/overrides) and a dead set
+//!   (removals), exactly the indexreg sealed/head split. Cloning copies
+//!   the head only; [`CowMap::seal`] folds the head into a fresh sealed
+//!   generation so the head stays bounded by churn, not store size.
+//! * [`SegVec<T>`] — an append-only list of sealed segments
+//!   (`Arc<Vec<Arc<Vec<T>>>>`) plus an `Arc`'d open tail. Cloning is two
+//!   `Arc` bumps regardless of length; an append after a clone re-copies
+//!   only the open tail (at most one segment). Used for posting lists,
+//!   where a hot term keeps growing for the lifetime of the store.
+//!
+//! All three preserve ordering semantics exactly (`SnapshotVec` and
+//! `SegVec` are positional; `CowMap` iteration is order-free like the
+//! `HashMap` it replaces), so index code swapping them in produces
+//! bit-identical results.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Elements per [`SnapshotVec`] chunk. Small enough that the first
+/// mutation of a chunk after a snapshot copies little; large enough that
+/// cloning a million-element vector is ~4k pointer bumps.
+pub const CHUNK: usize = 256;
+
+/// A chunked copy-on-write vector.
+///
+/// Positional semantics are identical to `Vec<T>`; the difference is the
+/// cost model. `clone()` is O(len / CHUNK) `Arc` bumps. `get_mut` / `push`
+/// detach (copy) at most one chunk when it is shared with a snapshot.
+#[derive(Debug)]
+pub struct SnapshotVec<T> {
+    chunks: Vec<Arc<Vec<T>>>,
+    len: usize,
+}
+
+impl<T> Default for SnapshotVec<T> {
+    fn default() -> Self {
+        SnapshotVec {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> Clone for SnapshotVec<T> {
+    fn clone(&self) -> Self {
+        SnapshotVec {
+            chunks: self.chunks.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<T: Clone> SnapshotVec<T> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        SnapshotVec::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append an element.
+    pub fn push(&mut self, value: T) {
+        if self.len.is_multiple_of(CHUNK) {
+            self.chunks.push(Arc::new(Vec::with_capacity(CHUNK)));
+        }
+        let chunk = self.chunks.last_mut().expect("chunk just ensured");
+        Arc::make_mut(chunk).push(value);
+        self.len += 1;
+    }
+
+    /// Shared reference to the element at `index`.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            return None;
+        }
+        self.chunks[index / CHUNK].get(index % CHUNK)
+    }
+
+    /// Mutable reference to the element at `index`, detaching its chunk
+    /// from any snapshot sharing it.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        if index >= self.len {
+            return None;
+        }
+        Arc::make_mut(&mut self.chunks[index / CHUNK]).get_mut(index % CHUNK)
+    }
+
+    /// The last element, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.len.checked_sub(1).and_then(|i| self.get(i))
+    }
+
+    /// Iterate the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Iterate `(index, element)` pairs in order.
+    pub fn iter_enumerated(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.iter().enumerate()
+    }
+
+    /// Drop every element.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
+    }
+}
+
+impl<T: Clone> FromIterator<T> for SnapshotVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SnapshotVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<'a, T: Clone> IntoIterator for &'a SnapshotVec<T> {
+    type Item = &'a T;
+    type IntoIter = Box<dyn Iterator<Item = &'a T> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl<T: Clone + PartialEq> PartialEq for SnapshotVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<T: Clone + Eq> Eq for SnapshotVec<T> {}
+
+/// A sealed/head copy-on-write hash map.
+///
+/// Reads see `head` entries first (overrides and inserts since the last
+/// seal), then the sealed generation minus the `dead` keys. `clone()`
+/// bumps the sealed `Arc` and copies the head + dead sets — O(churn since
+/// seal), never O(total). [`CowMap::seal`] folds the deltas into a fresh
+/// sealed generation; call it from a background epoch (or when
+/// [`CowMap::head_len`] passes a budget) to keep clones cheap.
+#[derive(Debug)]
+pub struct CowMap<K, V> {
+    sealed: Arc<HashMap<K, V>>,
+    head: HashMap<K, V>,
+    dead: HashSet<K>,
+    len: usize,
+}
+
+impl<K, V> Default for CowMap<K, V> {
+    fn default() -> Self {
+        CowMap {
+            sealed: Arc::new(HashMap::new()),
+            head: HashMap::new(),
+            dead: HashSet::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<K: Clone, V: Clone> Clone for CowMap<K, V> {
+    fn clone(&self) -> Self {
+        CowMap {
+            sealed: self.sealed.clone(),
+            head: self.head.clone(),
+            dead: self.dead.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> CowMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        CowMap::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entries currently in the delta head (inserts + removals since the
+    /// last seal) — the per-clone copy cost.
+    pub fn head_len(&self) -> usize {
+        self.head.len() + self.dead.len()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        if let Some(v) = self.head.get(key) {
+            return Some(v);
+        }
+        if self.dead.contains(key) {
+            return None;
+        }
+        self.sealed.get(key)
+    }
+
+    /// Does the map contain `key`?
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Look up by a borrowed form of the key (e.g. `&str` for `String`
+    /// keys) without allocating an owned key.
+    pub fn get_by<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        if let Some(v) = self.head.get(key) {
+            return Some(v);
+        }
+        if self.dead.contains(key) {
+            return None;
+        }
+        self.sealed.get(key)
+    }
+
+    /// Insert (or replace) an entry.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let prior_sealed = if self.dead.remove(&key) {
+            None // already overridden dead: sealed value long superseded
+        } else {
+            self.sealed.get(&key).cloned()
+        };
+        let prior = self.head.insert(key, value).or(prior_sealed);
+        if prior.is_none() {
+            self.len += 1;
+        }
+        prior
+    }
+
+    /// Remove an entry, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let from_head = self.head.remove(key);
+        if from_head.is_some() {
+            // A sealed twin (if any) must stay masked.
+            if self.sealed.contains_key(key) {
+                self.dead.insert(key.clone());
+            }
+            self.len -= 1;
+            return from_head;
+        }
+        if self.dead.contains(key) {
+            return None;
+        }
+        if let Some(v) = self.sealed.get(key) {
+            self.dead.insert(key.clone());
+            self.len -= 1;
+            return Some(v.clone());
+        }
+        None
+    }
+
+    /// Mutable access to an entry, promoting a sealed value into the head
+    /// first (one `V::clone`). Returns `None` for absent keys.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if !self.head.contains_key(key) {
+            if self.dead.contains(key) {
+                return None;
+            }
+            let promoted = self.sealed.get(key)?.clone();
+            self.head.insert(key.clone(), promoted);
+        }
+        self.head.get_mut(key)
+    }
+
+    /// Mutable access to an entry, inserting `V::default()` when absent.
+    pub fn entry_or_default(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        if self.get_mut(&key).is_none() {
+            self.insert(key.clone(), V::default());
+        }
+        self.head.get_mut(&key).expect("entry just ensured")
+    }
+
+    /// Iterate live entries (order unspecified, like `HashMap`).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.head.iter().chain(
+            self.sealed
+                .iter()
+                .filter(|(k, _)| !self.head.contains_key(*k) && !self.dead.contains(*k)),
+        )
+    }
+
+    /// Iterate live values.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Iterate live keys.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Fold the delta head into a fresh sealed generation. O(total) in
+    /// key count, but each value moves by `V::clone` — cheap when `V` is
+    /// itself a shared structure ([`SegVec`], `Arc`).
+    pub fn seal(&mut self) {
+        if self.head.is_empty() && self.dead.is_empty() {
+            return;
+        }
+        let mut folded: HashMap<K, V> = HashMap::with_capacity(self.len);
+        for (k, v) in self.sealed.iter() {
+            if !self.dead.contains(k) && !self.head.contains_key(k) {
+                folded.insert(k.clone(), v.clone());
+            }
+        }
+        folded.extend(self.head.drain());
+        self.dead.clear();
+        self.sealed = Arc::new(folded);
+    }
+
+    /// Replace the whole map with `entries` as a fresh sealed generation.
+    pub fn reseal_from(&mut self, entries: HashMap<K, V>) {
+        self.len = entries.len();
+        self.sealed = Arc::new(entries);
+        self.head.clear();
+        self.dead.clear();
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.reseal_from(HashMap::new());
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> FromIterator<(K, V)> for CowMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = CowMap::new();
+        m.reseal_from(iter.into_iter().collect());
+        m
+    }
+}
+
+/// A sealed/head copy-on-write hash set: [`CowMap`] semantics without
+/// values.
+#[derive(Debug)]
+pub struct CowSet<T> {
+    inner: CowMap<T, ()>,
+}
+
+impl<T> Default for CowSet<T> {
+    fn default() -> Self {
+        CowSet {
+            inner: CowMap::default(),
+        }
+    }
+}
+
+impl<T: Clone> Clone for CowSet<T> {
+    fn clone(&self) -> Self {
+        CowSet {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> CowSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        CowSet::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Delta entries since the last seal.
+    pub fn head_len(&self) -> usize {
+        self.inner.head_len()
+    }
+
+    /// Add a member; `true` when newly inserted.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value, ()).is_none()
+    }
+
+    /// Remove a member; `true` when it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        self.inner.remove(value).is_some()
+    }
+
+    /// Is `value` a member?
+    pub fn contains(&self, value: &T) -> bool {
+        self.inner.contains_key(value)
+    }
+
+    /// Iterate members (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inner.keys()
+    }
+
+    /// Fold deltas into a fresh sealed generation.
+    pub fn seal(&mut self) {
+        self.inner.seal();
+    }
+
+    /// Drop every member.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// Elements per sealed [`SegVec`] segment.
+pub const SEG: usize = 256;
+
+/// An append-only segmented vector with O(1) clone.
+///
+/// Full segments are sealed behind `Arc`s and never change; appends go to
+/// an `Arc`'d open tail. `clone()` is two `Arc` bumps. The first append
+/// after a clone copies the open tail (≤ [`SEG`] elements) and, once per
+/// [`SEG`] appends, the segment-pointer vector — everything else is
+/// amortized free.
+#[derive(Debug)]
+pub struct SegVec<T> {
+    segs: Arc<Vec<Arc<Vec<T>>>>,
+    open: Arc<Vec<T>>,
+    len: usize,
+}
+
+impl<T> Default for SegVec<T> {
+    fn default() -> Self {
+        SegVec {
+            segs: Arc::new(Vec::new()),
+            open: Arc::new(Vec::new()),
+            len: 0,
+        }
+    }
+}
+
+impl<T> Clone for SegVec<T> {
+    fn clone(&self) -> Self {
+        SegVec {
+            segs: self.segs.clone(),
+            open: self.open.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<T: Clone> SegVec<T> {
+    /// An empty list.
+    pub fn new() -> Self {
+        SegVec::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append an element.
+    pub fn push(&mut self, value: T) {
+        let open = Arc::make_mut(&mut self.open);
+        open.push(value);
+        self.len += 1;
+        if open.len() >= SEG {
+            let full = std::mem::take(open);
+            Arc::make_mut(&mut self.segs).push(Arc::new(full));
+        }
+    }
+
+    /// Iterate the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.segs
+            .iter()
+            .flat_map(|s| s.iter())
+            .chain(self.open.iter())
+    }
+
+    /// Shared reference to the element at `index`.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            return None;
+        }
+        let seg = index / SEG;
+        if seg < self.segs.len() {
+            self.segs[seg].get(index % SEG)
+        } else {
+            self.open.get(index - self.segs.len() * SEG)
+        }
+    }
+
+    /// The most recently appended element, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.open
+            .last()
+            .or_else(|| self.segs.last().and_then(|s| s.last()))
+    }
+
+    /// Drop every element.
+    pub fn clear(&mut self) {
+        self.segs = Arc::new(Vec::new());
+        self.open = Arc::new(Vec::new());
+        self.len = 0;
+    }
+}
+
+impl<T: Clone> FromIterator<T> for SegVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SegVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Clone> std::ops::Index<usize> for SegVec<T> {
+    type Output = T;
+    fn index(&self, index: usize) -> &T {
+        self.get(index).expect("SegVec index out of bounds")
+    }
+}
+
+impl<'a, T: Clone> IntoIterator for &'a SegVec<T> {
+    type Item = &'a T;
+    type IntoIter = Box<dyn Iterator<Item = &'a T> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl<'a, K: Eq + Hash + Clone, V: Clone> IntoIterator for &'a CowMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Box<dyn Iterator<Item = (&'a K, &'a V)> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_vec_positional_semantics() {
+        let mut v: SnapshotVec<u32> = SnapshotVec::new();
+        assert!(v.is_empty());
+        for i in 0..(CHUNK as u32 * 3 + 7) {
+            v.push(i * 2);
+        }
+        assert_eq!(v.len(), CHUNK * 3 + 7);
+        assert_eq!(v.get(0), Some(&0));
+        assert_eq!(v.get(CHUNK), Some(&(CHUNK as u32 * 2)));
+        assert_eq!(v.last(), Some(&((CHUNK as u32 * 3 + 6) * 2)));
+        assert_eq!(v.get(v.len()), None);
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected.len(), v.len());
+        assert!(collected.windows(2).all(|w| w[1] == w[0] + 2));
+    }
+
+    #[test]
+    fn snapshot_vec_clone_isolates_mutations() {
+        let mut v: SnapshotVec<u32> = (0..1000u32).collect();
+        let snap = v.clone();
+        *v.get_mut(3).unwrap() = 999;
+        v.push(1000);
+        assert_eq!(snap.get(3), Some(&3));
+        assert_eq!(snap.len(), 1000);
+        assert_eq!(v.get(3), Some(&999));
+        assert_eq!(v.len(), 1001);
+        // Untouched chunks stay shared.
+        assert!(Arc::ptr_eq(&v.chunks[1], &snap.chunks[1]));
+        assert!(!Arc::ptr_eq(&v.chunks[0], &snap.chunks[0]));
+    }
+
+    #[test]
+    fn cow_map_insert_remove_len() {
+        let mut m: CowMap<String, u32> = CowMap::new();
+        assert_eq!(m.insert("a".into(), 1), None);
+        assert_eq!(m.insert("a".into(), 2), Some(1));
+        assert_eq!(m.len(), 1);
+        m.insert("b".into(), 3);
+        assert_eq!(m.remove(&"a".to_string()), Some(2));
+        assert_eq!(m.remove(&"a".to_string()), None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&"b".to_string()), Some(&3));
+    }
+
+    #[test]
+    fn cow_map_seal_roundtrips_through_deltas() {
+        let mut m: CowMap<u64, u32> = (0..100u64).map(|k| (k, k as u32)).collect();
+        m.remove(&5);
+        m.insert(7, 700);
+        m.insert(200, 200);
+        m.seal();
+        assert_eq!(m.head_len(), 0);
+        assert_eq!(m.len(), 100); // 100 - 1 removed + 1 new
+        assert_eq!(m.get(&5), None);
+        assert_eq!(m.get(&7), Some(&700));
+        assert_eq!(m.get(&200), Some(&200));
+        // Post-seal mutations still behave.
+        m.remove(&7);
+        assert_eq!(m.get(&7), None);
+        assert_eq!(m.len(), 99);
+        // Reinsert of a dead sealed key resurrects cleanly.
+        m.insert(5, 55);
+        assert_eq!(m.get(&5), Some(&55));
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn cow_map_clone_isolates_and_shares() {
+        let mut m: CowMap<u64, u32> = (0..50u64).map(|k| (k, k as u32)).collect();
+        let snap = m.clone();
+        m.insert(1, 100);
+        m.remove(&2);
+        *m.get_mut(&3).unwrap() += 1;
+        m.insert(99, 99);
+        assert_eq!(snap.get(&1), Some(&1));
+        assert_eq!(snap.get(&2), Some(&2));
+        assert_eq!(snap.get(&3), Some(&3));
+        assert_eq!(snap.get(&99), None);
+        assert_eq!(snap.len(), 50);
+        assert_eq!(m.len(), 50); // -1 removed, +1 inserted
+        assert!(Arc::ptr_eq(&m.sealed, &snap.sealed));
+    }
+
+    #[test]
+    fn cow_map_iter_matches_hashmap_semantics() {
+        let mut m: CowMap<u64, u32> = (0..20u64).map(|k| (k, k as u32)).collect();
+        m.remove(&0);
+        m.insert(5, 500);
+        m.insert(50, 50);
+        let mut got: Vec<(u64, u32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u32)> = (1..20u64)
+            .map(|k| (k, if k == 5 { 500 } else { k as u32 }))
+            .collect();
+        want.push((50, 50));
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(m.values().count(), m.len());
+    }
+
+    #[test]
+    fn cow_map_entry_or_default_counts() {
+        let mut m: CowMap<u64, u32> = (0..3u64).map(|k| (k, 10)).collect();
+        *m.entry_or_default(0) += 1; // promoted from sealed
+        *m.entry_or_default(9) += 1; // fresh default
+        assert_eq!(m.get(&0), Some(&11));
+        assert_eq!(m.get(&9), Some(&1));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn cow_set_basics() {
+        let mut s: CowSet<u64> = CowSet::new();
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert!(s.contains(&1));
+        let snap = s.clone();
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        assert!(snap.contains(&1));
+        assert!(!s.contains(&1));
+        s.insert(2);
+        s.seal();
+        assert_eq!(s.head_len(), 0);
+        assert!(s.contains(&2));
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn seg_vec_appends_and_iterates_in_order() {
+        let mut v: SegVec<u64> = SegVec::new();
+        for i in 0..(SEG as u64 * 2 + 10) {
+            v.push(i);
+        }
+        assert_eq!(v.len(), SEG * 2 + 10);
+        let got: Vec<u64> = v.iter().copied().collect();
+        let want: Vec<u64> = (0..(SEG as u64 * 2 + 10)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn seg_vec_clone_is_shared_and_isolated() {
+        let mut v: SegVec<u64> = (0..(SEG as u64 + 5)).collect();
+        let snap = v.clone();
+        v.push(999);
+        assert_eq!(snap.len(), SEG + 5);
+        assert_eq!(v.len(), SEG + 6);
+        assert_eq!(snap.iter().last(), Some(&(SEG as u64 + 4)));
+        assert_eq!(v.iter().last(), Some(&999));
+        // Sealed segments are shared by pointer.
+        assert!(Arc::ptr_eq(&v.segs[0], &snap.segs[0]));
+    }
+}

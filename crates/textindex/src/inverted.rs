@@ -1,6 +1,15 @@
 //! TF-IDF inverted index with top-k retrieval.
+//!
+//! The index is built on the copy-on-write collections from `cqms-cow` so
+//! a [`Clone`] is a handful of `Arc` bumps plus the delta head — cheap
+//! enough for the CQMS write path to publish a fresh `ReadSnapshot` per
+//! logged query. Postings are **generation-stamped**: re-adding a document
+//! bumps its generation instead of purging old postings, and an entry only
+//! counts when its stamp matches the document's current generation and the
+//! document is live. Stale entries are reclaimed by [`InvertedIndex::compact`].
 
 use crate::tokenize::tokenize;
+use cqms_cow::{CowMap, SegVec};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// One search result.
@@ -10,17 +19,42 @@ pub struct SearchHit {
     pub score: f64,
 }
 
-/// Inverted index mapping terms to postings, with document lengths for
-/// cosine-style normalisation and tombstoned deletion.
-#[derive(Debug, Default)]
+/// One posting entry: `doc` contained the term `tf` times as of the
+/// document's generation `gen`. Entries with a stale `gen` are masked.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    doc: u64,
+    tf: u32,
+    gen: u32,
+}
+
+/// Per-document bookkeeping: current generation, token count (for length
+/// normalisation), live flag, and distinct-term count (for stale
+/// accounting).
+#[derive(Debug, Clone, Copy)]
+struct DocInfo {
+    gen: u32,
+    len: u32,
+    live: bool,
+    terms: u32,
+}
+
+/// Inverted index mapping terms to generation-stamped postings, with
+/// document lengths for cosine-style normalisation and tombstoned
+/// deletion. Cloning shares all sealed state by pointer.
+#[derive(Debug, Default, Clone)]
 pub struct InvertedIndex {
-    /// term → (doc, term frequency) postings, in insertion order.
-    postings: HashMap<String, Vec<(u64, u32)>>,
-    /// doc → token count (for length normalisation).
-    doc_len: HashMap<u64, u32>,
-    /// doc → its distinct terms (needed to purge postings on replacement).
-    terms_of: HashMap<u64, Vec<String>>,
-    deleted: HashSet<u64>,
+    /// term → (doc, tf, gen) postings, in insertion order.
+    postings: CowMap<String, SegVec<Posting>>,
+    /// doc → generation / length / liveness.
+    docs: CowMap<u64, DocInfo>,
+    /// Live (non-tombstoned) document count.
+    live: usize,
+    /// Posting entries masked by re-adds or tombstones since the last
+    /// compaction.
+    stale: usize,
+    /// Total posting entries currently stored (live + stale).
+    entries: usize,
 }
 
 impl InvertedIndex {
@@ -30,53 +64,75 @@ impl InvertedIndex {
 
     /// Number of live documents.
     pub fn len(&self) -> usize {
-        self.doc_len.len() - self.deleted.len()
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
-    /// Add a document. Re-adding an id replaces the old content.
+    /// Does `p` count under the current document state?
+    fn is_current(&self, p: &Posting) -> bool {
+        self.docs
+            .get(&p.doc)
+            .is_some_and(|i| i.live && i.gen == p.gen)
+    }
+
+    /// Add a document. Re-adding an id replaces the old content (the old
+    /// postings are masked by the generation bump, not purged).
     pub fn add(&mut self, doc: u64, text: &str) {
-        // Replacement: purge the old postings first.
-        if let Some(old_terms) = self.terms_of.remove(&doc) {
-            for term in old_terms {
-                if let Some(posts) = self.postings.get_mut(&term) {
-                    posts.retain(|(d, _)| *d != doc);
-                    if posts.is_empty() {
-                        self.postings.remove(&term);
-                    }
+        let prev = self.docs.get(&doc).copied();
+        let gen = prev.map(|p| p.gen.wrapping_add(1)).unwrap_or(0);
+        match prev {
+            Some(p) => {
+                if p.live {
+                    // Old entries now masked by the generation bump.
+                    self.stale += p.terms as usize;
+                } else {
+                    self.live += 1; // resurrect: entries already counted stale
                 }
             }
+            None => self.live += 1,
         }
-        self.deleted.remove(&doc);
         let tokens = tokenize(text);
         let mut tf: HashMap<String, u32> = HashMap::new();
         for t in &tokens {
             *tf.entry(t.clone()).or_insert(0) += 1;
         }
-        let mut terms: Vec<String> = Vec::with_capacity(tf.len());
+        let distinct = tf.len() as u32;
         for (term, f) in tf {
             self.postings
-                .entry(term.clone())
-                .or_default()
-                .push((doc, f));
-            terms.push(term);
+                .entry_or_default(term)
+                .push(Posting { doc, tf: f, gen });
+            self.entries += 1;
         }
-        self.terms_of.insert(doc, terms);
-        self.doc_len.insert(doc, tokens.len().max(1) as u32);
+        self.docs.insert(
+            doc,
+            DocInfo {
+                gen,
+                len: tokens.len().max(1) as u32,
+                live: true,
+                terms: distinct,
+            },
+        );
     }
 
     /// Tombstone a document.
     pub fn remove(&mut self, doc: u64) {
-        if self.doc_len.contains_key(&doc) {
-            self.deleted.insert(doc);
+        let Some(info) = self.docs.get(&doc).copied() else {
+            return;
+        };
+        if info.live {
+            if let Some(m) = self.docs.get_mut(&doc) {
+                m.live = false;
+            }
+            self.live -= 1;
+            self.stale += info.terms as usize;
         }
     }
 
     pub fn contains(&self, doc: u64) -> bool {
-        self.doc_len.contains_key(&doc) && !self.deleted.contains(&doc)
+        self.docs.get(&doc).is_some_and(|i| i.live)
     }
 
     /// TF-IDF search returning the top `k` documents.
@@ -100,12 +156,7 @@ impl InvertedIndex {
             let df = self
                 .postings
                 .get(&term)
-                .map(|posts| {
-                    posts
-                        .iter()
-                        .filter(|(d, _)| !self.deleted.contains(d))
-                        .count() as u64
-                })
+                .map(|posts| posts.iter().filter(|p| self.is_current(p)).count() as u64)
                 .unwrap_or(0);
             out.insert(term, df);
         }
@@ -138,12 +189,15 @@ impl InvertedIndex {
             };
             let dfv = df.get(term).copied().unwrap_or(0).max(1) as f64;
             let idf = (1.0 + n / dfv).ln();
-            for (doc, tf) in posts {
-                if self.deleted.contains(doc) {
+            for p in posts.iter() {
+                let Some(info) = self.docs.get(&p.doc) else {
+                    continue;
+                };
+                if !info.live || info.gen != p.gen {
                     continue;
                 }
-                let len = self.doc_len[doc] as f64;
-                *scores.entry(*doc).or_insert(0.0) += (*tf as f64) * idf / len.sqrt();
+                let len = info.len as f64;
+                *scores.entry(p.doc).or_insert(0.0) += (p.tf as f64) * idf / len.sqrt();
             }
         }
         top_k(scores, k)
@@ -162,10 +216,11 @@ impl InvertedIndex {
             let set: HashSet<u64> = self
                 .postings
                 .get(term)
-                .map(|p| {
-                    p.iter()
-                        .filter(|(d, _)| !self.deleted.contains(d))
-                        .map(|(d, _)| *d)
+                .map(|posts| {
+                    posts
+                        .iter()
+                        .filter(|p| self.is_current(p))
+                        .map(|p| p.doc)
                         .collect()
                 })
                 .unwrap_or_default();
@@ -184,6 +239,53 @@ impl InvertedIndex {
             .collect();
         out.sort();
         out
+    }
+
+    /// Delta entries accumulated since the last [`InvertedIndex::seal`] —
+    /// the per-clone copy cost.
+    pub fn head_len(&self) -> usize {
+        self.postings.head_len() + self.docs.head_len()
+    }
+
+    /// Fold the delta heads into fresh sealed generations so subsequent
+    /// clones are pure `Arc` bumps.
+    pub fn seal(&mut self) {
+        self.postings.seal();
+        self.docs.seal();
+    }
+
+    /// Are ≥¼ of the stored posting entries masked (stale generation or
+    /// tombstoned document)?
+    pub fn needs_compaction(&self) -> bool {
+        self.stale > 0 && self.stale * 4 >= self.entries
+    }
+
+    /// Rebuild the postings keeping only current entries, dropping
+    /// tombstoned documents entirely.
+    pub fn compact(&mut self) {
+        let mut entries = 0usize;
+        let mut new_posts: HashMap<String, SegVec<Posting>> = HashMap::new();
+        for (term, posts) in self.postings.iter() {
+            let kept: SegVec<Posting> = posts
+                .iter()
+                .filter(|p| self.is_current(p))
+                .copied()
+                .collect();
+            if !kept.is_empty() {
+                entries += kept.len();
+                new_posts.insert(term.clone(), kept);
+            }
+        }
+        let new_docs: HashMap<u64, DocInfo> = self
+            .docs
+            .iter()
+            .filter(|(_, i)| i.live)
+            .map(|(d, i)| (*d, *i))
+            .collect();
+        self.postings.reseal_from(new_posts);
+        self.docs.reseal_from(new_docs);
+        self.entries = entries;
+        self.stale = 0;
     }
 }
 
@@ -342,5 +444,61 @@ mod tests {
             assert!(w[0].score >= w[1].score);
         }
         assert!(hits.iter().all(|h| h.score > 0.0));
+    }
+
+    #[test]
+    fn clone_is_a_consistent_snapshot() {
+        let mut ix = index();
+        let snap = ix.clone();
+        ix.add(2, "SELECT lake FROM Lakes");
+        ix.remove(1);
+        ix.add(9, "SELECT brand_new FROM Elsewhere");
+        // The snapshot still answers from the pre-mutation state.
+        let docs: Vec<u64> = snap.search("temp", 10).iter().map(|h| h.doc).collect();
+        assert!(docs.contains(&2));
+        assert!(snap.contains(1));
+        assert!(!snap.contains(9));
+        assert_eq!(snap.len(), 4);
+        // And the live index sees the mutations.
+        assert!(!ix.contains(1));
+        assert!(ix.contains(9));
+    }
+
+    #[test]
+    fn seal_and_compact_preserve_results() {
+        let mut ix = index();
+        ix.add(2, "SELECT lake FROM Lakes"); // replacement → stale postings
+        ix.remove(4);
+        let want_salinity = ix.search("salinity water", 10);
+        let want_dfs = ix.query_term_dfs("select water temp");
+        ix.seal();
+        assert_eq!(ix.head_len(), 0);
+        assert_eq!(ix.search("salinity water", 10), want_salinity);
+        ix.compact();
+        assert_eq!(ix.search("salinity water", 10), want_salinity);
+        assert_eq!(ix.query_term_dfs("select water temp"), want_dfs);
+        assert_eq!(ix.len(), 3);
+        assert!(!ix.needs_compaction());
+        assert!(!ix.contains(4));
+        // A compacted index keeps accepting writes.
+        ix.add(4, "SELECT city FROM CityLocations WHERE state = 'WA'");
+        assert!(ix.contains(4));
+        assert_eq!(ix.len(), 4);
+    }
+
+    #[test]
+    fn stale_accounting_drives_needs_compaction() {
+        let mut ix = InvertedIndex::new();
+        for d in 0..8u64 {
+            ix.add(d, "SELECT a FROM T WHERE b = 1");
+        }
+        assert!(!ix.needs_compaction());
+        for d in 0..4u64 {
+            ix.remove(d);
+        }
+        assert!(ix.needs_compaction());
+        ix.compact();
+        assert!(!ix.needs_compaction());
+        assert_eq!(ix.len(), 4);
     }
 }

@@ -4,15 +4,21 @@
 //! lists of its trigrams and verifying candidates with a direct `contains`
 //! check (trigram intersection over-approximates). Shorter queries fall back
 //! to a scan over the stored texts, which is still bounded by the log size.
+//!
+//! Built on the `cqms-cow` collections so a [`Clone`] shares all sealed
+//! state by pointer — the CQMS read path snapshots this index per request.
 
+use cqms_cow::{CowMap, CowSet, SegVec};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Case-insensitive trigram index over document texts.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TrigramIndex {
-    grams: HashMap<[u8; 3], Vec<u64>>,
-    texts: HashMap<u64, String>,
-    deleted: HashSet<u64>,
+    grams: CowMap<[u8; 3], SegVec<u64>>,
+    texts: CowMap<u64, Arc<str>>,
+    deleted: CowSet<u64>,
+    live: usize,
 }
 
 impl TrigramIndex {
@@ -21,11 +27,11 @@ impl TrigramIndex {
     }
 
     pub fn len(&self) -> usize {
-        self.texts.len() - self.deleted.len()
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     fn trigrams(text: &str) -> HashSet<[u8; 3]> {
@@ -43,24 +49,28 @@ impl TrigramIndex {
     /// Add (or replace) a document.
     pub fn add(&mut self, doc: u64, text: &str) {
         if self.texts.contains_key(&doc) {
-            // Replacement: purge old postings lazily via the verify step;
-            // remove the doc from grams it no longer has is costly, so we
-            // just re-verify against the stored text at query time.
-            self.deleted.remove(&doc);
+            // Replacement: old postings are purged lazily — candidates are
+            // re-verified against the stored text at query time, so leftover
+            // grams only cost a failed verify until the next compaction.
+            if self.deleted.remove(&doc) {
+                self.live += 1;
+            }
+        } else {
+            self.live += 1;
         }
         for g in Self::trigrams(text) {
-            let posts = self.grams.entry(g).or_default();
+            let posts = self.grams.entry_or_default(g);
             if posts.last() != Some(&doc) {
                 posts.push(doc);
             }
         }
-        self.texts.insert(doc, text.to_string());
+        self.texts.insert(doc, Arc::from(text));
         self.deleted.remove(&doc);
     }
 
     pub fn remove(&mut self, doc: u64) {
-        if self.texts.contains_key(&doc) {
-            self.deleted.insert(doc);
+        if self.texts.contains_key(&doc) && self.deleted.insert(doc) {
+            self.live -= 1;
         }
     }
 
@@ -72,7 +82,7 @@ impl TrigramIndex {
         let lower = needle.to_lowercase();
         let candidates: Vec<u64> = if lower.len() >= 3 {
             let grams = Self::trigrams(&lower);
-            let mut lists: Vec<&Vec<u64>> = Vec::new();
+            let mut lists: Vec<&SegVec<u64>> = Vec::new();
             for g in &grams {
                 match self.grams.get(g) {
                     Some(l) => lists.push(l),
@@ -81,7 +91,8 @@ impl TrigramIndex {
             }
             lists.sort_by_key(|l| l.len());
             let (first, rest) = lists.split_first().unwrap();
-            let rest_sets: Vec<HashSet<&u64>> = rest.iter().map(|l| l.iter().collect()).collect();
+            let rest_sets: Vec<HashSet<u64>> =
+                rest.iter().map(|l| l.iter().copied().collect()).collect();
             first
                 .iter()
                 .filter(|d| rest_sets.iter().all(|s| s.contains(d)))
@@ -102,6 +113,41 @@ impl TrigramIndex {
         out.sort();
         out.dedup();
         out
+    }
+
+    /// Delta entries accumulated since the last [`TrigramIndex::seal`] —
+    /// the per-clone copy cost.
+    pub fn head_len(&self) -> usize {
+        self.grams.head_len() + self.texts.head_len() + self.deleted.head_len()
+    }
+
+    /// Fold the delta heads into fresh sealed generations so subsequent
+    /// clones are pure `Arc` bumps.
+    pub fn seal(&mut self) {
+        self.grams.seal();
+        self.texts.seal();
+        self.deleted.seal();
+    }
+
+    /// Rebuild the gram postings from the live texts, dropping tombstoned
+    /// documents and replacement leftovers.
+    pub fn compact(&mut self) {
+        let mut live_docs: Vec<(u64, Arc<str>)> = self
+            .texts
+            .iter()
+            .filter(|(d, _)| !self.deleted.contains(d))
+            .map(|(d, t)| (*d, t.clone()))
+            .collect();
+        live_docs.sort_by_key(|(d, _)| *d);
+        let mut new_grams: HashMap<[u8; 3], SegVec<u64>> = HashMap::new();
+        for (doc, text) in &live_docs {
+            for g in Self::trigrams(text) {
+                new_grams.entry(g).or_default().push(*doc);
+            }
+        }
+        self.grams.reseal_from(new_grams);
+        self.texts.reseal_from(live_docs.into_iter().collect());
+        self.deleted.clear();
     }
 }
 
@@ -161,5 +207,40 @@ mod tests {
     fn punctuation_substrings() {
         let ix = index();
         assert_eq!(ix.search("> 0.3"), vec![1]);
+    }
+
+    #[test]
+    fn clone_is_a_consistent_snapshot() {
+        let mut ix = index();
+        let snap = ix.clone();
+        ix.remove(1);
+        ix.add(2, "replaced entirely");
+        ix.add(7, "brand new row");
+        assert_eq!(snap.search("watersal"), vec![1]);
+        assert_eq!(snap.search("temp <"), vec![2]);
+        assert!(snap.search("brand new").is_empty());
+        assert_eq!(snap.len(), 3);
+        assert!(ix.search("watersal").is_empty());
+        assert_eq!(ix.search("brand new"), vec![7]);
+    }
+
+    #[test]
+    fn seal_and_compact_preserve_results() {
+        let mut ix = index();
+        ix.add(2, "replaced entirely");
+        ix.remove(3);
+        let want = ix.search("e");
+        ix.seal();
+        assert_eq!(ix.head_len(), 0);
+        assert_eq!(ix.search("e"), want);
+        ix.compact();
+        assert_eq!(ix.search("e"), want);
+        assert_eq!(ix.search("replaced"), vec![2]);
+        assert!(ix.search("city").is_empty());
+        assert_eq!(ix.len(), 2);
+        // A compacted index keeps accepting writes.
+        ix.add(3, "SELECT city FROM CityLocations");
+        assert_eq!(ix.search("city"), vec![3]);
+        assert_eq!(ix.len(), 3);
     }
 }
